@@ -1,0 +1,99 @@
+"""Ablations of this repo's design choices (beyond the paper's figures).
+
+* **Reference vs columnar SEM** — the structure-of-arrays rewrite is
+  purely an interpreter-overhead optimization; its advantage should
+  grow with the active-counter count (the window) and vanish for tiny
+  windows.
+* **HPC partition scaling** — per-event cost should stay flat as the
+  key cardinality grows (each event touches one partition).
+* **PreTree guard nodes** — negation inside a shared workload costs one
+  extra node per negated branch, not a separate tree.
+* **Checkpoint cost** — serializing engine state is cheap because the
+  state is only counters (the paper's core claim, measured sideways).
+"""
+
+import pytest
+
+from conftest import drive, make_stream
+from repro.core.checkpoint import checkpoint
+from repro.core.executor import ASeqEngine
+from repro.datagen.synthetic import SyntheticTypeGenerator, alphabet
+from repro.multi.prefix_sharing import PrefixSharedEngine
+from repro.query import seq
+
+TYPES = alphabet(12)
+EVENTS = make_stream(12, 2_500, seed=77)
+
+
+@pytest.mark.parametrize("window_ms", (50, 400, 1600))
+@pytest.mark.parametrize("runtime", ("reference", "columnar"))
+def test_sem_runtime_by_window(benchmark, window_ms, runtime):
+    query = seq(*TYPES[:3]).count().within(ms=window_ms).build()
+    vectorized = runtime == "columnar"
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((ASeqEngine(query, vectorized=vectorized), EVENTS), {}),
+        rounds=3,
+    )
+
+
+def test_sem_and_columnar_agree_across_windows():
+    for window_ms in (50, 400, 1600):
+        query = seq(*TYPES[:3]).count().within(ms=window_ms).build()
+        assert drive(ASeqEngine(query), EVENTS) == drive(
+            ASeqEngine(query, vectorized=True), EVENTS
+        )
+
+
+@pytest.mark.parametrize("keys", (2, 16, 128))
+def test_hpc_partition_scaling(benchmark, keys):
+    query = (
+        seq("K0", "K1").group_by("id").count().within(ms=300).build()
+    )
+
+    def keyed_events():
+        import random
+
+        rng = random.Random(keys)
+        events = SyntheticTypeGenerator(
+            ["K0", "K1"], mean_gap_ms=1, seed=5
+        ).take(2_500)
+        return [
+            event.with_attrs(id=rng.randrange(keys)) for event in events
+        ]
+
+    events = keyed_events()
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((ASeqEngine(query), events), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("negated", (False, True), ids=("plain", "guarded"))
+def test_pretree_guard_overhead(benchmark, negated):
+    # T5 instances arrive in the stream, so the guarded variant really
+    # pays for resets, not just for the extra node.
+    shape = ("T0", "!T5", "T1") if negated else ("T0", "T1")
+    queries = [
+        seq(*shape, f"T{2 + i}")
+        .count()
+        .within(ms=200)
+        .named(f"q{i}")
+        .build()
+        for i in range(3)
+    ]
+    events = make_stream(6, 2_500, seed=78)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((PrefixSharedEngine(queries), events), {}),
+        rounds=3,
+    )
+
+
+def test_checkpoint_is_cheap(benchmark):
+    query = seq(*TYPES[:4]).count().within(ms=800).build()
+    engine = ASeqEngine(query)
+    drive(engine, EVENTS)
+    state = benchmark(checkpoint, engine)
+    assert state["runtime"]["kind"] == "sem"

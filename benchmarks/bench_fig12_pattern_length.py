@@ -1,0 +1,65 @@
+"""Fig. 12 — execution time and memory vs pattern length (2..5).
+
+A-Seq should stay ~flat across lengths; the stack-based two-step
+engine grows exponentially (paper: 16,736x at length 5).
+"""
+
+import pytest
+
+from conftest import drive, make_stream
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.executor import ASeqEngine
+from repro.datagen.synthetic import alphabet
+from repro.query import seq
+
+TYPES = alphabet(20)
+WINDOW_MS = 200
+EVENTS = make_stream(20, 2_000, seed=11)
+LENGTHS = (2, 3, 4, 5)
+
+
+def query_of(length: int):
+    return seq(*TYPES[:length]).count().within(ms=WINDOW_MS).build()
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_aseq_by_length(benchmark, length):
+    query = query_of(length)
+    result = benchmark.pedantic(
+        drive,
+        setup=lambda: ((ASeqEngine(query), EVENTS), {}),
+        rounds=3,
+    )
+    benchmark.extra_info["final_count"] = result
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_stack_by_length(benchmark, length):
+    query = query_of(length)
+    result = benchmark.pedantic(
+        drive,
+        setup=lambda: ((TwoStepEngine(query), EVENTS), {}),
+        rounds=3,
+    )
+    benchmark.extra_info["final_count"] = result
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_results_agree(length):
+    """Fig. 12's speedups only matter because the answers are equal."""
+    query = query_of(length)
+    assert drive(ASeqEngine(query), EVENTS) == drive(
+        TwoStepEngine(query), EVENTS
+    )
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_memory_gap_grows(length):
+    """Fig. 12(b): the object-count gap widens with pattern length."""
+    query = query_of(length)
+    aseq = ASeqEngine(query)
+    stack = TwoStepEngine(query)
+    drive(aseq, EVENTS)
+    drive(stack, EVENTS)
+    ratio = stack.peak_objects / max(1, aseq.peak_objects)
+    assert ratio > 2 * length

@@ -1,0 +1,62 @@
+"""Fig. 13 — execution time and memory vs window size (length 3).
+
+Both engines slow with window growth; the stack-based engine degrades
+polynomially, A-Seq linearly in the active START count.
+"""
+
+import pytest
+
+from conftest import drive, make_stream
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.executor import ASeqEngine
+from repro.datagen.synthetic import alphabet
+from repro.query import seq
+
+TYPES = alphabet(20)
+EVENTS = make_stream(20, 2_000, seed=13)
+WINDOWS = (100, 200, 400, 800)
+
+
+def query_of(window_ms: int):
+    return seq(*TYPES[:3]).count().within(ms=window_ms).build()
+
+
+@pytest.mark.parametrize("window_ms", WINDOWS)
+def test_aseq_by_window(benchmark, window_ms):
+    query = query_of(window_ms)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((ASeqEngine(query), EVENTS), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("window_ms", WINDOWS)
+def test_stack_by_window(benchmark, window_ms):
+    query = query_of(window_ms)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((TwoStepEngine(query), EVENTS), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("window_ms", WINDOWS)
+def test_results_agree(window_ms):
+    query = query_of(window_ms)
+    assert drive(ASeqEngine(query), EVENTS) == drive(
+        TwoStepEngine(query), EVENTS
+    )
+
+
+def test_memory_gap_grows_with_window():
+    """Fig. 13(b): the baseline's object count scales with the window."""
+    ratios = []
+    for window_ms in WINDOWS:
+        query = query_of(window_ms)
+        aseq = ASeqEngine(query)
+        stack = TwoStepEngine(query)
+        drive(aseq, EVENTS)
+        drive(stack, EVENTS)
+        ratios.append(stack.peak_objects / max(1, aseq.peak_objects))
+    assert ratios[-1] > ratios[0]

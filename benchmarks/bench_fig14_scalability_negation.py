@@ -1,0 +1,81 @@
+"""Fig. 14 — (a) A-Seq scalability at lengths 6..10, (b) negation cost.
+
+(a) runs the regime where the stack-based engine is infeasible; A-Seq
+per-event time stays roughly flat. (b) compares the negation pushdown
+(Recounting Rule) against post-filtering on the stock queries
+q1 = (DELL, IPIX, AMAT) and q2 = (DELL, IPIX, !QQQ, AMAT).
+"""
+
+import pytest
+
+from conftest import drive, make_stream
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.executor import ASeqEngine
+from repro.datagen.synthetic import alphabet
+from repro.query import parse_query, seq
+
+TYPES = alphabet(20)
+EVENTS = make_stream(20, 2_500, seed=14)
+SCALABILITY_WINDOW_MS = 800
+
+
+@pytest.mark.parametrize("length", (6, 8, 10))
+def test_aseq_scalability(benchmark, length):
+    query = (
+        seq(*TYPES[:length]).count().within(ms=SCALABILITY_WINDOW_MS).build()
+    )
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((ASeqEngine(query), EVENTS), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("length", (6, 8, 10))
+def test_vectorized_scalability(benchmark, length):
+    query = (
+        seq(*TYPES[:length]).count().within(ms=SCALABILITY_WINDOW_MS).build()
+    )
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((ASeqEngine(query, vectorized=True), EVENTS), {}),
+        rounds=3,
+    )
+
+
+Q1 = "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 300 ms"
+Q2 = "PATTERN SEQ(DELL, IPIX, !QQQ, AMAT) AGG COUNT WITHIN 300 ms"
+
+
+@pytest.mark.parametrize("text", (Q1, Q2), ids=("q1", "q2-negation"))
+def test_aseq_negation(benchmark, text, stock_stream):
+    query = parse_query(text)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((ASeqEngine(query), stock_stream), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("text", (Q1, Q2), ids=("q1", "q2-negation"))
+def test_stack_negation(benchmark, text, stock_stream):
+    """The paper's later-filter-step baseline for the negation query."""
+    query = parse_query(text)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: (
+            (TwoStepEngine(query, negation_mode="deferred"), stock_stream),
+            {},
+        ),
+        rounds=3,
+    )
+
+
+def test_negation_results_agree(stock_stream):
+    for text in (Q1, Q2):
+        query = parse_query(text)
+        expected = drive(ASeqEngine(query), stock_stream)
+        assert expected == drive(TwoStepEngine(query), stock_stream)
+        assert expected == drive(
+            TwoStepEngine(query, negation_mode="deferred"), stock_stream
+        )

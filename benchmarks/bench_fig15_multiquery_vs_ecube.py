@@ -1,0 +1,59 @@
+"""Fig. 15 — a 3-query workload four ways: SASE / ECube / A-Seq / CC.
+
+Expected ordering (paper): SASE slowest; ECube 2-3x faster (shared
+sequence construction); per-query A-Seq and Chop-Connect orders of
+magnitude faster still (no match materialization at all).
+"""
+
+import pytest
+
+from conftest import drive, make_stream
+from repro.baseline.twostep import TwoStepEngine
+from repro.multi.chop_connect import ChopConnectEngine
+from repro.multi.ecube import ECubeEngine
+from repro.multi.planner import plan_workload
+from repro.multi.unshared import UnsharedEngine
+from repro.query import seq
+
+SHARED = ("T1", "T2", "T3")
+WINDOW_MS = 80
+EVENTS = make_stream(
+    6, 3_000, seed=15,
+    weights={"T0": 0.05, "T4": 0.05, "T5": 0.05},
+)
+
+
+def workload():
+    def build(name, head):
+        return (
+            seq(head, *SHARED).count().within(ms=WINDOW_MS).named(name).build()
+        )
+
+    return [build("Q1", "T0"), build("Q2", "T4"), build("Q3", "T5")]
+
+
+QUERIES = workload()
+PLANS, _BEST = plan_workload(QUERIES)
+
+SYSTEMS = {
+    "sase": lambda: UnsharedEngine(QUERIES, engine_factory=TwoStepEngine),
+    "ecube": lambda: ECubeEngine(QUERIES, shared_types=SHARED),
+    "aseq": lambda: UnsharedEngine(QUERIES),
+    "cc": lambda: ChopConnectEngine(PLANS),
+}
+
+
+@pytest.mark.parametrize("system", list(SYSTEMS), ids=list(SYSTEMS))
+def test_multiquery_system(benchmark, system):
+    factory = SYSTEMS[system]
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((factory(), EVENTS), {}),
+        rounds=3,
+    )
+
+
+def test_all_systems_agree():
+    results = {name: drive(f(), EVENTS) for name, f in SYSTEMS.items()}
+    reference = results["aseq"]
+    assert all(result == reference for result in results.values()), results

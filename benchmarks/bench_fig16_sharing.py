@@ -1,0 +1,160 @@
+"""Fig. 16 — sharing sweeps: prefix sharing and Chop-Connect vs NonShare.
+
+Four panels: gains should grow with workload size (a, d) and with the
+shared prefix/substring length (b, c).
+"""
+
+import pytest
+
+from conftest import drive, make_stream
+from repro.multi.chop_connect import ChopConnectEngine
+from repro.multi.planner import plan_workload
+from repro.multi.prefix_sharing import PrefixSharedEngine
+from repro.multi.unshared import UnsharedEngine
+from repro.query import seq
+
+WINDOW_MS = 120
+EVENT_COUNT = 3_000
+
+
+def prefix_workload(query_count: int, prefix_length: int):
+    prefix = [f"T{i}" for i in range(prefix_length)]
+    queries = [
+        seq(*prefix, f"T{prefix_length + i}")
+        .count()
+        .within(ms=WINDOW_MS)
+        .named(f"q{i}")
+        .build()
+        for i in range(query_count)
+    ]
+    events = make_stream(
+        prefix_length + query_count, EVENT_COUNT,
+        seed=100 + query_count * 10 + prefix_length,
+    )
+    return queries, events
+
+
+def cc_workload(query_count: int, substring_length: int):
+    sub = [f"T{i}" for i in range(substring_length)]
+    queries = [
+        seq(f"T{substring_length + i}", *sub)
+        .count()
+        .within(ms=WINDOW_MS)
+        .named(f"q{i}")
+        .build()
+        for i in range(query_count)
+    ]
+    events = make_stream(
+        substring_length + query_count, EVENT_COUNT,
+        seed=200 + query_count * 10 + substring_length,
+    )
+    return queries, events
+
+
+# ----- Fig 16(a): prefix sharing vs #queries ---------------------------------
+
+
+@pytest.mark.parametrize("query_count", (2, 4, 6))
+def test_prefix_shared_by_queries(benchmark, query_count):
+    queries, events = prefix_workload(query_count, 3)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((PrefixSharedEngine(queries), events), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("query_count", (2, 4, 6))
+def test_prefix_nonshare_by_queries(benchmark, query_count):
+    queries, events = prefix_workload(query_count, 3)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((UnsharedEngine(queries), events), {}),
+        rounds=3,
+    )
+
+
+# ----- Fig 16(b): prefix sharing vs prefix length ------------------------------
+
+
+@pytest.mark.parametrize("prefix_length", (2, 4, 6))
+def test_prefix_shared_by_length(benchmark, prefix_length):
+    queries, events = prefix_workload(3, prefix_length)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((PrefixSharedEngine(queries), events), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("prefix_length", (2, 4, 6))
+def test_prefix_nonshare_by_length(benchmark, prefix_length):
+    queries, events = prefix_workload(3, prefix_length)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((UnsharedEngine(queries), events), {}),
+        rounds=3,
+    )
+
+
+# ----- Fig 16(c): Chop-Connect vs substring length ------------------------------
+
+
+@pytest.mark.parametrize("substring_length", (2, 4, 6))
+def test_cc_shared_by_length(benchmark, substring_length):
+    queries, events = cc_workload(3, substring_length)
+    plans, _ = plan_workload(queries)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((ChopConnectEngine(plans), events), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("substring_length", (2, 4, 6))
+def test_cc_nonshare_by_length(benchmark, substring_length):
+    queries, events = cc_workload(3, substring_length)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((UnsharedEngine(queries), events), {}),
+        rounds=3,
+    )
+
+
+# ----- Fig 16(d): Chop-Connect vs #queries -----------------------------------------
+
+
+@pytest.mark.parametrize("query_count", (2, 4, 6))
+def test_cc_shared_by_queries(benchmark, query_count):
+    queries, events = cc_workload(query_count, 3)
+    plans, _ = plan_workload(queries)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((ChopConnectEngine(plans), events), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.parametrize("query_count", (2, 4, 6))
+def test_cc_nonshare_by_queries(benchmark, query_count):
+    queries, events = cc_workload(query_count, 3)
+    benchmark.pedantic(
+        drive,
+        setup=lambda: ((UnsharedEngine(queries), events), {}),
+        rounds=3,
+    )
+
+
+# ----- correctness pins -----------------------------------------------------------
+
+
+def test_shared_engines_agree_with_nonshare():
+    queries, events = prefix_workload(4, 3)
+    assert drive(PrefixSharedEngine(queries), events) == drive(
+        UnsharedEngine(queries), events
+    )
+    queries, events = cc_workload(3, 3)
+    plans, _ = plan_workload(queries)
+    assert drive(ChopConnectEngine(plans), events) == drive(
+        UnsharedEngine(queries), events
+    )

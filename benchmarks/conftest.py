@@ -1,0 +1,35 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_figNN_*.py`` file regenerates one figure of the paper's
+Sec. 6 at pytest-benchmark scale (small streams so the whole suite
+stays interactive). ``python -m repro.bench`` runs the same experiments
+at full scale and prints the tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.synthetic import SyntheticTypeGenerator, alphabet
+
+
+def make_stream(type_count: int, events: int, seed: int, weights=None):
+    """A reusable in-memory event list (benchmarks replay it per round)."""
+    return SyntheticTypeGenerator(
+        alphabet(type_count), weights=weights, mean_gap_ms=1, seed=seed
+    ).take(events)
+
+
+def drive(engine, events) -> object:
+    """Feed a stream through an engine; returns the final result."""
+    process = engine.process
+    for event in events:
+        process(event)
+    return engine.result()
+
+
+@pytest.fixture(scope="session")
+def stock_stream():
+    from repro.datagen import StockTradeGenerator
+
+    return StockTradeGenerator(mean_gap_ms=1, seed=14).take(3_000)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Application III (paper Sec. 1): credit-card fraud detection.
+
+Watches for a suspicious purchase pattern per card — an online
+authorization followed by two rapid purchases — and keeps the SUM of
+the purchase amounts over a 10-minute window, per card. When a card's
+in-window pattern total exceeds $10,000, the sink raises a block alert.
+This exercises the SUM aggregate pushdown of paper Sec. 5 together with
+GROUP BY partitioning.
+
+Run:  python examples/fraud_detection.py
+"""
+
+import random
+
+from repro import parse_query
+from repro.engine import StreamEngine, ThresholdAlertSink
+from repro.events import Event
+
+QUERY_TEXT = """
+    PATTERN SEQ(Authorize, Purchase, Purchase2)
+    GROUP BY card
+    AGG SUM(Purchase2.amount)
+    WITHIN 10 minutes
+"""
+
+FRAUD_THRESHOLD = 10_000.0
+
+
+def transactions(count: int, seed: int = 99):
+    """A card-transaction stream with one embedded runaway card."""
+    rng = random.Random(seed)
+    cards = [f"card-{i:03}" for i in range(150)]
+    hot_card = "card-007"
+    ts = 0
+    for _ in range(count):
+        ts += rng.randint(200, 2_000)
+        card = hot_card if rng.random() < 0.12 else rng.choice(cards)
+        kind = rng.choice(["Authorize", "Purchase", "Purchase2"])
+        if card == hot_card:
+            amount = rng.uniform(1_500, 4_000)
+        else:
+            amount = rng.uniform(5, 220)
+        yield Event(kind, ts, {"card": card, "amount": round(amount, 2)})
+
+
+def main() -> None:
+    query = parse_query(QUERY_TEXT, name="fraud")
+    print("Blocking any card whose in-window pattern SUM exceeds "
+          f"${FRAUD_THRESHOLD:,.0f}")
+    print()
+
+    blocked: set[str] = set()
+
+    def on_alert(alert) -> None:
+        ((card, total),) = alert.value.items()
+        if card not in blocked:
+            blocked.add(card)
+            print(
+                f"  BLOCK t={alert.ts / 60_000:5.1f}min  {card}  "
+                f"in-window total ${total:,.0f}"
+            )
+
+    engine = StreamEngine()
+    executor = engine.register(
+        query, ThresholdAlertSink(FRAUD_THRESHOLD, on_alert)
+    )
+    processed = engine.run(transactions(20_000))
+
+    print()
+    print(f"Processed {processed:,} transactions.")
+    print(f"Blocked cards: {sorted(blocked)}")
+    final = {
+        card: total
+        for card, total in executor.result().items()
+        if total and total > 0
+    }
+    top = sorted(final.items(), key=lambda kv: kv[1], reverse=True)[:3]
+    print("Top in-window totals at end of stream:")
+    for card, total in top:
+        print(f"  {card}: ${total:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Application I (paper Sec. 1): brute-force login detection per IP.
+
+Counts the wrong-password login sequence
+``SEQ(TypeUsername, TypePassword, ClickSubmit)`` grouped by source IP
+over a 10-second window, and raises an alert the moment any IP's count
+crosses the attack threshold — the paper's motivating network-security
+scenario, end to end on a simulated login stream with two embedded
+brute-force attackers.
+
+Run:  python examples/network_security.py
+"""
+
+from repro import parse_query
+from repro.datagen import LoginStreamGenerator
+from repro.engine import StreamEngine, ThresholdAlertSink
+
+QUERY_TEXT = """
+    PATTERN <SEQ(TypeUsername, TypePassword, ClickSubmit)>
+    WHERE <TypePassword.wrong = TRUE>
+    GROUP BY <ip>
+    AGG COUNT
+    WITHIN 10s
+"""
+
+ATTACK_THRESHOLD = 10
+
+
+def main() -> None:
+    query = parse_query(QUERY_TEXT, name="brute-force")
+    generator = LoginStreamGenerator(
+        normal_ips=40, attacker_ips=2, mean_gap_ms=40, seed=31
+    )
+    print("Watching for IPs exceeding "
+          f"{ATTACK_THRESHOLD} wrong-password sequences per 10s window...")
+    print(f"(ground truth attackers: {', '.join(generator.attacker_ips)})")
+    print()
+
+    flagged: dict[str, int] = {}
+
+    def on_alert(alert) -> None:
+        ((ip, count),) = alert.value.items()
+        if ip not in flagged:
+            print(
+                f"  ALERT t={alert.ts / 1000:7.1f}s  ip={ip:<12} "
+                f"count={count} -> blocking"
+            )
+        flagged[ip] = max(flagged.get(ip, 0), count)
+
+    engine = StreamEngine()
+    engine.register(
+        query, ThresholdAlertSink(ATTACK_THRESHOLD, on_alert)
+    )
+    processed = engine.run(generator.stream(30_000))
+
+    print()
+    print(f"Processed {processed:,} click events.")
+    print(f"Flagged IPs: {sorted(flagged)}")
+    missed = set(generator.attacker_ips) - set(flagged)
+    false_alarms = set(flagged) - set(generator.attacker_ips)
+    print(f"Missed attackers : {sorted(missed) or 'none'}")
+    print(f"False alarms     : {sorted(false_alarms) or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

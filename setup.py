@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments without the ``wheel``
+package (pip falls back to the legacy setuptools develop path).
+"""
+
+from setuptools import setup
+
+setup()

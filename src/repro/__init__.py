@@ -1,0 +1,42 @@
+"""A-Seq — online aggregation of stream sequence patterns.
+
+A faithful, self-contained reproduction of *"Complex Event Analytics:
+Online Aggregation of Stream Sequence Patterns"* (SIGMOD 2014):
+match-free CEP aggregation (A-Seq), the stack-based two-step baseline
+it is measured against, multi-query sharing (prefix trees and
+Chop-Connect), workload generators and the full benchmark harness.
+
+Quickstart::
+
+    from repro import ASeqEngine, Event, parse_query
+
+    query = parse_query(
+        "PATTERN SEQ(Kindle, KindleCase, Stylus) "
+        "WHERE Kindle.userId = KindleCase.userId = Stylus.userId "
+        "AGG COUNT WITHIN 1 hour"
+    )
+    engine = ASeqEngine(query)
+    for event in stream:
+        fresh = engine.process(event)
+        if fresh is not None:
+            print(fresh)
+"""
+
+from repro.baseline import BruteForceOracle, TwoStepEngine
+from repro.core import ASeqEngine
+from repro.events import Event, EventStream
+from repro.query import QueryBuilder, parse_query, seq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASeqEngine",
+    "BruteForceOracle",
+    "Event",
+    "EventStream",
+    "QueryBuilder",
+    "TwoStepEngine",
+    "parse_query",
+    "seq",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro`` — run a query over a trace or generated stream."""
+
+from repro.cli import main
+
+raise SystemExit(main())

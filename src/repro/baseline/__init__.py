@@ -1,0 +1,22 @@
+"""State-of-the-art comparators: stack-based (SASE-style) two-step CEP.
+
+This package implements the paper's Sec. 2.2 baseline: per-position
+event stacks with rip pointers, DFS sequence construction on trigger
+arrivals, post-filter negation, and aggregation applied as a second
+step over the materialized matches. It also houses the brute-force
+oracle used as ground truth in tests, and the analytical cost model of
+Eq. 3.
+"""
+
+from repro.baseline.cost_model import stack_based_cost
+from repro.baseline.matcher import StackMatcher
+from repro.baseline.oracle import BruteForceOracle, enumerate_matches
+from repro.baseline.twostep import TwoStepEngine
+
+__all__ = [
+    "BruteForceOracle",
+    "StackMatcher",
+    "TwoStepEngine",
+    "enumerate_matches",
+    "stack_based_cost",
+]

@@ -1,0 +1,253 @@
+"""Brute-force enumeration oracle.
+
+Ground truth for tests: enumerates every valid sequence match of a
+query over a finite event history by exhaustive search and aggregates
+it directly from the definitions in paper Sec. 2.1. Exponentially
+expensive — only ever used on tiny streams inside the test suite.
+
+Validity of a match ``(e_1, ..., e_n)`` at observation time ``now``:
+
+* ``e_i.type`` equals the i-th positive pattern type;
+* ``e_1.ts < e_2.ts < ... < e_n.ts`` (strict, per Eq. 1);
+* window: ``e_1.ts > now - win`` (the START has not expired; since all
+  events arrived by ``now`` this also implies the match fit inside one
+  window when constructed);
+* negation: no surviving instance of a negated type strictly between
+  the guarded neighbours (Eq. 2);
+* predicates: local filters applied at ingestion, equivalence chains
+  satisfied across the match;
+* GROUP BY: all positive events share the grouping attribute value and
+  the result is reported per value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import PredicateError
+from repro.events.event import Event
+from repro.query.ast import AggKind, Query
+from repro.query.predicates import (
+    EquivalencePredicate,
+    local_filter,
+)
+
+Match = tuple[Event, ...]
+
+
+def _surviving(events: Sequence[Event], query: Query) -> list[Event]:
+    """Apply the ingestion-time local predicate filter."""
+    accepts = local_filter(query.predicates)
+    relevant = query.relevant_types
+    return [
+        e for e in events if e.event_type in relevant and accepts(e)
+    ]
+
+
+def enumerate_matches(
+    events: Sequence[Event],
+    query: Query,
+    now: int | None = None,
+) -> list[Match]:
+    """All matches of ``query`` over ``events`` valid at time ``now``.
+
+    ``now`` defaults to the latest event timestamp. GROUP BY queries
+    return the union over every group (use :class:`BruteForceOracle`
+    for per-group aggregates).
+    """
+    if now is None:
+        # Observation time defaults to the latest arrival of *any* type:
+        # windows slide on every event, relevant or not.
+        now = max((e.ts for e in events), default=0)
+    history = _surviving(events, query)
+    history = [e for e in history if e.ts <= now]
+    if query.group_by is None:
+        return _enumerate_partition(history, query, now)
+    matches: list[Match] = []
+    for _, group_events in _group(history, query).items():
+        matches.extend(_enumerate_partition(group_events, query, now))
+    return matches
+
+
+def _group(
+    history: Sequence[Event], query: Query
+) -> dict[Any, list[Event]]:
+    """Partition events by the GROUP BY attribute.
+
+    Negated-type events lacking the attribute are broadcast into every
+    partition (they invalidate globally).
+    """
+    attribute = query.group_by
+    assert attribute is not None
+    negated = set(query.pattern.negated_types)
+    groups: dict[Any, list[Event]] = {}
+    broadcast: list[Event] = []
+    for event in history:
+        if attribute in event:
+            groups.setdefault(event[attribute], []).append(event)
+        elif event.event_type in negated:
+            broadcast.append(event)
+        else:
+            raise PredicateError(
+                f"event of type {event.event_type!r} lacks GROUP BY "
+                f"attribute {attribute!r}"
+            )
+    if broadcast:
+        for group_events in groups.values():
+            merged = sorted(
+                group_events + broadcast, key=lambda e: (e.ts, e.seq)
+            )
+            group_events[:] = merged
+    return groups
+
+
+def _enumerate_partition(
+    history: Sequence[Event], query: Query, now: int
+) -> list[Match]:
+    pattern = query.pattern
+    alternatives = pattern.alternatives
+    negations = pattern.negations
+    window = query.window
+    equivalences = [
+        p for p in query.predicates if isinstance(p, EquivalencePredicate)
+    ]
+    by_type: dict[str, list[Event]] = {}
+    for event in history:
+        by_type.setdefault(event.event_type, []).append(event)
+    # Candidates per positive position (choice positions merge their
+    # alternatives' events back into timestamp order).
+    candidates: list[list[Event]] = []
+    for names in alternatives:
+        if len(names) == 1:
+            candidates.append(by_type.get(names[0], []))
+        else:
+            merged = [e for name in names for e in by_type.get(name, [])]
+            merged.sort(key=lambda e: (e.ts, e.seq))
+            candidates.append(merged)
+
+    def negated_between(names: Iterable[str], low: int, high: int) -> bool:
+        for name in names:
+            for candidate in by_type.get(name, ()):  # tiny lists in tests
+                if low < candidate.ts < high:
+                    return True
+        return False
+
+    def equivalence_ok(match: Sequence[Event]) -> bool:
+        for predicate in equivalences:
+            value: Any = _UNSET
+            for event in match:
+                attribute = predicate.attribute_for(event.event_type)
+                if attribute is None:
+                    continue
+                current = event.get(attribute)
+                if value is _UNSET:
+                    value = current
+                elif value != current:
+                    return False
+        return True
+
+    results: list[Match] = []
+    kleene = pattern.kleene_positions
+    # With Kleene repetitions a match's tuple indexes no longer line up
+    # with pattern positions; negation adjacent to Kleene is rejected at
+    # validation, and the guard anchors below track the *events* at the
+    # guarded neighbours.
+
+    def finish(chosen: list[Event], anchors: list[Event]) -> None:
+        match = tuple(chosen)
+        for guarded, names in negations.items():
+            if negated_between(
+                names, anchors[guarded - 1].ts, anchors[guarded].ts
+            ):
+                return
+        if equivalence_ok(match):
+            results.append(match)
+
+    def extend(
+        position: int, chosen: list[Event], anchors: list[Event]
+    ) -> None:
+        if position == len(candidates):
+            finish(chosen, anchors)
+            return
+        minimum_ts = chosen[-1].ts if chosen else None
+        for event in candidates[position]:  # in ts order
+            if minimum_ts is not None and event.ts <= minimum_ts:
+                continue
+            if position == 0 and window is not None:
+                if event.ts <= now - window.size_ms:
+                    continue
+            chosen.append(event)
+            anchors.append(event)
+            if position in kleene:
+                extend_repetition(position, chosen, anchors)
+            else:
+                extend(position + 1, chosen, anchors)
+            anchors.pop()
+            chosen.pop()
+
+    def extend_repetition(
+        position: int, chosen: list[Event], anchors: list[Event]
+    ) -> None:
+        """The repetition holds >= 1 events; either stop or absorb more."""
+        extend(position + 1, chosen, anchors)
+        last_ts = chosen[-1].ts
+        for event in candidates[position]:
+            if event.ts <= last_ts:
+                continue
+            chosen.append(event)
+            extend_repetition(position, chosen, anchors)
+            chosen.pop()
+
+    extend(0, [], [])
+    return results
+
+
+class _Unset:
+    __slots__ = ()
+
+
+_UNSET = _Unset()
+
+
+class BruteForceOracle:
+    """Aggregates a query by brute-force match enumeration."""
+
+    def __init__(self, query: Query):
+        self.query = query
+
+    def aggregate(
+        self, events: Sequence[Event], now: int | None = None
+    ) -> Any:
+        """The query's aggregate over ``events`` at observation time ``now``.
+
+        Returns a scalar, or a ``{group_key: value}`` dict for GROUP BY
+        queries (containing every group that has ever had an event).
+        """
+        if now is None:
+            now = max((e.ts for e in events), default=0)
+        history = _surviving(events, self.query)
+        history = [e for e in history if e.ts <= now]
+        if self.query.group_by is None:
+            matches = _enumerate_partition(history, self.query, now)
+            return self._apply(matches)
+        result: dict[Any, Any] = {}
+        for key, group_events in _group(history, self.query).items():
+            matches = _enumerate_partition(group_events, self.query, now)
+            result[key] = self._apply(matches)
+        return result
+
+    def _apply(self, matches: Sequence[Match]) -> Any:
+        aggregate = self.query.aggregate
+        if aggregate.kind is AggKind.COUNT:
+            return len(matches)
+        position = self.query.pattern.position_of_event_type(
+            aggregate.event_type
+        )
+        values = [m[position][aggregate.attribute] for m in matches]
+        if aggregate.kind is AggKind.SUM:
+            return sum(values) if values else 0
+        if aggregate.kind is AggKind.AVG:
+            return sum(values) / len(values) if values else None
+        if aggregate.kind is AggKind.MAX:
+            return max(values) if values else None
+        return min(values) if values else None

@@ -1,0 +1,95 @@
+"""Per-position event stacks with rip pointers (paper Fig. 1).
+
+Each positive position of the SEQ pattern owns an :class:`EventStack`.
+A new event instance of position ``i``'s type is appended to stack
+``i`` together with a *rip pointer*: the number of entries present in
+stack ``i-1`` at insertion time. During DFS construction only the
+entries below the pointer (i.e. those that arrived earlier) are
+considered, which is what makes the stack evaluation avoid re-checking
+time order pairwise.
+
+Window purging removes expired entries from the front of each stack;
+pointers are stored as *global* insertion counts so that purging does
+not invalidate them — the usable range is recomputed from the purge
+offset.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.events.event import Event
+
+
+class StackEntry:
+    """One event held in a stack, plus its rip pointer."""
+
+    __slots__ = ("event", "rip")
+
+    def __init__(self, event: Event, rip: int):
+        self.event = event
+        #: Global count of entries in the *previous* stack at insertion.
+        self.rip = rip
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StackEntry({self.event!r}, rip={self.rip})"
+
+
+class EventStack:
+    """A FIFO-purged stack of events for one pattern position."""
+
+    __slots__ = ("event_type", "_entries", "_purged")
+
+    def __init__(self, event_type: str):
+        self.event_type = event_type
+        self._entries: deque[StackEntry] = deque()
+        #: Number of entries removed from the front so far; converts
+        #: global insertion counts into live deque indices.
+        self._purged = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_inserted(self) -> int:
+        """Global insertion count (monotone; never decreases on purge)."""
+        return self._purged + len(self._entries)
+
+    def push(self, event: Event, rip: int) -> StackEntry:
+        """Append an event with its rip pointer into the previous stack."""
+        entry = StackEntry(event, rip)
+        self._entries.append(entry)
+        return entry
+
+    def purge_expired(self, now: int, window_ms: int) -> int:
+        """Drop entries whose window has passed; returns how many."""
+        dropped = 0
+        entries = self._entries
+        while entries and entries[0].event.ts + window_ms <= now:
+            entries.popleft()
+            dropped += 1
+        self._purged += dropped
+        return dropped
+
+    def live_below(self, rip: int) -> Iterator[StackEntry]:
+        """Iterate live entries whose global index is below ``rip``.
+
+        These are exactly the entries that were already present when the
+        pointing event arrived and that have not expired since.
+        """
+        upper = rip - self._purged
+        if upper <= 0:
+            return
+        entries = self._entries
+        upper = min(upper, len(entries))
+        for index in range(upper):
+            yield entries[index]
+
+    def entries(self) -> Iterator[StackEntry]:
+        """Iterate all live entries, oldest first."""
+        return iter(self._entries)
+
+    def newest(self) -> StackEntry | None:
+        """The most recently pushed live entry, if any."""
+        return self._entries[-1] if self._entries else None

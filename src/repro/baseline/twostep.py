@@ -1,0 +1,330 @@
+"""The two-step comparator: construct matches, then aggregate.
+
+This is the state of the art the paper measures against (Sec. 2.2 /
+Sec. 6): a stack-based matcher materializes every sequence match, the
+matches are retained until their START event expires, and the
+aggregation function is applied over the retained match set as a
+separate step. Negation is a post-construction filter inside
+:class:`~repro.baseline.matcher.StackMatcher`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import PredicateError, QueryError
+from repro.events.event import Event
+from repro.baseline.matcher import Match, StackMatcher
+from repro.query.ast import AggKind, Query
+from repro.query.predicates import local_filter
+
+
+class _MatchStore:
+    """Live sequence matches for one partition, with window expiry.
+
+    COUNT and SUM are maintained incrementally; MAX/MIN use a
+    lazy-deletion heap (expired tops are popped on read, and the heap is
+    rebuilt when dead entries dominate).
+    """
+
+    __slots__ = (
+        "_window_ms",
+        "_expiry_heap",
+        "count",
+        "total",
+        "_extremum_heap",
+        "_extremum_sign",
+        "matches_materialized",
+    )
+
+    def __init__(self, window_ms: int | None, extremum_sign: int = 0):
+        self._window_ms = window_ms
+        #: (start_ts, value) pairs ordered by expiry.
+        self._expiry_heap: list[tuple[int, float]] = []
+        self.count = 0
+        self.total = 0.0
+        #: +1 keeps a max-heap, -1 a min-heap, 0 disables extremum tracking.
+        self._extremum_sign = extremum_sign
+        self._extremum_heap: list[tuple[float, int]] = []
+        self.matches_materialized = 0
+
+    def add(self, start_ts: int, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.matches_materialized += 1
+        heapq.heappush(self._expiry_heap, (start_ts, value))
+        if self._extremum_sign:
+            heapq.heappush(
+                self._extremum_heap, (-self._extremum_sign * value, start_ts)
+            )
+
+    def purge(self, now: int) -> None:
+        """Expire matches whose START event left the window."""
+        if self._window_ms is None:
+            return
+        horizon = now - self._window_ms
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= horizon:
+            _, value = heapq.heappop(heap)
+            self.count -= 1
+            self.total -= value
+        if self._extremum_sign:
+            extremum = self._extremum_heap
+            while extremum and extremum[0][1] <= horizon:
+                heapq.heappop(extremum)
+            if len(extremum) > 64 and len(extremum) > 4 * self.count:
+                live = [
+                    entry for entry in extremum if entry[1] > horizon
+                ]
+                heapq.heapify(live)
+                self._extremum_heap = live
+
+    def extremum(self, now: int) -> float | None:
+        """Current MAX (sign=+1) or MIN (sign=-1) over live matches."""
+        if not self._extremum_sign:
+            raise QueryError("extremum tracking was not enabled")
+        self.purge(now)
+        heap = self._extremum_heap
+        horizon = (now - self._window_ms) if self._window_ms else None
+        while heap and horizon is not None and heap[0][1] <= horizon:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return -self._extremum_sign * heap[0][0]
+
+    @property
+    def live_matches(self) -> int:
+        return self.count
+
+
+class _DeferredMatches:
+    """Unfiltered positive matches retained for output-time filtering.
+
+    This is the paper's "later-filter-step" negation baseline
+    (Sec. 3.3): every positive match is kept and the negation check is
+    re-run over the whole retained set at each output.
+    """
+
+    __slots__ = ("_window_ms", "_heap", "_serial")
+
+    def __init__(self, window_ms: int | None):
+        self._window_ms = window_ms
+        self._heap: list[tuple[int, int, Match]] = []
+        self._serial = 0
+
+    def add(self, match: Match) -> None:
+        # The serial breaks heap ties before comparison could reach the
+        # (uncomparable) match tuple.
+        self._serial += 1
+        heapq.heappush(self._heap, (match[0].ts, self._serial, match))
+
+    def purge(self, now: int) -> None:
+        if self._window_ms is None:
+            return
+        horizon = now - self._window_ms
+        heap = self._heap
+        while heap and heap[0][0] <= horizon:
+            heapq.heappop(heap)
+
+    def count_valid(self, passes) -> int:
+        return sum(1 for _, _, match in self._heap if passes(match))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _Partition:
+    """One stream partition: a matcher plus its match store."""
+
+    __slots__ = ("matcher", "store", "deferred")
+
+    def __init__(self, query: Query, extremum_sign: int, deferred: bool):
+        self.matcher = StackMatcher(query, defer_negation=deferred)
+        window_ms = query.window.size_ms if query.window else None
+        self.store = _MatchStore(window_ms, extremum_sign)
+        self.deferred = _DeferredMatches(window_ms) if deferred else None
+
+
+class TwoStepEngine:
+    """Detect-then-aggregate evaluation of one CEP aggregation query.
+
+    Usage::
+
+        engine = TwoStepEngine(query)
+        for event in stream:
+            output = engine.process(event)
+            if output is not None:
+                ...  # a TRIG arrival produced a fresh aggregate
+
+    ``process`` returns the aggregate value (or a per-group dict when
+    the query has GROUP BY) on trigger arrivals, ``None`` otherwise.
+    """
+
+    def __init__(self, query: Query, negation_mode: str = "eager"):
+        if negation_mode not in ("eager", "deferred"):
+            raise QueryError(
+                "negation_mode must be 'eager' (filter at construction) "
+                "or 'deferred' (the paper's later-filter-step)"
+            )
+        self._deferred = (
+            negation_mode == "deferred" and query.pattern.has_negation
+        )
+        if self._deferred and query.aggregate.kind is not AggKind.COUNT:
+            raise QueryError(
+                "deferred negation filtering supports COUNT queries"
+            )
+        self.query = query
+        self._trigger_types = frozenset(query.pattern.trigger_alternatives)
+        self._relevant = query.relevant_types
+        self._accepts = local_filter(query.predicates)
+        self._group_by = query.group_by
+        self._extremum_sign = {
+            AggKind.MAX: 1,
+            AggKind.MIN: -1,
+        }.get(query.aggregate.kind, 0)
+        self._value_of = _value_extractor(query)
+        self._partitions: dict[Any, _Partition] = {}
+        if self._group_by is None:
+            self._partitions[None] = self._new_partition()
+        self._now = 0
+        self.events_processed = 0
+        self.peak_objects = 0
+
+    def _new_partition(self) -> _Partition:
+        return _Partition(self.query, self._extremum_sign, self._deferred)
+
+    # ----- ingestion -----------------------------------------------------
+
+    def process(self, event: Event) -> Any | None:
+        """Ingest one event; returns a fresh aggregate on TRIG arrivals."""
+        self._now = max(self._now, event.ts)
+        if event.event_type not in self._relevant:
+            return None
+        if not self._accepts(event):
+            return None
+        self.events_processed += 1
+        routed = self._route(event)
+        for _, partition in routed:
+            new_matches = partition.matcher.process(event)
+            if partition.deferred is not None:
+                for match in new_matches:
+                    partition.deferred.add(match)
+            else:
+                for match in new_matches:
+                    partition.store.add(match[0].ts, self._value_of(match))
+        self._note_memory()
+        if event.event_type in self._trigger_types:
+            if self._group_by is not None:
+                # Per-partition output: only the routed partition's
+                # aggregate can have changed (mirrors HPC).
+                ((key, partition),) = routed
+                return {key: self._partition_result(partition)}
+            return self.result()
+        return None
+
+    def _route(self, event: Event) -> list[tuple[Any, _Partition]]:
+        if self._group_by is None:
+            return [(None, self._partitions[None])]
+        key = event.get(self._group_by, _MISSING)
+        if key is _MISSING:
+            if event.event_type in self.query.pattern.negated_types:
+                # A negated instance without the grouping attribute
+                # invalidates in every partition.
+                return list(self._partitions.items())
+            raise PredicateError(
+                f"event of type {event.event_type!r} lacks GROUP BY "
+                f"attribute {self._group_by!r}"
+            )
+        partition = self._partitions.get(key)
+        if partition is None:
+            partition = self._new_partition()
+            self._partitions[key] = partition
+        return [(key, partition)]
+
+    # ----- results --------------------------------------------------------
+
+    def result(self) -> Any:
+        """Current aggregate: scalar, or ``{group_key: value}`` for GROUP BY."""
+        if self._group_by is None:
+            return self._partition_result(self._partitions[None])
+        return {
+            key: self._partition_result(partition)
+            for key, partition in self._partitions.items()
+        }
+
+    def _partition_result(self, partition: _Partition) -> Any:
+        if partition.deferred is not None:
+            # The later-filter-step: re-run the negation check over the
+            # whole retained match set at every output.
+            partition.deferred.purge(self._now)
+            return partition.deferred.count_valid(
+                partition.matcher.negation_ok
+            )
+        store = partition.store
+        store.purge(self._now)
+        kind = self.query.aggregate.kind
+        if kind is AggKind.COUNT:
+            return store.count
+        if kind is AggKind.SUM:
+            return store.total if store.count else 0
+        if kind is AggKind.AVG:
+            return store.total / store.count if store.count else None
+        return store.extremum(self._now)
+
+    # ----- memory accounting -----------------------------------------------
+
+    def _note_memory(self) -> None:
+        current = self.current_objects()
+        if current > self.peak_objects:
+            self.peak_objects = current
+
+    def current_objects(self) -> int:
+        """Paper-style object count: stack entries + pointers + matches."""
+        total = 0
+        for partition in self._partitions.values():
+            entries = partition.matcher.live_entries
+            total += 2 * entries  # event reference + rip pointer
+            total += partition.matcher.live_negative_instances
+            total += partition.store.live_matches
+            if partition.deferred is not None:
+                total += len(partition.deferred)
+        return total
+
+    @property
+    def matches_materialized(self) -> int:
+        """Total sequence matches ever constructed (two-step's hallmark)."""
+        total = 0
+        for partition in self._partitions.values():
+            total += partition.store.matches_materialized
+            if partition.deferred is not None:
+                total += partition.deferred._serial
+        return total
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def _value_extractor(query: Query) -> Callable[[Match], float]:
+    """Build the per-match value function for the AGG clause."""
+    aggregate = query.aggregate
+    if aggregate.kind is AggKind.COUNT:
+        return lambda match: 1.0
+    position = query.pattern.position_of_event_type(aggregate.event_type)
+    attribute = aggregate.attribute
+
+    def value_of(match: Match) -> float:
+        event = match[position]
+        value = event.get(attribute, _MISSING)
+        if value is _MISSING:
+            raise PredicateError(
+                f"event of type {event.event_type!r} lacks aggregate "
+                f"attribute {attribute!r}"
+            )
+        return value
+
+    return value_of

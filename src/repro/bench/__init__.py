@@ -1,0 +1,11 @@
+"""Benchmark harness: regenerates every table and figure of Sec. 6.
+
+``python -m repro.bench`` runs all experiments and prints the tables
+recorded in EXPERIMENTS.md; ``python -m repro.bench --quick`` runs
+reduced sizes, ``python -m repro.bench fig12`` runs one figure.
+"""
+
+from repro.bench.harness import ExperimentTable, Scale
+from repro.bench.report import render_table, render_tables
+
+__all__ = ["ExperimentTable", "Scale", "render_table", "render_tables"]

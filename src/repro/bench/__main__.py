@@ -1,0 +1,86 @@
+"""Regenerate the paper's evaluation tables.
+
+Usage::
+
+    python -m repro.bench                 # all figures, full scale
+    python -m repro.bench --quick         # all figures, reduced sizes
+    python -m repro.bench fig12 fig14     # specific figures
+    python -m repro.bench --markdown      # emit markdown tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL
+from repro.bench.harness import scale_named
+from repro.bench.report import render_tables
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the A-Seq paper's evaluation (Sec. 6).",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[[], *ALL] if sys.version_info < (3, 12) else list(ALL),
+        help="figures to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced stream sizes (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit GitHub-flavoured markdown tables",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="additionally write all results as machine-readable JSON",
+    )
+    args = parser.parse_args(argv)
+    scale = scale_named("quick" if args.quick else "full")
+    chosen = args.figures or list(ALL)
+
+    print(f"A-Seq reproduction benchmarks — scale: {scale.name}")
+    print()
+    collected = []
+    for name in chosen:
+        module = ALL[name]
+        started = time.perf_counter()
+        tables = module.run(scale)
+        elapsed = time.perf_counter() - started
+        print(render_tables(tables, markdown=args.markdown))
+        print()
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+        for table in tables:
+            collected.append(
+                {
+                    "experiment": table.experiment_id,
+                    "title": table.title,
+                    "columns": table.columns,
+                    "rows": table.rows,
+                    "notes": table.notes,
+                    "scale": scale.name,
+                    "elapsed_s": elapsed,
+                }
+            )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2, default=str)
+        print(f"[wrote {len(collected)} tables to {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""One module per figure of the paper's evaluation (Sec. 6), plus a
+supplementary absolute-throughput table specific to this reproduction."""
+
+from repro.bench.experiments import (
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    kleene,
+    throughput,
+)
+
+ALL = {
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "throughput": throughput,
+    "kleene": kleene,
+}
+
+__all__ = [
+    "ALL", "fig12", "fig13", "fig14", "fig15", "fig16", "kleene",
+    "throughput",
+]

@@ -1,0 +1,207 @@
+"""Fig. 16 — sharing gains: prefix sharing and Chop-Connect sweeps.
+
+Four panels (paper Sec. 6.3.1/6.3.2):
+
+* (a) prefix sharing, workload size 2..6 queries, shared prefix len 3;
+* (b) prefix sharing, shared prefix length 2..6, 3 queries;
+* (c) Chop-Connect, shared substring length 2..6, 3 queries;
+* (d) Chop-Connect, workload size 2..6 queries, shared substring len 3.
+
+Each compares the shared engine against per-query A-Seq (NonShare) on
+the same stream; the paper reports 2-5x gains that grow with both the
+shared length and the workload size.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentTable, Scale, time_engines
+from repro.multi.chop_connect import ChopConnectEngine
+from repro.multi.planner import plan_workload
+from repro.multi.prefix_sharing import PrefixSharedEngine
+from repro.multi.unshared import UnsharedEngine
+from repro.datagen.synthetic import SyntheticTypeGenerator, alphabet
+from repro.query import seq
+
+
+def _stream(scale: Scale, type_count: int, seed: int):
+    return SyntheticTypeGenerator(
+        alphabet(type_count), mean_gap_ms=1, seed=seed
+    ).take(scale.multi_events)
+
+
+def _window(scale: Scale) -> int:
+    return 300 if scale.name == "full" else 120
+
+
+def _cc_window(scale: Scale) -> int:
+    # Chop-Connect's per-trigger connect product scales with the active
+    # START count; the interior-update savings it buys dominate at
+    # moderate windows (the regime the paper's Sec. 6.3.2 sweeps).
+    return 150 if scale.name == "full" else 120
+
+
+def run(scale: Scale) -> list[ExperimentTable]:
+    return [
+        prefix_by_query_count(scale),
+        prefix_by_prefix_length(scale),
+        cc_by_substring_length(scale),
+        cc_by_query_count(scale),
+    ]
+
+
+def _compare(shared_factory, queries, events):
+    stats = time_engines(
+        [
+            ("shared", shared_factory),
+            ("nonshare", lambda: UnsharedEngine(queries)),
+        ],
+        events,
+    )
+    shared, nonshare = stats["shared"], stats["nonshare"]
+    assert shared.final_result == nonshare.final_result
+    gain = (
+        nonshare.elapsed_s / shared.elapsed_s if shared.elapsed_s else 0.0
+    )
+    return shared, nonshare, gain
+
+
+def prefix_by_query_count(scale: Scale) -> ExperimentTable:
+    window_ms = _window(scale)
+    table = ExperimentTable(
+        "fig16a",
+        f"Fig 16(a) — prefix sharing vs #queries (prefix len 3, "
+        f"window={window_ms}ms)",
+        ["queries", "shared ms/event", "nonshare ms/event", "gain"],
+        notes="Paper: ~2x with the gap widening as queries are added.",
+    )
+    counts = (2, 3, 4, 5, 6) if scale.name == "full" else (2, 4, 6)
+    for k in counts:
+        type_count = 3 + k
+        events = _stream(scale, type_count, seed=160 + k)
+        queries = [
+            seq("T0", "T1", "T2", f"T{3 + i}")
+            .count()
+            .within(ms=window_ms)
+            .named(f"q{i}")
+            .build()
+            for i in range(k)
+        ]
+        shared, nonshare, gain = _compare(
+            lambda q=queries: PrefixSharedEngine(q), queries, events
+        )
+        table.add_row(
+            k,
+            shared.per_event_us / 1000,
+            nonshare.per_event_us / 1000,
+            gain,
+        )
+    return table
+
+
+def prefix_by_prefix_length(scale: Scale) -> ExperimentTable:
+    window_ms = _window(scale)
+    table = ExperimentTable(
+        "fig16b",
+        f"Fig 16(b) — prefix sharing vs shared prefix length "
+        f"(3 queries, window={window_ms}ms)",
+        ["prefix len", "shared ms/event", "nonshare ms/event", "gain"],
+        notes="Paper: 3x at prefix length 2, rising to ~5x at length 6.",
+    )
+    lengths = (2, 3, 4, 5, 6) if scale.name == "full" else (2, 4, 6)
+    for p in lengths:
+        type_count = p + 3
+        events = _stream(scale, type_count, seed=260 + p)
+        prefix = [f"T{i}" for i in range(p)]
+        queries = [
+            seq(*prefix, f"T{p + i}")
+            .count()
+            .within(ms=window_ms)
+            .named(f"q{i}")
+            .build()
+            for i in range(3)
+        ]
+        shared, nonshare, gain = _compare(
+            lambda q=queries: PrefixSharedEngine(q), queries, events
+        )
+        table.add_row(
+            p,
+            shared.per_event_us / 1000,
+            nonshare.per_event_us / 1000,
+            gain,
+        )
+    return table
+
+
+def cc_by_substring_length(scale: Scale) -> ExperimentTable:
+    window_ms = _cc_window(scale)
+    table = ExperimentTable(
+        "fig16c",
+        f"Fig 16(c) — Chop-Connect vs shared substring length "
+        f"(3 queries, window={window_ms}ms)",
+        ["substring len", "CC ms/event", "nonshare ms/event", "gain"],
+        notes="Paper: gain grows from 1.3x to 2.6x with substring length.",
+    )
+    lengths = (2, 3, 4, 5, 6) if scale.name == "full" else (2, 4, 6)
+    for s in lengths:
+        type_count = s + 3
+        events = _stream(scale, type_count, seed=360 + s)
+        sub = [f"T{i}" for i in range(s)]
+        # Three queries sharing the substring at their tails (the chop
+        # shape of the paper's Q5 in Example 6), distinct heads.
+        queries = [
+            seq(f"T{s + i}", *sub)
+            .count()
+            .within(ms=window_ms)
+            .named(f"q{i}")
+            .build()
+            for i in range(3)
+        ]
+        plans, best = plan_workload(queries)
+        assert best is not None and len(best.types) >= s
+        shared, nonshare, gain = _compare(
+            lambda p=plans: ChopConnectEngine(p), queries, events
+        )
+        table.add_row(
+            s,
+            shared.per_event_us / 1000,
+            nonshare.per_event_us / 1000,
+            gain,
+        )
+    return table
+
+
+def cc_by_query_count(scale: Scale) -> ExperimentTable:
+    window_ms = _cc_window(scale)
+    table = ExperimentTable(
+        "fig16d",
+        f"Fig 16(d) — Chop-Connect vs #queries (substring len 3, "
+        f"window={window_ms}ms)",
+        ["queries", "CC ms/event", "nonshare ms/event", "gain"],
+        notes="Paper: the shared/unshared gap widens with workload size.",
+    )
+    counts = (2, 3, 4, 5, 6) if scale.name == "full" else (2, 4, 6)
+    sub = ["T0", "T1", "T2"]
+    for k in counts:
+        type_count = 3 + k
+        events = _stream(scale, type_count, seed=460 + k)
+        # k queries sharing the substring at their tails, distinct heads.
+        queries = [
+            seq(f"T{3 + i}", *sub)
+            .count()
+            .within(ms=window_ms)
+            .named(f"q{i}")
+            .build()
+            for i in range(k)
+        ]
+        plans, best = plan_workload(queries)
+        assert best is not None and best.types == tuple(sub)
+        shared, nonshare, gain = _compare(
+            lambda p=plans: ChopConnectEngine(p), queries, events
+        )
+        table.add_row(
+            k,
+            shared.per_event_us / 1000,
+            nonshare.per_event_us / 1000,
+            gain,
+        )
+    return table

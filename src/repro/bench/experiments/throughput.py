@@ -1,0 +1,101 @@
+"""Supplementary: absolute throughput of every engine (not a paper figure).
+
+The paper reports per-window-slide latencies on a 2004 Java testbed;
+absolute throughput is the least transferable number in a Python
+reproduction, so it gets its own table with that caveat attached rather
+than silently colouring the per-figure comparisons. Useful for sizing:
+"how many events/second can this library actually sustain?"
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentTable, Scale, time_engines
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.executor import ASeqEngine
+from repro.datagen.synthetic import SyntheticTypeGenerator, alphabet
+from repro.query import seq
+
+TYPE_COUNT = 20
+
+
+def run(scale: Scale) -> list[ExperimentTable]:
+    types = alphabet(TYPE_COUNT)
+    events = SyntheticTypeGenerator(types, mean_gap_ms=1, seed=99).take(
+        scale.events_for(1.0)
+    )
+    window_ms = 500 if scale.name == "full" else 200
+
+    configs = {
+        "DPC (unwindowed, len 3)": (
+            seq(*types[:3]).count().build(),
+            "aseq",
+        ),
+        "SEM reference (len 3)": (
+            seq(*types[:3]).count().within(ms=window_ms).build(),
+            "aseq",
+        ),
+        "SEM columnar (len 3)": (
+            seq(*types[:3]).count().within(ms=window_ms).build(),
+            "vectorized",
+        ),
+        "SEM + negation": (
+            seq(types[0], f"!{types[4]}", types[1], types[2])
+            .count()
+            .within(ms=window_ms)
+            .build(),
+            "aseq",
+        ),
+        "SEM + SUM aggregate": (
+            seq(*types[:3])
+            .sum(types[1], "n")
+            .within(ms=window_ms)
+            .build(),
+            "aseq",
+        ),
+        "SEM + Kleene (A, B+, C)": (
+            seq(types[0], f"{types[1]}+", types[2])
+            .count()
+            .within(ms=window_ms)
+            .build(),
+            "aseq",
+        ),
+        "two-step baseline (len 3)": (
+            seq(*types[:3]).count().within(ms=window_ms).build(),
+            "twostep",
+        ),
+    }
+
+    def factory_for(query, flavour):
+        if flavour == "twostep":
+            return lambda: TwoStepEngine(query)
+        if flavour == "vectorized":
+            return lambda: ASeqEngine(query, vectorized=True)
+        return lambda: ASeqEngine(query)
+
+    table = ExperimentTable(
+        "throughput",
+        f"Supplementary — sustained throughput "
+        f"(window={window_ms}ms, {len(events):,} events)",
+        ["configuration", "events/s", "ms/event", "peak objects"],
+        notes=(
+            "Not a paper figure: absolute rates are host- and "
+            "interpreter-specific and do not transfer from the paper's "
+            "Java/2004 testbed. Relative rows are meaningful."
+        ),
+    )
+    stats = time_engines(
+        [
+            (label, factory_for(query, flavour))
+            for label, (query, flavour) in configs.items()
+        ],
+        events,
+    )
+    for label in configs:
+        run_stats = stats[label]
+        table.add_row(
+            label,
+            run_stats.events_per_s,
+            run_stats.per_event_us / 1000,
+            run_stats.peak_objects,
+        )
+    return [table]

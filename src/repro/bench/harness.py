@@ -1,0 +1,73 @@
+"""Shared experiment plumbing: scales, tables, and timing wrappers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.engine.metrics import RunStats, measure_run
+from repro.events.event import Event
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big an experiment run is.
+
+    ``quick`` keeps every benchmark interactive (seconds); ``full``
+    approaches the paper's stream sizes where Python can afford it.
+    The baseline's exponential blow-up is the whole point of the paper,
+    so full-scale runs of the longest patterns take minutes by design —
+    ``events_for`` lets an experiment shrink the stream for the worst
+    baseline configurations without touching A-Seq's.
+    """
+
+    name: str
+    events: int
+    multi_events: int
+
+    def events_for(self, fraction: float = 1.0) -> int:
+        return max(200, int(self.events * fraction))
+
+
+QUICK = Scale("quick", events=3_000, multi_events=4_000)
+FULL = Scale("full", events=20_000, multi_events=30_000)
+
+
+def scale_named(name: str) -> Scale:
+    if name == "quick":
+        return QUICK
+    if name == "full":
+        return FULL
+    raise ValueError(f"unknown scale {name!r}; use 'quick' or 'full'")
+
+
+@dataclass
+class ExperimentTable:
+    """One table/figure reproduction: rows of measured values."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+
+def time_engines(
+    label_factories: Sequence[tuple[str, Callable[[], Any]]],
+    events: Sequence[Event],
+) -> dict[str, RunStats]:
+    """Run each (label, engine factory) over the same event list."""
+    results: dict[str, RunStats] = {}
+    for label, factory in label_factories:
+        results[label] = measure_run(label, factory(), events)
+    return results
+
+
+def speedup(baseline: RunStats, contender: RunStats) -> float:
+    """How many times faster the contender ran."""
+    if contender.elapsed_s == 0:
+        return float("inf")
+    return baseline.elapsed_s / contender.elapsed_s

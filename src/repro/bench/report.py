@@ -1,0 +1,77 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: str = "",
+) -> str:
+    """Render one fixed-width table with a title rule."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in formatted), 1)
+        if formatted
+        else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    lines = [title, "=" * len(title)]
+    header = "  ".join(
+        str(column).rjust(width) for column, width in zip(columns, widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in formatted:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)
+
+
+def render_markdown(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: str = "",
+) -> str:
+    """Render one table as GitHub-flavoured markdown."""
+    lines = [f"### {title}", ""]
+    lines.append("| " + " | ".join(str(c) for c in columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_cell(cell) for cell in row) + " |"
+        )
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)
+
+
+def render_tables(tables, markdown: bool = False) -> str:
+    """Render a sequence of ExperimentTable-like objects."""
+    renderer = render_markdown if markdown else render_table
+    return "\n\n".join(
+        renderer(t.title, t.columns, t.rows, t.notes) for t in tables
+    )

@@ -1,0 +1,193 @@
+"""Command-line interface: run a CEP aggregation query over a stream.
+
+Examples::
+
+    # a query over a trace file (the paper's dataset format)
+    python -m repro --query "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT \\
+        WITHIN 1 s" --trace trades.txt
+
+    # the same over a generated stream, comparing engines
+    python -m repro --query-file q.cep --generate stock --events 50000 \\
+        --engine both
+
+    # a multi-query workload file, shared execution
+    python -m repro --workload-file funnels.cep --generate clicks \\
+        --events 20000 --shared
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Iterable
+
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.executor import ASeqEngine
+from repro.datagen.clicks import ClickStreamGenerator
+from repro.datagen.security import LoginStreamGenerator
+from repro.datagen.stock import StockTradeGenerator
+from repro.datagen.tracefile import read_trace
+from repro.errors import ReproError
+from repro.events.event import Event
+from repro.events.reorder import reordered
+from repro.multi.unshared import UnsharedEngine
+from repro.multi.workload import WorkloadEngine
+from repro.query.parser import parse_query, parse_workload
+
+_GENERATORS = {
+    "stock": lambda seed: StockTradeGenerator(mean_gap_ms=1, seed=seed),
+    "clicks": lambda seed: ClickStreamGenerator(seed=seed),
+    "logins": lambda seed: LoginStreamGenerator(seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Online aggregation of stream sequence patterns (A-Seq).",
+    )
+    source = parser.add_argument_group("query source (exactly one)")
+    source.add_argument("--query", help="query text")
+    source.add_argument("--query-file", help="file containing one query")
+    source.add_argument(
+        "--workload-file",
+        help="file of named queries ('name: PATTERN ...;')",
+    )
+    stream = parser.add_argument_group("event source (exactly one)")
+    stream.add_argument("--trace", help="trace file to replay")
+    stream.add_argument(
+        "--generate",
+        choices=sorted(_GENERATORS),
+        help="generate a synthetic stream instead of reading a trace",
+    )
+    parser.add_argument(
+        "--events", type=int, default=20_000,
+        help="events to generate (with --generate; default 20000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=17, help="generator seed (default 17)"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("aseq", "vectorized", "twostep", "both"),
+        default="aseq",
+        help="single-query engine (default aseq); 'both' cross-checks "
+        "A-Seq against the stack-based baseline",
+    )
+    parser.add_argument(
+        "--shared",
+        action="store_true",
+        help="run a workload with Chop-Connect sharing (default: unshared)",
+    )
+    parser.add_argument(
+        "--reorder-slack-ms",
+        type=int,
+        default=0,
+        help="tolerate out-of-order input up to this slack",
+    )
+    parser.add_argument(
+        "--emit",
+        choices=("final", "every", "none"),
+        default="final",
+        help="print every fresh aggregate, only the final one, or none",
+    )
+    return parser
+
+
+def _load_queries(args: argparse.Namespace) -> list:
+    sources = [args.query, args.query_file, args.workload_file]
+    if sum(s is not None for s in sources) != 1:
+        raise SystemExit(
+            "exactly one of --query / --query-file / --workload-file "
+            "is required"
+        )
+    if args.query is not None:
+        return [parse_query(args.query, name="q")]
+    if args.query_file is not None:
+        with open(args.query_file, "r", encoding="utf-8") as handle:
+            return [parse_query(handle.read(), name="q")]
+    with open(args.workload_file, "r", encoding="utf-8") as handle:
+        return parse_workload(handle.read())
+
+
+def _load_events(args: argparse.Namespace) -> Iterable[Event]:
+    if (args.trace is None) == (args.generate is None):
+        raise SystemExit("exactly one of --trace / --generate is required")
+    if args.trace is not None:
+        events: Iterable[Event] = read_trace(
+            args.trace, enforce_order=args.reorder_slack_ms == 0
+        )
+    else:
+        generator = _GENERATORS[args.generate](args.seed)
+        events = generator.events(args.events)
+    if args.reorder_slack_ms:
+        events = reordered(events, slack_ms=args.reorder_slack_ms)
+    return events
+
+
+def _build_engine(args: argparse.Namespace, queries: list) -> Any:
+    if len(queries) > 1 or args.workload_file is not None:
+        if args.shared:
+            engine = WorkloadEngine(queries)
+            print(f"# {engine.describe()}".replace("\n", "\n# "),
+                  file=sys.stderr)
+            return engine
+        return UnsharedEngine(queries)
+    (query,) = queries
+    if args.engine == "twostep":
+        return TwoStepEngine(query)
+    if args.engine == "vectorized":
+        return ASeqEngine(query, vectorized=True)
+    return ASeqEngine(query)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        queries = _load_queries(args)
+        events = _load_events(args)
+        engine = _build_engine(args, queries)
+
+        cross_check = None
+        if args.engine == "both" and len(queries) == 1:
+            cross_check = TwoStepEngine(queries[0])
+
+        processed = 0
+        outputs = 0
+        started = time.perf_counter()
+        for event in events:
+            fresh = engine.process(event)
+            if cross_check is not None:
+                cross_check.process(event)
+            processed += 1
+            if fresh is not None:
+                outputs += 1
+                if args.emit == "every":
+                    print(f"{event.ts}\t{fresh}")
+        elapsed = time.perf_counter() - started
+
+        final = engine.result()
+        if args.emit != "none":
+            print(f"result\t{final}")
+        if cross_check is not None:
+            baseline = cross_check.result()
+            status = "AGREE" if baseline == final else "DISAGREE"
+            print(f"cross-check (two-step)\t{baseline}\t{status}",
+                  file=sys.stderr)
+            if baseline != final:
+                return 2
+        rate = processed / elapsed if elapsed else 0.0
+        print(
+            f"# {processed:,} events in {elapsed:.2f}s "
+            f"({rate:,.0f} ev/s), {outputs:,} outputs",
+            file=sys.stderr,
+        )
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""A-Seq: match-free online aggregation of sequence patterns.
+
+The paper's contribution. :class:`~repro.core.executor.ASeqEngine` is
+the public entry point; it compiles a query onto the right runtime:
+
+* :class:`~repro.core.dpc.DPCEngine` — Dynamic Prefix Counting for
+  unwindowed queries (paper Sec. 3.1, Fig. 3);
+* :class:`~repro.core.sem.SemEngine` — Start Event Marking for sliding
+  windows (Sec. 3.2, Fig. 5);
+* :class:`~repro.core.hpc.HPCEngine` — Hashed Prefix Counters for
+  equivalence predicates and GROUP BY (Sec. 3.4, Fig. 8);
+* :class:`~repro.core.vectorized.VectorizedSemEngine` — a columnar
+  (structure-of-arrays) drop-in for SEM, an optimization the original
+  Java system did not need but a Python one does.
+
+Negation (Sec. 3.3) and all aggregate kinds (Sec. 5) are supported by
+every runtime.
+"""
+
+from repro.core.aggregates import PatternLayout
+from repro.core.checkpoint import checkpoint, restore
+from repro.core.dpc import DPCEngine
+from repro.core.executor import ASeqEngine
+from repro.core.hpc import HPCEngine
+from repro.core.prefix_counter import PrefixCounter
+from repro.core.sem import SemEngine
+from repro.core.vectorized import VectorizedSemEngine
+
+__all__ = [
+    "ASeqEngine",
+    "DPCEngine",
+    "HPCEngine",
+    "PatternLayout",
+    "PrefixCounter",
+    "SemEngine",
+    "VectorizedSemEngine",
+    "checkpoint",
+    "restore",
+]

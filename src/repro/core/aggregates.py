@@ -1,0 +1,130 @@
+"""Compiled pattern layout shared by every A-Seq runtime.
+
+A :class:`PatternLayout` pre-resolves everything the per-event hot path
+needs from the query AST:
+
+* which prefix-counter slots an event type updates (the paper's
+  START/UPD/TRIG classification, generalized to repeated types);
+* which slot a negated type resets (the Recounting Rule target);
+* where the value aggregate reads its attribute and how it folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PredicateError, QueryError
+from repro.events.event import Event
+from repro.query.ast import AggKind, Query
+
+
+@dataclass(frozen=True)
+class PatternLayout:
+    """Everything the counting runtimes need, precomputed from a query.
+
+    Slot convention: slot ``m`` (0-indexed) holds the aggregate state of
+    the prefix pattern of length ``m + 1``. Slot 0 is the START slot;
+    slot ``length - 1`` is the full pattern.
+    """
+
+    positives: tuple[str, ...]
+    length: int
+    #: concrete event type -> slots it updates, *descending* so an
+    #: event never chains with itself when a type fills several
+    #: positions (choice positions register every alternative).
+    update_slots: dict[str, tuple[int, ...]]
+    #: negated type name -> slot index whose count the Recounting Rule
+    #: resets (the Longest Positive Prefix Sequence before the negation).
+    reset_slot: dict[str, int]
+    #: Concrete event types opening / completing a match.
+    start_types: frozenset[str]
+    trigger_types: frozenset[str]
+    #: Positions with Kleene-plus semantics (count' = 2*count + prev).
+    kleene_slots: frozenset[int]
+    agg_kind: AggKind
+    #: Slot of the value aggregate's target type (-1 for COUNT).
+    value_slot: int
+    value_attribute: str | None
+
+    @classmethod
+    def of(cls, query: Query) -> "PatternLayout":
+        pattern = query.pattern
+        positives = pattern.positive_types
+        alternatives = pattern.alternatives
+        update_slots: dict[str, tuple[int, ...]] = {}
+        for slot, names in enumerate(alternatives):
+            for name in names:
+                existing = update_slots.get(name, ())
+                update_slots[name] = (slot, *existing)  # descending
+        reset_slot: dict[str, int] = {}
+        for guarded, names in pattern.negations.items():
+            for name in names:
+                # Reset the prefix of length ``guarded`` -> slot guarded-1.
+                reset_slot[name] = guarded - 1
+        aggregate = query.aggregate
+        if aggregate.kind is AggKind.COUNT:
+            value_slot = -1
+            value_attribute = None
+        else:
+            assert aggregate.event_type is not None
+            value_slot = pattern.position_of_event_type(
+                aggregate.event_type
+            )
+            value_attribute = aggregate.attribute
+        return cls(
+            positives=positives,
+            length=len(positives),
+            update_slots=update_slots,
+            reset_slot=reset_slot,
+            start_types=frozenset(alternatives[0]),
+            trigger_types=frozenset(alternatives[-1]),
+            kleene_slots=pattern.kleene_positions,
+            agg_kind=aggregate.kind,
+            value_slot=value_slot,
+            value_attribute=value_attribute,
+        )
+
+    @property
+    def tracks_values(self) -> bool:
+        """True for SUM/AVG (weighted sums propagate through slots)."""
+        return self.agg_kind in (AggKind.SUM, AggKind.AVG)
+
+    @property
+    def tracks_extrema(self) -> bool:
+        return self.agg_kind in (AggKind.MAX, AggKind.MIN)
+
+    @property
+    def prefers_max(self) -> bool:
+        return self.agg_kind is AggKind.MAX
+
+    def value_of(self, event: Event) -> float:
+        """Read the aggregate attribute off an event of the target type."""
+        assert self.value_attribute is not None
+        value = event.get(self.value_attribute, _MISSING)
+        if value is _MISSING:
+            raise PredicateError(
+                f"event of type {event.event_type!r} lacks aggregate "
+                f"attribute {self.value_attribute!r}"
+            )
+        return value
+
+    def categories_of(self, event_type: str) -> str:
+        """Human-readable START/UPD/TRIG/NEG classification (diagnostics)."""
+        labels = []
+        if event_type in self.start_types:
+            labels.append("START")
+        slots = self.update_slots.get(event_type, ())
+        if any(slot not in (0, self.length - 1) for slot in slots):
+            labels.append("UPD")
+        if event_type in self.trigger_types:
+            labels.append("TRIG")
+        if event_type in self.reset_slot:
+            labels.append("NEG")
+        return "/".join(labels) if labels else "IGNORED"
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

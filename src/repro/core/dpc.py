@@ -1,0 +1,100 @@
+"""Basic A-Seq: Dynamic Prefix Counting (paper Sec. 3.1, Fig. 3).
+
+One global :class:`~repro.core.prefix_counter.PrefixCounter` per query.
+Each arrival touches exactly one slot (plus one reset slot per negated
+type), events are discarded immediately, and nothing else is stored —
+the optimal CPU/memory behaviour of Lemma 2.
+
+DPC does not support sliding windows; queries with a WITHIN clause are
+compiled onto :class:`~repro.core.sem.SemEngine` instead (the executor
+takes care of the choice, but constructing a :class:`DPCEngine`
+directly for a windowed query raises).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryError
+from repro.events.event import Event
+from repro.core.aggregates import PatternLayout
+from repro.core.prefix_counter import PrefixCounter
+from repro.query.ast import AggKind, Query
+
+
+class DPCEngine:
+    """Unwindowed A-Seq evaluation of one query over one partition."""
+
+    def __init__(self, query: Query, layout: PatternLayout | None = None):
+        if query.window is not None:
+            raise QueryError(
+                "DPC cannot expire state; use SemEngine for WITHIN queries"
+            )
+        self.query = query
+        self.layout = layout or PatternLayout.of(query)
+        self._counter = PrefixCounter(self.layout, implicit_start=False)
+        self.events_processed = 0
+
+    def process(self, event: Event) -> Any | None:
+        """Ingest one (pre-filtered) event; returns the aggregate on TRIG."""
+        layout = self.layout
+        event_type = event.event_type
+        counter = self._counter
+        self.events_processed += 1
+        reset = layout.reset_slot.get(event_type)
+        if reset is not None:
+            counter.reset(reset)
+            return None
+        slots = layout.update_slots.get(event_type)
+        if not slots:
+            return None
+        needs_value = (
+            layout.value_slot >= 0 and layout.value_slot in slots
+        )
+        value = layout.value_of(event) if needs_value else None
+        for slot in slots:  # descending: no self-chaining
+            if slot == 0:
+                counter.bump_start(
+                    value if layout.value_slot == 0 else None
+                )
+            elif slot in layout.kleene_slots:
+                counter.update_kleene(slot)
+            else:
+                counter.update(
+                    slot, value if slot == layout.value_slot else None
+                )
+        if event_type in layout.trigger_types:
+            return self.result()
+        return None
+
+    def result(self) -> Any:
+        """Current aggregate of the full pattern."""
+        kind = self.layout.agg_kind
+        counter = self._counter
+        if kind is AggKind.COUNT:
+            return counter.full_count
+        if kind is AggKind.SUM:
+            return counter.full_wsum if counter.full_count else 0
+        if kind is AggKind.AVG:
+            if not counter.full_count:
+                return None
+            return counter.full_wsum / counter.full_count
+        return counter.full_extremum
+
+    def count_and_wsum(self) -> tuple[int, float]:
+        """COUNT and weighted-sum totals (AVG composition across partitions)."""
+        return self._counter.full_count, self._counter.full_wsum
+
+    def advance_time(self, now: int) -> None:
+        """No-op: DPC keeps no time-dependent state."""
+
+    # ----- introspection ---------------------------------------------------
+
+    @property
+    def counter(self) -> PrefixCounter:
+        """The single global prefix counter (tests, examples)."""
+        return self._counter
+
+    def current_objects(self) -> int:
+        """Paper-style memory accounting: one PreCntr, always."""
+        return 1

@@ -1,0 +1,126 @@
+"""The A-Seq query executor — the library's main entry point.
+
+:class:`ASeqEngine` compiles a :class:`~repro.query.ast.Query` onto the
+right runtime (DPC / SEM / vectorized SEM / HPC), applies the
+ingestion-time local-predicate filter, and exposes the same
+``process`` / ``result`` surface as the baseline
+:class:`~repro.baseline.twostep.TwoStepEngine`, so the two are
+interchangeable in examples, tests and benchmarks.
+
+>>> from repro.query import parse_query
+>>> from repro.events import Event
+>>> engine = ASeqEngine(parse_query(
+...     "PATTERN SEQ(A, B, C) AGG COUNT WITHIN 100 ms"))
+>>> for i, name in enumerate("ABBC"):
+...     out = engine.process(Event(name, ts=i))
+>>> out  # two matches: (a, b1, c), (a, b2, c)
+2
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.events.event import Event
+from repro.core.aggregates import PatternLayout
+from repro.core.dpc import DPCEngine
+from repro.core.hpc import HPCEngine, partition_attributes
+from repro.core.sem import SemEngine
+from repro.core.vectorized import VectorizedSemEngine
+from repro.query.ast import Query
+from repro.query.predicates import local_filter
+from repro.query.validate import validate_query
+
+
+class ASeqEngine:
+    """Match-free online aggregation of one CEP aggregation query.
+
+    Parameters
+    ----------
+    query:
+        The compiled query. Every feature of the dialect is accepted:
+        negation, local predicates, one full-coverage equivalence
+        chain, GROUP BY, any aggregate kind, windowed or not.
+    vectorized:
+        Use the columnar SEM runtime for windowed queries (a pure
+        optimization; results are identical). Ignored for unwindowed
+        queries, which already cost O(1) per event under DPC.
+    """
+
+    def __init__(self, query: Query, vectorized: bool = False):
+        validate_query(query)
+        self.query = query
+        self.layout = PatternLayout.of(query)
+        self._accepts = local_filter(query.predicates)
+        self._relevant = query.relevant_types
+        self._trigger_types = self.layout.trigger_types
+        self._vectorized = vectorized
+        self._runtime = self._compile()
+        self.events_seen = 0
+        self.peak_objects = 0
+
+    def _compile(self) -> Any:
+        query = self.query
+        if partition_attributes(query):
+            return HPCEngine(query, engine_factory=self._partition_factory())
+        return self._flat_engine(query)
+
+    def _partition_factory(self):
+        layout = self.layout
+        vectorized = self._vectorized
+
+        def factory(query: Query) -> Any:
+            if query.window is None:
+                return DPCEngine(query, layout)
+            if vectorized:
+                return VectorizedSemEngine(query, layout)
+            return SemEngine(query, layout)
+
+        return factory
+
+    def _flat_engine(self, query: Query) -> Any:
+        if query.window is None:
+            return DPCEngine(query, self.layout)
+        if self._vectorized:
+            return VectorizedSemEngine(query, self.layout)
+        return SemEngine(query, self.layout)
+
+    # ----- ingestion -------------------------------------------------------
+
+    def process(self, event: Event) -> Any | None:
+        """Ingest one event; returns a fresh aggregate on TRIG arrivals.
+
+        Events of irrelevant types or failing a local predicate are
+        dropped here and never reach the counting state.
+        """
+        self.events_seen += 1
+        if event.event_type not in self._relevant or not self._accepts(event):
+            # The arrival still moves the clock: windows slide on every
+            # event (paper Sec. 2.1), not only on relevant ones.
+            self._runtime.advance_time(event.ts)
+            return None
+        output = self._runtime.process(event)
+        current = self._runtime.current_objects()
+        if current > self.peak_objects:
+            self.peak_objects = current
+        return output
+
+    def result(self) -> Any:
+        """Current aggregate (scalar, or per-key dict for GROUP BY)."""
+        return self._runtime.result()
+
+    # ----- introspection ------------------------------------------------------
+
+    @property
+    def runtime(self) -> Any:
+        """The underlying DPC/SEM/HPC runtime (tests, diagnostics)."""
+        return self._runtime
+
+    def current_objects(self) -> int:
+        """Active PreCntr structures — the paper's memory metric."""
+        return self._runtime.current_objects()
+
+    @property
+    def events_processed(self) -> int:
+        """Events that survived filtering and reached the runtime."""
+        return getattr(self._runtime, "events_processed", 0)

@@ -1,0 +1,236 @@
+"""HPC — Hashed Prefix Counters (paper Sec. 3.4, Fig. 8).
+
+Equivalence predicates (``A.id = B.id = C.id``) and GROUP BY both
+partition the stream by an attribute value; the pattern is then
+aggregated independently inside each partition by a nested DPC/SEM
+engine. For an equivalence predicate the partition results are summed;
+for GROUP BY they are reported per key.
+
+Partitioning requires the chain to cover every positive pattern type
+(as in all of the paper's examples); a partial chain would force
+uncovered events into every partition, which the paper does not define
+— the executor rejects such queries up front. Negated types may be
+uncovered: a negative instance that carries the partition attribute
+invalidates only its own partition, one that does not carries no key
+and invalidates every partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import PredicateError, QueryError
+from repro.events.event import Event
+from repro.core.aggregates import PatternLayout
+from repro.core.dpc import DPCEngine
+from repro.core.sem import SemEngine
+from repro.query.ast import AggKind, Query
+from repro.query.predicates import EquivalencePredicate
+
+
+def partition_attributes(query: Query) -> tuple[str, ...]:
+    """The attributes HPC partitions on (composite keys for several
+    chains); empty for unpartitioned queries.
+
+    Each equivalence chain must cover every positive pattern type (as
+    in all of the paper's examples) and use one attribute name across
+    its terms; several chains partition by the attribute tuple. GROUP
+    BY and chains may coexist only when GROUP BY names one of the chain
+    attributes (the common "per user" idiom); anything else needs
+    semantics the paper does not define.
+    """
+    equivalences = [
+        p for p in query.predicates if isinstance(p, EquivalencePredicate)
+    ]
+    chain_attributes: list[str] = []
+    for chain in equivalences:
+        covered = set(chain.event_types)
+        missing = set(query.pattern.all_positive_event_types) - covered
+        if missing:
+            raise QueryError(
+                f"equivalence chain {chain} must cover every positive "
+                f"pattern type; missing {sorted(missing)}"
+            )
+        attributes = {attr for _, attr in chain.terms}
+        if len(attributes) != 1:
+            raise QueryError(
+                "HPC partitioning needs the same attribute name on every "
+                "term of the equivalence chain"
+            )
+        attribute = next(iter(attributes))
+        if attribute in chain_attributes:
+            raise QueryError(
+                f"duplicate equivalence chains on attribute {attribute!r}"
+            )
+        chain_attributes.append(attribute)
+    if query.group_by is not None:
+        # The composite key leads with GROUP BY's attribute; the
+        # per-group report combines partitions sharing that component.
+        ordered = [query.group_by] + [
+            a for a in chain_attributes if a != query.group_by
+        ]
+        return tuple(ordered)
+    return tuple(chain_attributes)
+
+
+def partition_attribute(query: Query) -> str | None:
+    """Back-compat single-attribute view (None when unpartitioned).
+
+    Raises for multi-chain queries — use :func:`partition_attributes`.
+    """
+    attributes = partition_attributes(query)
+    if not attributes:
+        return None
+    if len(attributes) > 1:
+        raise QueryError(
+            f"query partitions on a composite key {attributes!r}; use "
+            f"partition_attributes()"
+        )
+    return attributes[0]
+
+
+class HPCEngine:
+    """Partitioned A-Seq evaluation (equivalence predicates / GROUP BY)."""
+
+    def __init__(
+        self,
+        query: Query,
+        engine_factory: Callable[[Query], Any] | None = None,
+    ):
+        self.query = query
+        attributes = partition_attributes(query)
+        if not attributes:
+            raise QueryError(
+                "HPC needs an equivalence predicate or a GROUP BY clause"
+            )
+        self._attributes = attributes
+        self._composite = len(attributes) > 1
+        self._per_group = query.group_by is not None
+        self.layout = PatternLayout.of(query)
+        if engine_factory is None:
+            layout = self.layout
+            if query.window is not None:
+                def engine_factory(q: Query) -> SemEngine:
+                    return SemEngine(q, layout)
+            else:
+                def engine_factory(q: Query) -> DPCEngine:
+                    return DPCEngine(q, layout)
+        self._engine_factory = engine_factory
+        self._partitions: dict[Any, Any] = {}
+        #: GROUP BY value (the leading key component) -> its engines.
+        self._by_group: dict[Any, list[Any]] = {}
+        self._negated = set(query.pattern.negated_types)
+        self._trigger_types = self.layout.trigger_types
+        self._now = 0
+        self.events_processed = 0
+
+    def _key_of(self, event: Event) -> Any:
+        """Partition key of ``event`` (scalar or composite tuple).
+
+        Returns ``_MISSING`` when any component attribute is absent.
+        """
+        if not self._composite:
+            return event.get(self._attributes[0], _MISSING)
+        components = []
+        for attribute in self._attributes:
+            value = event.get(attribute, _MISSING)
+            if value is _MISSING:
+                return _MISSING
+            components.append(value)
+        return tuple(components)
+
+    def process(self, event: Event) -> Any | None:
+        """Ingest one (pre-filtered) event; returns the aggregate on TRIG."""
+        self.events_processed += 1
+        self._now = max(self._now, event.ts)
+        key = self._key_of(event)
+        if key is _MISSING:
+            if event.event_type in self._negated:
+                for engine in self._partitions.values():
+                    engine.process(event)
+                return None
+            raise PredicateError(
+                f"event of type {event.event_type!r} lacks partition "
+                f"attribute(s) {self._attributes!r}"
+            )
+        engine = self._partitions.get(key)
+        if engine is None:
+            engine = self._engine_factory(self.query)
+            self._partitions[key] = engine
+            if self._per_group:
+                group = key[0] if self._composite else key
+                self._by_group.setdefault(group, []).append(engine)
+        engine.process(event)
+        if event.event_type in self._trigger_types:
+            if self._per_group:
+                # Paper Sec. 3.4: GROUP BY results are output per
+                # partition — and only this group's aggregate can have
+                # changed on this arrival.
+                group = key[0] if self._composite else key
+                return {group: self._group_result(group)}
+            return self.result()
+        return None
+
+    # ----- results -------------------------------------------------------------
+
+    def result(self) -> Any:
+        """Per-key dict for GROUP BY; combined scalar for equivalence."""
+        for engine in self._partitions.values():
+            engine.advance_time(self._now)
+        if self._per_group:
+            return {
+                group: self._combined(engines)
+                for group, engines in self._by_group.items()
+            }
+        return self._combined(list(self._partitions.values()))
+
+    def _group_result(self, group: Any) -> Any:
+        engines = self._by_group.get(group, [])
+        for engine in engines:
+            engine.advance_time(self._now)
+        return self._combined(engines)
+
+    def advance_time(self, now: int) -> None:
+        """Move the shared clock forward (events of irrelevant types)."""
+        self._now = max(self._now, now)
+
+    def _combined(self, engines: list[Any]) -> Any:
+        kind = self.layout.agg_kind
+        results = [engine.result() for engine in engines]
+        if kind is AggKind.COUNT:
+            return sum(results)
+        if kind is AggKind.SUM:
+            return sum(results)
+        if kind is AggKind.AVG:
+            total_count = 0
+            total = 0.0
+            for engine in engines:
+                count, wsum = engine.count_and_wsum()
+                total_count += count
+                total += wsum
+            return total / total_count if total_count else None
+        extrema = [r for r in results if r is not None]
+        if not extrema:
+            return None
+        return max(extrema) if self.layout.prefers_max else min(extrema)
+
+    # ----- introspection -----------------------------------------------------------
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    def partitions(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self._partitions.items())
+
+    def current_objects(self) -> int:
+        return sum(
+            engine.current_objects() for engine in self._partitions.values()
+        )
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

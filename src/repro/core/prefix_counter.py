@@ -1,0 +1,169 @@
+"""The Prefix Counter (PreCntr) — the paper's only persistent state.
+
+One :class:`PrefixCounter` holds, per prefix pattern length ``m + 1``,
+the number of sequence matches constructed so far (``counts[m]``), plus
+optional aggregate companions:
+
+* ``wsums[m]`` — the sum of the target attribute over those matches
+  (drives SUM/AVG, paper Sec. 5);
+* ``extrema[m]`` — the max/min of the target attribute over those
+  matches (drives MAX/MIN).
+
+The same class implements both flavours the paper uses:
+
+* **DPC counter** (``implicit_start=False``): one global counter; a
+  START arrival increments slot 0 (Fig. 3, Line 4).
+* **SEM counter** (``implicit_start=True``): one counter per START
+  instance; slot 0 is pinned at 1 while the start is alive (Fig. 5 /
+  Example 3 — "the count for prefix A will always be 1").
+
+Updates implement Lemma 1 (``count(p_m) += count(p_{m-1})``), the
+Recounting Rule of Lemma 6 (negation resets the guarded prefix), and
+the weighted/extremal propagation of Sec. 5. Every operation is O(1).
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregates import PatternLayout
+
+
+class PrefixCounter:
+    """Prefix-pattern aggregate state for one counting context."""
+
+    __slots__ = ("counts", "wsums", "extrema", "exp", "tag", "_layout")
+
+    def __init__(
+        self,
+        layout: PatternLayout,
+        implicit_start: bool = False,
+        exp: int | None = None,
+        tag: object = None,
+    ):
+        self._layout = layout
+        self.counts = [0] * layout.length
+        if implicit_start:
+            self.counts[0] = 1
+        self.wsums = [0.0] * layout.length if layout.tracks_values else None
+        self.extrema = (
+            [None] * layout.length if layout.tracks_extrema else None
+        )
+        #: Expiration timestamp of the START instance (SEM only).
+        self.exp = exp
+        #: Identity of the START instance (used by Chop-Connect snapshots).
+        self.tag = tag
+        if implicit_start and layout.value_slot == 0:
+            # A value-aggregated START: slot 0's companion is the start's
+            # own attribute value, recorded by the engine via seed_start().
+            pass
+
+    # ----- update rules ----------------------------------------------------
+
+    def bump_start(self, value: float | None = None) -> None:
+        """DPC START arrival: one more singleton-prefix match (slot 0)."""
+        self.counts[0] += 1
+        if self.wsums is not None and self._layout.value_slot == 0:
+            assert value is not None
+            self.wsums[0] += value
+        if self.extrema is not None and self._layout.value_slot == 0:
+            assert value is not None
+            self._fold_extremum(0, value)
+
+    def seed_start(self, value: float) -> None:
+        """SEM: record the start's own attribute when it is the target."""
+        if self.wsums is not None:
+            self.wsums[0] = value
+        if self.extrema is not None:
+            self.extrema[0] = value
+
+    def update(self, slot: int, value: float | None = None) -> None:
+        """Lemma 1 at ``slot`` > 0: fold the previous prefix's state in.
+
+        ``value`` is the event's target attribute when ``slot`` is the
+        value slot of a SUM/AVG/MAX/MIN query; ignored otherwise.
+        """
+        counts = self.counts
+        previous_count = counts[slot - 1]
+        if self.wsums is not None:
+            value_slot = self._layout.value_slot
+            if slot == value_slot:
+                assert value is not None
+                self.wsums[slot] += previous_count * value
+            elif slot > value_slot:
+                self.wsums[slot] += self.wsums[slot - 1]
+        if self.extrema is not None:
+            value_slot = self._layout.value_slot
+            if slot == value_slot:
+                if previous_count:
+                    assert value is not None
+                    self._fold_extremum(slot, value)
+            elif slot > value_slot:
+                previous_extremum = self.extrema[slot - 1]
+                if previous_extremum is not None:
+                    self._fold_extremum(slot, previous_extremum)
+        counts[slot] += previous_count
+
+    def update_kleene(self, slot: int) -> None:
+        """Kleene-plus fold at ``slot`` > 0: ``count' = 2*count + prev``.
+
+        Every existing repetition-match either absorbs the new instance
+        or not, and a fresh single-instance repetition extends each
+        previous-prefix match. COUNT only (validated at query level).
+        """
+        counts = self.counts
+        counts[slot] = 2 * counts[slot] + counts[slot - 1]
+
+    def reset(self, slot: int) -> None:
+        """Recounting Rule: a negative arrival wipes the guarded prefix."""
+        self.counts[slot] = 0
+        if self.wsums is not None:
+            self.wsums[slot] = 0.0
+        if self.extrema is not None:
+            self.extrema[slot] = None
+
+    def _fold_extremum(self, slot: int, value: float) -> None:
+        extrema = self.extrema
+        assert extrema is not None
+        current = extrema[slot]
+        if current is None:
+            extrema[slot] = value
+        elif self._layout.prefers_max:
+            if value > current:
+                extrema[slot] = value
+        elif value < current:
+            extrema[slot] = value
+
+    # ----- reads --------------------------------------------------------------
+
+    @property
+    def full_count(self) -> int:
+        """Matches of the complete pattern accumulated in this context."""
+        return self.counts[-1]
+
+    @property
+    def full_wsum(self) -> float:
+        assert self.wsums is not None
+        return self.wsums[-1]
+
+    @property
+    def full_extremum(self) -> float | None:
+        assert self.extrema is not None
+        return self.extrema[-1]
+
+    @property
+    def start_alive(self) -> bool:
+        """SEM: whether the implicit START can still extend (slot 0)."""
+        return self.counts[0] > 0
+
+    def snapshot_counts(self) -> tuple[int, ...]:
+        """Immutable copy of the per-prefix counts (diagnostics, tests)."""
+        return tuple(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"counts={self.counts}"]
+        if self.wsums is not None:
+            parts.append(f"wsums={self.wsums}")
+        if self.extrema is not None:
+            parts.append(f"extrema={self.extrema}")
+        if self.exp is not None:
+            parts.append(f"exp={self.exp}")
+        return f"PrefixCounter({', '.join(parts)})"

@@ -1,0 +1,162 @@
+"""SEM — Start Event Marking (paper Sec. 3.2, Fig. 5).
+
+Sliding-window A-Seq: every START instance gets its own
+:class:`~repro.core.prefix_counter.PrefixCounter`, stamped with the
+instance's expiration time ``arr + win``. Because streams deliver
+events in order, counters expire in creation order, so the active set
+is a deque purged from the front in O(1) per expiration — no sequence
+match is ever revisited (Lemma 3).
+
+Per arrival the engine updates one slot in each active counter (cost
+``O(k)`` in the number of active starts, the paper's linear bound), and
+a TRIG arrival reports the sum over active counters (Lemma 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+from repro.errors import QueryError
+from repro.events.event import Event
+from repro.core.aggregates import PatternLayout
+from repro.core.prefix_counter import PrefixCounter
+from repro.query.ast import AggKind, Query
+
+
+class SemEngine:
+    """Windowed A-Seq evaluation of one query over one partition."""
+
+    def __init__(
+        self,
+        query: Query,
+        layout: PatternLayout | None = None,
+        emit_on_trigger: bool = True,
+    ):
+        if query.window is None:
+            raise QueryError(
+                "SemEngine needs a WITHIN clause; use DPCEngine otherwise"
+            )
+        self.query = query
+        self.layout = layout or PatternLayout.of(query)
+        self._window_ms = query.window.size_ms
+        self._counters: deque[PrefixCounter] = deque()
+        self._now = 0
+        # Chop-Connect segment engines never use the per-trigger result;
+        # turning it off keeps shared segments pure counting.
+        self._emit_on_trigger = emit_on_trigger
+        self.events_processed = 0
+        self.peak_counters = 0
+
+    # ----- ingestion ------------------------------------------------------
+
+    def process(self, event: Event) -> Any | None:
+        """Ingest one (pre-filtered) event; returns the aggregate on TRIG."""
+        layout = self.layout
+        self._now = max(self._now, event.ts)
+        self._expire(event.ts)
+        self.events_processed += 1
+        event_type = event.event_type
+
+        reset = layout.reset_slot.get(event_type)
+        if reset is not None:
+            for counter in self._counters:
+                counter.reset(reset)
+            return None
+
+        slots = layout.update_slots.get(event_type)
+        if not slots:
+            return None
+        needs_value = layout.value_slot >= 0 and layout.value_slot in slots
+        value = layout.value_of(event) if needs_value else None
+
+        # Update existing counters first (descending slots inside each),
+        # then open a counter for the new START so the event cannot
+        # extend a prefix through itself.
+        for counter in self._counters:
+            for slot in slots:
+                if slot == 0:
+                    continue  # starts are per-counter, not per-slot
+                if slot in layout.kleene_slots:
+                    counter.update_kleene(slot)
+                else:
+                    counter.update(
+                        slot, value if slot == layout.value_slot else None
+                    )
+        if event_type in layout.start_types:
+            counter = PrefixCounter(
+                layout,
+                implicit_start=True,
+                exp=event.ts + self._window_ms,
+                tag=event,
+            )
+            if layout.value_slot == 0:
+                counter.seed_start(layout.value_of(event))
+            self._counters.append(counter)
+            if len(self._counters) > self.peak_counters:
+                self.peak_counters = len(self._counters)
+
+        if event_type in layout.trigger_types and self._emit_on_trigger:
+            return self.result()
+        return None
+
+    def _expire(self, now: int) -> None:
+        """Purge counters whose START left the window (step 4, Fig. 5)."""
+        counters = self._counters
+        while counters and counters[0].exp <= now:
+            counters.popleft()
+
+    # ----- results -----------------------------------------------------------
+
+    def result(self) -> Any:
+        """Current aggregate: Lemma 4's sum over active counters."""
+        self._expire(self._now)
+        kind = self.layout.agg_kind
+        if kind is AggKind.COUNT:
+            return sum(c.full_count for c in self._counters)
+        if kind is AggKind.SUM:
+            return sum(c.full_wsum for c in self._counters)
+        if kind is AggKind.AVG:
+            total_count = sum(c.full_count for c in self._counters)
+            if not total_count:
+                return None
+            total = sum(c.full_wsum for c in self._counters)
+            return total / total_count
+        best: float | None = None
+        for counter in self._counters:
+            extremum = counter.full_extremum
+            if extremum is None:
+                continue
+            if best is None:
+                best = extremum
+            elif self.layout.prefers_max:
+                best = max(best, extremum)
+            else:
+                best = min(best, extremum)
+        return best
+
+    def count_and_wsum(self) -> tuple[int, float]:
+        """COUNT and weighted-sum totals (AVG composition across partitions)."""
+        self._expire(self._now)
+        count = sum(c.full_count for c in self._counters)
+        wsum = sum(c.full_wsum for c in self._counters)
+        return count, wsum
+
+    # ----- introspection -------------------------------------------------------
+
+    @property
+    def active_counters(self) -> int:
+        """Number of live PreCntr structures (the paper's memory metric)."""
+        return len(self._counters)
+
+    def counters(self) -> Iterator[PrefixCounter]:
+        """Iterate live counters, oldest first (tests, Chop-Connect)."""
+        return iter(self._counters)
+
+    def current_objects(self) -> int:
+        return len(self._counters)
+
+    def advance_time(self, now: int) -> None:
+        """Move the engine clock without an event (expiry on idle streams)."""
+        self._now = max(self._now, now)
+        self._expire(self._now)

@@ -1,0 +1,274 @@
+"""Columnar (structure-of-arrays) SEM runtime.
+
+Semantically identical to :class:`~repro.core.sem.SemEngine`, but the
+per-START prefix counters are stored column-wise in numpy arrays, so
+the per-arrival "update one slot in every active counter" step of SEM
+becomes a single vectorized addition over the live range. Counters
+expire in creation order, so the live set is a ring slice ``[head,
+tail)`` over the columns — expiry advances ``head``, a new START
+appends at ``tail``.
+
+The 2014 system was written in Java where the object-per-counter design
+is fast enough; in Python the interpreter loop over counters dominates,
+so this engine exists to keep the *measured* A-Seq curves shaped by the
+algorithm rather than by interpreter overhead. The differential test
+suite pins it to the reference engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.events.event import Event
+from repro.core.aggregates import PatternLayout
+from repro.query.ast import AggKind, Query
+
+_INITIAL_CAPACITY = 256
+
+#: Kleene updates double counts; guard well below int64's 2^63 - 1.
+_KLEENE_GUARD = 2**61
+
+
+class VectorizedSemEngine:
+    """Windowed A-Seq with columnar per-START counters."""
+
+    def __init__(self, query: Query, layout: PatternLayout | None = None):
+        if query.window is None:
+            raise QueryError(
+                "VectorizedSemEngine needs a WITHIN clause; use DPCEngine "
+                "for unwindowed queries"
+            )
+        self.query = query
+        self.layout = layout or PatternLayout.of(query)
+        self._window_ms = query.window.size_ms
+        length = self.layout.length
+        capacity = _INITIAL_CAPACITY
+        self._capacity = capacity
+        self._head = 0
+        self._tail = 0
+        self._counts = np.zeros((length, capacity), dtype=np.int64)
+        self._exps = np.zeros(capacity, dtype=np.int64)
+        self._wsums = (
+            np.zeros((length, capacity), dtype=np.float64)
+            if self.layout.tracks_values
+            else None
+        )
+        if self.layout.tracks_extrema:
+            self._extreme_identity = (
+                -np.inf if self.layout.prefers_max else np.inf
+            )
+            self._extrema = np.full(
+                (length, capacity), self._extreme_identity, dtype=np.float64
+            )
+        else:
+            self._extrema = None
+        self._now = 0
+        self.events_processed = 0
+        self.peak_counters = 0
+
+    # ----- ingestion ----------------------------------------------------------
+
+    def process(self, event: Event) -> Any | None:
+        """Ingest one (pre-filtered) event; returns the aggregate on TRIG."""
+        layout = self.layout
+        self._now = max(self._now, event.ts)
+        self._expire(event.ts)
+        self.events_processed += 1
+        event_type = event.event_type
+
+        reset = layout.reset_slot.get(event_type)
+        if reset is not None:
+            head, tail = self._head, self._tail
+            self._counts[reset, head:tail] = 0
+            if self._wsums is not None:
+                self._wsums[reset, head:tail] = 0.0
+            if self._extrema is not None:
+                self._extrema[reset, head:tail] = self._extreme_identity
+            return None
+
+        slots = layout.update_slots.get(event_type)
+        if not slots:
+            return None
+        needs_value = layout.value_slot >= 0 and layout.value_slot in slots
+        value = layout.value_of(event) if needs_value else None
+
+        head, tail = self._head, self._tail
+        for slot in slots:  # descending
+            if slot == 0:
+                continue
+            if slot in layout.kleene_slots:
+                counts = self._counts
+                # Kleene counts double per arrival and can exceed int64
+                # within ~62 instances per window; fail loudly instead
+                # of wrapping (the reference SemEngine uses Python's
+                # arbitrary-precision integers and has no such limit).
+                if tail > head and counts[slot, head:tail].max() > _KLEENE_GUARD:
+                    raise OverflowError(
+                        "Kleene count exceeds int64 in the columnar "
+                        "runtime; use the reference engine "
+                        "(vectorized=False) for this workload"
+                    )
+                counts[slot, head:tail] *= 2
+                counts[slot, head:tail] += counts[slot - 1, head:tail]
+            else:
+                self._update_slot(slot, head, tail, value)
+        if event_type in layout.start_types:
+            self._append_start(event)
+
+        if event_type in layout.trigger_types:
+            return self.result()
+        return None
+
+    def _update_slot(
+        self, slot: int, head: int, tail: int, value: float | None
+    ) -> None:
+        layout = self.layout
+        counts = self._counts
+        previous = counts[slot - 1, head:tail]
+        if self._wsums is not None:
+            if slot == layout.value_slot:
+                assert value is not None
+                self._wsums[slot, head:tail] += previous * value
+            elif slot > layout.value_slot:
+                self._wsums[slot, head:tail] += self._wsums[
+                    slot - 1, head:tail
+                ]
+        if self._extrema is not None:
+            extrema = self._extrema
+            if slot == layout.value_slot:
+                assert value is not None
+                fold = np.where(previous > 0, value, self._extreme_identity)
+            elif slot > layout.value_slot:
+                fold = extrema[slot - 1, head:tail]
+            else:
+                fold = None
+            if fold is not None:
+                if layout.prefers_max:
+                    np.maximum(
+                        extrema[slot, head:tail],
+                        fold,
+                        out=extrema[slot, head:tail],
+                    )
+                else:
+                    np.minimum(
+                        extrema[slot, head:tail],
+                        fold,
+                        out=extrema[slot, head:tail],
+                    )
+        counts[slot, head:tail] += previous
+
+    def _append_start(self, event: Event) -> None:
+        if self._tail == self._capacity:
+            self._make_room()
+        tail = self._tail
+        self._counts[:, tail] = 0
+        self._counts[0, tail] = 1
+        self._exps[tail] = event.ts + self._window_ms
+        if self._wsums is not None:
+            self._wsums[:, tail] = 0.0
+            if self.layout.value_slot == 0:
+                self._wsums[0, tail] = self.layout.value_of(event)
+        if self._extrema is not None:
+            self._extrema[:, tail] = self._extreme_identity
+            if self.layout.value_slot == 0:
+                self._extrema[0, tail] = self.layout.value_of(event)
+        self._tail = tail + 1
+        live = self._tail - self._head
+        if live > self.peak_counters:
+            self.peak_counters = live
+
+    def _make_room(self) -> None:
+        """Compact the live range to the front, growing if still full."""
+        head, tail = self._head, self._tail
+        live = tail - head
+        if live * 2 > self._capacity:
+            self._capacity *= 2
+        counts = np.zeros(
+            (self.layout.length, self._capacity), dtype=np.int64
+        )
+        counts[:, :live] = self._counts[:, head:tail]
+        self._counts = counts
+        exps = np.zeros(self._capacity, dtype=np.int64)
+        exps[:live] = self._exps[head:tail]
+        self._exps = exps
+        if self._wsums is not None:
+            wsums = np.zeros(
+                (self.layout.length, self._capacity), dtype=np.float64
+            )
+            wsums[:, :live] = self._wsums[:, head:tail]
+            self._wsums = wsums
+        if self._extrema is not None:
+            extrema = np.full(
+                (self.layout.length, self._capacity),
+                self._extreme_identity,
+                dtype=np.float64,
+            )
+            extrema[:, :live] = self._extrema[:, head:tail]
+            self._extrema = extrema
+        self._head = 0
+        self._tail = live
+
+    def _expire(self, now: int) -> None:
+        exps = self._exps
+        head, tail = self._head, self._tail
+        while head < tail and exps[head] <= now:
+            head += 1
+        self._head = head
+
+    # ----- results ----------------------------------------------------------------
+
+    def result(self) -> Any:
+        """Current aggregate over the live counter columns."""
+        self._expire(self._now)
+        head, tail = self._head, self._tail
+        kind = self.layout.agg_kind
+        last = self.layout.length - 1
+        if kind is AggKind.COUNT:
+            return int(self._counts[last, head:tail].sum())
+        if kind is AggKind.SUM:
+            assert self._wsums is not None
+            return float(self._wsums[last, head:tail].sum())
+        if kind is AggKind.AVG:
+            assert self._wsums is not None
+            count = int(self._counts[last, head:tail].sum())
+            if not count:
+                return None
+            return float(self._wsums[last, head:tail].sum()) / count
+        assert self._extrema is not None
+        if head == tail:
+            return None
+        column = self._extrema[last, head:tail]
+        best = column.max() if self.layout.prefers_max else column.min()
+        if best == self._extreme_identity:
+            return None
+        return float(best)
+
+    def count_and_wsum(self) -> tuple[int, float]:
+        """COUNT and weighted-sum totals (AVG composition across partitions)."""
+        self._expire(self._now)
+        head, tail = self._head, self._tail
+        last = self.layout.length - 1
+        count = int(self._counts[last, head:tail].sum())
+        wsum = (
+            float(self._wsums[last, head:tail].sum())
+            if self._wsums is not None
+            else 0.0
+        )
+        return count, wsum
+
+    # ----- introspection -------------------------------------------------------------
+
+    @property
+    def active_counters(self) -> int:
+        return self._tail - self._head
+
+    def current_objects(self) -> int:
+        return self.active_counters
+
+    def advance_time(self, now: int) -> None:
+        """Move the engine clock without an event (expiry on idle streams)."""
+        self._now = max(self._now, now)
+        self._expire(self._now)

@@ -1,0 +1,36 @@
+"""Seeded workload generators.
+
+The paper evaluates on a real stock-trade trace (120k events from a
+WPI-hosted file that is no longer available) plus synthetic streams for
+the multi-query experiments. These generators produce the equivalent
+workloads deterministically:
+
+* :class:`~repro.datagen.stock.StockTradeGenerator` — ticker events
+  (DELL, IPIX, AMAT, QQQ, ...) with prices and volumes;
+* :class:`~repro.datagen.clicks.ClickStreamGenerator` — e-commerce
+  funnels (View/Buy Kindle, Case, ...) with user ids;
+* :class:`~repro.datagen.security.LoginStreamGenerator` — login
+  sequences per IP with brute-force attackers mixed in;
+* :class:`~repro.datagen.synthetic.SyntheticTypeGenerator` — a plain
+  alphabet stream with controlled per-type rates, used by the
+  multi-query benchmarks.
+
+All timestamps are strictly increasing integers (milliseconds), which
+is the tie-free ordering the engines' strict SEQ semantics assume.
+"""
+
+from repro.datagen.clicks import ClickStreamGenerator
+from repro.datagen.distributions import IntervalSampler, ZipfSampler
+from repro.datagen.security import LoginStreamGenerator
+from repro.datagen.stock import DEFAULT_SYMBOLS, StockTradeGenerator
+from repro.datagen.synthetic import SyntheticTypeGenerator
+
+__all__ = [
+    "ClickStreamGenerator",
+    "DEFAULT_SYMBOLS",
+    "IntervalSampler",
+    "LoginStreamGenerator",
+    "StockTradeGenerator",
+    "SyntheticTypeGenerator",
+    "ZipfSampler",
+]

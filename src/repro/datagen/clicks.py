@@ -1,0 +1,96 @@
+"""E-commerce clickstream generator (paper Application II, Example 6).
+
+Simulates users browsing a storefront: each user intermittently views
+and buys products (Kindle, Case, eBook, Light, iPad, KindleFire) and
+sometimes clicks the recommendation link. Event types follow the
+paper's naming: ``VKindle`` = view Kindle, ``BKindle`` = buy Kindle,
+``REC`` = recommendation click, etc. All events carry ``userId`` for
+equivalence predicates and GROUP BY.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.datagen.distributions import IntervalSampler
+
+#: Default catalog: (view type, buy type) per product.
+DEFAULT_PRODUCTS: tuple[tuple[str, str], ...] = (
+    ("VKindle", "BKindle"),
+    ("VCase", "BCase"),
+    ("VeBook", "BeBook"),
+    ("VLight", "BLight"),
+    ("ViPad", "BiPad"),
+    ("VKindleFire", "BKindleFire"),
+)
+
+#: The recommendation click type used by negation examples.
+REC_TYPE = "REC"
+
+
+class ClickStreamGenerator:
+    """Deterministic user-click stream with funnel structure.
+
+    Users follow a simple behavioural model: pick a product, view it,
+    buy it with probability ``buy_rate``, occasionally click ``REC``.
+    Sequential-funnel structure therefore arises naturally per user,
+    giving the funnel queries non-trivial counts.
+    """
+
+    def __init__(
+        self,
+        users: int = 50,
+        products: Sequence[tuple[str, str]] = DEFAULT_PRODUCTS,
+        buy_rate: float = 0.45,
+        rec_rate: float = 0.15,
+        mean_gap_ms: float = 20,
+        seed: int = 23,
+    ):
+        if users < 1:
+            raise ValueError("need at least one user")
+        self._users = users
+        self._products = tuple(products)
+        self._buy_rate = buy_rate
+        self._rec_rate = rec_rate
+        self._mean_gap_ms = mean_gap_ms
+        self._seed = seed
+
+    @property
+    def event_types(self) -> tuple[str, ...]:
+        types = [t for pair in self._products for t in pair]
+        types.append(REC_TYPE)
+        return tuple(types)
+
+    def events(self, count: int) -> Iterator[Event]:
+        """Generate ``count`` clicks with strictly increasing timestamps."""
+        rng = random.Random(self._seed)
+        gaps = IntervalSampler(self._mean_gap_ms, rng)
+        #: Per-user pending actions (a tiny behavioural queue).
+        pending: dict[int, list[str]] = {u: [] for u in range(self._users)}
+        ts = 0
+        emitted = 0
+        while emitted < count:
+            ts += gaps.sample()
+            user = rng.randrange(self._users)
+            queue = pending[user]
+            if not queue:
+                view, buy = self._products[
+                    rng.randrange(len(self._products))
+                ]
+                queue.append(view)
+                if rng.random() < self._rec_rate:
+                    queue.append(REC_TYPE)
+                if rng.random() < self._buy_rate:
+                    queue.append(buy)
+            click = queue.pop(0)
+            yield Event(click, ts, {"userId": user, "click": click})
+            emitted += 1
+
+    def stream(self, count: int) -> EventStream:
+        return EventStream(self.events(count))
+
+    def take(self, count: int) -> list[Event]:
+        return list(self.events(count))

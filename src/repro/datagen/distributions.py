@@ -1,0 +1,76 @@
+"""Small seeded samplers shared by the workload generators."""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Samples items with Zipf(s) popularity (rank-1 most popular).
+
+    ``s = 0`` degenerates to uniform; larger ``s`` skews harder. Uses
+    an explicit CDF + bisect, so sampling is O(log n) and needs no
+    scipy at runtime.
+    """
+
+    def __init__(self, items: Sequence[T], s: float, rng: random.Random):
+        if not items:
+            raise ValueError("ZipfSampler needs at least one item")
+        self._items = list(items)
+        self._rng = rng
+        weights = [1.0 / (rank ** s) for rank in range(1, len(items) + 1)]
+        self._cdf = list(itertools.accumulate(weights))
+        self._total = self._cdf[-1]
+
+    def sample(self) -> T:
+        point = self._rng.random() * self._total
+        index = bisect.bisect_left(self._cdf, point)
+        return self._items[min(index, len(self._items) - 1)]
+
+
+class IntervalSampler:
+    """Strictly positive integer inter-arrival gaps (milliseconds).
+
+    Draws geometric-ish gaps with the requested mean but never returns
+    zero, keeping stream timestamps strictly increasing (the tie-free
+    ordering the engines assume).
+    """
+
+    def __init__(self, mean_gap_ms: float, rng: random.Random):
+        if mean_gap_ms < 1:
+            raise ValueError("mean gap must be >= 1 ms")
+        self._mean = mean_gap_ms
+        self._rng = rng
+
+    def sample(self) -> int:
+        if self._mean == 1:
+            return 1
+        # Exponential with the surplus mean, shifted by the mandatory 1ms.
+        gap = 1 + int(self._rng.expovariate(1.0 / (self._mean - 1)))
+        return gap
+
+
+class RandomWalk:
+    """A bounded multiplicative random walk (stock prices)."""
+
+    def __init__(
+        self,
+        start: float,
+        volatility: float,
+        rng: random.Random,
+        floor: float = 0.01,
+    ):
+        self.value = start
+        self._volatility = volatility
+        self._rng = rng
+        self._floor = floor
+
+    def step(self) -> float:
+        drift = self._rng.gauss(0.0, self._volatility)
+        self.value = max(self._floor, self.value * (1.0 + drift))
+        return round(self.value, 2)

@@ -1,0 +1,97 @@
+"""Network-security login stream (paper Application I).
+
+Each actor (keyed by IP) types a username, types a password and clicks
+submit. Normal users mostly get the password right; a configurable set
+of brute-force attackers repeatedly gets it wrong, driving the paper's
+motivating query::
+
+    PATTERN SEQ(TypeUsername, TypePassword, ClickSubmit)
+    WHERE TypePassword.value != TypeUsername.Password
+    GROUP BY ip
+    AGG COUNT WITHIN 10s
+
+In this generator every event carries the actor's ``ip`` and a
+``wrong`` flag precomputed on the TypePassword event (``value`` and
+``expected`` attributes are also present so the WHERE clause can be
+expressed literally).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.datagen.distributions import IntervalSampler
+
+TYPE_USERNAME = "TypeUsername"
+TYPE_PASSWORD = "TypePassword"
+CLICK_SUBMIT = "ClickSubmit"
+
+
+class LoginStreamGenerator:
+    """Deterministic login-attempt stream with embedded attackers."""
+
+    def __init__(
+        self,
+        normal_ips: int = 30,
+        attacker_ips: int = 2,
+        wrong_rate_normal: float = 0.05,
+        mean_gap_ms: float = 50,
+        attacker_burst: int = 8,
+        seed: int = 31,
+    ):
+        self._normal_ips = [f"10.0.0.{i}" for i in range(normal_ips)]
+        self._attacker_ips = [f"66.6.6.{i}" for i in range(attacker_ips)]
+        self._wrong_rate_normal = wrong_rate_normal
+        self._mean_gap_ms = mean_gap_ms
+        self._attacker_burst = attacker_burst
+        self._seed = seed
+
+    @property
+    def attacker_ips(self) -> list[str]:
+        return list(self._attacker_ips)
+
+    def events(self, count: int) -> Iterator[Event]:
+        """Generate ``count`` events with strictly increasing timestamps."""
+        rng = random.Random(self._seed)
+        gaps = IntervalSampler(self._mean_gap_ms, rng)
+        ts = 0
+        emitted = 0
+        #: Pending (ip, wrong) login sequences; each contributes 3 events.
+        queue: list[tuple[str, str, bool]] = []
+        while emitted < count:
+            if not queue:
+                attack = self._attacker_ips and rng.random() < 0.25
+                if attack:
+                    ip = rng.choice(self._attacker_ips)
+                    for _ in range(self._attacker_burst):
+                        self._enqueue_attempt(queue, ip, wrong=True)
+                else:
+                    ip = rng.choice(self._normal_ips)
+                    wrong = rng.random() < self._wrong_rate_normal
+                    self._enqueue_attempt(queue, ip, wrong)
+            event_type, ip, wrong = queue.pop(0)
+            ts += gaps.sample()
+            attrs = {"ip": ip}
+            if event_type == TYPE_PASSWORD:
+                attrs["expected"] = "hunter2"
+                attrs["value"] = "guess" if wrong else "hunter2"
+                attrs["wrong"] = wrong
+            yield Event(event_type, ts, attrs)
+            emitted += 1
+
+    @staticmethod
+    def _enqueue_attempt(
+        queue: list[tuple[str, str, bool]], ip: str, wrong: bool
+    ) -> None:
+        queue.append((TYPE_USERNAME, ip, wrong))
+        queue.append((TYPE_PASSWORD, ip, wrong))
+        queue.append((CLICK_SUBMIT, ip, wrong))
+
+    def stream(self, count: int) -> EventStream:
+        return EventStream(self.events(count))
+
+    def take(self, count: int) -> list[Event]:
+        return list(self.events(count))

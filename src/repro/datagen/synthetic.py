@@ -1,0 +1,77 @@
+"""Plain controlled-rate type streams for the multi-query benchmarks.
+
+The paper's Sec. 6.3 experiments "generate synthetic stock streams with
+more event types" to build longer queries and larger workloads. This
+generator draws event types from an arbitrary alphabet with explicit
+weights, so a benchmark can dial in exactly how many instances of each
+queried type fall into a window.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Mapping, Sequence
+
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.datagen.distributions import IntervalSampler
+
+
+class SyntheticTypeGenerator:
+    """Deterministic stream over an explicit type alphabet.
+
+    Parameters
+    ----------
+    types:
+        The alphabet. Each element is one event type.
+    weights:
+        Optional per-type relative frequencies (defaults to uniform).
+    mean_gap_ms:
+        Mean inter-arrival gap in milliseconds (timestamps are strictly
+        increasing).
+    attributes:
+        Extra attribute generators are intentionally out of scope —
+        multi-query sharing experiments are COUNT-only; every event
+        carries just a serial ``n`` attribute for debugging.
+    """
+
+    def __init__(
+        self,
+        types: Sequence[str],
+        weights: Mapping[str, float] | None = None,
+        mean_gap_ms: float = 1,
+        seed: int = 47,
+    ):
+        if not types:
+            raise ValueError("need a non-empty type alphabet")
+        self._types = list(types)
+        if weights is None:
+            self._weights = [1.0] * len(self._types)
+        else:
+            self._weights = [weights.get(t, 1.0) for t in self._types]
+        self._mean_gap_ms = mean_gap_ms
+        self._seed = seed
+
+    @property
+    def types(self) -> list[str]:
+        return list(self._types)
+
+    def events(self, count: int) -> Iterator[Event]:
+        rng = random.Random(self._seed)
+        gaps = IntervalSampler(self._mean_gap_ms, rng)
+        ts = 0
+        for n in range(count):
+            ts += gaps.sample()
+            event_type = rng.choices(self._types, self._weights)[0]
+            yield Event(event_type, ts, {"n": n})
+
+    def stream(self, count: int) -> EventStream:
+        return EventStream(self.events(count))
+
+    def take(self, count: int) -> list[Event]:
+        return list(self.events(count))
+
+
+def alphabet(size: int, prefix: str = "T") -> list[str]:
+    """``size`` synthetic type names: T0, T1, ... (workload builders)."""
+    return [f"{prefix}{i}" for i in range(size)]

@@ -1,0 +1,121 @@
+"""Trace-file I/O for stock event streams.
+
+The paper evaluates on ``eventstream3.txt`` — a stock trade trace of
+120k events hosted at WPI, long offline. This module reads and writes
+the plain-text format such traces use (one event per line:
+``ticker,timestamp[,price[,volume]]``) so that anyone holding a copy of
+the original file, or any trace shaped like it, can replay it through
+the engines; :func:`write_trace` also lets the synthetic generators
+persist reproducible streams to disk.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import StreamError
+from repro.events.event import Event
+from repro.events.stream import EventStream
+
+
+def _parse_line(line: str, line_number: int) -> Event | None:
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    fields = [field.strip() for field in line.split(",")]
+    if len(fields) < 2:
+        raise StreamError(
+            f"trace line {line_number}: expected 'ticker,timestamp[,"
+            f"price[,volume]]', got {line!r}"
+        )
+    ticker, raw_ts = fields[0], fields[1]
+    try:
+        ts = int(raw_ts)
+    except ValueError:
+        raise StreamError(
+            f"trace line {line_number}: timestamp {raw_ts!r} is not an "
+            f"integer (milliseconds expected)"
+        ) from None
+    attrs: dict[str, object] = {"symbol": ticker}
+    if len(fields) > 2 and fields[2]:
+        try:
+            attrs["price"] = float(fields[2])
+        except ValueError:
+            raise StreamError(
+                f"trace line {line_number}: bad price {fields[2]!r}"
+            ) from None
+    if len(fields) > 3 and fields[3]:
+        try:
+            attrs["volume"] = int(fields[3])
+        except ValueError:
+            raise StreamError(
+                f"trace line {line_number}: bad volume {fields[3]!r}"
+            ) from None
+    return Event(ticker, ts, attrs)
+
+
+def iter_trace(source: str | Path | TextIO) -> Iterator[Event]:
+    """Yield events from a trace file or file-like object.
+
+    Blank lines and ``#`` comments are skipped. Events are yielded in
+    file order; wrap with :class:`~repro.events.stream.EventStream` (the
+    default in :func:`read_trace`) to enforce timestamp order, or with
+    :func:`~repro.events.reorder.reordered` for mildly disordered files.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from _iter_handle(handle)
+    else:
+        yield from _iter_handle(source)
+
+
+def _iter_handle(handle: TextIO) -> Iterator[Event]:
+    for line_number, line in enumerate(handle, start=1):
+        event = _parse_line(line, line_number)
+        if event is not None:
+            yield event
+
+
+def read_trace(
+    source: str | Path | TextIO, enforce_order: bool = True
+) -> EventStream:
+    """Open a trace as an :class:`EventStream`."""
+    return EventStream(iter_trace(source), enforce_order=enforce_order)
+
+
+def write_trace(
+    events: Iterable[Event], destination: str | Path | TextIO
+) -> int:
+    """Write events in the trace format; returns the number written.
+
+    Only the conventional attributes (price, volume) are persisted —
+    the format predates structured attributes.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return _write_handle(events, handle)
+    return _write_handle(events, destination)
+
+
+def _write_handle(events: Iterable[Event], handle: TextIO) -> int:
+    written = 0
+    for event in events:
+        fields = [event.event_type, str(event.ts)]
+        price = event.get("price")
+        volume = event.get("volume")
+        if price is not None or volume is not None:
+            fields.append("" if price is None else f"{price}")
+        if volume is not None:
+            fields.append(str(volume))
+        handle.write(",".join(fields) + "\n")
+        written += 1
+    return written
+
+
+def trace_text(events: Iterable[Event]) -> str:
+    """Render events as trace text (tests, small exports)."""
+    buffer = io.StringIO()
+    _write_handle(events, buffer)
+    return buffer.getvalue()

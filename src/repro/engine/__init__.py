@@ -1,0 +1,29 @@
+"""Streaming runtime: query registration, dispatch, sinks and metrics."""
+
+from repro.engine.engine import StreamEngine
+from repro.engine.metrics import EngineMetrics, RunStats, measure_run
+from repro.engine.sinks import (
+    CallbackSink,
+    CollectSink,
+    LatestSink,
+    Output,
+    ResultSink,
+    ThresholdAlertSink,
+)
+from repro.engine.tumbling import TumblingAggregator, WindowResult, tumbling
+
+__all__ = [
+    "CallbackSink",
+    "CollectSink",
+    "EngineMetrics",
+    "LatestSink",
+    "Output",
+    "ResultSink",
+    "RunStats",
+    "StreamEngine",
+    "ThresholdAlertSink",
+    "TumblingAggregator",
+    "WindowResult",
+    "measure_run",
+    "tumbling",
+]

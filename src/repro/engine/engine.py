@@ -1,0 +1,137 @@
+"""The stream engine: many queries, one event loop.
+
+:class:`StreamEngine` owns a set of registered query executors (A-Seq
+by default; any object with the ``process``/``result`` surface works,
+including the baseline and the shared multi-query engines) and pumps an
+event stream through all of them, delivering fresh aggregates to the
+sinks attached at registration time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+from repro.errors import EngineError
+from repro.events.event import Event
+from repro.core.executor import ASeqEngine
+from repro.engine.metrics import EngineMetrics
+from repro.engine.sinks import Output, ResultSink
+from repro.query.ast import Query
+
+
+class _Registration:
+    __slots__ = ("name", "executor", "sinks")
+
+    def __init__(self, name: str, executor: Any, sinks: list[ResultSink]):
+        self.name = name
+        self.executor = executor
+        self.sinks = sinks
+
+
+class StreamEngine:
+    """Multi-query streaming runtime.
+
+    >>> from repro.query import seq
+    >>> from repro.engine.sinks import CollectSink
+    >>> engine = StreamEngine()
+    >>> sink = CollectSink()
+    >>> _ = engine.register(
+    ...     seq("A", "B").count().within(ms=10).named("ab").build(),
+    ...     sink)
+    >>> engine.run([Event("A", 1), Event("B", 2)])
+    2
+    >>> sink.values()
+    [1]
+    """
+
+    def __init__(self, vectorized: bool = False):
+        self._registrations: dict[str, _Registration] = {}
+        self._vectorized = vectorized
+        self.metrics = EngineMetrics()
+
+    # ----- registration ------------------------------------------------------
+
+    def register(
+        self,
+        query: Query,
+        *sinks: ResultSink,
+        name: str | None = None,
+    ) -> ASeqEngine:
+        """Register a query on a fresh A-Seq executor; returns the executor."""
+        executor = ASeqEngine(query, vectorized=self._vectorized)
+        self.register_executor(
+            name or query.name or f"q{len(self._registrations)}",
+            executor,
+            *sinks,
+        )
+        return executor
+
+    def register_executor(
+        self, name: str, executor: Any, *sinks: ResultSink
+    ) -> None:
+        """Register any engine exposing ``process``/``result``."""
+        if name in self._registrations:
+            raise EngineError(f"duplicate query name {name!r}")
+        self._registrations[name] = _Registration(
+            name, executor, list(sinks)
+        )
+
+    def deregister(self, name: str) -> None:
+        if name not in self._registrations:
+            raise EngineError(f"unknown query {name!r}")
+        del self._registrations[name]
+
+    # ----- event loop -------------------------------------------------------
+
+    def process(self, event: Event) -> None:
+        """Push one event through every registered executor."""
+        self.metrics.events += 1
+        for registration in self._registrations.values():
+            fresh = registration.executor.process(event)
+            if fresh is None:
+                continue
+            self.metrics.outputs += 1
+            if registration.sinks:
+                output = Output(registration.name, event.ts, fresh)
+                for sink in registration.sinks:
+                    sink.emit(output)
+
+    def run(self, stream: Iterable[Event]) -> int:
+        """Drain a stream; returns the number of events processed."""
+        started = time.perf_counter()
+        processed = 0
+        for event in stream:
+            self.process(event)
+            processed += 1
+        self.metrics.elapsed_s += time.perf_counter() - started
+        self.metrics.note_objects(self.current_objects())
+        return processed
+
+    # ----- results ---------------------------------------------------------------
+
+    def result(self, name: str) -> Any:
+        """Current aggregate of one registered query."""
+        registration = self._registrations.get(name)
+        if registration is None:
+            raise EngineError(f"unknown query {name!r}")
+        return registration.executor.result()
+
+    def results(self) -> dict[str, Any]:
+        """Current aggregates of every registered query."""
+        return {
+            name: registration.executor.result()
+            for name, registration in self._registrations.items()
+        }
+
+    def current_objects(self) -> int:
+        total = 0
+        for registration in self._registrations.values():
+            probe = getattr(registration.executor, "current_objects", None)
+            if probe is not None:
+                total += probe()
+        return total
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._registrations)

@@ -1,0 +1,113 @@
+"""Measurement helpers used by the benchmark harness and the engine.
+
+The paper's two metrics (Sec. 6.1) are reproduced exactly:
+
+* **execution time per window slide** — elapsed wall time divided by
+  the number of window slides; the window slides on every arrival, so
+  the divisor is the event count;
+* **peak memory as an object count** — live engine objects (stack
+  entries + pointers + materialized matches for the two-step baseline;
+  active PreCntrs for A-Seq), sampled after each arrival.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.events.event import Event
+
+
+@dataclass
+class EngineMetrics:
+    """Running totals a :class:`~repro.engine.engine.StreamEngine` keeps."""
+
+    events: int = 0
+    outputs: int = 0
+    elapsed_s: float = 0.0
+    peak_objects: int = 0
+
+    def note_objects(self, current: int) -> None:
+        if current > self.peak_objects:
+            self.peak_objects = current
+
+    @property
+    def per_event_us(self) -> float:
+        if not self.events:
+            return 0.0
+        return self.elapsed_s * 1e6 / self.events
+
+
+@dataclass
+class RunStats:
+    """Result of measuring one engine over one finite stream."""
+
+    label: str
+    events: int
+    elapsed_s: float
+    outputs: int
+    peak_objects: int
+    final_result: Any = None
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def per_slide_ms(self) -> float:
+        """Avg execution time per window slide (ms) — Fig. 12/13 metric."""
+        if not self.events:
+            return 0.0
+        return self.elapsed_s * 1e3 / self.events
+
+    @property
+    def per_event_us(self) -> float:
+        if not self.events:
+            return 0.0
+        return self.elapsed_s * 1e6 / self.events
+
+    @property
+    def events_per_s(self) -> float:
+        if not self.elapsed_s:
+            return 0.0
+        return self.events / self.elapsed_s
+
+
+def measure_run(
+    label: str,
+    engine: Any,
+    events: Iterable[Event],
+    sample_memory_every: int = 16,
+) -> RunStats:
+    """Drive ``engine`` over ``events`` and measure the paper's metrics.
+
+    ``engine`` needs ``process(event)`` and ``result()``; the memory
+    probe uses ``current_objects()`` when available (sampled every
+    ``sample_memory_every`` arrivals to keep the probe itself out of
+    the timings as far as possible) and falls back to a
+    ``peak_objects`` attribute maintained by the engine.
+    """
+    event_list = list(events)
+    probe: Callable[[], int] | None = getattr(
+        engine, "current_objects", None
+    )
+    peak = 0
+    outputs = 0
+    process = engine.process
+    started = time.perf_counter()
+    for index, event in enumerate(event_list):
+        if process(event) is not None:
+            outputs += 1
+        if probe is not None and index % sample_memory_every == 0:
+            current = probe()
+            if current > peak:
+                peak = current
+    elapsed = time.perf_counter() - started
+    engine_peak = getattr(engine, "peak_objects", 0) or 0
+    peak = max(peak, engine_peak)
+    return RunStats(
+        label=label,
+        events=len(event_list),
+        elapsed_s=elapsed,
+        outputs=outputs,
+        peak_objects=peak,
+        final_result=engine.result(),
+    )

@@ -1,0 +1,115 @@
+"""Result sinks: where fresh aggregates go.
+
+Engines emit an aggregate on every TRIG arrival; a sink decides what to
+do with it — collect it, forward it, keep only the latest, or raise an
+alert when a threshold is crossed (the paper's fraud-detection
+motivation, Application III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Output:
+    """One emitted aggregate."""
+
+    query_name: str
+    ts: int
+    value: Any
+
+
+class ResultSink:
+    """Base sink interface."""
+
+    def emit(self, output: Output) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class CollectSink(ResultSink):
+    """Keeps every output (tests, examples, benchmarks)."""
+
+    outputs: list[Output] = field(default_factory=list)
+
+    def emit(self, output: Output) -> None:
+        self.outputs.append(output)
+
+    def values(self) -> list[Any]:
+        return [o.value for o in self.outputs]
+
+    def last(self) -> Output | None:
+        return self.outputs[-1] if self.outputs else None
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+
+@dataclass
+class LatestSink(ResultSink):
+    """Keeps only the most recent output per query."""
+
+    latest: dict[str, Output] = field(default_factory=dict)
+
+    def emit(self, output: Output) -> None:
+        self.latest[output.query_name] = output
+
+    def value_of(self, query_name: str, default: Any = None) -> Any:
+        output = self.latest.get(query_name)
+        return output.value if output is not None else default
+
+
+class CallbackSink(ResultSink):
+    """Forwards every output to a user callback."""
+
+    def __init__(self, callback: Callable[[Output], None]):
+        self._callback = callback
+
+    def emit(self, output: Output) -> None:
+        self._callback(output)
+
+
+class ThresholdAlertSink(ResultSink):
+    """Fires an alert callback when the aggregate crosses a threshold.
+
+    ``direction`` is ``"above"`` (value >= threshold fires) or
+    ``"below"``. Alerts are edge-triggered: one alert per crossing, not
+    one per output while the condition holds.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        on_alert: Callable[[Output], None],
+        direction: str = "above",
+    ):
+        if direction not in ("above", "below"):
+            raise ValueError("direction must be 'above' or 'below'")
+        self._threshold = threshold
+        self._on_alert = on_alert
+        self._direction = direction
+        self._armed: dict[tuple[str, Any], bool] = {}
+        self.alerts: list[Output] = []
+
+    def emit(self, output: Output) -> None:
+        values = output.value
+        if not isinstance(values, dict):
+            values = {None: values}
+        for key, value in values.items():
+            if value is None:
+                continue
+            fired = (
+                value >= self._threshold
+                if self._direction == "above"
+                else value <= self._threshold
+            )
+            armed_key = (output.query_name, key)
+            if fired and self._armed.get(armed_key, True):
+                alert = Output(output.query_name, output.ts, {key: value})
+                self.alerts.append(alert)
+                self._on_alert(alert)
+                self._armed[armed_key] = False
+            elif not fired:
+                self._armed[armed_key] = True

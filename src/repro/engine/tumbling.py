@@ -1,0 +1,137 @@
+"""Tumbling-window aggregation on top of DPC.
+
+The paper's WITHIN clause is a per-event *sliding* window (SEM); many
+analytics instead want *tumbling* windows — fixed, non-overlapping
+buckets ``[k*W, (k+1)*W)`` with one result each. Because a match must
+lie wholly inside its bucket, tumbling aggregation needs no per-START
+bookkeeping at all: run plain DPC and reset it at every boundary. This
+wrapper does exactly that, emitting one
+:class:`~repro.engine.tumbling.WindowResult` per closed bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import QueryError
+from repro.events.event import Event
+from repro.core.dpc import DPCEngine
+from repro.query.ast import Query
+from repro.query.predicates import local_filter
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """The aggregate of one closed tumbling bucket."""
+
+    window_start: int
+    window_end: int
+    value: Any
+
+
+class TumblingAggregator:
+    """Per-bucket CEP aggregation with O(1) state.
+
+    Parameters
+    ----------
+    query:
+        A query *without* a WITHIN clause (the bucket width replaces
+        it). GROUP BY / equivalence are not supported here — wrap one
+        aggregator per key if needed.
+    width_ms:
+        Tumbling bucket width. Buckets are aligned at multiples of the
+        width: an event at ``ts`` belongs to bucket ``ts // width``.
+
+    >>> from repro.query import seq
+    >>> agg = TumblingAggregator(seq("A", "B").count().build(), width_ms=10)
+    >>> closed = []
+    >>> for event in [Event("A", 1), Event("B", 2), Event("A", 15),
+    ...               Event("B", 16), Event("B", 27)]:
+    ...     closed.extend(agg.process(event))
+    >>> [(r.window_start, r.value) for r in closed]
+    [(0, 1), (10, 1)]
+    >>> agg.flush().value  # the still-open bucket
+    0
+    """
+
+    def __init__(self, query: Query, width_ms: int):
+        if query.window is not None:
+            raise QueryError(
+                "tumbling aggregation replaces WITHIN; build the query "
+                "without a window and pass width_ms instead"
+            )
+        if query.group_by is not None:
+            raise QueryError(
+                "tumbling aggregation does not partition; wrap one "
+                "aggregator per key"
+            )
+        if width_ms <= 0:
+            raise QueryError("bucket width must be positive")
+        self.query = query
+        self.width_ms = width_ms
+        self._accepts = local_filter(query.predicates)
+        self._relevant = query.relevant_types
+        self._engine = DPCEngine(query)
+        self._bucket: int | None = None
+        self.windows_closed = 0
+
+    # ----- ingestion -------------------------------------------------------
+
+    def process(self, event: Event) -> list[WindowResult]:
+        """Ingest one event; returns the buckets this arrival closed.
+
+        Quiet periods may close several buckets at once (their results
+        are emitted in order; interior silent buckets report the
+        aggregate of an empty match set).
+        """
+        closed = self._advance_to(event.ts // self.width_ms)
+        if event.event_type in self._relevant and self._accepts(event):
+            self._engine.process(event)
+        return closed
+
+    def _advance_to(self, bucket: int) -> list[WindowResult]:
+        if self._bucket is None:
+            self._bucket = bucket
+            return []
+        closed: list[WindowResult] = []
+        while self._bucket < bucket:
+            closed.append(self._close_current())
+        return closed
+
+    def _close_current(self) -> WindowResult:
+        assert self._bucket is not None
+        result = WindowResult(
+            window_start=self._bucket * self.width_ms,
+            window_end=(self._bucket + 1) * self.width_ms,
+            value=self._engine.result(),
+        )
+        self._engine = DPCEngine(self.query)
+        self._bucket += 1
+        self.windows_closed += 1
+        return result
+
+    def flush(self) -> WindowResult | None:
+        """Close and return the currently open bucket (end of stream)."""
+        if self._bucket is None:
+            return None
+        return self._close_current()
+
+    def current_value(self) -> Any:
+        """The running aggregate of the open bucket."""
+        return self._engine.result()
+
+    def current_objects(self) -> int:
+        return self._engine.current_objects()
+
+
+def tumbling(
+    events: Iterator[Event] | Any, query: Query, width_ms: int
+) -> Iterator[WindowResult]:
+    """Stream helper: yield one :class:`WindowResult` per closed bucket."""
+    aggregator = TumblingAggregator(query, width_ms)
+    for event in events:
+        yield from aggregator.process(event)
+    final = aggregator.flush()
+    if final is not None:
+        yield final

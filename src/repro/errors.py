@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. Sub-classes distinguish the layer that
+detected the problem (query compilation, stream ingestion, runtime).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class QueryError(ReproError):
+    """A query is syntactically or semantically invalid."""
+
+
+class ParseError(QueryError):
+    """The query text could not be parsed.
+
+    Carries the offending position so tooling can point at it.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PredicateError(QueryError):
+    """A predicate references an unknown attribute or event type."""
+
+
+class StreamError(ReproError):
+    """An event stream violated its contract (e.g. out-of-order events)."""
+
+
+class OutOfOrderError(StreamError):
+    """An event arrived with a timestamp earlier than its predecessor."""
+
+    def __init__(self, previous_ts: int, current_ts: int):
+        super().__init__(
+            f"event timestamp {current_ts} is earlier than the previously "
+            f"observed timestamp {previous_ts}; A-Seq assumes in-order "
+            f"arrival (see paper Sec. 8)"
+        )
+        self.previous_ts = previous_ts
+        self.current_ts = current_ts
+
+
+class PlanError(ReproError):
+    """A multi-query sharing plan is invalid (e.g. bad chop points)."""
+
+
+class EngineError(ReproError):
+    """The streaming engine was used incorrectly (e.g. duplicate query id)."""

@@ -1,0 +1,22 @@
+"""Event model and stream substrate.
+
+Everything in the library consumes :class:`~repro.events.event.Event`
+instances delivered in timestamp order through
+:class:`~repro.events.stream.EventStream`.
+"""
+
+from repro.events.event import Event
+from repro.events.reorder import ReorderBuffer, reordered
+from repro.events.schema import AttributeSpec, EventSchema, StreamSchema
+from repro.events.stream import EventStream, merge_streams
+
+__all__ = [
+    "Event",
+    "EventSchema",
+    "AttributeSpec",
+    "ReorderBuffer",
+    "StreamSchema",
+    "EventStream",
+    "merge_streams",
+    "reordered",
+]

@@ -1,0 +1,92 @@
+"""The event instance model.
+
+An event is an occurrence of interest: it has an *event type* (a string
+such as ``"DELL"`` or ``"TypePassword"``), an integer *timestamp* in
+milliseconds, and an optional bag of named attributes (price, user id,
+IP address, ...). Events are immutable once created; every engine in
+this library assumes it may hold a reference to an event without the
+event changing underneath it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+_EMPTY_ATTRS: dict[str, Any] = {}
+
+
+class Event:
+    """A single immutable event instance.
+
+    Parameters
+    ----------
+    event_type:
+        Name of the event type (``e.type`` in the paper).
+    ts:
+        Occurrence timestamp in integer milliseconds. Streams deliver
+        events in non-decreasing ``ts`` order.
+    attrs:
+        Optional mapping of attribute names to values, used by WHERE
+        predicates, GROUP BY, and value aggregates (SUM/AVG/MAX/MIN).
+    seq:
+        Optional arrival sequence number assigned by the stream. Used
+        only for diagnostics and stable tie-breaking in reports.
+    """
+
+    __slots__ = ("event_type", "ts", "attrs", "seq", "_hash")
+
+    def __init__(
+        self,
+        event_type: str,
+        ts: int,
+        attrs: Mapping[str, Any] | None = None,
+        seq: int = -1,
+    ):
+        self.event_type = event_type
+        self.ts = ts
+        self.attrs = dict(attrs) if attrs else _EMPTY_ATTRS
+        self.seq = seq
+        self._hash = -1
+
+    def __getitem__(self, name: str) -> Any:
+        """Return attribute ``name``; raises ``KeyError`` if absent."""
+        return self.attrs[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return attribute ``name`` or ``default`` if absent."""
+        return self.attrs.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.attrs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.attrs:
+            return f"Event({self.event_type!r}, ts={self.ts}, attrs={self.attrs!r})"
+        return f"Event({self.event_type!r}, ts={self.ts})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.event_type == other.event_type
+            and self.ts == other.ts
+            and self.attrs == other.attrs
+        )
+
+    def __hash__(self) -> int:
+        # Cached and independent of the mutable ``seq`` so an event's
+        # hash is stable from construction (hot path: snapshot tables).
+        cached = self._hash
+        if cached == -1:
+            cached = hash((self.event_type, self.ts))
+            self._hash = cached
+        return cached
+
+    def with_attrs(self, **updates: Any) -> "Event":
+        """Return a copy of this event with some attributes replaced."""
+        merged = dict(self.attrs)
+        merged.update(updates)
+        return Event(self.event_type, self.ts, merged, self.seq)

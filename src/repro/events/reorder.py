@@ -1,0 +1,100 @@
+"""Bounded reordering for slightly out-of-order streams.
+
+The paper assumes in-order arrival and names out-of-order handling as
+future work (Sec. 8). This module provides the standard streaming
+answer: a :class:`ReorderBuffer` with a *slack* bound — events are
+held back until the watermark (max timestamp seen minus the slack)
+passes them, then released in timestamp order. Any engine in this
+library can then consume a disordered feed::
+
+    buffer = ReorderBuffer(slack_ms=50)
+    for event in noisy_feed:
+        for ready in buffer.push(event):
+            engine.process(ready)
+    for ready in buffer.flush():
+        engine.process(ready)
+
+An event arriving *later* than its slack allows (its timestamp is
+already below the watermark) is a contract violation: by default it
+raises :class:`~repro.errors.OutOfOrderError`; with ``drop_late=True``
+it is counted and discarded, which matches the at-most-slack semantics
+of watermark-based stream processors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.errors import OutOfOrderError
+from repro.events.event import Event
+
+
+class ReorderBuffer:
+    """Restores timestamp order within a bounded disorder window.
+
+    Parameters
+    ----------
+    slack_ms:
+        Maximum disorder the producer guarantees: an event may arrive
+        at most ``slack_ms`` of stream time after a later-stamped one.
+    drop_late:
+        Discard events that violate the slack instead of raising.
+    """
+
+    def __init__(self, slack_ms: int, drop_late: bool = False):
+        if slack_ms < 0:
+            raise ValueError("slack must be non-negative")
+        self._slack_ms = slack_ms
+        self._drop_late = drop_late
+        self._heap: list[tuple[int, int, Event]] = []
+        self._serial = 0
+        self._watermark = float("-inf")
+        self._released_ts = float("-inf")
+        self.events_dropped = 0
+
+    @property
+    def pending(self) -> int:
+        """Events currently held back."""
+        return len(self._heap)
+
+    @property
+    def watermark(self) -> float:
+        """Releases are complete up to (watermark - slack)."""
+        return self._watermark
+
+    def push(self, event: Event) -> list[Event]:
+        """Accept one event; returns the events now safe to release."""
+        if event.ts < self._released_ts:
+            if self._drop_late:
+                self.events_dropped += 1
+                return []
+            raise OutOfOrderError(int(self._released_ts), event.ts)
+        self._serial += 1
+        heapq.heappush(self._heap, (event.ts, self._serial, event))
+        if event.ts > self._watermark:
+            self._watermark = event.ts
+        return self._drain(self._watermark - self._slack_ms)
+
+    def flush(self) -> list[Event]:
+        """Release everything still held (end of stream)."""
+        return self._drain(float("inf"))
+
+    def _drain(self, up_to: float) -> list[Event]:
+        released: list[Event] = []
+        heap = self._heap
+        while heap and heap[0][0] <= up_to:
+            ts, _, event = heapq.heappop(heap)
+            self._released_ts = ts
+            released.append(event)
+        return released
+
+
+def reordered(
+    events: Iterable[Event], slack_ms: int, drop_late: bool = False
+) -> Iterator[Event]:
+    """Wrap an event iterable, yielding it in restored timestamp order."""
+    buffer = ReorderBuffer(slack_ms, drop_late=drop_late)
+    for event in events:
+        yield from buffer.push(event)
+    yield from buffer.flush()

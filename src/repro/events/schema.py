@@ -1,0 +1,109 @@
+"""Optional schemas for event streams.
+
+A schema is never required — the engines work on schemaless events —
+but workload generators and the validating stream wrapper use schemas
+to catch typos in attribute names early, the same role the catalog
+plays in a database system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import StreamError
+from repro.events.event import Event
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declares one attribute of an event type.
+
+    ``kind`` is a plain Python type used for isinstance validation
+    (``int``, ``float``, ``str``, ...). ``required`` attributes must be
+    present on every instance of the type.
+    """
+
+    name: str
+    kind: type = object
+    required: bool = True
+
+    def validate(self, event: Event) -> None:
+        """Raise :class:`StreamError` if ``event`` violates this spec."""
+        if self.name not in event.attrs:
+            if self.required:
+                raise StreamError(
+                    f"event of type {event.event_type!r} is missing required "
+                    f"attribute {self.name!r}"
+                )
+            return
+        value = event.attrs[self.name]
+        if self.kind is not object and not isinstance(value, self.kind):
+            raise StreamError(
+                f"attribute {self.name!r} of event type {event.event_type!r} "
+                f"expected {self.kind.__name__}, got {type(value).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """Declares the attributes of one event type."""
+
+    event_type: str
+    attributes: tuple[AttributeSpec, ...] = ()
+
+    def validate(self, event: Event) -> None:
+        """Raise :class:`StreamError` if ``event`` violates the schema."""
+        if event.event_type != self.event_type:
+            raise StreamError(
+                f"schema for {self.event_type!r} cannot validate an event of "
+                f"type {event.event_type!r}"
+            )
+        for spec in self.attributes:
+            spec.validate(event)
+
+    def make(self, ts: int, **attrs: Any) -> Event:
+        """Build and validate an event of this type."""
+        event = Event(self.event_type, ts, attrs)
+        self.validate(event)
+        return event
+
+
+@dataclass
+class StreamSchema:
+    """The set of event types a stream may carry."""
+
+    event_types: dict[str, EventSchema] = field(default_factory=dict)
+    strict: bool = False
+
+    @classmethod
+    def of(cls, *schemas: EventSchema, strict: bool = False) -> "StreamSchema":
+        """Build a stream schema from individual event schemas."""
+        return cls({s.event_type: s for s in schemas}, strict=strict)
+
+    def add(self, schema: EventSchema) -> None:
+        """Register one more event type."""
+        self.event_types[schema.event_type] = schema
+
+    def validate(self, event: Event) -> None:
+        """Validate one event against the stream schema.
+
+        Unknown event types are rejected only in ``strict`` mode; this
+        mirrors how CEP engines typically ignore irrelevant types.
+        """
+        schema = self.event_types.get(event.event_type)
+        if schema is None:
+            if self.strict:
+                raise StreamError(
+                    f"unknown event type {event.event_type!r} on a strict stream"
+                )
+            return
+        schema.validate(event)
+
+
+def schema_from_example(event_type: str, attrs: Mapping[str, Any]) -> EventSchema:
+    """Infer an :class:`EventSchema` from a sample attribute mapping."""
+    specs = tuple(
+        AttributeSpec(name, type(value)) for name, value in sorted(attrs.items())
+    )
+    return EventSchema(event_type, specs)

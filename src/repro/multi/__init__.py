@@ -1,0 +1,35 @@
+"""Multi-query sharing (paper Sec. 4).
+
+* :mod:`repro.multi.pretree` / :mod:`repro.multi.prefix_sharing` —
+  queries with common prefixes share one prefix-tree counter (Sec. 4.1,
+  "for free").
+* :mod:`repro.multi.chop_connect` — Chop-Connect: common sub-patterns
+  at arbitrary positions are counted once and connected through
+  per-CNET snapshot tables (Sec. 4.2, Lemma 7).
+* :mod:`repro.multi.planner` — finds shareable prefixes/substrings in a
+  workload and emits the chop plan.
+* :mod:`repro.multi.ecube` — the ECube-style comparator [9]: shared
+  sequence *construction*, independent counting.
+"""
+
+from repro.multi.chop import ChopPlan, chop
+from repro.multi.chop_connect import ChopConnectEngine
+from repro.multi.ecube import ECubeEngine
+from repro.multi.planner import plan_workload
+from repro.multi.prefix_sharing import PrefixSharedEngine
+from repro.multi.pretree import PreTree, PreTreeLayout
+from repro.multi.unshared import UnsharedEngine
+from repro.multi.workload import WorkloadEngine
+
+__all__ = [
+    "ChopConnectEngine",
+    "ChopPlan",
+    "ECubeEngine",
+    "PreTree",
+    "PreTreeLayout",
+    "PrefixSharedEngine",
+    "UnsharedEngine",
+    "WorkloadEngine",
+    "chop",
+    "plan_workload",
+]

@@ -1,0 +1,91 @@
+"""Chop plans: how a query's pattern is cut into connectable segments.
+
+A :class:`ChopPlan` records the cut points chosen by the multi-query
+planner (or by hand). ``cut_points`` are interior positive positions of
+the pattern; ``(2, 4)`` on a length-6 pattern yields segments over
+positions ``[0:2] [2:4] [4:6]``. A plan with no cut points runs the
+query as plain single-query A-Seq inside the shared engine.
+
+Chop-Connect covers the paper's experimental query class: positive-only
+patterns, COUNT, one common WITHIN window (Sec. 6.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.query.ast import AggKind, Query
+
+
+@dataclass(frozen=True)
+class ChopPlan:
+    """A query plus the positions where its pattern is chopped."""
+
+    query: Query
+    cut_points: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        query = self.query
+        if query.name is None:
+            raise PlanError("chopped queries must be named")
+        if query.aggregate.kind is not AggKind.COUNT:
+            raise PlanError("Chop-Connect supports AGG COUNT queries")
+        if query.pattern.has_negation:
+            raise PlanError(
+                "Chop-Connect supports positive-only patterns; run "
+                "negation queries unshared or prefix-shared"
+            )
+        if query.pattern.has_kleene:
+            raise PlanError(
+                "Chop-Connect does not support Kleene patterns; run "
+                "such queries unshared"
+            )
+        if query.predicates or query.group_by:
+            raise PlanError(
+                "Chop-Connect supports predicate-free, ungrouped queries"
+            )
+        if query.window is None:
+            raise PlanError("Chop-Connect queries need a WITHIN window")
+        length = query.pattern.length
+        previous = 0
+        for cut in self.cut_points:
+            if not previous < cut < length:
+                raise PlanError(
+                    f"cut point {cut} invalid for pattern length {length}; "
+                    f"cuts must be strictly increasing interior positions"
+                )
+            previous = cut
+
+    @property
+    def segments(self) -> tuple[tuple[str, ...], ...]:
+        """Positive type names of each segment, in pattern order."""
+        positives = self.query.pattern.positive_types
+        bounds = (0, *self.cut_points, len(positives))
+        return tuple(
+            positives[bounds[i]:bounds[i + 1]]
+            for i in range(len(bounds) - 1)
+        )
+
+    @property
+    def window_ms(self) -> int:
+        assert self.query.window is not None
+        return self.query.window.size_ms
+
+    def __str__(self) -> str:
+        rendered = " | ".join(
+            "(" + ", ".join(segment) + ")" for segment in self.segments
+        )
+        return f"{self.query.name}: {rendered}"
+
+
+def chop(query: Query, *cut_points: int) -> ChopPlan:
+    """Build a validated :class:`ChopPlan`.
+
+    >>> from repro.query import seq
+    >>> q = (seq("A", "B", "C", "D", "E").count()
+    ...      .within(ms=100).named("q").build())
+    >>> chop(q, 2).segments
+    (('A', 'B'), ('C', 'D', 'E'))
+    """
+    return ChopPlan(query, tuple(cut_points))

@@ -1,0 +1,282 @@
+"""Chop-Connect (CC) — substring sharing at arbitrary positions.
+
+Paper Sec. 4.2. Each distinct segment pattern of the workload is
+counted once by a shared SEM engine, whatever queries it appears in and
+wherever in their patterns. Per query, a pipeline connects its
+segments:
+
+* the START of segment ``j >= 2`` is a **CNET** event: its arrival
+  freezes a :class:`~repro.multi.snapshot.SnapshotTable` entry — the
+  count of all predecessor composites per full-pattern START (Lemma 7,
+  generalized to multi-connect by always tagging rows with the full
+  START);
+* a TRIG arrival of the last segment multiplies each final-segment
+  counter's count with the live rows of its snapshot and sums.
+
+Per-event ordering matters and is fixed here: snapshots are taken
+against the *pre-event* engine state (a predecessor composite must
+complete strictly before the CNET arrival), engines then ingest the
+event, and query outputs are read after ingestion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import PlanError
+from repro.events.event import Event
+from repro.core.sem import SemEngine
+from repro.multi.chop import ChopPlan
+from repro.multi.pretree import shared_window_ms
+from repro.multi.snapshot import Snapshot, SnapshotTable
+from repro.query.ast import SeqPattern
+from repro.query.builder import QueryBuilder
+
+
+class _SegmentPool:
+    """One shared SEM engine per distinct (segment pattern, window)."""
+
+    def __init__(self) -> None:
+        self._engines: dict[tuple[tuple[str, ...], int], SemEngine] = {}
+        self.segments_shared = 0
+
+    def engine_for(
+        self, types: tuple[str, ...], window_ms: int
+    ) -> SemEngine:
+        key = (types, window_ms)
+        engine = self._engines.get(key)
+        if engine is None:
+            query = (
+                QueryBuilder(SeqPattern.of(*types))
+                .count()
+                .within(ms=window_ms)
+                .named(f"segment:{'-'.join(types)}")
+                .build()
+            )
+            engine = SemEngine(query, emit_on_trigger=False)
+            self._engines[key] = engine
+        else:
+            self.segments_shared += 1
+        return engine
+
+    def engines(self) -> Sequence[SemEngine]:
+        return list(self._engines.values())
+
+
+class _Pipeline:
+    """Connect state for one chopped query."""
+
+    __slots__ = ("plan", "engines", "tables", "cnet_types", "trigger_types")
+
+    def __init__(self, plan: ChopPlan, pool: _SegmentPool):
+        self.plan = plan
+        window_ms = plan.window_ms
+        segments = plan.segments
+        self.engines = [
+            pool.engine_for(segment, window_ms) for segment in segments
+        ]
+        #: tables[j] holds the snapshots of segment j's CNET instances
+        #: (index 0 unused: the first segment has no predecessor).
+        self.tables: list[SnapshotTable | None] = [None] + [
+            SnapshotTable() for _ in segments[1:]
+        ]
+        #: Concrete event types starting each non-first segment (a
+        #: label like "A|B" expands to its alternatives).
+        self.cnet_types = tuple(
+            frozenset(segment[0].split("|")) for segment in segments[1:]
+        )
+        self.trigger_types = frozenset(segments[-1][-1].split("|"))
+
+    # ----- snapshot creation (pre-event state) ------------------------------
+
+    def take_snapshots(self, event: Event, now: int) -> None:
+        """Freeze predecessor counts for every segment this CNET starts."""
+        # Deeper segments first: their snapshot reads the predecessor
+        # table, which must not yet contain this very arrival.
+        for j in range(len(self.engines) - 1, 0, -1):
+            if event.event_type not in self.cnet_types[j - 1]:
+                continue
+            self.take_snapshot_at(j, event, now)
+
+    def take_snapshot_at(self, j: int, event: Event, now: int) -> None:
+        """Freeze segment ``j``'s predecessor counts onto this CNET."""
+        table = self.tables[j]
+        assert table is not None
+        table.purge(now)
+        snapshot = self._predecessor_snapshot(j, now)
+        table.add(event, now + self.plan.window_ms, snapshot)
+
+    def _predecessor_snapshot(self, j: int, now: int) -> Snapshot:
+        """Counts of segment 1..j-1 composites per full START, live at now."""
+        engine = self.engines[j - 1]
+        if j == 1:
+            # Predecessor is the first segment: its counters ARE the
+            # full-pattern STARTs (already in expiry order).
+            return Snapshot(
+                [
+                    (counter.tag, counter.exp, counter.counts[-1])
+                    for counter in engine.counters()
+                    if counter.exp is not None
+                    and counter.exp > now
+                    and counter.counts[-1]
+                ],
+                presorted=True,
+            )
+        previous_table = self.tables[j - 1]
+        assert previous_table is not None
+        accumulated: dict[Any, tuple[int, int]] = {}
+        for counter in engine.counters():
+            if counter.exp is None or counter.exp <= now:
+                continue
+            segment_count = counter.full_count
+            if not segment_count:
+                continue
+            attached = previous_table.get(counter.tag)
+            if not attached:
+                continue
+            for tag, exp, count in attached.alive_items(now):
+                contribution = count * segment_count
+                existing = accumulated.get(tag)
+                if existing is None:
+                    accumulated[tag] = (exp, contribution)
+                else:
+                    accumulated[tag] = (exp, existing[1] + contribution)
+        return Snapshot(
+            (tag, exp, count)
+            for tag, (exp, count) in accumulated.items()
+        )
+
+    # ----- output (post-event state) ------------------------------------------
+
+    def result(self, now: int) -> int:
+        """Current COUNT of the full pattern (Lemma 7's connect product)."""
+        last = len(self.engines) - 1
+        engine = self.engines[last]
+        if last == 0:
+            return sum(
+                counter.counts[-1]
+                for counter in engine.counters()
+                if counter.exp is not None and counter.exp > now
+            )
+        table = self.tables[last]
+        assert table is not None
+        total = 0
+        lookup = table.by_event.get
+        for counter in engine.counters():
+            exp = counter.exp
+            if exp is None or exp <= now:
+                continue
+            segment_count = counter.counts[-1]
+            if not segment_count:
+                continue
+            snapshot = lookup(counter.tag)
+            if snapshot is not None and snapshot.tags:
+                total += segment_count * snapshot.alive_total(now)
+        return total
+
+    def snapshot_rows(self) -> int:
+        return sum(
+            table.live_rows() for table in self.tables if table is not None
+        )
+
+
+class ChopConnectEngine:
+    """Shared execution of a chopped multi-query workload.
+
+    >>> from repro.query import seq
+    >>> from repro.multi.chop import chop
+    >>> q1 = seq("A","B","C","D").count().within(ms=100).named("q1").build()
+    >>> q2 = seq("X","C","D").count().within(ms=100).named("q2").build()
+    >>> engine = ChopConnectEngine([chop(q1, 2), chop(q2, 1)])  # share (C,D)
+    >>> for i, name in enumerate("ABXCD"):
+    ...     out = engine.process(Event(name, ts=i))
+    >>> out == {"q1": 1, "q2": 1}
+    True
+    """
+
+    def __init__(self, plans: Sequence[ChopPlan]):
+        if not plans:
+            raise PlanError("empty workload")
+        names = [plan.query.name for plan in plans]
+        if len(set(names)) != len(names):
+            raise PlanError("duplicate query names in the workload")
+        shared_window_ms([plan.query for plan in plans])
+        self._pool = _SegmentPool()
+        self._pipelines = {
+            plan.query.name: _Pipeline(plan, self._pool) for plan in plans
+        }
+        #: trigger type -> query names to report on that arrival.
+        self._triggers: dict[str, list[str]] = {}
+        for name, pipeline in self._pipelines.items():
+            assert name is not None
+            for trigger in pipeline.trigger_types:
+                self._triggers.setdefault(trigger, []).append(name)
+        # Pre-routed dispatch: which pipelines snapshot and which segment
+        # engines ingest each event type. Within one pipeline, deeper
+        # segments snapshot first (their snapshot reads the predecessor
+        # table, which must not yet contain this very arrival).
+        self._snapshot_routes: dict[str, list[tuple[_Pipeline, int]]] = {}
+        for pipeline in self._pipelines.values():
+            for j in range(len(pipeline.engines) - 1, 0, -1):
+                for cnet_type in pipeline.cnet_types[j - 1]:
+                    self._snapshot_routes.setdefault(cnet_type, []).append(
+                        (pipeline, j)
+                    )
+        self._engine_routes: dict[str, list[SemEngine]] = {}
+        for engine in self._pool.engines():
+            for event_type in engine.query.pattern.all_positive_event_types:
+                routed = self._engine_routes.setdefault(event_type, [])
+                if engine not in routed:
+                    routed.append(engine)
+        self._now = 0
+        self.events_processed = 0
+
+    # ----- ingestion --------------------------------------------------------
+
+    def process(self, event: Event) -> dict[str, int] | None:
+        """Ingest one event; returns fresh counts for completed queries."""
+        self._now = max(self._now, event.ts)
+        self.events_processed += 1
+        event_type = event.event_type
+        for pipeline, j in self._snapshot_routes.get(event_type, ()):
+            pipeline.take_snapshot_at(j, event, event.ts)
+        for engine in self._engine_routes.get(event_type, ()):
+            engine.process(event)
+        completed = self._triggers.get(event_type)
+        if not completed:
+            return None
+        return {
+            name: self._pipelines[name].result(event.ts)
+            for name in completed
+        }
+
+    # ----- results -------------------------------------------------------------
+
+    def result(self, query_name: str | None = None) -> Any:
+        """Counts for one query, or for the whole workload as a dict."""
+        if query_name is not None:
+            return self._pipelines[query_name].result(self._now)
+        return {
+            name: pipeline.result(self._now)
+            for name, pipeline in self._pipelines.items()
+        }
+
+    # ----- introspection ----------------------------------------------------------
+
+    def current_objects(self) -> int:
+        """PreCntrs in the pool plus live snapshot rows."""
+        counters = sum(
+            engine.active_counters for engine in self._pool.engines()
+        )
+        rows = sum(p.snapshot_rows() for p in self._pipelines.values())
+        return counters + rows
+
+    @property
+    def shared_segment_engines(self) -> int:
+        return len(self._pool.engines())
+
+    def describe(self) -> str:
+        """Human-readable chop structure (examples, diagnostics)."""
+        return "\n".join(
+            str(pipeline.plan) for pipeline in self._pipelines.values()
+        )

@@ -1,0 +1,115 @@
+"""Multi-query planner: find shareable sub-patterns and emit chop plans.
+
+The paper assumes "a sharing plan produced by a multi-query optimizer"
+(Sec. 4.2) without specifying one; this module provides a practical
+greedy planner: score every contiguous positive substring by the
+counter updates it saves across the workload, pick the best, chop every
+query around its first occurrence, and leave the rest as single-segment
+plans. That is exactly the plan shape the paper's experiments use (one
+common substring per workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.multi.chop import ChopPlan
+from repro.query.ast import Query
+
+
+@dataclass(frozen=True)
+class SharedSubstring:
+    """A candidate substring with the queries that contain it."""
+
+    types: tuple[str, ...]
+    query_names: tuple[str, ...]
+
+    @property
+    def benefit(self) -> int:
+        """Counter updates saved: (occurrences - 1) * substring length."""
+        return (len(self.query_names) - 1) * len(self.types)
+
+
+def find_common_substrings(
+    queries: Sequence[Query], min_length: int = 2
+) -> list[SharedSubstring]:
+    """All positive substrings of length >= ``min_length`` shared by >= 2 queries."""
+    containing: dict[tuple[str, ...], list[str]] = {}
+    for query in queries:
+        if query.name is None:
+            raise PlanError("queries in a workload must be named")
+        positives = query.pattern.positive_types
+        seen: set[tuple[str, ...]] = set()
+        for start in range(len(positives)):
+            for end in range(start + min_length, len(positives) + 1):
+                seen.add(positives[start:end])
+        for substring in seen:
+            containing.setdefault(substring, []).append(query.name)
+    candidates = [
+        SharedSubstring(types, tuple(sorted(names)))
+        for types, names in containing.items()
+        if len(names) >= 2
+    ]
+    # Ties on benefit go to the substring covering more queries (the
+    # paper's Example 6 pick: (VKindle, BKindle) across all five).
+    candidates.sort(
+        key=lambda c: (c.benefit, len(c.query_names), len(c.types)),
+        reverse=True,
+    )
+    return candidates
+
+
+def chop_around(query: Query, substring: tuple[str, ...]) -> ChopPlan:
+    """Chop ``query`` around the first occurrence of ``substring``.
+
+    A query that does not contain the substring gets a single-segment
+    plan (it still runs inside the shared engine, just unshared).
+    """
+    positives = query.pattern.positive_types
+    position = _find(positives, substring)
+    if position is None:
+        return ChopPlan(query, ())
+    cuts = []
+    if position > 0:
+        cuts.append(position)
+    end = position + len(substring)
+    if end < len(positives):
+        cuts.append(end)
+    return ChopPlan(query, tuple(cuts))
+
+
+def plan_workload(
+    queries: Sequence[Query], min_length: int = 2
+) -> tuple[list[ChopPlan], SharedSubstring | None]:
+    """Greedy plan: chop every query around the best common substring.
+
+    Returns the per-query plans plus the chosen substring (None when
+    nothing is shareable, in which case all plans are single-segment).
+
+    >>> from repro.query import seq
+    >>> qs = [
+    ...     seq("A","B","C","D").count().within(ms=9).named("q1").build(),
+    ...     seq("X","C","D").count().within(ms=9).named("q2").build(),
+    ... ]
+    >>> plans, best = plan_workload(qs)
+    >>> best.types
+    ('C', 'D')
+    >>> [p.cut_points for p in plans]
+    [(2,), (1,)]
+    """
+    candidates = find_common_substrings(queries, min_length)
+    if not candidates:
+        return [ChopPlan(q, ()) for q in queries], None
+    best = candidates[0]
+    return [chop_around(q, best.types) for q in queries], best
+
+
+def _find(
+    haystack: tuple[str, ...], needle: tuple[str, ...]
+) -> int | None:
+    for start in range(len(haystack) - len(needle) + 1):
+        if haystack[start:start + len(needle)] == needle:
+            return start
+    return None

@@ -1,0 +1,165 @@
+"""Prefix-shared execution of a multi-query workload (paper Sec. 4.1).
+
+All queries are folded into per-START-type
+:class:`~repro.multi.pretree.PreTreeLayout` tries. An arrival updates
+each shared trie node once, however many queries read it — the paper's
+"sharing for free". Window support follows SEM: one PreTree instance
+per active START event, expiring in creation order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Sequence
+
+from repro.errors import PlanError
+from repro.events.event import Event
+from repro.multi.pretree import PreTree, PreTreeLayout, shared_window_ms
+from repro.query.ast import Query
+
+
+class _TreeGroup:
+    """All queries whose patterns begin with the same element."""
+
+    __slots__ = ("layout", "trees", "global_tree", "window_ms")
+
+    def __init__(self, queries: Sequence[Query], window_ms: int | None):
+        self.layout = PreTreeLayout(queries)
+        self.window_ms = window_ms
+        self.trees: deque[PreTree] = deque()
+        self.global_tree = (
+            PreTree(self.layout) if window_ms is None else None
+        )
+
+    def expire(self, now: int) -> None:
+        trees = self.trees
+        while trees and trees[0].exp <= now:
+            trees.popleft()
+
+    def live_trees(self) -> Iterable[PreTree]:
+        if self.global_tree is not None:
+            return (self.global_tree,)
+        return self.trees
+
+    def counter_instances(self) -> int:
+        if self.global_tree is not None:
+            return self.layout.size
+        return len(self.trees) * self.layout.size
+
+
+class PrefixSharedEngine:
+    """Shared A-Seq evaluation of COUNT queries with common prefixes.
+
+    Queries must be named, COUNT-only, predicate-free and share one
+    WITHIN window (the class of workloads in the paper's Sec. 6.3).
+
+    >>> from repro.query import seq
+    >>> queries = [
+    ...     seq("A", "B", "C").count().within(ms=100).named("q1").build(),
+    ...     seq("A", "B", "D").count().within(ms=100).named("q2").build(),
+    ... ]
+    >>> engine = PrefixSharedEngine(queries)
+    >>> for i, name in enumerate("ABCD"):
+    ...     _ = engine.process(Event(name, ts=i))
+    >>> engine.result()
+    {'q1': 1, 'q2': 1}
+    """
+
+    def __init__(self, queries: Sequence[Query]):
+        if not queries:
+            raise PlanError("empty workload")
+        self._window_ms = shared_window_ms(queries)
+        groups: dict[object, list[Query]] = {}
+        for query in queries:
+            groups.setdefault(query.pattern.elements[0], []).append(query)
+        self._groups = [
+            _TreeGroup(group, self._window_ms) for group in groups.values()
+        ]
+        self._queries = {q.name: q for q in queries}
+        #: trigger type -> query names it completes, per group.
+        self._triggers: dict[str, list[tuple[_TreeGroup, str]]] = {}
+        for group in self._groups:
+            for name, triggers in group.layout.trigger_of.items():
+                for trigger in triggers:
+                    self._triggers.setdefault(trigger, []).append(
+                        (group, name)
+                    )
+        self._now = 0
+        self.events_processed = 0
+        self.peak_counters = 0
+
+    # ----- ingestion ------------------------------------------------------
+
+    def process(self, event: Event) -> dict[str, int] | None:
+        """Ingest one event; returns fresh counts for completed queries."""
+        self._now = max(self._now, event.ts)
+        self.events_processed += 1
+        event_type = event.event_type
+        for group in self._groups:
+            if group.window_ms is not None:
+                group.expire(event.ts)
+            layout = group.layout
+            resets = event_type in layout.guard_nodes
+            plan = layout.update_plan.get(event_type)
+            if resets or plan:
+                for tree in group.live_trees():
+                    if resets:
+                        tree.reset_guards(event_type)
+                    if plan:
+                        tree.apply(plan)
+            if (
+                group.window_ms is not None
+                and event_type in layout.start_types
+            ):
+                group.trees.append(
+                    PreTree(
+                        layout,
+                        implicit_start=True,
+                        exp=event.ts + group.window_ms,
+                    )
+                )
+        current = self.current_counters()
+        if current > self.peak_counters:
+            self.peak_counters = current
+
+        completed = self._triggers.get(event_type)
+        if not completed:
+            return None
+        return {
+            name: self._query_result(group, name)
+            for group, name in completed
+        }
+
+    # ----- results ----------------------------------------------------------
+
+    def result(self, query_name: str | None = None) -> Any:
+        """Counts for one query, or for the whole workload as a dict."""
+        for group in self._groups:
+            if group.window_ms is not None:
+                group.expire(self._now)
+        if query_name is not None:
+            for group in self._groups:
+                if query_name in group.layout.terminal_of:
+                    return self._query_result(group, query_name)
+            raise KeyError(query_name)
+        results: dict[str, int] = {}
+        for group in self._groups:
+            for name in group.layout.terminal_of:
+                results[name] = self._query_result(group, name)
+        return results
+
+    def _query_result(self, group: _TreeGroup, name: str) -> int:
+        return sum(tree.result_of(name) for tree in group.live_trees())
+
+    # ----- introspection --------------------------------------------------------
+
+    def current_counters(self) -> int:
+        """Live trie-node counters (the paper's memory metric)."""
+        return sum(group.counter_instances() for group in self._groups)
+
+    def current_objects(self) -> int:
+        return self.current_counters()
+
+    def describe(self) -> str:
+        """Human-readable sharing structure (examples, diagnostics)."""
+        return "\n\n".join(group.layout.render() for group in self._groups)

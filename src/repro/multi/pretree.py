@@ -1,0 +1,287 @@
+"""PreTree — shared prefix counters for a multi-query workload.
+
+Paper Sec. 4.1: once A-Seq maintains the counts of every prefix of a
+pattern, queries that share a prefix can share those counters. The
+PreTree organizes the counters of a whole workload as a trie over
+pattern *elements*; each shared prefix is one path and each query owns
+the node where its pattern ends.
+
+Negation needs one refinement beyond the paper's figure. Consider
+``Q1 = (A, B, C)`` and ``Q2 = (A, B, !N, D)``: the Recounting Rule must
+wipe the ``(A, B)`` count for Q2 when an ``N`` arrives, but Q1 still
+needs the unwiped count. The trie therefore materializes each negation
+as its own *guard node*: a guard node shadows its parent's count
+(receiving every increment the parent receives) and is the thing the
+negative arrival resets. Children behind the negation read the guard's
+count instead of the parent's, so sharing stays exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import PlanError, QueryError
+from repro.query.ast import (
+    NegatedType,
+    PatternElement,
+    PositiveType,
+    Query,
+    SeqPattern,
+)
+
+
+@dataclass
+class _Node:
+    """One trie node: a positive position or a negation guard."""
+
+    index: int
+    parent: int  # -1 for children of the root
+    element: PatternElement
+    depth: int  # positive positions consumed up to and including here
+    children: dict[PatternElement, int] = field(default_factory=dict)
+
+    @property
+    def is_guard(self) -> bool:
+        return isinstance(self.element, NegatedType)
+
+
+class PreTreeLayout:
+    """The static trie shared by all counter instances.
+
+    Built once per workload; immutable afterwards. All queries must
+    start with the same first element (the shared START type) — the
+    engine builds one layout per distinct start element.
+    """
+
+    def __init__(self, queries: Sequence[Query]):
+        if not queries:
+            raise PlanError("a PreTree needs at least one query")
+        starts = {q.pattern.elements[0] for q in queries}
+        if len(starts) != 1:
+            raise PlanError(
+                "all queries of one PreTree must share the START element; "
+                "build one tree per start type"
+            )
+        self.start_label = queries[0].pattern.positive_types[0]
+        self.start_types = frozenset(queries[0].pattern.start_alternatives)
+        self.nodes: list[_Node] = []
+        #: type name -> positive node indexes, deepest first.
+        self.update_nodes: dict[str, list[int]] = {}
+        #: negated type name -> guard node indexes it resets.
+        self.guard_nodes: dict[str, list[int]] = {}
+        #: query name -> terminal node index.
+        self.terminal_of: dict[str, int] = {}
+        #: query name -> event types completing that query.
+        self.trigger_of: dict[str, list[str]] = {}
+        self._children_of_root: dict[PatternElement, int] = {}
+        for query in queries:
+            self._insert(query)
+        # Deepest-first update order prevents an event from chaining
+        # with itself when a type occurs at several depths.
+        for indexes in self.update_nodes.values():
+            indexes.sort(key=lambda i: self.nodes[i].depth, reverse=True)
+        # Pre-compile the per-type update plan so the per-event hot path
+        # is a flat tuple walk: (node, parent, guard children).
+        self.update_plan: dict[str, tuple[tuple[int, int, tuple[int, ...]], ...]] = {}
+        for event_type, indexes in self.update_nodes.items():
+            plan = []
+            for index in indexes:
+                node = self.nodes[index]
+                guards = tuple(
+                    child
+                    for element, child in node.children.items()
+                    if isinstance(element, NegatedType)
+                )
+                plan.append((index, node.parent, guards))
+            self.update_plan[event_type] = tuple(plan)
+
+    def _insert(self, query: Query) -> None:
+        if query.name is None:
+            raise PlanError("queries in a shared workload must be named")
+        if query.name in self.terminal_of:
+            raise PlanError(f"duplicate query name {query.name!r}")
+        _check_shareable(query)
+        elements = query.pattern.elements
+        node_index = -1
+        children = self._children_of_root
+        depth = 0
+        for element in elements:
+            if isinstance(element, PositiveType):
+                depth += 1
+            child = children.get(element)
+            if child is None:
+                child = self._add_node(node_index, element, depth, children)
+            node_index = child
+            children = self.nodes[node_index].children
+        self.terminal_of[query.name] = node_index
+        for trigger in query.pattern.trigger_alternatives:
+            self.trigger_of.setdefault(query.name, []).append(trigger)
+
+    def _add_node(
+        self,
+        parent: int,
+        element: PatternElement,
+        depth: int,
+        siblings: dict[PatternElement, int],
+    ) -> int:
+        index = len(self.nodes)
+        node = _Node(index, parent, element, depth)
+        self.nodes.append(node)
+        siblings[element] = index
+        if isinstance(element, PositiveType):
+            for name in element.alternatives:
+                self.update_nodes.setdefault(name, []).append(index)
+        else:
+            self.guard_nodes.setdefault(element.name, []).append(index)
+        return index
+
+    # ----- introspection ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total trie nodes (counters per tree instance)."""
+        return len(self.nodes)
+
+    def path_of(self, query_name: str) -> list[PatternElement]:
+        """Root-to-terminal elements for a query (diagnostics)."""
+        path: list[PatternElement] = []
+        index = self.terminal_of[query_name]
+        while index >= 0:
+            node = self.nodes[index]
+            path.append(node.element)
+            index = node.parent
+        path.reverse()
+        return path
+
+    def render(self) -> str:
+        """Multi-line ASCII rendering of the trie (debugging, examples)."""
+        lines = [f"PreTree(start={self.start_label})"]
+
+        def visit(children: dict[PatternElement, int], indent: int) -> None:
+            for element, index in children.items():
+                owners = [
+                    name
+                    for name, terminal in self.terminal_of.items()
+                    if terminal == index
+                ]
+                suffix = f"  <- {', '.join(owners)}" if owners else ""
+                lines.append("  " * indent + f"{element}{suffix}")
+                visit(self.nodes[index].children, indent + 1)
+
+        visit(self._children_of_root, 1)
+        return "\n".join(lines)
+
+    def root_children(self) -> Iterator[int]:
+        return iter(self._children_of_root.values())
+
+
+class PreTree:
+    """One counter instance over a :class:`PreTreeLayout`.
+
+    With ``implicit_start=True`` this is the per-START-instance counter
+    of the SEM-style shared engine (slot semantics of
+    :class:`~repro.core.prefix_counter.PrefixCounter`, generalized from
+    a chain to a tree): the depth-1 node is pinned at count 1, and its
+    guard children start at 1 so they shadow it. With
+    ``implicit_start=False`` it is a single global tree for unwindowed
+    workloads, where START arrivals increment the depth-1 node.
+    """
+
+    __slots__ = ("layout", "counts", "_implicit_start", "exp")
+
+    def __init__(
+        self,
+        layout: PreTreeLayout,
+        implicit_start: bool = False,
+        exp: int | None = None,
+    ):
+        self.layout = layout
+        self.counts = [0] * layout.size
+        self._implicit_start = implicit_start
+        self.exp = exp
+        if implicit_start:
+            for index in layout.root_children():
+                node = layout.nodes[index]
+                self.counts[index] = 1
+                self._feed_guards(node, 1)
+
+    def update(self, event_type: str) -> None:
+        """Fold an arrival of ``event_type`` into every matching node."""
+        plan = self.layout.update_plan.get(event_type)
+        if plan:
+            self.apply(plan)
+
+    def apply(
+        self, plan: tuple[tuple[int, int, tuple[int, ...]], ...]
+    ) -> None:
+        """Run one pre-compiled per-type update plan (the hot path).
+
+        Each positive node of the type gains its parent's count
+        (Lemma 1 along the tree path); guard children of the updated
+        node receive the same delta so they keep shadowing it. In
+        per-START mode the depth-1 (START) node belongs to the instance
+        itself and is skipped — a fresh START spawns a fresh tree.
+        """
+        counts = self.counts
+        implicit = self._implicit_start
+        for index, parent, guards in plan:  # deepest first
+            if parent == -1:
+                if implicit:
+                    continue
+                delta = 1
+            else:
+                delta = counts[parent]
+            if delta:
+                counts[index] += delta
+                for guard in guards:
+                    counts[guard] += delta
+
+    def _feed_guards(self, node: _Node, delta: int) -> None:
+        counts = self.counts
+        for element, child_index in node.children.items():
+            if isinstance(element, NegatedType):
+                counts[child_index] += delta
+
+    def reset_guards(self, negated_type: str) -> None:
+        """Recounting Rule: wipe every guard node of the negated type."""
+        for index in self.layout.guard_nodes.get(negated_type, ()):
+            self.counts[index] = 0
+
+    def count_at(self, node_index: int) -> int:
+        return self.counts[node_index]
+
+    def result_of(self, query_name: str) -> int:
+        """This instance's contribution to one query's COUNT."""
+        return self.counts[self.layout.terminal_of[query_name]]
+
+
+def _check_shareable(query: Query) -> None:
+    """Shared engines support the paper's experimental query class."""
+    from repro.query.ast import AggKind
+
+    if query.aggregate.kind is not AggKind.COUNT:
+        raise PlanError(
+            "shared multi-query engines support AGG COUNT (as in the "
+            "paper's Sec. 6 experiments); run value aggregates unshared"
+        )
+    if query.predicates or query.group_by:
+        raise PlanError(
+            "shared multi-query engines do not support predicates or "
+            "GROUP BY; run such queries unshared"
+        )
+    if query.pattern.has_kleene:
+        raise PlanError(
+            "shared multi-query engines do not support Kleene patterns; "
+            "run such queries unshared"
+        )
+
+
+def shared_window_ms(queries: Sequence[Query]) -> int | None:
+    """The workload's common window, validating it is indeed common."""
+    windows = {q.window.size_ms if q.window else None for q in queries}
+    if len(windows) != 1:
+        raise PlanError(
+            "queries in one shared group must use the same WITHIN window"
+        )
+    return next(iter(windows))

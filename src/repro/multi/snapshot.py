@@ -1,0 +1,124 @@
+"""SnapShot structures for Chop-Connect (paper Sec. 4.2, Fig. 10).
+
+When a CNET instance (the START of a non-first segment) arrives, the
+pipeline freezes the per-full-START counts of everything before that
+segment into a :class:`Snapshot`: a row per full-pattern START instance
+holding its expiration time and the number of predecessor composites
+tagged to it. The tag is the paper's "PreCntr tag" — always the START
+of the *full* sequence, so expiry checks stay cheap regardless of how
+many segments were connected (Sec. 4.2, Multi-Connect).
+
+Rows are stored sorted by expiration with right-to-left running sums,
+so "total count of rows still alive at ``now``" — the value every TRIG
+arrival needs — is one bisect instead of a scan. Rows expire in START
+arrival order, which makes expiration order equal insertion order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Any, Iterable, Iterator
+
+
+class Snapshot:
+    """An immutable snapshot: rows of (tag, exp, count), exp-sorted."""
+
+    __slots__ = ("tags", "exps", "counts", "_suffix_totals", "_cursor")
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Any, int, int]],
+        presorted: bool = False,
+    ):
+        rows = list(items) if presorted else sorted(
+            items, key=lambda row: row[1]
+        )
+        self.tags = [tag for tag, _, _ in rows]
+        self.exps = [exp for _, exp, _ in rows]
+        self.counts = [count for _, _, count in rows]
+        # _suffix_totals[i] = sum of counts[i:]; one cursor advance (or
+        # bisect for non-monotone observers) gives the live total.
+        suffix = [0] * (len(rows) + 1)
+        for index in range(len(rows) - 1, -1, -1):
+            suffix[index] = suffix[index + 1] + self.counts[index]
+        self._suffix_totals = suffix
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def __bool__(self) -> bool:
+        return bool(self.tags)
+
+    def alive_total(self, now: int) -> int:
+        """Sum of row counts whose full-pattern START is alive at ``now``.
+
+        Observation times are normally monotone (stream time), so a
+        cursor advances in amortized O(1); out-of-order observers fall
+        back to a bisect without disturbing correctness.
+        """
+        exps = self.exps
+        index = self._cursor
+        if index < len(exps) and exps[index] <= now:
+            while index < len(exps) and exps[index] <= now:
+                index += 1
+            self._cursor = index
+        elif index and exps[index - 1] > now:
+            index = bisect.bisect_right(exps, now, 0, index)
+        return self._suffix_totals[index]
+
+    def alive_items(self, now: int) -> Iterator[tuple[Any, int, int]]:
+        """Iterate ``(tag, exp, count)`` of live rows, soonest-dying first."""
+        index = bisect.bisect_right(self.exps, now)
+        for position in range(index, len(self.tags)):
+            yield (
+                self.tags[position],
+                self.exps[position],
+                self.counts[position],
+            )
+
+
+EMPTY_SNAPSHOT = Snapshot(())
+
+
+class SnapshotTable:
+    """Snapshots attached to the CNET instances of one segment.
+
+    Keyed by the CNET event; entries are purged once the CNET itself
+    expires (every row inside expires no later, since the full-pattern
+    START arrived earlier than the CNET).
+    """
+
+    __slots__ = ("by_event", "_expiry", "snapshots_created", "rows_written")
+
+    def __init__(self) -> None:
+        self.by_event: dict[Any, Snapshot] = {}
+        self._expiry: deque[tuple[int, Any]] = deque()
+        self.snapshots_created = 0
+        self.rows_written = 0
+
+    def add(self, cnet_event: Any, cnet_exp: int, snapshot: Snapshot) -> None:
+        """Attach a snapshot to a CNET arrival."""
+        self.by_event[cnet_event] = snapshot
+        self._expiry.append((cnet_exp, cnet_event))
+        self.snapshots_created += 1
+        self.rows_written += len(snapshot)
+
+    def get(self, cnet_event: Any) -> Snapshot | None:
+        return self.by_event.get(cnet_event)
+
+    def purge(self, now: int) -> None:
+        """Drop snapshots whose CNET instance has expired."""
+        expiry = self._expiry
+        by_event = self.by_event
+        while expiry and expiry[0][0] <= now:
+            _, event = expiry.popleft()
+            by_event.pop(event, None)
+
+    def __len__(self) -> int:
+        return len(self.by_event)
+
+    def live_rows(self) -> int:
+        """Total rows currently held (memory accounting)."""
+        return sum(len(snapshot) for snapshot in self.by_event.values())

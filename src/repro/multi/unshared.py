@@ -1,0 +1,66 @@
+"""Unshared multi-query execution — the NonShare comparator.
+
+Runs one independent engine per query (A-Seq by default, or any
+factory with the ``process``/``result`` surface). This is the paper's
+"applying the single A-Seq on each query" baseline in Figs. 15/16.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import PlanError
+from repro.events.event import Event
+from repro.core.executor import ASeqEngine
+from repro.query.ast import Query
+
+
+class UnsharedEngine:
+    """One engine per query; no computation sharing."""
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        engine_factory: Callable[[Query], Any] = ASeqEngine,
+    ):
+        if not queries:
+            raise PlanError("empty workload")
+        names = [q.name for q in queries]
+        if None in names or len(set(names)) != len(names):
+            raise PlanError("queries in a workload must be uniquely named")
+        self._engines: dict[str, Any] = {
+            q.name: engine_factory(q) for q in queries  # type: ignore[misc]
+        }
+        self._trigger_of = {
+            q.name: frozenset(q.pattern.trigger_alternatives)
+            for q in queries
+        }
+        self.events_processed = 0
+
+    def process(self, event: Event) -> dict[str, Any] | None:
+        """Feed the event to every engine; returns fresh completed counts."""
+        self.events_processed += 1
+        fresh: dict[str, Any] = {}
+        for name, engine in self._engines.items():
+            output = engine.process(event)
+            if (
+                output is not None
+                and event.event_type in self._trigger_of[name]
+            ):
+                fresh[name] = output
+        return fresh or None
+
+    def result(self, query_name: str | None = None) -> Any:
+        if query_name is not None:
+            return self._engines[query_name].result()
+        return {
+            name: engine.result() for name, engine in self._engines.items()
+        }
+
+    def current_objects(self) -> int:
+        return sum(
+            engine.current_objects() for engine in self._engines.values()
+        )
+
+    def engine(self, query_name: str) -> Any:
+        return self._engines[query_name]

@@ -1,0 +1,170 @@
+"""One entry point for arbitrary multi-query workloads.
+
+The shared engines cover the paper's experimental query class
+(COUNT-only, predicate-free, ungrouped, one common window); real
+workloads mix in negation, predicates, GROUP BY, value aggregates,
+Kleene, and windows of different sizes. :class:`WorkloadEngine` routes
+automatically:
+
+* queries the sharing planner can chop around a common substring run
+  together in one :class:`~repro.multi.chop_connect.ChopConnectEngine`
+  (which subsumes prefix sharing: a shared prefix is a shared leading
+  segment);
+* everything else runs on its own
+  :class:`~repro.core.executor.ASeqEngine`.
+
+The result is the union of both, under the same ``process``/``result``
+surface as every other engine in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import PlanError
+from repro.events.event import Event
+from repro.core.executor import ASeqEngine
+from repro.multi.chop import ChopPlan
+from repro.multi.chop_connect import ChopConnectEngine
+from repro.multi.planner import chop_around, find_common_substrings
+from repro.multi.pretree import _check_shareable
+from repro.query.ast import AggKind, Query
+
+
+def _is_shareable(query: Query, window_ms: int | None) -> bool:
+    """Whether a query fits the shared engines' supported class."""
+    if query.aggregate.kind is not AggKind.COUNT:
+        return False
+    if query.predicates or query.group_by:
+        return False
+    if query.pattern.has_negation or query.pattern.has_kleene:
+        return False
+    if query.window is None or window_ms is None:
+        return False
+    return query.window.size_ms == window_ms
+
+
+class WorkloadEngine:
+    """Route a mixed workload across shared and per-query engines.
+
+    >>> from repro.query import parse_workload
+    >>> workload = parse_workload('''
+    ...   q1: PATTERN SEQ(A, B, C)     AGG COUNT WITHIN 100 ms;
+    ...   q2: PATTERN SEQ(X, B, C)     AGG COUNT WITHIN 100 ms;
+    ...   q3: PATTERN SEQ(A, !N, D)   AGG COUNT WITHIN 100 ms;
+    ... ''')
+    >>> engine = WorkloadEngine(workload)
+    >>> sorted(engine.shared_query_names)  # (B, C) shared by q1/q2
+    ['q1', 'q2']
+    >>> engine.unshared_query_names
+    ['q3']
+    """
+
+    def __init__(self, queries: Sequence[Query], vectorized: bool = False):
+        if not queries:
+            raise PlanError("empty workload")
+        names = [q.name for q in queries]
+        if None in names or len(set(names)) != len(names):
+            raise PlanError("queries in a workload must be uniquely named")
+
+        # The dominant window among shareable candidates anchors the
+        # shared group; everything else runs unshared.
+        window_votes: dict[int, int] = {}
+        for query in queries:
+            if query.window is not None:
+                size = query.window.size_ms
+                window_votes[size] = window_votes.get(size, 0) + 1
+        anchor_window = max(window_votes, key=window_votes.get) if window_votes else None
+
+        candidates = [
+            q for q in queries if _is_shareable(q, anchor_window)
+        ]
+        shared_queries: list[Query] = []
+        plans: list[ChopPlan] = []
+        if len(candidates) >= 2:
+            substrings = find_common_substrings(candidates)
+            if substrings:
+                best = substrings[0]
+                covered = set(best.query_names)
+                shared_queries = [
+                    q for q in candidates if q.name in covered
+                ]
+                plans = [
+                    chop_around(q, best.types) for q in shared_queries
+                ]
+        shared_names = {q.name for q in shared_queries}
+        unshared_queries = [
+            q for q in queries if q.name not in shared_names
+        ]
+
+        self._shared = ChopConnectEngine(plans) if plans else None
+        self._unshared: dict[str, ASeqEngine] = {
+            q.name: ASeqEngine(q, vectorized=vectorized)  # type: ignore[misc]
+            for q in unshared_queries
+        }
+        self._unshared_triggers = {
+            name: frozenset(
+                engine.query.pattern.trigger_alternatives
+            )
+            for name, engine in self._unshared.items()
+        }
+        self.shared_query_names: list[str] = sorted(shared_names)  # type: ignore[arg-type]
+        self.unshared_query_names: list[str] = [
+            q.name for q in unshared_queries  # type: ignore[misc]
+        ]
+        self.events_processed = 0
+
+    # ----- ingestion --------------------------------------------------------
+
+    def process(self, event: Event) -> dict[str, Any] | None:
+        """Ingest one event; returns fresh aggregates per completed query."""
+        self.events_processed += 1
+        fresh: dict[str, Any] = {}
+        if self._shared is not None:
+            shared_fresh = self._shared.process(event)
+            if shared_fresh:
+                fresh.update(shared_fresh)
+        for name, engine in self._unshared.items():
+            output = engine.process(event)
+            if (
+                output is not None
+                and event.event_type in self._unshared_triggers[name]
+            ):
+                fresh[name] = output
+        return fresh or None
+
+    # ----- results -------------------------------------------------------------
+
+    def result(self, query_name: str | None = None) -> Any:
+        if query_name is not None:
+            if query_name in self._unshared:
+                return self._unshared[query_name].result()
+            assert self._shared is not None
+            return self._shared.result(query_name)
+        results: dict[str, Any] = {}
+        if self._shared is not None:
+            results.update(self._shared.result())
+        for name, engine in self._unshared.items():
+            results[name] = engine.result()
+        return results
+
+    def current_objects(self) -> int:
+        total = sum(
+            engine.current_objects() for engine in self._unshared.values()
+        )
+        if self._shared is not None:
+            total += self._shared.current_objects()
+        return total
+
+    def describe(self) -> str:
+        """Human-readable routing decision."""
+        lines = []
+        if self._shared is not None:
+            lines.append("shared (Chop-Connect):")
+            lines.append("  " + self._shared.describe().replace("\n", "\n  "))
+        if self._unshared:
+            lines.append(
+                "unshared (per-query A-Seq): "
+                + ", ".join(self.unshared_query_names)
+            )
+        return "\n".join(lines)

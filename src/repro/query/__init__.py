@@ -1,0 +1,53 @@
+"""Query model: pattern AST, predicates, text parser and fluent builder.
+
+The dialect follows the paper (Sec. 2.1)::
+
+    PATTERN SEQ(TypeUsername, TypePassword, ClickSubmit)
+    WHERE TypePassword.value != TypeUsername.Password
+    GROUP BY ip
+    AGG COUNT
+    WITHIN 10s
+
+Use :func:`parse_query` for query text, or :class:`QueryBuilder` /
+:func:`seq` for programmatic construction.
+"""
+
+from repro.query.ast import (
+    AggKind,
+    Aggregate,
+    NegatedType,
+    PatternElement,
+    PositiveType,
+    Query,
+    SeqPattern,
+    Window,
+)
+from repro.query.builder import QueryBuilder, seq
+from repro.query.parser import parse_query, parse_workload
+from repro.query.predicates import (
+    AttributeComparison,
+    EquivalencePredicate,
+    LocalPredicate,
+    Predicate,
+)
+from repro.query.validate import validate_query
+
+__all__ = [
+    "AggKind",
+    "Aggregate",
+    "AttributeComparison",
+    "EquivalencePredicate",
+    "LocalPredicate",
+    "NegatedType",
+    "PatternElement",
+    "PositiveType",
+    "Predicate",
+    "Query",
+    "QueryBuilder",
+    "SeqPattern",
+    "Window",
+    "parse_query",
+    "parse_workload",
+    "seq",
+    "validate_query",
+]

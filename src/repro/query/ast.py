@@ -1,0 +1,491 @@
+"""Abstract syntax for CEP aggregation queries.
+
+A :class:`Query` bundles the pieces of the paper's query template:
+
+* ``PATTERN`` — a :class:`SeqPattern` of positive and negated event types;
+* ``WHERE`` — predicates (see :mod:`repro.query.predicates`);
+* ``GROUP BY`` — an attribute name;
+* ``AGG`` — an :class:`Aggregate` (COUNT/SUM/AVG/MAX/MIN);
+* ``WITHIN`` — a :class:`Window` in milliseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, TYPE_CHECKING
+
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.query.predicates import Predicate
+
+
+@dataclass(frozen=True)
+class PositiveType:
+    """A positive position of a SEQ pattern.
+
+    ``name`` is the canonical label; a disjunction of event types (an
+    extension beyond the paper: any one of several types fills the
+    position) is written ``"A|B"``. :attr:`alternatives` lists the
+    concrete event types the position accepts.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        alternatives = self.alternatives
+        if not all(alternatives):
+            raise QueryError(f"malformed type label {self.name!r}")
+        if len(set(alternatives)) != len(alternatives):
+            raise QueryError(
+                f"duplicate alternative in type label {self.name!r}"
+            )
+
+    @property
+    def alternatives(self) -> tuple[str, ...]:
+        """Concrete event types this position accepts."""
+        return tuple(self.name.split("|"))
+
+    @property
+    def is_choice(self) -> bool:
+        return "|" in self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class KleeneType:
+    """A Kleene-plus position: one or more instances of an event type.
+
+    ``SEQ(A, B+, C)`` matches an A, then any non-empty increasing
+    subsequence of B instances, then a C. An extension beyond the paper
+    in the direction of its follow-on work (GRETA): the prefix-counter
+    update becomes ``count' = 2*count + count_prev`` — each existing
+    partial match may or may not absorb the new instance, and a fresh
+    one may start from the previous prefix. Still O(1) per arrival.
+    """
+
+    name: str
+
+    @property
+    def alternatives(self) -> tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return f"{self.name}+"
+
+
+@dataclass(frozen=True)
+class NegatedType:
+    """A negated (``!``) event type between two positive positions."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"!{self.name}"
+
+
+PatternElement = PositiveType | KleeneType | NegatedType
+
+
+@dataclass(frozen=True)
+class SeqPattern:
+    """An ordered SEQ pattern such as ``SEQ(A, B, !C, D)``.
+
+    The canonical representation keeps the full element tuple; the
+    derived views used by every engine are:
+
+    * :attr:`positive_types` — the positive types in order;
+    * :attr:`negations` — a map from *guarded position* to the negated
+      type names that must not occur between positive positions
+      ``guarded_position - 1`` and ``guarded_position``.
+    """
+
+    elements: tuple[PatternElement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise QueryError("a SEQ pattern needs at least one event type")
+        if isinstance(self.elements[0], NegatedType):
+            raise QueryError(
+                "negation cannot lead a pattern: there is no earlier positive "
+                "event to bound the non-occurrence interval"
+            )
+        if isinstance(self.elements[-1], NegatedType):
+            raise QueryError(
+                "negation cannot end a pattern: the non-occurrence interval "
+                "would extend into the unbounded future"
+            )
+        if len(self.positive_types) < 1:
+            raise QueryError("a SEQ pattern needs at least one positive type")
+        if isinstance(self.elements[0], KleeneType):
+            raise QueryError(
+                "a Kleene position cannot open a pattern; anchor it "
+                "behind at least one plain positive type"
+            )
+        previous_negated = False
+        previous_kleene = False
+        for element in self.elements:
+            if isinstance(element, NegatedType):
+                if previous_negated:
+                    raise QueryError(
+                        "adjacent negations are ambiguous; combine them into "
+                        "distinct guarded positions"
+                    )
+                if previous_kleene:
+                    raise QueryError(
+                        "negation adjacent to a Kleene position is "
+                        "ambiguous (which repetition bounds the interval?)"
+                    )
+                previous_negated = True
+                previous_kleene = False
+            else:
+                if previous_negated and isinstance(element, KleeneType):
+                    raise QueryError(
+                        "negation adjacent to a Kleene position is "
+                        "ambiguous (which repetition bounds the interval?)"
+                    )
+                previous_negated = False
+                previous_kleene = isinstance(element, KleeneType)
+
+    @classmethod
+    def of(cls, *names: str) -> "SeqPattern":
+        """Build a pattern from type names.
+
+        Prefix a name with ``!`` to negate it, suffix with ``+`` for a
+        Kleene-plus position, and join names with ``|`` for a choice.
+
+        >>> SeqPattern.of("A", "B", "!C", "D").negations
+        {2: ('C',)}
+        >>> str(SeqPattern.of("A", "B+", "C"))
+        'SEQ(A, B+, C)'
+        """
+        elements: list[PatternElement] = []
+        for name in names:
+            if name.startswith("!"):
+                elements.append(NegatedType(name[1:]))
+            elif name.endswith("+"):
+                elements.append(KleeneType(name[:-1]))
+            else:
+                elements.append(PositiveType(name))
+        return cls(tuple(elements))
+
+    @property
+    def positive_types(self) -> tuple[str, ...]:
+        """Positive position labels in pattern order.
+
+        For plain patterns these are the event type names; a choice
+        position keeps its ``"A|B"`` label and a Kleene position its
+        ``"B+"`` label — use :attr:`alternatives` when matching events.
+        """
+        return tuple(
+            str(e)
+            for e in self.elements
+            if isinstance(e, (PositiveType, KleeneType))
+        )
+
+    @property
+    def alternatives(self) -> tuple[tuple[str, ...], ...]:
+        """Concrete event types accepted at each positive position."""
+        return tuple(
+            e.alternatives
+            for e in self.elements
+            if isinstance(e, (PositiveType, KleeneType))
+        )
+
+    @property
+    def kleene_positions(self) -> frozenset[int]:
+        """Positive positions that are Kleene-plus repetitions."""
+        positions = []
+        index = 0
+        for element in self.elements:
+            if isinstance(element, (PositiveType, KleeneType)):
+                if isinstance(element, KleeneType):
+                    positions.append(index)
+                index += 1
+        return frozenset(positions)
+
+    @property
+    def has_kleene(self) -> bool:
+        return any(isinstance(e, KleeneType) for e in self.elements)
+
+    @property
+    def all_positive_event_types(self) -> frozenset[str]:
+        """Every concrete event type any positive position accepts."""
+        return frozenset(
+            name for names in self.alternatives for name in names
+        )
+
+    @property
+    def start_alternatives(self) -> tuple[str, ...]:
+        """Event types that open a match (the START position)."""
+        return self.alternatives[0]
+
+    @property
+    def trigger_alternatives(self) -> tuple[str, ...]:
+        """Event types that complete a match (the TRIG position)."""
+        return self.alternatives[-1]
+
+    def position_of_event_type(self, event_type: str) -> int:
+        """The unique positive position accepting ``event_type``.
+
+        Raises :class:`QueryError` when the type is absent or ambiguous
+        (used to resolve value-aggregate targets).
+        """
+        positions = [
+            index
+            for index, names in enumerate(self.alternatives)
+            if event_type in names
+        ]
+        if not positions:
+            raise QueryError(
+                f"type {event_type!r} does not appear in {self}"
+            )
+        if len(positions) > 1:
+            raise QueryError(
+                f"type {event_type!r} appears at several positions of "
+                f"{self}; the reference is ambiguous"
+            )
+        return positions[0]
+
+    @property
+    def negations(self) -> dict[int, tuple[str, ...]]:
+        """Map guarded positive position -> negated type names before it.
+
+        For ``SEQ(A, B, !C, D)`` the result is ``{2: ("C",)}``: no ``C``
+        instance may occur between the matched ``B`` (position 1) and the
+        matched ``D`` (position 2).
+        """
+        result: dict[int, tuple[str, ...]] = {}
+        position = 0
+        pending: list[str] = []
+        for element in self.elements:
+            if isinstance(element, NegatedType):
+                pending.append(element.name)
+            else:
+                if pending:
+                    result[position] = tuple(pending)
+                    pending = []
+                position += 1
+        return result
+
+    @property
+    def negated_types(self) -> tuple[str, ...]:
+        """All negated type names, in pattern order."""
+        return tuple(
+            e.name for e in self.elements if isinstance(e, NegatedType)
+        )
+
+    @property
+    def length(self) -> int:
+        """Number of positive positions (the pattern length ``l``)."""
+        return len(self.positive_types)
+
+    @property
+    def has_negation(self) -> bool:
+        return any(isinstance(e, NegatedType) for e in self.elements)
+
+    def prefix(self, length: int) -> "SeqPattern":
+        """The prefix pattern covering the first ``length`` positive types.
+
+        Negations guarded by a position inside the prefix are kept; a
+        trailing negation (one whose guarded position falls outside the
+        prefix) is dropped, because the prefix ends at a positive type.
+        """
+        if not 1 <= length <= self.length:
+            raise QueryError(
+                f"prefix length {length} out of range 1..{self.length}"
+            )
+        elements: list[PatternElement] = []
+        seen_positive = 0
+        for element in self.elements:
+            if isinstance(element, (PositiveType, KleeneType)):
+                elements.append(element)
+                seen_positive += 1
+                if seen_positive == length:
+                    break
+            else:
+                elements.append(element)
+        # A pattern cannot end in a negation; drop any trailing one.
+        while elements and isinstance(elements[-1], NegatedType):
+            elements.pop()
+        return SeqPattern(tuple(elements))
+
+    def substring(self, start: int, end: int) -> "SeqPattern":
+        """Positive positions ``start`` (inclusive) to ``end`` (exclusive).
+
+        Negations that are guarded by a position strictly inside the
+        range travel with the substring; boundary negations are rejected
+        because chop plans (Sec. 4.2) only cut between purely positive
+        neighbours.
+        """
+        if not (0 <= start < end <= self.length):
+            raise QueryError(
+                f"substring range [{start}, {end}) out of bounds for a "
+                f"pattern of length {self.length}"
+            )
+        negations = self.negations
+        if start in negations and start > 0:
+            raise QueryError(
+                f"cannot cut the pattern at position {start}: a negation "
+                f"guards that boundary"
+            )
+        if end in negations and end < self.length:
+            raise QueryError(
+                f"cannot cut the pattern at position {end}: a negation "
+                f"guards that boundary"
+            )
+        positionals = [
+            e
+            for e in self.elements
+            if isinstance(e, (PositiveType, KleeneType))
+        ]
+        elements: list[PatternElement] = []
+        for position in range(start, end):
+            for negated in negations.get(position, ()):
+                if position > start:
+                    elements.append(NegatedType(negated))
+            elements.append(positionals[position])
+        return SeqPattern(tuple(elements))
+
+    def __iter__(self) -> Iterator[PatternElement]:
+        return iter(self.elements)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.elements)
+        return f"SEQ({inner})"
+
+
+class AggKind(enum.Enum):
+    """Aggregation functions supported by A-Seq (paper Sec. 5)."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MAX = "MAX"
+    MIN = "MIN"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An AGG clause.
+
+    ``COUNT`` takes no target. The value aggregates name one positive
+    event type and one of its attributes, e.g. ``SUM(C.weight)``.
+    """
+
+    kind: AggKind
+    event_type: str | None = None
+    attribute: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is AggKind.COUNT:
+            if self.event_type is not None or self.attribute is not None:
+                raise QueryError("COUNT does not take a target attribute")
+        else:
+            if self.event_type is None or self.attribute is None:
+                raise QueryError(
+                    f"{self.kind.value} needs a target such as "
+                    f"{self.kind.value}(C.weight)"
+                )
+
+    @classmethod
+    def count(cls) -> "Aggregate":
+        return cls(AggKind.COUNT)
+
+    def __str__(self) -> str:
+        if self.kind is AggKind.COUNT:
+            return "COUNT"
+        return f"{self.kind.value}({self.event_type}.{self.attribute})"
+
+
+@dataclass(frozen=True)
+class Window:
+    """A WITHIN clause: sliding window size in milliseconds.
+
+    The window slides on every arrival; a match whose START instance
+    arrived at ``t0`` contributes to results at times ``t < t0 + size_ms``
+    (paper Sec. 3.2, Example 3).
+    """
+
+    size_ms: int
+
+    def __post_init__(self) -> None:
+        if self.size_ms <= 0:
+            raise QueryError("window size must be positive")
+
+    def expiry_of(self, arrival_ts: int) -> int:
+        """Timestamp at which an event arriving at ``arrival_ts`` expires."""
+        return arrival_ts + self.size_ms
+
+    def __str__(self) -> str:
+        return f"WITHIN {self.size_ms}ms"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A complete CEP aggregation query."""
+
+    pattern: SeqPattern
+    aggregate: Aggregate = field(default_factory=Aggregate.count)
+    window: Window | None = None
+    predicates: tuple["Predicate", ...] = ()
+    group_by: str | None = None
+    name: str | None = None
+
+    @property
+    def relevant_types(self) -> frozenset[str]:
+        """Every event type the query reacts to (positive and negated)."""
+        return self.pattern.all_positive_event_types | frozenset(
+            self.pattern.negated_types
+        )
+
+    def __str__(self) -> str:
+        parts = [f"PATTERN {self.pattern}"]
+        if self.predicates:
+            clauses = " AND ".join(str(p) for p in self.predicates)
+            parts.append(f"WHERE {clauses}")
+        if self.group_by:
+            parts.append(f"GROUP BY {self.group_by}")
+        parts.append(f"AGG {self.aggregate}")
+        if self.window:
+            parts.append(str(self.window))
+        return "\n".join(parts)
+
+
+def patterns_equal(a: SeqPattern, b: SeqPattern) -> bool:
+    """Structural pattern equality (used by the multi-query planner)."""
+    return a.elements == b.elements
+
+
+def common_prefix_length(a: SeqPattern, b: SeqPattern) -> int:
+    """Longest shared prefix (in pattern elements), in positive positions.
+
+    Two patterns share a prefix only if the full element sequences —
+    including any interleaved negations — agree.
+    """
+    shared_elements = 0
+    for ea, eb in zip(a.elements, b.elements):
+        if ea != eb:
+            break
+        shared_elements += 1
+    return sum(
+        1
+        for element in a.elements[:shared_elements]
+        if isinstance(element, (PositiveType, KleeneType))
+    )
+
+
+def positive_subsequences(pattern: SeqPattern) -> Sequence[tuple[str, ...]]:
+    """All contiguous positive-type substrings of length >= 2.
+
+    Helper for the multi-query planner's common-substring search.
+    """
+    positives = pattern.positive_types
+    result = []
+    for start in range(len(positives)):
+        for end in range(start + 2, len(positives) + 1):
+            result.append(positives[start:end])
+    return result

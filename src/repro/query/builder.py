@@ -1,0 +1,148 @@
+"""Fluent programmatic query construction.
+
+>>> from repro.query import seq
+>>> query = (
+...     seq("Kindle", "KindleCase", "Stylus")
+...     .where_equal("userId", "Kindle", "KindleCase", "Stylus")
+...     .count()
+...     .within(hours=1)
+...     .build()
+... )
+>>> query.window.size_ms
+3600000
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryError
+from repro.query.ast import AggKind, Aggregate, Query, SeqPattern, Window
+from repro.query.predicates import (
+    AttributeComparison,
+    EquivalencePredicate,
+    LocalPredicate,
+    Predicate,
+)
+from repro.query.validate import validate_query
+
+
+def seq(*names: str) -> "QueryBuilder":
+    """Start building a query for ``SEQ(*names)``.
+
+    Prefix a type name with ``!`` to negate it: ``seq("A", "!C", "B")``.
+    """
+    return QueryBuilder(SeqPattern.of(*names))
+
+
+class QueryBuilder:
+    """Accumulates query clauses and produces a validated :class:`Query`."""
+
+    def __init__(self, pattern: SeqPattern):
+        self._pattern = pattern
+        self._predicates: list[Predicate] = []
+        self._group_by: str | None = None
+        self._aggregate = Aggregate.count()
+        self._window: Window | None = None
+        self._name: str | None = None
+
+    # ----- WHERE ----------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "QueryBuilder":
+        """Attach an already-built predicate."""
+        self._predicates.append(predicate)
+        return self
+
+    def where_local(
+        self, event_type: str, attribute: str, op: str, value: Any
+    ) -> "QueryBuilder":
+        """Attach ``<event_type>.<attribute> <op> <value>``."""
+        self._predicates.append(
+            LocalPredicate(event_type, attribute, op, value)
+        )
+        return self
+
+    def where_attrs(
+        self, event_type: str, left: str, op: str, right: str
+    ) -> "QueryBuilder":
+        """Attach an intra-event comparison of two attributes."""
+        self._predicates.append(
+            AttributeComparison(event_type, left, op, right)
+        )
+        return self
+
+    def where_equal(
+        self, attribute: str, *event_types: str
+    ) -> "QueryBuilder":
+        """Attach the chain ``T1.attribute = T2.attribute = ...``.
+
+        When no event types are given, the chain covers every positive
+        type of the pattern (the common "same user across the whole
+        pattern" idiom).
+        """
+        types = event_types or self._pattern.positive_types
+        if len(types) < 2:
+            raise QueryError(
+                "an equivalence predicate needs at least two event types"
+            )
+        self._predicates.append(EquivalencePredicate.on(attribute, *types))
+        return self
+
+    # ----- GROUP BY / AGG / WITHIN -----------------------------------------
+
+    def group_by(self, attribute: str) -> "QueryBuilder":
+        self._group_by = attribute
+        return self
+
+    def count(self) -> "QueryBuilder":
+        self._aggregate = Aggregate.count()
+        return self
+
+    def sum(self, event_type: str, attribute: str) -> "QueryBuilder":
+        self._aggregate = Aggregate(AggKind.SUM, event_type, attribute)
+        return self
+
+    def avg(self, event_type: str, attribute: str) -> "QueryBuilder":
+        self._aggregate = Aggregate(AggKind.AVG, event_type, attribute)
+        return self
+
+    def max(self, event_type: str, attribute: str) -> "QueryBuilder":
+        self._aggregate = Aggregate(AggKind.MAX, event_type, attribute)
+        return self
+
+    def min(self, event_type: str, attribute: str) -> "QueryBuilder":
+        self._aggregate = Aggregate(AggKind.MIN, event_type, attribute)
+        return self
+
+    def within(
+        self,
+        ms: int = 0,
+        seconds: float = 0,
+        minutes: float = 0,
+        hours: float = 0,
+    ) -> "QueryBuilder":
+        """Set the sliding window; the components are added together."""
+        total = int(
+            ms + seconds * 1000 + minutes * 60_000 + hours * 3_600_000
+        )
+        self._window = Window(total)
+        return self
+
+    def named(self, name: str) -> "QueryBuilder":
+        self._name = name
+        return self
+
+    # ----- finalize ---------------------------------------------------------
+
+    def build(self) -> Query:
+        """Validate and return the immutable query."""
+        query = Query(
+            pattern=self._pattern,
+            aggregate=self._aggregate,
+            window=self._window,
+            predicates=tuple(self._predicates),
+            group_by=self._group_by,
+            name=self._name,
+        )
+        validate_query(query)
+        return query

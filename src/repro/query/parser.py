@@ -1,0 +1,454 @@
+"""Text parser for the paper's CEP aggregation query dialect.
+
+Grammar (clauses may appear on one line or several; keywords are
+case-insensitive)::
+
+    query      := pattern [where] [group_by] [agg] [within]
+    pattern    := "PATTERN" ["<"] "SEQ" "(" element ("," element)* ")" [">"]
+    element    := "!" IDENT                      -- negation
+                | atom ("|" atom)*               -- choice position
+                | atom "+"                       -- Kleene-plus position
+    atom       := IDENT | "(" IDENT ("|" IDENT)* ")"
+    where      := "WHERE" ["<"] condition ("AND" condition)* [">"]
+    condition  := qualified (("=" qualified)+            -- equivalence chain
+                 | OP (constant | qualified))            -- local predicate
+    qualified  := IDENT "." IDENT
+    group_by   := "GROUP" "BY" ["<"] IDENT [">"]
+    agg        := "AGG" ["<"] (COUNT | SUM|AVG|MAX|MIN "(" qualified ")") [">"]
+    within     := "WITHIN" ["<"] NUMBER UNIT [">"]
+
+Angle brackets around clause bodies are accepted because the paper
+writes queries both ways.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    AggKind,
+    Aggregate,
+    KleeneType,
+    NegatedType,
+    PatternElement,
+    PositiveType,
+    Query,
+    SeqPattern,
+    Window,
+)
+from repro.query.predicates import (
+    AttributeComparison,
+    EquivalencePredicate,
+    LocalPredicate,
+    Predicate,
+)
+from repro.query.validate import validate_query
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|!=|==|=|<|>|!|\(|\)|,|\.|\||\+)
+    """,
+    re.VERBOSE,
+)
+
+_UNITS_MS = {
+    "ms": 1,
+    "msec": 1,
+    "millisecond": 1,
+    "milliseconds": 1,
+    "s": 1000,
+    "sec": 1000,
+    "second": 1000,
+    "seconds": 1000,
+    "min": 60_000,
+    "minute": 60_000,
+    "minutes": 60_000,
+    "h": 3_600_000,
+    "hour": 3_600_000,
+    "hours": 3_600_000,
+}
+
+_KEYWORDS = {"PATTERN", "SEQ", "WHERE", "GROUP", "BY", "AGG", "WITHIN", "AND"}
+_AGG_KINDS = {k.value for k in AggKind}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", position
+            )
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # ----- token helpers -------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self._text))
+        self._index += 1
+        return token
+
+    def _at_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "ident"
+            and token.text.upper() in keywords
+        )
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "ident" or token.text.upper() != keyword:
+            raise ParseError(
+                f"expected {keyword}, found {token.text!r}", token.position
+            )
+
+    def _expect_op(self, op: str) -> None:
+        token = self._next()
+        if token.kind != "op" or token.text != op:
+            raise ParseError(
+                f"expected {op!r}, found {token.text!r}", token.position
+            )
+
+    def _expect_ident(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise ParseError(
+                f"expected an identifier, found {token.text!r}",
+                token.position,
+            )
+        if token.text.upper() in _KEYWORDS:
+            raise ParseError(
+                f"keyword {token.text!r} cannot be used as an identifier",
+                token.position,
+            )
+        return token.text
+
+    def _peek_op(self, op: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "op" and token.text == op
+
+    def _parse_type_atom(self) -> str:
+        """One event type name, optionally parenthesized (``(A|B)``)."""
+        if self._peek_op("("):
+            self._index += 1
+            names = [self._expect_ident()]
+            while self._peek_op("|"):
+                self._index += 1
+                names.append(self._expect_ident())
+            self._expect_op(")")
+            return "|".join(names)
+        return self._expect_ident()
+
+    def _skip_optional_angle(self, opening: bool) -> bool:
+        token = self._peek()
+        wanted = "<" if opening else ">"
+        if token is not None and token.kind == "op" and token.text == wanted:
+            self._index += 1
+            return True
+        return False
+
+    # ----- clause parsers -------------------------------------------------
+
+    def parse(self, name: str | None) -> Query:
+        pattern = self._parse_pattern()
+        predicates: tuple[Predicate, ...] = ()
+        group_by: str | None = None
+        aggregate = Aggregate.count()
+        window: Window | None = None
+
+        while self._peek() is not None:
+            if self._at_keyword("WHERE"):
+                predicates = self._parse_where()
+            elif self._at_keyword("GROUP"):
+                group_by = self._parse_group_by()
+            elif self._at_keyword("AGG"):
+                aggregate = self._parse_agg()
+            elif self._at_keyword("WITHIN"):
+                window = self._parse_within()
+            else:
+                token = self._peek()
+                assert token is not None
+                raise ParseError(
+                    f"unexpected token {token.text!r}", token.position
+                )
+
+        query = Query(
+            pattern=pattern,
+            aggregate=aggregate,
+            window=window,
+            predicates=predicates,
+            group_by=group_by,
+            name=name,
+        )
+        validate_query(query)
+        return query
+
+    def _parse_pattern(self) -> SeqPattern:
+        self._expect_keyword("PATTERN")
+        bracketed = self._skip_optional_angle(opening=True)
+        self._expect_keyword("SEQ")
+        self._expect_op("(")
+        elements: list[PatternElement] = []
+        while True:
+            token = self._peek()
+            negated = False
+            if token is not None and token.kind == "op" and token.text == "!":
+                self._index += 1
+                negated = True
+            names = [self._parse_type_atom()]
+            while self._peek_op("|"):
+                self._index += 1
+                names.append(self._parse_type_atom())
+            kleene = False
+            if self._peek_op("+"):
+                self._index += 1
+                kleene = True
+            if negated:
+                if len(names) > 1 or kleene:
+                    raise ParseError(
+                        "negation applies to a single plain event type; "
+                        "write one !T per negated type"
+                    )
+                elements.append(NegatedType(names[0]))
+            elif kleene:
+                if len(names) > 1 or "|" in names[0]:
+                    raise ParseError(
+                        "Kleene-plus applies to a single event type"
+                    )
+                elements.append(KleeneType(names[0]))
+            else:
+                elements.append(PositiveType("|".join(names)))
+            token = self._next()
+            if token.kind == "op" and token.text == ",":
+                continue
+            if token.kind == "op" and token.text == ")":
+                break
+            raise ParseError(
+                f"expected ',' or ')', found {token.text!r}", token.position
+            )
+        if bracketed:
+            self._skip_optional_angle(opening=False)
+        return SeqPattern(tuple(elements))
+
+    def _parse_qualified(self) -> tuple[str, str]:
+        event_type = self._expect_ident()
+        self._expect_op(".")
+        attribute = self._expect_ident()
+        return event_type, attribute
+
+    def _parse_constant(self) -> Any:
+        token = self._next()
+        if token.kind == "number":
+            text = token.text
+            return float(text) if "." in text else int(text)
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "ident" and token.text.upper() in ("TRUE", "FALSE"):
+            return token.text.upper() == "TRUE"
+        raise ParseError(
+            f"expected a constant, found {token.text!r}", token.position
+        )
+
+    def _parse_condition(self) -> Predicate:
+        left_type, left_attr = self._parse_qualified()
+        token = self._next()
+        if token.kind != "op" or token.text not in (
+            "=", "==", "!=", "<", "<=", ">", ">=",
+        ):
+            raise ParseError(
+                f"expected a comparison operator, found {token.text!r}",
+                token.position,
+            )
+        op = token.text
+        # Decide whether the right-hand side is a qualified attribute
+        # (possibly continuing an equivalence chain) or a constant.
+        lookahead = self._peek()
+        rhs_is_qualified = (
+            lookahead is not None
+            and lookahead.kind == "ident"
+            and lookahead.text.upper() not in _KEYWORDS
+            and self._index + 1 < len(self._tokens)
+            and self._tokens[self._index + 1].text == "."
+        )
+        if not rhs_is_qualified:
+            value = self._parse_constant()
+            return LocalPredicate(left_type, left_attr, op, value)
+
+        right_type, right_attr = self._parse_qualified()
+        if op in ("=", "=="):
+            terms = [(left_type, left_attr), (right_type, right_attr)]
+            while True:
+                nxt = self._peek()
+                if nxt is None or nxt.kind != "op" or nxt.text not in ("=", "=="):
+                    break
+                self._index += 1
+                terms.append(self._parse_qualified())
+            if len(terms) > 2 or left_type != right_type:
+                return EquivalencePredicate(tuple(terms))
+            # Same type on both sides of one '=': an intra-event check.
+            return AttributeComparison(left_type, left_attr, "=", right_attr)
+        if left_type == right_type:
+            return AttributeComparison(left_type, left_attr, op, right_attr)
+        raise ParseError(
+            f"cross-type comparison {left_type}.{left_attr} {op} "
+            f"{right_type}.{right_attr} is not supported; only equality "
+            f"chains correlate different types",
+            token.position,
+        )
+
+    def _parse_where(self) -> tuple[Predicate, ...]:
+        self._expect_keyword("WHERE")
+        bracketed = self._skip_optional_angle(opening=True)
+        predicates = [self._parse_condition()]
+        while self._at_keyword("AND"):
+            self._index += 1
+            predicates.append(self._parse_condition())
+        if bracketed:
+            self._skip_optional_angle(opening=False)
+        return tuple(predicates)
+
+    def _parse_group_by(self) -> str:
+        self._expect_keyword("GROUP")
+        self._expect_keyword("BY")
+        bracketed = self._skip_optional_angle(opening=True)
+        attribute = self._expect_ident()
+        if bracketed:
+            self._skip_optional_angle(opening=False)
+        return attribute
+
+    def _parse_agg(self) -> Aggregate:
+        self._expect_keyword("AGG")
+        bracketed = self._skip_optional_angle(opening=True)
+        token = self._next()
+        if token.kind != "ident" or token.text.upper() not in _AGG_KINDS:
+            raise ParseError(
+                f"expected an aggregation function, found {token.text!r}",
+                token.position,
+            )
+        kind = AggKind(token.text.upper())
+        if kind is AggKind.COUNT:
+            aggregate = Aggregate.count()
+        else:
+            self._expect_op("(")
+            event_type, attribute = self._parse_qualified()
+            self._expect_op(")")
+            aggregate = Aggregate(kind, event_type, attribute)
+        if bracketed:
+            self._skip_optional_angle(opening=False)
+        return aggregate
+
+    def _parse_within(self) -> Window:
+        self._expect_keyword("WITHIN")
+        bracketed = self._skip_optional_angle(opening=True)
+        token = self._next()
+        if token.kind != "number":
+            raise ParseError(
+                f"expected a window size, found {token.text!r}",
+                token.position,
+            )
+        amount = float(token.text)
+        unit_token = self._next()
+        unit = unit_token.text.lower() if unit_token.kind == "ident" else None
+        if unit not in _UNITS_MS:
+            raise ParseError(
+                f"expected a time unit (ms/s/min/hour), found "
+                f"{unit_token.text!r}",
+                unit_token.position,
+            )
+        if bracketed:
+            self._skip_optional_angle(opening=False)
+        return Window(int(amount * _UNITS_MS[unit]))
+
+
+def parse_workload(text: str) -> list[Query]:
+    """Parse a workload file: named queries separated by semicolons.
+
+    Each entry is ``<name>: <query>``; the name feeds the multi-query
+    engines, which require named queries.
+
+    >>> workload = parse_workload('''
+    ...     Q1: PATTERN SEQ(VK, BK, VC) AGG COUNT WITHIN 1 hour;
+    ...     Q2: PATTERN SEQ(VK, BK, VKF) AGG COUNT WITHIN 1 hour;
+    ... ''')
+    >>> [q.name for q in workload]
+    ['Q1', 'Q2']
+    """
+    queries: list[Query] = []
+    seen: set[str] = set()
+    for entry in text.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, separator, body = entry.partition(":")
+        name = name.strip()
+        if not separator or not name or any(c.isspace() for c in name):
+            raise ParseError(
+                f"workload entries look like '<name>: PATTERN ...'; got "
+                f"{entry[:40]!r}"
+            )
+        if name in seen:
+            raise ParseError(f"duplicate query name {name!r} in workload")
+        seen.add(name)
+        queries.append(parse_query(body, name=name))
+    if not queries:
+        raise ParseError("empty workload")
+    return queries
+
+
+def parse_query(text: str, name: str | None = None) -> Query:
+    """Parse query text into a validated :class:`~repro.query.ast.Query`.
+
+    >>> q = parse_query('''
+    ...     PATTERN SEQ(Kindle, KindleCase, Stylus)
+    ...     WHERE Kindle.userId = KindleCase.userId = Stylus.userId
+    ...     AGG COUNT
+    ...     WITHIN 1 hour
+    ... ''')
+    >>> q.pattern.positive_types
+    ('Kindle', 'KindleCase', 'Stylus')
+    >>> q.window.size_ms
+    3600000
+    """
+    return _Parser(text).parse(name)

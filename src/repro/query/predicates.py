@@ -1,0 +1,232 @@
+"""WHERE-clause predicates.
+
+Three predicate families cover the paper's Sec. 3.4:
+
+* :class:`LocalPredicate` — one event type's attribute against a
+  constant (``Kindle.model = 'touch'``). Evaluated at ingestion; failing
+  events never reach the aggregation state.
+* :class:`AttributeComparison` — two attributes of the *same* event
+  instance (``TypePassword.value != TypePassword.username``). Also a
+  local filter.
+* :class:`EquivalencePredicate` — a chain such as
+  ``A.id = B.id = C.id`` correlating positions of the pattern. Handled
+  by partitioning the stream (HPC, paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import PredicateError, QueryError
+from repro.events.event import Event
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_MISSING = object()
+
+
+def comparison_fn(op: str) -> Callable[[Any, Any], bool]:
+    """Look up the Python comparison for an operator token."""
+    try:
+        return _OPS[op]
+    except KeyError:
+        raise QueryError(f"unsupported comparison operator {op!r}") from None
+
+
+class Predicate:
+    """Base class: everything a WHERE clause can contain."""
+
+    #: Event types this predicate constrains (used for routing).
+    event_types: tuple[str, ...] = ()
+
+    def is_local(self) -> bool:
+        """True when the predicate filters single events at ingestion."""
+        raise NotImplementedError
+
+    def matches(self, event: Event) -> bool:
+        """Evaluate a *local* predicate on one event.
+
+        Events of types the predicate does not constrain pass
+        vacuously. Only meaningful when :meth:`is_local` is true.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LocalPredicate(Predicate):
+    """``<Type>.<attr> <op> <constant>``."""
+
+    event_type: str
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        comparison_fn(self.op)  # validate eagerly
+
+    @property
+    def event_types(self) -> tuple[str, ...]:  # type: ignore[override]
+        return (self.event_type,)
+
+    def is_local(self) -> bool:
+        return True
+
+    def matches(self, event: Event) -> bool:
+        if event.event_type != self.event_type:
+            return True
+        actual = event.get(self.attribute, _MISSING)
+        if actual is _MISSING:
+            raise PredicateError(
+                f"event of type {self.event_type!r} has no attribute "
+                f"{self.attribute!r}"
+            )
+        return comparison_fn(self.op)(actual, self.value)
+
+    def __str__(self) -> str:
+        value = repr(self.value) if isinstance(self.value, str) else self.value
+        return f"{self.event_type}.{self.attribute} {self.op} {value}"
+
+
+@dataclass(frozen=True)
+class AttributeComparison(Predicate):
+    """``<Type>.<attrA> <op> <Type>.<attrB>`` on one event instance.
+
+    Cross-type attribute comparisons other than equality chains are not
+    part of the paper's dialect; comparisons between two attributes are
+    therefore restricted to a single event type.
+    """
+
+    event_type: str
+    left_attribute: str
+    op: str
+    right_attribute: str
+
+    def __post_init__(self) -> None:
+        comparison_fn(self.op)
+
+    @property
+    def event_types(self) -> tuple[str, ...]:  # type: ignore[override]
+        return (self.event_type,)
+
+    def is_local(self) -> bool:
+        return True
+
+    def matches(self, event: Event) -> bool:
+        if event.event_type != self.event_type:
+            return True
+        for attribute in (self.left_attribute, self.right_attribute):
+            if attribute not in event:
+                raise PredicateError(
+                    f"event of type {self.event_type!r} has no attribute "
+                    f"{attribute!r}"
+                )
+        return comparison_fn(self.op)(
+            event[self.left_attribute], event[self.right_attribute]
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.event_type}.{self.left_attribute} {self.op} "
+            f"{self.event_type}.{self.right_attribute}"
+        )
+
+
+@dataclass(frozen=True)
+class EquivalencePredicate(Predicate):
+    """An equality chain ``T1.a1 = T2.a2 = ... = Tk.ak``.
+
+    Events of the named types are routed into per-value partitions; the
+    pattern is evaluated independently inside each partition (HPC).
+    """
+
+    terms: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.terms) < 2:
+            raise QueryError(
+                "an equivalence predicate needs at least two terms"
+            )
+        types = [t for t, _ in self.terms]
+        if len(set(types)) != len(types):
+            raise QueryError(
+                "an equivalence predicate may name each event type once"
+            )
+
+    @classmethod
+    def on(cls, attribute: str, *event_types: str) -> "EquivalencePredicate":
+        """Shorthand for the common same-attribute chain ``A.id = B.id``."""
+        return cls(tuple((t, attribute) for t in event_types))
+
+    @property
+    def event_types(self) -> tuple[str, ...]:  # type: ignore[override]
+        return tuple(t for t, _ in self.terms)
+
+    def is_local(self) -> bool:
+        return False
+
+    def attribute_for(self, event_type: str) -> str | None:
+        """The attribute this chain reads on ``event_type`` (or None)."""
+        for candidate, attribute in self.terms:
+            if candidate == event_type:
+                return attribute
+        return None
+
+    def key_of(self, event: Event) -> Any:
+        """Partition key for ``event``; raises if the attribute is absent."""
+        attribute = self.attribute_for(event.event_type)
+        if attribute is None:
+            raise PredicateError(
+                f"equivalence predicate does not constrain type "
+                f"{event.event_type!r}"
+            )
+        value = event.get(attribute, _MISSING)
+        if value is _MISSING:
+            raise PredicateError(
+                f"event of type {event.event_type!r} has no attribute "
+                f"{attribute!r} required by an equivalence predicate"
+            )
+        return value
+
+    def matches(self, event: Event) -> bool:
+        raise QueryError(
+            "equivalence predicates partition the stream; they are not "
+            "evaluated per event"
+        )
+
+    def __str__(self) -> str:
+        return " = ".join(f"{t}.{a}" for t, a in self.terms)
+
+
+def split_predicates(
+    predicates: tuple[Predicate, ...],
+) -> tuple[tuple[Predicate, ...], tuple[EquivalencePredicate, ...]]:
+    """Partition WHERE predicates into local filters and equivalences."""
+    local = tuple(p for p in predicates if p.is_local())
+    equivalences = tuple(
+        p for p in predicates if isinstance(p, EquivalencePredicate)
+    )
+    return local, equivalences
+
+
+def local_filter(
+    predicates: tuple[Predicate, ...],
+) -> Callable[[Event], bool]:
+    """Compile the local predicates into one ingestion filter."""
+    local = [p for p in predicates if p.is_local()]
+    if not local:
+        return lambda event: True
+
+    def accepts(event: Event) -> bool:
+        return all(p.matches(event) for p in local)
+
+    return accepts

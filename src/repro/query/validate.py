@@ -1,0 +1,63 @@
+"""Semantic validation of queries.
+
+The parser and builder both funnel through :func:`validate_query` so
+that a query object, however constructed, satisfies the invariants the
+runtime engines rely on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.ast import AggKind, Query
+from repro.query.predicates import EquivalencePredicate, Predicate
+
+
+def validate_query(query: Query) -> None:
+    """Raise :class:`QueryError` when ``query`` is semantically invalid."""
+    _validate_pattern_types(query)
+    _validate_aggregate(query)
+    for predicate in query.predicates:
+        _validate_predicate(query, predicate)
+
+
+def _validate_pattern_types(query: Query) -> None:
+    positive_events = query.pattern.all_positive_event_types
+    for negated in query.pattern.negated_types:
+        if negated in positive_events:
+            raise QueryError(
+                f"type {negated!r} appears both positively and negated; "
+                f"the paper's dialect keeps those roles disjoint"
+            )
+
+
+def _validate_aggregate(query: Query) -> None:
+    aggregate = query.aggregate
+    if aggregate.kind is AggKind.COUNT:
+        return
+    if query.pattern.has_kleene:
+        raise QueryError(
+            "Kleene patterns support AGG COUNT only; value aggregates "
+            "over repetitions need per-repetition semantics this "
+            "library does not define"
+        )
+    assert aggregate.event_type is not None
+    # Raises QueryError when absent or ambiguous.
+    query.pattern.position_of_event_type(aggregate.event_type)
+
+
+def _validate_predicate(query: Query, predicate: Predicate) -> None:
+    known = query.relevant_types
+    for event_type in predicate.event_types:
+        if event_type not in known:
+            raise QueryError(
+                f"predicate {predicate} references type {event_type!r} "
+                f"which is not part of {query.pattern}"
+            )
+    if isinstance(predicate, EquivalencePredicate):
+        negated = set(query.pattern.negated_types)
+        for event_type in predicate.event_types:
+            if event_type in negated:
+                raise QueryError(
+                    f"equivalence predicate {predicate} may not constrain "
+                    f"negated type {event_type!r}"
+                )

@@ -1,0 +1,93 @@
+"""Shared test helpers.
+
+``replay`` drives an engine over an event list; ``events_of`` builds
+event lists from compact specs like ``[("A", 1), ("B", 2)]``. The
+differential helpers compare any set of engines against the brute-force
+oracle on the same stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Sequence
+
+import pytest
+
+from repro.baseline.oracle import BruteForceOracle
+from repro.events.event import Event
+from repro.query.ast import Query
+
+
+def events_of(*specs: tuple) -> list[Event]:
+    """Build events from ``(type, ts)`` or ``(type, ts, attrs)`` tuples."""
+    events = []
+    for spec in specs:
+        if len(spec) == 2:
+            event_type, ts = spec
+            events.append(Event(event_type, ts))
+        else:
+            event_type, ts, attrs = spec
+            events.append(Event(event_type, ts, attrs))
+    return events
+
+
+def replay(engine: Any, events: Iterable[Event]) -> list[Any]:
+    """Feed events through an engine; returns the non-None outputs."""
+    outputs = []
+    for event in events:
+        fresh = engine.process(event)
+        if fresh is not None:
+            outputs.append(fresh)
+    return outputs
+
+
+def assert_matches_oracle(
+    query: Query, engines: Sequence[Any], events: Sequence[Event]
+) -> None:
+    """Replay everything and compare final results against the oracle."""
+    expected = BruteForceOracle(query).aggregate(events)
+    for engine in engines:
+        replay(engine, events)
+        actual = engine.result()
+        assert _equalish(actual, expected), (
+            f"{type(engine).__name__} disagrees with the oracle: "
+            f"{actual!r} != {expected!r} on query\n{query}"
+        )
+
+
+def _equalish(actual: Any, expected: Any) -> bool:
+    if isinstance(expected, dict):
+        if not isinstance(actual, dict):
+            return False
+        keys = set(expected) | set(actual)
+        return all(
+            _equalish(actual.get(k, 0), expected.get(k, 0)) for k in keys
+        )
+    if actual is None or expected is None:
+        return actual == expected
+    if isinstance(expected, float) or isinstance(actual, float):
+        return abs(actual - expected) < 1e-9
+    return actual == expected
+
+
+def random_events(
+    rng: random.Random,
+    alphabet: Sequence[str],
+    count: int,
+    max_gap: int = 3,
+    attr_maker=None,
+) -> list[Event]:
+    """Random in-order events with strictly increasing timestamps."""
+    events = []
+    ts = 0
+    for _ in range(count):
+        ts += rng.randint(1, max_gap)
+        event_type = rng.choice(list(alphabet))
+        attrs = attr_maker(rng, event_type) if attr_maker else None
+        events.append(Event(event_type, ts, attrs))
+    return events
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xA5EC)

@@ -1,0 +1,119 @@
+"""The benchmark harness itself: scales, tables, rendering, experiments."""
+
+import pytest
+
+from repro.bench.harness import (
+    FULL,
+    QUICK,
+    ExperimentTable,
+    Scale,
+    scale_named,
+    speedup,
+    time_engines,
+)
+from repro.bench.report import render_markdown, render_table, render_tables
+from repro.engine.metrics import RunStats
+
+
+class TestScale:
+    def test_named(self):
+        assert scale_named("quick") is QUICK
+        assert scale_named("full") is FULL
+        with pytest.raises(ValueError):
+            scale_named("enormous")
+
+    def test_events_for_fraction(self):
+        scale = Scale("x", events=10_000, multi_events=1)
+        assert scale.events_for(0.5) == 5_000
+        assert scale.events_for(0.000001) == 200  # floor
+
+
+class TestExperimentTable:
+    def test_add_row(self):
+        table = ExperimentTable("id", "title", ["a", "b"])
+        table.add_row(1, 2.5)
+        assert table.rows == [[1, 2.5]]
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(
+            "My Table", ["x", "value"], [[1, 1234.5], [22, 0.001]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "x" in lines[2] and "value" in lines[2]
+        assert "1,234" in text  # thousands formatting
+        assert "1.00e-03" in text  # scientific for tiny values
+
+    def test_render_table_notes(self):
+        text = render_table("T", ["a"], [[1]], notes="a note")
+        assert text.endswith("a note")
+
+    def test_render_table_empty_rows(self):
+        text = render_table("T", ["a", "b"], [])
+        assert "T" in text
+
+    def test_render_markdown(self):
+        text = render_markdown("T", ["a", "b"], [[1, 2]])
+        assert "| a | b |" in text
+        assert "| 1 | 2 |" in text
+
+    def test_render_tables_dispatch(self):
+        table = ExperimentTable("id", "Title", ["a"], [[1]])
+        assert render_tables([table], markdown=True).startswith("### ")
+        assert "=====" in render_tables([table], markdown=False)
+
+
+class TestTiming:
+    def test_time_engines_runs_each_factory(self):
+        from repro.core.executor import ASeqEngine
+        from repro.events import Event
+        from repro.query import seq
+
+        query = seq("A", "B").count().within(ms=10).build()
+        events = [Event("A", 1), Event("B", 2)]
+        stats = time_engines(
+            [
+                ("one", lambda: ASeqEngine(query)),
+                ("two", lambda: ASeqEngine(query)),
+            ],
+            events,
+        )
+        assert set(stats) == {"one", "two"}
+        assert stats["one"].final_result == 1
+
+    def test_speedup(self):
+        slow = RunStats("s", 1, 2.0, 0, 0)
+        fast = RunStats("f", 1, 0.5, 0, 0)
+        assert speedup(slow, fast) == 4.0
+        zero = RunStats("z", 1, 0.0, 0, 0)
+        assert speedup(slow, zero) == float("inf")
+
+
+class TestExperimentsQuick:
+    """Every figure module runs end to end at a tiny scale."""
+
+    TINY = Scale("quick", events=600, multi_events=800)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["fig12", "fig13", "fig14", "fig15", "fig16", "throughput", "kleene"],
+    )
+    def test_experiment_runs(self, name):
+        from repro.bench.experiments import ALL
+
+        tables = ALL[name].run(self.TINY)
+        assert tables
+        for table in tables:
+            assert table.rows, f"{table.experiment_id} produced no rows"
+            width = len(table.columns)
+            assert all(len(row) == width for row in table.rows)
+
+    def test_cli_main_quick_single_figure(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig12", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 12(a)" in out
+        assert "completed" in out

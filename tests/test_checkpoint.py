@@ -1,0 +1,115 @@
+"""Checkpoint/restore: resume counting mid-stream with identical results."""
+
+import json
+import random
+
+import pytest
+
+from conftest import random_events
+from repro.core.checkpoint import checkpoint, restore
+from repro.core.executor import ASeqEngine
+from repro.errors import EngineError
+from repro.events import Event
+from repro.query import seq
+
+
+def split_replay(query, events, split, vectorized=False):
+    """Replay with a checkpoint/restore at ``split``; returns both engines."""
+    straight = ASeqEngine(query, vectorized=vectorized)
+    first = ASeqEngine(query, vectorized=vectorized)
+    for event in events[:split]:
+        straight.process(event)
+        first.process(event)
+    state = json.loads(json.dumps(checkpoint(first)))  # force JSON round trip
+    resumed = restore(query, state, vectorized=vectorized)
+    for event in events[split:]:
+        straight.process(event)
+        resumed.process(event)
+    return straight, resumed
+
+
+QUERIES = {
+    "dpc": lambda: seq("A", "B", "C").count().build(),
+    "sem": lambda: seq("A", "B", "C").count().within(ms=12).build(),
+    "sem-negation": lambda: seq("A", "!N", "B").count().within(ms=12).build(),
+    "sem-sum": lambda: seq("A", "B").sum("B", "w").within(ms=12).build(),
+    "sem-max": lambda: seq("A", "B").max("B", "w").within(ms=12).build(),
+    "hpc": lambda: (
+        seq("A", "B").where_equal("id").count().within(ms=12).build()
+    ),
+    "groupby": lambda: seq("A", "B").group_by("id").count().within(ms=12).build(),
+}
+
+
+def attrs(r, event_type):
+    return {"id": r.randint(1, 3), "w": r.randint(1, 9)}
+
+
+@pytest.mark.parametrize("kind", list(QUERIES))
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_resume_equals_straight_run(kind, vectorized):
+    rng = random.Random(hash((kind, vectorized)) & 0xFFFF)
+    query = QUERIES[kind]()
+    for _ in range(15):
+        events = random_events(
+            rng, ["A", "B", "C", "N"], 40, attr_maker=attrs
+        )
+        split = rng.randint(1, len(events) - 1)
+        straight, resumed = split_replay(
+            query, events, split, vectorized=vectorized
+        )
+        assert straight.result() == resumed.result()
+
+
+def test_checkpoint_is_json_serializable():
+    query = seq("A", "B").sum("B", "w").within(ms=10).build()
+    engine = ASeqEngine(query)
+    engine.process(Event("A", 1))
+    engine.process(Event("B", 2, {"w": 3}))
+    state = checkpoint(engine)
+    text = json.dumps(state)
+    assert "sem" in text
+
+
+def test_restore_rejects_other_query():
+    query = seq("A", "B").count().within(ms=10).build()
+    other = seq("A", "C").count().within(ms=10).build()
+    state = checkpoint(ASeqEngine(query))
+    with pytest.raises(EngineError):
+        restore(other, state)
+
+
+def test_restore_rejects_bad_version():
+    query = seq("A", "B").count().build()
+    state = checkpoint(ASeqEngine(query))
+    state["version"] = 99
+    with pytest.raises(EngineError):
+        restore(query, state)
+
+
+def test_restore_rejects_runtime_mismatch():
+    query = seq("A", "B").count().within(ms=10).build()
+    state = checkpoint(ASeqEngine(query))
+    with pytest.raises(EngineError):
+        restore(query, state, vectorized=True)
+
+
+def test_expired_counters_do_not_resurrect():
+    query = seq("A", "B").count().within(ms=5).build()
+    engine = ASeqEngine(query)
+    engine.process(Event("A", 1))
+    state = checkpoint(engine)
+    resumed = restore(query, state)
+    resumed.process(Event("B", 10))  # the A expired at 6
+    assert resumed.result() == 0
+
+
+def test_vectorized_checkpoint_beyond_initial_capacity():
+    query = seq("A", "B").count().within(ms=10_000).build()
+    engine = ASeqEngine(query, vectorized=True)
+    for ts in range(1, 600):
+        engine.process(Event("A", ts))
+    state = json.loads(json.dumps(checkpoint(engine)))
+    resumed = restore(query, state, vectorized=True)
+    resumed.process(Event("B", 600))
+    assert resumed.result() == engine.process(Event("B", 600))

@@ -1,0 +1,262 @@
+"""Disjunctive positions — ``SEQ(A, B|C, D)`` — across every engine.
+
+An extension beyond the paper's dialect: one pattern position may be
+filled by any of several event types. Implemented as a generalization
+of the positive position; DPC's counting argument is unchanged (the
+position's slot is simply updated by more arrival types).
+"""
+
+import random
+
+import pytest
+
+from conftest import assert_matches_oracle, events_of, random_events, replay
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.executor import ASeqEngine
+from repro.errors import ParseError, QueryError
+from repro.query import parse_query, seq
+from repro.query.ast import PositiveType, SeqPattern
+
+
+class TestChoiceAst:
+    def test_alternatives(self):
+        element = PositiveType("A|B")
+        assert element.alternatives == ("A", "B")
+        assert element.is_choice
+
+    def test_plain_type_single_alternative(self):
+        assert PositiveType("A").alternatives == ("A",)
+        assert not PositiveType("A").is_choice
+
+    def test_duplicate_alternatives_rejected(self):
+        with pytest.raises(QueryError):
+            PositiveType("A|A")
+
+    def test_malformed_label_rejected(self):
+        with pytest.raises(QueryError):
+            PositiveType("A|")
+
+    def test_pattern_level_views(self):
+        pattern = SeqPattern.of("A", "B|C", "D")
+        assert pattern.positive_types == ("A", "B|C", "D")
+        assert pattern.alternatives == (("A",), ("B", "C"), ("D",))
+        assert pattern.all_positive_event_types == {"A", "B", "C", "D"}
+        assert pattern.trigger_alternatives == ("D",)
+
+    def test_position_of_event_type(self):
+        pattern = SeqPattern.of("A", "B|C", "D")
+        assert pattern.position_of_event_type("C") == 1
+        with pytest.raises(QueryError):
+            pattern.position_of_event_type("Z")
+
+    def test_ambiguous_position_rejected(self):
+        pattern = SeqPattern.of("A|B", "B|C")
+        with pytest.raises(QueryError):
+            pattern.position_of_event_type("B")
+
+    def test_negated_type_cannot_be_an_alternative(self):
+        with pytest.raises(QueryError):
+            seq("A|B", "!B", "C").build()
+
+
+class TestChoiceParsing:
+    def test_bare_pipe(self):
+        query = parse_query("PATTERN SEQ(A, B|C, D)")
+        assert query.pattern.positive_types == ("A", "B|C", "D")
+
+    def test_parenthesized(self):
+        query = parse_query("PATTERN SEQ(A, (B|C), D)")
+        assert query.pattern.positive_types == ("A", "B|C", "D")
+
+    def test_three_way(self):
+        query = parse_query("PATTERN SEQ(A|B|C, D)")
+        assert query.pattern.alternatives[0] == ("A", "B", "C")
+
+    def test_negated_choice_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, !B|C, D)")
+
+    def test_relevant_types_expand(self):
+        query = parse_query("PATTERN SEQ(A, B|C)")
+        assert query.relevant_types == {"A", "B", "C"}
+
+
+class TestChoiceSemantics:
+    def test_either_type_fills_position(self):
+        query = seq("A", "B|C", "D").count().build()
+        engine = ASeqEngine(query)
+        outputs = replay(
+            engine,
+            events_of(("A", 1), ("B", 2), ("C", 3), ("D", 4)),
+        )
+        # (a,b,d) and (a,c,d)
+        assert outputs == [2]
+
+    def test_choice_as_trigger_emits_on_both(self):
+        query = seq("A", "B|C").count().within(ms=10).build()
+        engine = ASeqEngine(query)
+        outputs = replay(
+            engine, events_of(("A", 1), ("B", 2), ("C", 3))
+        )
+        assert outputs == [1, 2]
+
+    def test_choice_as_start_opens_counters(self):
+        query = seq("A|B", "C").count().within(ms=10).build()
+        engine = ASeqEngine(query)
+        outputs = replay(
+            engine, events_of(("A", 1), ("B", 2), ("C", 3))
+        )
+        assert outputs == [2]
+
+    def test_value_aggregate_on_choice_position(self):
+        """The aggregate reads whichever event filled the position."""
+        query = seq("A", "B|C").sum("B", "w").build()
+        engine = ASeqEngine(query)
+        replay(
+            engine,
+            events_of(("A", 1), ("B", 2, {"w": 5}), ("C", 3, {"w": 2})),
+        )
+        assert engine.result() == 7
+
+    def test_group_by_with_choice(self):
+        query = seq("A", "B|C").group_by("ip").count().build()
+        engine = ASeqEngine(query)
+        replay(
+            engine,
+            events_of(
+                ("A", 1, {"ip": "x"}), ("B", 2, {"ip": "x"}),
+                ("C", 3, {"ip": "y"}),
+            ),
+        )
+        assert engine.result() == {"x": 1, "y": 0}
+
+    def test_equivalence_must_cover_all_alternatives(self):
+        from repro.query.predicates import EquivalencePredicate
+
+        query = (
+            seq("A", "B|C")
+            .where(EquivalencePredicate.on("id", "A", "B"))
+            .build()
+        )
+        with pytest.raises(QueryError):
+            ASeqEngine(query)
+
+    def test_equivalence_covering_all_alternatives(self):
+        from repro.query.predicates import EquivalencePredicate
+
+        query = (
+            seq("A", "B|C")
+            .where(EquivalencePredicate.on("id", "A", "B", "C"))
+            .count()
+            .build()
+        )
+        engine = ASeqEngine(query)
+        replay(
+            engine,
+            events_of(
+                ("A", 1, {"id": 1}), ("B", 2, {"id": 2}),
+                ("C", 3, {"id": 1}),
+            ),
+        )
+        assert engine.result() == 1
+
+
+class TestChoiceDifferential:
+    @pytest.mark.parametrize("window_ms", [None, 10, 20])
+    def test_choice_middle(self, window_ms):
+        rng = random.Random(window_ms or 7)
+        builder = seq("A", "B|C", "D").count()
+        if window_ms:
+            builder = builder.within(ms=window_ms)
+        query = builder.build()
+        for _ in range(40):
+            events = random_events(rng, ["A", "B", "C", "D"], 25)
+            assert_matches_oracle(
+                query,
+                [
+                    ASeqEngine(query),
+                    ASeqEngine(query, vectorized=True),
+                    TwoStepEngine(query),
+                ],
+                events,
+            )
+
+    def test_choice_with_negation(self):
+        rng = random.Random(17)
+        query = seq("A|B", "!N", "C").count().within(ms=15).build()
+        for _ in range(40):
+            events = random_events(rng, ["A", "B", "C", "N"], 25)
+            assert_matches_oracle(
+                query,
+                [ASeqEngine(query), TwoStepEngine(query)],
+                events,
+            )
+
+    def test_choice_everywhere(self):
+        rng = random.Random(27)
+        query = seq("A|B", "C|D", "E|F").count().within(ms=15).build()
+        for _ in range(40):
+            events = random_events(
+                rng, ["A", "B", "C", "D", "E", "F"], 25
+            )
+            assert_matches_oracle(
+                query,
+                [
+                    ASeqEngine(query),
+                    ASeqEngine(query, vectorized=True),
+                    TwoStepEngine(query),
+                ],
+                events,
+            )
+
+    def test_choice_sum_aggregate(self):
+        rng = random.Random(37)
+        query = seq("A", "B|C").sum("B", "w").within(ms=15).build()
+
+        def attrs(r, event_type):
+            return {"w": r.randint(1, 9)}
+
+        for _ in range(40):
+            events = random_events(
+                rng, ["A", "B", "C"], 20, attr_maker=attrs
+            )
+            assert_matches_oracle(
+                query,
+                [ASeqEngine(query), TwoStepEngine(query)],
+                events,
+            )
+
+
+class TestChoiceMultiQuery:
+    def test_prefix_sharing_with_choice(self):
+        from repro.multi import PrefixSharedEngine
+
+        rng = random.Random(47)
+        queries = [
+            seq("A|B", "C", "D").count().within(ms=12).named("q1").build(),
+            seq("A|B", "C", "E").count().within(ms=12).named("q2").build(),
+        ]
+        from repro.baseline.oracle import BruteForceOracle
+
+        for _ in range(25):
+            events = random_events(rng, ["A", "B", "C", "D", "E"], 30)
+            engine = PrefixSharedEngine(queries)
+            replay(engine, events)
+            for query in queries:
+                expected = BruteForceOracle(query).aggregate(events)
+                assert engine.result(query.name) == expected
+
+    def test_chop_connect_with_choice(self):
+        from repro.baseline.oracle import BruteForceOracle
+        from repro.multi import ChopConnectEngine, chop
+
+        rng = random.Random(57)
+        query = (
+            seq("A|B", "C", "D|E").count().within(ms=12).named("q").build()
+        )
+        for _ in range(25):
+            events = random_events(rng, ["A", "B", "C", "D", "E"], 30)
+            engine = ChopConnectEngine([chop(query, 1)])
+            replay(engine, events)
+            expected = BruteForceOracle(query).aggregate(events)
+            assert engine.result("q") == expected

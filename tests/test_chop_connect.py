@@ -1,0 +1,230 @@
+"""Chop-Connect: chop plans, snapshot tables, and the CC runtime."""
+
+import random
+
+import pytest
+
+from conftest import random_events, replay
+from repro.baseline.oracle import BruteForceOracle
+from repro.core.executor import ASeqEngine
+from repro.errors import PlanError
+from repro.events import Event
+from repro.multi.chop import ChopPlan, chop
+from repro.multi.chop_connect import ChopConnectEngine
+from repro.multi.snapshot import Snapshot, SnapshotTable
+from repro.query import seq
+
+
+def q(name, *pattern, win=20):
+    return seq(*pattern).count().within(ms=win).named(name).build()
+
+
+class TestChopPlan:
+    def test_segments(self):
+        plan = chop(q("q", "A", "B", "C", "D", "E"), 2, 4)
+        assert plan.segments == (("A", "B"), ("C", "D"), ("E",))
+
+    def test_no_cuts_single_segment(self):
+        plan = chop(q("q", "A", "B"))
+        assert plan.segments == (("A", "B"),)
+
+    def test_cut_bounds(self):
+        with pytest.raises(PlanError):
+            chop(q("q", "A", "B"), 0)
+        with pytest.raises(PlanError):
+            chop(q("q", "A", "B"), 2)
+        with pytest.raises(PlanError):
+            chop(q("q", "A", "B", "C"), 2, 2)
+
+    def test_requires_window(self):
+        query = seq("A", "B").count().named("q").build()
+        with pytest.raises(PlanError):
+            chop(query, 1)
+
+    def test_rejects_negation(self):
+        query = seq("A", "!N", "B").count().within(ms=5).named("q").build()
+        with pytest.raises(PlanError):
+            chop(query, 1)
+
+    def test_rejects_unnamed(self):
+        query = seq("A", "B").count().within(ms=5).build()
+        with pytest.raises(PlanError):
+            chop(query, 1)
+
+    def test_str(self):
+        assert str(chop(q("q", "A", "B", "C"), 1)) == "q: (A) | (B, C)"
+
+
+class TestSnapshot:
+    def test_alive_total_filters_expired_rows(self):
+        snapshot = Snapshot([("a1", 5, 3), ("a2", 10, 4)])
+        assert snapshot.alive_total(now=4) == 7
+        assert snapshot.alive_total(now=5) == 4
+        assert snapshot.alive_total(now=10) == 0
+
+    def test_rows_sorted_by_expiry(self):
+        snapshot = Snapshot([("a2", 10, 4), ("a1", 5, 3)])
+        assert snapshot.exps == [5, 10]
+        assert snapshot.alive_total(now=7) == 4
+
+    def test_alive_items(self):
+        snapshot = Snapshot([("a1", 5, 3), ("a2", 10, 4)])
+        assert list(snapshot.alive_items(now=5)) == [("a2", 10, 4)]
+
+    def test_empty(self):
+        snapshot = Snapshot(())
+        assert not snapshot
+        assert snapshot.alive_total(0) == 0
+
+
+class TestSnapshotTable:
+    def test_add_get(self):
+        table = SnapshotTable()
+        snapshot = Snapshot([("a1", 10, 3)])
+        table.add("d1", 15, snapshot)
+        assert table.get("d1") is snapshot
+        assert table.get("d2") is None
+
+    def test_purge_by_cnet_expiry(self):
+        table = SnapshotTable()
+        table.add("d1", 5, Snapshot([("a1", 4, 1)]))
+        table.add("d2", 9, Snapshot([("a1", 4, 1)]))
+        table.purge(now=5)
+        assert table.get("d1") is None
+        assert table.get("d2") is not None
+        assert len(table) == 1
+
+    def test_row_accounting(self):
+        table = SnapshotTable()
+        table.add("d1", 5, Snapshot([("a1", 4, 1), ("a2", 4, 2)]))
+        assert table.live_rows() == 2
+        assert table.snapshots_created == 1
+        assert table.rows_written == 2
+
+
+class TestChopConnectSemantics:
+    def test_two_segment_basic(self):
+        query = q("q", "A", "B", "C", "D")
+        engine = ChopConnectEngine([chop(query, 2)])
+        outputs = replay(
+            engine,
+            [Event(t, ts) for ts, t in enumerate("ABCD", start=1)],
+        )
+        assert outputs == [{"q": 1}]
+
+    def test_connect_respects_time_order(self):
+        """A sub_1 match completed AFTER the CNET must not connect."""
+        query = q("q", "A", "B", "C", "D")
+        engine = ChopConnectEngine([chop(query, 2)])
+        # C arrives before B: (A,B) completes after c1 -> no match for c1.
+        replay(
+            engine,
+            [Event("A", 1), Event("C", 2), Event("B", 3), Event("D", 4)],
+        )
+        assert engine.result("q") == 0
+
+    def test_snapshot_frozen_at_cnet_arrival(self):
+        """Paper Lemma 7: later (A,B) matches don't retroactively attach."""
+        query = q("q", "A", "B", "C", "D")
+        engine = ChopConnectEngine([chop(query, 2)])
+        replay(
+            engine,
+            [
+                Event("A", 1), Event("B", 2),   # one (A,B)
+                Event("C", 3),                   # snapshot: count 1
+                Event("B", 4),                   # second (A,B), after c1
+                Event("D", 5),
+            ],
+        )
+        # Only <a1,b2,c3,d5>; <a1,b4,...> has B after C.
+        assert engine.result("q") == 1
+
+    def test_expiry_through_snapshot_rows(self):
+        """Paper Example 8 structure: the START expiring kills connected
+        counts even though the CNET is still alive."""
+        query = q("q", "A", "B", "C", "D", win=6)
+        engine = ChopConnectEngine([chop(query, 2)])
+        replay(
+            engine,
+            [
+                Event("A", 1),  # exp 7
+                Event("B", 2),
+                Event("C", 3),  # snapshot of (A,B)=1 on c1
+                Event("D", 8),  # a1 is dead now
+            ],
+        )
+        assert engine.result("q") == 0
+
+    def test_multi_connect_three_segments(self):
+        """Paper Example 9 structure: (A,B,C,D,E,F,G) as 3 substrings."""
+        query = q("q", "A", "B", "C", "D", "E", "F", "G", win=50)
+        engine = ChopConnectEngine([chop(query, 3, 5)])
+        events = [Event(t, ts) for ts, t in enumerate("ABCDEFG", start=1)]
+        outputs = replay(engine, events)
+        assert outputs == [{"q": 1}]
+
+    def test_shared_segment_engine_is_single(self):
+        q1 = q("q1", "A", "B", "C", "D")
+        q2 = q("q2", "X", "C", "D")
+        engine = ChopConnectEngine([chop(q1, 2), chop(q2, 1)])
+        # Segments: (A,B), (C,D), (X) -> 3 distinct engines, (C,D) shared.
+        assert engine.shared_segment_engines == 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PlanError):
+            ChopConnectEngine([chop(q("q", "A", "B"), 1)] * 2)
+
+    def test_mixed_windows_rejected(self):
+        with pytest.raises(PlanError):
+            ChopConnectEngine(
+                [
+                    chop(q("q1", "A", "B", win=10), 1),
+                    chop(q("q2", "A", "B", win=20), 1),
+                ]
+            )
+
+    def test_describe(self):
+        engine = ChopConnectEngine([chop(q("q1", "A", "B", "C"), 1)])
+        assert "q1: (A) | (B, C)" in engine.describe()
+
+
+class TestChopConnectDifferential:
+    @pytest.mark.parametrize("cuts", [(1,), (2,), (3,), (1, 2), (1, 3), (2, 3), (1, 2, 3)])
+    def test_every_cut_of_length4_matches_plain(self, cuts):
+        rng = random.Random(hash(cuts) & 0xFFFF)
+        query = q("q", "A", "B", "C", "D", win=12)
+        for _ in range(25):
+            events = random_events(rng, ["A", "B", "C", "D"], 30)
+            chopped = ChopConnectEngine([ChopPlan(query, cuts)])
+            plain = ASeqEngine(query)
+            replay(chopped, events)
+            replay(plain, events)
+            assert chopped.result("q") == plain.result()
+
+    def test_workload_matches_oracle(self):
+        rng = random.Random(404)
+        q1 = q("q1", "A", "B", "C", "D", win=15)
+        q2 = q("q2", "X", "C", "D", win=15)
+        q3 = q("q3", "C", "D", "Y", win=15)
+        plans = [chop(q1, 2), chop(q2, 1), chop(q3, 2)]
+        for _ in range(30):
+            events = random_events(
+                rng, ["A", "B", "C", "D", "X", "Y"], rng.randint(10, 35)
+            )
+            engine = ChopConnectEngine(plans)
+            replay(engine, events)
+            for query in (q1, q2, q3):
+                expected = BruteForceOracle(query).aggregate(events)
+                assert engine.result(query.name) == expected, query.name
+
+    def test_outputs_match_unshared_at_every_trigger(self):
+        rng = random.Random(505)
+        query = q("q", "A", "B", "C", win=10)
+        events = random_events(rng, ["A", "B", "C"], 80)
+        chopped = ChopConnectEngine([chop(query, 1)])
+        plain = ASeqEngine(query)
+        for event in events:
+            fresh = chopped.process(event)
+            expected = plain.process(event)
+            if expected is not None:
+                assert fresh == {"q": expected}

@@ -1,0 +1,133 @@
+"""The command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+from repro.datagen import StockTradeGenerator
+from repro.datagen.tracefile import write_trace
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trades.txt"
+    write_trace(StockTradeGenerator(mean_gap_ms=1, seed=2).take(3_000), path)
+    return str(path)
+
+
+QUERY = "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 300 ms"
+
+
+class TestSingleQuery:
+    def test_query_over_trace(self, trace_path, capsys):
+        assert main(["--query", QUERY, "--trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("result\t")
+
+    def test_generated_stream(self, capsys):
+        code = main(
+            ["--query", QUERY, "--generate", "stock", "--events", "2000"]
+        )
+        assert code == 0
+        assert "result" in capsys.readouterr().out
+
+    def test_emit_every(self, trace_path, capsys):
+        main(["--query", QUERY, "--trace", trace_path, "--emit", "every"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) > 1  # per-trigger lines plus the final result
+        assert lines[-1].startswith("result")
+
+    def test_emit_none(self, trace_path, capsys):
+        main(["--query", QUERY, "--trace", trace_path, "--emit", "none"])
+        assert "result" not in capsys.readouterr().out
+
+    def test_cross_check_agrees(self, trace_path, capsys):
+        code = main(
+            ["--query", QUERY, "--trace", trace_path, "--engine", "both"]
+        )
+        assert code == 0
+        assert "AGREE" in capsys.readouterr().err
+
+    def test_vectorized_engine(self, trace_path, capsys):
+        code = main(
+            ["--query", QUERY, "--trace", trace_path,
+             "--engine", "vectorized"]
+        )
+        assert code == 0
+
+    def test_query_file(self, tmp_path, trace_path, capsys):
+        query_file = tmp_path / "q.cep"
+        query_file.write_text(QUERY)
+        code = main(
+            ["--query-file", str(query_file), "--trace", trace_path]
+        )
+        assert code == 0
+
+    def test_reorder_slack(self, tmp_path, capsys):
+        # A trace with mild disorder fails strict replay but passes
+        # with a slack bound.
+        events = StockTradeGenerator(mean_gap_ms=2, seed=2).take(500)
+        events[10], events[11] = events[11], events[10]
+        path = tmp_path / "noisy.txt"
+        write_trace(events, path)
+        assert main(["--query", QUERY, "--trace", str(path)]) == 1
+        capsys.readouterr()
+        assert (
+            main(
+                ["--query", QUERY, "--trace", str(path),
+                 "--reorder-slack-ms", "10"]
+            )
+            == 0
+        )
+
+
+class TestWorkloads:
+    @pytest.fixture
+    def workload_file(self, tmp_path):
+        path = tmp_path / "w.cep"
+        path.write_text(
+            """
+            a: PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 300 ms;
+            b: PATTERN SEQ(MSFT, IPIX, AMAT) AGG COUNT WITHIN 300 ms;
+            """
+        )
+        return str(path)
+
+    def test_unshared_workload(self, workload_file, trace_path, capsys):
+        code = main(
+            ["--workload-file", workload_file, "--trace", trace_path]
+        )
+        assert code == 0
+        assert "result" in capsys.readouterr().out
+
+    def test_shared_workload_matches_unshared(
+        self, workload_file, trace_path, capsys
+    ):
+        main(["--workload-file", workload_file, "--trace", trace_path])
+        unshared_out = capsys.readouterr().out
+        main(
+            ["--workload-file", workload_file, "--trace", trace_path,
+             "--shared"]
+        )
+        shared_out = capsys.readouterr().out
+        assert unshared_out == shared_out
+
+
+class TestErrors:
+    def test_no_query_source(self, trace_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--trace", trace_path])
+
+    def test_two_query_sources(self, trace_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["--query", QUERY, "--workload-file", "x", "--trace",
+                 trace_path]
+            )
+
+    def test_no_event_source(self):
+        with pytest.raises(SystemExit):
+            main(["--query", QUERY])
+
+    def test_bad_query_reports_error(self, trace_path, capsys):
+        assert main(["--query", "PATTERN OOPS", "--trace", trace_path]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""The analytical cost model (paper Eq. 3)."""
+
+import pytest
+
+from repro.baseline.cost_model import aseq_cost, stack_based_cost, uniform_counts
+
+
+class TestStackBasedCost:
+    def test_uniform_no_selectivity(self):
+        # 10 + 10*10 + 10*100 = 1110
+        assert stack_based_cost([10, 10, 10], 1.0) == 1110.0
+
+    def test_exponential_in_length(self):
+        """Under uniform counts the cost grows ~|E|^n (paper's reduction)."""
+        costs = [
+            stack_based_cost(uniform_counts(10, length), 1.0)
+            for length in (2, 3, 4, 5)
+        ]
+        ratios = [b / a for a, b in zip(costs, costs[1:])]
+        assert all(8 < r <= 11 for r in ratios)
+
+    def test_polynomial_in_rate(self):
+        low = stack_based_cost(uniform_counts(5, 3), 1.0)
+        high = stack_based_cost(uniform_counts(10, 3), 1.0)
+        assert high / low > 6  # cubic-ish growth, far beyond linear
+
+    def test_selectivity_scales_down(self):
+        full = stack_based_cost([10, 10], 1.0)
+        half = stack_based_cost([10, 10], 0.5)
+        assert half == 10 + 10 * 10 * 0.5
+        assert half < full
+
+    def test_per_pair_selectivity_mapping(self):
+        cost = stack_based_cost([10, 10, 10], {(0, 1): 0.5, (1, 2): 0.1})
+        assert cost == 10 + 10 * 5 + 10 * 5 * 10 * 0.1
+
+    def test_empty(self):
+        assert stack_based_cost([]) == 0.0
+
+    def test_single_type(self):
+        assert stack_based_cost([42], 1.0) == 42.0
+
+
+class TestASeqCost:
+    def test_linear_in_events(self):
+        assert aseq_cost([10, 10, 10]) == 30.0
+
+    def test_flat_in_length(self):
+        """A-Seq's per-window work tracks events, not pattern length."""
+        total_events = 100
+        for length in (2, 5, 10):
+            counts = uniform_counts(total_events / length, length)
+            assert aseq_cost(counts) == pytest.approx(total_events)

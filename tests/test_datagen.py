@@ -1,0 +1,161 @@
+"""Workload generators: determinism, ordering, and shape."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datagen import (
+    ClickStreamGenerator,
+    LoginStreamGenerator,
+    StockTradeGenerator,
+    SyntheticTypeGenerator,
+)
+from repro.datagen.distributions import IntervalSampler, RandomWalk, ZipfSampler
+from repro.datagen.security import CLICK_SUBMIT, TYPE_PASSWORD, TYPE_USERNAME
+from repro.datagen.synthetic import alphabet
+import random
+
+
+def assert_strictly_increasing(events):
+    timestamps = [e.ts for e in events]
+    assert all(a < b for a, b in zip(timestamps, timestamps[1:]))
+
+
+class TestDistributions:
+    def test_zipf_uniform_when_s_zero(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(["a", "b"], 0.0, rng)
+        counts = Counter(sampler.sample() for _ in range(4000))
+        assert abs(counts["a"] - counts["b"]) < 400
+
+    def test_zipf_skews_to_head(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(list("abcdefgh"), 1.5, rng)
+        counts = Counter(sampler.sample() for _ in range(4000))
+        assert counts["a"] > counts["h"] * 3
+
+    def test_zipf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([], 1.0, random.Random(1))
+
+    def test_interval_sampler_strictly_positive(self):
+        rng = random.Random(1)
+        sampler = IntervalSampler(3.0, rng)
+        assert all(sampler.sample() >= 1 for _ in range(1000))
+
+    def test_interval_sampler_unit_mean(self):
+        sampler = IntervalSampler(1, random.Random(1))
+        assert all(sampler.sample() == 1 for _ in range(100))
+
+    def test_interval_sampler_rejects_sub_ms(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(0.5, random.Random(1))
+
+    def test_random_walk_bounded_below(self):
+        walk = RandomWalk(1.0, volatility=0.9, rng=random.Random(1))
+        for _ in range(200):
+            assert walk.step() >= 0.01
+
+
+class TestStockGenerator:
+    def test_deterministic(self):
+        a = StockTradeGenerator(seed=5).take(500)
+        b = StockTradeGenerator(seed=5).take(500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = StockTradeGenerator(seed=5).take(100)
+        b = StockTradeGenerator(seed=6).take(100)
+        assert a != b
+
+    def test_strictly_increasing_ts(self):
+        assert_strictly_increasing(StockTradeGenerator().take(2000))
+
+    def test_event_shape(self):
+        event = StockTradeGenerator().take(1)[0]
+        assert event.event_type in StockTradeGenerator().symbols
+        assert event["price"] > 0
+        assert 100 <= event["volume"] <= 5000
+
+    def test_symbol_rate_control(self):
+        """With s symbols at 1 ev/ms, each sees ~window/s per window."""
+        symbols = [f"S{i}" for i in range(10)]
+        events = StockTradeGenerator(
+            symbols=symbols, mean_gap_ms=1, seed=2
+        ).take(5000)
+        counts = Counter(e.event_type for e in events)
+        for symbol in symbols:
+            assert 350 < counts[symbol] < 650
+
+    def test_skewed_rates(self):
+        events = StockTradeGenerator(skew=1.2, seed=2).take(5000)
+        counts = Counter(e.event_type for e in events)
+        assert counts["DELL"] > counts["NTAP"]
+
+
+class TestClickGenerator:
+    def test_deterministic_and_ordered(self):
+        a = ClickStreamGenerator(seed=3).take(800)
+        assert a == ClickStreamGenerator(seed=3).take(800)
+        assert_strictly_increasing(a)
+
+    def test_funnels_exist(self):
+        """Views of a product are followed by buys for the same user."""
+        events = ClickStreamGenerator(users=5, seed=3).take(2000)
+        buys = sum(1 for e in events if e.event_type.startswith("B"))
+        assert buys > 100
+
+    def test_user_ids_in_range(self):
+        events = ClickStreamGenerator(users=7, seed=3).take(500)
+        assert all(0 <= e["userId"] < 7 for e in events)
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            ClickStreamGenerator(users=0)
+
+
+class TestLoginGenerator:
+    def test_triplet_structure(self):
+        events = LoginStreamGenerator(seed=4).take(300)
+        counts = Counter(e.event_type for e in events)
+        assert counts[TYPE_USERNAME] >= counts[CLICK_SUBMIT]
+        assert counts[TYPE_PASSWORD] >= counts[CLICK_SUBMIT]
+
+    def test_attackers_always_wrong(self):
+        generator = LoginStreamGenerator(seed=4)
+        attacker_ips = set(generator.attacker_ips)
+        events = generator.take(3000)
+        for event in events:
+            if (
+                event.event_type == TYPE_PASSWORD
+                and event["ip"] in attacker_ips
+            ):
+                assert event["wrong"] is True
+
+    def test_ordered(self):
+        assert_strictly_increasing(LoginStreamGenerator(seed=4).take(1000))
+
+
+class TestSyntheticGenerator:
+    def test_alphabet_helper(self):
+        assert alphabet(3) == ["T0", "T1", "T2"]
+
+    def test_weights_respected(self):
+        generator = SyntheticTypeGenerator(
+            ["A", "B"], weights={"A": 9.0, "B": 1.0}, seed=8
+        )
+        counts = Counter(e.event_type for e in generator.take(2000))
+        assert counts["A"] > counts["B"] * 4
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTypeGenerator([])
+
+    def test_ordered_and_deterministic(self):
+        a = SyntheticTypeGenerator(["A", "B"], seed=8).take(500)
+        assert a == SyntheticTypeGenerator(["A", "B"], seed=8).take(500)
+        assert_strictly_increasing(a)
+
+    def test_stream_wrapper(self):
+        stream = SyntheticTypeGenerator(["A"], seed=1).stream(10)
+        assert len(list(stream)) == 10

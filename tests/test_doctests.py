@@ -1,0 +1,35 @@
+"""Every docstring example in the package must actually run.
+
+The examples in module/class docstrings are part of the public
+documentation; this collects them all through doctest so they can never
+rot silently.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing entry points runs them
+        yield importlib.import_module(info.name)
+
+
+def test_all_docstring_examples_pass():
+    total = 0
+    failures = []
+    for module in _iter_modules():
+        results = doctest.testmod(
+            module, verbose=False, report=False
+        )
+        total += results.attempted
+        if results.failed:
+            failures.append((module.__name__, results.failed))
+    assert not failures, f"doctest failures: {failures}"
+    # Guard against the suite silently collecting nothing.
+    assert total >= 10, f"only {total} doctest examples found"

@@ -1,0 +1,88 @@
+"""Unit tests for the basic DPC engine (paper Sec. 3.1)."""
+
+import pytest
+
+from conftest import events_of, replay
+from repro.core.dpc import DPCEngine
+from repro.errors import QueryError
+from repro.query import seq
+
+
+class TestDPCEngine:
+    def test_rejects_windowed_queries(self):
+        with pytest.raises(QueryError):
+            DPCEngine(seq("A", "B").within(ms=10).build())
+
+    def test_counts_simple_sequence(self):
+        engine = DPCEngine(seq("A", "B", "C").build())
+        outputs = replay(
+            engine, events_of(("A", 1), ("B", 2), ("C", 3))
+        )
+        assert outputs == [1]
+
+    def test_paper_figure_2_sequence_forming(self):
+        """Fig. 2: a1 b1 c1 a2 b2 c2 yields 4 total (A,B,C) matches."""
+        engine = DPCEngine(seq("A", "B", "C").build())
+        outputs = replay(
+            engine,
+            events_of(
+                ("A", 1), ("B", 2), ("C", 3),
+                ("A", 4), ("B", 5), ("C", 6),
+            ),
+        )
+        assert outputs == [1, 4]
+
+    def test_emits_only_on_trigger(self):
+        engine = DPCEngine(seq("A", "B").build())
+        assert engine.process(events_of(("A", 1))[0]) is None
+        assert engine.result() == 0
+
+    def test_irrelevant_update_type_ignored(self):
+        engine = DPCEngine(seq("A", "B").build())
+        replay(engine, events_of(("A", 1), ("Z", 2), ("B", 3)))
+        assert engine.result() == 1
+
+    def test_pattern_length_one(self):
+        engine = DPCEngine(seq("A").build())
+        outputs = replay(engine, events_of(("A", 1), ("A", 2)))
+        assert outputs == [1, 2]
+
+    def test_repeated_type_no_self_chaining(self):
+        engine = DPCEngine(seq("A", "A").build())
+        outputs = replay(engine, events_of(("A", 1), ("A", 2), ("A", 3)))
+        # pairs: (a1,a2), (a1,a3), (a2,a3)
+        assert outputs == [0, 1, 3]
+
+    def test_sum_aggregate(self):
+        engine = DPCEngine(seq("A", "B").sum("B", "w").build())
+        replay(
+            engine,
+            events_of(
+                ("A", 1), ("B", 2, {"w": 10}),
+                ("A", 3), ("B", 4, {"w": 1}),
+            ),
+        )
+        # matches: (a1,b1)=10, (a1,b2)=1, (a2,b2)=1
+        assert engine.result() == 12
+
+    def test_avg_aggregate_empty_is_none(self):
+        engine = DPCEngine(seq("A", "B").avg("B", "w").build())
+        assert engine.result() is None
+
+    def test_avg_aggregate(self):
+        engine = DPCEngine(seq("A", "B").avg("B", "w").build())
+        replay(
+            engine,
+            events_of(("A", 1), ("B", 2, {"w": 10}), ("B", 3, {"w": 4})),
+        )
+        assert engine.result() == 7.0
+
+    def test_memory_is_constant(self):
+        engine = DPCEngine(seq("A", "B", "C").build())
+        replay(engine, events_of(*[("A", t) for t in range(1, 100)]))
+        assert engine.current_objects() == 1
+
+    def test_count_and_wsum(self):
+        engine = DPCEngine(seq("A", "B").sum("B", "w").build())
+        replay(engine, events_of(("A", 1), ("B", 2, {"w": 5})))
+        assert engine.count_and_wsum() == (1, 5.0)

@@ -1,0 +1,144 @@
+"""The ECube-style shared-construction comparator."""
+
+import random
+
+import pytest
+
+from conftest import random_events, replay
+from repro.baseline.oracle import BruteForceOracle
+from repro.errors import PlanError
+from repro.events import Event
+from repro.multi.ecube import ECubeEngine, _SubMatchStore
+from repro.query import seq
+
+
+def q(name, *pattern, win=15):
+    return seq(*pattern).count().within(ms=win).named(name).build()
+
+
+class TestSubMatchStore:
+    def test_insertion_counter_survives_purge(self):
+        store = _SubMatchStore()
+        store.add(1, 2)
+        store.add(3, 4)
+        store.purge(now=7, window_ms=5)  # first (start 1) dies at 6
+        assert len(store) == 1
+        assert store.total_inserted == 2
+
+    def test_below_respects_rip_and_purge(self):
+        store = _SubMatchStore()
+        store.add(1, 2)
+        store.add(3, 4)
+        store.add(5, 6)
+        assert store.below(2) == [(1, 2), (3, 4)]
+        store.purge(now=7, window_ms=5)
+        assert store.below(2) == [(3, 4)]
+        assert store.below(0) == ()
+
+
+class TestECubeEngine:
+    def test_shared_substring_in_middle(self):
+        engine = ECubeEngine(
+            [q("q1", "A", "B", "C", "D")], shared_types=("B", "C")
+        )
+        outputs = replay(
+            engine, [Event(t, ts) for ts, t in enumerate("ABCD", start=1)]
+        )
+        assert outputs == [{"q1": 1}]
+
+    def test_shared_substring_at_tail(self):
+        engine = ECubeEngine(
+            [q("q1", "A", "B", "C")], shared_types=("B", "C")
+        )
+        outputs = replay(
+            engine, [Event(t, ts) for ts, t in enumerate("ABC", start=1)]
+        )
+        assert outputs == [{"q1": 1}]
+
+    def test_shared_substring_at_head(self):
+        engine = ECubeEngine(
+            [q("q1", "B", "C", "D")], shared_types=("B", "C")
+        )
+        outputs = replay(
+            engine, [Event(t, ts) for ts, t in enumerate("BCD", start=1)]
+        )
+        assert outputs == [{"q1": 1}]
+
+    def test_whole_pattern_shared(self):
+        engine = ECubeEngine(
+            [q("q1", "B", "C")], shared_types=("B", "C")
+        )
+        replay(engine, [Event("B", 1), Event("C", 2), Event("C", 3)])
+        assert engine.result("q1") == 2
+
+    def test_query_without_substring_runs_private(self):
+        engine = ECubeEngine(
+            [q("q1", "A", "B", "C"), q("q2", "X", "Y")],
+            shared_types=("B", "C"),
+        )
+        replay(
+            engine,
+            [Event("X", 1), Event("Y", 2), Event("A", 3),
+             Event("B", 4), Event("C", 5)],
+        )
+        assert engine.result() == {"q1": 1, "q2": 1}
+
+    def test_default_substring_from_planner(self):
+        engine = ECubeEngine([q("q1", "A", "B", "C"), q("q2", "X", "B", "C")])
+        assert engine.shared_types == ("B", "C")
+
+    def test_no_common_substring_rejected(self):
+        with pytest.raises(PlanError):
+            ECubeEngine([q("q1", "A", "B"), q("q2", "X", "Y")])
+
+    def test_window_required(self):
+        query = seq("A", "B").count().named("q").build()
+        with pytest.raises(PlanError):
+            ECubeEngine([query], shared_types=("A", "B"))
+
+    def test_negation_rejected(self):
+        query = (
+            seq("A", "!N", "B").count().within(ms=5).named("q").build()
+        )
+        with pytest.raises(PlanError):
+            ECubeEngine([query], shared_types=("A", "B"))
+
+    def test_memory_accounting_nonzero(self):
+        engine = ECubeEngine([q("q1", "A", "B", "C")], shared_types=("B", "C"))
+        replay(engine, [Event("A", 1), Event("B", 2)])
+        assert engine.current_objects() > 0
+
+
+class TestECubeDifferential:
+    @pytest.mark.parametrize("position", ["head", "middle", "tail"])
+    def test_matches_oracle_any_substring_position(self, position):
+        rng = random.Random(hash(position) & 0xFFFF)
+        patterns = {
+            "head": ("B", "C", "D"),
+            "middle": ("A", "B", "C", "D"),
+            "tail": ("A", "B", "C"),
+        }
+        query = q("q", *patterns[position])
+        for _ in range(25):
+            events = random_events(rng, ["A", "B", "C", "D"], 30)
+            engine = ECubeEngine([query], shared_types=("B", "C"))
+            replay(engine, events)
+            expected = BruteForceOracle(query).aggregate(events)
+            assert engine.result("q") == expected
+
+    def test_three_query_workload_matches_oracle(self):
+        rng = random.Random(808)
+        queries = [
+            q("q1", "A", "B", "C", "D"),
+            q("q2", "X", "B", "C"),
+            q("q3", "B", "C", "Y"),
+        ]
+        for _ in range(25):
+            events = random_events(
+                rng, ["A", "B", "C", "D", "X", "Y"], rng.randint(10, 35)
+            )
+            engine = ECubeEngine(queries, shared_types=("B", "C"))
+            replay(engine, events)
+            for query in queries:
+                expected = BruteForceOracle(query).aggregate(events)
+                assert engine.result(query.name) == expected, query.name

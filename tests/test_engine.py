@@ -1,0 +1,145 @@
+"""StreamEngine wiring: registration, dispatch, sinks."""
+
+import pytest
+
+from conftest import events_of
+from repro.engine import (
+    CallbackSink,
+    CollectSink,
+    LatestSink,
+    Output,
+    StreamEngine,
+    ThresholdAlertSink,
+)
+from repro.errors import EngineError
+from repro.events import Event
+from repro.query import seq
+
+
+class TestStreamEngine:
+    def test_register_and_run(self):
+        engine = StreamEngine()
+        sink = CollectSink()
+        engine.register(
+            seq("A", "B").count().within(ms=10).named("ab").build(), sink
+        )
+        processed = engine.run(events_of(("A", 1), ("B", 2)))
+        assert processed == 2
+        assert sink.values() == [1]
+
+    def test_duplicate_name_rejected(self):
+        engine = StreamEngine()
+        engine.register(seq("A", "B").named("q").build())
+        with pytest.raises(EngineError):
+            engine.register(seq("A", "C").named("q").build())
+
+    def test_auto_names(self):
+        engine = StreamEngine()
+        engine.register(seq("A", "B").build())
+        engine.register(seq("A", "C").build())
+        assert len(engine.query_names) == 2
+
+    def test_deregister(self):
+        engine = StreamEngine()
+        engine.register(seq("A", "B").named("q").build())
+        engine.deregister("q")
+        assert engine.query_names == []
+        with pytest.raises(EngineError):
+            engine.deregister("q")
+
+    def test_results_across_queries(self):
+        engine = StreamEngine()
+        engine.register(seq("A", "B").named("ab").build())
+        engine.register(seq("A", "C").named("ac").build())
+        engine.run(events_of(("A", 1), ("B", 2), ("C", 3)))
+        assert engine.results() == {"ab": 1, "ac": 1}
+
+    def test_unknown_result_name(self):
+        with pytest.raises(EngineError):
+            StreamEngine().result("nope")
+
+    def test_metrics_accumulate(self):
+        engine = StreamEngine()
+        engine.register(seq("A", "B").named("q").build())
+        engine.run(events_of(("A", 1), ("B", 2), ("B", 3)))
+        assert engine.metrics.events == 3
+        assert engine.metrics.outputs == 2
+        assert engine.metrics.elapsed_s > 0
+
+    def test_register_external_executor(self):
+        from repro.multi.prefix_sharing import PrefixSharedEngine
+
+        shared = PrefixSharedEngine(
+            [
+                seq("A", "B").count().within(ms=9).named("q1").build(),
+                seq("A", "C").count().within(ms=9).named("q2").build(),
+            ]
+        )
+        engine = StreamEngine()
+        sink = CollectSink()
+        engine.register_executor("workload", shared, sink)
+        engine.run(events_of(("A", 1), ("B", 2)))
+        assert sink.values() == [{"q1": 1}]
+
+    def test_vectorized_engine_flag(self):
+        from repro.core.vectorized import VectorizedSemEngine
+
+        engine = StreamEngine(vectorized=True)
+        executor = engine.register(
+            seq("A", "B").within(ms=5).named("q").build()
+        )
+        assert isinstance(executor.runtime, VectorizedSemEngine)
+
+
+class TestSinks:
+    def test_collect_sink(self):
+        sink = CollectSink()
+        sink.emit(Output("q", 1, 5))
+        assert sink.last().value == 5
+        assert len(sink) == 1
+
+    def test_latest_sink(self):
+        sink = LatestSink()
+        sink.emit(Output("q", 1, 5))
+        sink.emit(Output("q", 2, 7))
+        assert sink.value_of("q") == 7
+        assert sink.value_of("other", default=-1) == -1
+
+    def test_callback_sink(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit(Output("q", 1, 5))
+        assert seen[0].value == 5
+
+    def test_threshold_alert_edge_triggered(self):
+        alerts = []
+        sink = ThresholdAlertSink(3, alerts.append)
+        for ts, value in enumerate([1, 3, 4, 2, 5]):
+            sink.emit(Output("q", ts, value))
+        # Fires at 3 (first crossing) and at 5 (re-crossing after the dip),
+        # but not at 4 (still high).
+        assert [a.ts for a in alerts] == [1, 4]
+
+    def test_threshold_alert_group_by_values(self):
+        alerts = []
+        sink = ThresholdAlertSink(2, alerts.append)
+        sink.emit(Output("q", 1, {"x": 1, "y": 2}))
+        assert len(alerts) == 1
+        assert alerts[0].value == {"y": 2}
+
+    def test_threshold_below_direction(self):
+        alerts = []
+        sink = ThresholdAlertSink(2, alerts.append, direction="below")
+        sink.emit(Output("q", 1, 5))
+        sink.emit(Output("q", 2, 1))
+        assert [a.ts for a in alerts] == [2]
+
+    def test_threshold_bad_direction(self):
+        with pytest.raises(ValueError):
+            ThresholdAlertSink(1, lambda o: None, direction="sideways")
+
+    def test_threshold_ignores_none(self):
+        alerts = []
+        sink = ThresholdAlertSink(1, alerts.append)
+        sink.emit(Output("q", 1, None))
+        assert alerts == []

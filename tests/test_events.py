@@ -1,0 +1,161 @@
+"""Unit tests for the event model and stream substrate."""
+
+import pytest
+
+from repro.errors import OutOfOrderError, StreamError
+from repro.events import Event, EventStream, merge_streams
+from repro.events.schema import (
+    AttributeSpec,
+    EventSchema,
+    StreamSchema,
+    schema_from_example,
+)
+from repro.events.stream import collect
+
+
+class TestEvent:
+    def test_basic_fields(self):
+        event = Event("A", 5, {"x": 1})
+        assert event.event_type == "A"
+        assert event.ts == 5
+        assert event["x"] == 1
+
+    def test_attrs_default_empty(self):
+        event = Event("A", 1)
+        assert event.attrs == {}
+        assert "x" not in event
+        assert event.get("x", 9) == 9
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            Event("A", 1)["missing"]
+
+    def test_equality_ignores_seq(self):
+        assert Event("A", 1, {"x": 1}) == Event("A", 1, {"x": 1})
+        assert Event("A", 1) != Event("B", 1)
+        assert Event("A", 1) != Event("A", 2)
+
+    def test_equality_with_non_event(self):
+        assert Event("A", 1) != "A"
+
+    def test_with_attrs_copies(self):
+        original = Event("A", 1, {"x": 1})
+        updated = original.with_attrs(x=2, y=3)
+        assert original["x"] == 1
+        assert updated["x"] == 2 and updated["y"] == 3
+        assert updated.ts == 1
+
+    def test_iteration_over_attr_names(self):
+        event = Event("A", 1, {"x": 1, "y": 2})
+        assert sorted(event) == ["x", "y"]
+
+    def test_attrs_are_copied_at_construction(self):
+        source = {"x": 1}
+        event = Event("A", 1, source)
+        source["x"] = 99
+        assert event["x"] == 1
+
+
+class TestEventStream:
+    def test_delivers_in_order(self):
+        events = [Event("A", 1), Event("B", 2)]
+        assert collect(EventStream(iter(events))) == events
+
+    def test_rejects_out_of_order(self):
+        stream = EventStream(iter([Event("A", 5), Event("B", 3)]))
+        next(stream)
+        with pytest.raises(OutOfOrderError):
+            next(stream)
+
+    def test_equal_timestamps_allowed(self):
+        stream = EventStream(iter([Event("A", 5), Event("B", 5)]))
+        assert len(collect(stream)) == 2
+
+    def test_order_enforcement_can_be_disabled(self):
+        stream = EventStream(
+            iter([Event("A", 5), Event("B", 3)]), enforce_order=False
+        )
+        assert len(collect(stream)) == 2
+
+    def test_assigns_sequence_numbers(self):
+        stream = EventStream(iter([Event("A", 1), Event("B", 2)]))
+        first, second = collect(stream)
+        assert (first.seq, second.seq) == (0, 1)
+
+    def test_counts_delivered(self):
+        stream = EventStream(iter([Event("A", 1), Event("B", 2)]))
+        collect(stream)
+        assert stream.events_delivered == 2
+
+    def test_filtered(self):
+        events = [Event("A", 1), Event("B", 2), Event("A", 3)]
+        stream = EventStream(iter(events)).filtered(
+            lambda e: e.event_type == "A"
+        )
+        assert [e.ts for e in stream] == [1, 3]
+
+    def test_limited(self):
+        events = [Event("A", t) for t in range(1, 10)]
+        stream = EventStream(iter(events)).limited(3)
+        assert len(collect(stream)) == 3
+
+    def test_merge_streams_interleaves_by_ts(self):
+        left = [Event("A", 1), Event("A", 5)]
+        right = [Event("B", 2), Event("B", 4)]
+        merged = collect(merge_streams(left, right))
+        assert [e.ts for e in merged] == [1, 2, 4, 5]
+
+
+class TestSchemas:
+    def test_attribute_spec_type_check(self):
+        spec = AttributeSpec("price", float)
+        spec.validate(Event("A", 1, {"price": 1.5}))
+        with pytest.raises(StreamError):
+            spec.validate(Event("A", 1, {"price": "high"}))
+
+    def test_required_attribute_missing(self):
+        spec = AttributeSpec("price", float)
+        with pytest.raises(StreamError):
+            spec.validate(Event("A", 1))
+
+    def test_optional_attribute_missing_ok(self):
+        spec = AttributeSpec("note", str, required=False)
+        spec.validate(Event("A", 1))
+
+    def test_event_schema_make_validates(self):
+        schema = EventSchema("Trade", (AttributeSpec("price", float),))
+        event = schema.make(3, price=9.5)
+        assert event.ts == 3 and event["price"] == 9.5
+        with pytest.raises(StreamError):
+            schema.make(3, price="x")
+
+    def test_event_schema_rejects_other_type(self):
+        schema = EventSchema("Trade")
+        with pytest.raises(StreamError):
+            schema.validate(Event("Quote", 1))
+
+    def test_stream_schema_strict_rejects_unknown(self):
+        schema = StreamSchema.of(EventSchema("Trade"), strict=True)
+        schema.validate(Event("Trade", 1))
+        with pytest.raises(StreamError):
+            schema.validate(Event("Quote", 1))
+
+    def test_stream_schema_lenient_ignores_unknown(self):
+        schema = StreamSchema.of(EventSchema("Trade"))
+        schema.validate(Event("Quote", 1))
+
+    def test_stream_validation_applied_by_stream(self):
+        schema = StreamSchema.of(
+            EventSchema("Trade", (AttributeSpec("price", float),))
+        )
+        stream = EventStream(
+            iter([Event("Trade", 1, {"price": "bad"})]), schema=schema
+        )
+        with pytest.raises(StreamError):
+            next(stream)
+
+    def test_schema_from_example(self):
+        schema = schema_from_example("Trade", {"price": 1.0, "volume": 10})
+        schema.validate(Event("Trade", 1, {"price": 2.0, "volume": 5}))
+        with pytest.raises(StreamError):
+            schema.validate(Event("Trade", 1, {"price": 2.0}))

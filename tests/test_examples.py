@@ -1,0 +1,46 @@
+"""Every example script runs cleanly end to end.
+
+These are the repo's living documentation; each is executed as a real
+subprocess (no mocking) and checked for its expected headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "Same answer",
+    "network_security.py": "Missed attackers : none",
+    "ecommerce_funnel.py": "Recommendation-assisted share",
+    "fraud_detection.py": "Blocked cards: ['card-007']",
+    "multi_query_sharing.py": "All three agree",
+    "resilient_pipeline.py": "Identical",
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(name):
+    stdout = run_example(name)
+    assert EXPECTED_SNIPPETS[name] in stdout, stdout
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

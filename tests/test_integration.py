@@ -1,0 +1,191 @@
+"""End-to-end integration: generators -> engines -> sinks.
+
+Each test wires the public API exactly as the examples do, on smaller
+streams, and asserts observable behaviour (alerts fired, aggregates
+agreeing across engines) rather than internals.
+"""
+
+import pytest
+
+from repro import ASeqEngine, TwoStepEngine, parse_query
+from repro.datagen import (
+    ClickStreamGenerator,
+    LoginStreamGenerator,
+    StockTradeGenerator,
+)
+from repro.engine import CollectSink, StreamEngine, ThresholdAlertSink
+from repro.multi import (
+    ChopConnectEngine,
+    PrefixSharedEngine,
+    UnsharedEngine,
+    plan_workload,
+)
+from repro.query import seq
+
+
+class TestStockPipeline:
+    def test_aseq_and_baseline_agree_on_stock_stream(self):
+        query = parse_query(
+            "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 300 ms"
+        )
+        events = StockTradeGenerator(mean_gap_ms=1, seed=3).take(5_000)
+        aseq = ASeqEngine(query)
+        baseline = TwoStepEngine(query)
+        for event in events:
+            aseq.process(event)
+            baseline.process(event)
+        assert aseq.result() == baseline.result()
+        assert aseq.result() > 0  # the workload actually exercises the path
+
+    def test_sum_aggregate_on_prices(self):
+        query = parse_query(
+            "PATTERN SEQ(DELL, AMAT) AGG SUM(AMAT.price) WITHIN 200 ms"
+        )
+        events = StockTradeGenerator(mean_gap_ms=1, seed=3).take(4_000)
+        aseq = ASeqEngine(query)
+        baseline = TwoStepEngine(query)
+        for event in events:
+            aseq.process(event)
+            baseline.process(event)
+        assert aseq.result() == pytest.approx(baseline.result())
+
+
+class TestSecurityPipeline:
+    def test_attackers_cross_threshold_normals_do_not(self):
+        query = parse_query(
+            """
+            PATTERN SEQ(TypeUsername, TypePassword, ClickSubmit)
+            WHERE TypePassword.wrong = TRUE
+            GROUP BY ip
+            AGG COUNT
+            WITHIN 10s
+            """,
+            name="bruteforce",
+        )
+        generator = LoginStreamGenerator(
+            normal_ips=20, attacker_ips=2, mean_gap_ms=40, seed=8
+        )
+        # Counts are combinatorial across interleaved attempts: two
+        # coincident wrong logins can already produce ~8 matches, so the
+        # attack threshold demands a genuine burst.
+        sink = ThresholdAlertSink(30, lambda alert: None)
+        engine = StreamEngine()
+        engine.register(query, sink)
+        engine.run(generator.stream(12_000))
+        alerted_ips = {
+            key for alert in sink.alerts for key in alert.value
+        }
+        assert set(generator.attacker_ips) <= alerted_ips
+        normals = {ip for ip in alerted_ips if ip.startswith("10.")}
+        assert not normals
+
+    def test_collect_sink_sees_every_trigger(self):
+        query = seq("A", "B").count().within(ms=50).named("q").build()
+        sink = CollectSink()
+        engine = StreamEngine()
+        engine.register(query, sink)
+        from repro.events import Event
+
+        engine.run([Event("A", 1), Event("B", 2), Event("B", 3)])
+        assert [o.value for o in sink.outputs] == [1, 2]
+        assert [o.ts for o in sink.outputs] == [2, 3]
+
+
+class TestFunnelPipeline:
+    def test_negation_funnel_counts_subset(self):
+        clicks = ClickStreamGenerator(
+            users=40, buy_rate=0.6, rec_rate=0.3, mean_gap_ms=100, seed=9
+        ).take(15_000)
+        base = (
+            seq("VKindle", "BKindle", "VCase", "BCase")
+            .where_equal("userId")
+            .count()
+            .within(minutes=30)
+            .build()
+        )
+        organic = (
+            seq("VKindle", "BKindle", "!REC", "VCase", "BCase")
+            .where_equal("userId")
+            .count()
+            .within(minutes=30)
+            .build()
+        )
+        all_engine = ASeqEngine(base)
+        organic_engine = ASeqEngine(organic)
+        for click in clicks:
+            all_engine.process(click)
+            organic_engine.process(click)
+        assert 0 < organic_engine.result() < all_engine.result()
+
+    def test_group_by_matches_equivalence_totals(self):
+        """Summing the GROUP BY dict equals the equivalence-combined scalar."""
+        clicks = ClickStreamGenerator(users=10, seed=9).take(4_000)
+        combined = (
+            seq("VKindle", "BKindle")
+            .where_equal("userId")
+            .count()
+            .within(minutes=5)
+            .build()
+        )
+        grouped = (
+            seq("VKindle", "BKindle")
+            .group_by("userId")
+            .count()
+            .within(minutes=5)
+            .build()
+        )
+        combined_engine = ASeqEngine(combined)
+        grouped_engine = ASeqEngine(grouped)
+        for click in clicks:
+            combined_engine.process(click)
+            grouped_engine.process(click)
+        assert combined_engine.result() == sum(
+            grouped_engine.result().values()
+        )
+
+
+class TestMultiQueryPipeline:
+    def test_example6_workload_three_ways(self):
+        def q(name, *pattern):
+            return (
+                seq(*pattern).count().within(minutes=10).named(name).build()
+            )
+
+        queries = [
+            q("Q1", "VKindle", "BKindle", "VCase", "BCase"),
+            q("Q2", "VKindle", "BKindle", "VKindleFire"),
+            q("Q5", "ViPad", "VKindleFire", "VKindle", "BKindle"),
+        ]
+        clicks = ClickStreamGenerator(
+            users=25, mean_gap_ms=200, seed=12
+        ).take(10_000)
+        plans, shared = plan_workload(queries)
+        assert shared is not None
+
+        unshared = UnsharedEngine(queries)
+        prefix_shared = PrefixSharedEngine(queries[:2])
+        chopped = ChopConnectEngine(plans)
+        for click in clicks:
+            unshared.process(click)
+            prefix_shared.process(click)
+            chopped.process(click)
+
+        reference = unshared.result()
+        assert chopped.result() == reference
+        for name in ("Q1", "Q2"):
+            assert prefix_shared.result(name) == reference[name]
+
+    def test_stream_engine_hosts_shared_executor(self):
+        queries = [
+            seq("A", "B").count().within(ms=50).named("x").build(),
+            seq("A", "C").count().within(ms=50).named("y").build(),
+        ]
+        shared = PrefixSharedEngine(queries)
+        engine = StreamEngine()
+        sink = CollectSink()
+        engine.register_executor("workload", shared, sink)
+        from repro.events import Event
+
+        engine.run([Event("A", 1), Event("B", 2), Event("C", 3)])
+        assert engine.result("workload") == {"x": 1, "y": 1}
+        assert len(sink) == 2

@@ -1,0 +1,227 @@
+"""Kleene-plus counting — ``SEQ(A, B+, C)`` (GRETA-direction extension).
+
+Matches contain one or more instances at the Kleene position (any
+increasing subsequence). The prefix-counter update becomes
+``count' = 2*count + count_prev``, still O(1) per arrival. COUNT only;
+windows, choices elsewhere in the pattern, GROUP BY and equivalence all
+compose. The brute-force oracle enumerates repetitions explicitly and
+anchors every differential test.
+"""
+
+import random
+
+import pytest
+
+from conftest import assert_matches_oracle, events_of, random_events, replay
+from repro.baseline.oracle import BruteForceOracle, enumerate_matches
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.executor import ASeqEngine
+from repro.errors import ParseError, PlanError, QueryError
+from repro.query import parse_query, seq
+from repro.query.ast import KleeneType, SeqPattern
+
+
+class TestKleeneAst:
+    def test_of_parses_plus(self):
+        pattern = SeqPattern.of("A", "B+", "C")
+        assert pattern.positive_types == ("A", "B+", "C")
+        assert pattern.kleene_positions == {1}
+        assert pattern.has_kleene
+        assert str(pattern) == "SEQ(A, B+, C)"
+
+    def test_alternatives_of_kleene(self):
+        assert KleeneType("B").alternatives == ("B",)
+
+    def test_kleene_cannot_open_pattern(self):
+        with pytest.raises(QueryError):
+            SeqPattern.of("B+", "C")
+
+    def test_kleene_may_close_pattern(self):
+        pattern = SeqPattern.of("A", "B+")
+        assert pattern.trigger_alternatives == ("B",)
+
+    def test_negation_adjacent_to_kleene_rejected(self):
+        with pytest.raises(QueryError):
+            SeqPattern.of("A", "B+", "!N", "C")
+        with pytest.raises(QueryError):
+            SeqPattern.of("A", "!N", "B+", "C")
+
+    def test_non_adjacent_negation_ok(self):
+        pattern = SeqPattern.of("A", "B+", "C", "!N", "D")
+        assert pattern.negations == {3: ("N",)}
+
+    def test_value_aggregates_rejected(self):
+        with pytest.raises(QueryError):
+            seq("A", "B+").sum("A", "w").build()
+
+
+class TestKleeneParsing:
+    def test_plus_suffix(self):
+        query = parse_query("PATTERN SEQ(A, B+, C) AGG COUNT WITHIN 1 s")
+        assert query.pattern.kleene_positions == {1}
+
+    def test_negated_kleene_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, !B+, C)")
+
+    def test_choice_kleene_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, (B|C)+, D)")
+
+
+class TestKleeneCounting:
+    def test_doubling_recurrence(self):
+        """(A, B+): with k B's after one A the count is 2^k - 1."""
+        engine = ASeqEngine(seq("A", "B+").count().build())
+        outputs = replay(
+            engine,
+            events_of(("A", 1), ("B", 2), ("B", 3), ("B", 4)),
+        )
+        assert outputs == [1, 3, 7]
+
+    def test_anchored_both_sides(self):
+        """(A, B+, C) with 2 B's: subsets {b1}, {b2}, {b1,b2} -> 3."""
+        engine = ASeqEngine(seq("A", "B+", "C").count().build())
+        outputs = replay(
+            engine,
+            events_of(("A", 1), ("B", 2), ("B", 3), ("C", 4)),
+        )
+        assert outputs == [3]
+
+    def test_requires_at_least_one_instance(self):
+        engine = ASeqEngine(seq("A", "B+", "C").count().build())
+        outputs = replay(engine, events_of(("A", 1), ("C", 2)))
+        assert outputs == [0]
+
+    def test_windowed_expiry(self):
+        engine = ASeqEngine(
+            seq("A", "B+", "C").count().within(ms=5).build()
+        )
+        replay(
+            engine,
+            events_of(("A", 1), ("B", 2), ("C", 3)),
+        )
+        assert engine.result() == 1
+        engine.process(events_of(("C", 10))[0])  # the A died at 6
+        assert engine.result() == 0
+
+    def test_oracle_enumerates_repetitions(self):
+        query = seq("A", "B+", "C").count().build()
+        events = events_of(("A", 1), ("B", 2), ("B", 3), ("C", 4))
+        matches = enumerate_matches(events, query)
+        lengths = sorted(len(m) for m in matches)
+        assert lengths == [3, 3, 4]
+
+    def test_baseline_rejects_kleene(self):
+        with pytest.raises(QueryError):
+            TwoStepEngine(seq("A", "B+").count().build())
+
+    def test_columnar_overflow_guard(self):
+        """int64 doubling fails loudly instead of wrapping silently."""
+        from repro.events import Event
+
+        query = seq("A", "B+").count().within(ms=100_000).build()
+        engine = ASeqEngine(query, vectorized=True)
+        engine.process(Event("A", 1))
+        with pytest.raises(OverflowError):
+            for ts in range(2, 100):
+                engine.process(Event("B", ts))
+
+    def test_reference_engine_counts_past_int64(self):
+        from repro.events import Event
+
+        query = seq("A", "B+").count().within(ms=100_000).build()
+        engine = ASeqEngine(query)
+        engine.process(Event("A", 1))
+        for ts in range(2, 102):
+            engine.process(Event("B", ts))
+        assert engine.result() == 2**100 - 1
+
+    def test_shared_engines_reject_kleene(self):
+        from repro.multi import PrefixSharedEngine, chop
+
+        query = seq("A", "B+").count().within(ms=5).named("q").build()
+        with pytest.raises(PlanError):
+            PrefixSharedEngine([query])
+        with pytest.raises(PlanError):
+            chop(query, 1)
+
+
+class TestKleeneDifferential:
+    @pytest.mark.parametrize("window_ms", [None, 8, 15])
+    def test_middle_kleene(self, window_ms):
+        rng = random.Random(window_ms or 3)
+        builder = seq("A", "B+", "C").count()
+        if window_ms:
+            builder = builder.within(ms=window_ms)
+        query = builder.build()
+        for _ in range(40):
+            # Small streams: Kleene match counts explode exponentially.
+            events = random_events(rng, ["A", "B", "C"], 14)
+            engines = [ASeqEngine(query), ASeqEngine(query, vectorized=True)]
+            assert_matches_oracle(query, engines, events)
+
+    def test_trailing_kleene(self):
+        rng = random.Random(13)
+        query = seq("A", "B+").count().within(ms=10).build()
+        for _ in range(40):
+            events = random_events(rng, ["A", "B"], 14)
+            engines = [ASeqEngine(query), ASeqEngine(query, vectorized=True)]
+            assert_matches_oracle(query, engines, events)
+
+    def test_two_kleene_positions(self):
+        rng = random.Random(23)
+        query = seq("A", "B+", "C+").count().within(ms=12).build()
+        for _ in range(30):
+            events = random_events(rng, ["A", "B", "C"], 12)
+            engines = [ASeqEngine(query), ASeqEngine(query, vectorized=True)]
+            assert_matches_oracle(query, engines, events)
+
+    def test_kleene_with_choice_elsewhere(self):
+        rng = random.Random(33)
+        query = seq("A|X", "B+", "C").count().within(ms=12).build()
+        for _ in range(30):
+            events = random_events(rng, ["A", "X", "B", "C"], 12)
+            assert_matches_oracle(query, [ASeqEngine(query)], events)
+
+    def test_kleene_with_distant_negation(self):
+        rng = random.Random(43)
+        query = seq("A", "B+", "C", "!N", "D").count().within(ms=15).build()
+        for _ in range(30):
+            events = random_events(rng, ["A", "B", "C", "D", "N"], 13)
+            assert_matches_oracle(query, [ASeqEngine(query)], events)
+
+    def test_kleene_with_group_by(self):
+        rng = random.Random(53)
+
+        def attrs(r, event_type):
+            return {"ip": r.choice(["x", "y"])}
+
+        query = (
+            seq("A", "B+").group_by("ip").count().within(ms=12).build()
+        )
+        for _ in range(30):
+            events = random_events(
+                rng, ["A", "B"], 14, attr_maker=attrs
+            )
+            assert_matches_oracle(query, [ASeqEngine(query)], events)
+
+    def test_checkpoint_round_trip_with_kleene(self):
+        import json
+
+        from repro.core.checkpoint import checkpoint, restore
+
+        rng = random.Random(63)
+        query = seq("A", "B+", "C").count().within(ms=15).build()
+        events = random_events(rng, ["A", "B", "C"], 30)
+        straight = ASeqEngine(query)
+        first = ASeqEngine(query)
+        for event in events[:15]:
+            straight.process(event)
+            first.process(event)
+        state = json.loads(json.dumps(checkpoint(first)))
+        resumed = restore(query, state)
+        for event in events[15:]:
+            straight.process(event)
+            resumed.process(event)
+        assert resumed.result() == straight.result()

@@ -1,0 +1,67 @@
+"""Measurement helpers (the paper's Sec. 6.1 metrics)."""
+
+from conftest import events_of
+from repro.core.executor import ASeqEngine
+from repro.engine.metrics import EngineMetrics, RunStats, measure_run
+from repro.query import seq
+
+
+class TestRunStats:
+    def test_derived_rates(self):
+        stats = RunStats(
+            label="x", events=1000, elapsed_s=2.0, outputs=10, peak_objects=5
+        )
+        assert stats.per_slide_ms == 2.0
+        assert stats.per_event_us == 2000.0
+        assert stats.events_per_s == 500.0
+
+    def test_zero_division_guards(self):
+        stats = RunStats(
+            label="x", events=0, elapsed_s=0.0, outputs=0, peak_objects=0
+        )
+        assert stats.per_slide_ms == 0.0
+        assert stats.per_event_us == 0.0
+        assert stats.events_per_s == 0.0
+
+
+class TestMeasureRun:
+    def test_measures_counts_and_result(self):
+        engine = ASeqEngine(seq("A", "B").count().within(ms=10).build())
+        stats = measure_run(
+            "aseq", engine, events_of(("A", 1), ("B", 2), ("B", 3))
+        )
+        assert stats.events == 3
+        assert stats.outputs == 2
+        assert stats.final_result == 2
+        assert stats.elapsed_s >= 0
+        assert stats.peak_objects >= 1
+
+    def test_memory_probe_sampled(self):
+        engine = ASeqEngine(seq("A", "B").count().within(ms=1000).build())
+        events = events_of(*[("A", t) for t in range(1, 50)])
+        stats = measure_run("aseq", engine, events, sample_memory_every=1)
+        assert stats.peak_objects == 49
+
+    def test_engine_without_probe(self):
+        class Minimal:
+            def process(self, event):
+                return None
+
+            def result(self):
+                return 0
+
+        stats = measure_run("min", Minimal(), events_of(("A", 1)))
+        assert stats.peak_objects == 0
+
+
+class TestEngineMetrics:
+    def test_note_objects_keeps_peak(self):
+        metrics = EngineMetrics()
+        metrics.note_objects(5)
+        metrics.note_objects(3)
+        assert metrics.peak_objects == 5
+
+    def test_per_event_us(self):
+        metrics = EngineMetrics(events=100, elapsed_s=0.001)
+        assert metrics.per_event_us == 10.0
+        assert EngineMetrics().per_event_us == 0.0

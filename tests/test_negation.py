@@ -1,0 +1,114 @@
+"""Negation: the Recounting Rule (paper Sec. 3.3, Lemmas 5/6)."""
+
+from conftest import assert_matches_oracle, events_of, random_events, replay
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.dpc import DPCEngine
+from repro.core.executor import ASeqEngine
+from repro.core.sem import SemEngine
+from repro.query import seq
+
+
+class TestRecountingRule:
+    def test_paper_example_4_figure_7(self):
+        """(A, B, !C, D): the (A,B) count is cleared when c1 arrives;
+        output at d1 is 2 — <a1, b1, d1> is excluded."""
+        engine = SemEngine(seq("A", "B", "!C", "D").within(ms=7).build())
+        outputs = replay(
+            engine,
+            events_of(
+                ("A", 1),  # a1
+                ("B", 2),  # b1
+                ("C", 3),  # c1 resets (A,B)
+                ("A", 4),  # a2
+                ("B", 5),  # b2 -> (A,B) counts: a1:1, a2:1
+                ("D", 6),  # d1 -> 2
+            ),
+        )
+        assert outputs == [2]
+
+    def test_negative_event_before_any_positive(self):
+        engine = DPCEngine(seq("A", "!C", "B").build())
+        outputs = replay(
+            engine, events_of(("C", 1), ("A", 2), ("B", 3))
+        )
+        assert outputs == [1]
+
+    def test_negation_adjacent_to_start(self):
+        """(A, !N, B): N kills every active A permanently."""
+        engine = SemEngine(seq("A", "!N", "B").within(ms=100).build())
+        outputs = replay(
+            engine,
+            events_of(("A", 1), ("N", 2), ("B", 3), ("A", 4), ("B", 5)),
+        )
+        # b@3: nothing (a1 invalidated). b@5: (a4, b5) only.
+        assert outputs == [0, 1]
+
+    def test_negative_between_guarded_neighbours_only(self):
+        """An N after the guarded pair does not invalidate it (Lemma 5)."""
+        engine = DPCEngine(seq("A", "!N", "B", "C").build())
+        outputs = replay(
+            engine,
+            events_of(("A", 1), ("B", 2), ("N", 3), ("C", 4)),
+        )
+        # N arrives after b2, so (a1, b2) survived; (a1,b2,c4) counts.
+        assert outputs == [1]
+
+    def test_longer_prefixes_unaffected(self):
+        """Prefixes longer than the LPPS keep their counts (Lemma 5)."""
+        engine = DPCEngine(seq("A", "B", "!C", "D").build())
+        replay(engine, events_of(("A", 1), ("B", 2), ("D", 3)))
+        assert engine.result() == 1
+        engine.process(events_of(("C", 4))[0])
+        # The completed (A,B,D) count must survive the reset.
+        assert engine.result() == 1
+
+    def test_shorter_prefixes_unaffected(self):
+        engine = DPCEngine(seq("A", "B", "!C", "D").build())
+        replay(
+            engine,
+            events_of(
+                ("A", 1), ("B", 2), ("C", 3),  # resets (A,B)
+                ("B", 4),                       # (A) still alive: (A,B)=1
+                ("D", 5),
+            ),
+        )
+        assert engine.result() == 1
+
+    def test_multiple_negations(self):
+        engine = DPCEngine(seq("A", "!N", "B", "!M", "C").build())
+        outputs = replay(
+            engine,
+            events_of(
+                ("A", 1), ("B", 2), ("M", 3), ("C", 4),   # M kills (A,B)
+                ("B", 5), ("C", 6),                        # (a1,b5,c6) ok
+            ),
+        )
+        assert outputs == [0, 1]
+
+    def test_negation_constant_time(self):
+        """A negative arrival touches exactly one slot: state elsewhere
+        is untouched (the paper's constant-time claim)."""
+        engine = DPCEngine(seq("A", "B", "!C", "D").build())
+        replay(engine, events_of(("A", 1), ("B", 2), ("D", 3)))
+        before = engine.counter.snapshot_counts()
+        engine.process(events_of(("C", 4))[0])
+        after = engine.counter.snapshot_counts()
+        assert after == (before[0], 0, before[2])
+
+
+class TestNegationDifferential:
+    def test_random_streams_match_oracle(self, rng):
+        query_windowed = seq("A", "!N", "B", "C").count().within(ms=12).build()
+        query_open = seq("A", "B", "!N", "C").count().build()
+        for _ in range(60):
+            events = random_events(rng, ["A", "B", "C", "N"], 25)
+            assert_matches_oracle(
+                query_windowed,
+                [ASeqEngine(query_windowed), TwoStepEngine(query_windowed)],
+                events,
+            )
+            assert_matches_oracle(
+                query_open,
+                [ASeqEngine(query_open), TwoStepEngine(query_open)],
+                events,
+            )

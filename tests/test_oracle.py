@@ -1,0 +1,131 @@
+"""Sanity checks for the brute-force oracle itself.
+
+The oracle anchors every differential test, so it gets direct tests on
+tiny hand-verifiable scenarios.
+"""
+
+import pytest
+
+from conftest import events_of
+from repro.baseline.oracle import BruteForceOracle, enumerate_matches
+from repro.errors import PredicateError
+from repro.query import seq
+
+
+class TestEnumerateMatches:
+    def test_simple(self):
+        events = events_of(("A", 1), ("B", 2), ("B", 3))
+        matches = enumerate_matches(events, seq("A", "B").build())
+        assert len(matches) == 2
+        assert all(m[0].ts == 1 for m in matches)
+
+    def test_strict_time_order(self):
+        events = events_of(("B", 1), ("A", 2))
+        assert enumerate_matches(events, seq("A", "B").build()) == []
+
+    def test_equal_ts_not_ordered(self):
+        events = events_of(("A", 5), ("B", 5))
+        assert enumerate_matches(events, seq("A", "B").build()) == []
+
+    def test_window_uses_start_expiry(self):
+        query = seq("A", "B").within(ms=5).build()
+        events = events_of(("A", 1), ("B", 3))
+        assert len(enumerate_matches(events, query)) == 1
+        # At observation time 6 the A (exp 6) is dead.
+        assert enumerate_matches(events, query, now=6) == []
+
+    def test_observation_time_advanced_by_irrelevant_event(self):
+        query = seq("A", "B").within(ms=5).build()
+        events = events_of(("A", 1), ("B", 3), ("Z", 50))
+        assert enumerate_matches(events, query) == []
+
+    def test_negation(self):
+        query = seq("A", "!N", "B").build()
+        events = events_of(("A", 1), ("N", 2), ("B", 3), ("A", 4), ("B", 5))
+        matches = enumerate_matches(events, query)
+        # (a1,b3) killed by n2; (a1,b5) killed too; (a4,b5) survives.
+        assert [(m[0].ts, m[1].ts) for m in matches] == [(4, 5)]
+
+    def test_negation_boundary_exclusive(self):
+        query = seq("A", "!N", "B").build()
+        events = events_of(("N", 1), ("A", 2), ("B", 3), ("N", 4))
+        assert len(enumerate_matches(events, query)) == 1
+
+    def test_local_predicate_filters_negatives_too(self):
+        query = (
+            seq("A", "!N", "B").where_local("N", "armed", "=", True).build()
+        )
+        events = events_of(
+            ("A", 1), ("N", 2, {"armed": False}), ("B", 3)
+        )
+        assert len(enumerate_matches(events, query)) == 1
+
+    def test_equivalence(self):
+        query = seq("A", "B").where_equal("id").build()
+        events = events_of(
+            ("A", 1, {"id": 1}), ("A", 2, {"id": 2}), ("B", 3, {"id": 2})
+        )
+        matches = enumerate_matches(events, query)
+        assert [(m[0].ts,) for m in matches] == [(2,)]
+
+    def test_group_by_union(self):
+        query = seq("A", "B").group_by("ip").build()
+        events = events_of(
+            ("A", 1, {"ip": "x"}), ("B", 2, {"ip": "x"}),
+            ("A", 3, {"ip": "y"}), ("B", 4, {"ip": "y"}),
+        )
+        assert len(enumerate_matches(events, query)) == 2
+
+
+class TestBruteForceOracle:
+    def test_count(self):
+        oracle = BruteForceOracle(seq("A", "B").build())
+        assert oracle.aggregate(events_of(("A", 1), ("B", 2))) == 1
+
+    def test_sum_avg_max_min(self):
+        events = events_of(
+            ("A", 1), ("B", 2, {"w": 10}), ("B", 3, {"w": 4})
+        )
+        assert BruteForceOracle(
+            seq("A", "B").sum("B", "w").build()
+        ).aggregate(events) == 14
+        assert BruteForceOracle(
+            seq("A", "B").avg("B", "w").build()
+        ).aggregate(events) == 7
+        assert BruteForceOracle(
+            seq("A", "B").max("B", "w").build()
+        ).aggregate(events) == 10
+        assert BruteForceOracle(
+            seq("A", "B").min("B", "w").build()
+        ).aggregate(events) == 4
+
+    def test_empty_aggregates(self):
+        events = events_of(("A", 1))
+        assert BruteForceOracle(
+            seq("A", "B").sum("B", "w").build()
+        ).aggregate(events) == 0
+        assert BruteForceOracle(
+            seq("A", "B").max("B", "w").build()
+        ).aggregate(events) is None
+
+    def test_group_by_aggregate(self):
+        oracle = BruteForceOracle(seq("A", "B").group_by("ip").build())
+        result = oracle.aggregate(
+            events_of(
+                ("A", 1, {"ip": "x"}), ("B", 2, {"ip": "x"}),
+                ("A", 3, {"ip": "y"}),
+            )
+        )
+        assert result == {"x": 1, "y": 0}
+
+    def test_group_by_missing_attr_on_positive_raises(self):
+        oracle = BruteForceOracle(seq("A", "B").group_by("ip").build())
+        with pytest.raises(PredicateError):
+            oracle.aggregate(events_of(("A", 1)))
+
+    def test_group_by_negated_broadcast(self):
+        query = seq("A", "!N", "B").group_by("ip").build()
+        events = events_of(
+            ("A", 1, {"ip": "x"}), ("N", 2), ("B", 3, {"ip": "x"})
+        )
+        assert BruteForceOracle(query).aggregate(events) == {"x": 0}

@@ -1,0 +1,123 @@
+"""The greedy multi-query planner."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.multi.planner import (
+    SharedSubstring,
+    chop_around,
+    find_common_substrings,
+    plan_workload,
+)
+from repro.query import seq
+
+
+def q(name, *pattern, win=100):
+    return seq(*pattern).count().within(ms=win).named(name).build()
+
+
+class TestFindCommonSubstrings:
+    def test_finds_shared_pair(self):
+        found = find_common_substrings([q("q1", "A", "B", "C"), q("q2", "X", "A", "B")])
+        assert ("A", "B") in [c.types for c in found]
+
+    def test_counts_each_query_once(self):
+        # (A, B) occurs twice inside q1 but q1 is listed once.
+        found = find_common_substrings(
+            [q("q1", "A", "B", "A", "B"), q("q2", "A", "B")]
+        )
+        best = next(c for c in found if c.types == ("A", "B"))
+        assert best.query_names == ("q1", "q2")
+
+    def test_benefit_ordering(self):
+        found = find_common_substrings(
+            [
+                q("q1", "A", "B", "C", "D"),
+                q("q2", "A", "B", "C", "E"),
+                q("q3", "A", "B", "X"),
+            ]
+        )
+        # (A,B,C) shared by 2 queries: benefit 3; (A,B) by 3: benefit 4.
+        assert found[0].types == ("A", "B")
+
+    def test_min_length_respected(self):
+        found = find_common_substrings(
+            [q("q1", "A", "B"), q("q2", "A", "C")], min_length=2
+        )
+        assert all(len(c.types) >= 2 for c in found)
+
+    def test_unnamed_rejected(self):
+        query = seq("A", "B").count().within(ms=5).build()
+        with pytest.raises(PlanError):
+            find_common_substrings([query])
+
+    def test_benefit_formula(self):
+        candidate = SharedSubstring(("A", "B", "C"), ("q1", "q2", "q3"))
+        assert candidate.benefit == 6
+
+
+class TestChopAround:
+    def test_middle_occurrence(self):
+        plan = chop_around(q("q", "A", "B", "C", "D"), ("B", "C"))
+        assert plan.cut_points == (1, 3)
+
+    def test_head_occurrence(self):
+        plan = chop_around(q("q", "B", "C", "D"), ("B", "C"))
+        assert plan.cut_points == (2,)
+
+    def test_tail_occurrence(self):
+        plan = chop_around(q("q", "A", "B", "C"), ("B", "C"))
+        assert plan.cut_points == (1,)
+
+    def test_whole_pattern(self):
+        plan = chop_around(q("q", "B", "C"), ("B", "C"))
+        assert plan.cut_points == ()
+
+    def test_absent_substring_single_segment(self):
+        plan = chop_around(q("q", "A", "B"), ("X", "Y"))
+        assert plan.cut_points == ()
+
+
+class TestPlanWorkload:
+    def test_paper_example_6_workload(self):
+        """Q1~Q5 of the paper: (VKindle, BKindle) is the shared pick."""
+        queries = [
+            q("Q1", "VKindle", "BKindle", "VCase", "BCase"),
+            q("Q2", "VKindle", "BKindle", "VKindleFire"),
+            q("Q3", "VKindle", "BKindle", "VCase", "BCase", "VeBook", "BeBook"),
+            q("Q4", "VKindle", "BKindle", "VCase", "BCase", "VLight", "BLight"),
+            q("Q5", "ViPad", "VKindleFire", "VKindle", "BKindle"),
+        ]
+        plans, best = plan_workload(queries)
+        assert best.types[:2] == ("VKindle", "BKindle") or (
+            "VKindle",
+            "BKindle",
+        ) in [best.types]
+        assert len(plans) == 5
+        q5_plan = next(p for p in plans if p.query.name == "Q5")
+        assert q5_plan.cut_points  # Q5 shares at the tail -> chopped
+
+    def test_no_sharing_available(self):
+        plans, best = plan_workload([q("q1", "A", "B"), q("q2", "X", "Y")])
+        assert best is None
+        assert all(p.cut_points == () for p in plans)
+
+    def test_plans_executable(self):
+        from conftest import random_events, replay
+        from repro.baseline.oracle import BruteForceOracle
+        from repro.multi.chop_connect import ChopConnectEngine
+        import random
+
+        queries = [
+            q("q1", "A", "B", "C", "D", win=12),
+            q("q2", "X", "B", "C", win=12),
+        ]
+        plans, best = plan_workload(queries)
+        rng = random.Random(9)
+        events = random_events(rng, ["A", "B", "C", "D", "X"], 40)
+        engine = ChopConnectEngine(plans)
+        replay(engine, events)
+        for query in queries:
+            assert engine.result(query.name) == BruteForceOracle(
+                query
+            ).aggregate(events)

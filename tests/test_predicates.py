@@ -1,0 +1,133 @@
+"""Unit tests for WHERE predicates."""
+
+import pytest
+
+from repro.errors import PredicateError, QueryError
+from repro.events import Event
+from repro.query.predicates import (
+    AttributeComparison,
+    EquivalencePredicate,
+    LocalPredicate,
+    comparison_fn,
+    local_filter,
+    split_predicates,
+)
+
+
+class TestLocalPredicate:
+    def test_matches_constrained_type(self):
+        predicate = LocalPredicate("A", "price", ">", 100)
+        assert predicate.matches(Event("A", 1, {"price": 150}))
+        assert not predicate.matches(Event("A", 1, {"price": 50}))
+
+    def test_other_types_pass_vacuously(self):
+        predicate = LocalPredicate("A", "price", ">", 100)
+        assert predicate.matches(Event("B", 1))
+
+    def test_missing_attribute_raises(self):
+        predicate = LocalPredicate("A", "price", ">", 100)
+        with pytest.raises(PredicateError):
+            predicate.matches(Event("A", 1))
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", 5, True), ("==", 5, True), ("!=", 5, False),
+            ("<", 6, True), ("<=", 5, True), (">", 4, True),
+            (">=", 6, False),
+        ],
+    )
+    def test_all_operators(self, op, value, expected):
+        predicate = LocalPredicate("A", "x", op, value)
+        assert predicate.matches(Event("A", 1, {"x": 5})) is expected
+
+    def test_bad_operator_rejected_eagerly(self):
+        with pytest.raises(QueryError):
+            LocalPredicate("A", "x", "~", 1)
+
+    def test_is_local(self):
+        assert LocalPredicate("A", "x", "=", 1).is_local()
+
+
+class TestAttributeComparison:
+    def test_compares_two_attributes(self):
+        predicate = AttributeComparison("A", "x", "!=", "y")
+        assert predicate.matches(Event("A", 1, {"x": 1, "y": 2}))
+        assert not predicate.matches(Event("A", 1, {"x": 1, "y": 1}))
+
+    def test_missing_attribute_raises(self):
+        predicate = AttributeComparison("A", "x", "=", "y")
+        with pytest.raises(PredicateError):
+            predicate.matches(Event("A", 1, {"x": 1}))
+
+    def test_other_types_pass(self):
+        predicate = AttributeComparison("A", "x", "=", "y")
+        assert predicate.matches(Event("B", 1))
+
+
+class TestEquivalencePredicate:
+    def test_on_shorthand(self):
+        predicate = EquivalencePredicate.on("id", "A", "B", "C")
+        assert predicate.terms == (("A", "id"), ("B", "id"), ("C", "id"))
+
+    def test_needs_two_terms(self):
+        with pytest.raises(QueryError):
+            EquivalencePredicate((("A", "id"),))
+
+    def test_duplicate_types_rejected(self):
+        with pytest.raises(QueryError):
+            EquivalencePredicate.on("id", "A", "A")
+
+    def test_key_of(self):
+        predicate = EquivalencePredicate.on("id", "A", "B")
+        assert predicate.key_of(Event("A", 1, {"id": 7})) == 7
+
+    def test_key_of_missing_attr_raises(self):
+        predicate = EquivalencePredicate.on("id", "A", "B")
+        with pytest.raises(PredicateError):
+            predicate.key_of(Event("A", 1))
+
+    def test_key_of_unconstrained_type_raises(self):
+        predicate = EquivalencePredicate.on("id", "A", "B")
+        with pytest.raises(PredicateError):
+            predicate.key_of(Event("C", 1, {"id": 7}))
+
+    def test_mixed_attribute_names(self):
+        predicate = EquivalencePredicate((("A", "uid"), ("B", "user")))
+        assert predicate.attribute_for("A") == "uid"
+        assert predicate.attribute_for("B") == "user"
+        assert predicate.attribute_for("C") is None
+
+    def test_not_evaluable_per_event(self):
+        predicate = EquivalencePredicate.on("id", "A", "B")
+        assert not predicate.is_local()
+        with pytest.raises(QueryError):
+            predicate.matches(Event("A", 1, {"id": 1}))
+
+
+class TestHelpers:
+    def test_comparison_fn_unknown(self):
+        with pytest.raises(QueryError):
+            comparison_fn("<>")
+
+    def test_split_predicates(self):
+        local = LocalPredicate("A", "x", "=", 1)
+        chain = EquivalencePredicate.on("id", "A", "B")
+        locals_, chains = split_predicates((local, chain))
+        assert locals_ == (local,)
+        assert chains == (chain,)
+
+    def test_local_filter_combines(self):
+        accepts = local_filter(
+            (
+                LocalPredicate("A", "x", ">", 0),
+                LocalPredicate("A", "x", "<", 10),
+            )
+        )
+        assert accepts(Event("A", 1, {"x": 5}))
+        assert not accepts(Event("A", 1, {"x": 15}))
+        assert accepts(Event("B", 1))
+
+    def test_local_filter_empty_accepts_all(self):
+        accepts = local_filter(())
+        assert accepts(Event("A", 1))

@@ -1,0 +1,161 @@
+"""Unit tests for the PrefixCounter update rules (paper Lemmas 1/2/6)."""
+
+import pytest
+
+from repro.core.aggregates import PatternLayout
+from repro.core.prefix_counter import PrefixCounter
+from repro.errors import QueryError
+from repro.query import seq
+
+
+def layout_for(*names, agg=None):
+    builder = seq(*names)
+    if agg:
+        kind, event_type, attribute = agg
+        builder = getattr(builder, kind)(event_type, attribute)
+    return PatternLayout.of(builder.build())
+
+
+class TestLayout:
+    def test_update_slots_descending_for_repeats(self):
+        layout = layout_for("A", "B", "A")
+        assert layout.update_slots["A"] == (2, 0)
+
+    def test_reset_slot_targets_guarded_prefix(self):
+        layout = layout_for("A", "B", "!C", "D")
+        assert layout.reset_slot == {"C": 1}
+
+    def test_categories(self):
+        layout = layout_for("A", "B", "!C", "D")
+        assert layout.categories_of("A") == "START"
+        assert layout.categories_of("B") == "UPD"
+        assert layout.categories_of("D") == "TRIG"
+        assert layout.categories_of("C") == "NEG"
+        assert layout.categories_of("Z") == "IGNORED"
+
+    def test_value_slot(self):
+        layout = layout_for("A", "B", "C", agg=("sum", "B", "w"))
+        assert layout.value_slot == 1
+        assert layout.tracks_values
+
+    def test_ambiguous_value_target_rejected(self):
+        with pytest.raises(QueryError):
+            layout_for("A", "B", "A", agg=("sum", "A", "w"))
+
+    def test_value_of_missing_attribute(self):
+        from repro.errors import PredicateError
+        from repro.events import Event
+
+        layout = layout_for("A", "B", agg=("sum", "B", "w"))
+        with pytest.raises(PredicateError):
+            layout.value_of(Event("B", 1))
+
+
+class TestCountUpdates:
+    def test_lemma1_chain(self):
+        """count(p_m) at t = count(p_m) + count(p_{m-1}) at t-1."""
+        counter = PrefixCounter(layout_for("A", "B", "C"))
+        counter.bump_start()        # a1: (A)=1
+        counter.bump_start()        # a2: (A)=2
+        counter.update(1)           # b1: (A,B)=2
+        counter.update(2)           # c1: (A,B,C)=2
+        counter.update(1)           # b2: (A,B)=4
+        counter.update(2)           # c2: (A,B,C)=6
+        assert counter.snapshot_counts() == (2, 4, 6)
+
+    def test_paper_figure_4_column(self):
+        """Fig. 4: counts (3, 2, 4, 2); a `b` arrival makes (A,B) = 5."""
+        counter = PrefixCounter(layout_for("A", "B", "C", "D"))
+        counter.counts[:] = [3, 2, 4, 2]
+        counter.update(1)
+        assert counter.snapshot_counts() == (3, 5, 4, 2)
+        # ... and the later `d` arrival folds (A,B,C) into (A,B,C,D).
+        counter.update(3)
+        assert counter.full_count == 6
+
+    def test_implicit_start_pins_slot0(self):
+        counter = PrefixCounter(layout_for("A", "B"), implicit_start=True)
+        assert counter.start_alive
+        counter.update(1)
+        counter.update(1)
+        assert counter.full_count == 2
+
+    def test_reset_clears_one_slot(self):
+        counter = PrefixCounter(layout_for("A", "B", "!C", "D"))
+        counter.bump_start()
+        counter.update(1)
+        counter.update(2)  # (A,B,D) via slot 2
+        counter.reset(1)
+        assert counter.snapshot_counts() == (1, 0, 1)
+
+    def test_reset_slot0_kills_implicit_start(self):
+        counter = PrefixCounter(layout_for("A", "!N", "B"), implicit_start=True)
+        counter.reset(0)
+        assert not counter.start_alive
+        counter.update(1)
+        assert counter.full_count == 0
+
+
+class TestValueAggregates:
+    def test_weighted_sum_propagation(self):
+        layout = layout_for("A", "B", "C", agg=("sum", "B", "w"))
+        counter = PrefixCounter(layout)
+        counter.bump_start()            # a1
+        counter.bump_start()            # a2
+        counter.update(1, 10.0)         # b(10): 2 matches of (A,B), wsum 20
+        counter.update(1, 5.0)          # b(5): +2 matches, wsum 20+10=30
+        counter.update(2)               # c: 4 (A,B,C) matches, wsum 30
+        assert counter.counts == [2, 4, 4]
+        assert counter.full_wsum == 30.0
+
+    def test_sum_on_start_slot(self):
+        layout = layout_for("A", "B", agg=("sum", "A", "w"))
+        counter = PrefixCounter(layout)
+        counter.bump_start(3.0)
+        counter.bump_start(4.0)
+        counter.update(1)
+        assert counter.full_wsum == 7.0
+
+    def test_seed_start_for_sem_mode(self):
+        layout = layout_for("A", "B", agg=("max", "A", "w"))
+        counter = PrefixCounter(layout, implicit_start=True)
+        counter.seed_start(9.0)
+        counter.update(1)
+        assert counter.full_extremum == 9.0
+
+    def test_max_propagation(self):
+        layout = layout_for("A", "B", "C", agg=("max", "B", "w"))
+        counter = PrefixCounter(layout)
+        counter.bump_start()
+        counter.update(1, 7.0)
+        counter.update(2)           # (A,B,C) max = 7
+        counter.update(1, 3.0)      # smaller B
+        counter.update(2)           # still 7
+        assert counter.full_extremum == 7.0
+
+    def test_min_propagation(self):
+        layout = layout_for("A", "B", "C", agg=("min", "B", "w"))
+        counter = PrefixCounter(layout)
+        counter.bump_start()
+        counter.update(1, 7.0)
+        counter.update(1, 3.0)
+        counter.update(2)
+        assert counter.full_extremum == 3.0
+
+    def test_extremum_ignored_when_no_prefix_matches(self):
+        layout = layout_for("A", "B", "C", agg=("max", "B", "w"))
+        counter = PrefixCounter(layout)
+        counter.update(1, 99.0)  # no (A) yet: no (A,B) match forms
+        counter.bump_start()
+        counter.update(2)
+        assert counter.full_extremum is None
+
+    def test_reset_clears_value_companions(self):
+        layout = layout_for("A", "!N", "B", "C", agg=("sum", "B", "w"))
+        counter = PrefixCounter(layout)
+        counter.bump_start()
+        counter.update(1, 4.0)
+        counter.reset(1)
+        assert counter.wsums[1] == 0.0
+        counter.update(2)
+        assert counter.full_wsum == 0.0

@@ -1,0 +1,130 @@
+"""Prefix-shared engine vs. per-query A-Seq and the oracle."""
+
+import random
+
+import pytest
+
+from conftest import random_events, replay
+from repro.baseline.oracle import BruteForceOracle
+from repro.core.executor import ASeqEngine
+from repro.errors import PlanError
+from repro.events import Event
+from repro.multi.prefix_sharing import PrefixSharedEngine
+from repro.query import seq
+
+
+def q(name, *pattern, win=100):
+    return seq(*pattern).count().within(ms=win).named(name).build()
+
+
+class TestPrefixSharedEngine:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(PlanError):
+            PrefixSharedEngine([])
+
+    def test_basic_two_query_sharing(self):
+        engine = PrefixSharedEngine([q("q1", "A", "B", "C"), q("q2", "A", "B", "D")])
+        for i, name in enumerate("ABCD"):
+            engine.process(Event(name, ts=i + 1))
+        assert engine.result() == {"q1": 1, "q2": 1}
+
+    def test_process_reports_completed_queries_only(self):
+        engine = PrefixSharedEngine([q("q1", "A", "B"), q("q2", "A", "C")])
+        assert engine.process(Event("A", 1)) is None
+        assert engine.process(Event("B", 2)) == {"q1": 1}
+        assert engine.process(Event("C", 3)) == {"q2": 1}
+
+    def test_result_by_name(self):
+        engine = PrefixSharedEngine([q("q1", "A", "B")])
+        replay(engine, [Event("A", 1), Event("B", 2)])
+        assert engine.result("q1") == 1
+        with pytest.raises(KeyError):
+            engine.result("nope")
+
+    def test_multiple_start_types_build_multiple_trees(self):
+        engine = PrefixSharedEngine([q("q1", "A", "B"), q("q2", "X", "B")])
+        replay(
+            engine,
+            [Event("A", 1), Event("X", 2), Event("B", 3)],
+        )
+        assert engine.result() == {"q1": 1, "q2": 1}
+
+    def test_window_expiry(self):
+        engine = PrefixSharedEngine([q("q1", "A", "B", win=5)])
+        replay(engine, [Event("A", 1), Event("B", 2)])
+        assert engine.result("q1") == 1
+        engine.process(Event("B", 7))  # a1 expired at 6
+        assert engine.result("q1") == 0
+
+    def test_unwindowed_workload_uses_global_tree(self):
+        queries = [
+            seq("A", "B").count().named("q1").build(),
+            seq("A", "C").count().named("q2").build(),
+        ]
+        engine = PrefixSharedEngine(queries)
+        replay(
+            engine,
+            [Event("A", 1), Event("A", 2), Event("B", 3), Event("C", 4)],
+        )
+        assert engine.result() == {"q1": 2, "q2": 2}
+        assert engine.current_counters() == 3  # one global tree, 3 nodes
+
+    def test_counter_accounting(self):
+        engine = PrefixSharedEngine(
+            [q("q1", "A", "B", "C"), q("q2", "A", "B", "D")]
+        )
+        replay(engine, [Event("A", 1), Event("A", 2)])
+        # Two tree instances x 4 nodes (A, B, C, D).
+        assert engine.current_counters() == 8
+        assert engine.peak_counters == 8
+
+    def test_describe_shows_structure(self):
+        engine = PrefixSharedEngine([q("q1", "A", "B"), q("q2", "A", "C")])
+        assert "PreTree(start=A)" in engine.describe()
+
+
+class TestPrefixSharedDifferential:
+    @pytest.mark.parametrize("win", [None, 10, 25])
+    def test_matches_per_query_aseq_and_oracle(self, win):
+        rng = random.Random(win or 3)
+
+        def build(name, *pattern):
+            builder = seq(*pattern).count()
+            if win:
+                builder = builder.within(ms=win)
+            return builder.named(name).build()
+
+        queries = [
+            build("q1", "A", "B", "C"),
+            build("q2", "A", "B", "D"),
+            build("q3", "A", "B", "C", "D"),
+            build("q4", "A", "!N", "B"),
+            build("q5", "B", "C"),
+        ]
+        for _ in range(30):
+            events = random_events(
+                rng, ["A", "B", "C", "D", "N"], rng.randint(8, 30)
+            )
+            shared = PrefixSharedEngine(queries)
+            singles = {query.name: ASeqEngine(query) for query in queries}
+            replay(shared, events)
+            for engine in singles.values():
+                replay(engine, events)
+            results = shared.result()
+            for query in queries:
+                expected = BruteForceOracle(query).aggregate(events)
+                assert results[query.name] == expected
+                assert singles[query.name].result() == expected
+
+    def test_outputs_identical_to_unshared_at_every_trigger(self):
+        rng = random.Random(77)
+        queries = [q("q1", "A", "B", "C"), q("q2", "A", "B", "D")]
+        events = random_events(rng, ["A", "B", "C", "D"], 60)
+        shared = PrefixSharedEngine(queries)
+        singles = {query.name: ASeqEngine(query) for query in queries}
+        for event in events:
+            fresh = shared.process(event)
+            for name, engine in singles.items():
+                single_fresh = engine.process(event)
+                if single_fresh is not None:
+                    assert fresh is not None and fresh[name] == single_fresh

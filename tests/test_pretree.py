@@ -1,0 +1,141 @@
+"""PreTree layout and counter instances (paper Sec. 4.1, Fig. 9)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.multi.pretree import PreTree, PreTreeLayout, shared_window_ms
+from repro.query import seq
+
+
+def q(name, *pattern, win=100):
+    return seq(*pattern).count().within(ms=win).named(name).build()
+
+
+class TestLayout:
+    def test_paper_figure_9_sharing(self):
+        """Q1~Q4 of Example 7 share (VK, BK) and Q1's full path."""
+        queries = [
+            q("Q1", "VK", "BK", "VC", "BC"),
+            q("Q2", "VK", "BK", "VKF"),
+            q("Q3", "VK", "BK", "VC", "BC", "VeB", "BeB"),
+            q("Q4", "VK", "BK", "VC", "BC", "VL", "BL"),
+        ]
+        layout = PreTreeLayout(queries)
+        # Shared nodes: VK, BK, VC, BC + branch tails VKF, VeB, BeB, VL, BL.
+        assert layout.size == 9
+        assert set(layout.terminal_of) == {"Q1", "Q2", "Q3", "Q4"}
+        # Q1 terminates at the shared BC node on Q3/Q4's path.
+        bc_node = layout.terminal_of["Q1"]
+        assert str(layout.nodes[bc_node].element) == "BC"
+
+    def test_negation_gets_guard_node(self):
+        queries = [q("q1", "A", "B", "C"), q("q2", "A", "B", "!N", "D")]
+        layout = PreTreeLayout(queries)
+        assert "N" in layout.guard_nodes
+        # Nodes: A, B, C, guard(!N), D.
+        assert layout.size == 5
+
+    def test_distinct_starts_rejected(self):
+        with pytest.raises(PlanError):
+            PreTreeLayout([q("q1", "A", "B"), q("q2", "B", "A")])
+
+    def test_unnamed_query_rejected(self):
+        query = seq("A", "B").count().within(ms=100).build()
+        with pytest.raises(PlanError):
+            PreTreeLayout([query])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PlanError):
+            PreTreeLayout([q("q1", "A", "B"), q("q1", "A", "C")])
+
+    def test_non_count_rejected(self):
+        query = (
+            seq("A", "B").sum("B", "w").within(ms=100).named("q").build()
+        )
+        with pytest.raises(PlanError):
+            PreTreeLayout([query])
+
+    def test_predicates_rejected(self):
+        query = (
+            seq("A", "B")
+            .where_local("A", "x", ">", 1)
+            .count()
+            .within(ms=100)
+            .named("q")
+            .build()
+        )
+        with pytest.raises(PlanError):
+            PreTreeLayout([query])
+
+    def test_render_mentions_queries(self):
+        layout = PreTreeLayout([q("q1", "A", "B"), q("q2", "A", "C")])
+        rendered = layout.render()
+        assert "q1" in rendered and "q2" in rendered
+
+    def test_update_nodes_deepest_first(self):
+        layout = PreTreeLayout([q("q1", "A", "B", "A")])
+        depths = [layout.nodes[i].depth for i in layout.update_nodes["A"]]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_path_of(self):
+        layout = PreTreeLayout([q("q1", "A", "!N", "B")])
+        assert [str(e) for e in layout.path_of("q1")] == ["A", "!N", "B"]
+
+
+class TestPreTreeCounts:
+    def test_shared_prefix_counts_diverge_after_branch(self):
+        layout = PreTreeLayout([q("q1", "A", "B", "C"), q("q2", "A", "B", "D")])
+        tree = PreTree(layout, implicit_start=True)
+        for name in ("B", "C", "D", "D"):
+            tree.update(name)
+        assert tree.result_of("q1") == 1
+        assert tree.result_of("q2") == 2
+
+    def test_guard_shadow_protects_sibling(self):
+        """The q2 guard reset must not disturb q1's shared (A,B) count."""
+        layout = PreTreeLayout(
+            [q("q1", "A", "B", "C"), q("q2", "A", "B", "!N", "D")]
+        )
+        tree = PreTree(layout, implicit_start=True)
+        tree.update("B")
+        tree.reset_guards("N")
+        tree.update("C")   # q1 path still sees (A,B) = 1
+        tree.update("D")   # q2 path sees the wiped guard
+        assert tree.result_of("q1") == 1
+        assert tree.result_of("q2") == 0
+
+    def test_guard_refills_after_reset(self):
+        layout = PreTreeLayout([q("q2", "A", "B", "!N", "D")])
+        tree = PreTree(layout, implicit_start=True)
+        tree.update("B")
+        tree.reset_guards("N")
+        tree.update("B")   # a fresh (A,B) match re-arms the guard
+        tree.update("D")
+        assert tree.result_of("q2") == 1
+
+    def test_guard_on_start_position(self):
+        layout = PreTreeLayout([q("q", "A", "!N", "B")])
+        tree = PreTree(layout, implicit_start=True)
+        tree.reset_guards("N")
+        tree.update("B")
+        assert tree.result_of("q") == 0
+
+    def test_global_mode_counts_starts(self):
+        query = seq("A", "B").count().named("q").build()
+        layout = PreTreeLayout([query])
+        tree = PreTree(layout)  # global: START arrivals feed depth-1
+        tree.update("A")
+        tree.update("A")
+        tree.update("B")
+        assert tree.result_of("q") == 2
+
+
+class TestSharedWindow:
+    def test_common_window_ok(self):
+        assert shared_window_ms([q("a", "A", "B"), q("b", "A", "C")]) == 100
+
+    def test_mixed_windows_rejected(self):
+        with pytest.raises(PlanError):
+            shared_window_ms(
+                [q("a", "A", "B", win=100), q("b", "A", "C", win=200)]
+            )

@@ -1,0 +1,226 @@
+"""Hypothesis property tests on the core invariants.
+
+These go beyond fixed-seed differentials: hypothesis searches the input
+space (event orders, gaps, pattern shapes) for counterexamples and
+shrinks any failure to a minimal stream.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from conftest import replay
+from repro.baseline.oracle import BruteForceOracle
+from repro.baseline.twostep import TwoStepEngine
+from repro.core.dpc import DPCEngine
+from repro.core.executor import ASeqEngine
+from repro.core.sem import SemEngine
+from repro.events import Event
+from repro.query import seq
+
+# ---- strategies ------------------------------------------------------------
+
+
+def event_lists(
+    alphabet: str = "ABCN", max_size: int = 28, with_attr: bool = False
+):
+    """Strictly-increasing-ts event lists over a small alphabet."""
+    element = st.tuples(
+        st.sampled_from(alphabet),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=9),
+    )
+
+    def build(specs):
+        events = []
+        ts = 0
+        for event_type, gap, value in specs:
+            ts += gap
+            attrs = {"w": value, "id": value % 2} if with_attr else None
+            events.append(Event(event_type, ts, attrs))
+        return events
+
+    return st.lists(element, min_size=0, max_size=max_size).map(build)
+
+
+# ---- engine-vs-oracle properties ----------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(events=event_lists(), window=st.sampled_from([None, 5, 9, 17]))
+def test_aseq_count_equals_oracle(events, window):
+    builder = seq("A", "B", "C").count()
+    if window:
+        builder = builder.within(ms=window)
+    query = builder.build()
+    engine = ASeqEngine(query)
+    replay(engine, events)
+    assert engine.result() == BruteForceOracle(query).aggregate(events)
+
+
+@settings(max_examples=150, deadline=None)
+@given(events=event_lists(), window=st.sampled_from([None, 7, 13]))
+def test_negation_equals_oracle(events, window):
+    builder = seq("A", "!N", "B", "C").count()
+    if window:
+        builder = builder.within(ms=window)
+    query = builder.build()
+    engine = ASeqEngine(query)
+    baseline = TwoStepEngine(query)
+    replay(engine, events)
+    replay(baseline, events)
+    expected = BruteForceOracle(query).aggregate(events)
+    assert engine.result() == expected
+    assert baseline.result() == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=event_lists(with_attr=True))
+def test_sum_equals_oracle(events):
+    query = seq("A", "B").sum("B", "w").within(ms=11).build()
+    engine = ASeqEngine(query)
+    replay(engine, events)
+    expected = BruteForceOracle(query).aggregate(events)
+    assert abs(engine.result() - expected) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=event_lists(with_attr=True))
+def test_vectorized_mirrors_reference_every_output(events):
+    query = seq("A", "B", "C").count().within(ms=9).build()
+    reference = ASeqEngine(query)
+    vectorized = ASeqEngine(query, vectorized=True)
+    for event in events:
+        assert reference.process(event) == vectorized.process(event)
+
+
+# ---- structural invariants -------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=event_lists(alphabet="ABC"))
+def test_dpc_counts_monotone_without_negation(events):
+    """Absent negation and windows, every prefix count is nondecreasing."""
+    engine = DPCEngine(seq("A", "B", "C").build())
+    previous = (0, 0, 0)
+    for event in events:
+        engine.process(event)
+        current = engine.counter.snapshot_counts()
+        assert all(c >= p for c, p in zip(current, previous))
+        previous = current
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=event_lists(alphabet="ABC"))
+def test_sem_total_is_sum_of_per_start_counts(events):
+    """Lemma 4: the result is exactly the sum over active counters."""
+    query = seq("A", "B", "C").count().within(ms=9).build()
+    engine = SemEngine(query)
+    for event in events:
+        engine.process(event)
+        total = sum(c.full_count for c in engine.counters())
+        assert engine.result() == total
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=event_lists(alphabet="ABC"))
+def test_sem_memory_bounded_by_window_starts(events):
+    """Active counters never exceed the START instances in one window."""
+    window = 9
+    query = seq("A", "B", "C").count().within(ms=window).build()
+    engine = SemEngine(query)
+    for event in events:
+        engine.process(event)
+        starts_in_window = sum(
+            1
+            for e in events
+            if e.event_type == "A"
+            and e.ts <= event.ts
+            and e.ts + window > event.ts
+        )
+        assert engine.active_counters <= starts_in_window + 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=event_lists(alphabet="AB"))
+def test_unwindowed_count_equals_binomial_structure(events):
+    """For (A, B): count = sum over B arrivals of As seen before it."""
+    query = seq("A", "B").count().build()
+    engine = ASeqEngine(query)
+    replay(engine, events)
+    expected = 0
+    a_seen = 0
+    for event in events:
+        if event.event_type == "A":
+            a_seen += 1
+        elif event.event_type == "B":
+            expected += a_seen
+    assert engine.result() == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(events=event_lists(with_attr=True))
+def test_hpc_equals_per_key_filtered_streams(events):
+    """Partitioned evaluation = running the flat engine per key slice.
+
+    Each partition's count must equal a flat engine fed only that key's
+    events (noting the clock still advances globally).
+    """
+    query = (
+        seq("A", "B").group_by("id").count().within(ms=9).build()
+    )
+    engine = ASeqEngine(query)
+    replay(engine, events)
+    now = max((e.ts for e in events), default=0)
+    grouped = engine.result()
+    flat_query = seq("A", "B").count().within(ms=9).build()
+    for key in {e.attrs["id"] for e in events if e.attrs}:
+        flat = ASeqEngine(flat_query)
+        for event in events:
+            if event.attrs.get("id") == key:
+                flat.process(event)
+        flat.runtime.advance_time(now)
+        assert grouped.get(key, 0) == flat.result()
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    events=event_lists(alphabet="ABC"),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_reordered_stream_gives_same_result(events, seed):
+    """Engine(reorder(jitter(stream))) == Engine(stream)."""
+    import random
+
+    from repro.events.reorder import reordered
+
+    slack = 6
+    rng = random.Random(seed)
+    keyed = [(e.ts + rng.uniform(0, slack * 0.99), e) for e in events]
+    keyed.sort(key=lambda pair: pair[0])
+    noisy = [e for _, e in keyed]
+
+    query = seq("A", "B", "C").count().within(ms=9).build()
+    straight = ASeqEngine(query)
+    replay(straight, events)
+    via_buffer = ASeqEngine(query)
+    for event in reordered(noisy, slack_ms=slack):
+        via_buffer.process(event)
+    assert via_buffer.result() == straight.result()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=event_lists(alphabet="ABCD"),
+    split=st.integers(min_value=1, max_value=3),
+)
+def test_chop_result_independent_of_cut_point(events, split):
+    """Chop-Connect invariant: any cut gives the unchopped answer."""
+    from repro.multi.chop import chop
+    from repro.multi.chop_connect import ChopConnectEngine
+
+    query = seq("A", "B", "C", "D").count().within(ms=9).named("q").build()
+    chopped = ChopConnectEngine([chop(query, split)])
+    plain = ASeqEngine(query)
+    replay(chopped, events)
+    replay(plain, events)
+    assert chopped.result("q") == plain.result()

@@ -1,0 +1,141 @@
+"""Unit tests for the pattern/query AST."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AggKind,
+    Aggregate,
+    NegatedType,
+    PositiveType,
+    Query,
+    SeqPattern,
+    Window,
+    common_prefix_length,
+    positive_subsequences,
+)
+
+
+class TestSeqPattern:
+    def test_of_parses_bang(self):
+        pattern = SeqPattern.of("A", "B", "!C", "D")
+        assert pattern.positive_types == ("A", "B", "D")
+        assert pattern.negated_types == ("C",)
+        assert pattern.negations == {2: ("C",)}
+
+    def test_length_counts_positives(self):
+        assert SeqPattern.of("A", "!N", "B").length == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            SeqPattern(())
+
+    def test_rejects_leading_negation(self):
+        with pytest.raises(QueryError):
+            SeqPattern.of("!N", "A")
+
+    def test_rejects_trailing_negation(self):
+        with pytest.raises(QueryError):
+            SeqPattern.of("A", "!N")
+
+    def test_rejects_adjacent_negations(self):
+        with pytest.raises(QueryError):
+            SeqPattern.of("A", "!N", "!M", "B")
+
+    def test_multiple_negations_distinct_positions(self):
+        pattern = SeqPattern.of("A", "!N", "B", "!M", "C")
+        assert pattern.negations == {1: ("N",), 2: ("M",)}
+
+    def test_prefix_keeps_interior_negations(self):
+        pattern = SeqPattern.of("A", "!N", "B", "C")
+        assert str(pattern.prefix(2)) == "SEQ(A, !N, B)"
+
+    def test_prefix_drops_trailing_negation(self):
+        pattern = SeqPattern.of("A", "B", "!N", "C")
+        assert str(pattern.prefix(2)) == "SEQ(A, B)"
+
+    def test_prefix_bounds(self):
+        pattern = SeqPattern.of("A", "B")
+        with pytest.raises(QueryError):
+            pattern.prefix(0)
+        with pytest.raises(QueryError):
+            pattern.prefix(3)
+
+    def test_substring_plain(self):
+        pattern = SeqPattern.of("A", "B", "C", "D")
+        assert SeqPattern.of("B", "C").elements == pattern.substring(
+            1, 3
+        ).elements
+
+    def test_substring_keeps_interior_negation(self):
+        pattern = SeqPattern.of("A", "B", "!N", "C", "D")
+        assert str(pattern.substring(1, 4)) == "SEQ(B, !N, C, D)"
+
+    def test_substring_rejects_cut_through_negation(self):
+        pattern = SeqPattern.of("A", "B", "!N", "C", "D")
+        with pytest.raises(QueryError):
+            pattern.substring(2, 4)  # the !N guard sits on the boundary
+
+    def test_str(self):
+        assert str(SeqPattern.of("A", "!C", "B")) == "SEQ(A, !C, B)"
+
+    def test_iteration(self):
+        elements = list(SeqPattern.of("A", "!C", "B"))
+        assert elements == [
+            PositiveType("A"),
+            NegatedType("C"),
+            PositiveType("B"),
+        ]
+
+
+class TestAggregateAndWindow:
+    def test_count_takes_no_target(self):
+        with pytest.raises(QueryError):
+            Aggregate(AggKind.COUNT, "A", "x")
+
+    def test_value_aggregate_needs_target(self):
+        with pytest.raises(QueryError):
+            Aggregate(AggKind.SUM)
+
+    def test_str_forms(self):
+        assert str(Aggregate.count()) == "COUNT"
+        assert str(Aggregate(AggKind.MAX, "C", "w")) == "MAX(C.w)"
+
+    def test_window_positive(self):
+        with pytest.raises(QueryError):
+            Window(0)
+
+    def test_window_expiry(self):
+        assert Window(100).expiry_of(40) == 140
+
+
+class TestQueryHelpers:
+    def test_relevant_types_includes_negated(self):
+        query = Query(SeqPattern.of("A", "!N", "B"))
+        assert query.relevant_types == {"A", "N", "B"}
+
+    def test_common_prefix_length(self):
+        a = SeqPattern.of("A", "B", "C")
+        b = SeqPattern.of("A", "B", "D")
+        assert common_prefix_length(a, b) == 2
+
+    def test_common_prefix_respects_negation_markers(self):
+        a = SeqPattern.of("A", "B", "C")
+        b = SeqPattern.of("A", "!N", "B", "C")
+        assert common_prefix_length(a, b) == 1
+
+    def test_positive_subsequences(self):
+        subs = positive_subsequences(SeqPattern.of("A", "B", "C"))
+        assert ("A", "B") in subs and ("A", "B", "C") in subs
+        assert all(len(s) >= 2 for s in subs)
+
+    def test_query_str_roundtrip_shape(self):
+        query = Query(
+            SeqPattern.of("A", "B"),
+            window=Window(1000),
+            group_by="ip",
+        )
+        rendered = str(query)
+        assert "PATTERN SEQ(A, B)" in rendered
+        assert "GROUP BY ip" in rendered
+        assert "WITHIN 1000ms" in rendered

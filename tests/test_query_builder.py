@@ -1,0 +1,91 @@
+"""Unit tests for the fluent query builder and semantic validation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import parse_query, seq
+from repro.query.ast import AggKind
+from repro.query.predicates import EquivalencePredicate, LocalPredicate
+from repro.query.validate import validate_query
+
+
+class TestBuilder:
+    def test_minimal(self):
+        query = seq("A", "B").build()
+        assert query.pattern.positive_types == ("A", "B")
+        assert query.aggregate.kind is AggKind.COUNT
+        assert query.window is None
+
+    def test_negation_via_bang(self):
+        query = seq("A", "!N", "B").build()
+        assert query.pattern.negations == {1: ("N",)}
+
+    def test_within_components_add_up(self):
+        query = seq("A", "B").within(ms=500, seconds=1, minutes=1).build()
+        assert query.window.size_ms == 500 + 1000 + 60_000
+
+    def test_where_local(self):
+        query = seq("A", "B").where_local("A", "price", ">", 5).build()
+        assert query.predicates == (LocalPredicate("A", "price", ">", 5),)
+
+    def test_where_equal_defaults_to_all_positives(self):
+        query = seq("A", "B", "C").where_equal("id").build()
+        (predicate,) = query.predicates
+        assert isinstance(predicate, EquivalencePredicate)
+        assert predicate.event_types == ("A", "B", "C")
+
+    def test_where_equal_needs_two_types(self):
+        with pytest.raises(QueryError):
+            seq("A").where_equal("id").build()
+
+    def test_where_attrs(self):
+        query = seq("A", "B").where_attrs("A", "x", "!=", "y").build()
+        assert str(query.predicates[0]) == "A.x != A.y"
+
+    def test_all_aggregates(self):
+        for kind in ("sum", "avg", "max", "min"):
+            query = getattr(seq("A", "B"), kind)("B", "w").build()
+            assert query.aggregate.kind is AggKind[kind.upper()]
+
+    def test_group_by_and_name(self):
+        query = seq("A", "B").group_by("ip").named("q").build()
+        assert query.group_by == "ip" and query.name == "q"
+
+    def test_builder_matches_parser(self):
+        built = (
+            seq("A", "B", "C")
+            .where_equal("id", "A", "B", "C")
+            .count()
+            .within(seconds=1)
+            .build()
+        )
+        parsed = parse_query(
+            "PATTERN SEQ(A, B, C) WHERE A.id = B.id = C.id "
+            "AGG COUNT WITHIN 1 s"
+        )
+        assert built.pattern == parsed.pattern
+        assert built.predicates == parsed.predicates
+        assert built.window == parsed.window
+
+
+class TestValidation:
+    def test_type_cannot_be_positive_and_negated(self):
+        with pytest.raises(QueryError):
+            seq("A", "!A", "B").build()
+
+    def test_aggregate_target_must_be_positive_type(self):
+        with pytest.raises(QueryError):
+            seq("A", "!N", "B").sum("N", "w").build()
+
+    def test_predicate_type_must_be_in_pattern(self):
+        with pytest.raises(QueryError):
+            seq("A", "B").where_local("Z", "x", "=", 1).build()
+
+    def test_equivalence_cannot_cover_negated_type(self):
+        with pytest.raises(QueryError):
+            seq("A", "!N", "B").where_equal("id", "A", "N").build()
+
+    def test_validate_query_is_idempotent(self):
+        query = seq("A", "B").build()
+        validate_query(query)
+        validate_query(query)

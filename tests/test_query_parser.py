@@ -1,0 +1,170 @@
+"""Unit tests for the query text parser."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.query import parse_query
+from repro.query.ast import AggKind
+from repro.query.predicates import (
+    AttributeComparison,
+    EquivalencePredicate,
+    LocalPredicate,
+)
+
+
+class TestPatternClause:
+    def test_simple_pattern(self):
+        query = parse_query("PATTERN SEQ(A, B, C)")
+        assert query.pattern.positive_types == ("A", "B", "C")
+
+    def test_negation(self):
+        query = parse_query("PATTERN SEQ(A, !N, B)")
+        assert query.pattern.negations == {1: ("N",)}
+
+    def test_paper_style_angle_brackets(self):
+        query = parse_query(
+            "PATTERN <SEQ(TypeUsername,TypePassword,ClickSubmit)>"
+        )
+        assert query.pattern.length == 3
+
+    def test_missing_pattern_keyword(self):
+        with pytest.raises(ParseError):
+            parse_query("SEQ(A, B)")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, B")
+
+    def test_keyword_as_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, WHERE)")
+
+    def test_garbage_character(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, B) #")
+
+
+class TestWhereClause:
+    def test_local_predicate_number(self):
+        query = parse_query("PATTERN SEQ(A, B) WHERE A.price > 100")
+        (predicate,) = query.predicates
+        assert predicate == LocalPredicate("A", "price", ">", 100)
+
+    def test_local_predicate_float_and_string(self):
+        query = parse_query(
+            "PATTERN SEQ(A, B) WHERE A.price >= 10.5 AND B.model = 'touch'"
+        )
+        assert query.predicates[0].value == 10.5
+        assert query.predicates[1].value == "touch"
+
+    def test_equivalence_chain(self):
+        query = parse_query(
+            "PATTERN SEQ(A, B, C) WHERE A.id = B.id = C.id"
+        )
+        (predicate,) = query.predicates
+        assert isinstance(predicate, EquivalencePredicate)
+        assert predicate.event_types == ("A", "B", "C")
+
+    def test_two_term_equivalence_across_types(self):
+        query = parse_query("PATTERN SEQ(A, B) WHERE A.id = B.id")
+        (predicate,) = query.predicates
+        assert isinstance(predicate, EquivalencePredicate)
+
+    def test_intra_event_comparison(self):
+        query = parse_query("PATTERN SEQ(A, B) WHERE A.x != A.y")
+        (predicate,) = query.predicates
+        assert isinstance(predicate, AttributeComparison)
+        assert predicate.op == "!="
+
+    def test_cross_type_inequality_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, B) WHERE A.x < B.y")
+
+    def test_predicate_on_unknown_type_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("PATTERN SEQ(A, B) WHERE Z.x > 1")
+
+    def test_boolean_constant(self):
+        query = parse_query("PATTERN SEQ(A, B) WHERE A.flag = TRUE")
+        assert query.predicates[0].value is True
+
+
+class TestOtherClauses:
+    def test_group_by(self):
+        query = parse_query("PATTERN SEQ(A, B) GROUP BY ip")
+        assert query.group_by == "ip"
+
+    def test_agg_count_default(self):
+        query = parse_query("PATTERN SEQ(A, B)")
+        assert query.aggregate.kind is AggKind.COUNT
+
+    def test_agg_sum(self):
+        query = parse_query("PATTERN SEQ(A, B) AGG SUM(B.weight)")
+        aggregate = query.aggregate
+        assert aggregate.kind is AggKind.SUM
+        assert (aggregate.event_type, aggregate.attribute) == ("B", "weight")
+
+    def test_agg_target_must_be_in_pattern(self):
+        with pytest.raises(QueryError):
+            parse_query("PATTERN SEQ(A, B) AGG SUM(Z.weight)")
+
+    @pytest.mark.parametrize(
+        "text,expected_ms",
+        [
+            ("WITHIN 500 ms", 500),
+            ("WITHIN 10s", 10_000),
+            ("WITHIN 2 minutes", 120_000),
+            ("WITHIN 1 hour", 3_600_000),
+            ("WITHIN 1.5 s", 1500),
+        ],
+    )
+    def test_within_units(self, text, expected_ms):
+        query = parse_query(f"PATTERN SEQ(A, B) {text}")
+        assert query.window.size_ms == expected_ms
+
+    def test_within_without_unit_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, B) WITHIN 500")
+
+    def test_clauses_any_order(self):
+        query = parse_query(
+            "PATTERN SEQ(A, B) WITHIN 1s AGG COUNT GROUP BY ip"
+        )
+        assert query.window.size_ms == 1000
+        assert query.group_by == "ip"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("PATTERN SEQ(A, B) EXTRA")
+
+
+class TestPaperQueries:
+    """The three motivating applications parse verbatim."""
+
+    def test_application_1_network_security(self):
+        query = parse_query(
+            """
+            PATTERN <SEQ(TypeUsername, TypePassword, ClickSubmit)>
+            WHERE <TypePassword.value != TypePassword.expected>
+            GROUP BY <ip>
+            AGG COUNT
+            WITHIN 10s
+            """
+        )
+        assert query.group_by == "ip"
+        assert query.window.size_ms == 10_000
+
+    def test_application_2_ecommerce(self):
+        query = parse_query(
+            """
+            PATTERN <SEQ(Kindle, KindleCase, Stylus)>
+            WHERE <Kindle.userId = KindleCase.userId = Stylus.userId>
+            AGG COUNT
+            WITHIN 1 hour
+            """
+        )
+        assert query.window.size_ms == 3_600_000
+
+    def test_negation_query_q2(self):
+        query = parse_query("PATTERN SEQ(DELL, IPIX, !QQQ, AMAT)")
+        assert query.pattern.negations == {2: ("QQQ",)}

@@ -1,0 +1,102 @@
+"""The out-of-order extension (the paper's Sec. 8 future work)."""
+
+import random
+
+import pytest
+
+from repro.baseline.oracle import BruteForceOracle
+from repro.core.executor import ASeqEngine
+from repro.errors import OutOfOrderError
+from repro.events import Event
+from repro.events.reorder import ReorderBuffer, reordered
+from repro.query import seq
+
+
+def shuffled_within(events, slack, rng):
+    """Disorder a sorted event list by at most ``slack`` of stream time."""
+    keyed = [(e.ts + rng.uniform(0, slack * 0.99), e) for e in events]
+    keyed.sort(key=lambda pair: pair[0])
+    return [e for _, e in keyed]
+
+
+class TestReorderBuffer:
+    def test_restores_order(self):
+        buffer = ReorderBuffer(slack_ms=5)
+        out = []
+        for ts in (3, 1, 2, 9):
+            out.extend(buffer.push(Event("A", ts)))
+        out.extend(buffer.flush())
+        assert [e.ts for e in out] == [1, 2, 3, 9]
+
+    def test_holds_back_within_slack(self):
+        buffer = ReorderBuffer(slack_ms=10)
+        assert buffer.push(Event("A", 5)) == []
+        assert buffer.pending == 1
+        released = buffer.push(Event("A", 20))
+        assert [e.ts for e in released] == [5]
+
+    def test_equal_ts_keeps_arrival_order(self):
+        buffer = ReorderBuffer(slack_ms=0)
+        first = Event("A", 5, {"n": 1})
+        second = Event("B", 5, {"n": 2})
+        out = buffer.push(first) + buffer.push(second) + buffer.flush()
+        assert out == [first, second]
+
+    def test_late_event_raises(self):
+        buffer = ReorderBuffer(slack_ms=2)
+        buffer.push(Event("A", 5))
+        buffer.push(Event("A", 20))  # releases ts<=18, i.e. the 5
+        with pytest.raises(OutOfOrderError):
+            buffer.push(Event("A", 3))  # older than a released event
+
+    def test_not_yet_released_region_still_accepts(self):
+        """An event below watermark-slack but above the last release is
+        still deliverable in order, so it is accepted."""
+        buffer = ReorderBuffer(slack_ms=2)
+        buffer.push(Event("A", 1))
+        released = buffer.push(Event("A", 10))  # releases the 1
+        assert [e.ts for e in released] == [1]
+        released = buffer.push(Event("A", 3))
+        assert [e.ts for e in released] == [3]
+
+    def test_late_event_dropped_when_configured(self):
+        buffer = ReorderBuffer(slack_ms=2, drop_late=True)
+        buffer.push(Event("A", 5))
+        buffer.push(Event("A", 20))
+        assert buffer.push(Event("A", 3)) == []
+        assert buffer.events_dropped == 1
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(slack_ms=-1)
+
+    def test_flush_empties(self):
+        buffer = ReorderBuffer(slack_ms=100)
+        buffer.push(Event("A", 1))
+        buffer.push(Event("A", 2))
+        assert len(buffer.flush()) == 2
+        assert buffer.pending == 0
+
+
+class TestReorderedIterator:
+    def test_round_trip(self):
+        rng = random.Random(5)
+        ordered = [Event("A", ts) for ts in range(1, 200, 2)]
+        noisy = shuffled_within(ordered, slack=20, rng=rng)
+        restored = list(reordered(noisy, slack_ms=20))
+        assert [e.ts for e in restored] == [e.ts for e in ordered]
+
+    def test_engine_on_disordered_stream_matches_oracle(self):
+        """A-Seq + ReorderBuffer handles the paper's future-work case."""
+        rng = random.Random(6)
+        query = seq("A", "B", "C").count().within(ms=30).build()
+        events = []
+        ts = 0
+        for _ in range(120):
+            ts += rng.randint(1, 3)
+            events.append(Event(rng.choice("ABC"), ts))
+        noisy = shuffled_within(events, slack=10, rng=rng)
+        engine = ASeqEngine(query)
+        for event in reordered(noisy, slack_ms=10):
+            engine.process(event)
+        assert engine.result() == BruteForceOracle(query).aggregate(events)

@@ -1,0 +1,127 @@
+"""Unit tests for SEM — sliding-window A-Seq (paper Sec. 3.2)."""
+
+import pytest
+
+from conftest import events_of, replay
+from repro.core.sem import SemEngine
+from repro.errors import QueryError
+from repro.query import seq
+
+
+class TestSemEngine:
+    def test_requires_window(self):
+        with pytest.raises(QueryError):
+            SemEngine(seq("A", "B").build())
+
+    def test_paper_example_3_figure_6(self):
+        """Exact replay of Example 3: (A,B,C,D) WITHIN 7s (unit ts)."""
+        engine = SemEngine(seq("A", "B", "C", "D").within(ms=7).build())
+        stream = events_of(
+            ("A", 1),   # a1, exp 8
+            ("B", 2),   # b1
+            ("C", 3),   # c1
+            ("A", 4),   # a2, exp 11
+            ("C", 5),   # c2
+            ("B", 6),   # b2
+            ("D", 7),   # d1 -> output 2 = 2 (a1) + 0 (a2)
+            ("C", 8),   # c3: a1 expires here
+            ("A", 9),   # a3, exp 16
+            ("D", 10),  # d2 -> output 1
+        )
+        outputs = []
+        for event in stream:
+            fresh = engine.process(event)
+            if fresh is not None:
+                outputs.append(fresh)
+            if event.ts == 7:
+                assert fresh == 2
+            if event.ts == 8:
+                # "If users require a result at this moment, the output
+                # would be 0 instead of 2."
+                assert engine.result() == 0
+        assert outputs == [2, 1]
+
+    def test_per_start_counters_expire_in_creation_order(self):
+        engine = SemEngine(seq("A", "B").within(ms=5).build())
+        replay(engine, events_of(("A", 1), ("A", 2), ("A", 3)))
+        assert engine.active_counters == 3
+        engine.advance_time(6)  # a1 (exp 6) dies
+        assert engine.active_counters == 2
+        engine.advance_time(100)
+        assert engine.active_counters == 0
+
+    def test_result_after_expiry_without_new_events(self):
+        engine = SemEngine(seq("A", "B").within(ms=5).build())
+        replay(engine, events_of(("A", 1), ("B", 2)))
+        assert engine.result() == 1
+        engine.advance_time(6)
+        assert engine.result() == 0
+
+    def test_peak_counters_tracked(self):
+        engine = SemEngine(seq("A", "B").within(ms=100).build())
+        replay(engine, events_of(*[("A", t) for t in range(1, 11)]))
+        assert engine.peak_counters == 10
+
+    def test_window_boundary_is_half_open(self):
+        """A match is alive while trig.ts < start.ts + win, dead at ==."""
+        engine = SemEngine(seq("A", "B").within(ms=5).build())
+        outputs = replay(engine, events_of(("A", 1), ("B", 6)))
+        assert outputs == [0]
+        engine2 = SemEngine(seq("A", "B").within(ms=5).build())
+        outputs2 = replay(engine2, events_of(("A", 1), ("B", 5)))
+        assert outputs2 == [1]
+
+    def test_sum_with_window(self):
+        engine = SemEngine(
+            seq("A", "B").sum("B", "w").within(ms=5).build()
+        )
+        replay(
+            engine,
+            events_of(
+                ("A", 1), ("B", 2, {"w": 10}),
+                ("A", 4), ("B", 5, {"w": 3}),
+            ),
+        )
+        # (a1,b1)=10, (a1,b2) dead? a1 exp 6 > 5 so alive: +3; (a2,b2)=3
+        assert engine.result() == 16
+        engine.advance_time(6)  # a1 dies with both its matches
+        assert engine.result() == 3
+
+    def test_max_with_expiry_is_exact(self):
+        engine = SemEngine(
+            seq("A", "B").max("B", "w").within(ms=4).build()
+        )
+        replay(
+            engine,
+            events_of(
+                ("A", 1), ("B", 2, {"w": 100}),
+                ("A", 4), ("B", 5, {"w": 7}),
+            ),
+        )
+        engine.advance_time(5)  # a1 (holding the 100) expires at 5
+        assert engine.result() == 7
+
+    def test_empty_result_values(self):
+        count_engine = SemEngine(seq("A", "B").within(ms=5).build())
+        assert count_engine.result() == 0
+        max_engine = SemEngine(
+            seq("A", "B").max("B", "w").within(ms=5).build()
+        )
+        assert max_engine.result() is None
+
+    def test_start_value_aggregate_seeded(self):
+        engine = SemEngine(
+            seq("A", "B").sum("A", "w").within(ms=10).build()
+        )
+        replay(
+            engine,
+            events_of(("A", 1, {"w": 5}), ("A", 2, {"w": 2}), ("B", 3)),
+        )
+        assert engine.result() == 7
+
+    def test_counters_iterator_exposes_tags(self):
+        engine = SemEngine(seq("A", "B").within(ms=10).build())
+        events = events_of(("A", 1), ("A", 2))
+        replay(engine, events)
+        tags = [counter.tag for counter in engine.counters()]
+        assert tags == events

@@ -1,0 +1,108 @@
+"""Trace-file reading/writing (the paper's dataset format)."""
+
+import io
+
+import pytest
+
+from repro.datagen import StockTradeGenerator
+from repro.datagen.tracefile import (
+    iter_trace,
+    read_trace,
+    trace_text,
+    write_trace,
+)
+from repro.errors import OutOfOrderError, StreamError
+from repro.events import Event
+
+
+class TestReading:
+    def test_minimal_lines(self):
+        events = list(iter_trace(io.StringIO("DELL,100\nAMAT,101\n")))
+        assert [(e.event_type, e.ts) for e in events] == [
+            ("DELL", 100),
+            ("AMAT", 101),
+        ]
+
+    def test_price_and_volume(self):
+        (event,) = iter_trace(io.StringIO("DELL,100,24.5,300\n"))
+        assert event["price"] == 24.5
+        assert event["volume"] == 300
+        assert event["symbol"] == "DELL"
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\nDELL,1\n  \n# more\nAMAT,2\n"
+        assert len(list(iter_trace(io.StringIO(text)))) == 2
+
+    def test_bad_timestamp(self):
+        with pytest.raises(StreamError, match="line 1"):
+            list(iter_trace(io.StringIO("DELL,notatime\n")))
+
+    def test_bad_price(self):
+        with pytest.raises(StreamError, match="bad price"):
+            list(iter_trace(io.StringIO("DELL,1,cheap\n")))
+
+    def test_bad_volume(self):
+        with pytest.raises(StreamError, match="bad volume"):
+            list(iter_trace(io.StringIO("DELL,1,2.5,many\n")))
+
+    def test_missing_fields(self):
+        with pytest.raises(StreamError):
+            list(iter_trace(io.StringIO("DELL\n")))
+
+    def test_read_trace_enforces_order(self):
+        stream = read_trace(io.StringIO("DELL,5\nAMAT,3\n"))
+        next(stream)
+        with pytest.raises(OutOfOrderError):
+            next(stream)
+
+    def test_read_trace_from_path(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("DELL,1\nAMAT,2\n")
+        assert len(list(read_trace(path))) == 2
+
+
+class TestWriting:
+    def test_round_trip_generator_stream(self, tmp_path):
+        events = StockTradeGenerator(seed=4).take(500)
+        path = tmp_path / "stream.txt"
+        assert write_trace(events, path) == 500
+        replayed = list(read_trace(path))
+        assert [(e.event_type, e.ts) for e in replayed] == [
+            (e.event_type, e.ts) for e in events
+        ]
+        assert [e["price"] for e in replayed] == [
+            e["price"] for e in events
+        ]
+
+    def test_trace_text(self):
+        text = trace_text([Event("DELL", 7, {"price": 1.5, "volume": 9})])
+        assert text == "DELL,7,1.5,9\n"
+
+    def test_event_without_attrs(self):
+        assert trace_text([Event("X", 1)]) == "X,1\n"
+
+    def test_volume_without_price(self):
+        text = trace_text([Event("X", 1, {"volume": 5})])
+        assert text == "X,1,,5\n"
+        (event,) = iter_trace(io.StringIO(text))
+        assert "price" not in event
+        assert event["volume"] == 5
+
+
+class TestEndToEnd:
+    def test_query_over_written_trace(self, tmp_path):
+        from repro import ASeqEngine, parse_query
+
+        events = StockTradeGenerator(mean_gap_ms=1, seed=4).take(3_000)
+        path = tmp_path / "t.txt"
+        write_trace(events, path)
+        query = parse_query(
+            "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 300 ms"
+        )
+        from_file = ASeqEngine(query)
+        for event in read_trace(path):
+            from_file.process(event)
+        in_memory = ASeqEngine(query)
+        for event in events:
+            in_memory.process(event)
+        assert from_file.result() == in_memory.result()

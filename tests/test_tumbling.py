@@ -1,0 +1,130 @@
+"""Tumbling-window aggregation (DPC + boundary resets)."""
+
+import random
+
+import pytest
+
+from conftest import events_of
+from repro.baseline.oracle import BruteForceOracle
+from repro.engine.tumbling import TumblingAggregator, WindowResult, tumbling
+from repro.errors import QueryError
+from repro.events import Event
+from repro.query import seq
+
+
+class TestTumblingAggregator:
+    def test_rejects_windowed_query(self):
+        with pytest.raises(QueryError):
+            TumblingAggregator(
+                seq("A", "B").within(ms=5).build(), width_ms=10
+            )
+
+    def test_rejects_group_by(self):
+        with pytest.raises(QueryError):
+            TumblingAggregator(
+                seq("A", "B").group_by("ip").build(), width_ms=10
+            )
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(QueryError):
+            TumblingAggregator(seq("A", "B").build(), width_ms=0)
+
+    def test_matches_do_not_span_buckets(self):
+        agg = TumblingAggregator(seq("A", "B").count().build(), width_ms=10)
+        closed = []
+        for event in events_of(("A", 8), ("B", 12)):
+            closed.extend(agg.process(event))
+        # The A fell in bucket 0, the B in bucket 1: no match anywhere.
+        assert [r.value for r in closed] == [0]
+        assert agg.flush().value == 0
+
+    def test_per_bucket_counts(self):
+        agg = TumblingAggregator(seq("A", "B").count().build(), width_ms=10)
+        closed = []
+        stream = events_of(
+            ("A", 1), ("B", 2), ("B", 3),    # bucket 0: 2 matches
+            ("A", 11), ("B", 12),            # bucket 1: 1 match
+            ("A", 25),                       # bucket 2: 0 matches
+            ("B", 31),                       # bucket 3 (open)
+        )
+        for event in stream:
+            closed.extend(agg.process(event))
+        assert [(r.window_start, r.value) for r in closed] == [
+            (0, 2), (10, 1), (20, 0),
+        ]
+
+    def test_quiet_gap_closes_interior_buckets(self):
+        agg = TumblingAggregator(seq("A").count().build(), width_ms=10)
+        agg.process(Event("A", 1))
+        closed = agg.process(Event("A", 45))
+        assert [r.window_start for r in closed] == [0, 10, 20, 30]
+        assert [r.value for r in closed] == [1, 0, 0, 0]
+
+    def test_sum_per_bucket(self):
+        agg = TumblingAggregator(
+            seq("A", "B").sum("B", "w").build(), width_ms=10
+        )
+        closed = []
+        for event in events_of(
+            ("A", 1), ("B", 2, {"w": 5}), ("A", 12), ("B", 13, {"w": 3})
+        ):
+            closed.extend(agg.process(event))
+        final = agg.flush()
+        assert closed[0].value == 5
+        assert final.value == 3
+
+    def test_current_value_of_open_bucket(self):
+        agg = TumblingAggregator(seq("A", "B").count().build(), width_ms=100)
+        agg.process(Event("A", 1))
+        agg.process(Event("B", 2))
+        assert agg.current_value() == 1
+
+    def test_negation_within_bucket(self):
+        agg = TumblingAggregator(
+            seq("A", "!N", "B").count().build(), width_ms=100
+        )
+        for event in events_of(("A", 1), ("N", 2), ("B", 3)):
+            agg.process(event)
+        assert agg.current_value() == 0
+
+    def test_constant_state(self):
+        agg = TumblingAggregator(seq("A", "B").count().build(), width_ms=10)
+        for ts in range(1, 500):
+            agg.process(Event("A" if ts % 2 else "B", ts))
+        assert agg.current_objects() == 1
+
+    def test_flush_empty(self):
+        agg = TumblingAggregator(seq("A").count().build(), width_ms=10)
+        assert agg.flush() is None
+
+
+class TestTumblingHelper:
+    def test_yields_all_buckets_including_final(self):
+        query = seq("A", "B").count().build()
+        results = list(
+            tumbling(events_of(("A", 1), ("B", 2), ("A", 11)), query, 10)
+        )
+        assert [r.value for r in results] == [1, 0]
+        assert isinstance(results[0], WindowResult)
+
+    def test_matches_oracle_per_bucket(self):
+        """Each bucket's count equals the oracle run on that bucket alone."""
+        rng = random.Random(71)
+        query = seq("A", "B", "C").count().build()
+        width = 20
+        events = []
+        ts = 0
+        for _ in range(300):
+            ts += rng.randint(1, 3)
+            events.append(Event(rng.choice("ABC"), ts))
+        results = list(tumbling(iter(events), query, width))
+        oracle = BruteForceOracle(query)
+        for result in results:
+            bucket_events = [
+                e
+                for e in events
+                if result.window_start <= e.ts < result.window_end
+            ]
+            assert result.value == oracle.aggregate(
+                bucket_events, now=result.window_end
+            )

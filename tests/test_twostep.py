@@ -1,0 +1,248 @@
+"""The stack-based two-step baseline (paper Sec. 2.2)."""
+
+import pytest
+
+from conftest import events_of, replay
+from repro.baseline.matcher import StackMatcher
+from repro.baseline.stacks import EventStack
+from repro.baseline.twostep import TwoStepEngine, _MatchStore
+from repro.errors import PredicateError, QueryError
+from repro.events import Event
+from repro.query import seq
+
+
+class TestEventStack:
+    def test_push_and_rip(self):
+        stack = EventStack("A")
+        stack.push(Event("A", 1), rip=0)
+        stack.push(Event("A", 2), rip=3)
+        assert len(stack) == 2
+        assert stack.total_inserted == 2
+
+    def test_purge_advances_offset(self):
+        stack = EventStack("A")
+        for ts in (1, 2, 3):
+            stack.push(Event("A", ts), rip=0)
+        dropped = stack.purge_expired(now=7, window_ms=5)
+        assert dropped == 2  # ts 1 and 2 died (ts + 5 <= 7)
+        assert len(stack) == 1
+        assert stack.total_inserted == 3
+
+    def test_live_below_respects_purge(self):
+        stack = EventStack("A")
+        for ts in (1, 2, 3):
+            stack.push(Event("A", ts), rip=0)
+        stack.purge_expired(now=7, window_ms=5)
+        visible = [e.event.ts for e in stack.live_below(rip=3)]
+        assert visible == [3]
+
+    def test_live_below_zero(self):
+        stack = EventStack("A")
+        stack.push(Event("A", 1), rip=0)
+        assert list(stack.live_below(0)) == []
+
+    def test_newest(self):
+        stack = EventStack("A")
+        assert stack.newest() is None
+        stack.push(Event("A", 1), rip=0)
+        assert stack.newest().event.ts == 1
+
+
+class TestStackMatcher:
+    def test_paper_example_1_figure_1(self):
+        """(TypeUsername, TypePassword, ClickSubmit) WITHIN 5 (unit ts):
+        c3 forms <a1,b2,c3>; c4 adds <a1,b2,c4>; b6 expires a1."""
+        query = seq("U", "P", "C").count().within(ms=5).build()
+        engine = TwoStepEngine(query)
+        outputs = replay(
+            engine,
+            events_of(("U", 1), ("P", 2), ("C", 3), ("C", 4)),
+        )
+        assert outputs == [1, 2]
+        engine.process(Event("P", 6))  # u1 (exp 6) purged
+        assert engine.result() == 0
+
+    def test_matcher_returns_new_matches_only(self):
+        query = seq("A", "B").count().build()
+        matcher = StackMatcher(query)
+        assert matcher.process(Event("A", 1)) == []
+        first = matcher.process(Event("B", 2))
+        assert len(first) == 1
+        second = matcher.process(Event("B", 3))
+        assert len(second) == 1  # only (a1, b3), not (a1, b2) again
+
+    def test_equal_timestamps_do_not_chain(self):
+        query = seq("A", "B").count().build()
+        matcher = StackMatcher(query)
+        matcher.process(Event("A", 5))
+        assert matcher.process(Event("B", 5)) == []
+
+    def test_negation_post_filter(self):
+        query = seq("A", "!N", "B").count().build()
+        matcher = StackMatcher(query)
+        matcher.process(Event("A", 1))
+        matcher.process(Event("N", 2))
+        assert matcher.process(Event("B", 3)) == []
+        matcher.process(Event("A", 4))
+        assert len(matcher.process(Event("B", 5))) == 1
+
+    def test_equivalence_checked_during_dfs(self):
+        query = seq("A", "B").where_equal("id").build()
+        matcher = StackMatcher(query)
+        matcher.process(Event("A", 1, {"id": 1}))
+        matcher.process(Event("A", 2, {"id": 2}))
+        matches = matcher.process(Event("B", 3, {"id": 1}))
+        assert len(matches) == 1
+        assert matches[0][0].ts == 1
+
+    def test_edges_explored_accumulates(self):
+        query = seq("A", "B").count().build()
+        matcher = StackMatcher(query)
+        for ts in range(1, 6):
+            matcher.process(Event("A", ts))
+        matcher.process(Event("B", 10))
+        assert matcher.edges_explored == 5
+
+    def test_repeated_type_positions(self):
+        query = seq("A", "A").count().build()
+        matcher = StackMatcher(query)
+        matcher.process(Event("A", 1))
+        matches = matcher.process(Event("A", 2))
+        assert len(matches) == 1
+
+
+class TestMatchStore:
+    def test_count_and_sum_expire(self):
+        store = _MatchStore(window_ms=5)
+        store.add(1, 10.0)
+        store.add(3, 5.0)
+        store.purge(now=6)  # start_ts 1 dies at 6
+        assert store.count == 1
+        assert store.total == 5.0
+
+    def test_extremum_lazy_heap(self):
+        store = _MatchStore(window_ms=5, extremum_sign=1)
+        store.add(1, 100.0)
+        store.add(3, 7.0)
+        assert store.extremum(now=4) == 100.0
+        assert store.extremum(now=6) == 7.0
+        assert store.extremum(now=100) is None
+
+    def test_min_extremum(self):
+        store = _MatchStore(window_ms=None, extremum_sign=-1)
+        store.add(1, 5.0)
+        store.add(2, 9.0)
+        assert store.extremum(now=10) == 5.0
+
+    def test_extremum_requires_enablement(self):
+        store = _MatchStore(window_ms=None)
+        with pytest.raises(QueryError):
+            store.extremum(now=1)
+
+
+class TestTwoStepEngine:
+    def test_group_by(self):
+        query = seq("A", "B").group_by("ip").count().build()
+        engine = TwoStepEngine(query)
+        replay(
+            engine,
+            events_of(
+                ("A", 1, {"ip": "x"}), ("B", 2, {"ip": "x"}),
+                ("A", 3, {"ip": "y"}),
+            ),
+        )
+        assert engine.result() == {"x": 1, "y": 0}
+
+    def test_group_by_missing_attribute_raises(self):
+        query = seq("A", "B").group_by("ip").count().build()
+        engine = TwoStepEngine(query)
+        with pytest.raises(PredicateError):
+            engine.process(Event("A", 1))
+
+    def test_aggregates(self):
+        base = events_of(
+            ("A", 1), ("B", 2, {"w": 10}), ("B", 3, {"w": 4})
+        )
+        sums = TwoStepEngine(seq("A", "B").sum("B", "w").build())
+        replay(sums, base)
+        assert sums.result() == 14
+        avgs = TwoStepEngine(seq("A", "B").avg("B", "w").build())
+        replay(avgs, base)
+        assert avgs.result() == 7
+        maxs = TwoStepEngine(seq("A", "B").max("B", "w").build())
+        replay(maxs, base)
+        assert maxs.result() == 10
+
+    def test_matches_materialized_counts_work(self):
+        engine = TwoStepEngine(seq("A", "B").count().build())
+        replay(engine, events_of(("A", 1), ("A", 2), ("B", 3)))
+        assert engine.matches_materialized == 2
+
+    def test_peak_objects_grow_with_stacks(self):
+        engine = TwoStepEngine(seq("A", "B").count().within(ms=100).build())
+        replay(engine, events_of(*[("A", t) for t in range(1, 11)]))
+        assert engine.peak_objects >= 20  # 10 entries + 10 pointers
+
+    def test_aggregate_attribute_missing_raises(self):
+        engine = TwoStepEngine(seq("A", "B").sum("B", "w").build())
+        engine.process(Event("A", 1))
+        with pytest.raises(PredicateError):
+            engine.process(Event("B", 2))
+
+
+class TestDeferredNegation:
+    """The paper's later-filter-step: keep everything, filter at output."""
+
+    def q(self, win=None):
+        builder = seq("A", "!N", "B").count()
+        if win:
+            builder = builder.within(ms=win)
+        return builder.build()
+
+    def test_same_answer_as_eager(self):
+        events = events_of(
+            ("A", 1), ("N", 2), ("B", 3), ("A", 4), ("B", 5)
+        )
+        eager = TwoStepEngine(self.q())
+        deferred = TwoStepEngine(self.q(), negation_mode="deferred")
+        replay(eager, events)
+        replay(deferred, events)
+        assert eager.result() == deferred.result() == 1
+
+    def test_retains_filtered_matches(self):
+        """Deferred mode materializes matches eager mode never stores."""
+        events = events_of(("A", 1), ("N", 2), ("B", 3))
+        eager = TwoStepEngine(self.q())
+        deferred = TwoStepEngine(self.q(), negation_mode="deferred")
+        replay(eager, events)
+        replay(deferred, events)
+        assert eager.matches_materialized == 0
+        assert deferred.matches_materialized == 1
+        assert deferred.current_objects() > eager.current_objects()
+
+    def test_windowed_deferred_matches_oracle(self, rng):
+        from conftest import assert_matches_oracle, random_events
+
+        query = self.q(win=12)
+        for _ in range(40):
+            events = random_events(rng, ["A", "B", "N"], 25)
+            assert_matches_oracle(
+                query,
+                [TwoStepEngine(query, negation_mode="deferred")],
+                events,
+            )
+
+    def test_deferred_mode_count_only(self):
+        query = seq("A", "!N", "B").sum("B", "w").build()
+        with pytest.raises(QueryError):
+            TwoStepEngine(query, negation_mode="deferred")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(QueryError):
+            TwoStepEngine(self.q(), negation_mode="lazy")
+
+    def test_deferred_without_negation_is_plain(self):
+        query = seq("A", "B").count().build()
+        engine = TwoStepEngine(query, negation_mode="deferred")
+        replay(engine, events_of(("A", 1), ("B", 2)))
+        assert engine.result() == 1

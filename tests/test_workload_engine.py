@@ -1,0 +1,160 @@
+"""The mixed-workload router (WorkloadEngine)."""
+
+import random
+
+import pytest
+
+from conftest import random_events, replay
+from repro.baseline.oracle import BruteForceOracle
+from repro.errors import PlanError
+from repro.events import Event
+from repro.multi import WorkloadEngine
+from repro.query import parse_workload, seq
+
+
+def q(name, *pattern, win=50, **clauses):
+    builder = seq(*pattern).count()
+    if win:
+        builder = builder.within(ms=win)
+    return builder.named(name).build()
+
+
+class TestRouting:
+    def test_shareable_queries_go_shared(self):
+        engine = WorkloadEngine(
+            [q("q1", "A", "B", "C"), q("q2", "X", "B", "C")]
+        )
+        assert engine.shared_query_names == ["q1", "q2"]
+        assert engine.unshared_query_names == []
+
+    def test_negation_goes_unshared(self):
+        engine = WorkloadEngine(
+            [
+                q("q1", "A", "B", "C"),
+                q("q2", "X", "B", "C"),
+                q("q3", "A", "!N", "D"),
+            ]
+        )
+        assert engine.shared_query_names == ["q1", "q2"]
+        assert engine.unshared_query_names == ["q3"]
+
+    def test_different_window_goes_unshared(self):
+        engine = WorkloadEngine(
+            [
+                q("q1", "A", "B", "C", win=50),
+                q("q2", "X", "B", "C", win=50),
+                q("q3", "Y", "B", "C", win=999),
+            ]
+        )
+        assert engine.shared_query_names == ["q1", "q2"]
+        assert engine.unshared_query_names == ["q3"]
+
+    def test_value_aggregate_goes_unshared(self):
+        sum_query = (
+            seq("A", "B").sum("B", "w").within(ms=50).named("s").build()
+        )
+        engine = WorkloadEngine(
+            [q("q1", "A", "B", "C"), q("q2", "X", "B", "C"), sum_query]
+        )
+        assert "s" in engine.unshared_query_names
+
+    def test_nothing_shareable_runs_everything_unshared(self):
+        engine = WorkloadEngine([q("q1", "A", "B"), q("q2", "X", "Y")])
+        assert engine.shared_query_names == []
+        assert len(engine.unshared_query_names) == 2
+
+    def test_unnamed_rejected(self):
+        query = seq("A", "B").count().within(ms=5).build()
+        with pytest.raises(PlanError):
+            WorkloadEngine([query])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            WorkloadEngine([])
+
+    def test_describe(self):
+        engine = WorkloadEngine(
+            [q("q1", "A", "B", "C"), q("q2", "X", "B", "C"),
+             q("q3", "A", "!N", "D")]
+        )
+        text = engine.describe()
+        assert "Chop-Connect" in text and "q3" in text
+
+
+class TestResults:
+    def test_mixed_workload_matches_oracle(self):
+        rng = random.Random(91)
+        kleene_query = (
+            seq("A", "B+").count().within(ms=20).named("k").build()
+        )
+        grouped = (
+            seq("A", "B")
+            .group_by("ip")
+            .count()
+            .within(ms=20)
+            .named("g")
+            .build()
+        )
+        queries = [
+            q("q1", "A", "B", "C", win=20),
+            q("q2", "X", "B", "C", win=20),
+            kleene_query,
+            grouped,
+        ]
+
+        def attrs(r, event_type):
+            return {"ip": r.choice(["u", "v"])}
+
+        for _ in range(25):
+            events = random_events(
+                rng, ["A", "B", "C", "X"], 22, attr_maker=attrs
+            )
+            engine = WorkloadEngine(queries)
+            replay(engine, events)
+            results = engine.result()
+            for query in queries:
+                expected = BruteForceOracle(query).aggregate(events)
+                actual = results[query.name]
+                if isinstance(expected, dict):
+                    keys = set(expected) | set(actual)
+                    for key in keys:
+                        assert actual.get(key, 0) == expected.get(key, 0)
+                else:
+                    assert actual == expected, query.name
+
+    def test_process_reports_completed_queries(self):
+        engine = WorkloadEngine(
+            [q("q1", "A", "B", "C"), q("q2", "A", "!N", "D")]
+        )
+        assert engine.process(Event("A", 1)) is None
+        engine.process(Event("B", 2))
+        fresh = engine.process(Event("C", 3))
+        assert fresh == {"q1": 1}
+        fresh = engine.process(Event("D", 4))
+        assert fresh == {"q2": 1}
+
+    def test_result_by_name(self):
+        engine = WorkloadEngine(
+            [q("q1", "A", "B", "C"), q("q2", "X", "B", "C"),
+             q("q3", "A", "!N", "D")]
+        )
+        replay(engine, [Event("A", 1), Event("B", 2), Event("C", 3)])
+        assert engine.result("q1") == 1
+        assert engine.result("q3") == 0
+
+    def test_from_workload_text(self):
+        workload = parse_workload(
+            """
+            a: PATTERN SEQ(A, B, C) AGG COUNT WITHIN 100 ms;
+            b: PATTERN SEQ(X, B, C) AGG COUNT WITHIN 100 ms;
+            c: PATTERN SEQ(A, B+)   AGG COUNT WITHIN 100 ms;
+            """
+        )
+        engine = WorkloadEngine(workload)
+        assert engine.shared_query_names == ["a", "b"]
+        replay(
+            engine,
+            [Event("A", 1), Event("B", 2), Event("C", 3), Event("X", 4)],
+        )
+        assert engine.result("a") == 1
+        assert engine.result("c") == 1

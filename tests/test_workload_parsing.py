@@ -1,0 +1,55 @@
+"""Workload-text parsing (named multi-query inputs)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.multi import PrefixSharedEngine
+from repro.query import parse_workload
+
+
+class TestParseWorkload:
+    def test_basic(self):
+        workload = parse_workload(
+            """
+            Q1: PATTERN SEQ(A, B, C) AGG COUNT WITHIN 1 s;
+            Q2: PATTERN SEQ(A, B, D) AGG COUNT WITHIN 1 s;
+            """
+        )
+        assert [q.name for q in workload] == ["Q1", "Q2"]
+        assert workload[0].pattern.positive_types == ("A", "B", "C")
+
+    def test_trailing_semicolon_ok(self):
+        workload = parse_workload("Q1: PATTERN SEQ(A, B);")
+        assert len(workload) == 1
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_workload("PATTERN SEQ(A, B)")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_workload(
+                "Q1: PATTERN SEQ(A, B); Q1: PATTERN SEQ(A, C)"
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_workload("  ;  ; ")
+
+    def test_name_with_spaces_rejected(self):
+        with pytest.raises(ParseError):
+            parse_workload("Q 1: PATTERN SEQ(A, B)")
+
+    def test_feeds_shared_engine(self):
+        from repro.events import Event
+
+        workload = parse_workload(
+            """
+            left:  PATTERN SEQ(A, B) AGG COUNT WITHIN 100 ms;
+            right: PATTERN SEQ(A, C) AGG COUNT WITHIN 100 ms;
+            """
+        )
+        engine = PrefixSharedEngine(workload)
+        for ts, name in enumerate("ABC", start=1):
+            engine.process(Event(name, ts))
+        assert engine.result() == {"left": 1, "right": 1}
