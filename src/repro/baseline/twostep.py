@@ -16,6 +16,7 @@ from typing import Any, Callable
 from repro.errors import PredicateError, QueryError
 from repro.events.event import Event
 from repro.baseline.matcher import Match, StackMatcher
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.ast import AggKind, Query
 from repro.query.predicates import local_filter
 
@@ -161,7 +162,12 @@ class TwoStepEngine:
     the query has GROUP BY) on trigger arrivals, ``None`` otherwise.
     """
 
-    def __init__(self, query: Query, negation_mode: str = "eager"):
+    def __init__(
+        self,
+        query: Query,
+        negation_mode: str = "eager",
+        registry: MetricsRegistry | None = None,
+    ):
         if negation_mode not in ("eager", "deferred"):
             raise QueryError(
                 "negation_mode must be 'eager' (filter at construction) "
@@ -190,6 +196,24 @@ class TwoStepEngine:
         self._now = 0
         self.events_processed = 0
         self.peak_objects = 0
+        registry = resolve_registry(registry)
+        self.obs_registry = registry
+        self._obs_on = registry.enabled
+        self._m_events = registry.counter(
+            "twostep_events_total", "events reaching the two-step matcher"
+        )
+        self._m_matches = registry.counter(
+            "twostep_matches_materialized_total",
+            "sequence matches constructed (the two-step hallmark cost)",
+        )
+        self._m_stack_depth = registry.gauge(
+            "twostep_stack_entries_live",
+            "live stack entries across partitions",
+        )
+        self._m_live_objects = registry.gauge(
+            "twostep_live_objects",
+            "paper-style object count: entries + pointers + matches",
+        )
 
     def _new_partition(self) -> _Partition:
         return _Partition(self.query, self._extremum_sign, self._deferred)
@@ -205,15 +229,26 @@ class TwoStepEngine:
             return None
         self.events_processed += 1
         routed = self._route(event)
+        materialized = 0
         for _, partition in routed:
             new_matches = partition.matcher.process(event)
+            materialized += len(new_matches)
             if partition.deferred is not None:
                 for match in new_matches:
                     partition.deferred.add(match)
             else:
                 for match in new_matches:
                     partition.store.add(match[0].ts, self._value_of(match))
-        self._note_memory()
+        current = self._note_memory()
+        if self._obs_on:
+            self._m_events.inc()
+            if materialized:
+                self._m_matches.inc(materialized)
+            self._m_stack_depth.set(sum(
+                partition.matcher.live_entries
+                for partition in self._partitions.values()
+            ))
+            self._m_live_objects.set(current)
         if event.event_type in self._trigger_types:
             if self._group_by is not None:
                 # Per-partition output: only the routed partition's
@@ -274,10 +309,11 @@ class TwoStepEngine:
 
     # ----- memory accounting -----------------------------------------------
 
-    def _note_memory(self) -> None:
+    def _note_memory(self) -> int:
         current = self.current_objects()
         if current > self.peak_objects:
             self.peak_objects = current
+        return current
 
     def current_objects(self) -> int:
         """Paper-style object count: stack entries + pointers + matches."""

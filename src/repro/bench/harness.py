@@ -7,6 +7,7 @@ from typing import Any, Callable, Sequence
 
 from repro.engine.metrics import RunStats, measure_run
 from repro.events.event import Event
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -56,13 +57,35 @@ class ExperimentTable:
 
 
 def time_engines(
-    label_factories: Sequence[tuple[str, Callable[[], Any]]],
+    label_factories: Sequence[tuple[str, Callable[..., Any]]],
     events: Sequence[Event],
+    sample_memory_every: int = 16,
+    instrument: bool = False,
 ) -> dict[str, RunStats]:
-    """Run each (label, engine factory) over the same event list."""
+    """Run each (label, engine factory) over the same event list.
+
+    With ``instrument=True`` each engine gets its own fresh
+    :class:`~repro.obs.registry.MetricsRegistry`, passed to the factory
+    as a ``registry=`` keyword; the registry's counters land in that
+    run's ``RunStats.extras``. Timings taken this way include the
+    instrumentation overhead — use them for explanations, not for
+    headline figures.
+    """
     results: dict[str, RunStats] = {}
     for label, factory in label_factories:
-        results[label] = measure_run(label, factory(), events)
+        if instrument:
+            registry = MetricsRegistry()
+            engine = factory(registry=registry)
+            results[label] = measure_run(
+                label, engine, events,
+                sample_memory_every=sample_memory_every,
+                registry=registry,
+            )
+        else:
+            results[label] = measure_run(
+                label, factory(), events,
+                sample_memory_every=sample_memory_every,
+            )
     return results
 
 

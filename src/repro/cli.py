@@ -33,6 +33,13 @@ from repro.events.event import Event
 from repro.events.reorder import reordered
 from repro.multi.unshared import UnsharedEngine
 from repro.multi.workload import WorkloadEngine
+from repro.obs.export import write_json_snapshot, write_prometheus
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    set_default_registry,
+)
+from repro.obs.tracing import NULL_TRACER, TraceRecorder
 from repro.query.parser import parse_query, parse_workload
 
 _GENERATORS = {
@@ -92,6 +99,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="final",
         help="print every fresh aggregate, only the final one, or none",
     )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="enable instrumentation and write a Prometheus text "
+        "exposition to FILE plus a JSON snapshot to FILE.json",
+    )
+    obs.add_argument(
+        "--stats-every",
+        type=int,
+        metavar="N",
+        default=0,
+        help="print a one-line stats report to stderr every N events "
+        "(enables instrumentation; 0 disables)",
+    )
+    obs.add_argument(
+        "--dump-trace",
+        action="store_true",
+        help="record event-lifecycle spans and dump the trace ring "
+        "buffer to stderr at the end of the run",
+    )
+    obs.add_argument(
+        "--trace-capacity",
+        type=int,
+        metavar="N",
+        default=256,
+        help="trace ring buffer capacity (default 256)",
+    )
     return parser
 
 
@@ -126,38 +161,96 @@ def _load_events(args: argparse.Namespace) -> Iterable[Event]:
     return events
 
 
-def _build_engine(args: argparse.Namespace, queries: list) -> Any:
+def _build_engine(
+    args: argparse.Namespace,
+    queries: list,
+    registry: MetricsRegistry,
+    trace: TraceRecorder,
+) -> Any:
     if len(queries) > 1 or args.workload_file is not None:
         if args.shared:
-            engine = WorkloadEngine(queries)
+            engine = WorkloadEngine(queries, registry=registry)
             print(f"# {engine.describe()}".replace("\n", "\n# "),
                   file=sys.stderr)
             return engine
-        return UnsharedEngine(queries)
+        return UnsharedEngine(queries, registry=registry)
     (query,) = queries
     if args.engine == "twostep":
-        return TwoStepEngine(query)
+        return TwoStepEngine(query, registry=registry)
     if args.engine == "vectorized":
-        return ASeqEngine(query, vectorized=True)
-    return ASeqEngine(query)
+        return ASeqEngine(query, vectorized=True, registry=registry)
+    return ASeqEngine(query, registry=registry, trace=trace)
+
+
+def _stats_line(
+    processed: int,
+    outputs: int,
+    elapsed: float,
+    engine: Any,
+    registry: MetricsRegistry,
+) -> str:
+    rate = processed / elapsed if elapsed else 0.0
+    parts = [
+        f"events={processed:,}",
+        f"outputs={outputs:,}",
+        f"rate={rate:,.0f}/s",
+    ]
+    probe = getattr(engine, "current_objects", None)
+    if probe is not None:
+        parts.append(f"live_objects={probe():,}")
+    if registry.enabled:
+        for name, short in (
+            ("sem_counters_created_total", "counters_created"),
+            ("sem_counters_expired_total", "counters_expired"),
+            ("sem_recount_resets_total", "recount_resets"),
+            ("hpc_partitions_live", "partitions"),
+        ):
+            value = registry.value(name)
+            if value:
+                parts.append(f"{short}={value:,.0f}")
+    return "# stats " + " ".join(parts)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    instrument = bool(args.metrics_out) or args.stats_every > 0
+    registry = MetricsRegistry() if instrument else NULL_REGISTRY
+    trace = (
+        TraceRecorder(capacity=args.trace_capacity)
+        if args.dump_trace
+        else NULL_TRACER
+    )
+    previous_default = set_default_registry(registry if instrument else None)
     try:
         queries = _load_queries(args)
         events = _load_events(args)
-        engine = _build_engine(args, queries)
+        engine = _build_engine(args, queries, registry, trace)
 
         cross_check = None
         if args.engine == "both" and len(queries) == 1:
-            cross_check = TwoStepEngine(queries[0])
+            cross_check = TwoStepEngine(queries[0], registry=NULL_REGISTRY)
 
+        stats_every = max(0, args.stats_every)
+        m_ingested = registry.counter(
+            "events_ingested_total", "events pumped through the run loop"
+        )
+        m_latency = registry.histogram(
+            "event_latency_us", "per-event processing latency (µs)"
+        )
         processed = 0
         outputs = 0
         started = time.perf_counter()
         for event in events:
-            fresh = engine.process(event)
+            if instrument:
+                event_started = time.perf_counter()
+                fresh = engine.process(event)
+                m_latency.observe(
+                    (time.perf_counter() - event_started) * 1e6
+                )
+                m_ingested.inc()
+            else:
+                fresh = engine.process(event)
             if cross_check is not None:
                 cross_check.process(event)
             processed += 1
@@ -165,6 +258,14 @@ def main(argv: list[str] | None = None) -> int:
                 outputs += 1
                 if args.emit == "every":
                     print(f"{event.ts}\t{fresh}")
+            if stats_every and processed % stats_every == 0:
+                print(
+                    _stats_line(
+                        processed, outputs,
+                        time.perf_counter() - started, engine, registry,
+                    ),
+                    file=sys.stderr,
+                )
         elapsed = time.perf_counter() - started
 
         final = engine.result()
@@ -183,10 +284,32 @@ def main(argv: list[str] | None = None) -> int:
             f"({rate:,.0f} ev/s), {outputs:,} outputs",
             file=sys.stderr,
         )
+        if args.metrics_out:
+            write_prometheus(registry, args.metrics_out)
+            json_path = args.metrics_out + ".json"
+            write_json_snapshot(
+                registry,
+                json_path,
+                run={
+                    "events": processed,
+                    "outputs": outputs,
+                    "elapsed_s": elapsed,
+                    "events_per_s": rate,
+                },
+            )
+            print(
+                f"# wrote metrics to {args.metrics_out} "
+                f"(+ {json_path})",
+                file=sys.stderr,
+            )
+        if args.dump_trace:
+            print(trace.format(), file=sys.stderr)
         return 0
-    except ReproError as error:
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        set_default_registry(previous_default)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

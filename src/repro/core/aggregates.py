@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import PredicateError, QueryError
+from repro.errors import PredicateError
 from repro.events.event import Event
 from repro.query.ast import AggKind, Query
 

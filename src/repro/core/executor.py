@@ -27,6 +27,8 @@ from repro.core.dpc import DPCEngine
 from repro.core.hpc import HPCEngine, partition_attributes
 from repro.core.sem import SemEngine
 from repro.core.vectorized import VectorizedSemEngine
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import Query
 from repro.query.predicates import local_filter
 from repro.query.validate import validate_query
@@ -47,7 +49,13 @@ class ASeqEngine:
         queries, which already cost O(1) per event under DPC.
     """
 
-    def __init__(self, query: Query, vectorized: bool = False):
+    def __init__(
+        self,
+        query: Query,
+        vectorized: bool = False,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ):
         validate_query(query)
         self.query = query
         self.layout = PatternLayout.of(query)
@@ -55,6 +63,22 @@ class ASeqEngine:
         self._relevant = query.relevant_types
         self._trigger_types = self.layout.trigger_types
         self._vectorized = vectorized
+        registry = resolve_registry(registry)
+        self.obs_registry = registry
+        self._obs_on = registry.enabled
+        self._m_events = registry.counter(
+            "executor_events_total", "events offered to the executor"
+        )
+        self._m_filtered = registry.counter(
+            "executor_events_filtered_total",
+            "events dropped by type/local-predicate filtering",
+        )
+        self._m_emits = registry.counter(
+            "executor_emits_total", "fresh aggregates returned on TRIG"
+        )
+        tracer = resolve_tracer(trace)
+        self._trace = tracer
+        self._trace_on = tracer.enabled
         self._runtime = self._compile()
         self.events_seen = 0
         self.peak_objects = 0
@@ -62,19 +86,26 @@ class ASeqEngine:
     def _compile(self) -> Any:
         query = self.query
         if partition_attributes(query):
-            return HPCEngine(query, engine_factory=self._partition_factory())
+            return HPCEngine(
+                query,
+                engine_factory=self._partition_factory(),
+                registry=self.obs_registry,
+                trace=self._trace,
+            )
         return self._flat_engine(query)
 
     def _partition_factory(self):
         layout = self.layout
         vectorized = self._vectorized
+        registry = self.obs_registry
+        trace = self._trace
 
         def factory(query: Query) -> Any:
             if query.window is None:
                 return DPCEngine(query, layout)
             if vectorized:
                 return VectorizedSemEngine(query, layout)
-            return SemEngine(query, layout)
+            return SemEngine(query, layout, registry=registry, trace=trace)
 
         return factory
 
@@ -83,7 +114,9 @@ class ASeqEngine:
             return DPCEngine(query, self.layout)
         if self._vectorized:
             return VectorizedSemEngine(query, self.layout)
-        return SemEngine(query, self.layout)
+        return SemEngine(
+            query, self.layout, registry=self.obs_registry, trace=self._trace
+        )
 
     # ----- ingestion -------------------------------------------------------
 
@@ -94,15 +127,34 @@ class ASeqEngine:
         dropped here and never reach the counting state.
         """
         self.events_seen += 1
+        if self._obs_on:
+            self._m_events.inc()
+        if self._trace_on:
+            self._trace.record(
+                Stage.INGEST, event.ts, event.event_type
+            )
         if event.event_type not in self._relevant or not self._accepts(event):
             # The arrival still moves the clock: windows slide on every
             # event (paper Sec. 2.1), not only on relevant ones.
             self._runtime.advance_time(event.ts)
+            if self._obs_on:
+                self._m_filtered.inc()
+            if self._trace_on:
+                self._trace.record(
+                    Stage.FILTER_DROP, event.ts, event.event_type
+                )
             return None
         output = self._runtime.process(event)
         current = self._runtime.current_objects()
         if current > self.peak_objects:
             self.peak_objects = current
+        if output is not None:
+            if self._obs_on:
+                self._m_emits.inc()
+            if self._trace_on:
+                self._trace.record(
+                    Stage.EMIT, event.ts, event.event_type, f"{output!r}"
+                )
         return output
 
     def result(self) -> Any:

@@ -24,6 +24,8 @@ from repro.events.event import Event
 from repro.core.aggregates import PatternLayout
 from repro.core.dpc import DPCEngine
 from repro.core.sem import SemEngine
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import AggKind, Query
 from repro.query.predicates import EquivalencePredicate
 
@@ -96,6 +98,8 @@ class HPCEngine:
         self,
         query: Query,
         engine_factory: Callable[[Query], Any] | None = None,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
     ):
         self.query = query
         attributes = partition_attributes(query)
@@ -111,7 +115,10 @@ class HPCEngine:
             layout = self.layout
             if query.window is not None:
                 def engine_factory(q: Query) -> SemEngine:
-                    return SemEngine(q, layout)
+                    return SemEngine(
+                        q, layout, registry=self.obs_registry,
+                        trace=self._trace,
+                    )
             else:
                 def engine_factory(q: Query) -> DPCEngine:
                     return DPCEngine(q, layout)
@@ -123,6 +130,19 @@ class HPCEngine:
         self._trigger_types = self.layout.trigger_types
         self._now = 0
         self.events_processed = 0
+        registry = resolve_registry(registry)
+        self.obs_registry = registry
+        self._obs_on = registry.enabled
+        self._m_partitions_created = registry.counter(
+            "hpc_partitions_created_total",
+            "per-key partition engines created",
+        )
+        self._m_partitions_live = registry.gauge(
+            "hpc_partitions_live", "partition engines currently held"
+        )
+        trace = resolve_tracer(trace)
+        self._trace = trace
+        self._trace_on = trace.enabled
 
     def _key_of(self, event: Event) -> Any:
         """Partition key of ``event`` (scalar or composite tuple).
@@ -160,6 +180,14 @@ class HPCEngine:
             if self._per_group:
                 group = key[0] if self._composite else key
                 self._by_group.setdefault(group, []).append(engine)
+            if self._obs_on:
+                self._m_partitions_created.inc()
+                self._m_partitions_live.set(len(self._partitions))
+            if self._trace_on:
+                self._trace.record(
+                    Stage.PARTITION_CREATE, event.ts, event.event_type,
+                    f"key={key!r} partitions={len(self._partitions)}",
+                )
         engine.process(event)
         if event.event_type in self._trigger_types:
             if self._per_group:

@@ -21,6 +21,8 @@ from repro.errors import QueryError
 from repro.events.event import Event
 from repro.core.aggregates import PatternLayout
 from repro.core.prefix_counter import PrefixCounter
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import AggKind, Query
 
 
@@ -32,6 +34,8 @@ class SemEngine:
         query: Query,
         layout: PatternLayout | None = None,
         emit_on_trigger: bool = True,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
     ):
         if query.window is None:
             raise QueryError(
@@ -47,6 +51,26 @@ class SemEngine:
         self._emit_on_trigger = emit_on_trigger
         self.events_processed = 0
         self.peak_counters = 0
+        registry = resolve_registry(registry)
+        self.obs_registry = registry
+        self._obs_on = registry.enabled
+        self._m_created = registry.counter(
+            "sem_counters_created_total", "PrefixCounters opened for STARTs"
+        )
+        self._m_expired = registry.counter(
+            "sem_counters_expired_total",
+            "PrefixCounters purged after their window closed",
+        )
+        self._m_resets = registry.counter(
+            "sem_recount_resets_total",
+            "prefix slots wiped by the Recounting Rule (negation)",
+        )
+        self._m_active = registry.gauge(
+            "sem_active_counters", "live PrefixCounters (paper memory metric)"
+        )
+        trace = resolve_tracer(trace)
+        self._trace = trace
+        self._trace_on = trace.enabled
 
     # ----- ingestion ------------------------------------------------------
 
@@ -62,6 +86,13 @@ class SemEngine:
         if reset is not None:
             for counter in self._counters:
                 counter.reset(reset)
+            if self._obs_on:
+                self._m_resets.inc(len(self._counters))
+            if self._trace_on:
+                self._trace.record(
+                    Stage.RECOUNT_RESET, event.ts, event_type,
+                    f"reset slot {reset} in {len(self._counters)} counters",
+                )
             return None
 
         slots = layout.update_slots.get(event_type)
@@ -83,6 +114,11 @@ class SemEngine:
                     counter.update(
                         slot, value if slot == layout.value_slot else None
                     )
+        if self._trace_on and self._counters:
+            self._trace.record(
+                Stage.COUNTER_UPDATE, event.ts, event_type,
+                f"slots={sorted(slots)} counters={len(self._counters)}",
+            )
         if event_type in layout.start_types:
             counter = PrefixCounter(
                 layout,
@@ -95,6 +131,14 @@ class SemEngine:
             self._counters.append(counter)
             if len(self._counters) > self.peak_counters:
                 self.peak_counters = len(self._counters)
+            if self._obs_on:
+                self._m_created.inc()
+                self._m_active.set(len(self._counters))
+            if self._trace_on:
+                self._trace.record(
+                    Stage.COUNTER_CREATE, event.ts, event_type,
+                    f"exp={counter.exp} active={len(self._counters)}",
+                )
 
         if event_type in layout.trigger_types and self._emit_on_trigger:
             return self.result()
@@ -103,8 +147,19 @@ class SemEngine:
     def _expire(self, now: int) -> None:
         """Purge counters whose START left the window (step 4, Fig. 5)."""
         counters = self._counters
+        expired = 0
         while counters and counters[0].exp <= now:
             counters.popleft()
+            expired += 1
+        if expired:
+            if self._obs_on:
+                self._m_expired.inc(expired)
+                self._m_active.set(len(counters))
+            if self._trace_on:
+                self._trace.record(
+                    Stage.EXPIRE, now, "",
+                    f"{expired} counters expired, {len(counters)} remain",
+                )
 
     # ----- results -----------------------------------------------------------
 

@@ -17,16 +17,27 @@ from repro.events.event import Event
 from repro.core.executor import ASeqEngine
 from repro.engine.metrics import EngineMetrics
 from repro.engine.sinks import Output, ResultSink
+from repro.obs.registry import Counter, MetricsRegistry, resolve_registry
+from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import Query
 
 
 class _Registration:
-    __slots__ = ("name", "executor", "sinks")
+    __slots__ = ("name", "executor", "sinks", "m_events", "m_outputs")
 
-    def __init__(self, name: str, executor: Any, sinks: list[ResultSink]):
+    def __init__(
+        self,
+        name: str,
+        executor: Any,
+        sinks: list[ResultSink],
+        m_events: Counter,
+        m_outputs: Counter,
+    ):
         self.name = name
         self.executor = executor
         self.sinks = sinks
+        self.m_events = m_events
+        self.m_outputs = m_outputs
 
 
 class StreamEngine:
@@ -45,10 +56,34 @@ class StreamEngine:
     [1]
     """
 
-    def __init__(self, vectorized: bool = False):
+    def __init__(
+        self,
+        vectorized: bool = False,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ):
         self._registrations: dict[str, _Registration] = {}
         self._vectorized = vectorized
         self.metrics = EngineMetrics()
+        registry = resolve_registry(registry)
+        self.obs_registry = registry
+        self._obs_on = registry.enabled
+        self._m_events = registry.counter(
+            "events_ingested_total", "events pumped through the stream engine"
+        )
+        self._m_outputs = registry.counter(
+            "outputs_emitted_total", "fresh aggregates delivered to sinks"
+        )
+        self._m_sink_errors = registry.counter(
+            "sink_errors_total", "sink emit() calls that raised"
+        )
+        self._m_latency = registry.histogram(
+            "event_latency_us",
+            "per-event processing latency across all registrations (µs)",
+        )
+        tracer = resolve_tracer(trace)
+        self._trace = tracer
+        self._trace_on = tracer.enabled
 
     # ----- registration ------------------------------------------------------
 
@@ -59,7 +94,12 @@ class StreamEngine:
         name: str | None = None,
     ) -> ASeqEngine:
         """Register a query on a fresh A-Seq executor; returns the executor."""
-        executor = ASeqEngine(query, vectorized=self._vectorized)
+        executor = ASeqEngine(
+            query,
+            vectorized=self._vectorized,
+            registry=self.obs_registry,
+            trace=self._trace,
+        )
         self.register_executor(
             name or query.name or f"q{len(self._registrations)}",
             executor,
@@ -73,8 +113,19 @@ class StreamEngine:
         """Register any engine exposing ``process``/``result``."""
         if name in self._registrations:
             raise EngineError(f"duplicate query name {name!r}")
+        registry = self.obs_registry
         self._registrations[name] = _Registration(
-            name, executor, list(sinks)
+            name,
+            executor,
+            list(sinks),
+            registry.counter(
+                "query_events_total", "events offered to one registration",
+                query=name,
+            ),
+            registry.counter(
+                "query_outputs_total", "fresh aggregates from one registration",
+                query=name,
+            ),
         )
 
     def deregister(self, name: str) -> None:
@@ -85,17 +136,44 @@ class StreamEngine:
     # ----- event loop -------------------------------------------------------
 
     def process(self, event: Event) -> None:
-        """Push one event through every registered executor."""
+        """Push one event through every registered executor.
+
+        A sink that raises does not abort the loop: the error is counted
+        (``sink_errors_total``) and the remaining sinks and registrations
+        keep receiving the event.
+        """
+        obs_on = self._obs_on
+        if obs_on:
+            started = time.perf_counter()
+            self._m_events.inc()
         self.metrics.events += 1
         for registration in self._registrations.values():
+            if obs_on:
+                registration.m_events.inc()
             fresh = registration.executor.process(event)
             if fresh is None:
                 continue
             self.metrics.outputs += 1
+            if obs_on:
+                self._m_outputs.inc()
+                registration.m_outputs.inc()
+            if self._trace_on:
+                self._trace.record(
+                    Stage.EMIT, event.ts, event.event_type,
+                    f"query={registration.name} value={fresh!r}",
+                )
             if registration.sinks:
                 output = Output(registration.name, event.ts, fresh)
                 for sink in registration.sinks:
-                    sink.emit(output)
+                    try:
+                        sink.emit(output)
+                    except Exception:
+                        self.metrics.sink_errors += 1
+                        self._m_sink_errors.inc()
+        if obs_on:
+            self._m_latency.observe(
+                (time.perf_counter() - started) * 1e6
+            )
 
     def run(self, stream: Iterable[Event]) -> int:
         """Drain a stream; returns the number of events processed."""

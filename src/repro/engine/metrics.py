@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.events.event import Event
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -27,6 +28,7 @@ class EngineMetrics:
     outputs: int = 0
     elapsed_s: float = 0.0
     peak_objects: int = 0
+    sink_errors: int = 0
 
     def note_objects(self, current: int) -> None:
         if current > self.peak_objects:
@@ -76,15 +78,25 @@ def measure_run(
     engine: Any,
     events: Iterable[Event],
     sample_memory_every: int = 16,
+    registry: MetricsRegistry | None = None,
 ) -> RunStats:
     """Drive ``engine`` over ``events`` and measure the paper's metrics.
 
     ``engine`` needs ``process(event)`` and ``result()``; the memory
     probe uses ``current_objects()`` when available (sampled every
-    ``sample_memory_every`` arrivals to keep the probe itself out of
-    the timings as far as possible) and falls back to a
-    ``peak_objects`` attribute maintained by the engine.
+    ``sample_memory_every`` arrivals — configurable so harnesses can
+    trade probe overhead against resolution — plus one final probe
+    after the last event so end-of-run peaks and short streams are not
+    under-reported) and falls back to a ``peak_objects`` attribute
+    maintained by the engine.
+
+    When the engine carries an enabled observability registry (or one
+    is passed explicitly), its counters/gauges/histogram quantiles are
+    flattened into ``RunStats.extras`` so reports can show counter-level
+    explanations next to the timings.
     """
+    if sample_memory_every < 1:
+        raise ValueError("sample_memory_every must be >= 1")
     event_list = list(events)
     probe: Callable[[], int] | None = getattr(
         engine, "current_objects", None
@@ -100,10 +112,14 @@ def measure_run(
             current = probe()
             if current > peak:
                 peak = current
+    if probe is not None and event_list:
+        current = probe()
+        if current > peak:
+            peak = current
     elapsed = time.perf_counter() - started
     engine_peak = getattr(engine, "peak_objects", 0) or 0
     peak = max(peak, engine_peak)
-    return RunStats(
+    stats = RunStats(
         label=label,
         events=len(event_list),
         elapsed_s=elapsed,
@@ -111,3 +127,8 @@ def measure_run(
         peak_objects=peak,
         final_result=engine.result(),
     )
+    if registry is None:
+        registry = getattr(engine, "obs_registry", None)
+    if registry is not None and registry.enabled:
+        stats.extras.update(registry.flat())
+    return stats

@@ -29,6 +29,7 @@ from repro.core.sem import SemEngine
 from repro.multi.chop import ChopPlan
 from repro.multi.pretree import shared_window_ms
 from repro.multi.snapshot import Snapshot, SnapshotTable
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.ast import SeqPattern
 from repro.query.builder import QueryBuilder
 
@@ -36,9 +37,10 @@ from repro.query.builder import QueryBuilder
 class _SegmentPool:
     """One shared SEM engine per distinct (segment pattern, window)."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._engines: dict[tuple[tuple[str, ...], int], SemEngine] = {}
         self.segments_shared = 0
+        self._registry = resolve_registry(registry)
 
     def engine_for(
         self, types: tuple[str, ...], window_ms: int
@@ -53,7 +55,9 @@ class _SegmentPool:
                 .named(f"segment:{'-'.join(types)}")
                 .build()
             )
-            engine = SemEngine(query, emit_on_trigger=False)
+            engine = SemEngine(
+                query, emit_on_trigger=False, registry=self._registry
+            )
             self._engines[key] = engine
         else:
             self.segments_shared += 1
@@ -68,7 +72,12 @@ class _Pipeline:
 
     __slots__ = ("plan", "engines", "tables", "cnet_types", "trigger_types")
 
-    def __init__(self, plan: ChopPlan, pool: _SegmentPool):
+    def __init__(
+        self,
+        plan: ChopPlan,
+        pool: _SegmentPool,
+        registry: MetricsRegistry | None = None,
+    ):
         self.plan = plan
         window_ms = plan.window_ms
         segments = plan.segments
@@ -78,7 +87,7 @@ class _Pipeline:
         #: tables[j] holds the snapshots of segment j's CNET instances
         #: (index 0 unused: the first segment has no predecessor).
         self.tables: list[SnapshotTable | None] = [None] + [
-            SnapshotTable() for _ in segments[1:]
+            SnapshotTable(registry) for _ in segments[1:]
         ]
         #: Concrete event types starting each non-first segment (a
         #: label like "A|B" expands to its alternatives).
@@ -194,16 +203,31 @@ class ChopConnectEngine:
     True
     """
 
-    def __init__(self, plans: Sequence[ChopPlan]):
+    def __init__(
+        self,
+        plans: Sequence[ChopPlan],
+        registry: MetricsRegistry | None = None,
+    ):
         if not plans:
             raise PlanError("empty workload")
         names = [plan.query.name for plan in plans]
         if len(set(names)) != len(names):
             raise PlanError("duplicate query names in the workload")
         shared_window_ms([plan.query for plan in plans])
-        self._pool = _SegmentPool()
+        registry = resolve_registry(registry)
+        self.obs_registry = registry
+        self._obs_on = registry.enabled
+        self._m_events = registry.counter(
+            "cc_events_total", "events offered to the Chop-Connect engine"
+        )
+        self._m_joins = registry.counter(
+            "cc_connect_joins_total",
+            "snapshot-times-segment connect products computed on TRIG",
+        )
+        self._pool = _SegmentPool(registry)
         self._pipelines = {
-            plan.query.name: _Pipeline(plan, self._pool) for plan in plans
+            plan.query.name: _Pipeline(plan, self._pool, registry)
+            for plan in plans
         }
         #: trigger type -> query names to report on that arrival.
         self._triggers: dict[str, list[str]] = {}
@@ -238,6 +262,8 @@ class ChopConnectEngine:
         self._now = max(self._now, event.ts)
         self.events_processed += 1
         event_type = event.event_type
+        if self._obs_on:
+            self._m_events.inc()
         for pipeline, j in self._snapshot_routes.get(event_type, ()):
             pipeline.take_snapshot_at(j, event, event.ts)
         for engine in self._engine_routes.get(event_type, ()):
@@ -245,6 +271,8 @@ class ChopConnectEngine:
         completed = self._triggers.get(event_type)
         if not completed:
             return None
+        if self._obs_on:
+            self._m_joins.inc(len(completed))
         return {
             name: self._pipelines[name].result(event.ts)
             for name in completed

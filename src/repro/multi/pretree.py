@@ -21,13 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.errors import PlanError, QueryError
+from repro.errors import PlanError
 from repro.query.ast import (
     NegatedType,
     PatternElement,
     PositiveType,
     Query,
-    SeqPattern,
 )
 
 

@@ -20,6 +20,8 @@ import bisect
 from collections import deque
 from typing import Any, Iterable, Iterator
 
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
 
 class Snapshot:
     """An immutable snapshot: rows of (tag, exp, count), exp-sorted."""
@@ -90,13 +92,30 @@ class SnapshotTable:
     START arrived earlier than the CNET).
     """
 
-    __slots__ = ("by_event", "_expiry", "snapshots_created", "rows_written")
+    __slots__ = (
+        "by_event", "_expiry", "snapshots_created", "rows_written",
+        "_obs_on", "_m_snapshots", "_m_rows", "_m_live",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.by_event: dict[Any, Snapshot] = {}
         self._expiry: deque[tuple[int, Any]] = deque()
         self.snapshots_created = 0
         self.rows_written = 0
+        registry = resolve_registry(registry)
+        self._obs_on = registry.enabled
+        self._m_snapshots = registry.counter(
+            "cc_snapshots_created_total",
+            "SnapShot table entries frozen on CNET arrivals",
+        )
+        self._m_rows = registry.counter(
+            "cc_snapshot_rows_written_total",
+            "rows written into SnapShot table entries",
+        )
+        self._m_live = registry.gauge(
+            "cc_snapshot_entries_live",
+            "SnapShot table entries currently held (all tables)",
+        )
 
     def add(self, cnet_event: Any, cnet_exp: int, snapshot: Snapshot) -> None:
         """Attach a snapshot to a CNET arrival."""
@@ -104,6 +123,10 @@ class SnapshotTable:
         self._expiry.append((cnet_exp, cnet_event))
         self.snapshots_created += 1
         self.rows_written += len(snapshot)
+        if self._obs_on:
+            self._m_snapshots.inc()
+            self._m_rows.inc(len(snapshot))
+            self._m_live.inc()
 
     def get(self, cnet_event: Any) -> Snapshot | None:
         return self.by_event.get(cnet_event)
@@ -112,9 +135,13 @@ class SnapshotTable:
         """Drop snapshots whose CNET instance has expired."""
         expiry = self._expiry
         by_event = self.by_event
+        purged = 0
         while expiry and expiry[0][0] <= now:
             _, event = expiry.popleft()
             by_event.pop(event, None)
+            purged += 1
+        if purged and self._obs_on:
+            self._m_live.dec(purged)
 
     def __len__(self) -> int:
         return len(self.by_event)

@@ -12,6 +12,7 @@ from typing import Any, Callable, Sequence
 from repro.errors import PlanError
 from repro.events.event import Event
 from repro.core.executor import ASeqEngine
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.ast import Query
 
 
@@ -22,9 +23,16 @@ class UnsharedEngine:
         self,
         queries: Sequence[Query],
         engine_factory: Callable[[Query], Any] = ASeqEngine,
+        registry: MetricsRegistry | None = None,
     ):
         if not queries:
             raise PlanError("empty workload")
+        self.obs_registry = resolve_registry(registry)
+        if engine_factory is ASeqEngine:
+            obs = self.obs_registry
+
+            def engine_factory(q: Query) -> ASeqEngine:
+                return ASeqEngine(q, registry=obs)
         names = [q.name for q in queries]
         if None in names or len(set(names)) != len(names):
             raise PlanError("queries in a workload must be uniquely named")

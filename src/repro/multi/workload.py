@@ -27,7 +27,7 @@ from repro.core.executor import ASeqEngine
 from repro.multi.chop import ChopPlan
 from repro.multi.chop_connect import ChopConnectEngine
 from repro.multi.planner import chop_around, find_common_substrings
-from repro.multi.pretree import _check_shareable
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.ast import AggKind, Query
 
 
@@ -60,9 +60,16 @@ class WorkloadEngine:
     ['q3']
     """
 
-    def __init__(self, queries: Sequence[Query], vectorized: bool = False):
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        vectorized: bool = False,
+        registry: MetricsRegistry | None = None,
+    ):
         if not queries:
             raise PlanError("empty workload")
+        registry = resolve_registry(registry)
+        self.obs_registry = registry
         names = [q.name for q in queries]
         if None in names or len(set(names)) != len(names):
             raise PlanError("queries in a workload must be uniquely named")
@@ -97,9 +104,13 @@ class WorkloadEngine:
             q for q in queries if q.name not in shared_names
         ]
 
-        self._shared = ChopConnectEngine(plans) if plans else None
+        self._shared = (
+            ChopConnectEngine(plans, registry=registry) if plans else None
+        )
         self._unshared: dict[str, ASeqEngine] = {
-            q.name: ASeqEngine(q, vectorized=vectorized)  # type: ignore[misc]
+            q.name: ASeqEngine(  # type: ignore[misc]
+                q, vectorized=vectorized, registry=registry
+            )
             for q in unshared_queries
         }
         self._unshared_triggers = {

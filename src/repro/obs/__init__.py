@@ -1,0 +1,58 @@
+"""Observability: metrics registry, event-lifecycle tracing, exporters.
+
+The engines accept an optional :class:`MetricsRegistry` (and, where it
+makes sense, a :class:`TraceRecorder`). When none is given they fall
+back to the process-global default — the :data:`NULL_REGISTRY` unless
+something (the CLI's ``--metrics-out``, a bench harness, a test)
+installed a real one — so instrumentation costs one boolean check per
+event when disabled.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and naming
+conventions.
+"""
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_default_registry,
+    resolve_registry,
+    set_default_registry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Stage,
+    TraceRecorder,
+    resolve_tracer,
+)
+from repro.obs.export import (
+    registry_snapshot,
+    to_prometheus,
+    write_json_snapshot,
+    write_prometheus,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_default_registry",
+    "set_default_registry",
+    "resolve_registry",
+    "Span",
+    "Stage",
+    "TraceRecorder",
+    "NULL_TRACER",
+    "resolve_tracer",
+    "registry_snapshot",
+    "to_prometheus",
+    "write_json_snapshot",
+    "write_prometheus",
+]

@@ -1,0 +1,132 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+Metric names inside the registry use the final exported spelling
+(``snake_case``, counters suffixed ``_total``); the exporters only
+sanitize characters Prometheus forbids and render values. JSON
+snapshots carry the same data plus the derived histogram quantiles so
+figure scripts and dashboards need no bucket math of their own.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = str.maketrans(
+    {"\\": r"\\", '"': r"\"", "\n": r"\n"}
+)
+
+
+def _name(raw: str) -> str:
+    if _NAME_OK.match(raw):
+        return raw
+    fixed = _NAME_FIX.sub("_", raw)
+    if not fixed or not _NAME_OK.match(fixed):
+        fixed = "_" + fixed
+    return fixed
+
+
+def _labels(pairs: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    rendered = [
+        f'{_name(key)}="{str(value).translate(_LABEL_ESCAPES)}"'
+        for key, value in pairs
+    ]
+    if extra:
+        rendered.append(extra)
+    return "{" + ",".join(rendered) + "}" if rendered else ""
+
+
+def _value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format 0.0.4 of the whole registry."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.metrics():
+        name = _name(metric.name)
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for bound, cumulative in metric.cumulative_buckets():
+                bucket_labels = _labels(
+                    metric.labels, f'le="{_value(bound)}"'
+                )
+                lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+            suffix_labels = _labels(metric.labels)
+            lines.append(f"{name}_sum{suffix_labels} {_value(metric.sum)}")
+            lines.append(f"{name}_count{suffix_labels} {metric.count}")
+        else:
+            lines.append(
+                f"{name}{_labels(metric.labels)} {_value(metric.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
+    """JSON-ready snapshot: counters, gauges, histograms w/ quantiles."""
+    counters: list[dict[str, Any]] = []
+    gauges: list[dict[str, Any]] = []
+    histograms: list[dict[str, Any]] = []
+    for metric in registry.metrics():
+        entry: dict[str, Any] = {"name": metric.name}
+        if metric.labels:
+            entry["labels"] = dict(metric.labels)
+        if isinstance(metric, Histogram):
+            entry.update(
+                count=metric.count,
+                sum=metric.sum,
+                mean=metric.mean,
+                p50=metric.p50,
+                p95=metric.p95,
+                p99=metric.p99,
+                max=metric.max,
+                buckets=[
+                    {"le": bound if bound != float("inf") else "+Inf",
+                     "count": cumulative}
+                    for bound, cumulative in metric.cumulative_buckets()
+                ],
+            )
+            histograms.append(entry)
+        elif isinstance(metric, Gauge):
+            entry["value"] = metric.value
+            gauges.append(entry)
+        elif isinstance(metric, Counter):
+            entry["value"] = metric.value
+            counters.append(entry)
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(registry))
+
+
+def write_json_snapshot(
+    registry: MetricsRegistry, path: str, **extra: Any
+) -> None:
+    """Write :func:`registry_snapshot` (plus ``extra`` top-level keys)."""
+    snapshot = registry_snapshot(registry)
+    snapshot.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, default=str)
+        handle.write("\n")

@@ -1,0 +1,380 @@
+"""Metric primitives and the registry that owns them.
+
+Three primitives cover everything the engines report:
+
+* :class:`Counter` — a monotonically increasing total;
+* :class:`Gauge` — a value that can go up and down (live object counts);
+* :class:`Histogram` — fixed log2-spaced buckets with p50/p95/p99/max
+  readouts, built for microsecond-scale latencies.
+
+Instrumented code asks the registry once, at construction time, for the
+metric objects it will touch (``self._m_events = registry.counter(...)``)
+and then updates those objects directly on the hot path — no dict
+lookups, no allocation per event. The :class:`NullRegistry` hands out
+shared no-op metric singletons and reports ``enabled = False`` so hot
+paths can skip instrumentation with a single boolean check.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator
+
+LabelPairs = tuple[tuple[str, str], ...]
+
+#: Default histogram bounds: log2-spaced, 1 .. 2^20 (tuned for
+#: microsecond latencies; the overflow bucket catches everything else).
+LOG2_BOUNDS: tuple[float, ...] = tuple(float(2 ** i) for i in range(21))
+
+
+def _label_key(labels: dict[str, str]) -> LabelPairs:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}{dict(self.labels)}={self.value})"
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Keep the high-water mark (peak live-object style gauges)."""
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}{dict(self.labels)}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile readouts.
+
+    Buckets are defined by their inclusive upper bounds (default
+    :data:`LOG2_BOUNDS`); one overflow bucket catches observations above
+    the last bound. Quantiles are read as the upper bound of the bucket
+    the quantile falls in (the overflow bucket reports the exact
+    maximum), which is the usual fixed-bucket trade: cheap O(1)
+    ``observe``, bounded relative error set by the bucket spacing.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "help", "labels", "bounds", "bucket_counts",
+        "count", "sum", "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelPairs = (),
+        bounds: tuple[float, ...] | None = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.bounds = tuple(bounds) if bounds is not None else LOG2_BOUNDS
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+
+    # ----- readouts --------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                if index < len(self.bounds):
+                    return min(self.bounds[index], self.max)
+                return self.max
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` rows, +Inf last."""
+        rows: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            running += bucket_count
+            rows.append((bound, running))
+        rows.append((float("inf"), self.count))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram({self.name}{dict(self.labels)} count={self.count} "
+            f"p50={self.p50} p99={self.p99} max={self.max})"
+        )
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics, keyed by (name, labels).
+
+    Re-asking for an existing (name, labels) pair returns the same
+    object, so independent components naturally share totals; asking
+    for an existing name with a different metric kind is an error.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelPairs], Metric] = {}
+        self._kinds: dict[str, str] = {}
+
+    # ----- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        self._check_kind(name, "histogram")
+        metric = Histogram(name, help, key[1], bounds)
+        self._metrics[key] = metric
+        return metric
+
+    def _get_or_create(self, cls, name: str, help: str, labels: dict):
+        key = (name, _label_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        self._check_kind(name, cls.kind)
+        metric = cls(name, help, key[1])
+        self._metrics[key] = metric
+        return metric
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        registered = self._kinds.get(name)
+        if registered is not None and registered != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {registered}, "
+                f"cannot re-register as {kind}"
+            )
+        self._kinds[name] = kind
+
+    # ----- reads -----------------------------------------------------------
+
+    def metrics(self) -> Iterator[Metric]:
+        """All metrics, grouped by name in registration order."""
+        by_name: dict[str, list[Metric]] = {}
+        for metric in self._metrics.values():
+            by_name.setdefault(metric.name, []).append(metric)
+        for group in by_name.values():
+            yield from group
+
+    def get(self, name: str, **labels: str) -> Metric | None:
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, default: float = 0.0, **labels: str) -> float:
+        """Scalar value of a counter/gauge (missing metrics read 0)."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None or isinstance(metric, Histogram):
+            return default
+        return metric.value
+
+    def flat(self) -> dict[str, float]:
+        """One flat ``{name: value}`` map (``RunStats.extras`` food).
+
+        Labelled series fold into ``name{k=v,...}`` keys; histograms
+        expand to ``_count``/``_sum``/``_p50``/``_p95``/``_p99``/``_max``.
+        """
+        out: dict[str, float] = {}
+        for metric in self.metrics():
+            key = metric.name
+            if metric.labels:
+                rendered = ",".join(f"{k}={v}" for k, v in metric.labels)
+                key = f"{key}{{{rendered}}}"
+            if isinstance(metric, Histogram):
+                out[f"{key}_count"] = float(metric.count)
+                out[f"{key}_sum"] = metric.sum
+                out[f"{key}_p50"] = metric.p50
+                out[f"{key}_p95"] = metric.p95
+                out[f"{key}_p99"] = metric.p99
+                out[f"{key}_max"] = metric.max
+            else:
+                out[key] = metric.value
+        return out
+
+    def reset(self) -> None:
+        self._metrics.clear()
+        self._kinds.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter: ``inc`` does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class NullRegistry(MetricsRegistry):
+    """Hands out shared no-op metrics; ``enabled`` is False.
+
+    Instrumented constructors run unconditionally against this registry;
+    per-event code checks ``registry.enabled`` once and skips the rest.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The process-global registry (the null registry until installed)."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install (or, with ``None``, clear) the process-global registry.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+def resolve_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """What an engine constructor does with its ``registry=`` argument."""
+    return registry if registry is not None else _default_registry

@@ -1,0 +1,156 @@
+"""Span-based event-lifecycle tracing.
+
+A :class:`TraceRecorder` is a fixed-capacity ring buffer of
+:class:`Span` records covering the life of an event inside an engine:
+
+``ingest`` → ``filter_drop`` / ``counter_update`` → ``counter_create``
+/ ``recount_reset`` / ``expire`` → ``emit``
+
+The recorder exists to debug *wrong counts* — "why did this TRIG report
+7?" — so spans carry the engine clock, the event type, and a free-form
+detail string, and the dump format (``--trace`` on the CLI) is a plain
+aligned text table that reads top-to-bottom as the event flow.
+
+Recording is guarded the same way metrics are: the shared
+:data:`NULL_TRACER` reports ``enabled = False`` and hot paths check that
+one boolean before building a span.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+
+class Stage:
+    """Span stage names (plain strings; a class only for namespacing)."""
+
+    INGEST = "ingest"
+    FILTER_DROP = "filter_drop"
+    COUNTER_CREATE = "counter_create"
+    COUNTER_UPDATE = "counter_update"
+    RECOUNT_RESET = "recount_reset"
+    EXPIRE = "expire"
+    SNAPSHOT = "snapshot"
+    PARTITION_CREATE = "partition_create"
+    EMIT = "emit"
+
+    ALL = (
+        INGEST, FILTER_DROP, COUNTER_CREATE, COUNTER_UPDATE,
+        RECOUNT_RESET, EXPIRE, SNAPSHOT, PARTITION_CREATE, EMIT,
+    )
+
+
+class Span:
+    """One recorded lifecycle step."""
+
+    __slots__ = ("seq", "ts", "stage", "event_type", "detail")
+
+    def __init__(
+        self, seq: int, ts: int, stage: str, event_type: str, detail: str
+    ):
+        self.seq = seq
+        self.ts = ts
+        self.stage = stage
+        self.event_type = event_type
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span(#{self.seq} t={self.ts} {self.stage} "
+            f"{self.event_type} {self.detail})"
+        )
+
+
+class TraceRecorder:
+    """Ring buffer of spans; old spans fall off the front when full."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def record(
+        self,
+        stage: str,
+        ts: int = 0,
+        event_type: str = "",
+        detail: str = "",
+    ) -> None:
+        self._seq += 1
+        self._spans.append(Span(self._seq, ts, stage, event_type, detail))
+
+    # ----- reads -----------------------------------------------------------
+
+    @property
+    def recorded_total(self) -> int:
+        """Spans ever recorded (≥ ``len`` once the ring wraps)."""
+        return self._seq
+
+    def spans(self, stage: str | None = None) -> list[Span]:
+        if stage is None:
+            return list(self._spans)
+        return [span for span in self._spans if span.stage == stage]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # ----- dump format -----------------------------------------------------
+
+    def format(self, last: int | None = None) -> str:
+        """The ``--trace`` dump: one aligned line per span.
+
+        ::
+
+            seq      ts  stage           type  detail
+            #41      72  recount_reset   N     reset slot 1 in 3 counters
+        """
+        spans: Iterable[Span] = self._spans
+        if last is not None:
+            spans = list(self._spans)[-last:]
+        lines = [f"{'seq':>8}  {'ts':>10}  {'stage':<16}{'type':<10}detail"]
+        for span in spans:
+            lines.append(
+                f"#{span.seq:<7}  {span.ts:>10}  {span.stage:<16}"
+                f"{span.event_type:<10}{span.detail}"
+            )
+        dropped = self._seq - len(self._spans)
+        if dropped > 0:
+            lines.append(
+                f"... ring buffer kept the last {len(self._spans)} of "
+                f"{self._seq} spans ({dropped} dropped)"
+            )
+        return "\n".join(lines)
+
+
+class NullTraceRecorder(TraceRecorder):
+    """Shared no-op recorder; ``enabled`` is False."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def record(
+        self,
+        stage: str,
+        ts: int = 0,
+        event_type: str = "",
+        detail: str = "",
+    ) -> None:
+        pass
+
+
+NULL_TRACER = NullTraceRecorder()
+
+
+def resolve_tracer(trace: TraceRecorder | None) -> TraceRecorder:
+    """What an engine constructor does with its ``trace=`` argument."""
+    return trace if trace is not None else NULL_TRACER

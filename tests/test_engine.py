@@ -12,7 +12,6 @@ from repro.engine import (
     ThresholdAlertSink,
 )
 from repro.errors import EngineError
-from repro.events import Event
 from repro.query import seq
 
 

@@ -13,7 +13,7 @@ import random
 import pytest
 
 from conftest import assert_matches_oracle, events_of, random_events, replay
-from repro.baseline.oracle import BruteForceOracle, enumerate_matches
+from repro.baseline.oracle import enumerate_matches
 from repro.baseline.twostep import TwoStepEngine
 from repro.core.executor import ASeqEngine
 from repro.errors import ParseError, PlanError, QueryError

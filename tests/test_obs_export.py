@@ -1,0 +1,128 @@
+"""Prometheus text exposition and JSON snapshot exporters."""
+
+import json
+import math
+
+from repro.obs.export import (
+    registry_snapshot,
+    to_prometheus,
+    write_json_snapshot,
+    write_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("events_total", "all events").inc(10)
+    registry.counter("query_outputs_total", query="q1").inc(2)
+    registry.counter("query_outputs_total", query="q2").inc(3)
+    registry.gauge("live_objects", "live state").set(42)
+    histogram = registry.histogram("latency_us", "per-event latency")
+    for value in (0.5, 1.5, 3.0, 2_000_000.0):
+        histogram.observe(value)
+    return registry
+
+
+def _parse_exposition(text: str) -> dict[str, float]:
+    """Parse sample lines of a Prometheus exposition into a dict."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = to_prometheus(_sample_registry())
+        samples = _parse_exposition(text)
+        assert samples["events_total"] == 10
+        assert samples['query_outputs_total{query="q1"}'] == 2
+        assert samples['query_outputs_total{query="q2"}'] == 3
+        assert samples["live_objects"] == 42
+
+    def test_type_headers_emitted_once_per_name(self):
+        text = to_prometheus(_sample_registry())
+        assert text.count("# TYPE query_outputs_total counter") == 1
+        assert "# TYPE events_total counter" in text
+        assert "# TYPE live_objects gauge" in text
+        assert "# TYPE latency_us histogram" in text
+        assert "# HELP events_total all events" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = to_prometheus(_sample_registry())
+        samples = _parse_exposition(text)
+        buckets = [
+            (key, value) for key, value in samples.items()
+            if key.startswith("latency_us_bucket")
+        ]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        assert samples['latency_us_bucket{le="+Inf"}'] == 4
+        assert samples["latency_us_count"] == 4
+        assert samples["latency_us_sum"] > 2_000_000
+        # the 2e6 observation overflows the last finite (2^20) bound
+        assert samples['latency_us_bucket{le="1048576"}'] == 3
+
+    def test_every_line_parses(self):
+        for line in to_prometheus(_sample_registry()).splitlines():
+            if line.startswith("#"):
+                prefix, kind, *rest = line.split(" ", 2)
+                assert kind in ("HELP", "TYPE")
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            assert not math.isnan(float(value))
+
+    def test_invalid_characters_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird.name-with chars").inc()
+        text = to_prometheus(registry)
+        assert "weird_name_with_chars 1" in text
+
+    def test_empty_registry_exports_empty_string(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_write_prometheus_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        registry = _sample_registry()
+        write_prometheus(registry, str(path))
+        assert path.read_text() == to_prometheus(registry)
+
+
+class TestJsonSnapshot:
+    def test_snapshot_shape(self):
+        snapshot = registry_snapshot(_sample_registry())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        names = {entry["name"] for entry in snapshot["counters"]}
+        assert names == {"events_total", "query_outputs_total"}
+        (histogram,) = snapshot["histograms"]
+        assert histogram["count"] == 4
+        assert {"p50", "p95", "p99", "max", "mean", "buckets"} <= set(
+            histogram
+        )
+        assert histogram["buckets"][-1]["le"] == "+Inf"
+        assert histogram["buckets"][-1]["count"] == 4
+
+    def test_labels_preserved(self):
+        snapshot = registry_snapshot(_sample_registry())
+        labelled = [
+            entry for entry in snapshot["counters"]
+            if entry["name"] == "query_outputs_total"
+        ]
+        assert {entry["labels"]["query"] for entry in labelled} == {
+            "q1", "q2"
+        }
+
+    def test_write_json_snapshot_with_extras(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_json_snapshot(
+            _sample_registry(), str(path), run={"events": 10}
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["run"] == {"events": 10}
+        assert loaded["counters"]
+        assert loaded["histograms"][0]["p50"] >= 0

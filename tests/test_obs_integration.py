@@ -1,0 +1,323 @@
+"""Instrumentation wired through the engines: identical results,
+meaningful counters, resilient sinks, and the CLI exporters."""
+
+import json
+
+import pytest
+
+from conftest import events_of
+
+from repro.baseline.twostep import TwoStepEngine
+from repro.bench.harness import time_engines
+from repro.cli import main
+from repro.core.executor import ASeqEngine
+from repro.datagen.synthetic import SyntheticTypeGenerator, alphabet
+from repro.engine.engine import StreamEngine
+from repro.engine.metrics import measure_run
+from repro.engine.sinks import CollectSink, ResultSink
+from repro.multi.workload import WorkloadEngine
+from repro.obs.registry import MetricsRegistry
+from repro.query import parse_query, parse_workload, seq
+
+
+def _stream(count=2_000, seed=5):
+    return SyntheticTypeGenerator(
+        alphabet(8), mean_gap_ms=1, seed=seed
+    ).take(count)
+
+
+QUERIES = [
+    "PATTERN SEQ(T0, T1, T2) AGG COUNT WITHIN 50 ms",
+    "PATTERN SEQ(T0, !T3, T2) AGG COUNT WITHIN 50 ms",
+]
+
+WORKLOAD = """
+q1: PATTERN SEQ(T0, T1, T2) AGG COUNT WITHIN 50 ms;
+q2: PATTERN SEQ(T3, T1, T2) AGG COUNT WITHIN 50 ms;
+q3: PATTERN SEQ(T0, !T4, T5) AGG COUNT WITHIN 50 ms;
+"""
+
+
+class TestDifferential:
+    """Instrumented and null-registry engines must agree exactly."""
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_aseq_aggregates_identical(self, query_text):
+        query = parse_query(query_text)
+        events = _stream()
+        plain = ASeqEngine(query)
+        instrumented = ASeqEngine(query, registry=MetricsRegistry())
+        for event in events:
+            assert plain.process(event) == instrumented.process(event)
+        assert plain.result() == instrumented.result()
+
+    def test_twostep_aggregates_identical(self):
+        query = parse_query(QUERIES[0])
+        events = _stream(800)
+        plain = TwoStepEngine(query)
+        instrumented = TwoStepEngine(query, registry=MetricsRegistry())
+        for event in events:
+            assert plain.process(event) == instrumented.process(event)
+        assert plain.result() == instrumented.result()
+
+    def test_workload_aggregates_identical(self):
+        queries = parse_workload(WORKLOAD)
+        events = _stream()
+        plain = WorkloadEngine(queries)
+        instrumented = WorkloadEngine(queries, registry=MetricsRegistry())
+        for event in events:
+            assert plain.process(event) == instrumented.process(event)
+        assert plain.result() == instrumented.result()
+
+
+class TestEngineCounters:
+    def test_sem_lifecycle_counters(self):
+        registry = MetricsRegistry()
+        query = parse_query("PATTERN SEQ(A, !N, C) AGG COUNT WITHIN 10 ms")
+        engine = ASeqEngine(query, registry=registry)
+        for event in events_of(
+            ("A", 1), ("N", 2), ("A", 3), ("C", 4), ("A", 50), ("C", 51)
+        ):
+            engine.process(event)
+        assert registry.value("executor_events_total") == 6
+        assert registry.value("sem_counters_created_total") == 3
+        assert registry.value("sem_recount_resets_total") == 1
+        assert registry.value("sem_counters_expired_total") == 2
+        assert registry.value("sem_active_counters") == 1
+        assert registry.value("executor_emits_total") == 2
+
+    def test_hpc_partition_counters(self):
+        registry = MetricsRegistry()
+        query = parse_query(
+            "PATTERN SEQ(A, C) WHERE A.id = C.id "
+            "AGG COUNT WITHIN 100 ms"
+        )
+        engine = ASeqEngine(query, registry=registry)
+        for event in events_of(
+            ("A", 1, {"id": 1}), ("A", 2, {"id": 2}), ("C", 3, {"id": 1})
+        ):
+            engine.process(event)
+        assert registry.value("hpc_partitions_created_total") == 2
+        assert registry.value("hpc_partitions_live") == 2
+        # partition engines share the sem_* series
+        assert registry.value("sem_counters_created_total") == 2
+
+    def test_chop_connect_counters(self):
+        registry = MetricsRegistry()
+        queries = parse_workload(
+            """
+            q1: PATTERN SEQ(A, B, C, D) AGG COUNT WITHIN 100 ms;
+            q2: PATTERN SEQ(X, C, D) AGG COUNT WITHIN 100 ms;
+            """
+        )
+        engine = WorkloadEngine(queries, registry=registry)
+        assert sorted(engine.shared_query_names) == ["q1", "q2"]
+        for event in events_of(
+            ("A", 1), ("B", 2), ("X", 3), ("C", 4), ("D", 5)
+        ):
+            engine.process(event)
+        assert registry.value("cc_events_total") == 5
+        assert registry.value("cc_snapshots_created_total") >= 1
+        assert registry.value("cc_connect_joins_total") >= 1
+
+    def test_stream_engine_latency_histogram_and_per_query_series(self):
+        registry = MetricsRegistry()
+        engine = StreamEngine(registry=registry)
+        sink = CollectSink()
+        engine.register(
+            seq("A", "B").count().within(ms=10).named("ab").build(), sink
+        )
+        engine.run(events_of(("A", 1), ("B", 2)))
+        histogram = registry.get("event_latency_us")
+        assert histogram.count == 2
+        assert histogram.p50 > 0
+        assert registry.value("events_ingested_total") == 2
+        assert registry.value("query_events_total", query="ab") == 2
+        assert registry.value("query_outputs_total", query="ab") == 1
+        assert sink.values() == [1]
+
+
+class _ExplodingSink(ResultSink):
+    def emit(self, output):
+        raise RuntimeError("boom")
+
+
+class TestSinkErrorIsolation:
+    def test_one_bad_sink_does_not_abort_the_loop(self):
+        engine = StreamEngine()
+        bad = _ExplodingSink()
+        good = CollectSink()
+        other = CollectSink()
+        engine.register(
+            seq("A", "B").count().within(ms=10).named("q1").build(),
+            bad, good,
+        )
+        engine.register(
+            seq("A", "C").count().within(ms=10).named("q2").build(),
+            other,
+        )
+        processed = engine.run(
+            events_of(("A", 1), ("B", 2), ("C", 3))
+        )
+        assert processed == 3
+        assert good.values() == [1]  # sinks after the bad one still fed
+        assert other.values() == [1]  # other registrations still pumped
+        assert engine.metrics.sink_errors == 1
+
+    def test_sink_errors_total_counter(self):
+        registry = MetricsRegistry()
+        engine = StreamEngine(registry=registry)
+        engine.register(
+            seq("A", "B").count().within(ms=10).named("q").build(),
+            _ExplodingSink(),
+        )
+        engine.run(events_of(("A", 1), ("B", 2), ("A", 3), ("B", 4)))
+        assert registry.value("sink_errors_total") == 2
+        assert engine.metrics.sink_errors == 2
+
+
+class TestMeasureRun:
+    def test_final_probe_catches_end_of_run_peak(self):
+        class Spiky:
+            """Live objects grow monotonically; peak is at the end."""
+
+            def __init__(self):
+                self.seen = 0
+
+            def process(self, event):
+                self.seen += 1
+                return None
+
+            def result(self):
+                return None
+
+            def current_objects(self):
+                return self.seen
+
+        # 18 events with stride 16 → old code probed at 0 and 16 only
+        # and reported 17; the final probe must see all 18.
+        events = events_of(*[("A", ts) for ts in range(1, 19)])
+        stats = measure_run("spiky", Spiky(), events)
+        assert stats.peak_objects == 18
+
+    def test_stride_configurable(self):
+        probes = []
+
+        class Probed:
+            def process(self, event):
+                return None
+
+            def result(self):
+                return None
+
+            def current_objects(self):
+                probes.append(1)
+                return 0
+
+        events = events_of(*[("A", ts) for ts in range(1, 11)])
+        measure_run("p", Probed(), events, sample_memory_every=5)
+        # indices 0 and 5, plus the final probe
+        assert len(probes) == 3
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            measure_run("x", object(), [], sample_memory_every=0)
+
+    def test_extras_filled_from_engine_registry(self):
+        registry = MetricsRegistry()
+        query = parse_query(QUERIES[0])
+        engine = ASeqEngine(query, registry=registry)
+        stats = measure_run("aseq", engine, _stream(500))
+        assert stats.extras["executor_events_total"] == 500
+        assert "sem_counters_created_total" in stats.extras
+
+    def test_extras_empty_without_instrumentation(self):
+        query = parse_query(QUERIES[0])
+        stats = measure_run("aseq", ASeqEngine(query), _stream(300))
+        assert stats.extras == {}
+
+
+class TestTimeEnginesInstrumented:
+    def test_instrumented_runs_carry_extras(self):
+        query = parse_query(QUERIES[0])
+        events = _stream(500)
+        results = time_engines(
+            [
+                ("aseq", lambda registry=None: ASeqEngine(
+                    query, registry=registry
+                )),
+                ("twostep", lambda registry=None: TwoStepEngine(
+                    query, registry=registry
+                )),
+            ],
+            events,
+            instrument=True,
+        )
+        assert results["aseq"].extras["executor_events_total"] == 500
+        assert results["twostep"].extras["twostep_events_total"] > 0
+        assert (
+            results["aseq"].final_result == results["twostep"].final_result
+        )
+
+
+QUERY = "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 300 ms"
+
+
+class TestCliExporters:
+    def test_metrics_out_writes_prometheus_and_json(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code = main([
+            "--query", QUERY, "--generate", "stock",
+            "--events", "3000", "--metrics-out", str(out),
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "# TYPE events_ingested_total counter" in text
+        assert "events_ingested_total 3000" in text
+        assert "# TYPE event_latency_us histogram" in text
+        assert 'event_latency_us_bucket{le="+Inf"} 3000' in text
+        snapshot = json.loads((tmp_path / "metrics.prom.json").read_text())
+        counters = {
+            entry["name"]: entry["value"]
+            for entry in snapshot["counters"]
+        }
+        assert counters["events_ingested_total"] == 3000
+        assert "sem_counters_created_total" in counters
+        assert "sem_counters_expired_total" in counters
+        assert "sem_recount_resets_total" in counters
+        (histogram,) = [
+            entry for entry in snapshot["histograms"]
+            if entry["name"] == "event_latency_us"
+        ]
+        for quantile in ("p50", "p95", "p99"):
+            assert histogram[quantile] > 0
+        assert snapshot["run"]["events"] == 3000
+
+    def test_stats_every_reports_to_stderr(self, capsys):
+        code = main([
+            "--query", QUERY, "--generate", "stock",
+            "--events", "2000", "--stats-every", "1000",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert err.count("# stats ") == 2
+        assert "events=1,000" in err
+
+    def test_dump_trace_prints_spans(self, capsys):
+        code = main([
+            "--query", QUERY, "--generate", "stock",
+            "--events", "500", "--dump-trace", "--trace-capacity", "16",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ingest" in err
+        assert "seq" in err
+
+    def test_uninstrumented_run_unchanged(self, capsys):
+        code = main([
+            "--query", QUERY, "--generate", "stock", "--events", "500",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "# stats" not in err
+        assert "wrote metrics" not in err

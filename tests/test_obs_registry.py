@@ -1,0 +1,197 @@
+"""The observability registry: Counter / Gauge / Histogram semantics."""
+
+import pytest
+
+from repro.obs.registry import (
+    LOG2_BOUNDS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_default_registry,
+    resolve_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_registry_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events_total")
+        b = registry.counter("events_total")
+        assert a is b
+        a.inc()
+        assert registry.value("events_total") == 1
+
+    def test_labelled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        q1 = registry.counter("query_events_total", query="q1")
+        q2 = registry.counter("query_events_total", query="q2")
+        assert q1 is not q2
+        q1.inc(3)
+        assert registry.value("query_events_total", query="q1") == 3
+        assert registry.value("query_events_total", query="q2") == 0
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_set_max_keeps_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set_max(7)
+        gauge.set_max(3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_default_bounds_are_log2_spaced(self):
+        assert LOG2_BOUNDS[0] == 1
+        assert LOG2_BOUNDS[-1] == 2 ** 20
+        ratios = {
+            int(b / a) for a, b in zip(LOG2_BOUNDS, LOG2_BOUNDS[1:])
+        }
+        assert ratios == {2}
+
+    def test_count_sum_max(self):
+        histogram = Histogram("h")
+        for value in (1.0, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 104.0
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(104.0 / 3)
+
+    def test_quantiles_land_in_right_buckets(self):
+        histogram = Histogram("h")
+        # 90 fast observations, 10 slow ones.
+        for _ in range(90):
+            histogram.observe(3.0)  # bucket le=4
+        for _ in range(10):
+            histogram.observe(300.0)  # bucket le=512
+        assert histogram.p50 == 4.0
+        assert histogram.quantile(0.90) == 4.0
+        # the slow bucket's upper bound is 512, capped by the true max
+        assert histogram.p95 == 300.0
+        assert histogram.p99 == 300.0
+
+    def test_overflow_bucket_reports_exact_max(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        histogram.observe(1000.0)
+        assert histogram.p99 == 1000.0
+        assert histogram.quantile(1.0) == 1000.0
+
+    def test_quantile_capped_by_observed_max(self):
+        histogram = Histogram("h")
+        histogram.observe(5.0)  # bucket le=8, but max is 5
+        assert histogram.p50 == 5.0
+
+    def test_empty_histogram_reads_zero(self):
+        histogram = Histogram("h")
+        assert histogram.p50 == 0.0
+        assert histogram.p99 == 0.0
+        assert histogram.max == 0.0
+
+    def test_cumulative_buckets_end_with_inf_total(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        rows = histogram.cumulative_buckets()
+        assert rows == [(1.0, 1), (10.0, 2), (float("inf"), 3)]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+
+class TestRegistryReads:
+    def test_flat_expands_histograms_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.gauge("b").set(7)
+        registry.counter("c_total", query="q1").inc()
+        histogram = registry.histogram("lat_us")
+        histogram.observe(3.0)
+        flat = registry.flat()
+        assert flat["a_total"] == 2
+        assert flat["b"] == 7
+        assert flat["c_total{query=q1}"] == 1
+        assert flat["lat_us_count"] == 1
+        assert flat["lat_us_p50"] == 3.0
+        assert flat["lat_us_max"] == 3.0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.value("a") == 0.0
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared_noop_metrics(self):
+        assert NULL_REGISTRY.enabled is False
+        counter = NULL_REGISTRY.counter("anything")
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = NULL_REGISTRY.gauge("g")
+        gauge.set(5)
+        gauge.set_max(5)
+        assert gauge.value == 0
+        histogram = NULL_REGISTRY.histogram("h")
+        histogram.observe(1.0)
+        assert histogram.count == 0
+
+    def test_null_registry_is_reusable_singleton_class(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+
+
+class TestDefaultRegistry:
+    def test_default_is_null_until_installed(self):
+        assert get_default_registry() is NULL_REGISTRY
+
+    def test_install_and_restore(self):
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            assert get_default_registry() is registry
+            assert resolve_registry(None) is registry
+            explicit = MetricsRegistry()
+            assert resolve_registry(explicit) is explicit
+        finally:
+            set_default_registry(previous)
+        assert get_default_registry() is previous
+
+    def test_clearing_with_none_restores_null(self):
+        previous = set_default_registry(MetricsRegistry())
+        set_default_registry(None)
+        try:
+            assert get_default_registry() is NULL_REGISTRY
+        finally:
+            set_default_registry(previous)

@@ -1,0 +1,98 @@
+"""Event-lifecycle tracing: the ring buffer and engine span hooks."""
+
+from conftest import events_of
+
+from repro.core.executor import ASeqEngine
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Stage,
+    TraceRecorder,
+)
+from repro.query import parse_query
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(Stage.INGEST, ts=1, event_type="A")
+        recorder.record(Stage.EMIT, ts=2, event_type="C", detail="7")
+        spans = recorder.spans()
+        assert [span.stage for span in spans] == [Stage.INGEST, Stage.EMIT]
+        assert spans[0].seq < spans[1].seq
+        assert spans[1].detail == "7"
+
+    def test_ring_buffer_drops_oldest(self):
+        recorder = TraceRecorder(capacity=3)
+        for index in range(10):
+            recorder.record(Stage.INGEST, ts=index)
+        assert len(recorder) == 3
+        assert recorder.recorded_total == 10
+        assert [span.ts for span in recorder.spans()] == [7, 8, 9]
+
+    def test_stage_filter(self):
+        recorder = TraceRecorder()
+        recorder.record(Stage.INGEST, ts=1)
+        recorder.record(Stage.EXPIRE, ts=2)
+        recorder.record(Stage.INGEST, ts=3)
+        assert [s.ts for s in recorder.spans(Stage.INGEST)] == [1, 3]
+
+    def test_format_mentions_drops(self):
+        recorder = TraceRecorder(capacity=2)
+        for index in range(5):
+            recorder.record(Stage.INGEST, ts=index, event_type="A")
+        dump = recorder.format()
+        assert "ingest" in dump
+        assert "last 2 of 5" in dump
+
+    def test_format_last_n(self):
+        recorder = TraceRecorder()
+        for index in range(5):
+            recorder.record(Stage.INGEST, ts=index)
+        dump = recorder.format(last=2)
+        assert "t=3" not in dump  # header + last 2 spans only
+        assert dump.count("#") == 2
+
+    def test_null_tracer_is_disabled_noop(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.record(Stage.INGEST, ts=1)
+        assert len(NULL_TRACER) == 0
+
+
+class TestEngineSpans:
+    def test_negation_query_records_recount_resets(self):
+        query = parse_query(
+            "PATTERN SEQ(A, !N, C) AGG COUNT WITHIN 100 ms"
+        )
+        recorder = TraceRecorder()
+        engine = ASeqEngine(query, trace=recorder)
+        events = events_of(
+            ("A", 1), ("N", 2), ("A", 3), ("C", 4), ("X", 5)
+        )
+        for event in events:
+            engine.process(event)
+        stages = [span.stage for span in recorder.spans()]
+        assert Stage.INGEST in stages
+        assert Stage.RECOUNT_RESET in stages
+        assert Stage.COUNTER_CREATE in stages
+        assert Stage.FILTER_DROP in stages  # the X arrival
+        assert Stage.EMIT in stages  # the C trigger
+        (reset,) = recorder.spans(Stage.RECOUNT_RESET)
+        assert reset.event_type == "N"
+        assert "1 counters" in reset.detail
+
+    def test_expiration_spans_recorded(self):
+        query = parse_query("PATTERN SEQ(A, B) AGG COUNT WITHIN 10 ms")
+        recorder = TraceRecorder()
+        engine = ASeqEngine(query, trace=recorder)
+        for event in events_of(("A", 1), ("B", 2), ("B", 50)):
+            engine.process(event)
+        expire_spans = recorder.spans(Stage.EXPIRE)
+        assert expire_spans
+        assert "1 counters expired" in expire_spans[0].detail
+
+    def test_untraced_engine_records_nothing(self):
+        query = parse_query("PATTERN SEQ(A, B) AGG COUNT WITHIN 10 ms")
+        engine = ASeqEngine(query)
+        for event in events_of(("A", 1), ("B", 2)):
+            engine.process(event)
+        assert len(NULL_TRACER) == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import random_events, replay
+from conftest import random_events
 from repro.core.sem import SemEngine
 from repro.core.vectorized import VectorizedSemEngine
 from repro.errors import QueryError
