@@ -127,6 +127,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="trace ring buffer capacity (default 256)",
     )
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="run under the supervised fault-tolerant engine, "
+        "journaling every event to DIR before dispatch",
+    )
+    resilience.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=0,
+        help="write an engine-wide checkpoint to the journal directory "
+        "every N events (0 disables; requires --journal)",
+    )
+    resilience.add_argument(
+        "--recover",
+        action="store_true",
+        help="recover engine state from the latest checkpoint in the "
+        "--journal directory and replay the journal suffix before "
+        "processing the stream",
+    )
+    resilience.add_argument(
+        "--fsync",
+        choices=("never", "interval", "always"),
+        default="never",
+        help="journal fsync policy (default never; all policies "
+        "survive process crashes, stricter ones survive power loss)",
+    )
+    resilience.add_argument(
+        "--quarantine-after",
+        type=int,
+        metavar="K",
+        default=5,
+        help="quarantine a query after K consecutive executor "
+        "failures (supervised engine only; default 5)",
+    )
     return parser
 
 
@@ -182,6 +219,124 @@ def _build_engine(
     return ASeqEngine(query, registry=registry, trace=trace)
 
 
+def _run_resilient(
+    args: argparse.Namespace,
+    queries: list,
+    events: Iterable[Event],
+    registry: MetricsRegistry,
+    trace: TraceRecorder,
+) -> int:
+    """The ``--journal``/``--recover`` path: supervised engine run."""
+    from repro.engine.sinks import CallbackSink
+    from repro.resilience import (
+        Checkpointer,
+        EventJournal,
+        SupervisedStreamEngine,
+        recover,
+    )
+
+    if args.journal is None:
+        raise SystemExit("--recover requires --journal DIR")
+    if args.engine in ("twostep", "both"):
+        raise SystemExit(
+            "--journal needs checkpointable executors; "
+            "--engine twostep/both is not supported here"
+        )
+    sinks: dict[str, list] = {}
+    if args.emit == "every":
+        printer = CallbackSink(
+            lambda output: print(
+                f"{output.ts}\t{output.query_name}\t{output.value}"
+            )
+        )
+        sinks = {
+            (query.name or f"q{index}"): [printer]
+            for index, query in enumerate(queries)
+        }
+    checkpoint_every = args.checkpoint_every or None
+    if args.recover:
+        engine = recover(
+            args.journal,
+            sinks=sinks,
+            queries=queries,
+            registry=registry,
+            trace=trace,
+            checkpoint_every_events=checkpoint_every,
+            fsync=args.fsync,
+            quarantine_after=args.quarantine_after,
+        )
+        print(
+            f"# recovered: {len(engine.query_names)} queries, "
+            f"{engine.events_replayed} journal events replayed",
+            file=sys.stderr,
+        )
+    else:
+        engine = SupervisedStreamEngine(
+            vectorized=args.engine == "vectorized",
+            registry=registry,
+            trace=trace,
+            quarantine_after=args.quarantine_after,
+        )
+        journal = EventJournal(
+            args.journal, fsync=args.fsync, registry=registry
+        )
+        engine.attach_journal(journal)
+        if checkpoint_every:
+            engine.attach_checkpointer(
+                Checkpointer(
+                    args.journal,
+                    engine,
+                    journal=journal,
+                    every_events=checkpoint_every,
+                    registry=registry,
+                )
+            )
+        for index, query in enumerate(queries):
+            name = query.name or f"q{index}"
+            engine.register(query, *sinks.get(name, ()), name=name)
+
+    started = time.perf_counter()
+    processed = engine.run(events)
+    elapsed = time.perf_counter() - started
+
+    if engine.checkpointer is not None:
+        engine.checkpointer.checkpoint_now()
+    if engine.journal is not None:
+        engine.journal.close()
+
+    if args.emit != "none":
+        for name, value in engine.results().items():
+            print(f"result\t{name}\t{value}")
+    quarantined = engine.quarantined()
+    if quarantined or len(engine.dlq):
+        print(
+            f"# quarantined={quarantined} dead_letters={len(engine.dlq)}",
+            file=sys.stderr,
+        )
+    rate = processed / elapsed if elapsed else 0.0
+    print(
+        f"# {processed:,} events in {elapsed:.2f}s ({rate:,.0f} ev/s), "
+        f"{engine.metrics.outputs:,} outputs (lifetime "
+        f"{engine.metrics.events:,} events)",
+        file=sys.stderr,
+    )
+    if args.metrics_out:
+        write_prometheus(registry, args.metrics_out)
+        write_json_snapshot(
+            registry,
+            args.metrics_out + ".json",
+            run={
+                "events": processed,
+                "elapsed_s": elapsed,
+                "events_per_s": rate,
+            },
+        )
+        print(f"# wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.dump_trace:
+        print(trace.format(), file=sys.stderr)
+    return 0
+
+
 def _stats_line(
     processed: int,
     outputs: int,
@@ -225,6 +380,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         queries = _load_queries(args)
         events = _load_events(args)
+        if args.journal or args.recover:
+            return _run_resilient(args, queries, events, registry, trace)
         engine = _build_engine(args, queries, registry, trace)
 
         cross_check = None

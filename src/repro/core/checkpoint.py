@@ -29,7 +29,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import EngineError
+from repro.errors import CheckpointError
 from repro.core.dpc import DPCEngine
 from repro.core.executor import ASeqEngine
 from repro.core.hpc import HPCEngine
@@ -60,17 +60,24 @@ def restore(
     only as a consistency check, not as an executable artifact).
     """
     if state.get("version") != FORMAT_VERSION:
-        raise EngineError(
+        raise CheckpointError(
             f"unsupported checkpoint version {state.get('version')!r}"
         )
     if state.get("query") != str(query):
-        raise EngineError(
+        raise CheckpointError(
             "checkpoint was taken for a different query:\n"
             f"  checkpoint: {state.get('query')!r}\n"
             f"  supplied  : {str(query)!r}"
         )
     engine = ASeqEngine(query, vectorized=vectorized)
-    _load_runtime(engine.runtime, state["runtime"])
+    try:
+        _load_runtime(engine.runtime, state["runtime"])
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"malformed checkpoint state: {error!r}"
+        ) from error
     return engine
 
 
@@ -110,7 +117,7 @@ def _runtime_state(runtime: Any) -> dict[str, Any]:
                 for key, engine in runtime.partitions()
             ],
         }
-    raise EngineError(
+    raise CheckpointError(
         f"cannot checkpoint runtime of type {type(runtime).__name__}"
     )
 
@@ -173,14 +180,14 @@ def _load_runtime(runtime: Any, state: dict[str, Any]) -> None:
                 group = key[0] if runtime._composite else key
                 runtime._by_group.setdefault(group, []).append(partition)
     else:
-        raise EngineError(
+        raise CheckpointError(
             f"cannot restore into runtime of type {type(runtime).__name__}"
         )
 
 
 def _expect(kind: Any, wanted: str) -> None:
     if kind != wanted:
-        raise EngineError(
+        raise CheckpointError(
             f"checkpoint kind {kind!r} does not match the compiled "
             f"runtime ({wanted!r}); was the query or the vectorized flag "
             f"changed?"

@@ -56,3 +56,23 @@ class PlanError(ReproError):
 
 class EngineError(ReproError):
     """The streaming engine was used incorrectly (e.g. duplicate query id)."""
+
+
+class CheckpointError(EngineError):
+    """A checkpoint could not be taken, parsed, or restored.
+
+    Raised for unsupported runtimes, format-version mismatches,
+    query-text mismatches, and structurally invalid state documents.
+    Recovery code catches exactly this class to fall back to an older
+    checkpoint (it still is an :class:`EngineError`, so pre-existing
+    callers keep working).
+    """
+
+
+class JournalError(ReproError):
+    """The event journal is corrupt beyond the tolerated torn tail."""
+
+
+class OverloadError(EngineError):
+    """A bounded queue (dead-letter queue, journal backlog) overflowed
+    under the ``raise`` overload policy."""

@@ -28,6 +28,7 @@ from typing import Iterable, Iterator
 
 from repro.errors import OutOfOrderError
 from repro.events.event import Event
+from repro.obs.registry import MetricsRegistry, resolve_registry
 
 
 class ReorderBuffer:
@@ -40,9 +41,17 @@ class ReorderBuffer:
         at most ``slack_ms`` of stream time after a later-stamped one.
     drop_late:
         Discard events that violate the slack instead of raising.
+    registry:
+        Optional metrics registry; late drops are exported as
+        ``late_events_dropped_total`` so silent loss stays visible.
     """
 
-    def __init__(self, slack_ms: int, drop_late: bool = False):
+    def __init__(
+        self,
+        slack_ms: int,
+        drop_late: bool = False,
+        registry: MetricsRegistry | None = None,
+    ):
         if slack_ms < 0:
             raise ValueError("slack must be non-negative")
         self._slack_ms = slack_ms
@@ -52,6 +61,10 @@ class ReorderBuffer:
         self._watermark = float("-inf")
         self._released_ts = float("-inf")
         self.events_dropped = 0
+        self._m_dropped = resolve_registry(registry).counter(
+            "late_events_dropped_total",
+            "events discarded for arriving beyond the reorder slack",
+        )
 
     @property
     def pending(self) -> int:
@@ -68,6 +81,7 @@ class ReorderBuffer:
         if event.ts < self._released_ts:
             if self._drop_late:
                 self.events_dropped += 1
+                self._m_dropped.inc()
                 return []
             raise OutOfOrderError(int(self._released_ts), event.ts)
         self._serial += 1
@@ -91,10 +105,13 @@ class ReorderBuffer:
 
 
 def reordered(
-    events: Iterable[Event], slack_ms: int, drop_late: bool = False
+    events: Iterable[Event],
+    slack_ms: int,
+    drop_late: bool = False,
+    registry: MetricsRegistry | None = None,
 ) -> Iterator[Event]:
     """Wrap an event iterable, yielding it in restored timestamp order."""
-    buffer = ReorderBuffer(slack_ms, drop_late=drop_late)
+    buffer = ReorderBuffer(slack_ms, drop_late=drop_late, registry=registry)
     for event in events:
         yield from buffer.push(event)
     yield from buffer.flush()

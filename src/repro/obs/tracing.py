@@ -34,10 +34,16 @@ class Stage:
     SNAPSHOT = "snapshot"
     PARTITION_CREATE = "partition_create"
     EMIT = "emit"
+    JOURNAL = "journal"
+    CHECKPOINT = "checkpoint"
+    RECOVER = "recover"
+    DEAD_LETTER = "dead_letter"
+    QUARANTINE = "quarantine"
 
     ALL = (
         INGEST, FILTER_DROP, COUNTER_CREATE, COUNTER_UPDATE,
         RECOUNT_RESET, EXPIRE, SNAPSHOT, PARTITION_CREATE, EMIT,
+        JOURNAL, CHECKPOINT, RECOVER, DEAD_LETTER, QUARANTINE,
     )
 
 

@@ -1,0 +1,67 @@
+"""Fault-tolerant supervised runtime around the stream engine.
+
+The paper's central property — all of A-Seq's state is a handful of
+prefix counters — makes durability nearly free, and this package
+spends that windfall: an append-only event journal
+(:mod:`~repro.resilience.journal`), engine-wide atomic checkpoints
+(:mod:`~repro.resilience.checkpointer`), crash recovery by
+checkpoint-plus-replay (:mod:`~repro.resilience.recovery`),
+per-registration failure isolation with a dead-letter queue and
+quarantine (:mod:`~repro.resilience.supervisor`), and the seeded fault
+injection the chaos tests drive it all with
+(:mod:`~repro.resilience.faults`).
+"""
+
+from repro.resilience.checkpointer import (
+    Checkpointer,
+    engine_state,
+    list_checkpoints,
+    load_checkpoint,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.resilience.faults import (
+    BurstySink,
+    FaultPlan,
+    FaultyExecutor,
+    InjectedFault,
+    corrupt_checkpoint,
+    corrupt_latest_checkpoint,
+    fault_seed,
+    tear_journal_tail,
+)
+from repro.resilience.journal import (
+    EventJournal,
+    list_segments,
+    read_journal,
+)
+from repro.resilience.recovery import recover
+from repro.resilience.supervisor import (
+    DeadLetter,
+    DeadLetterQueue,
+    SupervisedStreamEngine,
+)
+
+__all__ = [
+    "BurstySink",
+    "Checkpointer",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "EventJournal",
+    "FaultPlan",
+    "FaultyExecutor",
+    "InjectedFault",
+    "SupervisedStreamEngine",
+    "corrupt_checkpoint",
+    "corrupt_latest_checkpoint",
+    "engine_state",
+    "fault_seed",
+    "list_checkpoints",
+    "list_segments",
+    "load_checkpoint",
+    "load_latest_checkpoint",
+    "read_journal",
+    "recover",
+    "tear_journal_tail",
+    "write_checkpoint",
+]

@@ -1,0 +1,335 @@
+"""Append-only event journal (write-ahead log) for crash recovery.
+
+The journal is the durability half of the recovery story: every event
+is appended *before* it is dispatched to any executor, so after a crash
+the engine state can be rebuilt as ``latest checkpoint + replay of the
+journal suffix``. Because A-Seq checkpoints are tiny (a handful of
+counters, see :mod:`repro.core.checkpoint`), the journal only ever
+needs to cover the short gap since the last checkpoint — but it is
+written unconditionally so *any* crash point is recoverable.
+
+Format: JSON-lines segments. Each record is one line::
+
+    <crc32-of-payload, 8 hex chars> <payload JSON>\\n
+
+with the payload carrying the journal sequence number and the full
+event (``{"seq": 17, "type": "DELL", "ts": 421, "attrs": {...}}``).
+Segments rotate at a byte threshold and are named by the sequence
+number of their first record (``journal-000000000000.wal``), so a
+reader replaying from offset *n* can skip whole segments without
+parsing them.
+
+Torn writes: a crash mid-append leaves a partial or CRC-failing final
+line in the *last* segment. The reader tolerates exactly that — it
+stops cleanly at the first bad record of the last segment. A bad
+record anywhere else is real corruption and raises
+:class:`~repro.errors.JournalError`.
+
+Durability policy (``fsync``): ``"never"`` leaves flushing to the OS
+(fastest, loses the tail on power failure), ``"interval"`` fsyncs every
+``fsync_interval`` appends, ``"always"`` fsyncs per record (slowest,
+loses nothing). All three survive a process crash; the policy only
+matters for whole-machine failures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import JournalError
+from repro.events.event import Event
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
+SEGMENT_PREFIX = "journal-"
+SEGMENT_SUFFIX = ".wal"
+FSYNC_POLICIES = ("never", "interval", "always")
+
+_SEPARATORS = (",", ":")
+# json.dumps(..., separators=...) constructs a fresh JSONEncoder per
+# call; the journal encodes one record per event, so reuse one.
+_encode_json = json.JSONEncoder(separators=_SEPARATORS).encode
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{first_seq:012d}{SEGMENT_SUFFIX}"
+
+
+def _segment_first_seq(path: Path) -> int:
+    stem = path.name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError as error:
+        raise JournalError(f"malformed segment name {path.name!r}") from error
+
+
+def list_segments(directory: str | Path) -> list[Path]:
+    """Journal segments in ``directory``, ordered by first sequence."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    segments = [
+        path
+        for path in directory.iterdir()
+        if path.name.startswith(SEGMENT_PREFIX)
+        and path.name.endswith(SEGMENT_SUFFIX)
+    ]
+    return sorted(segments, key=_segment_first_seq)
+
+
+def encode_record_bytes(seq: int, event: Event) -> bytes:
+    """Render one journal line (CRC prefix + JSON payload) as bytes."""
+    payload: dict = {"seq": seq, "type": event.event_type, "ts": event.ts}
+    if event.attrs:
+        payload["attrs"] = event.attrs
+    data = _encode_json(payload).encode("utf-8")
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return b"%08x %s\n" % (crc, data)
+
+
+def encode_record(seq: int, event: Event) -> str:
+    """Render one journal line (CRC prefix + JSON payload)."""
+    return encode_record_bytes(seq, event).decode("utf-8")
+
+
+def decode_record(line: str) -> tuple[int, Event]:
+    """Parse and CRC-check one journal line; raises JournalError."""
+    if len(line) < 10 or line[8] != " ":
+        raise JournalError(f"malformed journal record: {line[:40]!r}")
+    text = line[9:].rstrip("\n")
+    try:
+        stored_crc = int(line[:8], 16)
+    except ValueError as error:
+        raise JournalError(
+            f"malformed CRC prefix: {line[:8]!r}"
+        ) from error
+    if zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF != stored_crc:
+        raise JournalError("journal record failed its CRC check")
+    try:
+        payload = json.loads(text)
+        seq = payload["seq"]
+        event = Event(payload["type"], payload["ts"], payload.get("attrs"))
+    except (ValueError, KeyError, TypeError) as error:
+        raise JournalError(
+            f"journal record payload is invalid: {error!r}"
+        ) from error
+    return seq, event
+
+
+class EventJournal:
+    """Append-only, segment-rotating journal writer.
+
+    Opening a directory that already holds segments continues from
+    the next sequence number after the last *valid* record (a torn
+    final record is dropped and overwritten by position — the writer
+    truncates it away so the new tail is clean).
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.
+    segment_bytes:
+        Rotate to a fresh segment once the current one reaches this
+        size (checked before each append).
+    fsync:
+        ``"never"`` / ``"interval"`` / ``"always"`` — see module doc.
+    fsync_interval:
+        Appends between fsyncs under the ``"interval"`` policy.
+    registry:
+        Optional obs registry (``journal_records_total``,
+        ``journal_bytes_total``, ``journal_fsyncs_total``,
+        ``journal_backlog_bytes`` gauge).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_bytes: int = 4 * 1024 * 1024,
+        fsync: str = "never",
+        fsync_interval: int = 256,
+        registry: MetricsRegistry | None = None,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        if fsync_interval <= 0:
+            raise ValueError("fsync_interval must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._segment_bytes = segment_bytes
+        self._fsync = fsync
+        self._fsync_interval = fsync_interval
+        self._since_fsync = 0
+        registry = resolve_registry(registry)
+        self._m_records = registry.counter(
+            "journal_records_total", "events appended to the journal"
+        )
+        self._m_bytes = registry.counter(
+            "journal_bytes_total", "bytes appended to the journal"
+        )
+        self._m_fsyncs = registry.counter(
+            "journal_fsyncs_total", "fsync calls issued by the journal"
+        )
+        self._g_backlog = registry.gauge(
+            "journal_backlog_bytes",
+            "bytes appended since the last fsync (durability backlog)",
+        )
+        self._handle = None
+        self._segment_path: Path | None = None
+        self._segment_size = 0
+        self.backlog_bytes = 0
+        self.next_seq = 0
+        self._resume()
+
+    # ----- opening ---------------------------------------------------------
+
+    def _resume(self) -> None:
+        segments = list_segments(self.directory)
+        if not segments:
+            self._open_segment(0)
+            return
+        last = segments[-1]
+        # Find the byte offset of the end of the last valid record so a
+        # torn tail from a previous crash is truncated, not appended to.
+        valid_end = 0
+        last_seq = _segment_first_seq(last) - 1
+        with open(last, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # torn: partial final line
+                try:
+                    seq, _ = decode_record(raw.decode("utf-8"))
+                except (JournalError, UnicodeDecodeError):
+                    break  # torn: CRC-failing final line
+                last_seq = seq
+                valid_end += len(raw)
+        if valid_end < last.stat().st_size:
+            with open(last, "r+b") as handle:
+                handle.truncate(valid_end)
+        self.next_seq = last_seq + 1
+        self._segment_path = last
+        self._segment_size = valid_end
+        self._handle = open(last, "ab", buffering=0)
+
+    def _open_segment(self, first_seq: int) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        self._segment_path = self.directory / _segment_name(first_seq)
+        self._handle = open(self._segment_path, "ab", buffering=0)
+        self._segment_size = 0
+        self.next_seq = first_seq
+
+    # ----- appending -------------------------------------------------------
+
+    def append(self, event: Event) -> int:
+        """Durably record one event; returns its journal sequence."""
+        if self._handle is None:
+            raise JournalError("journal is closed")
+        if self._segment_size >= self._segment_bytes:
+            self._open_segment(self.next_seq)
+        seq = self.next_seq
+        line = encode_record_bytes(seq, event)
+        # Unbuffered binary handle: one write() syscall pushes the
+        # record to the OS, so a process crash never loses a flushed
+        # append (fsync policy only matters for machine failures).
+        self._handle.write(line)
+        size = len(line)
+        self._segment_size += size
+        self.backlog_bytes += size
+        self.next_seq = seq + 1
+        self._m_records.inc()
+        self._m_bytes.inc(size)
+        if self._fsync == "always":
+            self.sync()
+        elif self._fsync == "interval":
+            self._since_fsync += 1
+            if self._since_fsync >= self._fsync_interval:
+                self.sync()
+        else:
+            self._g_backlog.set(self.backlog_bytes)
+        return seq
+
+    def sync(self) -> None:
+        """Flush buffered records and fsync the current segment."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._since_fsync = 0
+        self.backlog_bytes = 0
+        self._m_fsyncs.inc()
+        self._g_backlog.set(0)
+
+    def flush(self) -> None:
+        """Flush to the OS without forcing the disk write."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(
+    directory: str | Path, start_seq: int = 0
+) -> Iterator[tuple[int, Event]]:
+    """Replay journal records with ``seq >= start_seq``, in order.
+
+    Tolerates a torn final record (partial line or failing CRC) in the
+    *last* segment only; corruption anywhere else raises
+    :class:`~repro.errors.JournalError`. Sequence gaps or regressions
+    also raise — they mean a segment went missing.
+    """
+    segments = list_segments(directory)
+    # Skip whole segments that end before start_seq: a segment can be
+    # skipped when the *next* segment starts at or below start_seq.
+    keep: list[Path] = []
+    for index, segment in enumerate(segments):
+        next_first = (
+            _segment_first_seq(segments[index + 1])
+            if index + 1 < len(segments)
+            else None
+        )
+        if next_first is not None and next_first <= start_seq:
+            continue
+        keep.append(segment)
+    expected = None
+    for index, segment in enumerate(keep):
+        is_last = index == len(keep) - 1
+        with open(segment, "rb") as handle:
+            for raw in handle:
+                torn = not raw.endswith(b"\n")
+                if not torn:
+                    try:
+                        seq, event = decode_record(raw.decode("utf-8"))
+                    except (JournalError, UnicodeDecodeError):
+                        torn = True
+                if torn:
+                    if is_last:
+                        return  # tolerated torn tail
+                    raise JournalError(
+                        f"corrupt record in non-final segment "
+                        f"{segment.name}"
+                    )
+                if expected is not None and seq != expected:
+                    raise JournalError(
+                        f"journal sequence jumped from {expected - 1} "
+                        f"to {seq} in {segment.name}"
+                    )
+                expected = seq + 1
+                if seq >= start_seq:
+                    yield seq, event

@@ -1,0 +1,433 @@
+"""Supervised stream engine: failure isolation one level above sinks.
+
+PR 1 made a raising *sink* non-fatal; this module does the same for a
+raising *executor*. A :class:`SupervisedStreamEngine` wraps the event
+loop so that:
+
+* every ingested event is appended to the journal (when attached)
+  *before* any executor sees it — the WAL discipline recovery depends
+  on;
+* an executor that raises gets that event routed to a bounded
+  :class:`DeadLetterQueue` (event + exception + registration name)
+  while every other registration still receives it;
+* after ``quarantine_after`` *consecutive* failures a registration is
+  quarantined — skipped entirely — so a poison query cannot drag the
+  loop's throughput down with per-event exception handling; healthy
+  queries keep streaming;
+* a quarantined registration can be restarted manually
+  (:meth:`restart`), restored from the last engine checkpoint
+  (:meth:`restart_from_checkpoint`), or automatically retried with
+  doubling backoff (``auto_restart_events``);
+* when the DLQ is full, the ``overload_policy`` decides:
+  ``"shed_oldest"`` drops the oldest dead letter, ``"raise"`` raises
+  :class:`~repro.errors.OverloadError`, and ``"block"`` invokes a
+  user-supplied ``on_full`` drain hook (raising if the hook does not
+  make room — in a synchronous loop there is nobody else to wait for);
+* a journal durability backlog above ``max_journal_backlog_bytes``
+  forces an fsync, bounding how much a power failure can lose
+  regardless of the fsync policy.
+
+All of it is observable: ``executor_failures_total`` (per query),
+``dead_letters_total``, ``dlq_depth`` / ``dlq_shed_total``,
+``quarantines_total`` and the ``quarantined_queries`` gauge.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import EngineError, OverloadError
+from repro.engine.engine import StreamEngine
+from repro.engine.sinks import Output, ResultSink
+from repro.events.event import Event
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.tracing import Stage, TraceRecorder
+from repro.resilience.checkpointer import Checkpointer
+from repro.resilience.journal import EventJournal
+
+OVERLOAD_POLICIES = ("shed_oldest", "block", "raise")
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One event an executor failed on."""
+
+    query_name: str
+    event: Event
+    error: BaseException
+    journal_seq: int = -1
+
+
+class DeadLetterQueue:
+    """Bounded FIFO of :class:`DeadLetter` records.
+
+    ``policy`` governs what happens when a push finds the queue full —
+    see the module docstring. ``on_full`` is only consulted under
+    ``"block"``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        policy: str = "shed_oldest",
+        on_full: Callable[["DeadLetterQueue"], None] | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("DLQ capacity must be positive")
+        if policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"policy must be one of {OVERLOAD_POLICIES}, got {policy!r}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._on_full = on_full
+        self._letters: deque[DeadLetter] = deque()
+        self.shed = 0
+        registry = resolve_registry(registry)
+        self._m_letters = registry.counter(
+            "dead_letters_total", "events routed to the dead-letter queue"
+        )
+        self._m_shed = registry.counter(
+            "dlq_shed_total", "dead letters dropped by the overload policy"
+        )
+        self._g_depth = registry.gauge(
+            "dlq_depth", "dead letters currently queued"
+        )
+
+    def push(self, letter: DeadLetter) -> None:
+        if len(self._letters) >= self.capacity:
+            if self.policy == "shed_oldest":
+                self._letters.popleft()
+                self.shed += 1
+                self._m_shed.inc()
+            elif self.policy == "block":
+                if self._on_full is not None:
+                    self._on_full(self)
+                if len(self._letters) >= self.capacity:
+                    raise OverloadError(
+                        f"dead-letter queue full ({self.capacity}) and "
+                        f"the on_full hook did not drain it"
+                    )
+            else:  # raise
+                raise OverloadError(
+                    f"dead-letter queue full ({self.capacity})"
+                )
+        self._letters.append(letter)
+        self._m_letters.inc()
+        self._g_depth.set(len(self._letters))
+
+    def drain(self) -> list[DeadLetter]:
+        """Remove and return everything queued."""
+        letters = list(self._letters)
+        self._letters.clear()
+        self._g_depth.set(0)
+        return letters
+
+    def peek(self) -> DeadLetter | None:
+        return self._letters[0] if self._letters else None
+
+    def __len__(self) -> int:
+        return len(self._letters)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._letters)
+
+
+@dataclass
+class _Health:
+    """Per-registration failure-tracking state."""
+
+    consecutive_failures: int = 0
+    failures_total: int = 0
+    quarantined: bool = False
+    quarantined_at_event: int = 0
+    retry_at_event: int | None = None
+    backoff_events: int = 0
+    m_failures: Any = field(default=None, repr=False)
+
+
+class SupervisedStreamEngine(StreamEngine):
+    """A :class:`StreamEngine` with durability and failure isolation.
+
+    Drop-in: construct with the same arguments plus the resilience
+    knobs, or attach a journal/checkpointer later via
+    :meth:`attach_journal` / :meth:`attach_checkpointer` (recovery does
+    exactly that, so replayed events are not re-journaled).
+    """
+
+    def __init__(
+        self,
+        vectorized: bool = False,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+        journal: EventJournal | None = None,
+        checkpointer: Checkpointer | None = None,
+        dlq: DeadLetterQueue | None = None,
+        dlq_capacity: int = 1024,
+        overload_policy: str = "shed_oldest",
+        quarantine_after: int = 5,
+        auto_restart_events: int | None = None,
+        max_journal_backlog_bytes: int | None = None,
+    ):
+        super().__init__(vectorized=vectorized, registry=registry, trace=trace)
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be at least 1")
+        if auto_restart_events is not None and auto_restart_events < 1:
+            raise ValueError("auto_restart_events must be at least 1")
+        self._journal = journal
+        self._checkpointer = checkpointer
+        self.dlq = dlq if dlq is not None else DeadLetterQueue(
+            capacity=dlq_capacity,
+            policy=overload_policy,
+            registry=self.obs_registry,
+        )
+        self._quarantine_after = quarantine_after
+        self._auto_restart_events = auto_restart_events
+        self._max_backlog = max_journal_backlog_bytes
+        self._health: dict[str, _Health] = {}
+        # Hot-path cache: (registration, health) pairs so the event loop
+        # does no per-event dict lookups. Rebuilt on (de)registration.
+        self._dispatch: list[tuple[Any, _Health]] = []
+        self.events_replayed = 0
+        obs = self.obs_registry
+        self._g_quarantined = obs.gauge(
+            "quarantined_queries", "registrations currently quarantined"
+        )
+        self._m_quarantines = obs.counter(
+            "quarantines_total", "registrations put into quarantine"
+        )
+
+    # ----- wiring ----------------------------------------------------------
+
+    def attach_journal(self, journal: EventJournal) -> None:
+        self._journal = journal
+
+    def attach_checkpointer(self, checkpointer: Checkpointer) -> None:
+        self._checkpointer = checkpointer
+
+    @property
+    def journal(self) -> EventJournal | None:
+        return self._journal
+
+    @property
+    def checkpointer(self) -> Checkpointer | None:
+        return self._checkpointer
+
+    def register_executor(
+        self, name: str, executor: Any, *sinks: ResultSink
+    ) -> None:
+        super().register_executor(name, executor, *sinks)
+        self._health[name] = _Health(
+            m_failures=self.obs_registry.counter(
+                "executor_failures_total",
+                "executor process() calls that raised",
+                query=name,
+            )
+        )
+        self._rebuild_dispatch()
+
+    def deregister(self, name: str) -> None:
+        super().deregister(name)
+        health = self._health.pop(name, None)
+        if health is not None and health.quarantined:
+            self._g_quarantined.dec()
+        self._rebuild_dispatch()
+
+    def _rebuild_dispatch(self) -> None:
+        self._dispatch = [
+            (registration, self._health[name])
+            for name, registration in self._registrations.items()
+        ]
+
+    # ----- event loop ------------------------------------------------------
+
+    def process(self, event: Event) -> None:
+        """Journal, then dispatch with per-registration isolation."""
+        journal = self._journal
+        journal_seq = -1
+        if journal is not None:
+            journal_seq = journal.append(event)
+            if (
+                self._max_backlog is not None
+                and journal.backlog_bytes > self._max_backlog
+            ):
+                journal.sync()
+            if self._trace_on:
+                self._trace.record(
+                    Stage.JOURNAL, event.ts, event.event_type,
+                    f"seq={journal_seq}",
+                )
+        obs_on = self._obs_on
+        if obs_on:
+            started = time.perf_counter()
+            self._m_events.inc()
+        self.metrics.events += 1
+        events_seen = self.metrics.events
+        for registration, health in self._dispatch:
+            if health.quarantined:
+                if (
+                    health.retry_at_event is not None
+                    and events_seen >= health.retry_at_event
+                ):
+                    self._auto_restart(registration.name, health)
+                else:
+                    continue
+            if obs_on:
+                registration.m_events.inc()
+            try:
+                fresh = registration.executor.process(event)
+            except Exception as error:
+                self._note_failure(
+                    registration.name, health, event, error, journal_seq
+                )
+                continue
+            if health.consecutive_failures:
+                health.consecutive_failures = 0
+            if fresh is None:
+                continue
+            self.metrics.outputs += 1
+            if obs_on:
+                self._m_outputs.inc()
+                registration.m_outputs.inc()
+            if self._trace_on:
+                self._trace.record(
+                    Stage.EMIT, event.ts, event.event_type,
+                    f"query={registration.name} value={fresh!r}",
+                )
+            if registration.sinks:
+                output = Output(registration.name, event.ts, fresh)
+                for sink in registration.sinks:
+                    try:
+                        sink.emit(output)
+                    except Exception:
+                        self.metrics.sink_errors += 1
+                        self._m_sink_errors.inc()
+        if obs_on:
+            self._m_latency.observe((time.perf_counter() - started) * 1e6)
+        if self._checkpointer is not None:
+            self._checkpointer.maybe_checkpoint()
+
+    # ----- failure handling ------------------------------------------------
+
+    def _note_failure(
+        self,
+        name: str,
+        health: _Health,
+        event: Event,
+        error: BaseException,
+        journal_seq: int,
+    ) -> None:
+        health.consecutive_failures += 1
+        health.failures_total += 1
+        health.m_failures.inc()
+        self.dlq.push(DeadLetter(name, event, error, journal_seq))
+        if self._trace_on:
+            self._trace.record(
+                Stage.DEAD_LETTER, event.ts, event.event_type,
+                f"query={name} error={type(error).__name__}",
+            )
+        if (
+            not health.quarantined
+            and health.consecutive_failures >= self._quarantine_after
+        ):
+            health.quarantined = True
+            health.quarantined_at_event = self.metrics.events
+            if self._auto_restart_events is not None:
+                health.backoff_events = (
+                    health.backoff_events * 2
+                    if health.backoff_events
+                    else self._auto_restart_events
+                )
+                health.retry_at_event = (
+                    self.metrics.events + health.backoff_events
+                )
+            self._g_quarantined.inc()
+            self._m_quarantines.inc()
+            if self._trace_on:
+                self._trace.record(
+                    Stage.QUARANTINE, event.ts, event.event_type,
+                    f"query={name} after "
+                    f"{health.consecutive_failures} failures",
+                )
+
+    def _auto_restart(self, name: str, health: _Health) -> None:
+        """Backoff expired: give the registration another chance."""
+        try:
+            self.restart_from_checkpoint(name)
+        except EngineError:
+            self.restart(name)
+
+    # ----- quarantine management -------------------------------------------
+
+    def quarantined(self) -> list[str]:
+        """Names of the registrations currently quarantined."""
+        return [
+            name
+            for name, health in self._health.items()
+            if health.quarantined
+        ]
+
+    def health_of(self, name: str) -> dict[str, Any]:
+        """Failure-tracking snapshot for one registration."""
+        health = self._health.get(name)
+        if health is None:
+            raise EngineError(f"unknown query {name!r}")
+        return {
+            "quarantined": health.quarantined,
+            "consecutive_failures": health.consecutive_failures,
+            "failures_total": health.failures_total,
+            "retry_at_event": health.retry_at_event,
+        }
+
+    def restart(self, name: str) -> None:
+        """Lift quarantine, keeping the executor's current state."""
+        health = self._health.get(name)
+        if health is None:
+            raise EngineError(f"unknown query {name!r}")
+        if health.quarantined:
+            health.quarantined = False
+            self._g_quarantined.dec()
+        health.consecutive_failures = 0
+        health.retry_at_event = None
+
+    def restart_from_checkpoint(self, name: str) -> None:
+        """Lift quarantine and restore the executor from the newest
+        engine checkpoint (its state as of that checkpoint; events since
+        are lost to this registration unless the caller replays them).
+        """
+        from repro.core.checkpoint import restore as executor_restore
+        from repro.errors import CheckpointError
+        from repro.resilience.checkpointer import load_latest_checkpoint
+
+        if self._checkpointer is None:
+            raise EngineError(
+                "no checkpointer attached; use restart() instead"
+            )
+        registration = self._registrations.get(name)
+        if registration is None:
+            raise EngineError(f"unknown query {name!r}")
+        state, _ = load_latest_checkpoint(self._checkpointer.directory)
+        if state is None:
+            raise CheckpointError("no loadable engine checkpoint found")
+        entry = next(
+            (
+                item
+                for item in state["registrations"]
+                if item["name"] == name
+            ),
+            None,
+        )
+        if entry is None:
+            raise CheckpointError(
+                f"checkpoint holds no registration named {name!r}"
+            )
+        registration.executor = executor_restore(
+            registration.executor.query,
+            entry["state"],
+            vectorized=bool(entry.get("vectorized", False)),
+        )
+        self.restart(name)

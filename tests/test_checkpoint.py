@@ -8,7 +8,7 @@ import pytest
 from conftest import random_events
 from repro.core.checkpoint import checkpoint, restore
 from repro.core.executor import ASeqEngine
-from repro.errors import EngineError
+from repro.errors import CheckpointError
 from repro.events import Event
 from repro.query import seq
 
@@ -75,7 +75,7 @@ def test_restore_rejects_other_query():
     query = seq("A", "B").count().within(ms=10).build()
     other = seq("A", "C").count().within(ms=10).build()
     state = checkpoint(ASeqEngine(query))
-    with pytest.raises(EngineError):
+    with pytest.raises(CheckpointError):
         restore(other, state)
 
 
@@ -83,14 +83,14 @@ def test_restore_rejects_bad_version():
     query = seq("A", "B").count().build()
     state = checkpoint(ASeqEngine(query))
     state["version"] = 99
-    with pytest.raises(EngineError):
+    with pytest.raises(CheckpointError):
         restore(query, state)
 
 
 def test_restore_rejects_runtime_mismatch():
     query = seq("A", "B").count().within(ms=10).build()
     state = checkpoint(ASeqEngine(query))
-    with pytest.raises(EngineError):
+    with pytest.raises(CheckpointError):
         restore(query, state, vectorized=True)
 
 

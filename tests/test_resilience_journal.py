@@ -1,0 +1,173 @@
+"""Event journal: append/replay, CRC, rotation, torn-tail tolerance."""
+
+import pytest
+
+from repro.errors import JournalError
+from repro.events import Event
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.faults import FaultPlan, tear_journal_tail
+from repro.resilience.journal import (
+    EventJournal,
+    decode_record,
+    encode_record,
+    list_segments,
+    read_journal,
+)
+
+
+def some_events(n, with_attrs=True):
+    return [
+        Event(
+            "ABC"[i % 3],
+            i + 1,
+            {"id": i % 4, "w": float(i)} if with_attrs and i % 2 else None,
+        )
+        for i in range(n)
+    ]
+
+
+def test_append_then_read_round_trips_events(tmp_path):
+    events = some_events(50)
+    with EventJournal(tmp_path) as journal:
+        for event in events:
+            journal.append(event)
+    replayed = [event for _, event in read_journal(tmp_path)]
+    assert replayed == events
+    assert [seq for seq, _ in read_journal(tmp_path)] == list(range(50))
+
+
+def test_read_from_offset_skips_prefix(tmp_path):
+    events = some_events(30)
+    with EventJournal(tmp_path) as journal:
+        for event in events:
+            journal.append(event)
+    suffix = [event for _, event in read_journal(tmp_path, start_seq=21)]
+    assert suffix == events[21:]
+
+
+def test_segments_rotate_and_replay_in_order(tmp_path):
+    events = some_events(200)
+    with EventJournal(tmp_path, segment_bytes=512) as journal:
+        for event in events:
+            journal.append(event)
+    segments = list_segments(tmp_path)
+    assert len(segments) > 3
+    assert [event for _, event in read_journal(tmp_path)] == events
+    # offset replay can start inside a late segment
+    assert [
+        event for _, event in read_journal(tmp_path, start_seq=150)
+    ] == events[150:]
+
+
+def test_reopen_continues_sequence(tmp_path):
+    with EventJournal(tmp_path) as journal:
+        for event in some_events(10):
+            journal.append(event)
+    with EventJournal(tmp_path) as journal:
+        assert journal.next_seq == 10
+        journal.append(Event("X", 99))
+    seqs = [seq for seq, _ in read_journal(tmp_path)]
+    assert seqs == list(range(11))
+
+
+def test_torn_tail_is_tolerated_by_reader(tmp_path):
+    events = some_events(40)
+    with EventJournal(tmp_path) as journal:
+        for event in events:
+            journal.append(event)
+    dropped = tear_journal_tail(tmp_path, drop_bytes=7)
+    assert dropped == 7
+    replayed = [event for _, event in read_journal(tmp_path)]
+    assert replayed == events[:39]  # only the final record is lost
+
+
+def test_torn_tail_is_truncated_on_reopen(tmp_path):
+    events = some_events(20)
+    with EventJournal(tmp_path) as journal:
+        for event in events:
+            journal.append(event)
+    tear_journal_tail(tmp_path, drop_bytes=3)
+    with EventJournal(tmp_path) as journal:
+        assert journal.next_seq == 19  # torn record 19 was discarded
+        journal.append(Event("Z", 1000))
+    replayed = [event for _, event in read_journal(tmp_path)]
+    assert replayed[:-1] == events[:19]
+    assert replayed[-1].event_type == "Z"
+
+
+def test_mid_stream_corruption_raises(tmp_path):
+    with EventJournal(tmp_path, segment_bytes=256) as journal:
+        for event in some_events(120):
+            journal.append(event)
+    segments = list_segments(tmp_path)
+    assert len(segments) >= 2
+    victim = segments[0]
+    data = bytearray(victim.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    victim.write_bytes(bytes(data))
+    with pytest.raises(JournalError):
+        list(read_journal(tmp_path))
+
+
+def test_missing_segment_raises_sequence_gap(tmp_path):
+    with EventJournal(tmp_path, segment_bytes=256) as journal:
+        for event in some_events(120):
+            journal.append(event)
+    segments = list_segments(tmp_path)
+    assert len(segments) >= 3
+    segments[1].unlink()
+    with pytest.raises(JournalError):
+        list(read_journal(tmp_path))
+
+
+def test_crc_rejects_bit_flip():
+    line = encode_record(7, Event("A", 3, {"x": 1}))
+    flipped = line.replace('"x":1', '"x":2')
+    with pytest.raises(JournalError):
+        decode_record(flipped)
+    assert decode_record(line)[0] == 7
+
+
+@pytest.mark.parametrize("fsync", ["never", "interval", "always"])
+def test_fsync_policies_all_persist(tmp_path, fsync):
+    events = some_events(25)
+    journal = EventJournal(
+        tmp_path, fsync=fsync, fsync_interval=8
+    )
+    for event in events:
+        journal.append(event)
+    # no close(): a process crash must still find every record, since
+    # segments are line-buffered (flushed to the OS per append)
+    assert [event for _, event in read_journal(tmp_path)] == events
+    journal.close()
+
+
+def test_bad_fsync_policy_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        EventJournal(tmp_path, fsync="sometimes")
+
+
+def test_metrics_exported(tmp_path):
+    registry = MetricsRegistry()
+    with EventJournal(
+        tmp_path, fsync="interval", fsync_interval=4, registry=registry
+    ) as journal:
+        for event in some_events(10):
+            journal.append(event)
+    assert registry.value("journal_records_total") == 10
+    assert registry.value("journal_bytes_total") > 0
+    assert registry.value("journal_fsyncs_total") == 2
+
+
+def test_seeded_tear_is_deterministic(tmp_path):
+    events = some_events(30)
+    with EventJournal(tmp_path) as journal:
+        for event in events:
+            journal.append(event)
+    before = list_segments(tmp_path)[-1].read_bytes()
+
+    def tear_once():
+        list_segments(tmp_path)[-1].write_bytes(before)
+        return FaultPlan(seed=123).tear_journal(tmp_path)
+
+    assert tear_once() == tear_once()

@@ -1,0 +1,251 @@
+"""Kill-and-recover differential tests: crash at event *i*, recover,
+finish — final aggregates must equal an uninterrupted oracle run.
+
+The crash points and corruption sites are drawn from a seeded
+:class:`FaultPlan`; the ``chaos`` CI job re-runs this file under
+``REPRO_FAULT_SEED=0,1,2``.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.sinks import CollectSink
+from repro.errors import CheckpointError
+from repro.events import Event
+from repro.obs.registry import MetricsRegistry
+from repro.query import seq
+from repro.resilience import (
+    Checkpointer,
+    EventJournal,
+    FaultPlan,
+    SupervisedStreamEngine,
+    list_checkpoints,
+    recover,
+)
+
+QUERIES = {
+    "dpc": lambda: seq("A", "B", "C").count().named("dpc").build(),
+    "sem": lambda: seq("A", "B", "C").count().within(ms=12)
+    .named("sem").build(),
+    "negation": lambda: seq("A", "!N", "B").count().within(ms=12)
+    .named("negation").build(),
+    "hpc": lambda: seq("A", "B").where_equal("id").count().within(ms=12)
+    .named("hpc").build(),
+    "groupby": lambda: seq("A", "B").group_by("id").count().within(ms=12)
+    .named("groupby").build(),
+    "sum": lambda: seq("A", "B").sum("B", "w").within(ms=12)
+    .named("sum").build(),
+}
+
+
+def random_stream(rng, n=400):
+    events, ts = [], 0
+    for _ in range(n):
+        ts += rng.randint(1, 3)
+        events.append(
+            Event(
+                rng.choice("ABCN"),
+                ts,
+                {"id": rng.randint(1, 3), "w": rng.randint(1, 9)},
+            )
+        )
+    return events
+
+
+def oracle_results(queries, events):
+    oracle = SupervisedStreamEngine()
+    for query in queries:
+        oracle.register(query)
+    for event in events:
+        oracle.process(event)
+    return oracle.results()
+
+
+def crash_run(tmp_path, queries, events, crash, checkpoint_every=23,
+              fsync="never"):
+    """Run to ``crash`` under journal+checkpoints, then drop the engine."""
+    engine = SupervisedStreamEngine()
+    journal = EventJournal(tmp_path, fsync=fsync)
+    engine.attach_journal(journal)
+    engine.attach_checkpointer(
+        Checkpointer(
+            tmp_path, engine, journal=journal,
+            every_events=checkpoint_every,
+        )
+    )
+    for query in queries:
+        engine.register(query)
+    for event in events[:crash]:
+        engine.process(event)
+    # no close(), no final checkpoint: this is the crash
+
+
+@pytest.mark.parametrize("kind", list(QUERIES))
+def test_kill_and_recover_equals_uninterrupted(tmp_path, kind):
+    plan = FaultPlan()
+    rng = random.Random(plan.seed * 7919 + hash(kind) % 1000)
+    queries = [QUERIES[kind]()]
+    events = random_stream(rng)
+    expected = oracle_results(queries, events)
+    crash = plan.crash_point(len(events))
+
+    crash_run(tmp_path, queries, events, crash)
+    recovered = recover(tmp_path, queries=queries)
+    assert recovered.events_replayed >= 0
+    for event in events[crash:]:
+        recovered.process(event)
+    assert recovered.results() == expected
+    assert recovered.metrics.events == len(events)
+
+
+def test_kill_and_recover_multi_query_engine(tmp_path):
+    plan = FaultPlan()
+    rng = random.Random(plan.seed + 41)
+    queries = [make() for make in QUERIES.values()]
+    events = random_stream(rng)
+    expected = oracle_results(queries, events)
+    crash = plan.crash_point(len(events))
+
+    crash_run(tmp_path, queries, events, crash)
+    recovered = recover(tmp_path, queries=queries)
+    for event in events[crash:]:
+        recovered.process(event)
+    assert recovered.results() == expected
+
+
+def test_recover_after_torn_journal_tail(tmp_path):
+    """A crash mid-append loses only the torn record's event."""
+    plan = FaultPlan()
+    rng = random.Random(plan.seed + 97)
+    queries = [QUERIES["sem"]()]
+    events = random_stream(rng, n=200)
+    crash = plan.crash_point(len(events))
+    if crash % 23 == 0:
+        # In a real crash the torn record's event was never dispatched,
+        # so no checkpoint can cover it; this simulation processes the
+        # event *then* tears, so keep the tear ahead of any checkpoint.
+        crash -= 1
+
+    crash_run(tmp_path, queries, events, crash)
+    plan.tear_journal(tmp_path)
+    recovered = recover(tmp_path, queries=queries)
+    # the torn record covered events[crash-1]; re-deliver it with the
+    # rest, which must reproduce the uninterrupted run exactly
+    for event in events[crash - 1:]:
+        recovered.process(event)
+    assert recovered.results() == oracle_results(queries, events)
+
+
+def test_recover_falls_back_over_corrupt_newest_checkpoint(tmp_path):
+    plan = FaultPlan()
+    rng = random.Random(plan.seed + 13)
+    queries = [QUERIES["groupby"](), QUERIES["dpc"]()]
+    events = random_stream(rng)
+    expected = oracle_results(queries, events)
+    crash = plan.crash_point(len(events))
+
+    crash_run(tmp_path, queries, events, crash, checkpoint_every=17)
+    if len(list_checkpoints(tmp_path)) < 2:
+        pytest.skip("crash point too early for two generations")
+    plan.corrupt_latest_checkpoint(tmp_path)
+    recovered = recover(tmp_path, queries=queries)
+    for event in events[crash:]:
+        recovered.process(event)
+    assert recovered.results() == expected
+
+
+def test_recover_with_every_checkpoint_corrupt_replays_from_scratch(
+    tmp_path,
+):
+    plan = FaultPlan()
+    rng = random.Random(plan.seed + 5)
+    queries = [QUERIES["sem"]()]
+    events = random_stream(rng, n=150)
+    expected = oracle_results(queries, events)
+    crash = plan.crash_point(len(events))
+
+    crash_run(tmp_path, queries, events, crash, checkpoint_every=29)
+    for path in list_checkpoints(tmp_path):
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # torn write
+    recovered = recover(tmp_path, queries=queries)
+    assert recovered.events_replayed == crash
+    for event in events[crash:]:
+        recovered.process(event)
+    assert recovered.results() == expected
+
+
+def test_recover_without_checkpoint_or_queries_raises(tmp_path):
+    EventJournal(tmp_path).close()
+    with pytest.raises(CheckpointError):
+        recover(tmp_path)
+
+
+def test_recovered_engine_is_immediately_crash_safe(tmp_path):
+    """Crash the *recovered* engine again: double recovery works."""
+    plan = FaultPlan()
+    rng = random.Random(plan.seed + 71)
+    queries = [QUERIES["sem"](), QUERIES["hpc"]()]
+    events = random_stream(rng)
+    expected = oracle_results(queries, events)
+    first = plan.crash_point(len(events) - 2)
+    second = plan.crash_point(len(events) - first - 1)
+
+    crash_run(tmp_path, queries, events, first, checkpoint_every=19)
+    middle = recover(tmp_path, queries=queries, checkpoint_every_events=19)
+    for event in events[first:first + second]:
+        middle.process(event)
+    del middle  # second crash, again without cleanup
+
+    final = recover(tmp_path, queries=queries)
+    for event in events[first + second:]:
+        final.process(event)
+    assert final.results() == expected
+
+
+def test_replay_does_not_re_emit_to_sinks(tmp_path):
+    queries = [QUERIES["sem"]()]
+    events = random_stream(random.Random(3), n=120)
+    crash = 100
+
+    engine = SupervisedStreamEngine()
+    journal = EventJournal(tmp_path)
+    engine.attach_journal(journal)
+    engine.attach_checkpointer(
+        Checkpointer(tmp_path, engine, journal=journal, every_events=30)
+    )
+    pre_sink = CollectSink()
+    engine.register(queries[0], pre_sink)
+    for event in events[:crash]:
+        engine.process(event)
+    pre_crash_outputs = len(pre_sink)
+
+    post_sink = CollectSink()
+    recovered = recover(tmp_path, sinks={"sem": [post_sink]})
+    assert recovered.events_replayed > 0
+    assert len(post_sink) == 0  # replay stays silent
+    for event in events[crash:]:
+        recovered.process(event)
+    # sinks live again for new events
+    oracle = SupervisedStreamEngine()
+    oracle_sink = CollectSink()
+    oracle.register(QUERIES["sem"](), oracle_sink)
+    for event in events:
+        oracle.process(event)
+    assert pre_crash_outputs + len(post_sink) == len(oracle_sink)
+    assert post_sink.values() == oracle_sink.values()[pre_crash_outputs:]
+
+
+def test_recovery_metrics_exported(tmp_path):
+    registry = MetricsRegistry()
+    queries = [QUERIES["dpc"]()]
+    events = random_stream(random.Random(11), n=100)
+    crash_run(tmp_path, queries, events, 90, checkpoint_every=40)
+    recovered = recover(tmp_path, registry=registry)
+    assert registry.value("recoveries_total") == 1
+    assert (
+        registry.value("events_replayed_total")
+        == recovered.events_replayed
+        == 90 - 80
+    )

@@ -1,0 +1,287 @@
+"""Supervisor: dead-letter queue, quarantine, overload, restarts."""
+
+import pytest
+
+from repro.engine.sinks import CollectSink
+from repro.errors import EngineError, OverloadError
+from repro.events import Event
+from repro.obs.registry import MetricsRegistry
+from repro.query import seq
+from repro.resilience import (
+    Checkpointer,
+    DeadLetter,
+    DeadLetterQueue,
+    EventJournal,
+    FaultPlan,
+    InjectedFault,
+    SupervisedStreamEngine,
+)
+from repro.resilience.faults import FaultyExecutor
+
+from repro.core.executor import ASeqEngine
+
+
+def ab_query(name="ab"):
+    return seq("A", "B").count().within(ms=10).named(name).build()
+
+
+def stream(n=60):
+    return [Event("AB"[i % 2], i + 1) for i in range(n)]
+
+
+def poison_engine(registry=None, **kwargs):
+    """Engine with one healthy and one always-raising registration."""
+    engine = SupervisedStreamEngine(registry=registry, **kwargs)
+    healthy_sink = CollectSink()
+    engine.register(ab_query("healthy"), healthy_sink)
+    poison = FaultyExecutor(ASeqEngine(ab_query("poison")), poison=True)
+    engine.register_executor("poison", poison)
+    return engine, healthy_sink
+
+
+# ----- acceptance: poison query does not stop the healthy one ---------------
+
+
+def test_poison_registration_does_not_stop_healthy_delivery():
+    registry = MetricsRegistry()
+    engine, healthy_sink = poison_engine(registry=registry)
+    events = stream(60)
+
+    oracle = SupervisedStreamEngine()
+    oracle_sink = CollectSink()
+    oracle.register(ab_query("healthy"), oracle_sink)
+    for event in events:
+        oracle.process(event)
+        engine.process(event)
+
+    assert healthy_sink.values() == oracle_sink.values()
+    assert engine.result("healthy") == oracle.result("healthy")
+    assert engine.quarantined() == ["poison"]
+    assert registry.value("quarantined_queries") == 1
+    assert registry.value("dead_letters_total") == 5  # quarantine_after
+    assert registry.value(
+        "executor_failures_total", query="poison"
+    ) == 5
+
+
+def test_dead_letters_carry_event_error_and_name():
+    engine, _ = poison_engine(quarantine_after=3)
+    events = stream(10)
+    for event in events:
+        engine.process(event)
+    letters = engine.dlq.drain()
+    assert len(letters) == 3
+    assert all(isinstance(letter, DeadLetter) for letter in letters)
+    assert [letter.event for letter in letters] == events[:3]
+    assert all(letter.query_name == "poison" for letter in letters)
+    assert all(
+        isinstance(letter.error, InjectedFault) for letter in letters
+    )
+
+
+def test_dead_letter_journal_seq_recorded(tmp_path):
+    engine, _ = poison_engine(quarantine_after=2)
+    engine.attach_journal(EventJournal(tmp_path))
+    for event in stream(6):
+        engine.process(event)
+    letters = list(engine.dlq)
+    assert [letter.journal_seq for letter in letters] == [0, 1]
+
+
+def test_transient_failures_do_not_quarantine():
+    """Failures must be *consecutive* to quarantine."""
+    engine = SupervisedStreamEngine(quarantine_after=3)
+    # fails on every 3rd offered event: never 3 in a row
+    flaky = FaultyExecutor(
+        ASeqEngine(ab_query("flaky")), fail_at=range(0, 60, 3)
+    )
+    engine.register_executor("flaky", flaky)
+    for event in stream(60):
+        engine.process(event)
+    assert engine.quarantined() == []
+    assert len(engine.dlq) == 20
+    assert engine.health_of("flaky")["failures_total"] == 20
+
+
+def test_quarantined_registration_is_skipped_entirely():
+    engine, _ = poison_engine(quarantine_after=4)
+    poison = engine._registrations["poison"].executor
+    for event in stream(50):
+        engine.process(event)
+    assert poison.offered == 4  # nothing offered after quarantine
+    assert len(engine.dlq) == 4
+
+
+def test_manual_restart_lifts_quarantine():
+    registry = MetricsRegistry()
+    engine, _ = poison_engine(registry=registry, quarantine_after=2)
+    for event in stream(10):
+        engine.process(event)
+    assert engine.quarantined() == ["poison"]
+    engine.restart("poison")
+    assert engine.quarantined() == []
+    assert registry.value("quarantined_queries") == 0
+    # poison still raises, so it re-quarantines after 2 more failures
+    for event in stream(10):
+        engine.process(event)
+    assert engine.quarantined() == ["poison"]
+    assert registry.value("quarantines_total") == 2
+
+
+def test_restart_from_checkpoint_restores_state(tmp_path):
+    engine = SupervisedStreamEngine(quarantine_after=2)
+    journal = EventJournal(tmp_path)
+    engine.attach_journal(journal)
+    checkpointer = Checkpointer(
+        tmp_path, engine, journal=journal, every_events=10
+    )
+    engine.attach_checkpointer(checkpointer)
+    engine.register(ab_query("ab"))
+    events = stream(20)
+    for event in events:
+        engine.process(event)
+    before = engine.result("ab")
+    # wreck the live executor state, then restore from the checkpoint
+    engine._registrations["ab"].executor = FaultyExecutor(
+        ASeqEngine(ab_query("ab")), poison=True
+    )
+    engine.process(Event("A", 100))
+    engine.process(Event("A", 101))
+    assert engine.quarantined() == ["ab"]
+    engine.restart_from_checkpoint("ab")
+    assert engine.quarantined() == []
+    assert engine.result("ab") == before  # checkpoint was at event 20
+
+
+def test_restart_from_checkpoint_without_checkpointer_raises():
+    engine, _ = poison_engine()
+    with pytest.raises(EngineError):
+        engine.restart_from_checkpoint("poison")
+
+
+def test_restart_unknown_query_raises():
+    engine = SupervisedStreamEngine()
+    with pytest.raises(EngineError):
+        engine.restart("nope")
+    with pytest.raises(EngineError):
+        engine.health_of("nope")
+
+
+def test_auto_restart_backoff(tmp_path):
+    """A quarantined query is retried after the backoff, which doubles."""
+    engine = SupervisedStreamEngine(
+        quarantine_after=2, auto_restart_events=10
+    )
+    fail_first_6 = FaultyExecutor(
+        ASeqEngine(ab_query("flaky")), fail_at=range(6)
+    )
+    engine.register_executor("flaky", fail_first_6)
+    for event in stream(120):
+        engine.process(event)
+    # offered 0,1 fail -> quarantined, retry after 10 events; offered
+    # 2,3 fail -> quarantined, retry after 20; offered 4,5 fail ->
+    # quarantined, retry after 40; the injected failures are then
+    # exhausted and the registration stays healthy
+    assert engine.quarantined() == []
+    assert fail_first_6.failures == 6
+    health = engine.health_of("flaky")
+    assert health["failures_total"] == 6
+    assert health["quarantined"] is False
+
+
+# ----- DLQ overload policies -------------------------------------------------
+
+
+def letters(n):
+    return [
+        DeadLetter("q", Event("A", i), InjectedFault("x")) for i in range(n)
+    ]
+
+
+def test_dlq_shed_oldest():
+    registry = MetricsRegistry()
+    dlq = DeadLetterQueue(
+        capacity=5, policy="shed_oldest", registry=registry
+    )
+    for letter in letters(8):
+        dlq.push(letter)
+    assert len(dlq) == 5
+    assert dlq.shed == 3
+    assert dlq.peek().event.ts == 3  # oldest three were shed
+    assert registry.value("dlq_depth") == 5
+    assert registry.value("dlq_shed_total") == 3
+
+
+def test_dlq_raise_policy():
+    dlq = DeadLetterQueue(capacity=3, policy="raise")
+    for letter in letters(3):
+        dlq.push(letter)
+    with pytest.raises(OverloadError):
+        dlq.push(letters(1)[0])
+
+
+def test_dlq_block_policy_drains_via_hook():
+    drained = []
+    dlq = DeadLetterQueue(
+        capacity=3,
+        policy="block",
+        on_full=lambda queue: drained.extend(queue.drain()),
+    )
+    for letter in letters(10):
+        dlq.push(letter)
+    assert len(drained) + len(dlq) == 10
+
+
+def test_dlq_block_policy_without_hook_raises():
+    dlq = DeadLetterQueue(capacity=2, policy="block")
+    for letter in letters(2):
+        dlq.push(letter)
+    with pytest.raises(OverloadError):
+        dlq.push(letters(1)[0])
+
+
+def test_dlq_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        DeadLetterQueue(capacity=0)
+    with pytest.raises(ValueError):
+        DeadLetterQueue(policy="panic")
+
+
+def test_engine_overload_policy_flows_through():
+    engine, _ = poison_engine(
+        quarantine_after=100, dlq_capacity=4, overload_policy="raise"
+    )
+    events = stream(20)
+    with pytest.raises(OverloadError):
+        for event in events:
+            engine.process(event)
+
+
+# ----- journal backlog bound -------------------------------------------------
+
+
+def test_journal_backlog_bound_forces_fsync(tmp_path):
+    registry = MetricsRegistry()
+    engine = SupervisedStreamEngine(
+        registry=registry, max_journal_backlog_bytes=200
+    )
+    engine.attach_journal(
+        EventJournal(tmp_path, fsync="never", registry=registry)
+    )
+    engine.register(ab_query())
+    for event in stream(40):
+        engine.process(event)
+    assert registry.value("journal_fsyncs_total") > 0
+    assert engine.journal.backlog_bytes <= 200 + 64
+
+
+# ----- seeded plan determinism ----------------------------------------------
+
+
+def test_fault_plan_is_deterministic_per_seed():
+    plan_a, plan_b = FaultPlan(seed=42), FaultPlan(seed=42)
+    assert plan_a.crash_point(1000) == plan_b.crash_point(1000)
+    assert plan_a.failure_ordinals(100, 5) == plan_b.failure_ordinals(100, 5)
+    assert FaultPlan(seed=1).crash_point(1000) != FaultPlan(
+        seed=2
+    ).crash_point(1000)
