@@ -1,0 +1,155 @@
+"""Admin-server overhead on the fig. 12 len-3 workload.
+
+Four configurations over the same stream and query, all on the
+supervised engine (the PR 2 baseline path):
+
+* ``server_off`` — SupervisedStreamEngine, no registry, no server;
+* ``server_on_idle`` — same, plus a started AdminServer nobody
+  scrapes; the acceptance bound is < 3% over ``server_off`` (the
+  server thread sits blocked in ``select`` and the ingest path is
+  untouched);
+* ``instrumented_idle`` — real registry plus an idle server, the
+  cost of the metrics themselves;
+* ``instrumented_scraped_1hz`` — real registry plus a scraper thread
+  hitting ``/metrics`` and ``/queries`` once a second while the
+  ingest runs.
+
+Server start/stop happens in the (untimed) per-round setup —
+``shutdown()`` waits out ``serve_forever``'s poll interval, which must
+not leak into per-event numbers.
+"""
+
+import threading
+import urllib.request
+
+import pytest
+
+from conftest import make_stream
+from repro.datagen.synthetic import alphabet
+from repro.obs.registry import MetricsRegistry
+from repro.obs.server import AdminServer
+from repro.query import seq
+from repro.resilience import SupervisedStreamEngine
+
+TYPES = alphabet(20)
+EVENTS = make_stream(20, 20_000, seed=11)
+
+
+def query_of():
+    return seq(*TYPES[:3]).count().within(ms=200).named("q").build()
+
+
+def supervised_engine(registry=None):
+    engine = SupervisedStreamEngine(registry=registry)
+    engine.register(query_of())
+    return engine
+
+
+def drive_engine(engine):
+    process = engine.process
+    for event in EVENTS:
+        process(event)
+    return engine.result("q")
+
+
+@pytest.fixture
+def admin_pool():
+    """Hands out started servers; stops them all after the test."""
+    admins = []
+
+    def start(engine, registry=None):
+        admin = AdminServer(engine, registry=registry)
+        admin.start()
+        admins.append(admin)
+        return admin
+
+    yield start
+    for admin in admins:
+        admin.stop()
+
+
+def scraping(admin, every_s):
+    """A daemon scraper hitting /metrics and /queries every ``every_s``."""
+    stop = threading.Event()
+
+    def scrape_loop():
+        while True:
+            for path in ("/metrics", "/queries"):
+                with urllib.request.urlopen(
+                    admin.url(path), timeout=5
+                ) as resp:
+                    resp.read()
+            if stop.wait(every_s):
+                return
+
+    thread = threading.Thread(target=scrape_loop, daemon=True)
+    thread.start()
+
+    def finish():
+        stop.set()
+        thread.join(timeout=5)
+
+    return finish
+
+
+def test_server_off(benchmark):
+    def setup():
+        return (supervised_engine(),), {}
+
+    result = benchmark.pedantic(drive_engine, setup=setup, rounds=3)
+    benchmark.extra_info["final_count"] = result
+
+
+def test_server_on_idle(benchmark, admin_pool):
+    """Acceptance: within 3% of ``server_off``."""
+
+    def setup():
+        engine = supervised_engine()
+        admin_pool(engine)
+        return (engine,), {}
+
+    result = benchmark.pedantic(drive_engine, setup=setup, rounds=3)
+    benchmark.extra_info["final_count"] = result
+
+
+def test_instrumented_idle(benchmark, admin_pool):
+    def setup():
+        registry = MetricsRegistry()
+        engine = supervised_engine(registry)
+        admin_pool(engine, registry)
+        return (engine,), {}
+
+    result = benchmark.pedantic(drive_engine, setup=setup, rounds=3)
+    benchmark.extra_info["final_count"] = result
+
+
+def test_instrumented_scraped_1hz(benchmark, admin_pool):
+    finishers = []
+
+    def setup():
+        while finishers:
+            finishers.pop()()
+        registry = MetricsRegistry()
+        engine = supervised_engine(registry)
+        admin = admin_pool(engine, registry)
+        finishers.append(scraping(admin, every_s=1.0))
+        return (engine,), {}
+
+    result = benchmark.pedantic(drive_engine, setup=setup, rounds=3)
+    while finishers:
+        finishers.pop()()
+    benchmark.extra_info["final_count"] = result
+
+
+def test_all_configurations_agree():
+    """The ops plane never changes answers."""
+    expected = drive_engine(supervised_engine())
+    registry = MetricsRegistry()
+    engine = supervised_engine(registry)
+    with AdminServer(engine, registry=registry) as admin:
+        finish = scraping(admin, every_s=0.01)
+        try:
+            observed = drive_engine(engine)
+        finally:
+            finish()
+    assert observed == expected

@@ -34,13 +34,17 @@ from repro.events.reorder import reordered
 from repro.multi.unshared import UnsharedEngine
 from repro.multi.workload import WorkloadEngine
 from repro.obs.export import write_json_snapshot, write_prometheus
+from repro.obs.logging import LogConfig, get_logger, install_config
 from repro.obs.registry import (
     NULL_REGISTRY,
     MetricsRegistry,
     set_default_registry,
 )
+from repro.obs.server import AdminServer
 from repro.obs.tracing import NULL_TRACER, TraceRecorder
 from repro.query.parser import parse_query, parse_workload
+
+_log = get_logger("cli")
 
 _GENERATORS = {
     "stock": lambda seed: StockTradeGenerator(mean_gap_ms=1, seed=seed),
@@ -127,6 +131,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="trace ring buffer capacity (default 256)",
     )
+    obs.add_argument(
+        "--admin-port",
+        type=int,
+        metavar="PORT",
+        help="serve a live admin endpoint (/metrics, /healthz, "
+        "/queries, ...) on 127.0.0.1:PORT while the run is in flight "
+        "(enables instrumentation; 0 picks a free port)",
+    )
+    obs.add_argument(
+        "--admin-linger",
+        type=float,
+        metavar="SECONDS",
+        default=0.0,
+        help="keep the admin endpoint up this long after the run "
+        "finishes, so scrapers can collect the final state "
+        "(requires --admin-port; default 0)",
+    )
+    obs.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit runtime diagnostics as JSON log lines instead of "
+        "'# '-prefixed text",
+    )
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument(
         "--journal",
@@ -207,8 +234,11 @@ def _build_engine(
     if len(queries) > 1 or args.workload_file is not None:
         if args.shared:
             engine = WorkloadEngine(queries, registry=registry)
-            print(f"# {engine.describe()}".replace("\n", "\n# "),
-                  file=sys.stderr)
+            _log.info(
+                "workload_plan",
+                message=engine.describe().replace("\n", "\n# "),
+                queries=len(queries),
+            )
             return engine
         return UnsharedEngine(queries, registry=registry)
     (query,) = queries
@@ -217,6 +247,35 @@ def _build_engine(
     if args.engine == "vectorized":
         return ASeqEngine(query, vectorized=True, registry=registry)
     return ASeqEngine(query, registry=registry, trace=trace)
+
+
+def _start_admin(
+    args: argparse.Namespace,
+    engine: Any,
+    registry: MetricsRegistry,
+    trace: TraceRecorder,
+) -> AdminServer | None:
+    if args.admin_port is None:
+        return None
+    admin = AdminServer(
+        engine, registry=registry, trace=trace, port=args.admin_port
+    )
+    admin.start()
+    return admin
+
+
+def _stop_admin(admin: AdminServer | None, linger: float) -> None:
+    if admin is None:
+        return
+    if linger > 0:
+        _log.info(
+            "admin_linger",
+            message=f"admin endpoint lingering {linger:g}s at "
+            f"{admin.url()}",
+            seconds=linger,
+        )
+        time.sleep(linger)
+    admin.stop()
 
 
 def _run_resilient(
@@ -265,10 +324,12 @@ def _run_resilient(
             fsync=args.fsync,
             quarantine_after=args.quarantine_after,
         )
-        print(
-            f"# recovered: {len(engine.query_names)} queries, "
+        _log.info(
+            "recovered",
+            message=f"recovered: {len(engine.query_names)} queries, "
             f"{engine.events_replayed} journal events replayed",
-            file=sys.stderr,
+            queries=len(engine.query_names),
+            events_replayed=engine.events_replayed,
         )
     else:
         engine = SupervisedStreamEngine(
@@ -295,46 +356,60 @@ def _run_resilient(
             name = query.name or f"q{index}"
             engine.register(query, *sinks.get(name, ()), name=name)
 
-    started = time.perf_counter()
-    processed = engine.run(events)
-    elapsed = time.perf_counter() - started
+    admin = _start_admin(args, engine, registry, trace)
+    try:
+        started = time.perf_counter()
+        processed = engine.run(events)
+        elapsed = time.perf_counter() - started
 
-    if engine.checkpointer is not None:
-        engine.checkpointer.checkpoint_now()
-    if engine.journal is not None:
-        engine.journal.close()
+        if engine.checkpointer is not None:
+            engine.checkpointer.checkpoint_now()
+        if engine.journal is not None:
+            engine.journal.close()
 
-    if args.emit != "none":
-        for name, value in engine.results().items():
-            print(f"result\t{name}\t{value}")
-    quarantined = engine.quarantined()
-    if quarantined or len(engine.dlq):
-        print(
-            f"# quarantined={quarantined} dead_letters={len(engine.dlq)}",
-            file=sys.stderr,
+        if args.emit != "none":
+            for name, value in engine.results().items():
+                print(f"result\t{name}\t{value}")
+        quarantined = engine.quarantined()
+        if quarantined or len(engine.dlq):
+            _log.warning(
+                "quarantine_summary",
+                message=f"quarantined={quarantined} "
+                f"dead_letters={len(engine.dlq)}",
+                quarantined=quarantined,
+                dead_letters=len(engine.dlq),
+            )
+        rate = processed / elapsed if elapsed else 0.0
+        _log.info(
+            "run_complete",
+            message=f"{processed:,} events in {elapsed:.2f}s "
+            f"({rate:,.0f} ev/s), {engine.metrics.outputs:,} outputs "
+            f"(lifetime {engine.metrics.events:,} events)",
+            events=processed,
+            outputs=engine.metrics.outputs,
+            elapsed_s=round(elapsed, 3),
         )
-    rate = processed / elapsed if elapsed else 0.0
-    print(
-        f"# {processed:,} events in {elapsed:.2f}s ({rate:,.0f} ev/s), "
-        f"{engine.metrics.outputs:,} outputs (lifetime "
-        f"{engine.metrics.events:,} events)",
-        file=sys.stderr,
-    )
-    if args.metrics_out:
-        write_prometheus(registry, args.metrics_out)
-        write_json_snapshot(
-            registry,
-            args.metrics_out + ".json",
-            run={
-                "events": processed,
-                "elapsed_s": elapsed,
-                "events_per_s": rate,
-            },
-        )
-        print(f"# wrote metrics to {args.metrics_out}", file=sys.stderr)
-    if args.dump_trace:
-        print(trace.format(), file=sys.stderr)
-    return 0
+        if args.metrics_out:
+            write_prometheus(registry, args.metrics_out)
+            write_json_snapshot(
+                registry,
+                args.metrics_out + ".json",
+                run={
+                    "events": processed,
+                    "elapsed_s": elapsed,
+                    "events_per_s": rate,
+                },
+            )
+            _log.info(
+                "metrics_written",
+                message=f"wrote metrics to {args.metrics_out}",
+                path=args.metrics_out,
+            )
+        if args.dump_trace:
+            print(trace.format(), file=sys.stderr)
+        return 0
+    finally:
+        _stop_admin(admin, args.admin_linger)
 
 
 def _stats_line(
@@ -363,13 +438,17 @@ def _stats_line(
             value = registry.value(name)
             if value:
                 parts.append(f"{short}={value:,.0f}")
-    return "# stats " + " ".join(parts)
+    return "stats " + " ".join(parts)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
-    instrument = bool(args.metrics_out) or args.stats_every > 0
+    instrument = (
+        bool(args.metrics_out)
+        or args.stats_every > 0
+        or args.admin_port is not None
+    )
     registry = MetricsRegistry() if instrument else NULL_REGISTRY
     trace = (
         TraceRecorder(capacity=args.trace_capacity)
@@ -377,12 +456,15 @@ def main(argv: list[str] | None = None) -> int:
         else NULL_TRACER
     )
     previous_default = set_default_registry(registry if instrument else None)
+    previous_log = install_config(LogConfig(json_mode=args.log_json))
+    admin = None
     try:
         queries = _load_queries(args)
         events = _load_events(args)
         if args.journal or args.recover:
             return _run_resilient(args, queries, events, registry, trace)
         engine = _build_engine(args, queries, registry, trace)
+        admin = _start_admin(args, engine, registry, trace)
 
         cross_check = None
         if args.engine == "both" and len(queries) == 1:
@@ -416,12 +498,12 @@ def main(argv: list[str] | None = None) -> int:
                 if args.emit == "every":
                     print(f"{event.ts}\t{fresh}")
             if stats_every and processed % stats_every == 0:
-                print(
-                    _stats_line(
+                _log.info(
+                    "stats",
+                    message=_stats_line(
                         processed, outputs,
                         time.perf_counter() - started, engine, registry,
                     ),
-                    file=sys.stderr,
                 )
         elapsed = time.perf_counter() - started
 
@@ -431,15 +513,22 @@ def main(argv: list[str] | None = None) -> int:
         if cross_check is not None:
             baseline = cross_check.result()
             status = "AGREE" if baseline == final else "DISAGREE"
-            print(f"cross-check (two-step)\t{baseline}\t{status}",
-                  file=sys.stderr)
+            _log.info(
+                "cross_check",
+                message=f"cross-check (two-step)\t{baseline}\t{status}",
+                baseline=str(baseline),
+                status=status,
+            )
             if baseline != final:
                 return 2
         rate = processed / elapsed if elapsed else 0.0
-        print(
-            f"# {processed:,} events in {elapsed:.2f}s "
+        _log.info(
+            "run_complete",
+            message=f"{processed:,} events in {elapsed:.2f}s "
             f"({rate:,.0f} ev/s), {outputs:,} outputs",
-            file=sys.stderr,
+            events=processed,
+            outputs=outputs,
+            elapsed_s=round(elapsed, 3),
         )
         if args.metrics_out:
             write_prometheus(registry, args.metrics_out)
@@ -454,18 +543,25 @@ def main(argv: list[str] | None = None) -> int:
                     "events_per_s": rate,
                 },
             )
-            print(
-                f"# wrote metrics to {args.metrics_out} "
+            _log.info(
+                "metrics_written",
+                message=f"wrote metrics to {args.metrics_out} "
                 f"(+ {json_path})",
-                file=sys.stderr,
+                path=args.metrics_out,
             )
         if args.dump_trace:
             print(trace.format(), file=sys.stderr)
         return 0
     except (ReproError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        _log.error(
+            "run_failed",
+            message=f"error: {error}",
+            error=type(error).__name__,
+        )
         return 1
     finally:
+        _stop_admin(admin, args.admin_linger)
+        install_config(previous_log)
         set_default_registry(previous_default)
 
 

@@ -34,6 +34,7 @@ class DPCEngine:
         self.layout = layout or PatternLayout.of(query)
         self._counter = PrefixCounter(self.layout, implicit_start=False)
         self.events_processed = 0
+        self.counter_updates = 0
 
     def process(self, event: Event) -> Any | None:
         """Ingest one (pre-filtered) event; returns the aggregate on TRIG."""
@@ -52,6 +53,7 @@ class DPCEngine:
             layout.value_slot >= 0 and layout.value_slot in slots
         )
         value = layout.value_of(event) if needs_value else None
+        self.counter_updates += len(slots)
         for slot in slots:  # descending: no self-chaining
             if slot == 0:
                 counter.bump_start(
@@ -98,3 +100,21 @@ class DPCEngine:
     def current_objects(self) -> int:
         """Paper-style memory accounting: one PreCntr, always."""
         return 1
+
+    def inspect(self) -> dict[str, Any]:
+        """JSON-serializable state summary (admin endpoints)."""
+        counter = self._counter
+        state: dict[str, Any] = {
+            "kind": "dpc",
+            "query": self.query.name,
+            "events_processed": self.events_processed,
+            "counter_updates": self.counter_updates,
+            "active_counters": 1,
+            "agg": self.layout.agg_kind.name.lower(),
+            "counts": list(counter.counts),
+        }
+        if counter.wsums is not None:
+            state["wsums"] = list(counter.wsums)
+        if counter.extrema is not None:
+            state["extrema"] = list(counter.extrema)
+        return state

@@ -176,3 +176,31 @@ class ASeqEngine:
     def events_processed(self) -> int:
         """Events that survived filtering and reached the runtime."""
         return getattr(self._runtime, "events_processed", 0)
+
+    @property
+    def counter_updates(self) -> int:
+        """Prefix-counter slot updates performed by the runtime."""
+        return getattr(self._runtime, "counter_updates", 0)
+
+    def inspect(self) -> Any:
+        """JSON-serializable state summary: query, compiled runtime,
+        cost totals, and the runtime's own structured dump (the admin
+        ``/queries/<id>/state`` endpoint's payload).
+        """
+        runtime = self._runtime
+        runtime_inspect = getattr(runtime, "inspect", None)
+        return {
+            "kind": "aseq",
+            "query": str(self.query),
+            "query_name": self.query.name,
+            "runtime_kind": type(runtime).__name__,
+            "vectorized": self._vectorized,
+            "events_seen": self.events_seen,
+            "events_processed": self.events_processed,
+            "counter_updates": self.counter_updates,
+            "current_objects": self.current_objects(),
+            "peak_objects": self.peak_objects,
+            "runtime": (
+                runtime_inspect() if runtime_inspect is not None else None
+            ),
+        }

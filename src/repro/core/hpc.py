@@ -256,6 +256,49 @@ class HPCEngine:
             engine.current_objects() for engine in self._partitions.values()
         )
 
+    @property
+    def counter_updates(self) -> int:
+        """Slot/counter updates summed across partition engines."""
+        return sum(
+            getattr(engine, "counter_updates", 0)
+            for engine in list(self._partitions.values())
+        )
+
+    def inspect(self, max_partitions: int = 16) -> dict[str, Any]:
+        """JSON-serializable state summary (admin endpoints).
+
+        ``partitions`` holds the ``max_partitions`` heaviest keys by
+        live object count, each with its nested engine summary trimmed
+        to the totals (no per-counter dumps at this level).
+        """
+        partitions = list(self._partitions.items())
+        weighted = []
+        for key, engine in partitions:
+            objects = engine.current_objects()
+            weighted.append((objects, repr(key), engine))
+        weighted.sort(key=lambda item: item[0], reverse=True)
+        top = []
+        for objects, key_repr, engine in weighted[:max_partitions]:
+            top.append({
+                "key": key_repr,
+                "objects": objects,
+                "events_processed": getattr(engine, "events_processed", 0),
+            })
+        return {
+            "kind": "hpc",
+            "query": self.query.name,
+            "partition_attributes": list(self._attributes),
+            "per_group": self._per_group,
+            "now": self._now,
+            "events_processed": self.events_processed,
+            "counter_updates": self.counter_updates,
+            "partition_count": len(partitions),
+            "active_counters": sum(item[0] for item in weighted),
+            "agg": self.layout.agg_kind.name.lower(),
+            "partitions": top,
+            "partitions_truncated": max(0, len(partitions) - max_partitions),
+        }
+
 
 class _Missing:
     __slots__ = ()

@@ -51,6 +51,7 @@ class SemEngine:
         self._emit_on_trigger = emit_on_trigger
         self.events_processed = 0
         self.peak_counters = 0
+        self.counter_updates = 0
         registry = resolve_registry(registry)
         self.obs_registry = registry
         self._obs_on = registry.enabled
@@ -104,6 +105,7 @@ class SemEngine:
         # Update existing counters first (descending slots inside each),
         # then open a counter for the new START so the event cannot
         # extend a prefix through itself.
+        self.counter_updates += len(self._counters)
         for counter in self._counters:
             for slot in slots:
                 if slot == 0:
@@ -215,3 +217,34 @@ class SemEngine:
         """Move the engine clock without an event (expiry on idle streams)."""
         self._now = max(self._now, now)
         self._expire(self._now)
+
+    def inspect(self, max_counters: int = 16) -> dict[str, Any]:
+        """JSON-serializable state summary (the admin ``/queries``
+        endpoints read this from a scrape thread, so every collection
+        is snapshotted before iteration).
+        """
+        counters = list(self._counters)
+        dump = []
+        for counter in counters[:max_counters]:
+            entry: dict[str, Any] = {
+                "exp": counter.exp,
+                "counts": list(counter.counts),
+            }
+            if counter.wsums is not None:
+                entry["wsums"] = list(counter.wsums)
+            if counter.extrema is not None:
+                entry["extrema"] = list(counter.extrema)
+            dump.append(entry)
+        return {
+            "kind": "sem",
+            "query": self.query.name,
+            "window_ms": self._window_ms,
+            "now": self._now,
+            "events_processed": self.events_processed,
+            "counter_updates": self.counter_updates,
+            "active_counters": len(counters),
+            "peak_counters": self.peak_counters,
+            "agg": self.layout.agg_kind.name.lower(),
+            "counters": dump,
+            "counters_truncated": max(0, len(counters) - max_counters),
+        }

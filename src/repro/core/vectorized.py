@@ -272,3 +272,16 @@ class VectorizedSemEngine:
         """Move the engine clock without an event (expiry on idle streams)."""
         self._now = max(self._now, now)
         self._expire(self._now)
+
+    def inspect(self) -> dict[str, Any]:
+        """JSON-serializable state summary (admin endpoints)."""
+        return {
+            "kind": "vectorized_sem",
+            "query": self.query.name,
+            "window_ms": self._window_ms,
+            "now": self._now,
+            "events_processed": self.events_processed,
+            "active_counters": self.active_counters,
+            "capacity": self._capacity,
+            "agg": self.layout.agg_kind.name.lower(),
+        }

@@ -17,13 +17,21 @@ from repro.events.event import Event
 from repro.core.executor import ASeqEngine
 from repro.engine.metrics import EngineMetrics
 from repro.engine.sinks import Output, ResultSink
-from repro.obs.registry import Counter, MetricsRegistry, resolve_registry
+from repro.obs.inspect import cost_summary
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    resolve_registry,
+)
 from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import Query
 
 
 class _Registration:
-    __slots__ = ("name", "executor", "sinks", "m_events", "m_outputs")
+    __slots__ = (
+        "name", "executor", "sinks", "m_events", "m_outputs", "m_latency",
+    )
 
     def __init__(
         self,
@@ -32,12 +40,14 @@ class _Registration:
         sinks: list[ResultSink],
         m_events: Counter,
         m_outputs: Counter,
+        m_latency: Histogram,
     ):
         self.name = name
         self.executor = executor
         self.sinks = sinks
         self.m_events = m_events
         self.m_outputs = m_outputs
+        self.m_latency = m_latency
 
 
 class StreamEngine:
@@ -61,10 +71,15 @@ class StreamEngine:
         vectorized: bool = False,
         registry: MetricsRegistry | None = None,
         trace: TraceRecorder | None = None,
+        stream_name: str = "default",
+        cost_sample_every: int = 64,
     ):
+        if cost_sample_every < 0:
+            raise ValueError("cost_sample_every must be >= 0")
         self._registrations: dict[str, _Registration] = {}
         self._vectorized = vectorized
         self.metrics = EngineMetrics()
+        self.stream_name = stream_name
         registry = resolve_registry(registry)
         self.obs_registry = registry
         self._obs_on = registry.enabled
@@ -81,6 +96,27 @@ class StreamEngine:
             "event_latency_us",
             "per-event processing latency across all registrations (µs)",
         )
+        # Event-time watermark tracking: the max event timestamp seen,
+        # and how far wall-clock progress lags event-time progress since
+        # the first arrival (negative = faster-than-real-time replay).
+        self._g_watermark = registry.gauge(
+            "repro_event_time_watermark_ms",
+            "max event timestamp observed on this stream (ms)",
+            stream=stream_name,
+        )
+        self._g_lag = registry.gauge(
+            "repro_event_time_lag_seconds",
+            "wall-clock seconds behind event time, anchored at the "
+            "first arrival (negative when replaying faster than "
+            "real time)",
+            stream=stream_name,
+        )
+        self._watermark_ms = float("-inf")
+        self._time_anchor: tuple[float, int] | None = None
+        #: Sample per-registration latency every Nth event (0 disables);
+        #: sampling keeps the two extra clock reads per registration off
+        #: the common hot path.
+        self._cost_sample_every = cost_sample_every
         tracer = resolve_tracer(trace)
         self._trace = tracer
         self._trace_on = tracer.enabled
@@ -126,6 +162,11 @@ class StreamEngine:
                 "query_outputs_total", "fresh aggregates from one registration",
                 query=name,
             ),
+            registry.histogram(
+                "query_latency_us",
+                "sampled per-event executor latency of one registration (µs)",
+                query=name,
+            ),
         )
 
     def deregister(self, name: str) -> None:
@@ -147,10 +188,19 @@ class StreamEngine:
             started = time.perf_counter()
             self._m_events.inc()
         self.metrics.events += 1
+        sample = self._cost_sample_every
+        timed = obs_on and sample and self.metrics.events % sample == 0
         for registration in self._registrations.values():
             if obs_on:
                 registration.m_events.inc()
-            fresh = registration.executor.process(event)
+            if timed:
+                t0 = time.perf_counter()
+                fresh = registration.executor.process(event)
+                registration.m_latency.observe(
+                    (time.perf_counter() - t0) * 1e6
+                )
+            else:
+                fresh = registration.executor.process(event)
             if fresh is None:
                 continue
             self.metrics.outputs += 1
@@ -171,8 +221,28 @@ class StreamEngine:
                         self.metrics.sink_errors += 1
                         self._m_sink_errors.inc()
         if obs_on:
-            self._m_latency.observe(
-                (time.perf_counter() - started) * 1e6
+            finished = time.perf_counter()
+            self._m_latency.observe((finished - started) * 1e6)
+            self._note_event_time(event.ts, finished)
+
+    def _note_event_time(self, ts: int, now_perf: float) -> None:
+        """Advance the event-time watermark and the lag gauge.
+
+        Lag is anchored at the first arrival: it compares wall-clock
+        progress since then against event-time progress, so both epoch
+        streams and synthetic (zero-based) streams report a meaningful
+        number. See docs/OBSERVABILITY.md for the full semantics.
+        """
+        if ts > self._watermark_ms:
+            self._watermark_ms = ts
+            self._g_watermark.value = float(ts)
+        anchor = self._time_anchor
+        if anchor is None:
+            self._time_anchor = (now_perf, ts)
+        else:
+            self._g_lag.value = (
+                (now_perf - anchor[0])
+                - (self._watermark_ms - anchor[1]) / 1000.0
             )
 
     def run(self, stream: Iterable[Event]) -> int:
@@ -213,3 +283,95 @@ class StreamEngine:
     @property
     def query_names(self) -> list[str]:
         return list(self._registrations)
+
+    def executor_of(self, name: str) -> Any:
+        """The executor behind one registration."""
+        registration = self._registrations.get(name)
+        if registration is None:
+            raise EngineError(f"unknown query {name!r}")
+        return registration.executor
+
+    @property
+    def watermark_ms(self) -> float | None:
+        """Max event timestamp observed (None before the first event)."""
+        mark = self._watermark_ms
+        return None if mark == float("-inf") else mark
+
+    def query_rows(self) -> list[dict[str, Any]]:
+        """One cost-accounting row per registration (``/queries``).
+
+        Safe to call from a scrape thread: the registration table is
+        snapshotted before iteration and every probe reads live state
+        without mutating it.
+        """
+        rows = []
+        for registration in list(self._registrations.values()):
+            row: dict[str, Any] = {
+                "query": registration.name,
+                "events_routed": int(registration.m_events.value),
+                "outputs": int(registration.m_outputs.value),
+            }
+            row.update(cost_summary(registration.executor))
+            latency = registration.m_latency
+            if latency.count:
+                row["latency_us_p50"] = latency.p50
+                row["latency_us_p99"] = latency.p99
+            rows.append(row)
+        return rows
+
+    def refresh_cost_metrics(self) -> None:
+        """Publish pull-based per-query cost gauges into the registry.
+
+        Live-object counts, HPC partition counts, CC snapshot rows and
+        counter-update totals are expensive to maintain per event, so
+        they are computed here — on scrape (the admin server calls this
+        before rendering ``/metrics``) rather than on ingest.
+        """
+        registry = self.obs_registry
+        if not registry.enabled:
+            return
+        for row in self.query_rows():
+            name = row["query"]
+            registry.gauge(
+                "query_live_objects",
+                "live counting state held by one registration",
+                query=name,
+            ).set(float(row.get("live_objects") or 0))
+            registry.gauge(
+                "query_counter_updates",
+                "prefix-counter slot updates performed by one registration",
+                query=name,
+            ).set(float(row.get("counter_updates") or 0))
+            if row.get("hpc_partitions") is not None:
+                registry.gauge(
+                    "query_hpc_partitions",
+                    "live HPC partition engines of one registration",
+                    query=name,
+                ).set(float(row["hpc_partitions"]))
+            if row.get("cc_snapshot_rows") is not None:
+                registry.gauge(
+                    "query_cc_snapshot_rows",
+                    "live Chop-Connect SnapShot rows of one registration",
+                    query=name,
+                ).set(float(row["cc_snapshot_rows"]))
+
+    def inspect(self) -> dict[str, Any]:
+        """JSON-serializable engine-wide state summary."""
+        queries = {}
+        for registration in list(self._registrations.values()):
+            executor = registration.executor
+            probe = getattr(executor, "inspect", None)
+            queries[registration.name] = (
+                probe() if probe is not None
+                else {"kind": type(executor).__name__}
+            )
+        return {
+            "kind": type(self).__name__,
+            "stream": self.stream_name,
+            "events": self.metrics.events,
+            "outputs": self.metrics.outputs,
+            "sink_errors": self.metrics.sink_errors,
+            "watermark_ms": self.watermark_ms,
+            "registrations": len(queries),
+            "queries": queries,
+        }

@@ -308,3 +308,45 @@ class ChopConnectEngine:
         return "\n".join(
             str(pipeline.plan) for pipeline in self._pipelines.values()
         )
+
+    def snapshot_rows_of(self, query_name: str) -> int:
+        """Live SnapShot rows held for one query's pipeline."""
+        pipeline = self._pipelines.get(query_name)
+        return pipeline.snapshot_rows() if pipeline is not None else 0
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._pipelines)
+
+    def inspect(self) -> dict[str, Any]:
+        """JSON-serializable state summary (admin endpoints)."""
+        segments = []
+        for engine in self._pool.engines():
+            segments.append({
+                "pattern": engine.query.name,
+                "window_ms": engine.query.window.size_ms
+                if engine.query.window else None,
+                "active_counters": engine.active_counters,
+                "counter_updates": engine.counter_updates,
+            })
+        pipelines = {}
+        for name, pipeline in list(self._pipelines.items()):
+            pipelines[name] = {
+                "segments": [
+                    list(segment) for segment in pipeline.plan.segments
+                ],
+                "snapshot_rows": pipeline.snapshot_rows(),
+                "snapshot_tables": sum(
+                    1 for table in pipeline.tables if table is not None
+                ),
+            }
+        return {
+            "kind": "chop_connect",
+            "events_processed": self.events_processed,
+            "now": self._now,
+            "shared_segment_engines": len(segments),
+            "segments_shared": self._pool.segments_shared,
+            "current_objects": self.current_objects(),
+            "segments": segments,
+            "pipelines": pipelines,
+        }

@@ -163,3 +163,26 @@ class PrefixSharedEngine:
     def describe(self) -> str:
         """Human-readable sharing structure (examples, diagnostics)."""
         return "\n\n".join(group.layout.render() for group in self._groups)
+
+    def inspect(self, max_trees: int = 4) -> dict[str, Any]:
+        """JSON-serializable state summary (admin endpoints)."""
+        groups = []
+        for group in self._groups:
+            trees = list(group.live_trees())
+            groups.append({
+                "start": str(group.layout.start_label),
+                "trie_size": group.layout.size,
+                "queries": sorted(group.layout.terminal_of),
+                "live_trees": len(trees),
+                "counter_instances": group.counter_instances(),
+                "trees": [tree.inspect() for tree in trees[:max_trees]],
+                "trees_truncated": max(0, len(trees) - max_trees),
+            })
+        return {
+            "kind": "prefix_shared",
+            "events_processed": self.events_processed,
+            "now": self._now,
+            "current_objects": self.current_counters(),
+            "peak_counters": self.peak_counters,
+            "groups": groups,
+        }

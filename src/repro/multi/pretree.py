@@ -254,6 +254,21 @@ class PreTree:
         """This instance's contribution to one query's COUNT."""
         return self.counts[self.layout.terminal_of[query_name]]
 
+    def inspect(self) -> dict[str, object]:
+        """JSON-serializable state summary of this counter instance."""
+        layout = self.layout
+        return {
+            "kind": "pretree",
+            "exp": self.exp,
+            "implicit_start": self._implicit_start,
+            "size": layout.size,
+            "counts": list(self.counts),
+            "terminals": {
+                name: self.counts[index]
+                for name, index in layout.terminal_of.items()
+            },
+        }
+
 
 def _check_shareable(query: Query) -> None:
     """Shared engines support the paper's experimental query class."""

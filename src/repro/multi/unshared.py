@@ -72,3 +72,22 @@ class UnsharedEngine:
 
     def engine(self, query_name: str) -> Any:
         return self._engines[query_name]
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._engines)
+
+    def inspect(self) -> dict[str, Any]:
+        """JSON-serializable state summary (admin endpoints)."""
+        queries = {}
+        for name, engine in list(self._engines.items()):
+            probe = getattr(engine, "inspect", None)
+            queries[name] = probe() if probe is not None else {
+                "kind": type(engine).__name__,
+            }
+        return {
+            "kind": "unshared",
+            "events_processed": self.events_processed,
+            "current_objects": self.current_objects(),
+            "queries": queries,
+        }

@@ -167,6 +167,34 @@ class WorkloadEngine:
             total += self._shared.current_objects()
         return total
 
+    @property
+    def query_names(self) -> list[str]:
+        return self.shared_query_names + self.unshared_query_names
+
+    def shared_engine(self) -> ChopConnectEngine | None:
+        """The Chop-Connect engine behind the shared group (if any)."""
+        return self._shared
+
+    def unshared_executor(self, query_name: str) -> ASeqEngine | None:
+        return self._unshared.get(query_name)
+
+    def inspect(self) -> dict[str, Any]:
+        """JSON-serializable state summary (admin endpoints)."""
+        unshared = {}
+        for name, engine in list(self._unshared.items()):
+            unshared[name] = engine.inspect()
+        return {
+            "kind": "workload",
+            "events_processed": self.events_processed,
+            "current_objects": self.current_objects(),
+            "shared_query_names": list(self.shared_query_names),
+            "unshared_query_names": list(self.unshared_query_names),
+            "shared": (
+                self._shared.inspect() if self._shared is not None else None
+            ),
+            "unshared": unshared,
+        }
+
     def describe(self) -> str:
         """Human-readable routing decision."""
         lines = []

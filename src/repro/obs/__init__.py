@@ -7,8 +7,14 @@ something (the CLI's ``--metrics-out``, a bench harness, a test)
 installed a real one — so instrumentation costs one boolean check per
 event when disabled.
 
-See ``docs/OBSERVABILITY.md`` for the metric catalogue and naming
-conventions.
+On top of the passive instrumentation sit the live ops plane pieces:
+:class:`AdminServer` (an embedded admin HTTP endpoint serving
+``/metrics``, ``/healthz``, ``/queries``, ...), the :mod:`engine
+introspection helpers <repro.obs.inspect>` behind it, and the
+rate-limited structured logger of :mod:`repro.obs.logging`.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue, the endpoint
+catalogue, and naming conventions.
 """
 
 from repro.obs.registry import (
@@ -35,6 +41,21 @@ from repro.obs.export import (
     write_json_snapshot,
     write_prometheus,
 )
+from repro.obs.inspect import (
+    cost_summary,
+    engine_inspect,
+    health_snapshot,
+    query_rows,
+    state_of,
+)
+from repro.obs.logging import (
+    LogConfig,
+    StructLogger,
+    configure,
+    get_logger,
+    install_config,
+)
+from repro.obs.server import AdminServer
 
 __all__ = [
     "Counter",
@@ -55,4 +76,15 @@ __all__ = [
     "to_prometheus",
     "write_json_snapshot",
     "write_prometheus",
+    "AdminServer",
+    "LogConfig",
+    "StructLogger",
+    "configure",
+    "get_logger",
+    "install_config",
+    "cost_summary",
+    "engine_inspect",
+    "health_snapshot",
+    "query_rows",
+    "state_of",
 ]

@@ -1,0 +1,186 @@
+"""Engine introspection: the layer beneath the admin HTTP server.
+
+Every engine family implements an ``inspect()`` method returning a
+typed, JSON-serializable summary of its live counting state (SEM
+counters, HPC partitions, Chop-Connect snapshot tables, PreTree
+instances). This module holds the *generic* half: duck-typed helpers
+that turn any engine — a :class:`~repro.engine.engine.StreamEngine`
+with many registrations, a shared multi-query engine, or a bare
+executor — into the admin plane's three shapes:
+
+* :func:`query_rows` — one cost-accounting row per query (the
+  ``/queries`` table): events routed, counter updates, outputs, live
+  prefix-counter/SEM-instance count, HPC partition count, Chop-Connect
+  SnapShot rows;
+* :func:`state_of` — one query's full structured state dump
+  (``/queries/<id>/state``);
+* :func:`health_snapshot` — liveness summary (``/healthz``):
+  quarantined registrations, dead-letter depth, journal backlog.
+
+Everything here is read-only and safe to call from a scrape thread
+while the engine thread keeps ingesting: collections are snapshotted
+(``list(...)`` is atomic under the GIL) before iteration, and probes
+never mutate engine state. Deliberately *no* imports from the engine
+packages — only ``getattr`` duck typing — so this module sits below
+all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def cost_summary(executor: Any) -> dict[str, Any]:
+    """Per-query cost accounting of one executor (GRETA/Sharon-style
+    state-size metrics): post-filter events, counter updates, live
+    objects, plus family-specific counts when the runtime exposes them.
+    """
+    row: dict[str, Any] = {}
+    events = getattr(executor, "events_processed", None)
+    if events is not None:
+        row["events_processed"] = int(events)
+    updates = getattr(executor, "counter_updates", None)
+    if updates is not None:
+        row["counter_updates"] = int(updates)
+    probe = getattr(executor, "current_objects", None)
+    if callable(probe):
+        row["live_objects"] = int(probe())
+    runtime = getattr(executor, "runtime", executor)
+    row["runtime_kind"] = type(runtime).__name__
+    partition_count = getattr(runtime, "partition_count", None)
+    if partition_count is not None:
+        row["hpc_partitions"] = int(partition_count)
+    active = getattr(runtime, "active_counters", None)
+    if active is not None:
+        row["sem_active_counters"] = int(active)
+    segment_engines = getattr(runtime, "shared_segment_engines", None)
+    if segment_engines is not None:
+        row["cc_segment_engines"] = int(segment_engines)
+        snapshot_rows = 0
+        names = getattr(runtime, "query_names", None) or ()
+        rows_of = getattr(runtime, "snapshot_rows_of", None)
+        if rows_of is not None:
+            for name in names:
+                snapshot_rows += rows_of(name)
+        row["cc_snapshot_rows"] = snapshot_rows
+    return row
+
+
+def _executor_for(engine: Any, name: str) -> Any | None:
+    """The per-query executor inside a multi-query engine, if any."""
+    probe = getattr(engine, "unshared_executor", None)  # WorkloadEngine
+    if probe is not None:
+        executor = probe(name)
+        if executor is not None:
+            return executor
+        return None  # a shared query: the engine itself holds its state
+    probe = getattr(engine, "engine", None)  # UnsharedEngine
+    if callable(probe):
+        try:
+            return probe(name)
+        except KeyError:
+            return None
+    return None
+
+
+def query_rows(engine: Any) -> list[dict[str, Any]]:
+    """One cost-accounting row per query, whatever the engine shape."""
+    rows_fn = getattr(engine, "query_rows", None)
+    if rows_fn is not None:  # StreamEngine keeps richer per-registration data
+        return rows_fn()
+    names = getattr(engine, "query_names", None)
+    if names is None:
+        name = getattr(getattr(engine, "query", None), "name", None) or "q"
+        return [{"query": name, **cost_summary(engine)}]
+    rows = []
+    shared = getattr(engine, "shared_engine", None)
+    shared_engine = shared() if shared is not None else None
+    for name in list(names):
+        row: dict[str, Any] = {"query": name}
+        executor = _executor_for(engine, name)
+        if executor is not None:
+            row.update(cost_summary(executor))
+        else:
+            holder = shared_engine if shared_engine is not None else engine
+            row["runtime_kind"] = type(holder).__name__
+            events = getattr(holder, "events_processed", None)
+            if events is not None:
+                row["events_processed"] = int(events)
+            rows_of = getattr(holder, "snapshot_rows_of", None)
+            if rows_of is not None:
+                row["cc_snapshot_rows"] = int(rows_of(name))
+        rows.append(row)
+    return rows
+
+
+def state_of(engine: Any, query_id: str) -> dict[str, Any] | None:
+    """One query's structured state dump, or None when unknown."""
+    executor_of = getattr(engine, "executor_of", None)  # StreamEngine
+    if executor_of is not None:
+        try:
+            executor = executor_of(query_id)
+        except Exception:
+            return None
+        return _inspect_or_kind(executor)
+    names = getattr(engine, "query_names", None)
+    if names is not None:
+        if query_id not in list(names):
+            return None
+        executor = _executor_for(engine, query_id)
+        if executor is not None:
+            return _inspect_or_kind(executor)
+        shared = getattr(engine, "shared_engine", None)
+        holder = shared() if shared is not None else None
+        if holder is None:
+            holder = engine
+        state = _inspect_or_kind(holder)
+        return {"query": query_id, "engine": state}
+    name = getattr(getattr(engine, "query", None), "name", None) or "q"
+    if query_id in (name, "q"):
+        return _inspect_or_kind(engine)
+    return None
+
+
+def _inspect_or_kind(target: Any) -> dict[str, Any]:
+    probe = getattr(target, "inspect", None)
+    if probe is not None:
+        return probe()
+    return {"kind": type(target).__name__}
+
+
+def engine_inspect(engine: Any) -> dict[str, Any]:
+    """Engine-wide structured summary, whatever the engine shape."""
+    state = _inspect_or_kind(engine)
+    if "kind" not in state:
+        state["kind"] = type(engine).__name__
+    return state
+
+
+def health_snapshot(engine: Any) -> dict[str, Any]:
+    """Liveness summary: quarantines, DLQ depth, journal backlog.
+
+    ``healthy`` is False exactly when a registration is quarantined —
+    the engine is up but silently not serving some query, which an
+    orchestrator should see as degraded.
+    """
+    quarantined: list[str] = []
+    probe = getattr(engine, "quarantined", None)
+    if callable(probe):
+        quarantined = list(probe())
+    dlq = getattr(engine, "dlq", None)
+    dlq_depth = len(dlq) if dlq is not None else 0
+    journal = getattr(engine, "journal", None)
+    backlog = int(getattr(journal, "backlog_bytes", 0) or 0)
+    engine_metrics = getattr(engine, "metrics", None)
+    events = getattr(engine_metrics, "events", None)
+    if events is None:
+        events = getattr(engine, "events_processed", None)
+    healthy = not quarantined
+    return {
+        "status": "ok" if healthy else "degraded",
+        "healthy": healthy,
+        "quarantined": quarantined,
+        "dlq_depth": dlq_depth,
+        "journal_backlog_bytes": backlog,
+        "events": events,
+    }

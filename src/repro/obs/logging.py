@@ -1,0 +1,205 @@
+"""Structured, rate-limited logging for the runtime's subsystems.
+
+The engines themselves stay silent (they report through metrics and
+traces); the *operational* layers — CLI, supervisor, admin server —
+need to tell a human what happened, and in production that text must
+be machine-parseable. This module gives each subsystem one
+:class:`StructLogger`:
+
+* every record is one line on the configured stream — either a JSON
+  object (``{"ts": ..., "level": "info", "subsystem": "supervisor",
+  "event": "quarantine", "query": "q3", ...}``) or, in text mode, the
+  human-readable ``# ``-prefixed diagnostics the CLI has always
+  printed;
+* records are rate-limited per logger by a token bucket so a
+  quarantine storm or a hot supervisor loop cannot flood stderr: the
+  number of suppressed records is carried on the next record that
+  passes (``"dropped": N``);
+* configuration is process-global (:func:`configure`) and loggers are
+  cached per subsystem (:func:`get_logger`), mirroring the default
+  metrics registry.
+
+Nothing here imports the stdlib ``logging`` machinery — one line per
+record, no handlers, no propagation, so the hot path of an *enabled*
+logger is a clock read plus one ``write``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+LEVELS = ("debug", "info", "warning", "error")
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class LogConfig:
+    """Process-global logging configuration."""
+
+    __slots__ = ("stream", "level", "json_mode", "rate_per_s", "burst")
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        level: str = "info",
+        json_mode: bool = False,
+        rate_per_s: float = 50.0,
+        burst: int = 100,
+    ):
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.stream = stream
+        self.level = level
+        self.json_mode = json_mode
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+
+
+_config = LogConfig()
+_loggers: dict[str, "StructLogger"] = {}
+_loggers_lock = threading.Lock()
+
+
+def configure(
+    stream: TextIO | None = None,
+    level: str = "info",
+    json_mode: bool = False,
+    rate_per_s: float = 50.0,
+    burst: int = 100,
+) -> LogConfig:
+    """Install the process-global log configuration.
+
+    Existing loggers pick the new configuration up immediately (they
+    read it per record); new loggers are created against it. Returns
+    the previous configuration so callers (the CLI, tests) can restore
+    it with :func:`install_config`.
+    """
+    return install_config(
+        LogConfig(stream, level, json_mode, rate_per_s, burst)
+    )
+
+
+def install_config(config: LogConfig) -> LogConfig:
+    """Swap in a prebuilt :class:`LogConfig`; returns the previous one."""
+    global _config
+    previous = _config
+    _config = config
+    with _loggers_lock:
+        for logger in _loggers.values():
+            logger._reset_bucket()
+    return previous
+
+
+def get_logger(subsystem: str) -> "StructLogger":
+    """The cached logger of one subsystem (``cli``, ``supervisor``, ...)."""
+    with _loggers_lock:
+        logger = _loggers.get(subsystem)
+        if logger is None:
+            logger = StructLogger(subsystem)
+            _loggers[subsystem] = logger
+        return logger
+
+
+class StructLogger:
+    """One subsystem's structured logger.
+
+    ``info("quarantine", query="q3", failures=5)`` emits one record
+    with ``event="quarantine"`` plus the fields. In text mode a
+    ``message=`` field (or the rendered fields) is printed behind a
+    ``# `` prefix, preserving the CLI's historical stderr format.
+    """
+
+    def __init__(self, subsystem: str):
+        self.subsystem = subsystem
+        self.records_emitted = 0
+        self.records_dropped = 0
+        self._lock = threading.Lock()
+        self._tokens = float(_config.burst)
+        self._refill_at = time.monotonic()
+        self._pending_dropped = 0
+
+    # ----- rate limiting ----------------------------------------------------
+
+    def _reset_bucket(self) -> None:
+        with self._lock:
+            self._tokens = float(_config.burst)
+            self._refill_at = time.monotonic()
+
+    def _admit(self) -> tuple[bool, int]:
+        """Token-bucket admission; returns (admitted, dropped_before)."""
+        config = _config
+        now = time.monotonic()
+        with self._lock:
+            elapsed = now - self._refill_at
+            self._refill_at = now
+            self._tokens = min(
+                float(config.burst),
+                self._tokens + elapsed * config.rate_per_s,
+            )
+            if self._tokens < 1.0:
+                self._pending_dropped += 1
+                self.records_dropped += 1
+                return False, 0
+            self._tokens -= 1.0
+            dropped = self._pending_dropped
+            self._pending_dropped = 0
+            return True, dropped
+
+    # ----- record emission --------------------------------------------------
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        config = _config
+        if _LEVEL_RANK[level] < _LEVEL_RANK[config.level]:
+            return
+        admitted, dropped = self._admit()
+        if not admitted:
+            return
+        stream = config.stream if config.stream is not None else sys.stderr
+        message = fields.pop("message", None)
+        if config.json_mode:
+            record: dict[str, Any] = {
+                "ts": round(time.time(), 3),
+                "level": level,
+                "subsystem": self.subsystem,
+                "event": event,
+            }
+            if message is not None:
+                record["message"] = message
+            record.update(fields)
+            if dropped:
+                record["dropped"] = dropped
+            line = json.dumps(record, default=str)
+        else:
+            if message is None:
+                rendered = " ".join(
+                    f"{key}={value}" for key, value in fields.items()
+                )
+                message = f"{event} {rendered}" if rendered else event
+            line = f"# {message}"
+            if dropped:
+                line += f" (+{dropped} log records suppressed)"
+        self.records_emitted += 1
+        try:
+            stream.write(line + "\n")
+        except Exception:
+            # A broken log stream must never take the engine down.
+            self.records_dropped += 1
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)

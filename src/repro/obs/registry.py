@@ -17,6 +17,7 @@ paths can skip instrumentation with a single boolean check.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Iterator
 
@@ -182,6 +183,13 @@ class MetricsRegistry:
     Re-asking for an existing (name, labels) pair returns the same
     object, so independent components naturally share totals; asking
     for an existing name with a different metric kind is an error.
+
+    Registration and reads are guarded by a lock so a scrape thread
+    (the admin HTTP server) never observes a half-registered metric
+    while the engine thread is still creating metrics. Metric *updates*
+    (``inc``/``set``/``observe``) stay lock-free — they are single
+    attribute writes on the hot path, and scrapes tolerate the usual
+    torn-read imprecision of live counters.
     """
 
     enabled = True
@@ -189,6 +197,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, LabelPairs], Metric] = {}
         self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
 
     # ----- get-or-create ---------------------------------------------------
 
@@ -206,31 +215,35 @@ class MetricsRegistry:
         **labels: str,
     ) -> Histogram:
         key = (name, _label_key(labels))
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, Histogram):
-                raise ValueError(
-                    f"metric {name!r} already registered as {existing.kind}"
-                )
-            return existing
-        self._check_kind(name, "histogram")
-        metric = Histogram(name, help, key[1], bounds)
-        self._metrics[key] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            self._check_kind(name, "histogram")
+            metric = Histogram(name, help, key[1], bounds)
+            self._metrics[key] = metric
+            return metric
 
     def _get_or_create(self, cls, name: str, help: str, labels: dict):
         key = (name, _label_key(labels))
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as {existing.kind}"
-                )
-            return existing
-        self._check_kind(name, cls.kind)
-        metric = cls(name, help, key[1])
-        self._metrics[key] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            self._check_kind(name, cls.kind)
+            metric = cls(name, help, key[1])
+            self._metrics[key] = metric
+            return metric
 
     def _check_kind(self, name: str, kind: str) -> None:
         registered = self._kinds.get(name)
@@ -244,19 +257,27 @@ class MetricsRegistry:
     # ----- reads -----------------------------------------------------------
 
     def metrics(self) -> Iterator[Metric]:
-        """All metrics, grouped by name in registration order."""
+        """All metrics, grouped by name in registration order.
+
+        The metric list is snapshotted under the lock before grouping,
+        so concurrent registration cannot tear the iteration.
+        """
+        with self._lock:
+            snapshot = list(self._metrics.values())
         by_name: dict[str, list[Metric]] = {}
-        for metric in self._metrics.values():
+        for metric in snapshot:
             by_name.setdefault(metric.name, []).append(metric)
         for group in by_name.values():
             yield from group
 
     def get(self, name: str, **labels: str) -> Metric | None:
-        return self._metrics.get((name, _label_key(labels)))
+        with self._lock:
+            return self._metrics.get((name, _label_key(labels)))
 
     def value(self, name: str, default: float = 0.0, **labels: str) -> float:
         """Scalar value of a counter/gauge (missing metrics read 0)."""
-        metric = self._metrics.get((name, _label_key(labels)))
+        with self._lock:
+            metric = self._metrics.get((name, _label_key(labels)))
         if metric is None or isinstance(metric, Histogram):
             return default
         return metric.value
@@ -285,11 +306,13 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> None:
-        self._metrics.clear()
-        self._kinds.clear()
+        with self._lock:
+            self._metrics.clear()
+            self._kinds.clear()
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
 
 class _NullCounter(Counter):

@@ -1,0 +1,257 @@
+"""The admin HTTP server: a live ops plane for a running engine.
+
+A :class:`AdminServer` embeds a stdlib
+:class:`~http.server.ThreadingHTTPServer` next to any engine (the CLI
+wires it behind ``--admin-port``) and serves:
+
+========================  ====================================================
+``GET /metrics``          Prometheus text exposition of the registry
+``GET /metrics.json``     JSON snapshot (with derived histogram quantiles)
+``GET /healthz``          liveness: 200 when healthy, 503 when any
+                          registration is quarantined; body carries the
+                          quarantined names, DLQ depth and journal backlog
+``GET /queries``          one cost-accounting row per registered query
+``GET /queries/<id>/state``  EXPLAIN-style dump of that query's live
+                          prefix-counter state (``inspect()``)
+``GET /trace``            drain the trace ring buffer as JSON spans
+========================  ====================================================
+
+The server thread only ever *reads* engine state, through the
+snapshot-before-iterate discipline of :mod:`repro.obs.inspect`; the
+engine thread never blocks on a scrape. Handlers are defensive: a read
+torn by a concurrent mutation is retried once, and any unexpected
+error returns a 500 without touching the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.export import registry_snapshot, to_prometheus
+from repro.obs.inspect import health_snapshot, query_rows, state_of
+from repro.obs.logging import get_logger
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.tracing import TraceRecorder
+
+_log = get_logger("admin")
+
+
+class _AdminHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: The owning AdminServer; set right after construction.
+    admin: "AdminServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # ----- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        _log.debug("request", message=f"{self.client_address[0]} "
+                   + format % args)
+
+    def _send(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        self._send(status, body + b"\n", "application/json")
+
+    # ----- routing ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            self._route(path)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # scraper went away mid-response
+        except Exception as error:  # defensive: a scrape never crashes
+            _log.error(
+                "handler_error",
+                message=f"admin handler failed on {path}: {error!r}",
+                path=path,
+                error=type(error).__name__,
+            )
+            try:
+                self._send_json(
+                    500, {"error": type(error).__name__, "detail": str(error)}
+                )
+            except Exception:
+                pass
+
+    def _route(self, path: str) -> None:
+        admin = self.server.admin  # type: ignore[attr-defined]
+        if path == "/metrics":
+            text = admin._read(lambda: admin.render_prometheus())
+            self._send(
+                200, text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/metrics.json":
+            self._send_json(200, admin._read(admin.render_metrics_json))
+        elif path == "/healthz":
+            health = admin._read(lambda: health_snapshot(admin.engine))
+            self._send_json(200 if health["healthy"] else 503, health)
+        elif path == "/queries":
+            rows = admin._read(lambda: query_rows(admin.engine))
+            self._send_json(200, {"queries": rows})
+        elif path.startswith("/queries/") and path.endswith("/state"):
+            query_id = path[len("/queries/"):-len("/state")]
+            state = admin._read(lambda: state_of(admin.engine, query_id))
+            if state is None:
+                self._send_json(
+                    404, {"error": "unknown query", "query": query_id}
+                )
+            else:
+                self._send_json(200, state)
+        elif path == "/trace":
+            self._send_json(200, admin._read(admin.drain_trace))
+        elif path == "/":
+            self._send_json(200, {"endpoints": sorted(ENDPOINTS)})
+        else:
+            self._send_json(404, {"error": "not found", "path": path})
+
+
+ENDPOINTS = (
+    "/metrics", "/metrics.json", "/healthz", "/queries",
+    "/queries/<id>/state", "/trace",
+)
+
+
+class AdminServer:
+    """Embedded admin endpoint for one engine.
+
+    Parameters
+    ----------
+    engine:
+        Anything with engine state worth inspecting — a
+        :class:`~repro.engine.engine.StreamEngine` (supervised or not),
+        a shared multi-query engine, or a bare executor.
+    registry:
+        The metrics registry to expose; defaults to the engine's own
+        ``obs_registry`` (falling back to the process default).
+    trace:
+        The trace recorder ``/trace`` drains; optional.
+    host / port:
+        Bind address. ``port=0`` picks a free port (tests); read the
+        chosen one back from :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.engine = engine
+        if registry is None:
+            registry = getattr(engine, "obs_registry", None)
+        self.registry = resolve_registry(registry)
+        self.trace = trace
+        self._httpd = _AdminHTTPServer((host, port), _Handler)
+        self._httpd.admin = self
+        self._thread: threading.Thread | None = None
+
+    # ----- lifecycle --------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "AdminServer":
+        if self._thread is not None:
+            raise RuntimeError("admin server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-admin",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info(
+            "admin_listening",
+            message=f"admin server listening on {self.url()}",
+            host=self.host,
+            port=self.port,
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "AdminServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ----- views ------------------------------------------------------------
+
+    def _read(self, producer):
+        """Run a read against live state, retrying once on a torn read.
+
+        ``list(...)`` snapshots make torn reads rare, but a dict that
+        grows mid-``items()`` can still raise ``RuntimeError``; the
+        second attempt sees the post-mutation state.
+        """
+        try:
+            return producer()
+        except RuntimeError:
+            return producer()
+
+    def _refresh(self) -> None:
+        refresh = getattr(self.engine, "refresh_cost_metrics", None)
+        if refresh is not None:
+            refresh()
+
+    def render_prometheus(self) -> str:
+        self._refresh()
+        return to_prometheus(self.registry)
+
+    def render_metrics_json(self) -> dict[str, Any]:
+        self._refresh()
+        return registry_snapshot(self.registry)
+
+    def drain_trace(self) -> dict[str, Any]:
+        trace = self.trace
+        if trace is None or not trace.enabled:
+            return {"spans": [], "recorded_total": 0, "enabled": False}
+        spans = trace.spans()
+        trace.clear()
+        return {
+            "enabled": True,
+            "recorded_total": trace.recorded_total,
+            "spans": [
+                {
+                    "seq": span.seq,
+                    "ts": span.ts,
+                    "stage": span.stage,
+                    "event_type": span.event_type,
+                    "detail": span.detail,
+                }
+                for span in spans
+            ],
+        }

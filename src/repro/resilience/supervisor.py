@@ -43,10 +43,13 @@ from repro.errors import EngineError, OverloadError
 from repro.engine.engine import StreamEngine
 from repro.engine.sinks import Output, ResultSink
 from repro.events.event import Event
+from repro.obs.logging import get_logger
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.tracing import Stage, TraceRecorder
 from repro.resilience.checkpointer import Checkpointer
 from repro.resilience.journal import EventJournal
+
+_log = get_logger("supervisor")
 
 OVERLOAD_POLICIES = ("shed_oldest", "block", "raise")
 
@@ -172,8 +175,16 @@ class SupervisedStreamEngine(StreamEngine):
         quarantine_after: int = 5,
         auto_restart_events: int | None = None,
         max_journal_backlog_bytes: int | None = None,
+        stream_name: str = "default",
+        cost_sample_every: int = 64,
     ):
-        super().__init__(vectorized=vectorized, registry=registry, trace=trace)
+        super().__init__(
+            vectorized=vectorized,
+            registry=registry,
+            trace=trace,
+            stream_name=stream_name,
+            cost_sample_every=cost_sample_every,
+        )
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be at least 1")
         if auto_restart_events is not None and auto_restart_events < 1:
@@ -267,6 +278,8 @@ class SupervisedStreamEngine(StreamEngine):
             self._m_events.inc()
         self.metrics.events += 1
         events_seen = self.metrics.events
+        sample = self._cost_sample_every
+        timed = obs_on and sample and events_seen % sample == 0
         for registration, health in self._dispatch:
             if health.quarantined:
                 if (
@@ -279,7 +292,14 @@ class SupervisedStreamEngine(StreamEngine):
             if obs_on:
                 registration.m_events.inc()
             try:
-                fresh = registration.executor.process(event)
+                if timed:
+                    t0 = time.perf_counter()
+                    fresh = registration.executor.process(event)
+                    registration.m_latency.observe(
+                        (time.perf_counter() - t0) * 1e6
+                    )
+                else:
+                    fresh = registration.executor.process(event)
             except Exception as error:
                 self._note_failure(
                     registration.name, health, event, error, journal_seq
@@ -307,7 +327,9 @@ class SupervisedStreamEngine(StreamEngine):
                         self.metrics.sink_errors += 1
                         self._m_sink_errors.inc()
         if obs_on:
-            self._m_latency.observe((time.perf_counter() - started) * 1e6)
+            finished = time.perf_counter()
+            self._m_latency.observe((finished - started) * 1e6)
+            self._note_event_time(event.ts, finished)
         if self._checkpointer is not None:
             self._checkpointer.maybe_checkpoint()
 
@@ -347,6 +369,17 @@ class SupervisedStreamEngine(StreamEngine):
                 )
             self._g_quarantined.inc()
             self._m_quarantines.inc()
+            _log.warning(
+                "quarantine",
+                message=(
+                    f"quarantined query {name!r} after "
+                    f"{health.consecutive_failures} consecutive failures"
+                ),
+                query=name,
+                consecutive_failures=health.consecutive_failures,
+                error=type(error).__name__,
+                retry_at_event=health.retry_at_event,
+            )
             if self._trace_on:
                 self._trace.record(
                     Stage.QUARANTINE, event.ts, event.event_type,
@@ -391,6 +424,12 @@ class SupervisedStreamEngine(StreamEngine):
         if health.quarantined:
             health.quarantined = False
             self._g_quarantined.dec()
+            _log.info(
+                "restart",
+                message=f"restarted quarantined query {name!r}",
+                query=name,
+                failures_total=health.failures_total,
+            )
         health.consecutive_failures = 0
         health.retry_at_event = None
 
@@ -431,3 +470,29 @@ class SupervisedStreamEngine(StreamEngine):
             vectorized=bool(entry.get("vectorized", False)),
         )
         self.restart(name)
+
+    # ----- introspection ----------------------------------------------------
+
+    def inspect(self) -> dict[str, Any]:
+        """Engine summary plus supervision state (health, DLQ, journal)."""
+        state = super().inspect()
+        health = {}
+        for name, entry in list(self._health.items()):
+            health[name] = {
+                "quarantined": entry.quarantined,
+                "consecutive_failures": entry.consecutive_failures,
+                "failures_total": entry.failures_total,
+                "retry_at_event": entry.retry_at_event,
+            }
+        journal = self._journal
+        state.update(
+            health=health,
+            quarantined=self.quarantined(),
+            dlq_depth=len(self.dlq),
+            dlq_shed=self.dlq.shed,
+            journal_backlog_bytes=(
+                int(journal.backlog_bytes) if journal is not None else 0
+            ),
+            events_replayed=self.events_replayed,
+        )
+        return state

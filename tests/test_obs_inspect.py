@@ -1,0 +1,265 @@
+"""inspect() surfaces and the duck-typed admin-plane helpers."""
+
+import json
+
+from conftest import replay
+from repro.core.executor import ASeqEngine
+from repro.engine.engine import StreamEngine
+from repro.engine.sinks import CollectSink
+from repro.events import Event
+from repro.multi.chop import chop
+from repro.multi.chop_connect import ChopConnectEngine
+from repro.multi.prefix_sharing import PrefixSharedEngine
+from repro.multi.unshared import UnsharedEngine
+from repro.multi.workload import WorkloadEngine
+from repro.obs.inspect import (
+    cost_summary,
+    engine_inspect,
+    health_snapshot,
+    query_rows,
+    state_of,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.query import seq
+from repro.resilience import SupervisedStreamEngine
+from repro.resilience.faults import FaultyExecutor
+
+
+def q(name, *pattern, win=50):
+    builder = seq(*pattern).count()
+    if win:
+        builder = builder.within(ms=win)
+    return builder.named(name).build()
+
+
+def ab_stream(n=40):
+    return [Event("AB"[i % 2], i + 1) for i in range(n)]
+
+
+def assert_json_serializable(payload):
+    json.dumps(payload)
+
+
+class TestExecutorInspect:
+    def test_sem_inspect(self):
+        engine = ASeqEngine(q("ab", "A", "B", win=10))
+        replay(engine, ab_stream(30))
+        state = engine.inspect()
+        assert_json_serializable(state)
+        assert state["kind"] == "aseq"
+        assert state["query_name"] == "ab"
+        assert state["events_processed"] == 30
+        runtime = state["runtime"]
+        assert runtime["kind"] == "sem"
+        assert runtime["window_ms"] == 10
+        assert runtime["active_counters"] == len(runtime["counters"])
+        assert runtime["counter_updates"] > 0
+
+    def test_dpc_inspect(self):
+        engine = ASeqEngine(q("ab", "A", "B", win=None))
+        replay(engine, ab_stream(10))
+        runtime = engine.inspect()["runtime"]
+        assert runtime["kind"] == "dpc"
+        assert runtime["counts"][-1] == engine.result()
+        assert_json_serializable(runtime)
+
+    def test_hpc_inspect(self):
+        query = (
+            seq("A", "B").count().within(ms=100).group_by("ip")
+            .named("g").build()
+        )
+        engine = ASeqEngine(query)
+        for i in range(20):
+            engine.process(
+                Event("AB"[i % 2], i + 1, {"ip": f"10.0.0.{i % 3}"})
+            )
+        runtime = engine.inspect()["runtime"]
+        assert_json_serializable(runtime)
+        assert runtime["kind"] == "hpc"
+        assert runtime["partition_attributes"] == ["ip"]
+        assert runtime["partition_count"] == 3
+        assert len(runtime["partitions"]) == 3
+        assert cost_summary(engine)["hpc_partitions"] == 3
+
+    def test_vectorized_inspect(self):
+        engine = ASeqEngine(q("ab", "A", "B", win=10), vectorized=True)
+        replay(engine, ab_stream(30))
+        state = engine.inspect()
+        assert state["vectorized"] is True
+        assert state["runtime"]["kind"] == "vectorized_sem"
+        assert state["runtime"]["active_counters"] >= 1
+        assert_json_serializable(state)
+
+    def test_cost_summary_tracks_counter_updates(self):
+        engine = ASeqEngine(q("ab", "A", "B", win=10))
+        replay(engine, ab_stream(30))
+        row = cost_summary(engine)
+        assert row["events_processed"] == 30
+        assert row["counter_updates"] > 0
+        assert row["live_objects"] >= 0
+        assert row["runtime_kind"] == "SemEngine"
+
+
+class TestMultiEngineInspect:
+    def test_chop_connect_inspect(self):
+        engine = ChopConnectEngine(
+            [chop(q("q1", "A", "B", "C"), 1), chop(q("q2", "X", "B", "C"), 1)]
+        )
+        replay(
+            engine,
+            [Event("A", 1), Event("X", 2), Event("B", 3), Event("C", 4)],
+        )
+        state = engine.inspect()
+        assert_json_serializable(state)
+        assert state["kind"] == "chop_connect"
+        assert set(state["pipelines"]) == {"q1", "q2"}
+        assert state["segments_shared"] >= 1
+        assert engine.snapshot_rows_of("q1") >= 0
+        assert sorted(engine.query_names) == ["q1", "q2"]
+
+    def test_pretree_and_prefix_shared_inspect(self):
+        engine = PrefixSharedEngine(
+            [q("q1", "A", "B", "C"), q("q2", "A", "B", "D")]
+        )
+        replay(engine, [Event(t, i + 1) for i, t in enumerate("ABCD")])
+        state = engine.inspect()
+        assert_json_serializable(state)
+        assert state["kind"] == "prefix_shared"
+        (group,) = [g for g in state["groups"] if g["start"] == "A"]
+        assert sorted(group["queries"]) == ["q1", "q2"]
+        assert group["trees"][0]["kind"] == "pretree"
+        assert "q1" in group["trees"][0]["terminals"]
+
+    def test_workload_engine_inspect_and_rows(self):
+        sum_query = (
+            seq("A", "B").sum("B", "w").within(ms=50).named("s").build()
+        )
+        engine = WorkloadEngine(
+            [q("q1", "A", "B", "C"), q("q2", "X", "B", "C"), sum_query]
+        )
+        replay(
+            engine,
+            [Event("AB"[i % 2], i + 1, {"w": 1.0}) for i in range(20)],
+        )
+        state = engine.inspect()
+        assert_json_serializable(state)
+        assert set(state["unshared"]) == {"s"}
+        rows = query_rows(engine)
+        assert {row["query"] for row in rows} == {"q1", "q2", "s"}
+        shared_state = state_of(engine, "q1")
+        assert shared_state["query"] == "q1"
+        assert shared_state["engine"]["kind"] == "chop_connect"
+        assert state_of(engine, "s")["kind"] == "aseq"
+        assert state_of(engine, "nope") is None
+
+    def test_unshared_engine_rows_and_state(self):
+        engine = UnsharedEngine([q("q1", "A", "B"), q("q2", "A", "C")])
+        replay(engine, ab_stream(10))
+        rows = query_rows(engine)
+        assert {row["query"] for row in rows} == {"q1", "q2"}
+        assert all(row["events_processed"] >= 0 for row in rows)
+        assert state_of(engine, "q1")["kind"] == "aseq"
+        assert state_of(engine, "zzz") is None
+
+
+class TestStreamEngineInspect:
+    def test_inspect_and_query_rows(self):
+        registry = MetricsRegistry()
+        engine = StreamEngine(registry=registry, stream_name="trades")
+        sink = CollectSink()
+        engine.register(q("ab", "A", "B", win=10), sink)
+        engine.run(ab_stream(64))
+        state = engine.inspect()
+        assert_json_serializable(state)
+        assert state["kind"] == "StreamEngine"
+        assert state["stream"] == "trades"
+        assert state["events"] == 64
+        assert state["queries"]["ab"]["kind"] == "aseq"
+        (row,) = engine.query_rows()
+        assert row["query"] == "ab"
+        assert row["events_routed"] == 64
+        assert row["outputs"] > 0
+        assert "latency_us_p50" in row  # sampled at the default stride
+        assert engine.executor_of("ab") is not None
+
+    def test_watermark_and_lag_gauges(self):
+        registry = MetricsRegistry()
+        engine = StreamEngine(registry=registry, stream_name="s1")
+        engine.register(q("ab", "A", "B", win=10))
+        assert engine.watermark_ms is None
+        engine.run(ab_stream(10))
+        assert engine.watermark_ms == 10
+        assert registry.value(
+            "repro_event_time_watermark_ms", stream="s1"
+        ) == 10.0
+        # replaying 10ms of event time takes far less than 10ms of
+        # wall clock, so the anchored lag is negative (ahead of time)
+        assert registry.value(
+            "repro_event_time_lag_seconds", stream="s1"
+        ) < 0.0
+
+    def test_refresh_cost_metrics_publishes_gauges(self):
+        registry = MetricsRegistry()
+        engine = StreamEngine(registry=registry)
+        engine.register(q("ab", "A", "B", win=10))
+        engine.run(ab_stream(30))
+        engine.refresh_cost_metrics()
+        assert registry.value("query_live_objects", query="ab") >= 0
+        assert registry.value("query_counter_updates", query="ab") > 0
+
+    def test_health_snapshot_plain_engine_is_ok(self):
+        engine = StreamEngine()
+        engine.register(q("ab", "A", "B", win=10))
+        engine.run(ab_stream(10))
+        health = health_snapshot(engine)
+        assert health["status"] == "ok"
+        assert health["healthy"] is True
+        assert health["quarantined"] == []
+        assert health["events"] == 10
+
+
+class TestSupervisedInspect:
+    def test_inspect_carries_health_and_dlq(self):
+        engine = SupervisedStreamEngine(quarantine_after=2)
+        engine.register(q("healthy", "A", "B", win=10))
+        engine.register_executor(
+            "poison",
+            FaultyExecutor(ASeqEngine(q("poison", "A", "B", win=10)),
+                           poison=True),
+        )
+        for event in ab_stream(12):
+            engine.process(event)
+        state = engine.inspect()
+        assert_json_serializable(state)
+        assert state["quarantined"] == ["poison"]
+        assert state["dlq_depth"] == 2
+        assert state["health"]["poison"]["quarantined"] is True
+        assert state["health"]["healthy"]["quarantined"] is False
+
+    def test_health_snapshot_degrades_on_quarantine(self):
+        engine = SupervisedStreamEngine(quarantine_after=2)
+        engine.register_executor(
+            "poison",
+            FaultyExecutor(ASeqEngine(q("poison", "A", "B", win=10)),
+                           poison=True),
+        )
+        for event in ab_stream(6):
+            engine.process(event)
+        health = health_snapshot(engine)
+        assert health["status"] == "degraded"
+        assert health["healthy"] is False
+        assert health["quarantined"] == ["poison"]
+        assert health["dlq_depth"] == 2
+
+
+class TestEngineInspectFallback:
+    def test_engine_inspect_always_has_kind(self):
+        class Opaque:
+            pass
+
+        assert engine_inspect(Opaque())["kind"] == "Opaque"
+
+    def test_state_of_single_executor(self):
+        engine = ASeqEngine(q("solo", "A", "B", win=10))
+        assert state_of(engine, "solo")["kind"] == "aseq"
+        assert state_of(engine, "other") is None

@@ -1,0 +1,139 @@
+"""Structured logging: JSON records, text mode, rate limiting."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import (
+    LogConfig,
+    StructLogger,
+    configure,
+    get_logger,
+    install_config,
+)
+
+
+@pytest.fixture
+def stream():
+    """Capture log output; always restore the global config after."""
+    captured = io.StringIO()
+    previous = install_config(LogConfig(stream=captured))
+    yield captured
+    install_config(previous)
+
+
+def lines(stream):
+    return [line for line in stream.getvalue().splitlines() if line]
+
+
+class TestTextMode:
+    def test_message_keeps_cli_prefix(self, stream):
+        get_logger("cli").info("stats", message="stats events=1,000")
+        assert lines(stream) == ["# stats events=1,000"]
+
+    def test_fields_render_without_message(self, stream):
+        get_logger("cli").info("quarantine", query="q3", failures=5)
+        assert lines(stream) == ["# quarantine query=q3 failures=5"]
+
+    def test_bare_event(self, stream):
+        get_logger("cli").info("started")
+        assert lines(stream) == ["# started"]
+
+
+class TestJsonMode:
+    def test_record_shape(self, stream):
+        install_config(LogConfig(stream=stream, json_mode=True))
+        get_logger("supervisor").warning(
+            "quarantine", message="quarantined q3", query="q3", failures=5
+        )
+        (line,) = lines(stream)
+        record = json.loads(line)
+        assert record["level"] == "warning"
+        assert record["subsystem"] == "supervisor"
+        assert record["event"] == "quarantine"
+        assert record["message"] == "quarantined q3"
+        assert record["query"] == "q3"
+        assert record["failures"] == 5
+        assert isinstance(record["ts"], float)
+
+    def test_non_serializable_fields_coerced(self, stream):
+        install_config(LogConfig(stream=stream, json_mode=True))
+        get_logger("x").info("evt", path=object())
+        record = json.loads(lines(stream)[0])
+        assert "object object" in record["path"]
+
+
+class TestLevels:
+    def test_below_threshold_suppressed(self, stream):
+        get_logger("cli").debug("noise")
+        assert lines(stream) == []
+
+    def test_level_lowered_by_configure(self, stream):
+        install_config(LogConfig(stream=stream, level="debug"))
+        get_logger("cli").debug("noise")
+        assert lines(stream) == ["# noise"]
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            LogConfig(level="loud")
+
+
+class TestRateLimiting:
+    def test_burst_caps_output_and_counts_drops(self, stream):
+        install_config(
+            LogConfig(stream=stream, rate_per_s=0.001, burst=5)
+        )
+        logger = StructLogger("noisy")
+        for i in range(50):
+            logger.info("tick", i=i)
+        emitted = lines(stream)
+        assert len(emitted) == 5
+        assert logger.records_emitted == 5
+        assert logger.records_dropped == 45
+
+    def test_dropped_count_carried_on_next_record(self, stream):
+        install_config(
+            LogConfig(stream=stream, json_mode=True, rate_per_s=1000.0,
+                      burst=2)
+        )
+        logger = StructLogger("noisy")
+        for i in range(10):
+            logger.info("tick", i=i)
+        # burn the refilled tokens' worth of wall time: force a refill
+        logger._tokens = 1.0
+        logger.info("after")
+        records = [json.loads(line) for line in lines(stream)]
+        assert records[-1]["event"] == "after"
+        assert records[-1]["dropped"] == 8
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LogConfig(rate_per_s=0)
+        with pytest.raises(ValueError):
+            LogConfig(burst=0)
+
+
+class TestLoggerRegistry:
+    def test_get_logger_is_cached_per_subsystem(self):
+        assert get_logger("alpha") is get_logger("alpha")
+        assert get_logger("alpha") is not get_logger("beta")
+
+    def test_broken_stream_never_raises(self):
+        class Broken:
+            def write(self, text):
+                raise OSError("disk full")
+
+        previous = install_config(LogConfig(stream=Broken()))
+        try:
+            logger = StructLogger("x")
+            logger.info("evt")  # must not raise
+            assert logger.records_dropped == 1
+        finally:
+            install_config(previous)
+
+    def test_configure_returns_previous_config(self):
+        first = configure(level="error")
+        second = configure(level=first.level)
+        assert second.level == "error"
+        install_config(first)
