@@ -1,0 +1,268 @@
+"""Throughput benchmark for the batched + sharded execution path.
+
+Two workloads, each with a correctness guard (every fast path must
+agree with the reference engine before its numbers count):
+
+* **routing/batching** — a fig15-style multi-query workload: 20
+  disjoint 3-type SEQ/COUNT queries over a 60-type alphabet. Measures
+  the reference per-event engine, type-indexed routing, and routing +
+  micro-batching. With disjoint patterns each arrival concerns exactly
+  one query, so routing's best case (skip 19 of 20 executors) and the
+  paper's shared-workload setting coincide.
+* **sharding** — a fig12-style GROUP BY workload hash-partitioned
+  across worker processes via :class:`ShardedStreamEngine`.
+
+Run directly to (re)generate ``BENCH_throughput.json``::
+
+    PYTHONPATH=src python benchmarks/bench_throughput_batch_shard.py \
+        --out BENCH_throughput.json
+
+CI perf-smoke mode compares the *speedup ratios* (batched / per-event)
+against the committed baseline — ratios, not absolute events/s, so the
+check is portable across runner hardware::
+
+    PYTHONPATH=src python benchmarks/bench_throughput_batch_shard.py \
+        --events 40000 --check BENCH_throughput.json --tolerance 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.datagen.synthetic import SyntheticTypeGenerator, alphabet
+from repro.engine.engine import StreamEngine
+from repro.engine.sharded import ShardedStreamEngine
+from repro.events.event import Event
+from repro.query import parse_query
+
+QUERY_COUNT = 20
+TYPES_PER_QUERY = 3
+WINDOW_MS = 60
+
+
+def routing_queries():
+    """20 disjoint 3-type queries: Qi = SEQ(T3i, T3i+1, T3i+2)."""
+    queries = []
+    for index in range(QUERY_COUNT):
+        base = index * TYPES_PER_QUERY
+        steps = ", ".join(f"T{base + k}" for k in range(TYPES_PER_QUERY))
+        queries.append(
+            parse_query(
+                f"PATTERN SEQ({steps}) AGG COUNT WITHIN {WINDOW_MS} ms"
+            )
+        )
+    return queries
+
+
+def routing_stream(events):
+    types = alphabet(QUERY_COUNT * TYPES_PER_QUERY)
+    return SyntheticTypeGenerator(types, mean_gap_ms=1, seed=15).take(events)
+
+
+def grouped_stream(events, groups=16, seed=12):
+    """A/B stream carrying a group key — SyntheticTypeGenerator events
+    only carry a serial ``n``, so the shard workload rolls its own."""
+    import random
+
+    rng = random.Random(seed)
+    out = []
+    ts = 0
+    for _ in range(events):
+        ts += rng.randint(1, 2)
+        out.append(
+            Event(
+                rng.choice(("A", "B")),
+                ts,
+                {"g": rng.randrange(groups), "v": rng.randint(1, 9)},
+            )
+        )
+    return out
+
+
+def shard_queries():
+    return [
+        parse_query(
+            "PATTERN SEQ(A, B) AGG COUNT WITHIN 80 ms GROUP BY g"
+        ),
+        parse_query(
+            "PATTERN SEQ(A, B) AGG AVG(B.v) WITHIN 80 ms GROUP BY g"
+        ),
+        parse_query(
+            "PATTERN SEQ(B, A) AGG SUM(A.v) WITHIN 60 ms GROUP BY g"
+        ),
+    ]
+
+
+def _drive(make_engine, events, repeat):
+    """Best-of-``repeat`` events/s plus the final results for pinning."""
+    best = 0.0
+    results = None
+    for _ in range(repeat):
+        engine = make_engine()
+        started = time.perf_counter()
+        engine.run(events)
+        elapsed = time.perf_counter() - started
+        results = engine.results()
+        best = max(best, len(events) / elapsed)
+    return best, results
+
+
+def bench_routing_batching(events, batch_size, repeat):
+    stream = routing_stream(events)
+    queries = routing_queries()
+
+    def make(routed, batch):
+        def build():
+            engine = StreamEngine(routed=routed, batch_size=batch)
+            for index, query in enumerate(queries):
+                engine.register(query, name=f"q{index}")
+            return engine
+
+        return build
+
+    per_event_eps, reference = _drive(make(False, 0), stream, repeat)
+    routed_eps, routed_results = _drive(make(True, 0), stream, repeat)
+    batched_eps, batched_results = _drive(
+        make(True, batch_size), stream, repeat
+    )
+    if routed_results != reference or batched_results != reference:
+        raise SystemExit("fast-path results diverged from the reference")
+    return {
+        "events": events,
+        "queries": QUERY_COUNT,
+        "alphabet": QUERY_COUNT * TYPES_PER_QUERY,
+        "batch_size": batch_size,
+        "per_event_eps": round(per_event_eps),
+        "routed_eps": round(routed_eps),
+        "batched_eps": round(batched_eps),
+        "speedup_routed": round(routed_eps / per_event_eps, 2),
+        "speedup_batched": round(batched_eps / per_event_eps, 2),
+    }
+
+
+def bench_sharding(events, shards, batch_size, repeat):
+    stream = grouped_stream(events)
+    queries = shard_queries()
+
+    def single():
+        engine = StreamEngine(routed=True, batch_size=batch_size)
+        for index, query in enumerate(queries):
+            engine.register(query, name=f"q{index}")
+        return engine
+
+    single_eps, reference = _drive(single, stream, repeat)
+
+    sharded_eps = 0.0
+    sharded_results = None
+    for _ in range(repeat):
+        with ShardedStreamEngine(
+            shards=shards, batch_size=batch_size
+        ) as engine:
+            for index, query in enumerate(queries):
+                engine.register(query, name=f"q{index}")
+            started = time.perf_counter()
+            engine.run(stream)
+            sharded_results = engine.results()
+            elapsed = time.perf_counter() - started
+            sharded_eps = max(sharded_eps, len(stream) / elapsed)
+    if sharded_results != reference:
+        raise SystemExit("sharded results diverged from the single process")
+    return {
+        "events": events,
+        "queries": len(queries),
+        "shards": shards,
+        "batch_size": batch_size,
+        "single_eps": round(single_eps),
+        "sharded_eps": round(sharded_eps),
+        "speedup_sharded": round(sharded_eps / single_eps, 2),
+    }
+
+
+def _cpu_count():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run(args):
+    report = {
+        "meta": {
+            "generated_utc": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "python": platform.python_version(),
+            "cpus": _cpu_count(),
+            "repeat": args.repeat,
+        },
+        "routing_batching": bench_routing_batching(
+            args.events, args.batch_size, args.repeat
+        ),
+    }
+    if not args.skip_shard:
+        report["sharding"] = bench_sharding(
+            args.shard_events, args.shards, args.batch_size, args.repeat
+        )
+    return report
+
+
+def check(report, baseline_path, tolerance):
+    """Fail when the batched-path speedup ratio regressed vs baseline.
+
+    Ratios (batched / per-event on the same machine and run) transfer
+    across hardware; absolute events/s do not. Shard scaling is NOT
+    checked — it depends on the runner's core count.
+    """
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = []
+    for key in ("speedup_routed", "speedup_batched"):
+        expected = baseline["routing_batching"][key]
+        actual = report["routing_batching"][key]
+        floor = expected * (1.0 - tolerance)
+        line = (
+            f"{key}: baseline {expected:.2f}x, "
+            f"now {actual:.2f}x (floor {floor:.2f}x)"
+        )
+        print(("FAIL " if actual < floor else "ok   ") + line)
+        if actual < floor:
+            failures.append(line)
+    if failures:
+        raise SystemExit(
+            "perf-smoke regression: " + "; ".join(failures)
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=200_000)
+    parser.add_argument("--shard-events", type=int, default=100_000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--skip-shard", action="store_true")
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument(
+        "--check", help="baseline JSON to compare speedup ratios against"
+    )
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if args.check:
+        check(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

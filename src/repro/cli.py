@@ -154,6 +154,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit runtime diagnostics as JSON log lines instead of "
         "'# '-prefixed text",
     )
+    perf = parser.add_argument_group("performance")
+    perf.add_argument(
+        "--batch-size",
+        type=int,
+        metavar="N",
+        default=0,
+        help="ingest in micro-batches of N events through the routed "
+        "fast path (0 = reference per-event path; results are "
+        "identical, see docs/PERFORMANCE.md)",
+    )
+    perf.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=0,
+        help="run N worker processes, hash-partitioned on the GROUP "
+        "BY / equivalence attribute; non-partitionable queries run "
+        "in-process (0 = single process)",
+    )
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument(
         "--journal",
@@ -337,6 +356,8 @@ def _run_resilient(
             registry=registry,
             trace=trace,
             quarantine_after=args.quarantine_after,
+            routed=args.batch_size > 1,
+            batch_size=max(0, args.batch_size),
         )
         journal = EventJournal(
             args.journal, fsync=args.fsync, registry=registry
@@ -359,7 +380,7 @@ def _run_resilient(
     admin = _start_admin(args, engine, registry, trace)
     try:
         started = time.perf_counter()
-        processed = engine.run(events)
+        processed = engine.run(events, batch_size=args.batch_size or None)
         elapsed = time.perf_counter() - started
 
         if engine.checkpointer is not None:
@@ -412,6 +433,87 @@ def _run_resilient(
         _stop_admin(admin, args.admin_linger)
 
 
+def _run_sharded(
+    args: argparse.Namespace,
+    queries: list,
+    events: Iterable[Event],
+    registry: MetricsRegistry,
+    trace: TraceRecorder,
+) -> int:
+    """The ``--shards N`` path: hash-partitioned worker processes."""
+    from repro.engine.sharded import ShardedStreamEngine
+    from repro.engine.sinks import CallbackSink
+
+    if args.journal or args.recover:
+        raise SystemExit(
+            "--shards cannot be combined with --journal/--recover; the "
+            "supervised engine is single-process"
+        )
+    if args.engine in ("twostep", "both"):
+        raise SystemExit(
+            "--shards runs A-Seq executors; --engine twostep/both is "
+            "not supported here"
+        )
+    if args.shared:
+        raise SystemExit("--shards and --shared are mutually exclusive")
+    engine = ShardedStreamEngine(
+        shards=args.shards,
+        batch_size=args.batch_size if args.batch_size > 1 else 256,
+        vectorized=args.engine == "vectorized",
+        registry=registry,
+    )
+    sinks: tuple = ()
+    if args.emit == "every":
+        sinks = (
+            CallbackSink(
+                lambda output: print(
+                    f"{output.ts}\t{output.query_name}\t{output.value}"
+                )
+            ),
+        )
+    for index, query in enumerate(queries):
+        engine.register(query, *sinks, name=query.name or f"q{index}")
+    admin = _start_admin(args, engine, registry, trace)
+    try:
+        started = time.perf_counter()
+        processed = engine.run(events)
+        elapsed = time.perf_counter() - started
+        results = engine.results()
+        state = engine.inspect()
+        if args.emit != "none":
+            for name, value in results.items():
+                print(f"result\t{name}\t{value}")
+        rate = processed / elapsed if elapsed else 0.0
+        _log.info(
+            "run_complete",
+            message=f"{processed:,} events in {elapsed:.2f}s "
+            f"({rate:,.0f} ev/s) across {args.shards} shards "
+            f"(sharded={state['sharded_queries']} "
+            f"local={state['local_queries']})",
+            events=processed,
+            elapsed_s=round(elapsed, 3),
+            shards=args.shards,
+        )
+        if args.metrics_out:
+            write_prometheus(registry, args.metrics_out)
+            write_json_snapshot(
+                registry,
+                args.metrics_out + ".json",
+                run={
+                    "events": processed,
+                    "elapsed_s": elapsed,
+                    "events_per_s": rate,
+                    "shards": args.shards,
+                },
+            )
+        return 0
+    finally:
+        # Workers stay up through the linger so /queries and
+        # /queries/<id>/state can still reach them.
+        _stop_admin(admin, args.admin_linger)
+        engine.close()
+
+
 def _stats_line(
     processed: int,
     outputs: int,
@@ -461,6 +563,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         queries = _load_queries(args)
         events = _load_events(args)
+        if args.shards > 0:
+            return _run_sharded(args, queries, events, registry, trace)
         if args.journal or args.recover:
             return _run_resilient(args, queries, events, registry, trace)
         engine = _build_engine(args, queries, registry, trace)
@@ -480,31 +584,70 @@ def main(argv: list[str] | None = None) -> int:
         processed = 0
         outputs = 0
         started = time.perf_counter()
-        for event in events:
-            if instrument:
-                event_started = time.perf_counter()
-                fresh = engine.process(event)
-                m_latency.observe(
-                    (time.perf_counter() - event_started) * 1e6
-                )
-                m_ingested.inc()
-            else:
-                fresh = engine.process(event)
-            if cross_check is not None:
-                cross_check.process(event)
-            processed += 1
-            if fresh is not None:
-                outputs += 1
+        batch_size = args.batch_size
+        if batch_size > 1 and hasattr(engine, "process_batch"):
+            from itertools import islice
+
+            iterator = iter(events)
+            while True:
+                chunk = list(islice(iterator, batch_size))
+                if not chunk:
+                    break
+                if instrument:
+                    chunk_started = time.perf_counter()
+                    emitted = engine.process_batch(chunk)
+                    m_latency.observe(
+                        (time.perf_counter() - chunk_started)
+                        * 1e6 / len(chunk)
+                    )
+                    m_ingested.inc(len(chunk))
+                else:
+                    emitted = engine.process_batch(chunk)
+                if cross_check is not None:
+                    for event in chunk:
+                        cross_check.process(event)
+                previous = processed
+                processed += len(chunk)
+                outputs += len(emitted)
                 if args.emit == "every":
-                    print(f"{event.ts}\t{fresh}")
-            if stats_every and processed % stats_every == 0:
-                _log.info(
-                    "stats",
-                    message=_stats_line(
-                        processed, outputs,
-                        time.perf_counter() - started, engine, registry,
-                    ),
-                )
+                    for event, fresh in emitted:
+                        print(f"{event.ts}\t{fresh}")
+                if stats_every and (
+                    processed // stats_every != previous // stats_every
+                ):
+                    _log.info(
+                        "stats",
+                        message=_stats_line(
+                            processed, outputs,
+                            time.perf_counter() - started, engine, registry,
+                        ),
+                    )
+        else:
+            for event in events:
+                if instrument:
+                    event_started = time.perf_counter()
+                    fresh = engine.process(event)
+                    m_latency.observe(
+                        (time.perf_counter() - event_started) * 1e6
+                    )
+                    m_ingested.inc()
+                else:
+                    fresh = engine.process(event)
+                if cross_check is not None:
+                    cross_check.process(event)
+                processed += 1
+                if fresh is not None:
+                    outputs += 1
+                    if args.emit == "every":
+                        print(f"{event.ts}\t{fresh}")
+                if stats_every and processed % stats_every == 0:
+                    _log.info(
+                        "stats",
+                        message=_stats_line(
+                            processed, outputs,
+                            time.perf_counter() - started, engine, registry,
+                        ),
+                    )
         elapsed = time.perf_counter() - started
 
         final = engine.result()

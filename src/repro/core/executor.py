@@ -104,7 +104,9 @@ class ASeqEngine:
             if query.window is None:
                 return DPCEngine(query, layout)
             if vectorized:
-                return VectorizedSemEngine(query, layout)
+                return VectorizedSemEngine(
+                    query, layout, registry=registry, trace=trace
+                )
             return SemEngine(query, layout, registry=registry, trace=trace)
 
         return factory
@@ -113,7 +115,12 @@ class ASeqEngine:
         if query.window is None:
             return DPCEngine(query, self.layout)
         if self._vectorized:
-            return VectorizedSemEngine(query, self.layout)
+            return VectorizedSemEngine(
+                query,
+                self.layout,
+                registry=self.obs_registry,
+                trace=self._trace,
+            )
         return SemEngine(
             query, self.layout, registry=self.obs_registry, trace=self._trace
         )
@@ -157,9 +164,79 @@ class ASeqEngine:
                 )
         return output
 
+    def process_batch(
+        self, events: list[Event]
+    ) -> list[tuple[Event, Any]]:
+        """Ingest a micro-batch; returns ``(event, fresh)`` pairs for the
+        TRIG arrivals, in stream order.
+
+        Equivalent to per-event :meth:`process` on an in-order stream,
+        but filtering happens before the runtime is touched, the clock
+        advances once for a run of filtered events (each runtime expires
+        at its *own* event timestamps when it does ingest, so window
+        semantics are unchanged), and metric/trace flushes are batched.
+        """
+        runtime = self._runtime
+        relevant = self._relevant
+        accepts = self._accepts
+        count = len(events)
+        if not count:
+            return []
+        self.events_seen += count
+        kept = [
+            event
+            for event in events
+            if event.event_type in relevant and accepts(event)
+        ]
+        if self._obs_on:
+            self._m_events.inc(count)
+            if len(kept) < count:
+                self._m_filtered.inc(count - len(kept))
+        if kept:
+            batch = getattr(runtime, "process_batch", None)
+            if batch is not None:
+                emitted = batch(kept)
+            else:
+                process = runtime.process
+                emitted = [
+                    (event, fresh)
+                    for event in kept
+                    if (fresh := process(event)) is not None
+                ]
+        else:
+            emitted = []
+        # The last arrival still moves the clock even when filtered:
+        # windows slide on every event (paper Sec. 2.1).
+        runtime.advance_time(events[-1].ts)
+        current = runtime.current_objects()
+        if current > self.peak_objects:
+            self.peak_objects = current
+        if emitted:
+            if self._obs_on:
+                self._m_emits.inc(len(emitted))
+            if self._trace_on:
+                event, fresh = emitted[-1]
+                self._trace.record(
+                    Stage.EMIT, event.ts, event.event_type,
+                    f"batch_outputs={len(emitted)} last={fresh!r}",
+                )
+        return emitted
+
     def result(self) -> Any:
         """Current aggregate (scalar, or per-key dict for GROUP BY)."""
         return self._runtime.result()
+
+    def advance_time(self, now: int) -> None:
+        """Move the clock without an event (idle/routed-skip expiry)."""
+        self._runtime.advance_time(now)
+
+    def count_and_wsum(self) -> tuple[int, float]:
+        """COUNT and weighted-sum totals (AVG merge across shards)."""
+        return self._runtime.count_and_wsum()
+
+    def group_count_and_wsum(self) -> dict[Any, tuple[int, float]]:
+        """Per-group COUNT/weighted-sum totals (GROUP BY AVG merge)."""
+        return self._runtime.group_count_and_wsum()
 
     # ----- introspection ------------------------------------------------------
 

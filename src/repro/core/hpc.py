@@ -222,6 +222,36 @@ class HPCEngine:
         """Move the shared clock forward (events of irrelevant types)."""
         self._now = max(self._now, now)
 
+    def count_and_wsum(self) -> tuple[int, float]:
+        """COUNT and weighted-sum totals over every partition.
+
+        The partition results compose exactly (disjoint keys, paper
+        Sec. 3.4), which is also what lets :class:`ShardedStreamEngine`
+        merge AVG across worker processes without precision loss.
+        """
+        total_count = 0
+        total = 0.0
+        for engine in self._partitions.values():
+            engine.advance_time(self._now)
+            count, wsum = engine.count_and_wsum()
+            total_count += count
+            total += wsum
+        return total_count, total
+
+    def group_count_and_wsum(self) -> dict[Any, tuple[int, float]]:
+        """Per-group COUNT/weighted-sum totals (GROUP BY AVG merge)."""
+        totals: dict[Any, tuple[int, float]] = {}
+        for group, engines in self._by_group.items():
+            total_count = 0
+            total = 0.0
+            for engine in engines:
+                engine.advance_time(self._now)
+                count, wsum = engine.count_and_wsum()
+                total_count += count
+                total += wsum
+            totals[group] = (total_count, total)
+        return totals
+
     def _combined(self, engines: list[Any]) -> Any:
         kind = self.layout.agg_kind
         results = [engine.result() for engine in engines]

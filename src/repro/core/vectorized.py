@@ -24,6 +24,8 @@ import numpy as np
 from repro.errors import QueryError
 from repro.events.event import Event
 from repro.core.aggregates import PatternLayout
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import AggKind, Query
 
 _INITIAL_CAPACITY = 256
@@ -35,7 +37,13 @@ _KLEENE_GUARD = 2**61
 class VectorizedSemEngine:
     """Windowed A-Seq with columnar per-START counters."""
 
-    def __init__(self, query: Query, layout: PatternLayout | None = None):
+    def __init__(
+        self,
+        query: Query,
+        layout: PatternLayout | None = None,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ):
         if query.window is None:
             raise QueryError(
                 "VectorizedSemEngine needs a WITHIN clause; use DPCEngine "
@@ -68,6 +76,30 @@ class VectorizedSemEngine:
         self._now = 0
         self.events_processed = 0
         self.peak_counters = 0
+        #: Per-counter slot updates, matching SemEngine's accounting
+        #: (each arrival touches every live counter once, even though
+        #: the touch is a single vectorized addition here).
+        self.counter_updates = 0
+        registry = resolve_registry(registry)
+        self.obs_registry = registry
+        self._obs_on = registry.enabled
+        self._m_created = registry.counter(
+            "sem_counters_created_total", "PrefixCounters opened for STARTs"
+        )
+        self._m_expired = registry.counter(
+            "sem_counters_expired_total",
+            "PrefixCounters purged after their window closed",
+        )
+        self._m_resets = registry.counter(
+            "sem_recount_resets_total",
+            "prefix slots wiped by the Recounting Rule (negation)",
+        )
+        self._m_active = registry.gauge(
+            "sem_active_counters", "live PrefixCounters (paper memory metric)"
+        )
+        trace = resolve_tracer(trace)
+        self._trace = trace
+        self._trace_on = trace.enabled
 
     # ----- ingestion ----------------------------------------------------------
 
@@ -87,6 +119,13 @@ class VectorizedSemEngine:
                 self._wsums[reset, head:tail] = 0.0
             if self._extrema is not None:
                 self._extrema[reset, head:tail] = self._extreme_identity
+            if self._obs_on:
+                self._m_resets.inc(tail - head)
+            if self._trace_on:
+                self._trace.record(
+                    Stage.RECOUNT_RESET, event.ts, event_type,
+                    f"reset slot {reset} in {tail - head} counters",
+                )
             return None
 
         slots = layout.update_slots.get(event_type)
@@ -96,6 +135,12 @@ class VectorizedSemEngine:
         value = layout.value_of(event) if needs_value else None
 
         head, tail = self._head, self._tail
+        self.counter_updates += tail - head
+        if self._trace_on and tail > head:
+            self._trace.record(
+                Stage.COUNTER_UPDATE, event.ts, event_type,
+                f"slots={sorted(slots)} counters={tail - head}",
+            )
         for slot in slots:  # descending
             if slot == 0:
                 continue
@@ -121,6 +166,22 @@ class VectorizedSemEngine:
         if event_type in layout.trigger_types:
             return self.result()
         return None
+
+    def process_batch(
+        self, events: list[Event]
+    ) -> list[tuple[Event, Any]]:
+        """Ingest a pre-filtered micro-batch; returns ``(event, fresh)``
+        pairs for the TRIG arrivals. Equivalent to per-event
+        :meth:`process` on in-order streams — expiry inside the batch
+        still happens at each event's own timestamp via the binary
+        search in :meth:`_expire`, so window semantics are unchanged.
+        """
+        process = self.process
+        return [
+            (event, fresh)
+            for event in events
+            if (fresh := process(event)) is not None
+        ]
 
     def _update_slot(
         self, slot: int, head: int, tail: int, value: float | None
@@ -179,6 +240,14 @@ class VectorizedSemEngine:
         live = self._tail - self._head
         if live > self.peak_counters:
             self.peak_counters = live
+        if self._obs_on:
+            self._m_created.inc()
+            self._m_active.set(live)
+        if self._trace_on:
+            self._trace.record(
+                Stage.COUNTER_CREATE, event.ts, event.event_type,
+                f"exp={int(self._exps[tail])} active={live}",
+            )
 
     def _make_room(self) -> None:
         """Compact the live range to the front, growing if still full."""
@@ -212,11 +281,27 @@ class VectorizedSemEngine:
         self._tail = live
 
     def _expire(self, now: int) -> None:
-        exps = self._exps
         head, tail = self._head, self._tail
-        while head < tail and exps[head] <= now:
-            head += 1
+        if head == tail or self._exps[head] > now:
+            return
+        # Expirations are appended in START order, so the live slice of
+        # ``_exps`` is non-decreasing for in-order streams: one binary
+        # search replaces the per-counter scan. (SemEngine tolerates
+        # out-of-order STARTs with a linear popleft loop; here in-order
+        # input is an invariant of the columnar ring.)
+        head += int(
+            self._exps[head:tail].searchsorted(now, side="right")
+        )
+        expired = head - self._head
         self._head = head
+        if self._obs_on:
+            self._m_expired.inc(expired)
+            self._m_active.set(tail - head)
+        if self._trace_on:
+            self._trace.record(
+                Stage.EXPIRE, now, "",
+                f"{expired} counters expired, {tail - head} remain",
+            )
 
     # ----- results ----------------------------------------------------------------
 
@@ -281,7 +366,9 @@ class VectorizedSemEngine:
             "window_ms": self._window_ms,
             "now": self._now,
             "events_processed": self.events_processed,
+            "counter_updates": self.counter_updates,
             "active_counters": self.active_counters,
+            "peak_counters": self.peak_counters,
             "capacity": self._capacity,
             "agg": self.layout.agg_kind.name.lower(),
         }

@@ -2,6 +2,7 @@
 
 from repro.engine.engine import StreamEngine
 from repro.engine.metrics import EngineMetrics, RunStats, measure_run
+from repro.engine.sharded import ShardedStreamEngine
 from repro.engine.sinks import (
     CallbackSink,
     CollectSink,
@@ -20,6 +21,7 @@ __all__ = [
     "Output",
     "ResultSink",
     "RunStats",
+    "ShardedStreamEngine",
     "StreamEngine",
     "ThresholdAlertSink",
     "TumblingAggregator",

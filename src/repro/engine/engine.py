@@ -5,12 +5,24 @@ by default; any object with the ``process``/``result`` surface works,
 including the baseline and the shared multi-query engines) and pumps an
 event stream through all of them, delivering fresh aggregates to the
 sinks attached at registration time.
+
+Two execution paths coexist, selected at construction time:
+
+* the **reference path** (default) offers every event to every
+  registration, one event at a time — the correctness oracle every
+  other path is differentially pinned against;
+* the **fast path** — type-indexed routing (``routed=True``) so an
+  arrival only touches registrations whose pattern can react to its
+  event type, and micro-batch ingestion (:meth:`process_batch`, or
+  ``batch_size=N`` to have :meth:`run` chunk the stream) so per-event
+  bookkeeping (metrics, watermarks, traces) is paid once per batch.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Iterable
+from itertools import islice
+from typing import Any, Iterable, Sequence
 
 from repro.errors import EngineError
 from repro.events.event import Event
@@ -28,9 +40,33 @@ from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import Query
 
 
+def relevant_types_of(executor: Any) -> frozenset[str] | None:
+    """The event types ``executor`` can react to, or None when unknown.
+
+    Discovered from the executor's compiled :class:`PatternLayout`
+    (update/reset slots cover START/UPD/TRIG and negated types) with the
+    query AST's ``relevant_types`` as a fallback. Executors exposing
+    neither (e.g. ad-hoc objects registered via
+    :meth:`StreamEngine.register_executor`) return None and land in the
+    routing index's catch-all bucket: they keep seeing every event.
+    """
+    layout = getattr(executor, "layout", None)
+    if layout is not None:
+        update_slots = getattr(layout, "update_slots", None)
+        reset_slot = getattr(layout, "reset_slot", None)
+        if update_slots is not None and reset_slot is not None:
+            return frozenset(update_slots) | frozenset(reset_slot)
+    query = getattr(executor, "query", None)
+    types = getattr(query, "relevant_types", None)
+    if types:
+        return frozenset(types)
+    return None
+
+
 class _Registration:
     __slots__ = (
-        "name", "executor", "sinks", "m_events", "m_outputs", "m_latency",
+        "name", "executor", "sinks", "types",
+        "m_events", "m_outputs", "m_latency",
     )
 
     def __init__(
@@ -38,6 +74,7 @@ class _Registration:
         name: str,
         executor: Any,
         sinks: list[ResultSink],
+        types: frozenset[str] | None,
         m_events: Counter,
         m_outputs: Counter,
         m_latency: Histogram,
@@ -45,6 +82,8 @@ class _Registration:
         self.name = name
         self.executor = executor
         self.sinks = sinks
+        #: Event types this registration reacts to (None = catch-all).
+        self.types = types
         self.m_events = m_events
         self.m_outputs = m_outputs
         self.m_latency = m_latency
@@ -73,11 +112,23 @@ class StreamEngine:
         trace: TraceRecorder | None = None,
         stream_name: str = "default",
         cost_sample_every: int = 64,
+        routed: bool = False,
+        batch_size: int = 0,
     ):
         if cost_sample_every < 0:
             raise ValueError("cost_sample_every must be >= 0")
+        if batch_size < 0:
+            raise ValueError("batch_size must be >= 0")
         self._registrations: dict[str, _Registration] = {}
+        #: Registration list in insertion order (hot-path iteration).
+        self._all: list[_Registration] = []
+        #: Type-indexed routing: event type -> registrations that can
+        #: react to it (catch-all registrations included in every list).
+        self._routed = routed
+        self._routes: dict[str, list[_Registration]] = {}
+        self._catch_all: list[_Registration] = []
         self._vectorized = vectorized
+        self._batch_size = batch_size
         self.metrics = EngineMetrics()
         self.stream_name = stream_name
         registry = resolve_registry(registry)
@@ -113,6 +164,10 @@ class StreamEngine:
         )
         self._watermark_ms = float("-inf")
         self._time_anchor: tuple[float, int] | None = None
+        #: Engine clock: max event timestamp routed (routed mode tracks
+        #: it so executors skipped for irrelevant arrivals can still be
+        #: brought up to date before a result read).
+        self._clock_ms: int | None = None
         #: Sample per-registration latency every Nth event (0 disables);
         #: sampling keeps the two extra clock reads per registration off
         #: the common hot path.
@@ -154,6 +209,7 @@ class StreamEngine:
             name,
             executor,
             list(sinks),
+            relevant_types_of(executor),
             registry.counter(
                 "query_events_total", "events offered to one registration",
                 query=name,
@@ -168,11 +224,42 @@ class StreamEngine:
                 query=name,
             ),
         )
+        self._rebuild_routes()
 
     def deregister(self, name: str) -> None:
         if name not in self._registrations:
             raise EngineError(f"unknown query {name!r}")
         del self._registrations[name]
+        self._rebuild_routes()
+
+    def _rebuild_routes(self) -> None:
+        """Recompute the hot-path dispatch structures.
+
+        The routing index maps every event type any registration reacts
+        to onto the registrations that must see it; catch-all
+        registrations (no discoverable layout) appear in every list and
+        in :attr:`_catch_all`, which also serves arrivals of types no
+        pattern mentions.
+        """
+        registrations = list(self._registrations.values())
+        self._all = registrations
+        if not self._routed:
+            self._routes = {}
+            self._catch_all = registrations
+            return
+        self._catch_all = [r for r in registrations if r.types is None]
+        known: set[str] = set()
+        for registration in registrations:
+            if registration.types is not None:
+                known.update(registration.types)
+        self._routes = {
+            event_type: [
+                r
+                for r in registrations
+                if r.types is None or event_type in r.types
+            ]
+            for event_type in known
+        }
 
     # ----- event loop -------------------------------------------------------
 
@@ -183,14 +270,39 @@ class StreamEngine:
         (``sink_errors_total``) and the remaining sinks and registrations
         keep receiving the event.
         """
+        if self._routed:
+            ts = event.ts
+            if self._clock_ms is None or ts > self._clock_ms:
+                self._clock_ms = ts
+            targets = self._routes.get(event.event_type)
+            if targets is None:
+                targets = self._catch_all
+        else:
+            targets = self._all
+        self.metrics.events += 1
         obs_on = self._obs_on
+        if not obs_on and not self._trace_on:
+            # Fast path: no clock reads, no counter bumps, no sampling
+            # arithmetic — just dispatch.
+            for registration in targets:
+                fresh = registration.executor.process(event)
+                if fresh is None:
+                    continue
+                self.metrics.outputs += 1
+                if registration.sinks:
+                    output = Output(registration.name, event.ts, fresh)
+                    for sink in registration.sinks:
+                        try:
+                            sink.emit(output)
+                        except Exception:
+                            self.metrics.sink_errors += 1
+            return
         if obs_on:
             started = time.perf_counter()
             self._m_events.inc()
-        self.metrics.events += 1
         sample = self._cost_sample_every
         timed = obs_on and sample and self.metrics.events % sample == 0
-        for registration in self._registrations.values():
+        for registration in targets:
             if obs_on:
                 registration.m_events.inc()
             if timed:
@@ -225,6 +337,98 @@ class StreamEngine:
             self._m_latency.observe((finished - started) * 1e6)
             self._note_event_time(event.ts, finished)
 
+    def process_batch(self, events: Sequence[Event]) -> int:
+        """Push a micro-batch through the registrations; returns its size.
+
+        Semantically equivalent to calling :meth:`process` per event on
+        an in-order stream (the differential suite pins this), but the
+        engine-level bookkeeping — ingest counters, latency histogram,
+        watermark, trace — is flushed once per batch, and each
+        registration receives its events through the executor's own
+        ``process_batch`` when it has one.
+        """
+        if not isinstance(events, list):
+            events = list(events)
+        if not events:
+            return 0
+        count = len(events)
+        self.metrics.events += count
+        last_ts = events[-1].ts
+        if self._clock_ms is None or last_ts > self._clock_ms:
+            self._clock_ms = last_ts
+        obs_on = self._obs_on
+        if obs_on:
+            started = time.perf_counter()
+            self._m_events.inc(count)
+        if self._routed:
+            # One pass over the batch splits it per registration through
+            # the route index — O(batch x reacting queries), independent
+            # of how many registrations the engine carries.
+            buckets: dict[int, list[Event]] = {}
+            routes = self._routes
+            catch_all = self._catch_all
+            for event in events:
+                for registration in routes.get(event.event_type, catch_all):
+                    bucket = buckets.get(id(registration))
+                    if bucket is None:
+                        buckets[id(registration)] = bucket = []
+                    bucket.append(event)
+            for registration in self._all:
+                sub = buckets.get(id(registration))
+                if sub is not None:
+                    self._drive_batch(registration, sub, obs_on)
+        else:
+            for registration in self._all:
+                self._drive_batch(registration, events, obs_on)
+        if obs_on:
+            finished = time.perf_counter()
+            self._m_latency.observe((finished - started) * 1e6 / count)
+            self._note_event_time(last_ts, finished)
+        return count
+
+    def _drive_batch(
+        self,
+        registration: _Registration,
+        events: list[Event],
+        obs_on: bool,
+    ) -> None:
+        """Feed one registration its slice of a batch and fan out sinks."""
+        executor = registration.executor
+        batch = getattr(executor, "process_batch", None)
+        if batch is not None:
+            emitted = batch(events)
+        else:
+            process = executor.process
+            emitted = [
+                (event, fresh)
+                for event in events
+                if (fresh := process(event)) is not None
+            ]
+        if obs_on:
+            registration.m_events.inc(len(events))
+        count = len(emitted)
+        if not count:
+            return
+        self.metrics.outputs += count
+        if obs_on:
+            self._m_outputs.inc(count)
+            registration.m_outputs.inc(count)
+        if self._trace_on:
+            self._trace.record(
+                Stage.EMIT, events[-1].ts, events[-1].event_type,
+                f"query={registration.name} batch_outputs={count}",
+            )
+        if registration.sinks:
+            name = registration.name
+            for event, fresh in emitted:
+                output = Output(name, event.ts, fresh)
+                for sink in registration.sinks:
+                    try:
+                        sink.emit(output)
+                    except Exception:
+                        self.metrics.sink_errors += 1
+                        self._m_sink_errors.inc()
+
     def _note_event_time(self, ts: int, now_perf: float) -> None:
         """Advance the event-time watermark and the lag gauge.
 
@@ -245,13 +449,59 @@ class StreamEngine:
                 - (self._watermark_ms - anchor[1]) / 1000.0
             )
 
-    def run(self, stream: Iterable[Event]) -> int:
-        """Drain a stream; returns the number of events processed."""
+    def advance_clock(self, ts: int) -> None:
+        """Move every executor's clock forward without an event.
+
+        Used on idle streams and by the sharded runtime, whose workers
+        see only a hash-partition of the stream: the coordinator pushes
+        the global watermark down before collecting partial results so
+        window expiry agrees with the single-process engine.
+        """
+        if self._clock_ms is None or ts > self._clock_ms:
+            self._clock_ms = ts
+        for registration in self._all:
+            advance = getattr(registration.executor, "advance_time", None)
+            if advance is not None:
+                advance(ts)
+
+    def _sync_executor_clock(self, executor: Any) -> None:
+        """Routed mode: bring one executor up to the engine clock.
+
+        Routing skips executors for irrelevant arrivals, so an executor
+        asked for its result between triggers may not have seen the
+        latest timestamps; windows must still slide on every event
+        (paper Sec. 2.1), so the clock is pushed down lazily here.
+        """
+        clock = self._clock_ms
+        if clock is None:
+            return
+        advance = getattr(executor, "advance_time", None)
+        if advance is not None:
+            advance(clock)
+
+    def run(
+        self, stream: Iterable[Event], batch_size: int | None = None
+    ) -> int:
+        """Drain a stream; returns the number of events processed.
+
+        With a positive ``batch_size`` (or one set at construction) the
+        stream is chunked through :meth:`process_batch`; otherwise every
+        event takes the reference per-event path.
+        """
+        size = self._batch_size if batch_size is None else batch_size
         started = time.perf_counter()
         processed = 0
-        for event in stream:
-            self.process(event)
-            processed += 1
+        if size and size > 1:
+            iterator = iter(stream)
+            while True:
+                chunk = list(islice(iterator, size))
+                if not chunk:
+                    break
+                processed += self.process_batch(chunk)
+        else:
+            for event in stream:
+                self.process(event)
+                processed += 1
         self.metrics.elapsed_s += time.perf_counter() - started
         self.metrics.note_objects(self.current_objects())
         return processed
@@ -263,10 +513,15 @@ class StreamEngine:
         registration = self._registrations.get(name)
         if registration is None:
             raise EngineError(f"unknown query {name!r}")
+        if self._routed:
+            self._sync_executor_clock(registration.executor)
         return registration.executor.result()
 
     def results(self) -> dict[str, Any]:
         """Current aggregates of every registered query."""
+        if self._routed:
+            for registration in self._all:
+                self._sync_executor_clock(registration.executor)
         return {
             name: registration.executor.result()
             for name, registration in self._registrations.items()
@@ -284,6 +539,18 @@ class StreamEngine:
     def query_names(self) -> list[str]:
         return list(self._registrations)
 
+    @property
+    def routed(self) -> bool:
+        """Whether the type-indexed routing fast path is active."""
+        return self._routed
+
+    def routes(self) -> dict[str, list[str]]:
+        """The routing index as query names (diagnostics, tests)."""
+        return {
+            event_type: [r.name for r in registrations]
+            for event_type, registrations in self._routes.items()
+        }
+
     def executor_of(self, name: str) -> Any:
         """The executor behind one registration."""
         registration = self._registrations.get(name)
@@ -295,7 +562,10 @@ class StreamEngine:
     def watermark_ms(self) -> float | None:
         """Max event timestamp observed (None before the first event)."""
         mark = self._watermark_ms
-        return None if mark == float("-inf") else mark
+        if mark == float("-inf"):
+            clock = self._clock_ms
+            return None if clock is None else float(clock)
+        return mark
 
     def query_rows(self) -> list[dict[str, Any]]:
         """One cost-accounting row per registration (``/queries``).
@@ -372,6 +642,8 @@ class StreamEngine:
             "outputs": self.metrics.outputs,
             "sink_errors": self.metrics.sink_errors,
             "watermark_ms": self.watermark_ms,
+            "routed": self._routed,
+            "batch_size": self._batch_size,
             "registrations": len(queries),
             "queries": queries,
         }

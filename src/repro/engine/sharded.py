@@ -1,0 +1,539 @@
+"""Multi-core execution: hash-partitioned worker engines.
+
+:class:`ShardedStreamEngine` runs one full :class:`StreamEngine` per
+worker *process*, each owning a hash-partition of the stream keyed by a
+partition attribute. The legality argument is the paper's own (HPC,
+Sec. 3.4): a query with an equivalence chain or GROUP BY evaluates
+independently per key, and because a hash assigns every key to exactly
+one shard, per-shard results compose exactly —
+
+* COUNT / SUM add across shards;
+* AVG folds ``count_and_wsum()`` pairs (counts and weighted sums add;
+  dividing once at the end loses nothing);
+* MAX / MIN take the extremum of per-shard extrema;
+* GROUP BY is a dict union: group values never straddle shards because
+  the shard key *is* (or leads) the group key.
+
+Queries that cannot be partitioned on the chosen attribute — no
+equivalence chain or GROUP BY, or one on a different attribute — run on
+a **local lane**: an in-process routed :class:`StreamEngine` that sees
+every event, so their semantics (including per-TRIG sink emissions) are
+exactly those of the single-process engine. Sharded queries deliver
+their merged result to sinks once per :meth:`run` (per-TRIG emission
+order is undefined across processes, so it is not simulated).
+
+The shard hash must agree across processes, so it is
+``zlib.crc32(repr(key))`` — Python's builtin ``hash`` is randomized
+per process and would route the same key differently in parent and
+tests.
+
+When NOT to shard: workloads dominated by queries without a partition
+key (everything lands on the local lane plus IPC overhead), tiny
+streams (worker startup costs more than it saves), or single-core
+hosts (the workers time-slice one CPU and IPC is pure overhead).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import zlib
+from typing import Any, Iterable
+
+from repro.errors import EngineError, QueryError
+from repro.events.event import Event
+from repro.core.hpc import partition_attributes
+from repro.engine.engine import StreamEngine
+from repro.engine.metrics import EngineMetrics
+from repro.engine.sinks import Output, ResultSink
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.query.ast import AggKind, Query
+
+#: query_rows() fields that are per-process distributions, not totals —
+#: summing them across shards would be meaningless.
+_NON_ADDITIVE_ROW_KEYS = frozenset(
+    {"query", "runtime_kind", "latency_us_p50", "latency_us_p99"}
+)
+
+
+def shard_of(key: Any, shards: int) -> int:
+    """Deterministic cross-process shard assignment for one key."""
+    return zlib.crc32(repr(key).encode("utf-8")) % shards
+
+
+def _shard_worker(
+    conn: Any,
+    specs: list[tuple[str, Query]],
+    vectorized: bool,
+) -> None:
+    """Worker loop: a routed StreamEngine over one hash-partition.
+
+    Protocol (request, reply over one duplex pipe):
+
+    * ``("batch", [(type, ts, attrs), ...])`` — ingest; no reply (the
+      pipe's buffer provides natural backpressure via ``send``).
+    * ``("collect", watermark_ms)`` — advance clocks to the global
+      watermark, reply ``("ok", {name: partial})`` with composable
+      partial results (see :func:`_partial_of`).
+    * ``("rows", None)`` — reply per-query cost rows.
+    * ``("inspect", None)`` — reply the engine's state summary.
+    * ``("stop", None)`` — reply and exit.
+
+    Any exception is reported as ``("error", repr)`` on the next
+    request that expects a reply, then the worker exits.
+    """
+    engine = StreamEngine(routed=True, vectorized=vectorized)
+    executors = {
+        name: engine.register(query, name=name) for name, query in specs
+    }
+    failure: str | None = None
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):
+            return
+        if command == "batch":
+            if failure is not None:
+                continue  # poisoned: drain silently until collected
+            try:
+                engine.process_batch(
+                    [Event(t, ts, attrs) for t, ts, attrs in payload]
+                )
+            except Exception as error:  # report on next collect
+                failure = f"{type(error).__name__}: {error}"
+        elif command == "collect":
+            if failure is not None:
+                conn.send(("error", failure))
+                return
+            try:
+                engine.advance_clock(int(payload))
+                partials = {
+                    name: _partial_of(executor)
+                    for name, executor in executors.items()
+                }
+                conn.send(("ok", partials))
+            except Exception as error:
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+                return
+        elif command == "rows":
+            conn.send(("ok", engine.query_rows()))
+        elif command == "inspect":
+            conn.send(("ok", engine.inspect()))
+        elif command == "state":
+            from repro.obs.inspect import state_of
+
+            conn.send(("ok", state_of(engine, payload)))
+        elif command == "stop":
+            conn.send(("ok", engine.metrics.events))
+            return
+
+
+def _partial_of(executor: Any) -> Any:
+    """One shard's composable partial result for one query.
+
+    AVG ships ``(count, wsum)`` pairs — scalar or per-group — because
+    per-shard averages do not compose; everything else ships its plain
+    result.
+    """
+    query = executor.query
+    if query.aggregate.kind is AggKind.AVG:
+        if query.group_by is not None:
+            return executor.group_count_and_wsum()
+        return executor.count_and_wsum()
+    return executor.result()
+
+
+def _merge_partials(query: Query, partials: list[Any]) -> Any:
+    """Fold per-shard partials into the single-process result."""
+    kind = query.aggregate.kind
+    if query.group_by is not None:
+        if kind is AggKind.AVG:
+            totals: dict[Any, tuple[int, float]] = {}
+            for partial in partials:
+                for group, (count, wsum) in partial.items():
+                    base_count, base_wsum = totals.get(group, (0, 0.0))
+                    totals[group] = (base_count + count, base_wsum + wsum)
+            return {
+                group: (wsum / count if count else None)
+                for group, (count, wsum) in totals.items()
+            }
+        merged: dict[Any, Any] = {}
+        for partial in partials:
+            for group, value in partial.items():
+                if group not in merged:
+                    merged[group] = value
+                elif kind in (AggKind.COUNT, AggKind.SUM):
+                    # Unreachable when the shard key leads the group key
+                    # (groups are disjoint across shards), but merge
+                    # soundly anyway.
+                    merged[group] += value
+                elif value is not None:
+                    held = merged[group]
+                    if held is None:
+                        merged[group] = value
+                    elif kind is AggKind.MAX:
+                        merged[group] = max(held, value)
+                    else:
+                        merged[group] = min(held, value)
+        return merged
+    if kind in (AggKind.COUNT, AggKind.SUM):
+        return sum(partials)
+    if kind is AggKind.AVG:
+        count = sum(pair[0] for pair in partials)
+        wsum = sum(pair[1] for pair in partials)
+        return wsum / count if count else None
+    extrema = [value for value in partials if value is not None]
+    if not extrema:
+        return None
+    return max(extrema) if kind is AggKind.MAX else min(extrema)
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, and the outgoing buffer."""
+
+    __slots__ = ("process", "conn", "buffer")
+
+    def __init__(self, process: Any, conn: Any):
+        self.process = process
+        self.conn = conn
+        self.buffer: list[tuple[str, int, dict | None]] = []
+
+
+class ShardedStreamEngine:
+    """Hash-partitioned multi-process variant of :class:`StreamEngine`.
+
+    Same registration surface (``register`` / ``run`` / ``results`` /
+    ``query_rows`` / ``inspect``), duck-type compatible with the admin
+    server. Workers start lazily on the first ingested event, so all
+    queries must be registered before ingestion begins.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        batch_size: int = 256,
+        vectorized: bool = False,
+        registry: MetricsRegistry | None = None,
+        stream_name: str = "sharded",
+        start_method: str | None = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.shards = shards
+        self.batch_size = batch_size
+        self._vectorized = vectorized
+        self.stream_name = stream_name
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(start_method)
+        self.metrics = EngineMetrics()
+        self.obs_registry = resolve_registry(registry)
+        #: All registrations, in order: name -> (query, sinks).
+        self._specs: dict[str, tuple[Query, list[ResultSink]]] = {}
+        #: The partition attribute all sharded queries agree on.
+        self.shard_attribute: str | None = None
+        self._sharded: dict[str, Query] = {}
+        #: Relevant types of the sharded queries (IPC filter).
+        self._sharded_types: frozenset[str] = frozenset()
+        #: Non-partitionable queries run here, in-process.
+        self._local = StreamEngine(
+            routed=True,
+            vectorized=vectorized,
+            registry=registry,
+            stream_name=f"{stream_name}-local",
+        )
+        self._local_names: list[str] = []
+        self._workers: list[_Worker] = []
+        self._started = False
+        self._closed = False
+        self._clock_ms: int | None = None
+
+    # ----- registration ------------------------------------------------------
+
+    def register(
+        self,
+        query: Query,
+        *sinks: ResultSink,
+        name: str | None = None,
+    ) -> None:
+        """Register a query; must happen before the first event."""
+        if self._started:
+            raise EngineError(
+                "register all queries before ingesting events; the worker "
+                "processes are built from the registration set"
+            )
+        name = name or query.name or f"q{len(self._specs)}"
+        if name in self._specs:
+            raise EngineError(f"duplicate query name {name!r}")
+        try:
+            attributes = partition_attributes(query)
+        except QueryError:
+            attributes = ()
+        leading = attributes[0] if attributes else None
+        if leading is not None and self.shard_attribute is None:
+            self.shard_attribute = leading
+        self._specs[name] = (query, list(sinks))
+        if leading is not None and leading == self.shard_attribute:
+            self._sharded[name] = query
+            self._sharded_types = self._sharded_types | frozenset(
+                query.relevant_types
+            )
+        else:
+            self._local.register(query, *sinks, name=name)
+            self._local_names.append(name)
+
+    # ----- worker lifecycle --------------------------------------------------
+
+    def _start(self) -> None:
+        specs = list(self._sharded.items())
+        for _ in range(self.shards):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, specs, self._vectorized),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(process, parent_conn))
+        self._started = True
+
+    def close(self) -> None:
+        """Stop the workers; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop", None))
+                worker.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            worker.conn.close()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+        self._workers.clear()
+
+    def __enter__(self) -> "ShardedStreamEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----- ingestion ---------------------------------------------------------
+
+    def process(self, event: Event) -> None:
+        """Route one event: local lane always, worker lane by key."""
+        if not self._started:
+            self._start()
+        self.metrics.events += 1
+        ts = event.ts
+        if self._clock_ms is None or ts > self._clock_ms:
+            self._clock_ms = ts
+        self._local.process(event)
+        if not self._sharded:
+            return
+        if event.event_type not in self._sharded_types:
+            # No sharded pattern reacts to this type; workers sync their
+            # clocks from the watermark at collect time instead.
+            return
+        record = (event.event_type, ts, event.attrs or None)
+        key = event.get(self.shard_attribute, _MISSING)
+        if key is _MISSING:
+            # Keyless (e.g. a negated type without the attribute):
+            # every partition is affected — broadcast (HPC does the
+            # same across its in-process partitions).
+            for worker in self._workers:
+                self._buffer(worker, record)
+        else:
+            self._buffer(self._workers[shard_of(key, self.shards)], record)
+
+    def _buffer(
+        self, worker: _Worker, record: tuple[str, int, dict | None]
+    ) -> None:
+        buffer = worker.buffer
+        buffer.append(record)
+        if len(buffer) >= self.batch_size:
+            worker.conn.send(("batch", buffer))
+            worker.buffer = []
+
+    def flush(self) -> None:
+        """Push every buffered event down to its worker."""
+        for worker in self._workers:
+            if worker.buffer:
+                worker.conn.send(("batch", worker.buffer))
+                worker.buffer = []
+
+    def run(self, stream: Iterable[Event]) -> int:
+        """Drain a stream; deliver merged finals to sharded-query sinks."""
+        started = time.perf_counter()
+        processed = 0
+        for event in stream:
+            self.process(event)
+            processed += 1
+        merged = self._merged_results()
+        ts = int(self._clock_ms or 0)
+        for name, value in merged.items():
+            _, sinks = self._specs[name]
+            if not sinks:
+                continue
+            output = Output(name, ts, value)
+            for sink in sinks:
+                try:
+                    sink.emit(output)
+                except Exception:
+                    self.metrics.sink_errors += 1
+        self.metrics.elapsed_s += time.perf_counter() - started
+        return processed
+
+    # ----- results -----------------------------------------------------------
+
+    def _collect(self, command: str, payload: Any = None) -> list[Any]:
+        """Round-trip one request to every worker (flushes first)."""
+        if not self._started:
+            self._start()
+        self.flush()
+        for worker in self._workers:
+            worker.conn.send((command, payload))
+        replies = []
+        for index, worker in enumerate(self._workers):
+            try:
+                status, value = worker.conn.recv()
+            except (EOFError, OSError) as error:
+                raise EngineError(
+                    f"shard {index} died: {error!r}"
+                ) from error
+            if status != "ok":
+                raise EngineError(f"shard {index} failed: {value}")
+            replies.append(value)
+        return replies
+
+    def _merged_results(self) -> dict[str, Any]:
+        if not self._sharded:
+            return {}
+        watermark = int(self._clock_ms or 0)
+        partials_by_shard = self._collect("collect", watermark)
+        return {
+            name: _merge_partials(
+                query,
+                [partials[name] for partials in partials_by_shard],
+            )
+            for name, query in self._sharded.items()
+        }
+
+    def results(self) -> dict[str, Any]:
+        """Merged aggregates of every query, in registration order."""
+        merged = self._merged_results()
+        local = self._local.results()
+        return {
+            name: (merged[name] if name in merged else local[name])
+            for name in self._specs
+        }
+
+    def result(self, name: str) -> Any:
+        if name not in self._specs:
+            raise EngineError(f"unknown query {name!r}")
+        if name in self._sharded:
+            return self._merged_results()[name]
+        return self._local.result(name)
+
+    # ----- introspection -----------------------------------------------------
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._specs)
+
+    @property
+    def watermark_ms(self) -> float | None:
+        return None if self._clock_ms is None else float(self._clock_ms)
+
+    def query_rows(self) -> list[dict[str, Any]]:
+        """Per-query cost rows with shard totals folded together.
+
+        Additive fields (events routed, counter updates, live objects,
+        partitions…) sum across the shards that hold a piece of the
+        query; per-process latency quantiles are dropped rather than
+        averaged wrongly.
+        """
+        rows = {row["query"]: row for row in self._local.query_rows()}
+        if self._sharded and self._started:
+            for shard_rows in self._collect("rows"):
+                for row in shard_rows:
+                    name = row["query"]
+                    merged = rows.get(name)
+                    if merged is None:
+                        rows[name] = {
+                            key: value
+                            for key, value in row.items()
+                            if key not in ("latency_us_p50", "latency_us_p99")
+                        }
+                        rows[name]["shards"] = 1
+                        continue
+                    merged["shards"] = merged.get("shards", 1) + 1
+                    for key, value in row.items():
+                        if key in _NON_ADDITIVE_ROW_KEYS:
+                            continue
+                        if isinstance(value, (int, float)):
+                            merged[key] = merged.get(key, 0) + value
+        return [rows[name] for name in self._specs if name in rows]
+
+    def refresh_cost_metrics(self) -> None:
+        self._local.refresh_cost_metrics()
+
+    def executor_of(self, name: str) -> Any:
+        """Local-lane executors only; sharded state lives in workers."""
+        if name in self._local_names:
+            return self._local.executor_of(name)
+        raise EngineError(
+            f"query {name!r} is sharded; its executors live in worker "
+            f"processes — see inspect()"
+        )
+
+    def state_of(self, query_id: str) -> dict[str, Any] | None:
+        """Structured state for one query (admin ``/queries/<id>/state``).
+
+        Local-lane queries dump their in-process executor; sharded
+        queries return every worker's piece side by side.
+        """
+        if query_id not in self._specs:
+            return None
+        if query_id in self._local_names:
+            from repro.obs.inspect import state_of
+
+            return state_of(self._local, query_id)
+        if not self._started:
+            return {"kind": "sharded", "query": query_id, "shards": []}
+        return {
+            "kind": "sharded",
+            "query": query_id,
+            "shards": self._collect("state", query_id),
+        }
+
+    def inspect(self) -> dict[str, Any]:
+        workers: list[Any] = []
+        if self._sharded and self._started:
+            workers = self._collect("inspect")
+        return {
+            "kind": "sharded",
+            "stream": self.stream_name,
+            "shards": self.shards,
+            "batch_size": self.batch_size,
+            "shard_attribute": self.shard_attribute,
+            "events": self.metrics.events,
+            "watermark_ms": self.watermark_ms,
+            "sharded_queries": list(self._sharded),
+            "local_queries": list(self._local_names),
+            "local": self._local.inspect(),
+            "workers": workers,
+        }
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

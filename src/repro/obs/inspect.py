@@ -115,6 +115,9 @@ def query_rows(engine: Any) -> list[dict[str, Any]]:
 
 def state_of(engine: Any, query_id: str) -> dict[str, Any] | None:
     """One query's structured state dump, or None when unknown."""
+    probe = getattr(engine, "state_of", None)  # ShardedStreamEngine
+    if probe is not None:
+        return probe(query_id)
     executor_of = getattr(engine, "executor_of", None)  # StreamEngine
     if executor_of is not None:
         try:

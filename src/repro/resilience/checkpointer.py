@@ -229,9 +229,13 @@ class Checkpointer:
         )
         self.last_path: Path | None = None
 
-    def maybe_checkpoint(self) -> Path | None:
-        """Write a checkpoint if a schedule trigger fired."""
-        self._since_write += 1
+    def maybe_checkpoint(self, events: int = 1) -> Path | None:
+        """Write a checkpoint if a schedule trigger fired.
+
+        ``events`` credits more than one processed event at once (the
+        batched ingestion path calls this once per micro-batch).
+        """
+        self._since_write += events
         due = (
             self._every_events is not None
             and self._since_write >= self._every_events

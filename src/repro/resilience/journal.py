@@ -255,6 +255,43 @@ class EventJournal:
             self._g_backlog.set(self.backlog_bytes)
         return seq
 
+    def append_batch(self, events: list[Event]) -> int:
+        """Durably record a micro-batch in one ``write()`` syscall;
+        returns the sequence of the first event (event *i* holds
+        sequence ``first + i``).
+
+        Durability policy is applied once per batch: ``"always"`` issues
+        one fsync for the whole batch (the batch is the atom being made
+        durable before dispatch), ``"interval"`` counts every record
+        toward the interval.
+        """
+        if self._handle is None:
+            raise JournalError("journal is closed")
+        if not events:
+            return self.next_seq
+        if self._segment_size >= self._segment_bytes:
+            self._open_segment(self.next_seq)
+        first = self.next_seq
+        buffer = bytearray()
+        for offset, event in enumerate(events):
+            buffer += encode_record_bytes(first + offset, event)
+        self._handle.write(buffer)
+        size = len(buffer)
+        self._segment_size += size
+        self.backlog_bytes += size
+        self.next_seq = first + len(events)
+        self._m_records.inc(len(events))
+        self._m_bytes.inc(size)
+        if self._fsync == "always":
+            self.sync()
+        elif self._fsync == "interval":
+            self._since_fsync += len(events)
+            if self._since_fsync >= self._fsync_interval:
+                self.sync()
+        else:
+            self._g_backlog.set(self.backlog_bytes)
+        return first
+
     def sync(self) -> None:
         """Flush buffered records and fsync the current segment."""
         if self._handle is None:

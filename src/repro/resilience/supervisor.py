@@ -177,6 +177,8 @@ class SupervisedStreamEngine(StreamEngine):
         max_journal_backlog_bytes: int | None = None,
         stream_name: str = "default",
         cost_sample_every: int = 64,
+        routed: bool = False,
+        batch_size: int = 0,
     ):
         super().__init__(
             vectorized=vectorized,
@@ -184,6 +186,8 @@ class SupervisedStreamEngine(StreamEngine):
             trace=trace,
             stream_name=stream_name,
             cost_sample_every=cost_sample_every,
+            routed=routed,
+            batch_size=batch_size,
         )
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be at least 1")
@@ -203,6 +207,8 @@ class SupervisedStreamEngine(StreamEngine):
         # Hot-path cache: (registration, health) pairs so the event loop
         # does no per-event dict lookups. Rebuilt on (de)registration.
         self._dispatch: list[tuple[Any, _Health]] = []
+        self._dispatch_routes: dict[str, list[tuple[Any, _Health]]] = {}
+        self._dispatch_catch_all: list[tuple[Any, _Health]] = []
         self.events_replayed = 0
         obs = self.obs_registry
         self._g_quarantined = obs.gauge(
@@ -253,6 +259,16 @@ class SupervisedStreamEngine(StreamEngine):
             (registration, self._health[name])
             for name, registration in self._registrations.items()
         ]
+        # Routed-mode mirrors of StreamEngine's index, carrying each
+        # registration's health record alongside it.
+        health = self._health
+        self._dispatch_routes = {
+            event_type: [(r, health[r.name]) for r in registrations]
+            for event_type, registrations in self._routes.items()
+        }
+        self._dispatch_catch_all = [
+            (r, health[r.name]) for r in self._catch_all
+        ]
 
     # ----- event loop ------------------------------------------------------
 
@@ -272,6 +288,15 @@ class SupervisedStreamEngine(StreamEngine):
                     Stage.JOURNAL, event.ts, event.event_type,
                     f"seq={journal_seq}",
                 )
+        if self._routed:
+            ts = event.ts
+            if self._clock_ms is None or ts > self._clock_ms:
+                self._clock_ms = ts
+            targets = self._dispatch_routes.get(event.event_type)
+            if targets is None:
+                targets = self._dispatch_catch_all
+        else:
+            targets = self._dispatch
         obs_on = self._obs_on
         if obs_on:
             started = time.perf_counter()
@@ -280,7 +305,7 @@ class SupervisedStreamEngine(StreamEngine):
         events_seen = self.metrics.events
         sample = self._cost_sample_every
         timed = obs_on and sample and events_seen % sample == 0
-        for registration, health in self._dispatch:
+        for registration, health in targets:
             if health.quarantined:
                 if (
                     health.retry_at_event is not None
@@ -332,6 +357,126 @@ class SupervisedStreamEngine(StreamEngine):
             self._note_event_time(event.ts, finished)
         if self._checkpointer is not None:
             self._checkpointer.maybe_checkpoint()
+
+    def process_batch(self, events) -> int:
+        """Journal a micro-batch in one write (one fsync under
+        ``fsync=interval``/``always``), then dispatch with the same
+        per-event failure isolation as :meth:`process`.
+
+        Executor dispatch stays per-event inside the batch — a raising
+        executor must dead-letter exactly the poison event with its own
+        journal sequence, which a whole-batch executor call could not
+        attribute — so batching here buys the WAL write/fsync, the
+        engine-level bookkeeping, and the checkpoint-schedule check, not
+        the dispatch loop itself.
+        """
+        if not isinstance(events, list):
+            events = list(events)
+        if not events:
+            return 0
+        count = len(events)
+        journal = self._journal
+        first_seq = -1
+        if journal is not None:
+            first_seq = journal.append_batch(events)
+            if (
+                self._max_backlog is not None
+                and journal.backlog_bytes > self._max_backlog
+            ):
+                journal.sync()
+            if self._trace_on:
+                self._trace.record(
+                    Stage.JOURNAL, events[-1].ts, events[-1].event_type,
+                    f"seq={first_seq}..{first_seq + count - 1}",
+                )
+        if first_seq >= 0:
+            pairs = list(zip(events, range(first_seq, first_seq + count)))
+        else:
+            pairs = [(event, -1) for event in events]
+        obs_on = self._obs_on
+        if obs_on:
+            started = time.perf_counter()
+            self._m_events.inc(count)
+        self.metrics.events += count
+        events_seen = self.metrics.events
+        last_ts = events[-1].ts
+        if self._clock_ms is None or last_ts > self._clock_ms:
+            self._clock_ms = last_ts
+        routed = self._routed
+        for registration, health in self._dispatch:
+            if health.quarantined:
+                if (
+                    health.retry_at_event is not None
+                    and events_seen >= health.retry_at_event
+                ):
+                    self._auto_restart(registration.name, health)
+                else:
+                    continue
+            types = registration.types if routed else None
+            if types is None:
+                sub = pairs
+            else:
+                sub = [p for p in pairs if p[0].event_type in types]
+                if not sub:
+                    continue
+            self._drive_supervised_batch(registration, health, sub, obs_on)
+        if obs_on:
+            finished = time.perf_counter()
+            self._m_latency.observe((finished - started) * 1e6 / count)
+            self._note_event_time(last_ts, finished)
+        if self._checkpointer is not None:
+            self._checkpointer.maybe_checkpoint(count)
+        return count
+
+    def _drive_supervised_batch(
+        self,
+        registration: Any,
+        health: _Health,
+        pairs: list[tuple[Event, int]],
+        obs_on: bool,
+    ) -> None:
+        """One registration's slice of a batch, isolated per event."""
+        offered = 0
+        emitted: list[tuple[Event, Any]] = []
+        for event, seq in pairs:
+            if health.quarantined:
+                break
+            offered += 1
+            try:
+                fresh = registration.executor.process(event)
+            except Exception as error:
+                self._note_failure(
+                    registration.name, health, event, error, seq
+                )
+                continue
+            if health.consecutive_failures:
+                health.consecutive_failures = 0
+            if fresh is not None:
+                emitted.append((event, fresh))
+        if obs_on:
+            registration.m_events.inc(offered)
+        if not emitted:
+            return
+        self.metrics.outputs += len(emitted)
+        if obs_on:
+            self._m_outputs.inc(len(emitted))
+            registration.m_outputs.inc(len(emitted))
+        if self._trace_on:
+            last_event, _ = emitted[-1]
+            self._trace.record(
+                Stage.EMIT, last_event.ts, last_event.event_type,
+                f"query={registration.name} batch_outputs={len(emitted)}",
+            )
+        if registration.sinks:
+            name = registration.name
+            for event, fresh in emitted:
+                output = Output(name, event.ts, fresh)
+                for sink in registration.sinks:
+                    try:
+                        sink.emit(output)
+                    except Exception:
+                        self.metrics.sink_errors += 1
+                        self._m_sink_errors.inc()
 
     # ----- failure handling ------------------------------------------------
 

@@ -1,0 +1,182 @@
+"""Differential pinning: fast paths vs the reference engine.
+
+The reference single-event :class:`StreamEngine` is the correctness
+oracle (itself pinned to the brute-force oracle in
+``test_differential.py``). Every fast path introduced by the batched +
+sharded execution work must produce *identical* results:
+
+* routed (type-indexed dispatch);
+* routed + micro-batched (``process_batch`` / ``run(batch_size=...)``);
+* routed + batched + vectorized;
+* :class:`ShardedStreamEngine` across 2 worker processes.
+
+Streams are seeded with the chaos-seed convention (``REPRO_FAULT_SEED``
+shifts the base, CI sweeps 0/1/2) and attribute values are small
+integers so float addition order cannot mask a real divergence — sums
+of small ints are exact in binary floating point, making "equal" mean
+bit-identical.
+"""
+
+import random
+
+import pytest
+
+from conftest import random_events
+from repro.engine.engine import StreamEngine
+from repro.engine.sharded import ShardedStreamEngine
+from repro.events.event import Event
+from repro.query import parse_query
+from repro.resilience.faults import fault_seed
+
+SEEDS = [fault_seed(0) * 101 + offset for offset in (0, 1, 2)]
+
+GROUPED_QUERIES = [
+    "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms GROUP BY g",
+    "PATTERN SEQ(A, B) AGG SUM(B.v) WITHIN 60 ms GROUP BY g",
+    "PATTERN SEQ(A, B, C) AGG AVG(C.v) WITHIN 80 ms GROUP BY g",
+    "PATTERN SEQ(A, C) AGG MAX(C.v) WITHIN 50 ms GROUP BY g",
+    "PATTERN SEQ(B, C) AGG MIN(C.v) WITHIN 50 ms GROUP BY g",
+    "PATTERN SEQ(A, !N, B) AGG COUNT WITHIN 70 ms GROUP BY g",
+]
+
+FLAT_QUERIES = [
+    "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms",
+    "PATTERN SEQ(A, C) AGG SUM(C.v) WITHIN 60 ms",
+    "PATTERN SEQ(A, B, C) AGG AVG(C.v) WITHIN 80 ms",
+    "PATTERN SEQ(B, C) AGG MAX(C.v) WITHIN 50 ms",
+    "PATTERN SEQ(A, C) AGG MIN(C.v) WITHIN 50 ms",
+    "PATTERN SEQ(A, !N, C) AGG COUNT WITHIN 70 ms",
+    "PATTERN SEQ(A, B) AGG COUNT",  # unwindowed: DPC
+]
+
+
+def _grouped_stream(seed, count=1500, groups=7):
+    rng = random.Random(seed)
+    events = random_events(
+        rng,
+        ["A", "B", "C", "Z"],
+        count,
+        attr_maker=lambda r, t: {
+            "g": r.randint(0, groups - 1), "v": r.randint(1, 9)
+        },
+    )
+    # Sprinkle keyless negative instances so the broadcast lane is
+    # exercised on every seed.
+    for index in range(50, len(events), 97):
+        events[index] = Event("N", events[index].ts)
+    return events
+
+
+def _flat_stream(seed, count=1500):
+    rng = random.Random(seed)
+    return random_events(
+        rng,
+        ["A", "B", "C", "N", "Z"],
+        count,
+        attr_maker=lambda r, t: {"v": r.randint(1, 9)},
+    )
+
+
+def _reference_results(queries, events):
+    engine = StreamEngine()
+    for index, text in enumerate(queries):
+        engine.register(parse_query(text), name=f"q{index}")
+    engine.run(events)
+    return engine.results()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_batched_pipeline_matches_reference(seed, vectorized):
+    events = _flat_stream(seed)
+    expected = _reference_results(FLAT_QUERIES, events)
+    engine = StreamEngine(routed=True, vectorized=vectorized)
+    for index, text in enumerate(FLAT_QUERIES):
+        engine.register(parse_query(text), name=f"q{index}")
+    engine.run(events, batch_size=113)
+    assert engine.results() == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_grouped_matches_reference(seed):
+    events = _grouped_stream(seed)
+    expected = _reference_results(GROUPED_QUERIES, events)
+    engine = StreamEngine(routed=True)
+    for index, text in enumerate(GROUPED_QUERIES):
+        engine.register(parse_query(text), name=f"q{index}")
+    engine.run(events, batch_size=64)
+    assert engine.results() == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_matches_single_process(seed):
+    events = _grouped_stream(seed)
+    expected = _reference_results(GROUPED_QUERIES, events)
+    with ShardedStreamEngine(shards=2, batch_size=128) as engine:
+        for index, text in enumerate(GROUPED_QUERIES):
+            engine.register(parse_query(text), name=f"q{index}")
+        engine.run(events)
+        assert engine.results() == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_mixed_lanes_match_single_process(seed):
+    # Grouped queries shard; flat queries ride the local lane — both
+    # lanes must agree with the reference on the same stream.
+    events = _grouped_stream(seed)
+    queries = GROUPED_QUERIES[:3] + FLAT_QUERIES[:3]
+    expected = _reference_results(queries, events)
+    with ShardedStreamEngine(shards=2, batch_size=64) as engine:
+        for index, text in enumerate(queries):
+            engine.register(parse_query(text), name=f"q{index}")
+        engine.run(events)
+        assert engine.results() == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_equivalence_chain_shards_match_single_process(seed):
+    # HPC via equivalence predicate (not GROUP BY): scalar results
+    # composed across shards.
+    queries = [
+        "PATTERN SEQ(A, B) AGG COUNT WITHIN 60 ms WHERE A.g = B.g",
+        "PATTERN SEQ(A, B) AGG AVG(B.v) WITHIN 60 ms WHERE A.g = B.g",
+    ]
+    rng = random.Random(seed)
+    events = random_events(
+        rng,
+        ["A", "B"],
+        1200,
+        attr_maker=lambda r, t: {
+            "g": r.randint(0, 5), "v": r.randint(1, 9)
+        },
+    )
+    expected = _reference_results(queries, events)
+    with ShardedStreamEngine(shards=2, batch_size=100) as engine:
+        for index, text in enumerate(queries):
+            engine.register(parse_query(text), name=f"q{index}")
+        engine.run(events)
+        assert engine.results() == expected
+
+
+def test_batch_boundary_sweep_never_changes_results():
+    # The same stream under many batch sizes, including size 1 and a
+    # size larger than the stream, must always agree.
+    events = _flat_stream(fault_seed(0) + 17, count=400)
+    expected = _reference_results(FLAT_QUERIES, events)
+    for batch_size in (1, 2, 7, 64, 1000):
+        engine = StreamEngine(routed=True)
+        for index, text in enumerate(FLAT_QUERIES):
+            engine.register(parse_query(text), name=f"q{index}")
+        engine.run(events, batch_size=batch_size)
+        assert engine.results() == expected, f"batch_size={batch_size}"
+
+
+def test_shard_count_sweep_never_changes_results():
+    events = _grouped_stream(fault_seed(0) + 23, count=800)
+    expected = _reference_results(GROUPED_QUERIES[:3], events)
+    for shards in (1, 2, 3):
+        with ShardedStreamEngine(shards=shards, batch_size=90) as engine:
+            for index, text in enumerate(GROUPED_QUERIES[:3]):
+                engine.register(parse_query(text), name=f"q{index}")
+            engine.run(events)
+            assert engine.results() == expected, f"shards={shards}"

@@ -1,0 +1,164 @@
+"""Type-indexed routing: the StreamEngine fast path.
+
+Routing must be invisible semantically — identical results and sink
+outputs with ``routed=True`` — while provably skipping executors whose
+patterns cannot react to an arrival.
+"""
+
+import random
+
+import pytest
+
+from conftest import random_events
+from repro.engine.engine import StreamEngine, relevant_types_of
+from repro.engine.sinks import CollectSink
+from repro.errors import EngineError
+from repro.events.event import Event
+from repro.query import parse_query
+
+
+QUERIES = [
+    ("ab", "PATTERN SEQ(A, B) AGG COUNT WITHIN 20 ms"),
+    ("cd", "PATTERN SEQ(C, D) AGG COUNT WITHIN 20 ms"),
+    ("neg", "PATTERN SEQ(A, !N, D) AGG COUNT WITHIN 30 ms"),
+]
+
+
+def build(routed):
+    engine = StreamEngine(routed=routed)
+    sinks = {}
+    for name, text in QUERIES:
+        sink = CollectSink()
+        engine.register(parse_query(text), sink, name=name)
+        sinks[name] = sink
+    return engine, sinks
+
+
+def test_relevant_types_come_from_the_layout():
+    engine = StreamEngine()
+    executor = engine.register(
+        parse_query("PATTERN SEQ(A, !N, D) AGG COUNT WITHIN 30 ms")
+    )
+    assert relevant_types_of(executor) == frozenset({"A", "N", "D"})
+
+
+def test_relevant_types_none_for_layoutless_executors():
+    class Opaque:
+        def process(self, event):
+            return None
+
+        def result(self):
+            return 0
+
+    assert relevant_types_of(Opaque()) is None
+
+
+def test_routing_index_maps_types_to_reacting_queries():
+    engine, _ = build(routed=True)
+    routes = engine.routes()
+    assert routes["A"] == ["ab", "neg"]
+    assert routes["B"] == ["ab"]
+    assert routes["C"] == ["cd"]
+    assert routes["D"] == ["cd", "neg"]
+    assert routes["N"] == ["neg"]
+
+
+def test_routed_results_and_sinks_match_reference():
+    rng = random.Random(7)
+    events = random_events(rng, ["A", "B", "C", "D", "N", "Z"], 600)
+    reference, ref_sinks = build(routed=False)
+    routed, fast_sinks = build(routed=True)
+    reference.run(events)
+    routed.run(events)
+    assert reference.results() == routed.results()
+    for name in ref_sinks:
+        assert ref_sinks[name].outputs == fast_sinks[name].outputs
+
+
+def test_irrelevant_types_skip_every_executor():
+    engine, _ = build(routed=True)
+    engine.process(Event("Z", 1))  # no pattern mentions Z
+    for name, _ in QUERIES:
+        assert engine.executor_of(name).events_seen == 0
+
+
+def test_routed_executors_still_see_window_slides_on_result():
+    # A and B arrive, then only irrelevant Z events move time past the
+    # window; the routed engine must still expire the ab counter before
+    # answering result().
+    engine, _ = build(routed=True)
+    reference, _ = build(routed=False)
+    events = [Event("A", 1), Event("B", 2), Event("Z", 500)]
+    for event in events:
+        engine.process(event)
+        reference.process(event)
+    assert engine.result("ab") == reference.result("ab")
+    assert engine.results() == reference.results()
+
+
+def test_layoutless_executor_lands_in_catch_all_and_sees_everything():
+    class Probe:
+        def __init__(self):
+            self.seen = []
+
+        def process(self, event):
+            self.seen.append(event.event_type)
+            return None
+
+        def result(self):
+            return len(self.seen)
+
+    engine, _ = build(routed=True)
+    probe = Probe()
+    engine.register_executor("probe", probe)
+    for event_type in ["A", "Z", "D"]:
+        engine.process(Event(event_type, 1))
+    assert probe.seen == ["A", "Z", "D"]
+    assert "probe" in engine.routes()["A"]
+
+
+def test_deregister_rebuilds_the_index():
+    engine, _ = build(routed=True)
+    engine.deregister("ab")
+    routes = engine.routes()
+    assert routes["A"] == ["neg"]
+    assert "B" not in routes
+
+
+def test_routed_flag_and_inspect_surface():
+    engine, _ = build(routed=True)
+    assert engine.routed
+    state = engine.inspect()
+    assert state["routed"] is True
+    assert state["batch_size"] == 0
+
+
+def test_negative_batch_size_rejected():
+    with pytest.raises(ValueError):
+        StreamEngine(batch_size=-1)
+
+
+def test_obs_off_fast_path_counts_outputs_and_sink_errors():
+    class BadSink(CollectSink):
+        def emit(self, output):
+            raise RuntimeError("boom")
+
+    engine = StreamEngine(routed=True)
+    engine.register(
+        parse_query("PATTERN SEQ(A, B) AGG COUNT WITHIN 20 ms"),
+        BadSink(),
+        name="ab",
+    )
+    engine.process(Event("A", 1))
+    engine.process(Event("B", 2))
+    assert engine.metrics.outputs == 1
+    assert engine.metrics.sink_errors == 1
+
+
+def test_duplicate_name_still_rejected_when_routed():
+    engine, _ = build(routed=True)
+    with pytest.raises(EngineError):
+        engine.register(
+            parse_query("PATTERN SEQ(A, B) AGG COUNT WITHIN 20 ms"),
+            name="ab",
+        )
