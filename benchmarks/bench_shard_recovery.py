@@ -1,0 +1,124 @@
+"""Supervision cost of the sharded engine, and shard-restart latency.
+
+Two questions with acceptance numbers attached:
+
+* **Heartbeat/journal overhead** — with supervision on but no faults,
+  sharded ingest should cost < 3% throughput vs ``supervise=False``
+  (measured on an idle machine; the in-suite gate is looser to absorb
+  CI noise).
+* **Restart latency** — how long a full revive takes: kill the worker,
+  respawn, re-seed from the checkpoint, replay the journal suffix.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.engine.sharded import ShardedStreamEngine
+from repro.events.event import Event
+from repro.query import parse_query
+
+QUERY = "PATTERN SEQ(A, B) AGG SUM(B.v) WITHIN 60 ms GROUP BY g"
+N_EVENTS = 4_000
+
+_OPEN: list[ShardedStreamEngine] = []
+
+
+def keyed_stream(count: int = N_EVENTS, seed: int = 23) -> list[Event]:
+    rng = random.Random(seed)
+    events, ts = [], 0
+    for _ in range(count):
+        ts += rng.randint(1, 3)
+        events.append(
+            Event(
+                rng.choice("AB"),
+                ts,
+                {"g": rng.randrange(32), "v": rng.randrange(1000)},
+            )
+        )
+    return events
+
+
+EVENTS = keyed_stream()
+
+
+def build(supervise: bool, **overrides) -> ShardedStreamEngine:
+    settings = dict(shards=2, batch_size=256, supervise=supervise)
+    settings.update(overrides)
+    engine = ShardedStreamEngine(**settings)
+    engine.register(parse_query(QUERY), name="q")
+    _OPEN.append(engine)
+    return engine
+
+
+def ingest(engine: ShardedStreamEngine):
+    process = engine.process
+    for event in EVENTS:
+        process(event)
+    return engine.result("q")
+
+
+def test_sharded_ingest_unsupervised(benchmark):
+    benchmark.pedantic(
+        ingest, setup=lambda: ((build(False),), {}), rounds=3
+    )
+
+
+def test_sharded_ingest_supervised(benchmark):
+    """Heartbeats + in-memory journal + checkpoint cadence, no faults."""
+    benchmark.pedantic(
+        ingest, setup=lambda: ((build(True),), {}), rounds=3
+    )
+
+
+def test_restart_latency(benchmark):
+    """One full revive: destroy, respawn, re-seed, replay the suffix."""
+
+    def setup():
+        engine = build(True, checkpoint_every_batches=4)
+        ingest(engine)
+        return (engine,), {}
+
+    def revive(engine):
+        worker = engine._workers[0]
+        with worker.lock:
+            engine._revive_locked(worker, "benchmark: forced restart")
+        return engine.shard_health()[0]["restarts"]
+
+    restarts = benchmark.pedantic(revive, setup=setup, rounds=3)
+    benchmark.extra_info["restarts"] = restarts
+
+
+def test_supervision_overhead_within_bound():
+    """Supervision (no faults) must not tax ingest measurably.
+
+    Target < 3% on quiet hardware; the in-suite gate is 15% so a noisy
+    shared CI runner cannot flake the build. Results must also agree
+    exactly, supervised or not.
+    """
+
+    def timed(supervise: bool) -> tuple[float, object]:
+        best, result = float("inf"), None
+        for _ in range(3):
+            engine = build(supervise)
+            engine.process(EVENTS[0])  # spawn workers outside the clock
+            started = time.perf_counter()
+            result = ingest(engine)
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    bare_s, bare_result = timed(False)
+    supervised_s, supervised_result = timed(True)
+    assert supervised_result == bare_result
+    overhead = supervised_s / bare_s - 1.0
+    assert overhead < 0.15, (
+        f"supervision overhead {overhead:.1%} "
+        f"(bare {bare_s:.3f}s vs supervised {supervised_s:.3f}s)"
+    )
+
+
+def test_zzz_close_benchmark_engines():
+    """Not a benchmark: reap every worker the rounds above spawned."""
+    while _OPEN:
+        _OPEN.pop().close()

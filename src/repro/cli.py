@@ -210,6 +210,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine a query after K consecutive executor "
         "failures (supervised engine only; default 5)",
     )
+    resilience.add_argument(
+        "--sink-retries",
+        type=int,
+        metavar="N",
+        default=0,
+        help="retry a failing sink delivery up to N times with "
+        "exponential backoff before dead-lettering it (supervised "
+        "engine only; default 0 = fail once, count, move on)",
+    )
+    resilience.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        metavar="S",
+        default=0.5,
+        help="shard heartbeat ping interval in seconds; 0 disables "
+        "shard supervision entirely (--shards only; default 0.5)",
+    )
+    resilience.add_argument(
+        "--shard-restart-limit",
+        type=int,
+        metavar="N",
+        default=3,
+        help="restarts granted to a failing shard before its "
+        "key-range degrades into the local process (--shards only; "
+        "default 3)",
+    )
+    resilience.add_argument(
+        "--shard-journal",
+        metavar="DIR",
+        help="keep each shard's delivery journal and checkpoints on "
+        "disk under DIR/shard-NN instead of in memory (--shards only)",
+    )
     return parser
 
 
@@ -358,6 +390,7 @@ def _run_resilient(
             quarantine_after=args.quarantine_after,
             routed=args.batch_size > 1,
             batch_size=max(0, args.batch_size),
+            sink_retries=max(0, args.sink_retries),
         )
         journal = EventJournal(
             args.journal, fsync=args.fsync, registry=registry
@@ -456,11 +489,16 @@ def _run_sharded(
         )
     if args.shared:
         raise SystemExit("--shards and --shared are mutually exclusive")
+    supervise = args.heartbeat_interval > 0
     engine = ShardedStreamEngine(
         shards=args.shards,
         batch_size=args.batch_size if args.batch_size > 1 else 256,
         vectorized=args.engine == "vectorized",
         registry=registry,
+        supervise=supervise,
+        heartbeat_interval_s=args.heartbeat_interval if supervise else 0.5,
+        restart_limit=max(0, args.shard_restart_limit),
+        journal_dir=args.shard_journal,
     )
     sinks: tuple = ()
     if args.emit == "every":
@@ -483,6 +521,14 @@ def _run_sharded(
         if args.emit != "none":
             for name, value in results.items():
                 print(f"result\t{name}\t{value}")
+        if engine.degraded_shards or engine.shed_events:
+            _log.warning(
+                "shard_summary",
+                message=f"degraded_shards={sorted(engine.degraded_shards)} "
+                f"shed_events={engine.shed_events}",
+                degraded_shards=sorted(engine.degraded_shards),
+                shed_events=engine.shed_events,
+            )
         rate = processed / elapsed if elapsed else 0.0
         _log.info(
             "run_complete",
@@ -565,6 +611,8 @@ def main(argv: list[str] | None = None) -> int:
         events = _load_events(args)
         if args.shards > 0:
             return _run_sharded(args, queries, events, registry, trace)
+        if args.shard_journal:
+            raise SystemExit("--shard-journal requires --shards N")
         if args.journal or args.recover:
             return _run_resilient(args, queries, events, registry, trace)
         engine = _build_engine(args, queries, registry, trace)

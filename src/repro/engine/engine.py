@@ -20,6 +20,7 @@ Two execution paths coexist, selected at construction time:
 
 from __future__ import annotations
 
+import random
 import time
 from itertools import islice
 from typing import Any, Iterable, Sequence
@@ -114,11 +115,18 @@ class StreamEngine:
         cost_sample_every: int = 64,
         routed: bool = False,
         batch_size: int = 0,
+        sink_retries: int = 0,
+        sink_retry_backoff_s: float = 0.05,
+        sink_dlq: Any = None,
     ):
         if cost_sample_every < 0:
             raise ValueError("cost_sample_every must be >= 0")
         if batch_size < 0:
             raise ValueError("batch_size must be >= 0")
+        if sink_retries < 0:
+            raise ValueError("sink_retries must be >= 0")
+        if sink_retry_backoff_s < 0:
+            raise ValueError("sink_retry_backoff_s must be >= 0")
         self._registrations: dict[str, _Registration] = {}
         #: Registration list in insertion order (hot-path iteration).
         self._all: list[_Registration] = []
@@ -143,6 +151,21 @@ class StreamEngine:
         self._m_sink_errors = registry.counter(
             "sink_errors_total", "sink emit() calls that raised"
         )
+        self._m_sink_retries = registry.counter(
+            "sink_retries_total", "sink emit() calls retried after a failure"
+        )
+        self._m_sink_dead = registry.counter(
+            "sink_dead_letters_total",
+            "outputs routed to the dead-letter queue after retry exhaustion",
+        )
+        #: Bounded sink-delivery retry: 0 keeps the fire-and-forget
+        #: behavior (count the error, drop the emission); N retries each
+        #: failed emit with exponential backoff + seeded jitter, then
+        #: dead-letters the output when ``sink_dlq`` is attached.
+        self._sink_retries = sink_retries
+        self._sink_backoff_s = sink_retry_backoff_s
+        self.sink_dlq = sink_dlq
+        self._sink_rng: random.Random | None = None
         self._m_latency = registry.histogram(
             "event_latency_us",
             "per-event processing latency across all registrations (µs)",
@@ -290,12 +313,12 @@ class StreamEngine:
                     continue
                 self.metrics.outputs += 1
                 if registration.sinks:
-                    output = Output(registration.name, event.ts, fresh)
-                    for sink in registration.sinks:
-                        try:
-                            sink.emit(output)
-                        except Exception:
-                            self.metrics.sink_errors += 1
+                    self._deliver(
+                        registration.name,
+                        registration.sinks,
+                        Output(registration.name, event.ts, fresh),
+                        event=event,
+                    )
             return
         if obs_on:
             started = time.perf_counter()
@@ -325,13 +348,12 @@ class StreamEngine:
                     f"query={registration.name} value={fresh!r}",
                 )
             if registration.sinks:
-                output = Output(registration.name, event.ts, fresh)
-                for sink in registration.sinks:
-                    try:
-                        sink.emit(output)
-                    except Exception:
-                        self.metrics.sink_errors += 1
-                        self._m_sink_errors.inc()
+                self._deliver(
+                    registration.name,
+                    registration.sinks,
+                    Output(registration.name, event.ts, fresh),
+                    event=event,
+                )
         if obs_on:
             finished = time.perf_counter()
             self._m_latency.observe((finished - started) * 1e6)
@@ -421,13 +443,79 @@ class StreamEngine:
         if registration.sinks:
             name = registration.name
             for event, fresh in emitted:
-                output = Output(name, event.ts, fresh)
-                for sink in registration.sinks:
-                    try:
-                        sink.emit(output)
-                    except Exception:
-                        self.metrics.sink_errors += 1
+                self._deliver(
+                    name,
+                    registration.sinks,
+                    Output(name, event.ts, fresh),
+                    event=event,
+                )
+
+    def _deliver(
+        self,
+        name: str,
+        sinks: list[ResultSink],
+        output: Output,
+        event: Event | None = None,
+        journal_seq: int = -1,
+    ) -> None:
+        """Emit one output to each sink, with bounded retry + backoff.
+
+        A sink that raises never aborts delivery to its siblings. With
+        ``sink_retries == 0`` (the default) a failed emit is counted and
+        dropped, exactly the historical behavior. Otherwise each failing
+        sink is retried up to N times with exponential backoff and
+        deterministic jitter (seeded from ``REPRO_FAULT_SEED`` so chaos
+        runs replay identically); when every attempt fails the output is
+        pushed to :attr:`sink_dlq` (when attached) as a
+        :class:`~repro.resilience.supervisor.DeadLetter` carrying the
+        undelivered payload.
+        """
+        retries = self._sink_retries
+        obs_on = self._obs_on
+        for sink in sinks:
+            try:
+                sink.emit(output)
+                continue
+            except Exception as error:
+                self.metrics.sink_errors += 1
+                if obs_on:
+                    self._m_sink_errors.inc()
+                last_error = error
+            delivered = False
+            for attempt in range(retries):
+                delay = self._sink_backoff_s * (2 ** attempt)
+                if delay > 0:
+                    # Jitter in [0.5, 1.5) de-synchronizes concurrent
+                    # retry storms without breaking seeded replay.
+                    time.sleep(delay * (0.5 + self._jitter_rng().random()))
+                if obs_on:
+                    self._m_sink_retries.inc()
+                try:
+                    sink.emit(output)
+                    delivered = True
+                    break
+                except Exception as error:
+                    self.metrics.sink_errors += 1
+                    if obs_on:
                         self._m_sink_errors.inc()
+                    last_error = error
+            if not delivered and self.sink_dlq is not None:
+                from repro.resilience.supervisor import DeadLetter
+
+                if obs_on:
+                    self._m_sink_dead.inc()
+                self.sink_dlq.push(
+                    DeadLetter(
+                        name, event, last_error, journal_seq, output=output
+                    )
+                )
+
+    def _jitter_rng(self) -> random.Random:
+        if self._sink_rng is None:
+            from repro.resilience.faults import fault_seed
+
+            self._sink_rng = random.Random(fault_seed(0))
+        return self._sink_rng
 
     def _note_event_time(self, ts: int, now_perf: float) -> None:
         """Advance the event-time watermark and the lag gauge.

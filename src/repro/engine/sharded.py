@@ -1,4 +1,4 @@
-"""Multi-core execution: hash-partitioned worker engines.
+"""Multi-core execution: hash-partitioned worker engines, supervised.
 
 :class:`ShardedStreamEngine` runs one full :class:`StreamEngine` per
 worker *process*, each owning a hash-partition of the stream keyed by a
@@ -27,6 +27,32 @@ The shard hash must agree across processes, so it is
 per process and would route the same key differently in parent and
 tests.
 
+Fault tolerance (``supervise=True``, the default) extends PR 2's
+single-process guarantees to this path:
+
+* every worker owns a **control pipe** besides its data pipe and
+  answers heartbeat pings on it; a
+  :class:`~repro.resilience.shard_supervisor.HeartbeatSupervisor`
+  thread revives shards that die, wedge, or report a poisoned engine;
+* every batch successfully handed to a worker is recorded in that
+  shard's journal (in memory by default, on disk under
+  ``journal_dir/shard-NN`` — reusing
+  :class:`~repro.resilience.journal.EventJournal`); workers snapshot
+  their engine state every ``checkpoint_every_batches`` deliveries, so
+  a revive is *exact*: respawn, re-seed from the checkpoint, replay the
+  journal suffix. Merged results stay bit-identical to the
+  single-process reference even across a ``SIGKILL`` mid-stream;
+* data-pipe sends are **timeout-guarded** (a slow shard can no longer
+  wedge the router): on a stall the ``overload_policy`` decides —
+  ``"block"`` restarts the wedged worker and redelivers (lossless),
+  ``"shed_oldest"`` drops the stalled batch and counts it,
+  ``"raise"`` raises :class:`~repro.errors.OverloadError` — mirroring
+  the DeadLetterQueue policies;
+* a shard that exhausts ``restart_limit`` is **degraded**: its
+  key-range folds into an in-process lane seeded the same exact way,
+  and the engine reports it via ``inspect()``/``shard_health()`` and
+  the admin ``/healthz`` (503).
+
 When NOT to shard: workloads dominated by queries without a partition
 key (everything lands on the local lane plus IPC overhead), tiny
 streams (worker startup costs more than it saves), or single-core
@@ -36,18 +62,35 @@ hosts (the workers time-slice one CPU and IPC is pure overhead).
 from __future__ import annotations
 
 import multiprocessing as mp
+import select
+import signal
+import threading
 import time
 import zlib
+from multiprocessing.connection import wait as _mp_wait
+from pathlib import Path
 from typing import Any, Iterable
 
-from repro.errors import EngineError, QueryError
+from repro.errors import EngineError, OverloadError, QueryError
 from repro.events.event import Event
+from repro.core.checkpoint import restore as _executor_restore
 from repro.core.hpc import partition_attributes
 from repro.engine.engine import StreamEngine
 from repro.engine.metrics import EngineMetrics
 from repro.engine.sinks import Output, ResultSink
+from repro.obs.logging import get_logger
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.ast import AggKind, Query
+from repro.resilience.checkpointer import engine_state
+from repro.resilience.shard_supervisor import (
+    HeartbeatSupervisor,
+    ShardHealth,
+    open_shard_log,
+)
+
+_log = get_logger("sharded")
+
+OVERLOAD_POLICIES = ("block", "shed_oldest", "raise")
 
 #: query_rows() fields that are per-process distributions, not totals —
 #: summing them across shards would be meaningless.
@@ -61,26 +104,56 @@ def shard_of(key: Any, shards: int) -> int:
     return zlib.crc32(repr(key).encode("utf-8")) % shards
 
 
+def _apply_seed(engine: StreamEngine, state: dict[str, Any]) -> None:
+    """Restore every registration's executor from an engine checkpoint
+    document in place (the registrations already exist; routing keeps
+    pointing at the registration objects, whose ``executor`` attribute
+    is looked up at dispatch time)."""
+    for entry in state.get("registrations", []):
+        registration = engine._registrations.get(entry["name"])
+        if registration is None:
+            continue
+        registration.executor = _executor_restore(
+            registration.executor.query,
+            entry["state"],
+            vectorized=bool(entry.get("vectorized", False)),
+        )
+
+
 def _shard_worker(
     conn: Any,
+    control: Any,
     specs: list[tuple[str, Query]],
     vectorized: bool,
 ) -> None:
     """Worker loop: a routed StreamEngine over one hash-partition.
 
-    Protocol (request, reply over one duplex pipe):
+    Two duplex pipes, multiplexed with ``multiprocessing.connection
+    .wait`` so heartbeats are answered even while data queues up.
+
+    Data-pipe protocol (request, reply):
 
     * ``("batch", [(type, ts, attrs), ...])`` — ingest; no reply (the
       pipe's buffer provides natural backpressure via ``send``).
     * ``("collect", watermark_ms)`` — advance clocks to the global
       watermark, reply ``("ok", {name: partial})`` with composable
       partial results (see :func:`_partial_of`).
-    * ``("rows", None)`` — reply per-query cost rows.
-    * ``("inspect", None)`` — reply the engine's state summary.
+    * ``("seed", engine_checkpoint)`` — restore every executor from a
+      checkpoint document (revive path), reply ok.
+    * ``("checkpoint", None)`` — reply ``("ok", engine_state(...))``.
+    * ``("rows"/"inspect"/"state", ...)`` — ops-plane snapshots.
+    * ``("hang", seconds)`` — fault injection: sleep on the data lane
+      so the pipe backs up (heartbeats keep flowing).
     * ``("stop", None)`` — reply and exit.
 
-    Any exception is reported as ``("error", repr)`` on the next
-    request that expects a reply, then the worker exits.
+    Control-pipe protocol: ``("ping", None)`` → ``("pong", {"events",
+    "failure"})``; ``("stall", s)`` / ``("stall_hard", s)`` — fault
+    injection: go fully unresponsive (``stall_hard`` also ignores
+    SIGTERM, to exercise the router's kill escalation).
+
+    A batch that raises poisons the engine: the failure string rides
+    every subsequent pong and the next collect replies ``("error",
+    ...)`` — either way the supervisor restarts this process.
     """
     engine = StreamEngine(routed=True, vectorized=vectorized)
     executors = {
@@ -89,17 +162,45 @@ def _shard_worker(
     failure: str | None = None
     while True:
         try:
+            ready = _mp_wait([conn, control])
+        except OSError:
+            return
+        if control in ready:
+            try:
+                command, payload = control.recv()
+            except (EOFError, OSError):
+                return
+            try:
+                if command == "ping":
+                    control.send(
+                        (
+                            "pong",
+                            {
+                                "events": engine.metrics.events,
+                                "failure": failure,
+                            },
+                        )
+                    )
+                elif command == "stall":
+                    time.sleep(float(payload))
+                elif command == "stall_hard":
+                    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                    time.sleep(float(payload))
+            except (OSError, BrokenPipeError):
+                return
+            continue
+        try:
             command, payload = conn.recv()
         except (EOFError, OSError):
             return
         if command == "batch":
             if failure is not None:
-                continue  # poisoned: drain silently until collected
+                continue  # poisoned: drain silently until restarted
             try:
                 engine.process_batch(
                     [Event(t, ts, attrs) for t, ts, attrs in payload]
                 )
-            except Exception as error:  # report on next collect
+            except Exception as error:  # reported via pong + collect
                 failure = f"{type(error).__name__}: {error}"
         elif command == "collect":
             if failure is not None:
@@ -115,6 +216,23 @@ def _shard_worker(
             except Exception as error:
                 conn.send(("error", f"{type(error).__name__}: {error}"))
                 return
+        elif command == "seed":
+            try:
+                _apply_seed(engine, payload)
+                executors = {
+                    name: engine._registrations[name].executor
+                    for name, _ in specs
+                }
+                failure = None
+                conn.send(("ok", None))
+            except Exception as error:
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+                return
+        elif command == "checkpoint":
+            try:
+                conn.send(("ok", engine_state(engine)))
+            except Exception as error:
+                conn.send(("error", f"{type(error).__name__}: {error}"))
         elif command == "rows":
             conn.send(("ok", engine.query_rows()))
         elif command == "inspect":
@@ -123,6 +241,8 @@ def _shard_worker(
             from repro.obs.inspect import state_of
 
             conn.send(("ok", state_of(engine, payload)))
+        elif command == "hang":
+            time.sleep(float(payload))
         elif command == "stop":
             conn.send(("ok", engine.metrics.events))
             return
@@ -188,15 +308,85 @@ def _merge_partials(query: Query, partials: list[Any]) -> Any:
     return max(extrema) if kind is AggKind.MAX else min(extrema)
 
 
+class _ShardUnresponsive(Exception):
+    """A worker broke its pipe, died, or blew a reply deadline."""
+
+
 class _Worker:
-    """Parent-side handle: process, pipe, and the outgoing buffer."""
+    """Parent-side handle: process, pipes, buffer, journal, recovery."""
 
-    __slots__ = ("process", "conn", "buffer")
+    __slots__ = (
+        "index", "process", "conn", "control", "buffer", "lock",
+        "log", "replay_base", "checkpoint", "checkpoint_disabled",
+        "batches_since_checkpoint", "fold", "generation",
+    )
 
-    def __init__(self, process: Any, conn: Any):
-        self.process = process
-        self.conn = conn
+    def __init__(self, index: int):
+        self.index = index
+        self.process: Any = None
+        self.conn: Any = None
+        self.control: Any = None
         self.buffer: list[tuple[str, int, dict | None]] = []
+        #: Serializes data-pipe use and revive between the router
+        #: thread and the heartbeat thread.
+        self.lock = threading.Lock()
+        self.log: Any = None
+        #: Journal seq at first spawn — a disk journal resumed from a
+        #: previous router run must not replay the old run's records.
+        self.replay_base = 0
+        #: Latest engine checkpoint document (with ``journal_seq``).
+        self.checkpoint: dict[str, Any] | None = None
+        self.checkpoint_disabled = False
+        self.batches_since_checkpoint = 0
+        #: In-process fold lane once this shard is degraded.
+        self.fold: StreamEngine | None = None
+        self.generation = 0
+
+
+def _pipe_writable(conn: Any, timeout: float) -> bool:
+    """True when ``send`` on the connection would not block (or when
+    the fd is unpollable — then let ``send`` raise the real error)."""
+    try:
+        return bool(select.select([], [conn], [], timeout)[1])
+    except (OSError, ValueError):
+        return True
+
+
+def _destroy_process(worker: _Worker, timeout: float = 2.0) -> None:
+    """Tear down one worker process and both pipe ends; never raises.
+
+    Escalation ladder: close pipes (unblocks a worker stuck in recv),
+    ``terminate()``, and — when SIGTERM is ignored or the worker is
+    wedged in uninterruptible state — ``kill()``. Always joins so no
+    zombie is left, then closes the Process handle to release its fds.
+    """
+    for pipe in (worker.conn, worker.control):
+        if pipe is not None:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+    worker.conn = None
+    worker.control = None
+    process = worker.process
+    worker.process = None
+    if process is None:
+        return
+    try:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout)
+        else:
+            process.join(0.1)  # reap an already-dead child
+    except (OSError, ValueError):
+        pass
+    try:
+        process.close()
+    except ValueError:  # still running after kill: nothing more to do
+        pass
 
 
 class ShardedStreamEngine:
@@ -206,6 +396,29 @@ class ShardedStreamEngine:
     ``query_rows`` / ``inspect``), duck-type compatible with the admin
     server. Workers start lazily on the first ingested event, so all
     queries must be registered before ingestion begins.
+
+    Supervision knobs (see the module docstring for the semantics):
+
+    ``supervise``
+        Master switch for heartbeats, per-shard journaling,
+        checkpoints, and exact revive. Off = PR 4 behavior: a dead
+        shard raises :class:`~repro.errors.EngineError`.
+    ``heartbeat_interval_s`` / ``heartbeat_max_missed``
+        Ping cadence and how many consecutive missed pongs mark a
+        shard as wedged.
+    ``restart_limit``
+        Restarts granted per shard before it degrades into the local
+        fold lane.
+    ``send_timeout_s`` / ``overload_policy``
+        Backpressure guard on data-pipe sends: ``"block"`` (restart the
+        wedged worker, lossless), ``"shed_oldest"`` (drop + count), or
+        ``"raise"`` (:class:`~repro.errors.OverloadError`).
+    ``journal_dir``
+        Directory for durable per-shard journals + checkpoints
+        (``shard-NN/``); None keeps them in memory.
+    ``checkpoint_every_batches``
+        Worker state snapshot cadence, in delivered batches (0 never
+        checkpoints; revive then replays the whole shard journal).
     """
 
     def __init__(
@@ -216,11 +429,38 @@ class ShardedStreamEngine:
         registry: MetricsRegistry | None = None,
         stream_name: str = "sharded",
         start_method: str | None = None,
+        supervise: bool = True,
+        heartbeat_interval_s: float = 0.5,
+        heartbeat_max_missed: int = 3,
+        restart_limit: int = 3,
+        send_timeout_s: float = 5.0,
+        recv_timeout_s: float = 30.0,
+        overload_policy: str = "block",
+        journal_dir: str | Path | None = None,
+        checkpoint_every_batches: int = 64,
+        shutdown_timeout_s: float = 2.0,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if heartbeat_max_missed < 1:
+            raise ValueError("heartbeat_max_missed must be at least 1")
+        if restart_limit < 0:
+            raise ValueError("restart_limit must be >= 0")
+        if send_timeout_s <= 0 or recv_timeout_s <= 0:
+            raise ValueError("send/recv timeouts must be positive")
+        if checkpoint_every_batches < 0:
+            raise ValueError("checkpoint_every_batches must be >= 0")
+        if shutdown_timeout_s <= 0:
+            raise ValueError("shutdown_timeout_s must be positive")
+        if overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload_policy must be one of {OVERLOAD_POLICIES}, "
+                f"got {overload_policy!r}"
+            )
         self.shards = shards
         self.batch_size = batch_size
         self._vectorized = vectorized
@@ -229,8 +469,52 @@ class ShardedStreamEngine:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._ctx = mp.get_context(start_method)
+        self._supervise = supervise
+        self._heartbeat_interval_s = heartbeat_interval_s
+        self._heartbeat_max_missed = heartbeat_max_missed
+        self._restart_limit = restart_limit
+        self._send_timeout_s = send_timeout_s
+        self._recv_timeout_s = recv_timeout_s
+        self._overload_policy = overload_policy
+        self._journal_dir = (
+            None if journal_dir is None else Path(journal_dir)
+        )
+        self._checkpoint_every = checkpoint_every_batches
+        self._shutdown_timeout_s = shutdown_timeout_s
         self.metrics = EngineMetrics()
         self.obs_registry = resolve_registry(registry)
+        obs = self.obs_registry
+        self._m_restarts = [
+            obs.counter(
+                "shard_restarts_total",
+                "worker processes restarted by the shard supervisor",
+                shard=str(index),
+            )
+            for index in range(shards)
+        ]
+        self._m_shard_failures = [
+            obs.counter(
+                "shard_failures_total",
+                "shard failures observed (crash, hang, poisoned state)",
+                shard=str(index),
+            )
+            for index in range(shards)
+        ]
+        self._g_degraded = obs.gauge(
+            "shards_degraded",
+            "shards folded into the local lane after exhausting restarts",
+        )
+        self._m_backpressure = obs.counter(
+            "shard_backpressure_total",
+            "data-pipe sends that hit the send timeout",
+        )
+        self._m_shed = obs.counter(
+            "shard_shed_events_total",
+            "events dropped by the shed_oldest overload policy",
+        )
+        self._m_checkpoints = obs.counter(
+            "shard_checkpoints_total", "per-shard worker checkpoints taken"
+        )
         #: All registrations, in order: name -> (query, sinks).
         self._specs: dict[str, tuple[Query, list[ResultSink]]] = {}
         #: The partition attribute all sharded queries agree on.
@@ -247,6 +531,15 @@ class ShardedStreamEngine:
         )
         self._local_names: list[str] = []
         self._workers: list[_Worker] = []
+        self._worker_specs: list[tuple[str, Query]] = []
+        self._shard_health = [
+            ShardHealth(shard=index) for index in range(shards)
+        ]
+        #: Indices of shards folded into the local process.
+        self.degraded_shards: set[int] = set()
+        #: Events dropped under the shed_oldest overload policy.
+        self.shed_events = 0
+        self._monitor: HeartbeatSupervisor | None = None
         self._started = False
         self._closed = False
         self._clock_ms: int | None = None
@@ -287,35 +580,84 @@ class ShardedStreamEngine:
 
     # ----- worker lifecycle --------------------------------------------------
 
+    def _spawn_into(self, worker: _Worker) -> None:
+        """(Re)create one worker process with fresh data+control pipes."""
+        data_parent, data_child = self._ctx.Pipe(duplex=True)
+        ctl_parent, ctl_child = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(data_child, ctl_child, self._worker_specs,
+                  self._vectorized),
+            daemon=True,
+        )
+        process.start()
+        data_child.close()
+        ctl_child.close()
+        worker.process = process
+        worker.conn = data_parent
+        worker.control = ctl_parent
+
     def _start(self) -> None:
-        specs = list(self._sharded.items())
-        for _ in range(self.shards):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            process = self._ctx.Process(
-                target=_shard_worker,
-                args=(child_conn, specs, self._vectorized),
-                daemon=True,
+        self._worker_specs = list(self._sharded.items())
+        for index in range(self.shards):
+            worker = _Worker(index)
+            if self._supervise:
+                directory = (
+                    None
+                    if self._journal_dir is None
+                    else self._journal_dir / f"shard-{index:02d}"
+                )
+                worker.log = open_shard_log(
+                    directory, registry=self.obs_registry
+                )
+                worker.replay_base = worker.log.next_seq
+            self._spawn_into(worker)
+            self._workers.append(worker)
+        if self._supervise and self._sharded:
+            self._monitor = HeartbeatSupervisor(
+                self.shards,
+                self._ping_shard,
+                self._revive,
+                interval_s=self._heartbeat_interval_s,
+                max_missed=self._heartbeat_max_missed,
+                registry=self.obs_registry,
+                health=self._shard_health,
             )
-            process.start()
-            child_conn.close()
-            self._workers.append(_Worker(process, parent_conn))
+            self._monitor.start()
         self._started = True
 
     def close(self) -> None:
-        """Stop the workers; idempotent."""
+        """Stop workers with terminate→kill escalation; idempotent and
+        exception-safe (no leaked pipe fds, no zombie processes)."""
         if self._closed:
             return
         self._closed = True
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.stop()
+            self._monitor = None
         for worker in self._workers:
+            acquired = worker.lock.acquire(
+                timeout=self._shutdown_timeout_s + 3.0
+            )
             try:
-                worker.conn.send(("stop", None))
-                worker.conn.recv()
-            except (OSError, EOFError, BrokenPipeError):
-                pass
-            worker.conn.close()
-            worker.process.join(timeout=5)
-            if worker.process.is_alive():
-                worker.process.terminate()
+                if worker.process is not None and worker.conn is not None:
+                    try:
+                        worker.conn.send(("stop", None))
+                        if worker.conn.poll(
+                            min(1.0, self._shutdown_timeout_s)
+                        ):
+                            worker.conn.recv()
+                    except (OSError, EOFError, BrokenPipeError):
+                        pass
+                _destroy_process(worker, self._shutdown_timeout_s)
+                if worker.log is not None:
+                    worker.log.close()
+                    worker.log = None
+                worker.fold = None
+            finally:
+                if acquired:
+                    worker.lock.release()
         self._workers.clear()
 
     def __enter__(self) -> "ShardedStreamEngine":
@@ -323,6 +665,200 @@ class ShardedStreamEngine:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ----- supervision -------------------------------------------------------
+
+    def _ping_shard(self, index: int) -> tuple[str, Any]:
+        """Heartbeat probe of one shard (called by the monitor thread).
+
+        Never blocks behind the router: a busy per-worker lock skips
+        the round rather than stalling the monitor loop.
+        """
+        worker = self._workers[index]
+        if not worker.lock.acquire(timeout=0.05):
+            return ("busy", None)
+        try:
+            if self._closed:
+                return ("busy", None)
+            if worker.fold is not None:
+                return ("ok", {"degraded": True})
+            return self._ping_locked(worker)
+        finally:
+            worker.lock.release()
+
+    def _ping_locked(self, worker: _Worker) -> tuple[str, Any]:
+        process = worker.process
+        if process is None or not process.is_alive():
+            return ("dead", None)
+        control = worker.control
+        try:
+            while control.poll(0):  # drop stale pongs from missed rounds
+                control.recv()
+            control.send(("ping", None))
+            if not control.poll(self._heartbeat_interval_s):
+                return ("miss", None)
+            _, payload = control.recv()
+        except (OSError, EOFError, BrokenPipeError):
+            return ("dead", None)
+        failure = (
+            payload.get("failure") if isinstance(payload, dict) else None
+        )
+        if failure:
+            return ("failed", failure)
+        return ("ok", payload)
+
+    def _revive(self, index: int, reason: str) -> None:
+        """Monitor-thread entry point: restart one unhealthy shard."""
+        worker = self._workers[index]
+        with worker.lock:
+            if self._closed or worker.fold is not None:
+                return
+            # The router may have revived it while we waited for the
+            # lock — a healthy pong means there is nothing left to do.
+            if self._ping_locked(worker)[0] == "ok":
+                return
+            self._handle_failure(worker, reason)
+
+    def _handle_failure(self, worker: _Worker, reason: str) -> None:
+        """Record one shard failure and recover (lock held by caller)."""
+        health = self._shard_health[worker.index]
+        health.failures += 1
+        health.last_failure = reason
+        self._m_shard_failures[worker.index].inc()
+        if not self._supervise:
+            raise EngineError(f"shard {worker.index} failed: {reason}")
+        self._revive_locked(worker, reason)
+
+    def _revive_locked(self, worker: _Worker, reason: str) -> None:
+        """Kill, respawn, re-seed exactly (checkpoint + journal suffix
+        replay); degrade into the fold lane once restarts run out."""
+        if self._closed or worker.fold is not None:
+            return
+        health = self._shard_health[worker.index]
+        while True:
+            if health.restarts >= self._restart_limit:
+                self._degrade_locked(worker, reason)
+                return
+            health.restarts += 1
+            health.alive = True
+            health.missed_heartbeats = 0
+            health.last_pong_at = time.monotonic()
+            self._m_restarts[worker.index].inc()
+            worker.generation += 1
+            try:
+                self._respawn_and_reseed(worker)
+            except Exception as error:
+                reason = f"re-seed failed: {error!r}"
+                health.failures += 1
+                health.last_failure = reason
+                self._m_shard_failures[worker.index].inc()
+                continue
+            _log.warning(
+                "shard_restart",
+                message=(
+                    f"shard {worker.index} restarted "
+                    f"(generation {worker.generation}): {reason}"
+                ),
+                shard=worker.index,
+                generation=worker.generation,
+                reason=reason,
+            )
+            return
+
+    def _respawn_and_reseed(self, worker: _Worker) -> None:
+        _destroy_process(worker, self._shutdown_timeout_s)
+        self._spawn_into(worker)
+        start_seq = worker.replay_base
+        if worker.checkpoint is not None:
+            self._roundtrip(worker, "seed", worker.checkpoint)
+            start_seq = max(
+                start_seq, int(worker.checkpoint.get("journal_seq", 0))
+            )
+        if worker.log is None:
+            return
+        chunk: list[tuple[str, int, dict | None]] = []
+        for record in worker.log.replay(start_seq):
+            chunk.append(record)
+            if len(chunk) >= self.batch_size:
+                worker.conn.send(("batch", chunk))
+                chunk = []
+        if chunk:
+            worker.conn.send(("batch", chunk))
+
+    def _degrade_locked(self, worker: _Worker, reason: str) -> None:
+        """Fold this shard's key-range into an in-process lane, seeded
+        the same exact way a revive would seed a fresh worker."""
+        health = self._shard_health[worker.index]
+        fold = StreamEngine(
+            routed=True,
+            vectorized=self._vectorized,
+            stream_name=f"{self.stream_name}-fold-{worker.index}",
+        )
+        for name, query in self._sharded.items():
+            fold.register(query, name=name)
+        start_seq = worker.replay_base
+        if worker.checkpoint is not None:
+            _apply_seed(fold, worker.checkpoint)
+            start_seq = max(
+                start_seq, int(worker.checkpoint.get("journal_seq", 0))
+            )
+        dropped = 0
+        if worker.log is not None:
+            chunk: list[tuple[str, int, dict | None]] = []
+            for record in worker.log.replay(start_seq):
+                chunk.append(record)
+                if len(chunk) >= 1024:
+                    dropped += _feed_fold(fold, chunk)
+                    chunk = []
+            if chunk:
+                dropped += _feed_fold(fold, chunk)
+        _destroy_process(worker, self._shutdown_timeout_s)
+        worker.fold = fold
+        health.degraded = True
+        health.alive = False
+        self.degraded_shards.add(worker.index)
+        self._g_degraded.set(float(len(self.degraded_shards)))
+        _log.warning(
+            "shard_degraded",
+            message=(
+                f"shard {worker.index} degraded after {health.restarts} "
+                f"restarts; its key-range now runs in-process: {reason}"
+            ),
+            shard=worker.index,
+            restarts=health.restarts,
+            replay_dropped_events=dropped,
+            reason=reason,
+        )
+
+    def _roundtrip(
+        self, worker: _Worker, command: str, payload: Any = None
+    ) -> Any:
+        """One guarded request/reply on the data pipe (lock held).
+
+        Raises :class:`_ShardUnresponsive` on pipe death or a blown
+        reply deadline, :class:`EngineError` on an ``("error", ...)``
+        reply.
+        """
+        try:
+            worker.conn.send((command, payload))
+            if not worker.conn.poll(self._recv_timeout_s):
+                raise _ShardUnresponsive(
+                    f"no reply to {command!r} within "
+                    f"{self._recv_timeout_s}s"
+                )
+            status, value = worker.conn.recv()
+        except (OSError, EOFError, BrokenPipeError) as error:
+            raise _ShardUnresponsive(repr(error)) from error
+        if status != "ok":
+            raise EngineError(
+                f"shard {worker.index} {command} failed: {value}"
+            )
+        return value
+
+    def shard_health(self) -> list[dict[str, Any]]:
+        """Per-shard supervision snapshots (restarts, heartbeat age,
+        degraded flag) for ``inspect()`` and the admin plane."""
+        return [health.snapshot() for health in self._shard_health]
 
     # ----- ingestion ---------------------------------------------------------
 
@@ -355,18 +891,134 @@ class ShardedStreamEngine:
     def _buffer(
         self, worker: _Worker, record: tuple[str, int, dict | None]
     ) -> None:
+        worker.buffer.append(record)
+        if len(worker.buffer) >= self.batch_size:
+            self._flush_worker(worker)
+
+    def _flush_worker(self, worker: _Worker) -> None:
         buffer = worker.buffer
-        buffer.append(record)
-        if len(buffer) >= self.batch_size:
-            worker.conn.send(("batch", buffer))
-            worker.buffer = []
+        if not buffer:
+            return
+        worker.buffer = []
+        with worker.lock:
+            self._send_records(worker, buffer)
+
+    def _send_records(
+        self,
+        worker: _Worker,
+        records: list[tuple[str, int, dict | None]],
+        journal: bool = True,
+    ) -> None:
+        """Deliver one batch with the backpressure guard (lock held).
+
+        The journal-on-successful-send invariant: a batch is appended
+        to the shard journal exactly when the worker accepted it, so
+        checkpoint + journal-suffix replay reconstructs precisely what
+        the worker had consumed.
+        """
+        if worker.fold is not None:
+            self._fold_feed(worker, records)
+            return
+        attempts = 0
+        while True:
+            failed = None
+            try:
+                if _pipe_writable(worker.conn, self._send_timeout_s):
+                    worker.conn.send(("batch", records))
+                    break
+                self._m_backpressure.inc()
+                if self._overload_policy == "raise":
+                    raise OverloadError(
+                        f"shard {worker.index} pipe not writable within "
+                        f"{self._send_timeout_s}s"
+                    )
+                if self._overload_policy == "shed_oldest":
+                    self.shed_events += len(records)
+                    self._m_shed.inc(len(records))
+                    _log.warning(
+                        "shard_shed",
+                        message=(
+                            f"shed {len(records)} events to stalled "
+                            f"shard {worker.index} (shed_oldest policy)"
+                        ),
+                        shard=worker.index,
+                        events=len(records),
+                    )
+                    return  # dropped, never journaled
+                # "block" policy: a restart both unwedges the pipe and
+                # preserves exactness (checkpoint + replay + redeliver).
+                failed = "pipe stalled beyond the send timeout"
+            except (OSError, EOFError, BrokenPipeError) as error:
+                failed = f"send failed: {error!r}"
+            attempts += 1
+            if attempts > self._restart_limit + 1:
+                raise EngineError(
+                    f"shard {worker.index}: could not deliver a batch "
+                    f"after {attempts} attempts ({failed})"
+                )
+            self._handle_failure(worker, failed)
+            if worker.fold is not None:
+                self._fold_feed(worker, records)
+                return
+        if journal and worker.log is not None:
+            worker.log.append(records)
+            worker.batches_since_checkpoint += 1
+            if (
+                self._checkpoint_every
+                and not worker.checkpoint_disabled
+                and worker.batches_since_checkpoint
+                >= self._checkpoint_every
+            ):
+                self._checkpoint_locked(worker)
+
+    def _checkpoint_locked(self, worker: _Worker) -> None:
+        """Snapshot one worker's engine state and prune its journal."""
+        try:
+            state = self._roundtrip(worker, "checkpoint", None)
+        except _ShardUnresponsive as error:
+            self._handle_failure(worker, f"checkpoint failed: {error}")
+            return
+        except EngineError as error:
+            # Deterministic serialization problem: a restart would not
+            # fix it, so keep the worker and stop asking.
+            worker.checkpoint_disabled = True
+            _log.warning(
+                "shard_checkpoint_disabled",
+                message=(
+                    f"shard {worker.index} cannot checkpoint "
+                    f"({error}); revive will replay the full journal"
+                ),
+                shard=worker.index,
+            )
+            return
+        state["journal_seq"] = worker.log.next_seq
+        worker.checkpoint = state
+        worker.log.save_checkpoint(state)
+        worker.log.truncate_to(state["journal_seq"])
+        worker.batches_since_checkpoint = 0
+        self._m_checkpoints.inc()
+
+    def _fold_feed(
+        self,
+        worker: _Worker,
+        records: list[tuple[str, int, dict | None]],
+    ) -> None:
+        dropped = _feed_fold(worker.fold, records)
+        if dropped:
+            _log.warning(
+                "fold_dropped",
+                message=(
+                    f"fold lane of degraded shard {worker.index} "
+                    f"dropped a poison batch of {dropped} events"
+                ),
+                shard=worker.index,
+                events=dropped,
+            )
 
     def flush(self) -> None:
         """Push every buffered event down to its worker."""
         for worker in self._workers:
-            if worker.buffer:
-                worker.conn.send(("batch", worker.buffer))
-                worker.buffer = []
+            self._flush_worker(worker)
 
     def run(self, stream: Iterable[Event]) -> int:
         """Drain a stream; deliver merged finals to sharded-query sinks."""
@@ -392,25 +1044,61 @@ class ShardedStreamEngine:
 
     # ----- results -----------------------------------------------------------
 
+    def _request(
+        self, worker: _Worker, command: str, payload: Any = None
+    ) -> Any:
+        """One request/reply with revive-and-retry on failure."""
+        with worker.lock:
+            failure = "unknown"
+            for _ in range(self._restart_limit + 2):
+                if worker.fold is not None:
+                    return self._fold_request(worker, command, payload)
+                try:
+                    return self._roundtrip(worker, command, payload)
+                except Exception as error:
+                    failure = str(error) or repr(error)
+                    self._handle_failure(
+                        worker, f"{command} failed: {failure}"
+                    )
+            raise EngineError(
+                f"shard {worker.index}: {command} kept failing "
+                f"({failure})"
+            )
+
+    def _fold_request(
+        self, worker: _Worker, command: str, payload: Any
+    ) -> Any:
+        """Serve a worker request from a degraded shard's fold lane."""
+        fold = worker.fold
+        if command == "collect":
+            fold.advance_clock(int(payload))
+            return {
+                name: _partial_of(fold.executor_of(name))
+                for name in self._sharded
+            }
+        if command == "rows":
+            return fold.query_rows()
+        if command == "inspect":
+            state = fold.inspect()
+            state["degraded"] = True
+            return state
+        if command == "state":
+            from repro.obs.inspect import state_of
+
+            return state_of(fold, payload)
+        raise EngineError(
+            f"command {command!r} is not served by a degraded shard"
+        )
+
     def _collect(self, command: str, payload: Any = None) -> list[Any]:
         """Round-trip one request to every worker (flushes first)."""
         if not self._started:
             self._start()
         self.flush()
-        for worker in self._workers:
-            worker.conn.send((command, payload))
-        replies = []
-        for index, worker in enumerate(self._workers):
-            try:
-                status, value = worker.conn.recv()
-            except (EOFError, OSError) as error:
-                raise EngineError(
-                    f"shard {index} died: {error!r}"
-                ) from error
-            if status != "ok":
-                raise EngineError(f"shard {index} failed: {value}")
-            replies.append(value)
-        return replies
+        return [
+            self._request(worker, command, payload)
+            for worker in self._workers
+        ]
 
     def _merged_results(self) -> dict[str, Any]:
         if not self._sharded:
@@ -529,7 +1217,26 @@ class ShardedStreamEngine:
             "local_queries": list(self._local_names),
             "local": self._local.inspect(),
             "workers": workers,
+            "supervised": self._supervise,
+            "degraded_shards": sorted(self.degraded_shards),
+            "shed_events": self.shed_events,
+            "shard_health": self.shard_health(),
         }
+
+
+def _feed_fold(
+    fold: StreamEngine, records: list[tuple[str, int, dict | None]]
+) -> int:
+    """Feed replayed/live records to a fold lane one by one; a poison
+    record is dropped (and counted) rather than wedging the degraded
+    shard forever or taking its whole batch down with it."""
+    dropped = 0
+    for event_type, ts, attrs in records:
+        try:
+            fold.process(Event(event_type, ts, attrs))
+        except Exception:
+            dropped += 1
+    return dropped
 
 
 class _Missing:

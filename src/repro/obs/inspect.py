@@ -160,11 +160,13 @@ def engine_inspect(engine: Any) -> dict[str, Any]:
 
 
 def health_snapshot(engine: Any) -> dict[str, Any]:
-    """Liveness summary: quarantines, DLQ depth, journal backlog.
+    """Liveness summary: quarantines, DLQ depth, journal backlog, and —
+    for sharded engines — degraded shards and per-shard heartbeats.
 
-    ``healthy`` is False exactly when a registration is quarantined —
-    the engine is up but silently not serving some query, which an
-    orchestrator should see as degraded.
+    ``healthy`` is False exactly when a registration is quarantined or
+    a shard has been folded into the local lane — the engine is up but
+    silently serving some query below spec, which an orchestrator
+    should see as degraded.
     """
     quarantined: list[str] = []
     probe = getattr(engine, "quarantined", None)
@@ -178,8 +180,9 @@ def health_snapshot(engine: Any) -> dict[str, Any]:
     events = getattr(engine_metrics, "events", None)
     if events is None:
         events = getattr(engine, "events_processed", None)
-    healthy = not quarantined
-    return {
+    degraded_shards = sorted(getattr(engine, "degraded_shards", None) or ())
+    healthy = not quarantined and not degraded_shards
+    snapshot = {
         "status": "ok" if healthy else "degraded",
         "healthy": healthy,
         "quarantined": quarantined,
@@ -187,3 +190,8 @@ def health_snapshot(engine: Any) -> dict[str, Any]:
         "journal_backlog_bytes": backlog,
         "events": events,
     }
+    shard_probe = getattr(engine, "shard_health", None)
+    if callable(shard_probe):
+        snapshot["degraded_shards"] = degraded_shards
+        snapshot["shards"] = shard_probe()
+    return snapshot

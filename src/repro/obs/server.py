@@ -8,8 +8,9 @@ wires it behind ``--admin-port``) and serves:
 ``GET /metrics``          Prometheus text exposition of the registry
 ``GET /metrics.json``     JSON snapshot (with derived histogram quantiles)
 ``GET /healthz``          liveness: 200 when healthy, 503 when any
-                          registration is quarantined; body carries the
-                          quarantined names, DLQ depth and journal backlog
+                          registration is quarantined or any shard is
+                          degraded; body carries the quarantined names,
+                          DLQ depth, journal backlog and shard health
 ``GET /queries``          one cost-accounting row per registered query
 ``GET /queries/<id>/state``  EXPLAIN-style dump of that query's live
                           prefix-counter state (``inspect()``)

@@ -7,7 +7,9 @@ spends that windfall: an append-only event journal
 (:mod:`~repro.resilience.checkpointer`), crash recovery by
 checkpoint-plus-replay (:mod:`~repro.resilience.recovery`),
 per-registration failure isolation with a dead-letter queue and
-quarantine (:mod:`~repro.resilience.supervisor`), and the seeded fault
+quarantine (:mod:`~repro.resilience.supervisor`), process-level shard
+supervision — heartbeats, per-shard journals, exact worker revive —
+(:mod:`~repro.resilience.shard_supervisor`), and the seeded fault
 injection the chaos tests drive it all with
 (:mod:`~repro.resilience.faults`).
 """
@@ -25,17 +27,29 @@ from repro.resilience.faults import (
     FaultPlan,
     FaultyExecutor,
     InjectedFault,
+    ShardKill,
     corrupt_checkpoint,
     corrupt_latest_checkpoint,
     fault_seed,
+    hang_shard_pipe,
+    kill_shard,
+    stall_shard,
     tear_journal_tail,
 )
 from repro.resilience.journal import (
     EventJournal,
     list_segments,
+    prune_segments,
     read_journal,
 )
 from repro.resilience.recovery import recover
+from repro.resilience.shard_supervisor import (
+    DiskShardLog,
+    HeartbeatSupervisor,
+    MemoryShardLog,
+    ShardHealth,
+    open_shard_log,
+)
 from repro.resilience.supervisor import (
     DeadLetter,
     DeadLetterQueue,
@@ -47,21 +61,31 @@ __all__ = [
     "Checkpointer",
     "DeadLetter",
     "DeadLetterQueue",
+    "DiskShardLog",
     "EventJournal",
     "FaultPlan",
     "FaultyExecutor",
+    "HeartbeatSupervisor",
     "InjectedFault",
+    "MemoryShardLog",
+    "ShardHealth",
+    "ShardKill",
     "SupervisedStreamEngine",
     "corrupt_checkpoint",
     "corrupt_latest_checkpoint",
     "engine_state",
     "fault_seed",
+    "hang_shard_pipe",
+    "kill_shard",
     "list_checkpoints",
     "list_segments",
     "load_checkpoint",
     "load_latest_checkpoint",
+    "open_shard_log",
+    "prune_segments",
     "read_journal",
     "recover",
+    "stall_shard",
     "tear_journal_tail",
     "write_checkpoint",
 ]

@@ -20,6 +20,15 @@ survive:
 * :func:`corrupt_checkpoint` / :func:`corrupt_latest_checkpoint` —
   overwrites bytes inside a checkpoint generation, exercising the
   fall-back-to-older-generation path;
+* :func:`kill_shard` / :class:`ShardKill` — SIGKILL a sharded worker
+  process outright, immediately or after *k* more ingested events
+  (exercises supervised restart + exact re-seed);
+* :func:`stall_shard` — make a worker stop answering heartbeats for a
+  while (``hard=True`` also ignores SIGTERM, exercising the router's
+  terminate→kill escalation);
+* :func:`hang_shard_pipe` — make a worker sleep on its *data* lane so
+  the pipe backs up (exercises the backpressure policies while
+  heartbeats stay green);
 * :class:`FaultPlan` — the seeded facade the tests draw all of the
   above from.
 """
@@ -28,6 +37,7 @@ from __future__ import annotations
 
 import os
 import random
+import signal
 from pathlib import Path
 
 from repro.engine.sinks import Output, ResultSink
@@ -186,6 +196,81 @@ def corrupt_latest_checkpoint(
     return checkpoints[-1]
 
 
+class ShardKill:
+    """An armed process kill against one shard of a sharded engine.
+
+    ``tick()`` once per ingested event; the kill fires (once) when the
+    countdown reaches zero. ``fire()`` triggers it immediately. The
+    signal goes to whatever process currently serves the shard, so a
+    ``tick``-driven kill can also hit a restarted generation.
+    """
+
+    def __init__(self, engine, shard: int, after_events: int = 0,
+                 sig: int = signal.SIGKILL):
+        self._engine = engine
+        self.shard = shard
+        self._remaining = after_events
+        self._sig = sig
+        self.fired = False
+
+    def tick(self, count: int = 1) -> bool:
+        """Count ingested events; returns True when this call fired."""
+        if self.fired:
+            return False
+        self._remaining -= count
+        if self._remaining > 0:
+            return False
+        return self.fire()
+
+    def fire(self) -> bool:
+        """Kill the shard's current worker process now (once)."""
+        if self.fired:
+            return False
+        self.fired = True
+        process = self._engine._workers[self.shard].process
+        if process is None or process.pid is None:
+            return False
+        try:
+            os.kill(process.pid, self._sig)
+        except ProcessLookupError:
+            return False
+        return True
+
+
+def kill_shard(engine, shard: int, after_events: int = 0,
+               sig: int = signal.SIGKILL) -> ShardKill:
+    """Arm a kill of one shard worker; fires immediately when
+    ``after_events`` is 0, else after ``after_events`` ``tick()``s."""
+    kill = ShardKill(engine, shard, after_events=after_events, sig=sig)
+    if after_events <= 0:
+        kill.fire()
+    return kill
+
+
+def stall_shard(engine, shard: int, seconds: float,
+                hard: bool = False) -> None:
+    """Make one worker unresponsive to heartbeats for ``seconds``.
+
+    Sends a stall command down the *control* pipe, so the worker stops
+    answering pings without its data pipe breaking — the shape of a
+    worker wedged in a long computation. ``hard=True`` additionally
+    makes the worker ignore SIGTERM, so only the router's ``kill()``
+    escalation can remove it.
+    """
+    worker = engine._workers[shard]
+    command = "stall_hard" if hard else "stall"
+    with worker.lock:
+        worker.control.send((command, float(seconds)))
+
+
+def hang_shard_pipe(engine, shard: int, seconds: float) -> None:
+    """Make one worker sleep on its *data* lane for ``seconds`` so the
+    pipe buffer fills — heartbeats keep flowing, sends back up."""
+    worker = engine._workers[shard]
+    with worker.lock:
+        worker.conn.send(("hang", float(seconds)))
+
+
 class FaultPlan:
     """One seeded source for every random choice a chaos test makes."""
 
@@ -198,6 +283,10 @@ class FaultPlan:
         if n_events < 2:
             return 1
         return self.rng.randint(1, n_events - 1)
+
+    def shard_to_kill(self, shards: int) -> int:
+        """A seeded victim shard for a process-level kill."""
+        return self.rng.randrange(shards)
 
     def failure_ordinals(self, n_events: int, count: int) -> frozenset[int]:
         """``count`` distinct event ordinals for injected failures."""

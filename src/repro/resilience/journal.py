@@ -321,6 +321,29 @@ class EventJournal:
         self.close()
 
 
+def prune_segments(directory: str | Path, upto_seq: int) -> list[Path]:
+    """Delete whole segments fully covered by ``seq < upto_seq``.
+
+    A segment is prunable when the *next* segment starts at or below
+    ``upto_seq`` — every record it holds is then older than the cutoff.
+    The active (last) segment is never deleted. Used by per-shard
+    journals once a checkpoint makes the prefix redundant. Returns the
+    removed paths.
+    """
+    segments = list_segments(directory)
+    removed: list[Path] = []
+    for index, segment in enumerate(segments):
+        if index + 1 >= len(segments):
+            break  # never prune the active tail segment
+        if _segment_first_seq(segments[index + 1]) <= upto_seq:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                continue
+            removed.append(segment)
+    return removed
+
+
 def read_journal(
     directory: str | Path, start_seq: int = 0
 ) -> Iterator[tuple[int, Event]]:

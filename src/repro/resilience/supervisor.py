@@ -56,12 +56,15 @@ OVERLOAD_POLICIES = ("shed_oldest", "block", "raise")
 
 @dataclass(frozen=True)
 class DeadLetter:
-    """One event an executor failed on."""
+    """One undeliverable payload: an event an executor failed on, or —
+    when ``output`` is set — an aggregate no sink would accept after the
+    engine's bounded retry (``sink_retries``) was exhausted."""
 
     query_name: str
-    event: Event
+    event: Event | None
     error: BaseException
     journal_seq: int = -1
+    output: Any = None
 
 
 class DeadLetterQueue:
@@ -179,6 +182,8 @@ class SupervisedStreamEngine(StreamEngine):
         cost_sample_every: int = 64,
         routed: bool = False,
         batch_size: int = 0,
+        sink_retries: int = 0,
+        sink_retry_backoff_s: float = 0.05,
     ):
         super().__init__(
             vectorized=vectorized,
@@ -188,6 +193,8 @@ class SupervisedStreamEngine(StreamEngine):
             cost_sample_every=cost_sample_every,
             routed=routed,
             batch_size=batch_size,
+            sink_retries=sink_retries,
+            sink_retry_backoff_s=sink_retry_backoff_s,
         )
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be at least 1")
@@ -200,6 +207,10 @@ class SupervisedStreamEngine(StreamEngine):
             policy=overload_policy,
             registry=self.obs_registry,
         )
+        # Retried-and-still-failing sink deliveries land in the same
+        # DLQ as executor failures (as DeadLetters carrying the output).
+        if sink_retries > 0 and self.sink_dlq is None:
+            self.sink_dlq = self.dlq
         self._quarantine_after = quarantine_after
         self._auto_restart_events = auto_restart_events
         self._max_backlog = max_journal_backlog_bytes
@@ -344,13 +355,13 @@ class SupervisedStreamEngine(StreamEngine):
                     f"query={registration.name} value={fresh!r}",
                 )
             if registration.sinks:
-                output = Output(registration.name, event.ts, fresh)
-                for sink in registration.sinks:
-                    try:
-                        sink.emit(output)
-                    except Exception:
-                        self.metrics.sink_errors += 1
-                        self._m_sink_errors.inc()
+                self._deliver(
+                    registration.name,
+                    registration.sinks,
+                    Output(registration.name, event.ts, fresh),
+                    event=event,
+                    journal_seq=journal_seq,
+                )
         if obs_on:
             finished = time.perf_counter()
             self._m_latency.observe((finished - started) * 1e6)
@@ -470,13 +481,12 @@ class SupervisedStreamEngine(StreamEngine):
         if registration.sinks:
             name = registration.name
             for event, fresh in emitted:
-                output = Output(name, event.ts, fresh)
-                for sink in registration.sinks:
-                    try:
-                        sink.emit(output)
-                    except Exception:
-                        self.metrics.sink_errors += 1
-                        self._m_sink_errors.inc()
+                self._deliver(
+                    name,
+                    registration.sinks,
+                    Output(name, event.ts, fresh),
+                    event=event,
+                )
 
     # ----- failure handling ------------------------------------------------
 

@@ -149,3 +149,31 @@ def test_chaos_everything_at_once(tmp_path):
     for event in events[replay_from:]:
         recovered.process(event)
     assert recovered.result("healthy") == expected
+
+
+def test_fault_plan_shard_to_kill_is_seeded():
+    first = [FaultPlan(7).shard_to_kill(4) for _ in range(8)]
+    second = [FaultPlan(7).shard_to_kill(4) for _ in range(8)]
+    assert first == second
+    assert all(0 <= victim < 4 for victim in first)
+    draws = FaultPlan(7)
+    assert [draws.shard_to_kill(4) for _ in range(8)] != first or len(
+        set(first)
+    ) == 1  # one plan advances its rng between draws
+
+
+def test_shard_kill_tick_counts_down_and_fires_once():
+    from types import SimpleNamespace
+
+    from repro.resilience import kill_shard
+
+    engine = SimpleNamespace(
+        _workers=[SimpleNamespace(process=None)]
+    )
+    kill = kill_shard(engine, 0, after_events=3)
+    assert not kill.fired
+    assert kill.tick() is False
+    assert kill.tick() is False
+    assert kill.tick() is False  # fires, but there is no process to hit
+    assert kill.fired
+    assert kill.tick() is False  # armed once; never fires again
