@@ -34,7 +34,9 @@ from repro.events.reorder import reordered
 from repro.multi.unshared import UnsharedEngine
 from repro.multi.workload import WorkloadEngine
 from repro.obs.export import write_json_snapshot, write_prometheus
+from repro.obs.history import HistoryRecorder, default_history
 from repro.obs.logging import LogConfig, get_logger, install_config
+from repro.obs.profile import SamplingProfiler, collapsed_text
 from repro.obs.registry import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -130,6 +132,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         default=256,
         help="trace ring buffer capacity (default 256)",
+    )
+    obs.add_argument(
+        "--trace-sample",
+        type=int,
+        metavar="N",
+        default=64,
+        help="with --shards and --dump-trace, stamp a cross-process "
+        "trace id on every Nth routed event (default 64)",
+    )
+    obs.add_argument(
+        "--history-every",
+        type=float,
+        metavar="SECONDS",
+        default=0.0,
+        help="sample a time-series history of key metrics every this "
+        "many seconds, served at /dashboard.json and /dashboard "
+        "(enables instrumentation; 0 disables)",
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="run a sampling profiler over the engine stages and serve "
+        "the collapsed-stack profile at /profile (per process under "
+        "--shards)",
+    )
+    obs.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="write the collapsed-stack profile to FILE at the end of "
+        "the run (implies --profile)",
     )
     obs.add_argument(
         "--admin-port",
@@ -305,11 +337,18 @@ def _start_admin(
     engine: Any,
     registry: MetricsRegistry,
     trace: TraceRecorder,
+    history: HistoryRecorder | None = None,
+    profiler: SamplingProfiler | None = None,
 ) -> AdminServer | None:
     if args.admin_port is None:
         return None
     admin = AdminServer(
-        engine, registry=registry, trace=trace, port=args.admin_port
+        engine,
+        registry=registry,
+        trace=trace,
+        history=history,
+        profiler=profiler,
+        port=args.admin_port,
     )
     admin.start()
     return admin
@@ -335,6 +374,8 @@ def _run_resilient(
     events: Iterable[Event],
     registry: MetricsRegistry,
     trace: TraceRecorder,
+    history: HistoryRecorder | None = None,
+    profiler: SamplingProfiler | None = None,
 ) -> int:
     """The ``--journal``/``--recover`` path: supervised engine run."""
     from repro.engine.sinks import CallbackSink
@@ -410,7 +451,7 @@ def _run_resilient(
             name = query.name or f"q{index}"
             engine.register(query, *sinks.get(name, ()), name=name)
 
-    admin = _start_admin(args, engine, registry, trace)
+    admin = _start_admin(args, engine, registry, trace, history, profiler)
     try:
         started = time.perf_counter()
         processed = engine.run(events, batch_size=args.batch_size or None)
@@ -472,6 +513,7 @@ def _run_sharded(
     events: Iterable[Event],
     registry: MetricsRegistry,
     trace: TraceRecorder,
+    history: HistoryRecorder | None = None,
 ) -> int:
     """The ``--shards N`` path: hash-partitioned worker processes."""
     from repro.engine.sharded import ShardedStreamEngine
@@ -499,6 +541,9 @@ def _run_sharded(
         heartbeat_interval_s=args.heartbeat_interval if supervise else 0.5,
         restart_limit=max(0, args.shard_restart_limit),
         journal_dir=args.shard_journal,
+        trace=trace if trace.enabled else None,
+        trace_sample=max(1, args.trace_sample),
+        profile=args.profile or bool(args.profile_out),
     )
     sinks: tuple = ()
     if args.emit == "every":
@@ -511,7 +556,7 @@ def _run_sharded(
         )
     for index, query in enumerate(queries):
         engine.register(query, *sinks, name=query.name or f"q{index}")
-    admin = _start_admin(args, engine, registry, trace)
+    admin = _start_admin(args, engine, registry, trace, history)
     try:
         started = time.perf_counter()
         processed = engine.run(events)
@@ -552,6 +597,17 @@ def _run_sharded(
                     "shards": args.shards,
                 },
             )
+        if args.profile_out:
+            profile = engine.collapsed_profile() or ""
+            with open(args.profile_out, "w", encoding="utf-8") as handle:
+                handle.write(profile)
+            _log.info(
+                "profile_written",
+                message=f"wrote fleet profile to {args.profile_out}",
+                path=args.profile_out,
+            )
+        if args.dump_trace:
+            print(trace.format(), file=sys.stderr)
         return 0
     finally:
         # Workers stay up through the linger so /queries and
@@ -596,6 +652,7 @@ def main(argv: list[str] | None = None) -> int:
         bool(args.metrics_out)
         or args.stats_every > 0
         or args.admin_port is not None
+        or args.history_every > 0
     )
     registry = MetricsRegistry() if instrument else NULL_REGISTRY
     trace = (
@@ -606,17 +663,31 @@ def main(argv: list[str] | None = None) -> int:
     previous_default = set_default_registry(registry if instrument else None)
     previous_log = install_config(LogConfig(json_mode=args.log_json))
     admin = None
+    history: HistoryRecorder | None = None
+    profiler: SamplingProfiler | None = None
+    profile_on = args.profile or bool(args.profile_out)
     try:
         queries = _load_queries(args)
         events = _load_events(args)
+        if args.history_every > 0:
+            history = default_history(
+                registry, interval_s=args.history_every
+            ).start()
         if args.shards > 0:
-            return _run_sharded(args, queries, events, registry, trace)
+            # The sharded engine owns its profilers (one per process).
+            return _run_sharded(
+                args, queries, events, registry, trace, history
+            )
         if args.shard_journal:
             raise SystemExit("--shard-journal requires --shards N")
+        if profile_on:
+            profiler = SamplingProfiler().start()
         if args.journal or args.recover:
-            return _run_resilient(args, queries, events, registry, trace)
+            return _run_resilient(
+                args, queries, events, registry, trace, history, profiler
+            )
         engine = _build_engine(args, queries, registry, trace)
-        admin = _start_admin(args, engine, registry, trace)
+        admin = _start_admin(args, engine, registry, trace, history, profiler)
 
         cross_check = None
         if args.engine == "both" and len(queries) == 1:
@@ -752,6 +823,22 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     finally:
         _stop_admin(admin, args.admin_linger)
+        if profiler is not None:
+            profiler.stop()
+            if args.profile_out:
+                with open(
+                    args.profile_out, "w", encoding="utf-8"
+                ) as handle:
+                    handle.write(
+                        collapsed_text(profiler.counts(), root="main")
+                    )
+                _log.info(
+                    "profile_written",
+                    message=f"wrote profile to {args.profile_out}",
+                    path=args.profile_out,
+                )
+        if history is not None:
+            history.stop()
         install_config(previous_log)
         set_default_registry(previous_default)
 

@@ -490,6 +490,13 @@ class StreamEngine:
                     time.sleep(delay * (0.5 + self._jitter_rng().random()))
                 if obs_on:
                     self._m_sink_retries.inc()
+                if self._trace_on:
+                    self._trace.record(
+                        Stage.SINK_RETRY,
+                        output.ts,
+                        event.event_type if event is not None else "",
+                        f"query={name} attempt={attempt + 1}/{retries}",
+                    )
                 try:
                     sink.emit(output)
                     delivered = True
@@ -504,6 +511,13 @@ class StreamEngine:
 
                 if obs_on:
                     self._m_sink_dead.inc()
+                if self._trace_on:
+                    self._trace.record(
+                        Stage.SINK_DEAD_LETTER,
+                        output.ts,
+                        event.event_type if event is not None else "",
+                        f"query={name}: {type(last_error).__name__}",
+                    )
                 self.sink_dlq.push(
                     DeadLetter(
                         name, event, last_error, journal_seq, output=output

@@ -67,6 +67,7 @@ import signal
 import threading
 import time
 import zlib
+from collections import deque
 from multiprocessing.connection import wait as _mp_wait
 from pathlib import Path
 from typing import Any, Iterable
@@ -79,7 +80,21 @@ from repro.engine.engine import StreamEngine
 from repro.engine.metrics import EngineMetrics
 from repro.engine.sinks import Output, ResultSink
 from repro.obs.logging import get_logger
-from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.profile import SamplingProfiler, collapsed_text
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    SnapshotMerger,
+    registry_state,
+    resolve_registry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Stage,
+    TraceRecorder,
+    resolve_tracer,
+    stitch_spans,
+)
 from repro.query.ast import AggKind, Query
 from repro.resilience.checkpointer import engine_state
 from repro.resilience.shard_supervisor import (
@@ -120,11 +135,42 @@ def _apply_seed(engine: StreamEngine, state: dict[str, Any]) -> None:
         )
 
 
+def _worker_obs_payload(
+    engine: StreamEngine,
+    registry: MetricsRegistry,
+    tracer: TraceRecorder,
+    profiler: SamplingProfiler | None,
+) -> dict[str, Any]:
+    """One observability shipment: metrics snapshot, drained trace
+    spans, cumulative profile counts, and this process's wall clock
+    (the router's skew anchor). Metric snapshots are absolute values —
+    idempotent on the router side — while spans drain exactly once."""
+    payload: dict[str, Any] = {"wall": time.time()}
+    if registry.enabled:
+        try:
+            engine.refresh_cost_metrics()
+        except Exception:
+            pass  # cost rows are best-effort; ship what we have
+        payload["metrics"] = registry_state(registry)
+    if tracer.enabled and len(tracer):
+        spans = tracer.spans()
+        tracer.clear()
+        payload["spans"] = [
+            (s.ts, s.stage, s.event_type, s.detail, s.trace_id, s.wall)
+            for s in spans
+        ]
+    if profiler is not None:
+        payload["profile"] = profiler.counts()
+    return payload
+
+
 def _shard_worker(
     conn: Any,
     control: Any,
     specs: list[tuple[str, Query]],
     vectorized: bool,
+    index: int = 0,
+    obs: dict[str, Any] | None = None,
 ) -> None:
     """Worker loop: a routed StreamEngine over one hash-partition.
 
@@ -134,10 +180,17 @@ def _shard_worker(
     Data-pipe protocol (request, reply):
 
     * ``("batch", [(type, ts, attrs), ...])`` — ingest; no reply (the
-      pipe's buffer provides natural backpressure via ``send``).
+      pipe's buffer provides natural backpressure via ``send``). A
+      traced batch arrives as ``{"r": records, "t": [(offset,
+      trace_id), ...]}`` and the worker stamps a ``shard_ingest`` span
+      per traced record before processing.
     * ``("collect", watermark_ms)`` — advance clocks to the global
-      watermark, reply ``("ok", {name: partial})`` with composable
-      partial results (see :func:`_partial_of`).
+      watermark, reply ``("ok", {"partials": {name: partial}, "obs":
+      ...})`` with composable partial results (see :func:`_partial_of`)
+      plus a fresh observability shipment.
+    * ``("obs", None)`` — reply ``("ok", obs_payload)``: the scrape-
+      time pull of metrics/spans/profile when heartbeats are off or
+      stale.
     * ``("seed", engine_checkpoint)`` — restore every executor from a
       checkpoint document (revive path), reply ok.
     * ``("checkpoint", None)`` — reply ``("ok", engine_state(...))``.
@@ -147,15 +200,42 @@ def _shard_worker(
     * ``("stop", None)`` — reply and exit.
 
     Control-pipe protocol: ``("ping", None)`` → ``("pong", {"events",
-    "failure"})``; ``("stall", s)`` / ``("stall_hard", s)`` — fault
-    injection: go fully unresponsive (``stall_hard`` also ignores
+    "failure", "obs"})`` — every heartbeat piggybacks an observability
+    shipment, so the fleet's metrics reach the router at ping cadence
+    with no extra wakeups; ``("stall", s)`` / ``("stall_hard", s)`` —
+    fault injection: go fully unresponsive (``stall_hard`` also ignores
     SIGTERM, to exercise the router's kill escalation).
 
     A batch that raises poisons the engine: the failure string rides
     every subsequent pong and the next collect replies ``("error",
     ...)`` — either way the supervisor restarts this process.
+
+    The worker builds its *own* registry/tracer from the ``obs`` config
+    rather than resolving the process default: under the fork start
+    method the child inherits the router's installed default registry,
+    and writing into that copy would silently shadow the router's
+    series instead of shipping.
     """
-    engine = StreamEngine(routed=True, vectorized=vectorized)
+    obs = obs or {}
+    registry = MetricsRegistry() if obs.get("metrics") else NULL_REGISTRY
+    tracer = (
+        TraceRecorder(capacity=int(obs.get("trace_capacity", 512)))
+        if obs.get("trace")
+        else NULL_TRACER
+    )
+    profiler: SamplingProfiler | None = None
+    if obs.get("profile"):
+        profiler = SamplingProfiler(
+            interval_s=float(obs.get("profile_interval_s", 0.01))
+        )
+        profiler.start()
+    engine = StreamEngine(
+        routed=True,
+        vectorized=vectorized,
+        registry=registry,
+        trace=tracer,
+        stream_name=f"shard-{index}",
+    )
     executors = {
         name: engine.register(query, name=name) for name, query in specs
     }
@@ -178,6 +258,9 @@ def _shard_worker(
                             {
                                 "events": engine.metrics.events,
                                 "failure": failure,
+                                "obs": _worker_obs_payload(
+                                    engine, registry, tracer, profiler
+                                ),
                             },
                         )
                     )
@@ -194,11 +277,27 @@ def _shard_worker(
         except (EOFError, OSError):
             return
         if command == "batch":
+            if isinstance(payload, dict):
+                records = payload["r"]
+                if tracer.enabled:
+                    now = time.time()
+                    for offset, trace_id in payload.get("t", ()):
+                        rtype, rts, _ = records[offset]
+                        tracer.record(
+                            Stage.SHARD_INGEST,
+                            rts,
+                            rtype,
+                            f"shard={index}",
+                            trace_id=trace_id,
+                            wall=now,
+                        )
+            else:
+                records = payload
             if failure is not None:
                 continue  # poisoned: drain silently until restarted
             try:
                 engine.process_batch(
-                    [Event(t, ts, attrs) for t, ts, attrs in payload]
+                    [Event(t, ts, attrs) for t, ts, attrs in records]
                 )
             except Exception as error:  # reported via pong + collect
                 failure = f"{type(error).__name__}: {error}"
@@ -212,10 +311,25 @@ def _shard_worker(
                     name: _partial_of(executor)
                     for name, executor in executors.items()
                 }
-                conn.send(("ok", partials))
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "partials": partials,
+                            "obs": _worker_obs_payload(
+                                engine, registry, tracer, profiler
+                            ),
+                        },
+                    )
+                )
             except Exception as error:
                 conn.send(("error", f"{type(error).__name__}: {error}"))
                 return
+        elif command == "obs":
+            conn.send(
+                ("ok", _worker_obs_payload(engine, registry, tracer,
+                                           profiler))
+            )
         elif command == "seed":
             try:
                 _apply_seed(engine, payload)
@@ -319,6 +433,7 @@ class _Worker:
         "index", "process", "conn", "control", "buffer", "lock",
         "log", "replay_base", "checkpoint", "checkpoint_disabled",
         "batches_since_checkpoint", "fold", "generation",
+        "traced", "obs_state", "last_rows", "profile",
     )
 
     def __init__(self, index: int):
@@ -341,6 +456,14 @@ class _Worker:
         #: In-process fold lane once this shard is degraded.
         self.fold: StreamEngine | None = None
         self.generation = 0
+        #: Sampled trace ids pinned to buffered records: (offset, id).
+        self.traced: list[tuple[int, str]] = []
+        #: Latest shipped metrics snapshot: (generation, state list).
+        self.obs_state: tuple[int, list[dict]] | None = None
+        #: Last successful query_rows reply (stale-scrape fallback).
+        self.last_rows: list[dict[str, Any]] | None = None
+        #: Latest shipped profile counts ({collapsed_stack: samples}).
+        self.profile: dict[str, int] | None = None
 
 
 def _pipe_writable(conn: Any, timeout: float) -> bool:
@@ -419,6 +542,24 @@ class ShardedStreamEngine:
     ``checkpoint_every_batches``
         Worker state snapshot cadence, in delivered batches (0 never
         checkpoints; revive then replays the whole shard journal).
+
+    Observability knobs (the distributed observability plane):
+
+    ``collect_obs``
+        Per-shard metrics collection: workers ship registry snapshots
+        with every heartbeat pong and collect reply; the router merges
+        them at scrape time under ``shard="N"`` labels, monotonic
+        across worker revives. Defaults to on exactly when the router
+        registry is enabled.
+    ``trace`` / ``trace_sample``
+        Cross-process tracing: every ``trace_sample``-th routed event
+        gets a trace id that travels with its batch; ``drain_trace()``
+        stitches router→shard→merge spans with wall-clock skew
+        correction from heartbeat RTTs.
+    ``profile`` / ``profile_interval_s``
+        Opt-in sampling profiler in the router and every worker;
+        ``collapsed_profile()`` concatenates per-process collapsed
+        stacks (the admin ``/profile`` body).
     """
 
     def __init__(
@@ -439,6 +580,11 @@ class ShardedStreamEngine:
         journal_dir: str | Path | None = None,
         checkpoint_every_batches: int = 64,
         shutdown_timeout_s: float = 2.0,
+        trace: TraceRecorder | None = None,
+        trace_sample: int = 64,
+        collect_obs: bool | None = None,
+        profile: bool = False,
+        profile_interval_s: float = 0.01,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -461,6 +607,10 @@ class ShardedStreamEngine:
                 f"overload_policy must be one of {OVERLOAD_POLICIES}, "
                 f"got {overload_policy!r}"
             )
+        if trace_sample < 1:
+            raise ValueError("trace_sample must be >= 1")
+        if profile_interval_s <= 0:
+            raise ValueError("profile_interval_s must be positive")
         self.shards = shards
         self.batch_size = batch_size
         self._vectorized = vectorized
@@ -522,11 +672,42 @@ class ShardedStreamEngine:
         self._sharded: dict[str, Query] = {}
         #: Relevant types of the sharded queries (IPC filter).
         self._sharded_types: frozenset[str] = frozenset()
+        # ----- the distributed observability plane -----
+        self._trace = resolve_tracer(trace)
+        self._trace_on = self._trace.enabled
+        self._trace_sample = trace_sample
+        self._route_seq = 0
+        #: Sampled ids awaiting their MERGE span: (id, shard, type, ts).
+        self._pending_traces: deque[tuple[str, int, str, int]] = deque(
+            maxlen=512
+        )
+        #: Worker spans ingested from obs shipments, skew-corrected,
+        #: awaiting a /trace drain.
+        self._shard_spans: deque[dict[str, Any]] = deque(maxlen=4096)
+        self._collect_obs = (
+            self.obs_registry.enabled if collect_obs is None
+            else bool(collect_obs)
+        )
+        self._merger = (
+            SnapshotMerger(self.obs_registry) if self._collect_obs else None
+        )
+        self._profile = profile
+        self._profile_interval_s = profile_interval_s
+        self._profiler: SamplingProfiler | None = None
+        #: Worker-side observability config (crosses the fork/spawn).
+        self._worker_obs = {
+            "metrics": self._collect_obs,
+            "trace": self._trace_on,
+            "trace_capacity": 512,
+            "profile": profile,
+            "profile_interval_s": profile_interval_s,
+        }
         #: Non-partitionable queries run here, in-process.
         self._local = StreamEngine(
             routed=True,
             vectorized=vectorized,
             registry=registry,
+            trace=trace,
             stream_name=f"{stream_name}-local",
         )
         self._local_names: list[str] = []
@@ -587,7 +768,7 @@ class ShardedStreamEngine:
         process = self._ctx.Process(
             target=_shard_worker,
             args=(data_child, ctl_child, self._worker_specs,
-                  self._vectorized),
+                  self._vectorized, worker.index, self._worker_obs),
             daemon=True,
         )
         process.start()
@@ -599,6 +780,11 @@ class ShardedStreamEngine:
 
     def _start(self) -> None:
         self._worker_specs = list(self._sharded.items())
+        if self._profile and self._profiler is None:
+            self._profiler = SamplingProfiler(
+                interval_s=self._profile_interval_s
+            )
+            self._profiler.start()
         for index in range(self.shards):
             worker = _Worker(index)
             if self._supervise:
@@ -636,6 +822,9 @@ class ShardedStreamEngine:
         if monitor is not None:
             monitor.stop()
             self._monitor = None
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.stop()
         for worker in self._workers:
             acquired = worker.lock.acquire(
                 timeout=self._shutdown_timeout_s + 3.0
@@ -694,18 +883,70 @@ class ShardedStreamEngine:
         try:
             while control.poll(0):  # drop stale pongs from missed rounds
                 control.recv()
+            sent_mono = time.monotonic()
+            sent_wall = time.time()
             control.send(("ping", None))
             if not control.poll(self._heartbeat_interval_s):
                 return ("miss", None)
             _, payload = control.recv()
         except (OSError, EOFError, BrokenPipeError):
             return ("dead", None)
+        if isinstance(payload, dict):
+            # RTT and clock skew from this very roundtrip: the worker's
+            # wall clock is assumed read halfway through the RTT, so
+            # skew = worker_wall - (send_wall + rtt/2). The skew
+            # normalizes worker span wall times into the router clock.
+            rtt = time.monotonic() - sent_mono
+            health = self._shard_health[worker.index]
+            health.rtt_s = rtt
+            obs = payload.get("obs")
+            if isinstance(obs, dict) and obs.get("wall"):
+                health.clock_skew_s = (
+                    float(obs["wall"]) - (sent_wall + rtt / 2.0)
+                )
+            self._ingest_obs(worker, payload)
         failure = (
             payload.get("failure") if isinstance(payload, dict) else None
         )
         if failure:
             return ("failed", failure)
         return ("ok", payload)
+
+    def _ingest_obs(self, worker: _Worker, payload: Any) -> None:
+        """Absorb one worker observability shipment (any thread).
+
+        Metrics snapshots are *stored* (latest wins, keyed by process
+        generation) and merged into the router registry at scrape time;
+        spans are skew-corrected and queued for the next ``/trace``
+        drain; profile counts overwrite the shard's latest.
+        """
+        if not isinstance(payload, dict):
+            return
+        obs = payload.get("obs")
+        if not isinstance(obs, dict):
+            return
+        metrics = obs.get("metrics")
+        if metrics is not None:
+            worker.obs_state = (worker.generation, metrics)
+        spans = obs.get("spans")
+        if spans:
+            skew = self._shard_health[worker.index].clock_skew_s or 0.0
+            for ts, stage, event_type, detail, trace_id, wall in spans:
+                self._shard_spans.append(
+                    {
+                        "seq": None,
+                        "shard": worker.index,
+                        "ts": ts,
+                        "stage": stage,
+                        "event_type": event_type,
+                        "detail": detail,
+                        "trace_id": trace_id,
+                        "wall": (wall - skew) if wall else 0.0,
+                    }
+                )
+        profile = obs.get("profile")
+        if profile:
+            worker.profile = profile
 
     def _revive(self, index: int, reason: str) -> None:
         """Monitor-thread entry point: restart one unhealthy shard."""
@@ -753,6 +994,15 @@ class ShardedStreamEngine:
                 health.last_failure = reason
                 self._m_shard_failures[worker.index].inc()
                 continue
+            if self._trace_on:
+                self._trace.record(
+                    Stage.SHARD_REVIVE,
+                    int(self._clock_ms or 0),
+                    "",
+                    f"shard={worker.index} "
+                    f"generation={worker.generation}: {reason}",
+                    wall=time.time(),
+                )
             _log.warning(
                 "shard_restart",
                 message=(
@@ -789,9 +1039,16 @@ class ShardedStreamEngine:
         """Fold this shard's key-range into an in-process lane, seeded
         the same exact way a revive would seed a fresh worker."""
         health = self._shard_health[worker.index]
+        # The fold lane shares the router registry and tracer: a
+        # degraded shard's series fold into the local lane's (same
+        # metric names, no shard label) instead of going dark, and its
+        # merged remote series freeze at the last shipped snapshot —
+        # still monotonic.
         fold = StreamEngine(
             routed=True,
             vectorized=self._vectorized,
+            registry=self.obs_registry if self._collect_obs else None,
+            trace=self._trace if self._trace_on else None,
             stream_name=f"{self.stream_name}-fold-{worker.index}",
         )
         for name, query in self._sharded.items():
@@ -818,6 +1075,15 @@ class ShardedStreamEngine:
         health.alive = False
         self.degraded_shards.add(worker.index)
         self._g_degraded.set(float(len(self.degraded_shards)))
+        if self._trace_on:
+            self._trace.record(
+                Stage.SHARD_DEGRADE,
+                int(self._clock_ms or 0),
+                "",
+                f"shard={worker.index} after {health.restarts} restarts: "
+                f"{reason}",
+                wall=time.time(),
+            )
         _log.warning(
             "shard_degraded",
             message=(
@@ -831,20 +1097,28 @@ class ShardedStreamEngine:
         )
 
     def _roundtrip(
-        self, worker: _Worker, command: str, payload: Any = None
+        self,
+        worker: _Worker,
+        command: str,
+        payload: Any = None,
+        timeout: float | None = None,
     ) -> Any:
         """One guarded request/reply on the data pipe (lock held).
 
-        Raises :class:`_ShardUnresponsive` on pipe death or a blown
-        reply deadline, :class:`EngineError` on an ``("error", ...)``
-        reply.
+        Stale replies are drained first: a previous request that blew
+        its deadline may have left its answer in the pipe, and pairing
+        it with this request would desynchronize the protocol. Raises
+        :class:`_ShardUnresponsive` on pipe death or a blown reply
+        deadline, :class:`EngineError` on an ``("error", ...)`` reply.
         """
+        deadline = self._recv_timeout_s if timeout is None else timeout
         try:
+            while worker.conn.poll(0):
+                worker.conn.recv()
             worker.conn.send((command, payload))
-            if not worker.conn.poll(self._recv_timeout_s):
+            if not worker.conn.poll(deadline):
                 raise _ShardUnresponsive(
-                    f"no reply to {command!r} within "
-                    f"{self._recv_timeout_s}s"
+                    f"no reply to {command!r} within {deadline}s"
                 )
             status, value = worker.conn.recv()
         except (OSError, EOFError, BrokenPipeError) as error:
@@ -882,15 +1156,38 @@ class ShardedStreamEngine:
         if key is _MISSING:
             # Keyless (e.g. a negated type without the attribute):
             # every partition is affected — broadcast (HPC does the
-            # same across its in-process partitions).
+            # same across its in-process partitions).  Broadcasts are
+            # not traced: one trace id per shard would stitch wrong.
             for worker in self._workers:
                 self._buffer(worker, record)
-        else:
-            self._buffer(self._workers[shard_of(key, self.shards)], record)
+            return
+        worker = self._workers[shard_of(key, self.shards)]
+        trace_id = None
+        if self._trace_on:
+            self._route_seq += 1
+            if self._route_seq % self._trace_sample == 0:
+                trace_id = f"e{self._route_seq}"
+                self._trace.record(
+                    Stage.ROUTE,
+                    ts,
+                    event.event_type,
+                    f"shard={worker.index}",
+                    trace_id=trace_id,
+                    wall=time.time(),
+                )
+                self._pending_traces.append(
+                    (trace_id, worker.index, event.event_type, ts)
+                )
+        self._buffer(worker, record, trace_id)
 
     def _buffer(
-        self, worker: _Worker, record: tuple[str, int, dict | None]
+        self,
+        worker: _Worker,
+        record: tuple[str, int, dict | None],
+        trace_id: str | None = None,
     ) -> None:
+        if trace_id is not None:
+            worker.traced.append((len(worker.buffer), trace_id))
         worker.buffer.append(record)
         if len(worker.buffer) >= self.batch_size:
             self._flush_worker(worker)
@@ -899,32 +1196,52 @@ class ShardedStreamEngine:
         buffer = worker.buffer
         if not buffer:
             return
+        traced = worker.traced
         worker.buffer = []
+        worker.traced = []
         with worker.lock:
-            self._send_records(worker, buffer)
+            self._send_records(worker, buffer, traced=traced or None)
 
     def _send_records(
         self,
         worker: _Worker,
         records: list[tuple[str, int, dict | None]],
         journal: bool = True,
+        traced: list[tuple[int, str]] | None = None,
     ) -> None:
         """Deliver one batch with the backpressure guard (lock held).
 
         The journal-on-successful-send invariant: a batch is appended
         to the shard journal exactly when the worker accepted it, so
         checkpoint + journal-suffix replay reconstructs precisely what
-        the worker had consumed.
+        the worker had consumed.  ``traced`` rides along as batch
+        offsets so the worker can stamp ``shard_ingest`` spans; the
+        journal stores plain records only (replay is untraced).
         """
         if worker.fold is not None:
+            if traced:
+                # Degraded lane: the "shard" stage happens in-process.
+                for offset, trace_id in traced:
+                    event_type, ts, _ = records[offset]
+                    self._trace.record(
+                        Stage.SHARD_INGEST,
+                        ts,
+                        event_type,
+                        f"shard={worker.index} lane=fold",
+                        trace_id=trace_id,
+                        wall=time.time(),
+                    )
             self._fold_feed(worker, records)
             return
+        payload: Any = records
+        if traced:
+            payload = {"r": records, "t": traced}
         attempts = 0
         while True:
             failed = None
             try:
                 if _pipe_writable(worker.conn, self._send_timeout_s):
-                    worker.conn.send(("batch", records))
+                    worker.conn.send(("batch", payload))
                     break
                 self._m_backpressure.inc()
                 if self._overload_policy == "raise":
@@ -1073,8 +1390,10 @@ class ShardedStreamEngine:
         if command == "collect":
             fold.advance_clock(int(payload))
             return {
-                name: _partial_of(fold.executor_of(name))
-                for name in self._sharded
+                "partials": {
+                    name: _partial_of(fold.executor_of(name))
+                    for name in self._sharded
+                }
             }
         if command == "rows":
             return fold.query_rows()
@@ -1104,7 +1423,30 @@ class ShardedStreamEngine:
         if not self._sharded:
             return {}
         watermark = int(self._clock_ms or 0)
-        partials_by_shard = self._collect("collect", watermark)
+        replies = self._collect("collect", watermark)
+        partials_by_shard: list[dict[str, Any]] = []
+        for worker, reply in zip(self._workers, replies):
+            # Collect replies piggyback an observability snapshot so a
+            # merge also refreshes metrics/traces without extra trips.
+            if isinstance(reply, dict) and "partials" in reply:
+                self._ingest_obs(worker, reply)
+                partials_by_shard.append(reply["partials"])
+            else:
+                partials_by_shard.append(reply)
+        if self._trace_on and self._pending_traces:
+            now = time.time()
+            while self._pending_traces:
+                trace_id, shard, event_type, ts = (
+                    self._pending_traces.popleft()
+                )
+                self._trace.record(
+                    Stage.MERGE,
+                    watermark if watermark else ts,
+                    event_type,
+                    f"shard={shard}",
+                    trace_id=trace_id,
+                    wall=now,
+                )
         return {
             name: _merge_partials(
                 query,
@@ -1139,18 +1481,75 @@ class ShardedStreamEngine:
     def watermark_ms(self) -> float | None:
         return None if self._clock_ms is None else float(self._clock_ms)
 
+    def _try_flush(self, worker: _Worker, timeout: float = 0.5) -> None:
+        """Best-effort flush of one worker's buffer (scrape path).
+
+        Unlike :meth:`_flush_worker` this never blocks past ``timeout``
+        on a wedged shard; on failure the batch is re-stashed so the
+        ingest path delivers it later.
+        """
+        if not worker.buffer:
+            return
+        if not worker.lock.acquire(timeout=timeout):
+            return
+        try:
+            buffer = worker.buffer
+            traced = worker.traced
+            worker.buffer = []
+            worker.traced = []
+            try:
+                self._send_records(worker, buffer, traced=traced or None)
+            except Exception:
+                # Put the batch back (trace offsets shift with it).
+                shift = len(buffer)
+                worker.traced = traced + [
+                    (offset + shift, tid) for offset, tid in worker.traced
+                ]
+                worker.buffer = buffer + worker.buffer
+        finally:
+            worker.lock.release()
+
+    def _scrape_rows(
+        self, worker: _Worker
+    ) -> tuple[list[dict[str, Any]] | None, bool]:
+        """One shard's cost rows for the admin plane: ``(rows, stale)``.
+
+        A shard mid-restart (lock held by the revive path, or pipe
+        dead) must not wedge ``/queries``: the scrape returns the
+        shard's last known rows flagged stale instead of blocking or
+        raising, and never triggers a revive of its own.
+        """
+        if not worker.lock.acquire(timeout=0.5):
+            return (worker.last_rows, True)
+        try:
+            if worker.fold is not None:
+                return (worker.fold.query_rows(), False)
+            try:
+                rows = self._roundtrip(worker, "rows", timeout=2.0)
+            except (_ShardUnresponsive, EngineError):
+                return (worker.last_rows, True)
+            worker.last_rows = rows
+            return (rows, False)
+        finally:
+            worker.lock.release()
+
     def query_rows(self) -> list[dict[str, Any]]:
         """Per-query cost rows with shard totals folded together.
 
         Additive fields (events routed, counter updates, live objects,
         partitions…) sum across the shards that hold a piece of the
         query; per-process latency quantiles are dropped rather than
-        averaged wrongly.
+        averaged wrongly.  A shard mid-restart contributes its
+        last-known rows and marks the merged row ``stale``.
         """
         rows = {row["query"]: row for row in self._local.query_rows()}
+        any_stale = False
         if self._sharded and self._started:
-            for shard_rows in self._collect("rows"):
-                for row in shard_rows:
+            for worker in self._workers:
+                self._try_flush(worker)
+                shard_rows, stale = self._scrape_rows(worker)
+                any_stale = any_stale or stale
+                for row in shard_rows or ():
                     name = row["query"]
                     merged = rows.get(name)
                     if merged is None:
@@ -1167,10 +1566,151 @@ class ShardedStreamEngine:
                             continue
                         if isinstance(value, (int, float)):
                             merged[key] = merged.get(key, 0) + value
+            for name in self._sharded:
+                if name not in rows:
+                    # Every holder of this query was unreachable: still
+                    # surface the query, flagged, instead of dropping it.
+                    rows[name] = {"query": name, "stale": True}
+                elif any_stale:
+                    rows[name]["stale"] = True
         return [rows[name] for name in self._specs if name in rows]
 
+    # ----- observability plane ----------------------------------------------
+
+    def _pull_obs(self, worker: _Worker) -> None:
+        """Refresh one worker's stored obs snapshot (never raises).
+
+        Scrape-path only: short lock/poll deadlines, no revive — a
+        shard mid-restart just keeps its previous snapshot, which the
+        merger re-ingests idempotently.
+        """
+        if not worker.lock.acquire(timeout=0.25):
+            return
+        try:
+            if worker.fold is not None or worker.conn is None:
+                return
+            try:
+                while worker.conn.poll(0):
+                    worker.conn.recv()
+                worker.conn.send(("obs", None))
+                if not worker.conn.poll(min(2.0, self._recv_timeout_s)):
+                    return
+                status, payload = worker.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                return
+            if status == "ok":
+                self._ingest_obs(worker, payload)
+        finally:
+            worker.lock.release()
+
+    def _export_shard_health(self) -> None:
+        """Publish supervision health as Prometheus series."""
+        registry = self.obs_registry
+        for health in (h.snapshot() for h in self._shard_health):
+            shard = str(health["shard"])
+            registry.counter(
+                "repro_shard_restarts_total",
+                "times this shard's worker process was restarted",
+                shard=shard,
+            ).value = float(health["restarts"])
+            registry.gauge(
+                "repro_shard_degraded",
+                "1 when this shard has been folded into the local lane",
+                shard=shard,
+            ).set(1.0 if health["degraded"] else 0.0)
+            age = health["heartbeat_age_s"]
+            if age is not None:
+                registry.gauge(
+                    "repro_shard_heartbeat_age_seconds",
+                    "seconds since this shard last answered a heartbeat",
+                    shard=shard,
+                ).set(age)
+
     def refresh_cost_metrics(self) -> None:
+        """Refresh every lane's gauges and merge shard snapshots.
+
+        Called by the admin server before ``/metrics``: local-lane and
+        fold-lane engines refresh in-process; live workers are polled
+        for a fresh snapshot (best-effort, stale-tolerant) and every
+        stored snapshot is re-ingested into the shard merger so the
+        router registry exports the whole fleet under ``shard=`` labels.
+        """
         self._local.refresh_cost_metrics()
+        for worker in self._workers:
+            if worker.fold is not None:
+                try:
+                    worker.fold.refresh_cost_metrics()
+                except Exception:
+                    pass
+        if self._supervise or self._started:
+            self._export_shard_health()
+        if self._merger is not None and self._started:
+            for worker in self._workers:
+                self._pull_obs(worker)
+                state = worker.obs_state
+                if state is not None:
+                    generation, metrics = state
+                    self._merger.ingest(
+                        str(worker.index), metrics, generation=generation
+                    )
+
+    def drain_trace(self) -> dict[str, Any]:
+        """Drain router + shard spans, stitched across the fleet.
+
+        The admin server prefers this hook over its own tracer drain
+        for sharded engines: spans recorded by workers (skew-corrected
+        at ingestion) are merged with the router's own, and sampled
+        trace ids are stitched into route → shard_ingest → merge spans.
+        """
+        if not self._trace_on:
+            return {"spans": [], "recorded_total": 0, "enabled": False}
+        spans = [
+            {
+                "seq": span.seq,
+                "shard": "router",
+                "ts": span.ts,
+                "stage": span.stage,
+                "event_type": span.event_type,
+                "detail": span.detail,
+                "trace_id": span.trace_id,
+                "wall": span.wall,
+            }
+            for span in self._trace.spans()
+        ]
+        recorded_total = self._trace.recorded_total
+        self._trace.clear()
+        while self._shard_spans:
+            spans.append(self._shard_spans.popleft())
+        return {
+            "enabled": True,
+            "recorded_total": recorded_total,
+            "spans": spans,
+            "stitched": stitch_spans(spans),
+        }
+
+    def collapsed_profile(self) -> str | None:
+        """Fleet-wide collapsed-stack profile, or ``None`` when off.
+
+        Concatenates the router's samples (rooted ``router;``) with the
+        latest counts each worker shipped (rooted ``shard-N;``) so one
+        download feeds a single flamegraph of the whole fleet.
+        """
+        if not self._profile:
+            return None
+        sections: list[str] = []
+        if self._profiler is not None:
+            sections.append(
+                collapsed_text(self._profiler.counts(), root="router")
+            )
+        for worker in self._workers:
+            if worker.profile:
+                sections.append(
+                    collapsed_text(
+                        worker.profile, root=f"shard-{worker.index}"
+                    )
+                )
+        text = "".join(sections)
+        return text if text else "# no samples yet\n"
 
     def executor_of(self, name: str) -> Any:
         """Local-lane executors only; sharded state lives in workers."""

@@ -24,7 +24,10 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    SnapshotMerger,
     get_default_registry,
+    metric_state,
+    registry_state,
     resolve_registry,
     set_default_registry,
 )
@@ -34,13 +37,17 @@ from repro.obs.tracing import (
     Stage,
     TraceRecorder,
     resolve_tracer,
+    stitch_spans,
 )
 from repro.obs.export import (
     registry_snapshot,
+    render_sparklines,
     to_prometheus,
     write_json_snapshot,
     write_prometheus,
 )
+from repro.obs.history import HistoryRecorder, default_history
+from repro.obs.profile import SamplingProfiler, collapsed_text
 from repro.obs.inspect import (
     cost_summary,
     engine_inspect,
@@ -72,10 +79,19 @@ __all__ = [
     "TraceRecorder",
     "NULL_TRACER",
     "resolve_tracer",
+    "SnapshotMerger",
+    "metric_state",
+    "registry_state",
+    "stitch_spans",
     "registry_snapshot",
+    "render_sparklines",
     "to_prometheus",
     "write_json_snapshot",
     "write_prometheus",
+    "HistoryRecorder",
+    "default_history",
+    "SamplingProfiler",
+    "collapsed_text",
     "AdminServer",
     "LogConfig",
     "StructLogger",

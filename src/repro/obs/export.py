@@ -116,6 +116,44 @@ def registry_snapshot(registry: MetricsRegistry) -> dict[str, Any]:
     }
 
 
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def render_sparklines(snapshot: dict[str, Any], width: int = 60) -> str:
+    """Plain-text sparkline dashboard of a history snapshot.
+
+    One line per series (the ``/dashboard`` view): a label, the last
+    ``width`` points as unicode block sparks scaled to the series'
+    own min/max, and the min/last/max values so the sparks have units.
+    """
+    lines: list[str] = []
+    for series in snapshot.get("series", ()):
+        values = [value for _, value in series.get("points", ())][-width:]
+        if not values:
+            continue
+        low, high = min(values), max(values)
+        span = high - low
+        sparks = "".join(
+            _SPARK_BLOCKS[
+                int((value - low) / span * (len(_SPARK_BLOCKS) - 1))
+                if span else 0
+            ]
+            for value in values
+        )
+        label = series.get("name", "?")
+        labels = series.get("labels") or {}
+        if labels:
+            rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            label = f"{label}{{{rendered}}}"
+        lines.append(
+            f"{label:<44} {sparks}  "
+            f"min={low:g} last={values[-1]:g} max={high:g}"
+        )
+    if not lines:
+        return "no history samples yet\n"
+    return "\n".join(lines) + "\n"
+
+
 def write_prometheus(registry: MetricsRegistry, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(to_prometheus(registry))

@@ -1,0 +1,261 @@
+"""Time-series history rings: trends for the ops plane, not instants.
+
+A scrape of ``/metrics`` answers "what is the ingest rate *now*"; an
+operator staring at a wedged shard wants "what was it over the last two
+minutes". :class:`HistoryRecorder` closes that gap without external
+infrastructure: a daemon thread samples a configurable set of series
+out of a :class:`~repro.obs.registry.MetricsRegistry` at a fixed
+cadence into fixed-size ring buffers, and the admin server exposes the
+rings as ``/dashboard.json`` (plus a plain-text sparkline view at
+``/dashboard``).
+
+Three sampling modes cover the catalogue:
+
+* ``gauge`` — the metric's current value (works for counters too, when
+  the running total itself is the interesting series);
+* ``rate`` — the per-second delta of a counter between samples (ingest
+  rate from ``events_ingested_total``);
+* ``quantile`` — a derived histogram quantile (per-query p99 latency).
+
+A tracked name with no explicit labels is a *wildcard*: every labeled
+series of that name gets its own ring, and series appearing later
+(a shard revive re-registering, a new query) are picked up on the next
+sample. Memory stays bounded: ``capacity`` points per ring.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from repro.obs.registry import Histogram, LabelPairs, MetricsRegistry
+
+_MODES = ("gauge", "rate", "quantile")
+
+
+class _Ring:
+    """One bounded series: parallel (time, value) deques."""
+
+    __slots__ = ("times", "values")
+
+    def __init__(self, capacity: int):
+        self.times: deque[float] = deque(maxlen=capacity)
+        self.values: deque[float] = deque(maxlen=capacity)
+
+    def append(self, when: float, value: float) -> None:
+        self.times.append(when)
+        self.values.append(value)
+
+
+class _SeriesSpec:
+    __slots__ = ("alias", "metric", "mode", "labels", "quantile")
+
+    def __init__(
+        self,
+        alias: str,
+        metric: str,
+        mode: str,
+        labels: dict[str, str] | None,
+        quantile: float,
+    ):
+        self.alias = alias
+        self.metric = metric
+        self.mode = mode
+        self.labels = labels
+        self.quantile = quantile
+
+
+class HistoryRecorder:
+    """Samples registry series into ring buffers at a fixed cadence.
+
+    Use :meth:`track` to declare series, then either :meth:`start` the
+    sampling thread or call :meth:`sample` manually (tests pass an
+    explicit ``now`` through a deterministic ``clock``).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval_s: float = 1.0,
+        capacity: int = 240,
+        clock: Callable[[], float] = time.time,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self._registry = registry
+        self.interval_s = interval_s
+        self.capacity = capacity
+        self._clock = clock
+        self._specs: list[_SeriesSpec] = []
+        self._rings: dict[tuple[str, LabelPairs], _Ring] = {}
+        #: For ``rate`` mode: last raw (time, value) per ring key.
+        self._prev: dict[tuple[str, LabelPairs], tuple[float, float]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples_taken = 0
+
+    # ----- configuration ----------------------------------------------------
+
+    def track(
+        self,
+        metric: str,
+        mode: str = "gauge",
+        alias: str | None = None,
+        quantile: float = 0.99,
+        **labels: str,
+    ) -> "HistoryRecorder":
+        """Declare one tracked series (chainable).
+
+        With no ``labels`` the name is a wildcard over every labeled
+        series of that metric; with labels only the exact series is
+        sampled.
+        """
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if alias is None:
+            alias = metric
+            if mode == "rate":
+                alias = f"{metric}_rate"
+            elif mode == "quantile":
+                alias = f"{metric}_p{int(round(quantile * 100))}"
+        with self._lock:
+            self._specs.append(
+                _SeriesSpec(alias, metric, mode, labels or None, quantile)
+            )
+        return self
+
+    # ----- lifecycle --------------------------------------------------------
+
+    def start(self) -> "HistoryRecorder":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="obs-history", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.interval_s * 2 + 1.0)
+            self._thread = None
+
+    def __enter__(self) -> "HistoryRecorder":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample()
+            except Exception:  # defensive: sampling never kills the thread
+                pass
+
+    # ----- sampling ---------------------------------------------------------
+
+    def sample(self, now: float | None = None) -> None:
+        """Take one sample of every tracked series."""
+        when = self._clock() if now is None else now
+        with self._lock:
+            for spec in self._specs:
+                for metric in self._matching(spec):
+                    value = self._value_of(spec, metric, when)
+                    if value is None:
+                        continue
+                    key = (spec.alias, metric.labels)
+                    ring = self._rings.get(key)
+                    if ring is None:
+                        ring = self._rings[key] = _Ring(self.capacity)
+                    ring.append(when, value)
+            self.samples_taken += 1
+
+    def _matching(self, spec: _SeriesSpec) -> list[Any]:
+        if spec.labels is not None:
+            metric = self._registry.get(spec.metric, **spec.labels)
+            return [] if metric is None else [metric]
+        return [
+            metric
+            for metric in self._registry.metrics()
+            if metric.name == spec.metric
+        ]
+
+    def _value_of(
+        self, spec: _SeriesSpec, metric: Any, when: float
+    ) -> float | None:
+        if spec.mode == "quantile":
+            if not isinstance(metric, Histogram):
+                return None
+            return metric.quantile(spec.quantile)
+        if isinstance(metric, Histogram):
+            return None
+        if spec.mode == "gauge":
+            return float(metric.value)
+        # rate: per-second counter delta; the first sample only primes
+        # the previous value, and a reset (merged registry rebuilding)
+        # clamps to zero rather than reporting a negative rate.
+        key = (spec.alias, metric.labels)
+        raw = float(metric.value)
+        previous = self._prev.get(key)
+        self._prev[key] = (when, raw)
+        if previous is None:
+            return None
+        prev_when, prev_raw = previous
+        elapsed = when - prev_when
+        if elapsed <= 0:
+            return None
+        return max(0.0, raw - prev_raw) / elapsed
+
+    # ----- reads ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of every ring (the ``/dashboard.json`` body)."""
+        with self._lock:
+            series = [
+                {
+                    "name": alias,
+                    "labels": dict(labels),
+                    "points": [
+                        [round(when, 3), value]
+                        for when, value in zip(ring.times, ring.values)
+                    ],
+                }
+                for (alias, labels), ring in self._rings.items()
+            ]
+            return {
+                "interval_s": self.interval_s,
+                "capacity": self.capacity,
+                "samples": self.samples_taken,
+                "series": series,
+            }
+
+
+def default_history(
+    registry: MetricsRegistry,
+    interval_s: float = 1.0,
+    capacity: int = 240,
+    clock: Callable[[], float] = time.time,
+) -> HistoryRecorder:
+    """The stock dashboard series set (what ``--history-every`` wires):
+    ingest rate, event-time lag, DLQ depth, per-shard heartbeat age,
+    and per-query p99 latency."""
+    history = HistoryRecorder(
+        registry, interval_s=interval_s, capacity=capacity, clock=clock
+    )
+    history.track("events_ingested_total", mode="rate", alias="ingest_rate")
+    history.track(
+        "repro_event_time_lag_seconds", mode="gauge", alias="event_time_lag_s"
+    )
+    history.track("dlq_depth", mode="gauge")
+    history.track("repro_shard_heartbeat_age_seconds", mode="gauge")
+    history.track("query_latency_us", mode="quantile", quantile=0.99)
+    return history

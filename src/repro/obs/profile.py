@@ -1,0 +1,158 @@
+"""Opt-in sampling profiler emitting collapsed (flamegraph-ready) stacks.
+
+A :class:`SamplingProfiler` is a daemon thread that wakes every
+``interval_s``, walks every *other* thread's current stack via
+``sys._current_frames()``, and counts collapsed ``a;b;c`` stack
+strings. Output is the standard collapsed-stack format — one
+``frames... count`` line each — which ``flamegraph.pl`` / speedscope /
+inferno consume directly.
+
+Scoping: by default only stacks that pass through this package's code
+(``scope="repro"``, matched against frame filenames) are kept, trimmed
+to start at the outermost matching frame, so an idle admin thread
+parked in ``select`` does not drown the engine stages the profile is
+for. Pass ``scope=None`` to keep everything (tests do).
+
+Cost: zero on the hot path — the engine is never instrumented; the
+sampler reads frames from the outside. The sampled process pays one
+stack walk per thread per tick (default 100 Hz), which is why the CLI
+gates it behind ``--profile``.
+
+In the sharded engine every worker process runs its own profiler and
+ships cumulative counts with its observability snapshots; the router
+concatenates per-process sections under ``router;...`` / ``shard-N;...``
+roots for ``/profile``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any
+
+
+class SamplingProfiler:
+    """Thread-sampling profiler with collapsed-stack output."""
+
+    def __init__(
+        self,
+        interval_s: float = 0.01,
+        scope: str | None = "repro",
+        max_depth: int = 64,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.interval_s = interval_s
+        self._scope = scope
+        self._max_depth = max_depth
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples_taken = 0
+
+    # ----- lifecycle --------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="obs-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.interval_s * 10 + 1.0)
+            self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample_once()
+            except Exception:  # defensive: sampling never kills the thread
+                pass
+
+    # ----- sampling ---------------------------------------------------------
+
+    def sample_once(self) -> None:
+        """Walk every other thread's stack once and count the stacks."""
+        me = threading.get_ident()
+        skip = {me}
+        thread = self._thread
+        if thread is not None and thread.ident is not None:
+            skip.add(thread.ident)
+        for ident, frame in sys._current_frames().items():
+            if ident in skip:
+                continue
+            stack = self._collapse(frame)
+            if stack is None:
+                continue
+            with self._lock:
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+        self.samples_taken += 1
+
+    def _collapse(self, frame: Any) -> str | None:
+        """One frame chain as ``root;...;leaf``, scoped and trimmed."""
+        frames: list[tuple[str, bool]] = []
+        depth = 0
+        while frame is not None and depth < self._max_depth:
+            code = frame.f_code
+            filename = code.co_filename
+            stem = filename.rsplit("/", 1)[-1]
+            if stem.endswith(".py"):
+                stem = stem[:-3]
+            in_scope = self._scope is not None and self._scope in filename
+            frames.append((f"{stem}.{code.co_name}", in_scope))
+            frame = frame.f_back
+            depth += 1
+        frames.reverse()  # root first, collapsed-stack order
+        if self._scope is None:
+            return ";".join(label for label, _ in frames)
+        first = next(
+            (index for index, (_, hit) in enumerate(frames) if hit), None
+        )
+        if first is None:
+            return None
+        return ";".join(label for label, _ in frames[first:])
+
+    # ----- reads ------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Cumulative ``{collapsed_stack: samples}`` (picklable)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+    def collapsed(self, root: str = "") -> str:
+        """The collapsed-stack text of this profiler's counts."""
+        return collapsed_text(self.counts(), root=root)
+
+
+def collapsed_text(counts: dict[str, int], root: str = "") -> str:
+    """Render ``{stack: count}`` as collapsed-stack lines.
+
+    ``root`` prefixes every stack with a process identity frame
+    (``router;...``, ``shard-0;...``) so one file can hold a whole
+    fleet's profile and the flamegraph groups by process.
+    """
+    prefix = f"{root};" if root else ""
+    return "".join(
+        f"{prefix}{stack} {count}\n"
+        for stack, count in sorted(counts.items())
+    )

@@ -315,6 +315,158 @@ class MetricsRegistry:
             return len(self._metrics)
 
 
+# ----- cross-process snapshots ----------------------------------------------
+
+
+def metric_state(metric: Metric) -> dict:
+    """One metric as a plain picklable document (cross-process wire
+    format).  Counters and gauges ship their value; histograms ship the
+    raw bucket array plus count/sum/max so the receiving side can merge
+    without losing quantile fidelity."""
+    state: dict = {
+        "name": metric.name,
+        "kind": metric.kind,
+        "help": metric.help,
+        "labels": list(metric.labels),
+    }
+    if isinstance(metric, Histogram):
+        state["bounds"] = list(metric.bounds)
+        state["buckets"] = list(metric.bucket_counts)
+        state["count"] = metric.count
+        state["sum"] = metric.sum
+        state["max"] = metric.max
+    else:
+        state["value"] = metric.value
+    return state
+
+
+def registry_state(registry: MetricsRegistry) -> list[dict]:
+    """Snapshot every metric in the registry as :func:`metric_state`
+    documents (what a shard worker ships over its control pipe)."""
+    return [metric_state(metric) for metric in registry.metrics()]
+
+
+class _SourceTracker:
+    """Per-source monotonicity bookkeeping inside a SnapshotMerger.
+
+    A remote process restarts with all-zero metrics, so raw shipped
+    values *drop* across a revive. The tracker folds the last value
+    seen from the previous process generation into a per-key base;
+    the exported value is always ``base + raw`` — monotonic for
+    counters and histogram buckets even across a SIGKILL.
+    """
+
+    __slots__ = (
+        "generation", "counter_base", "counter_last",
+        "hist_base", "hist_last",
+    )
+
+    def __init__(self, generation: int):
+        self.generation = generation
+        self.counter_base: dict = {}
+        self.counter_last: dict = {}
+        self.hist_base: dict = {}
+        self.hist_last: dict = {}
+
+    def fold(self) -> None:
+        """Bank the last generation's raw values into the base."""
+        for key, raw in self.counter_last.items():
+            self.counter_base[key] = self.counter_base.get(key, 0.0) + raw
+        self.counter_last.clear()
+        for key, (buckets, count, total, peak) in self.hist_last.items():
+            bb, bc, bs, bm = self.hist_base.get(key, ((), 0, 0.0, 0.0))
+            if len(bb) != len(buckets):
+                bb = [0] * len(buckets)
+            self.hist_base[key] = (
+                [x + y for x, y in zip(bb, buckets)],
+                bc + count, bs + total, max(bm, peak),
+            )
+        self.hist_last.clear()
+
+
+class SnapshotMerger:
+    """Folds remote registry snapshots into a local registry under an
+    extra identity label (``shard="N"`` by default).
+
+    The merge is idempotent — re-ingesting the same snapshot writes the
+    same absolute values — so callers can apply the latest shipped
+    snapshot on every scrape without double counting. Pass the remote
+    process *generation* (bumped on every restart) so counters stay
+    monotonic across worker revives: when the generation changes, the
+    last raw values of the dead process are folded into a base that all
+    future exports add on top of.
+    """
+
+    def __init__(self, registry: MetricsRegistry, label: str = "shard"):
+        self._registry = registry
+        self._label = label
+        self._lock = threading.Lock()
+        self._sources: dict[str, _SourceTracker] = {}
+
+    def sources(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sources)
+
+    def ingest(
+        self, source: str, state: list[dict], generation: int = 0
+    ) -> None:
+        """Apply one source's snapshot into the local registry."""
+        with self._lock:
+            tracker = self._sources.get(source)
+            if tracker is None:
+                tracker = self._sources[source] = _SourceTracker(generation)
+            elif generation != tracker.generation:
+                tracker.fold()
+                tracker.generation = generation
+            for entry in state:
+                try:
+                    self._apply(source, tracker, entry)
+                except (KeyError, TypeError, ValueError):
+                    continue  # one malformed entry never breaks a scrape
+
+    def _apply(
+        self, source: str, tracker: _SourceTracker, entry: dict
+    ) -> None:
+        labels = dict(entry.get("labels") or ())
+        labels[self._label] = source
+        name = entry["name"]
+        help_text = entry.get("help", "")
+        kind = entry.get("kind", "gauge")
+        key = (name, _label_key(labels))
+        if kind == "counter":
+            raw = float(entry.get("value", 0.0))
+            tracker.counter_last[key] = raw
+            metric = self._registry.counter(name, help_text, **labels)
+            metric.value = tracker.counter_base.get(key, 0.0) + raw
+        elif kind == "gauge":
+            self._registry.gauge(name, help_text, **labels).value = float(
+                entry.get("value", 0.0)
+            )
+        elif kind == "histogram":
+            bounds = tuple(float(b) for b in entry.get("bounds") or ())
+            metric = self._registry.histogram(
+                name, help_text, bounds=bounds or None, **labels
+            )
+            buckets = [int(c) for c in entry.get("buckets") or ()]
+            count = int(entry.get("count", 0))
+            total = float(entry.get("sum", 0.0))
+            peak = float(entry.get("max", 0.0))
+            tracker.hist_last[key] = (list(buckets), count, total, peak)
+            base = tracker.hist_base.get(key)
+            if base is not None:
+                bb, bc, bs, bm = base
+                if len(bb) == len(buckets):
+                    buckets = [x + y for x, y in zip(buckets, bb)]
+                count += bc
+                total += bs
+                peak = max(peak, bm)
+            if len(buckets) == len(metric.bucket_counts):
+                metric.bucket_counts = buckets
+            metric.count = count
+            metric.sum = total
+            metric.max = peak
+
+
 class _NullCounter(Counter):
     """Shared no-op counter: ``inc`` does nothing."""
 

@@ -15,6 +15,12 @@ wires it behind ``--admin-port``) and serves:
 ``GET /queries/<id>/state``  EXPLAIN-style dump of that query's live
                           prefix-counter state (``inspect()``)
 ``GET /trace``            drain the trace ring buffer as JSON spans
+                          (a sharded engine serves stitched
+                          router→shard→merge chains via its own hook)
+``GET /dashboard.json``   time-series history snapshot (metric rings)
+``GET /dashboard``        the same history as plain-text sparklines
+``GET /profile``          collapsed-stack profile (404 unless profiling
+                          was enabled with ``--profile``)
 ========================  ====================================================
 
 The server thread only ever *reads* engine state, through the
@@ -31,9 +37,14 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.obs.export import registry_snapshot, to_prometheus
+from repro.obs.export import (
+    registry_snapshot,
+    render_sparklines,
+    to_prometheus,
+)
 from repro.obs.inspect import health_snapshot, query_rows, state_of
 from repro.obs.logging import get_logger
+from repro.obs.profile import SamplingProfiler, collapsed_text
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.tracing import TraceRecorder
 
@@ -117,6 +128,25 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, state)
         elif path == "/trace":
             self._send_json(200, admin._read(admin.drain_trace))
+        elif path == "/dashboard.json":
+            self._send_json(200, admin._read(admin.render_dashboard_json))
+        elif path == "/dashboard":
+            text = admin._read(admin.render_dashboard_text)
+            self._send(
+                200, text.encode("utf-8"), "text/plain; charset=utf-8"
+            )
+        elif path == "/profile":
+            profile = admin._read(admin.render_profile)
+            if profile is None:
+                self._send_json(
+                    404,
+                    {"error": "profiling is off (enable with --profile)"},
+                )
+            else:
+                self._send(
+                    200, profile.encode("utf-8"),
+                    "text/plain; charset=utf-8",
+                )
         elif path == "/":
             self._send_json(200, {"endpoints": sorted(ENDPOINTS)})
         else:
@@ -125,7 +155,8 @@ class _Handler(BaseHTTPRequestHandler):
 
 ENDPOINTS = (
     "/metrics", "/metrics.json", "/healthz", "/queries",
-    "/queries/<id>/state", "/trace",
+    "/queries/<id>/state", "/trace", "/dashboard.json", "/dashboard",
+    "/profile",
 )
 
 
@@ -142,7 +173,17 @@ class AdminServer:
         The metrics registry to expose; defaults to the engine's own
         ``obs_registry`` (falling back to the process default).
     trace:
-        The trace recorder ``/trace`` drains; optional.
+        The trace recorder ``/trace`` drains; optional. An engine with
+        its own ``drain_trace`` hook (the sharded engine) wins — it
+        merges and stitches spans from every process.
+    history:
+        A started :class:`~repro.obs.history.HistoryRecorder` for
+        ``/dashboard.json`` / ``/dashboard``; defaults to the engine's
+        ``history`` attribute when it has one.
+    profiler:
+        A started :class:`~repro.obs.profile.SamplingProfiler` for
+        ``/profile``. An engine with a ``collapsed_profile`` hook (the
+        sharded engine: whole-fleet profile) wins.
     host / port:
         Bind address. ``port=0`` picks a free port (tests); read the
         chosen one back from :attr:`port`.
@@ -153,6 +194,8 @@ class AdminServer:
         engine: Any,
         registry: MetricsRegistry | None = None,
         trace: TraceRecorder | None = None,
+        history: Any = None,
+        profiler: SamplingProfiler | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ):
@@ -161,6 +204,10 @@ class AdminServer:
             registry = getattr(engine, "obs_registry", None)
         self.registry = resolve_registry(registry)
         self.trace = trace
+        if history is None:
+            history = getattr(engine, "history", None)
+        self.history = history
+        self.profiler = profiler
         self._httpd = _AdminHTTPServer((host, port), _Handler)
         self._httpd.admin = self
         self._thread: threading.Thread | None = None
@@ -237,6 +284,9 @@ class AdminServer:
         return registry_snapshot(self.registry)
 
     def drain_trace(self) -> dict[str, Any]:
+        hook = getattr(self.engine, "drain_trace", None)
+        if callable(hook):
+            return hook()
         trace = self.trace
         if trace is None or not trace.enabled:
             return {"spans": [], "recorded_total": 0, "enabled": False}
@@ -252,7 +302,34 @@ class AdminServer:
                     "stage": span.stage,
                     "event_type": span.event_type,
                     "detail": span.detail,
+                    "trace_id": span.trace_id,
+                    "wall": span.wall,
                 }
                 for span in spans
             ],
         }
+
+    def render_dashboard_json(self) -> dict[str, Any]:
+        history = self.history
+        if history is None:
+            return {"enabled": False, "series": []}
+        snapshot = history.snapshot()
+        snapshot["enabled"] = True
+        return snapshot
+
+    def render_dashboard_text(self) -> str:
+        history = self.history
+        if history is None:
+            return "history is off (enable with --history-every)\n"
+        return render_sparklines(history.snapshot())
+
+    def render_profile(self) -> str | None:
+        """Collapsed-stack text, or ``None`` when profiling is off."""
+        hook = getattr(self.engine, "collapsed_profile", None)
+        if callable(hook):
+            return hook()
+        profiler = self.profiler
+        if profiler is None:
+            return None
+        text = collapsed_text(profiler.counts(), root="main")
+        return text if text else "# no samples yet\n"

@@ -39,27 +39,57 @@ class Stage:
     RECOVER = "recover"
     DEAD_LETTER = "dead_letter"
     QUARANTINE = "quarantine"
+    # Cross-process stages (sharded engine): a sampled event's trace id
+    # ties a router-side ROUTE span to the worker-side SHARD_INGEST
+    # span and the router-side MERGE span.
+    ROUTE = "route"
+    SHARD_INGEST = "shard_ingest"
+    MERGE = "merge"
+    # Supervision lifecycle stages, so recovery shows up in /trace.
+    SHARD_REVIVE = "shard_revive"
+    SHARD_DEGRADE = "shard_degrade"
+    SINK_RETRY = "sink_retry"
+    SINK_DEAD_LETTER = "sink_dead_letter"
 
     ALL = (
         INGEST, FILTER_DROP, COUNTER_CREATE, COUNTER_UPDATE,
         RECOUNT_RESET, EXPIRE, SNAPSHOT, PARTITION_CREATE, EMIT,
         JOURNAL, CHECKPOINT, RECOVER, DEAD_LETTER, QUARANTINE,
+        ROUTE, SHARD_INGEST, MERGE, SHARD_REVIVE, SHARD_DEGRADE,
+        SINK_RETRY, SINK_DEAD_LETTER,
     )
 
 
 class Span:
-    """One recorded lifecycle step."""
+    """One recorded lifecycle step.
 
-    __slots__ = ("seq", "ts", "stage", "event_type", "detail")
+    ``trace_id`` is empty for ordinary in-process spans; the sharded
+    engine stamps a sampled id onto ROUTE/SHARD_INGEST/MERGE spans so
+    one event's hops can be stitched back together across processes.
+    ``wall`` is the wall-clock time of recording (0.0 when untimed) —
+    cross-process span ordering cannot use per-process seq numbers.
+    """
+
+    __slots__ = ("seq", "ts", "stage", "event_type", "detail",
+                 "trace_id", "wall")
 
     def __init__(
-        self, seq: int, ts: int, stage: str, event_type: str, detail: str
+        self,
+        seq: int,
+        ts: int,
+        stage: str,
+        event_type: str,
+        detail: str,
+        trace_id: str = "",
+        wall: float = 0.0,
     ):
         self.seq = seq
         self.ts = ts
         self.stage = stage
         self.event_type = event_type
         self.detail = detail
+        self.trace_id = trace_id
+        self.wall = wall
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -86,9 +116,13 @@ class TraceRecorder:
         ts: int = 0,
         event_type: str = "",
         detail: str = "",
+        trace_id: str = "",
+        wall: float = 0.0,
     ) -> None:
         self._seq += 1
-        self._spans.append(Span(self._seq, ts, stage, event_type, detail))
+        self._spans.append(
+            Span(self._seq, ts, stage, event_type, detail, trace_id, wall)
+        )
 
     # ----- reads -----------------------------------------------------------
 
@@ -150,6 +184,8 @@ class NullTraceRecorder(TraceRecorder):
         ts: int = 0,
         event_type: str = "",
         detail: str = "",
+        trace_id: str = "",
+        wall: float = 0.0,
     ) -> None:
         pass
 
@@ -160,3 +196,45 @@ NULL_TRACER = NullTraceRecorder()
 def resolve_tracer(trace: TraceRecorder | None) -> TraceRecorder:
     """What an engine constructor does with its ``trace=`` argument."""
     return trace if trace is not None else NULL_TRACER
+
+
+#: Canonical ordering of the cross-process stages inside one trace.
+_STITCH_ORDER = {Stage.ROUTE: 0, Stage.SHARD_INGEST: 1, Stage.MERGE: 2}
+
+
+def stitch_spans(spans: Iterable[dict]) -> list[dict]:
+    """Group span dicts by trace id into router→shard→merge chains.
+
+    Input spans are plain dicts (the ``/trace`` wire shape) carrying at
+    least ``stage`` and ``trace_id``; spans without a trace id are
+    skipped. Within one trace, spans sort by the canonical stage order
+    first and skew-corrected wall time second — per-process sequence
+    numbers do not order across processes. A chain is ``complete`` when
+    all three cross-process stages are present.
+    """
+    groups: dict[str, list[dict]] = {}
+    for span in spans:
+        trace_id = span.get("trace_id")
+        if trace_id:
+            groups.setdefault(trace_id, []).append(span)
+    stitched = []
+    for trace_id, group in groups.items():
+        group.sort(
+            key=lambda span: (
+                _STITCH_ORDER.get(span.get("stage"), 99),
+                span.get("wall") or 0.0,
+            )
+        )
+        stages = [span.get("stage") for span in group]
+        stitched.append(
+            {
+                "trace_id": trace_id,
+                "stages": stages,
+                "complete": (
+                    {Stage.ROUTE, Stage.SHARD_INGEST, Stage.MERGE}
+                    <= set(stages)
+                ),
+                "spans": group,
+            }
+        )
+    return stitched

@@ -163,6 +163,12 @@ class ShardHealth:
     missed_heartbeats: int = 0
     last_pong_at: float | None = field(default=None, repr=False)
     last_failure: str | None = None
+    #: Round-trip time of the last answered heartbeat ping, and the
+    #: worker wall-clock skew estimated from it (worker clock minus
+    #: router clock, RTT/2-corrected). The skew feeds the trace plane:
+    #: worker span wall times are normalized into the router's clock.
+    rtt_s: float | None = field(default=None, repr=False)
+    clock_skew_s: float | None = field(default=None, repr=False)
 
     def snapshot(self) -> dict[str, Any]:
         age = (
@@ -178,6 +184,8 @@ class ShardHealth:
             "failures": self.failures,
             "missed_heartbeats": self.missed_heartbeats,
             "heartbeat_age_s": age,
+            "rtt_s": self.rtt_s,
+            "clock_skew_s": self.clock_skew_s,
             "last_failure": self.last_failure,
         }
 

@@ -1,0 +1,185 @@
+"""Time-series history rings (``repro.obs.history``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import render_sparklines
+from repro.obs.history import HistoryRecorder, default_history
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestTrack:
+    def test_track_is_chainable(self, registry):
+        history = HistoryRecorder(registry)
+        assert history.track("a").track("b", mode="rate") is history
+
+    def test_rejects_unknown_mode(self, registry):
+        with pytest.raises(ValueError):
+            HistoryRecorder(registry).track("a", mode="delta")
+
+    def test_rejects_bad_quantile(self, registry):
+        with pytest.raises(ValueError):
+            HistoryRecorder(registry).track(
+                "a", mode="quantile", quantile=1.5
+            )
+
+    def test_auto_aliases(self, registry):
+        counter = registry.counter("hits_total", "")
+        histogram = registry.histogram("lat_us", "")
+        counter.inc(5)
+        histogram.observe(10)
+        history = HistoryRecorder(registry)
+        history.track("hits_total", mode="rate")
+        history.track("lat_us", mode="quantile", quantile=0.99)
+        history.sample(now=0.0)
+        counter.inc(5)
+        history.sample(now=1.0)
+        names = {s["name"] for s in history.snapshot()["series"]}
+        assert "hits_total_rate" in names
+        assert "lat_us_p99" in names
+
+    def test_constructor_validation(self, registry):
+        with pytest.raises(ValueError):
+            HistoryRecorder(registry, interval_s=0)
+        with pytest.raises(ValueError):
+            HistoryRecorder(registry, capacity=1)
+
+
+class TestSampling:
+    def test_gauge_mode_samples_current_value(self, registry):
+        gauge = registry.gauge("depth", "")
+        history = HistoryRecorder(registry).track("depth")
+        gauge.set(3.0)
+        history.sample(now=10.0)
+        gauge.set(7.0)
+        history.sample(now=11.0)
+        (series,) = history.snapshot()["series"]
+        assert series["points"] == [[10.0, 3.0], [11.0, 7.0]]
+
+    def test_rate_mode_first_sample_primes(self, registry):
+        counter = registry.counter("in_total", "")
+        history = HistoryRecorder(registry).track("in_total", mode="rate")
+        counter.inc(100)
+        history.sample(now=0.0)  # primes only: no point yet
+        assert history.snapshot()["series"] == []
+        counter.inc(50)
+        history.sample(now=2.0)
+        (series,) = history.snapshot()["series"]
+        assert series["points"] == [[2.0, 25.0]]  # 50 over 2 seconds
+
+    def test_rate_mode_clamps_resets_to_zero(self, registry):
+        counter = registry.counter("in_total", "")
+        history = HistoryRecorder(registry).track("in_total", mode="rate")
+        counter.inc(100)
+        history.sample(now=0.0)
+        counter.value = 10.0  # a worker restarted: raw value dropped
+        history.sample(now=1.0)
+        (series,) = history.snapshot()["series"]
+        assert series["points"][-1][1] == 0.0
+
+    def test_quantile_mode(self, registry):
+        histogram = registry.histogram("lat", "")
+        history = HistoryRecorder(registry).track(
+            "lat", mode="quantile", quantile=0.5
+        )
+        for value in (1, 2, 3, 4, 100):
+            histogram.observe(value)
+        history.sample(now=1.0)
+        (series,) = history.snapshot()["series"]
+        assert series["points"][0][1] == pytest.approx(
+            histogram.quantile(0.5)
+        )
+
+    def test_wildcard_labels_fan_out(self, registry):
+        registry.gauge("age", "", shard="0").set(1.0)
+        registry.gauge("age", "", shard="1").set(2.0)
+        history = HistoryRecorder(registry).track("age")
+        history.sample(now=0.0)
+        # A series appearing later is picked up on the next sample.
+        registry.gauge("age", "", shard="2").set(3.0)
+        history.sample(now=1.0)
+        snapshot = history.snapshot()
+        by_shard = {
+            s["labels"].get("shard"): s["points"]
+            for s in snapshot["series"]
+        }
+        assert set(by_shard) == {"0", "1", "2"}
+        assert len(by_shard["0"]) == 2
+        assert len(by_shard["2"]) == 1
+
+    def test_exact_labels_sample_one_series(self, registry):
+        registry.gauge("age", "", shard="0").set(1.0)
+        registry.gauge("age", "", shard="1").set(2.0)
+        history = HistoryRecorder(registry).track("age", shard="1")
+        history.sample(now=0.0)
+        (series,) = history.snapshot()["series"]
+        assert series["labels"] == {"shard": "1"}
+
+    def test_capacity_bounds_the_ring(self, registry):
+        gauge = registry.gauge("g", "")
+        history = HistoryRecorder(registry, capacity=4).track("g")
+        for tick in range(10):
+            gauge.set(float(tick))
+            history.sample(now=float(tick))
+        (series,) = history.snapshot()["series"]
+        assert len(series["points"]) == 4
+        assert series["points"][-1] == [9.0, 9.0]
+
+    def test_snapshot_shape(self, registry):
+        registry.gauge("g", "").set(1.0)
+        history = HistoryRecorder(registry, interval_s=0.5).track("g")
+        history.sample(now=1.0)
+        snapshot = history.snapshot()
+        assert snapshot["interval_s"] == 0.5
+        assert snapshot["capacity"] == 240
+        assert snapshot["samples"] == 1
+
+
+class TestLifecycle:
+    def test_thread_samples_and_stops(self, registry):
+        registry.gauge("g", "").set(1.0)
+        history = HistoryRecorder(registry, interval_s=0.01).track("g")
+        import time
+
+        with history:
+            deadline = time.time() + 5.0
+            while history.samples_taken < 3 and time.time() < deadline:
+                time.sleep(0.01)
+        assert history.samples_taken >= 3
+        taken = history.samples_taken
+        time.sleep(0.05)
+        assert history.samples_taken == taken  # stopped for real
+
+
+class TestDefaultHistory:
+    def test_tracks_the_stock_series(self, registry):
+        registry.counter("events_ingested_total", "").inc(10)
+        registry.gauge("dlq_depth", "").set(2.0)
+        history = default_history(registry)
+        history.sample(now=0.0)
+        registry.counter("events_ingested_total", "").inc(10)
+        history.sample(now=1.0)
+        names = {s["name"] for s in history.snapshot()["series"]}
+        assert "ingest_rate" in names
+        assert "dlq_depth" in names
+
+
+class TestSparklines:
+    def test_renders_one_line_per_series(self, registry):
+        gauge = registry.gauge("g", "", shard="0")
+        history = HistoryRecorder(registry).track("g")
+        for tick in range(5):
+            gauge.set(float(tick))
+            history.sample(now=float(tick))
+        text = render_sparklines(history.snapshot())
+        assert 'g{shard=0}' in text
+        assert "last=4" in text
+
+    def test_empty_history(self):
+        assert "no history samples" in render_sparklines({"series": []})

@@ -1,0 +1,108 @@
+"""Sampling profiler (``repro.obs.profile``)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import SamplingProfiler, collapsed_text
+
+
+def _busy_thread(stop: threading.Event) -> threading.Thread:
+    def spin() -> None:
+        while not stop.is_set():
+            sum(range(100))
+
+    thread = threading.Thread(target=spin, name="busy", daemon=True)
+    thread.start()
+    return thread
+
+
+class TestSampling:
+    def test_sample_once_counts_other_threads(self):
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        try:
+            profiler = SamplingProfiler(scope=None)
+            profiler.sample_once()
+            assert profiler.samples_taken == 1
+            assert profiler.counts()  # at least the busy thread's stack
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_thread_lifecycle_and_clear(self):
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        try:
+            with SamplingProfiler(interval_s=0.005, scope=None) as profiler:
+                deadline = time.time() + 5.0
+                while not profiler.counts() and time.time() < deadline:
+                    time.sleep(0.01)
+            assert profiler.counts()
+            profiler.clear()
+            assert profiler.counts() == {}
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_scope_filters_foreign_stacks(self):
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        try:
+            profiler = SamplingProfiler(scope="no-such-path-component")
+            profiler.sample_once()
+            assert profiler.counts() == {}
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_stacks_are_root_first(self):
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        try:
+            profiler = SamplingProfiler(scope=None)
+            profiler.sample_once()
+            stacks = list(profiler.counts())
+            spinning = [s for s in stacks if "spin" in s]
+            assert spinning, stacks
+            # The thread bootstrap is the root, the spin loop the leaf.
+            assert spinning[0].index("_bootstrap") < spinning[0].index(
+                "spin"
+            )
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_depth=0)
+
+
+class TestCollapsedText:
+    def test_renders_sorted_lines_with_root(self):
+        text = collapsed_text({"b;c": 2, "a;b": 1}, root="shard-0")
+        assert text == "shard-0;a;b 1\nshard-0;b;c 2\n"
+
+    def test_no_root(self):
+        assert collapsed_text({"a": 1}) == "a 1\n"
+
+    def test_empty(self):
+        assert collapsed_text({}) == ""
+
+    def test_collapsed_method_matches(self):
+        profiler = SamplingProfiler(scope=None)
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        try:
+            profiler.sample_once()
+        finally:
+            stop.set()
+            thread.join()
+        assert profiler.collapsed(root="x") == collapsed_text(
+            profiler.counts(), root="x"
+        )

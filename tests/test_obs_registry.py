@@ -195,3 +195,137 @@ class TestDefaultRegistry:
             assert get_default_registry() is NULL_REGISTRY
         finally:
             set_default_registry(previous)
+
+
+class TestSnapshotWire:
+    def test_metric_state_round_trips_counter_and_gauge(self):
+        from repro.obs.registry import metric_state
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hits", query="q")
+        counter.inc(3)
+        state = metric_state(counter)
+        assert state["name"] == "hits_total"
+        assert state["kind"] == "counter"
+        assert state["labels"] == [("query", "q")]
+        assert state["value"] == 3.0
+
+    def test_metric_state_ships_histogram_buckets(self):
+        from repro.obs.registry import metric_state
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", "")
+        histogram.observe(5)
+        histogram.observe(500)
+        state = metric_state(histogram)
+        assert state["kind"] == "histogram"
+        assert sum(state["buckets"]) == 2
+        assert state["count"] == 2
+        assert state["sum"] == 505.0
+        assert state["max"] == 500.0
+
+    def test_registry_state_is_picklable(self):
+        import pickle
+
+        from repro.obs.registry import registry_state
+
+        registry = MetricsRegistry()
+        registry.counter("a_total", "").inc()
+        registry.gauge("b", "").set(2)
+        registry.histogram("c", "").observe(1)
+        state = registry_state(registry)
+        assert pickle.loads(pickle.dumps(state)) == state
+        assert {entry["name"] for entry in state} == {"a_total", "b", "c"}
+
+
+class TestSnapshotMerger:
+    def _snapshot(self, **counters):
+        from repro.obs.registry import registry_state
+
+        remote = MetricsRegistry()
+        for name, value in counters.items():
+            remote.counter(name, "").inc(value)
+        return registry_state(remote)
+
+    def test_merges_under_shard_label(self):
+        from repro.obs.registry import SnapshotMerger
+
+        local = MetricsRegistry()
+        merger = SnapshotMerger(local)
+        merger.ingest("0", self._snapshot(hits_total=5))
+        merger.ingest("1", self._snapshot(hits_total=7))
+        assert local.value("hits_total", shard="0") == 5.0
+        assert local.value("hits_total", shard="1") == 7.0
+        assert merger.sources() == ["0", "1"]
+
+    def test_reingest_is_idempotent(self):
+        from repro.obs.registry import SnapshotMerger
+
+        local = MetricsRegistry()
+        merger = SnapshotMerger(local)
+        snapshot = self._snapshot(hits_total=5)
+        merger.ingest("0", snapshot)
+        merger.ingest("0", snapshot)
+        merger.ingest("0", snapshot)
+        assert local.value("hits_total", shard="0") == 5.0
+
+    def test_generation_bump_keeps_counters_monotonic(self):
+        from repro.obs.registry import SnapshotMerger
+
+        local = MetricsRegistry()
+        merger = SnapshotMerger(local)
+        merger.ingest("0", self._snapshot(hits_total=100), generation=0)
+        # The worker was SIGKILLed and restarted: raw values reset.
+        merger.ingest("0", self._snapshot(hits_total=3), generation=1)
+        assert local.value("hits_total", shard="0") == 103.0
+        merger.ingest("0", self._snapshot(hits_total=9), generation=1)
+        assert local.value("hits_total", shard="0") == 109.0
+
+    def test_gauges_track_latest_not_sum(self):
+        from repro.obs.registry import SnapshotMerger, registry_state
+
+        remote = MetricsRegistry()
+        remote.gauge("depth", "").set(4.0)
+        local = MetricsRegistry()
+        merger = SnapshotMerger(local)
+        merger.ingest("0", registry_state(remote), generation=0)
+        merger.ingest("0", registry_state(remote), generation=1)
+        assert local.value("depth", shard="0") == 4.0
+
+    def test_histograms_merge_across_generations(self):
+        from repro.obs.registry import SnapshotMerger, registry_state
+
+        def remote_state(*values):
+            remote = MetricsRegistry()
+            histogram = remote.histogram("lat", "")
+            for value in values:
+                histogram.observe(value)
+            return registry_state(remote)
+
+        local = MetricsRegistry()
+        merger = SnapshotMerger(local)
+        merger.ingest("0", remote_state(1, 10), generation=0)
+        merger.ingest("0", remote_state(100), generation=1)
+        merged = local.get("lat", shard="0")
+        assert merged.count == 3
+        assert merged.sum == 111.0
+        assert merged.max == 100.0
+
+    def test_malformed_entry_is_skipped(self):
+        from repro.obs.registry import SnapshotMerger
+
+        local = MetricsRegistry()
+        merger = SnapshotMerger(local)
+        merger.ingest(
+            "0",
+            [{"kind": "counter"}, *self._snapshot(ok_total=1)],
+        )
+        assert local.value("ok_total", shard="0") == 1.0
+
+    def test_custom_label_name(self):
+        from repro.obs.registry import SnapshotMerger
+
+        local = MetricsRegistry()
+        merger = SnapshotMerger(local, label="node")
+        merger.ingest("a", self._snapshot(hits_total=2))
+        assert local.value("hits_total", node="a") == 2.0
