@@ -144,7 +144,10 @@ def _worker_obs_payload(
     """One observability shipment: metrics snapshot, drained trace
     spans, cumulative profile counts, and this process's wall clock
     (the router's skew anchor). Metric snapshots are absolute values —
-    idempotent on the router side — while spans drain exactly once."""
+    idempotent on the router side — while spans drain exactly once:
+    the router salvages shipments riding stale replies it discards
+    (``_salvage_reply``), so spans are lost only when the pipe itself
+    dies mid-flight — an accepted loss for a sampling tracer."""
     payload: dict[str, Any] = {"wall": time.time()}
     if registry.enabled:
         try:
@@ -282,7 +285,14 @@ def _shard_worker(
                 if tracer.enabled:
                     now = time.time()
                     for offset, trace_id in payload.get("t", ()):
-                        rtype, rts, _ = records[offset]
+                        # A corrupt offset must degrade to a missing
+                        # span, never crash the worker main loop.
+                        try:
+                            if not 0 <= offset < len(records):
+                                continue
+                            rtype, rts, _ = records[offset]
+                        except (TypeError, ValueError):
+                            continue
                         tracer.record(
                             Stage.SHARD_INGEST,
                             rts,
@@ -433,7 +443,7 @@ class _Worker:
         "index", "process", "conn", "control", "buffer", "lock",
         "log", "replay_base", "checkpoint", "checkpoint_disabled",
         "batches_since_checkpoint", "fold", "generation",
-        "traced", "obs_state", "last_rows", "profile",
+        "traced", "obs_state", "last_rows", "profile", "buffer_lock",
     )
 
     def __init__(self, index: int):
@@ -442,6 +452,12 @@ class _Worker:
         self.conn: Any = None
         self.control: Any = None
         self.buffer: list[tuple[str, int, dict | None]] = []
+        #: Guards every mutation of ``buffer``/``traced``: the ingest
+        #: thread appends and flushes, the admin scrape thread flushes
+        #: via ``_try_flush``. Held across capture *and* send so two
+        #: concurrent flushers cannot deliver batches out of order.
+        #: Lock order: ``buffer_lock`` before ``lock``, never reversed.
+        self.buffer_lock = threading.Lock()
         #: Serializes data-pipe use and revive between the router
         #: thread and the heartbeat thread.
         self.lock = threading.Lock()
@@ -881,8 +897,12 @@ class ShardedStreamEngine:
             return ("dead", None)
         control = worker.control
         try:
-            while control.poll(0):  # drop stale pongs from missed rounds
-                control.recv()
+            # Stale pongs from missed rounds are dropped, but the obs
+            # shipment they carry is salvaged first — worker span
+            # drains are destructive, so a discarded pong would lose
+            # its spans for good.
+            while control.poll(0):
+                self._salvage_reply(worker, control.recv())
             sent_mono = time.monotonic()
             sent_wall = time.time()
             control.send(("ping", None))
@@ -947,6 +967,29 @@ class ShardedStreamEngine:
         profile = obs.get("profile")
         if profile:
             worker.profile = profile
+
+    def _salvage_reply(self, worker: _Worker, message: Any) -> None:
+        """Recover the obs shipment riding a stale, discarded reply.
+
+        Span drains are destructive on the worker side, so a pong from
+        a missed heartbeat round or a data-pipe reply that blew its
+        deadline would otherwise lose its spans forever.  Drain loops
+        feed every discarded message through here; anything malformed
+        is ignored (the drop was the point).  Pipes are recreated on
+        revive, so a salvaged shipment is always from the worker's
+        current generation.
+        """
+        try:
+            _, payload = message
+        except (TypeError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if "obs" in payload:
+            self._ingest_obs(worker, payload)
+        elif "wall" in payload:
+            # A bare ("obs", None) reply: the payload *is* the shipment.
+            self._ingest_obs(worker, {"obs": payload})
 
     def _revive(self, index: int, reason: str) -> None:
         """Monitor-thread entry point: restart one unhealthy shard."""
@@ -1107,14 +1150,15 @@ class ShardedStreamEngine:
 
         Stale replies are drained first: a previous request that blew
         its deadline may have left its answer in the pipe, and pairing
-        it with this request would desynchronize the protocol. Raises
+        it with this request would desynchronize the protocol (any obs
+        shipment riding a drained reply is salvaged, not lost). Raises
         :class:`_ShardUnresponsive` on pipe death or a blown reply
         deadline, :class:`EngineError` on an ``("error", ...)`` reply.
         """
         deadline = self._recv_timeout_s if timeout is None else timeout
         try:
             while worker.conn.poll(0):
-                worker.conn.recv()
+                self._salvage_reply(worker, worker.conn.recv())
             worker.conn.send((command, payload))
             if not worker.conn.poll(deadline):
                 raise _ShardUnresponsive(
@@ -1186,21 +1230,31 @@ class ShardedStreamEngine:
         record: tuple[str, int, dict | None],
         trace_id: str | None = None,
     ) -> None:
-        if trace_id is not None:
-            worker.traced.append((len(worker.buffer), trace_id))
-        worker.buffer.append(record)
-        if len(worker.buffer) >= self.batch_size:
-            self._flush_worker(worker)
+        with worker.buffer_lock:
+            if trace_id is not None:
+                worker.traced.append((len(worker.buffer), trace_id))
+            worker.buffer.append(record)
+            if len(worker.buffer) < self.batch_size:
+                return
+        self._flush_worker(worker)
 
     def _flush_worker(self, worker: _Worker) -> None:
-        buffer = worker.buffer
-        if not buffer:
-            return
-        traced = worker.traced
-        worker.buffer = []
-        worker.traced = []
-        with worker.lock:
-            self._send_records(worker, buffer, traced=traced or None)
+        """Capture-and-send one worker's buffer (any thread).
+
+        The whole operation runs under ``buffer_lock`` — the capture
+        so an append racing from another thread cannot land in the
+        orphaned list, the send so two concurrent flushers (ingest
+        thread + scrape thread) cannot deliver batches out of order.
+        """
+        with worker.buffer_lock:
+            buffer = worker.buffer
+            if not buffer:
+                return
+            traced = worker.traced
+            worker.buffer = []
+            worker.traced = []
+            with worker.lock:
+                self._send_records(worker, buffer, traced=traced or None)
 
     def _send_records(
         self,
@@ -1485,29 +1539,40 @@ class ShardedStreamEngine:
         """Best-effort flush of one worker's buffer (scrape path).
 
         Unlike :meth:`_flush_worker` this never blocks past ``timeout``
-        on a wedged shard; on failure the batch is re-stashed so the
-        ingest path delivers it later.
+        on a busy lock; on failure the batch is re-stashed so the
+        ingest path delivers it later.  Both locks are timed acquires
+        in ``buffer_lock`` → ``lock`` order: the buffer lock keeps the
+        capture atomic against a concurrently appending ingest thread,
+        the pipe lock guards the send.
         """
         if not worker.buffer:
             return
-        if not worker.lock.acquire(timeout=timeout):
+        if not worker.buffer_lock.acquire(timeout=timeout):
             return
         try:
             buffer = worker.buffer
-            traced = worker.traced
-            worker.buffer = []
-            worker.traced = []
+            if not buffer:
+                return
+            if not worker.lock.acquire(timeout=timeout):
+                return
             try:
-                self._send_records(worker, buffer, traced=traced or None)
-            except Exception:
-                # Put the batch back (trace offsets shift with it).
-                shift = len(buffer)
-                worker.traced = traced + [
-                    (offset + shift, tid) for offset, tid in worker.traced
-                ]
-                worker.buffer = buffer + worker.buffer
+                traced = worker.traced
+                worker.buffer = []
+                worker.traced = []
+                try:
+                    self._send_records(
+                        worker, buffer, traced=traced or None
+                    )
+                except Exception:
+                    # Put the batch back; no append raced us (the
+                    # ingest path needs buffer_lock), so the trace
+                    # offsets are still exact.
+                    worker.buffer = buffer
+                    worker.traced = traced
+            finally:
+                worker.lock.release()
         finally:
-            worker.lock.release()
+            worker.buffer_lock.release()
 
     def _scrape_rows(
         self, worker: _Worker
@@ -1539,16 +1604,26 @@ class ShardedStreamEngine:
         Additive fields (events routed, counter updates, live objects,
         partitions…) sum across the shards that hold a piece of the
         query; per-process latency quantiles are dropped rather than
-        averaged wrongly.  A shard mid-restart contributes its
-        last-known rows and marks the merged row ``stale``.
+        averaged wrongly.  A shard mid-restart marks ``stale`` exactly
+        the queries it contributes to — its last-known rows, or every
+        sharded query when it has nothing to contribute — so queries
+        whose shards all answered fresh stay unflagged.
         """
         rows = {row["query"]: row for row in self._local.query_rows()}
-        any_stale = False
+        stale_queries: set[str] = set()
         if self._sharded and self._started:
             for worker in self._workers:
                 self._try_flush(worker)
                 shard_rows, stale = self._scrape_rows(worker)
-                any_stale = any_stale or stale
+                if stale:
+                    if shard_rows:
+                        stale_queries.update(
+                            row["query"] for row in shard_rows
+                        )
+                    else:
+                        # Nothing known about this shard: every
+                        # sharded query misses its piece.
+                        stale_queries.update(self._sharded)
                 for row in shard_rows or ():
                     name = row["query"]
                     merged = rows.get(name)
@@ -1571,7 +1646,7 @@ class ShardedStreamEngine:
                     # Every holder of this query was unreachable: still
                     # surface the query, flagged, instead of dropping it.
                     rows[name] = {"query": name, "stale": True}
-                elif any_stale:
+                elif name in stale_queries:
                     rows[name]["stale"] = True
         return [rows[name] for name in self._specs if name in rows]
 
@@ -1591,7 +1666,7 @@ class ShardedStreamEngine:
                 return
             try:
                 while worker.conn.poll(0):
-                    worker.conn.recv()
+                    self._salvage_reply(worker, worker.conn.recv())
                 worker.conn.send(("obs", None))
                 if not worker.conn.poll(min(2.0, self._recv_timeout_s)):
                     return

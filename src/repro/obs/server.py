@@ -25,7 +25,10 @@ wires it behind ``--admin-port``) and serves:
 
 The server thread only ever *reads* engine state, through the
 snapshot-before-iterate discipline of :mod:`repro.obs.inspect`; the
-engine thread never blocks on a scrape. Handlers are defensive: a read
+engine thread never blocks on a scrape. (One guarded exception: the
+sharded engine's scrape path flushes pending event buffers under a
+dedicated per-worker mutex shared with the ingest path — see
+:mod:`repro.engine.sharded`.) Handlers are defensive: a read
 torn by a concurrent mutation is retried once, and any unexpected
 error returns a 500 without touching the engine.
 """

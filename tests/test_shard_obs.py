@@ -267,6 +267,12 @@ class TestSinkLifecycleSpans:
 class TestStaleTolerantScrapes:
     def test_query_rows_marks_stale_when_shard_unreachable(self):
         with _engine(supervise=False) as engine:
+            # A query with no GROUP BY runs in the local lane: a dead
+            # shard must not smear its stale flag onto it.
+            engine.register(
+                parse_query("PATTERN SEQ(A, B) AGG COUNT WITHIN 60 ms"),
+                name="local_q",
+            )
             engine.run(iter(_events(1000)))
             fresh = engine.query_rows()
             assert fresh and not any(
@@ -278,7 +284,9 @@ class TestStaleTolerantScrapes:
             engine._workers[1].process.join(5.0)
             rows = engine.query_rows()
             assert rows, "scrape returned nothing"
-            assert any(row.get("stale") for row in rows)
+            by_name = {row["query"]: row for row in rows}
+            assert by_name["q"].get("stale") is True
+            assert not by_name["local_q"].get("stale")
 
     def test_scrape_during_revive_stays_up(self):
         registry = MetricsRegistry()
@@ -337,6 +345,126 @@ class TestStaleTolerantScrapes:
         assert ingested == sorted(ingested), "per-shard counter dipped"
         # the revived shard's series reappeared after the restart
         assert ingested[-1] >= ingested[0]
+
+
+# ----- scrape/ingest concurrency --------------------------------------------
+
+
+class TestScrapeIngestConcurrency:
+    def test_concurrent_scrape_flush_drops_no_events(self):
+        """Regression: ``_try_flush`` on the scrape thread used to swap
+        ``buffer``/``traced`` while the ingest thread appended without
+        a lock — an append racing the swap landed in the orphaned list
+        and was silently lost. Hammer both paths with a tiny batch size
+        and pin the merged result against the single-process reference.
+        """
+        events = _events(6000, seed=13)
+        reference = StreamEngine()
+        reference.register(parse_query(QUERY), name="q")
+        for event in events:
+            reference.process(event)
+
+        with _engine(batch_size=4) as engine:
+            engine.run(iter(events[:16]))  # spawn workers first
+            stop = threading.Event()
+            errors: list[BaseException] = []
+
+            def scrape() -> None:
+                while not stop.is_set():
+                    try:
+                        engine.query_rows()
+                    except BaseException as error:  # pragma: no cover
+                        errors.append(error)
+                        return
+
+            scraper = threading.Thread(target=scrape, daemon=True)
+            scraper.start()
+            try:
+                engine.run(iter(events[16:]))
+            finally:
+                stop.set()
+                scraper.join(10.0)
+            assert not errors, errors
+            assert engine.result("q") == reference.result("q")
+            assert not any(
+                health["restarts"] for health in engine.shard_health()
+            )
+
+
+# ----- worker-side trace stamping -------------------------------------------
+
+
+class TestWorkerTraceStamping:
+    def test_corrupt_trace_offset_degrades_to_missing_span(self):
+        """A malformed trace offset in a batch payload must cost the
+        worker a span, not its life (and not a supervisor restart)."""
+        trace = TraceRecorder(capacity=1024)
+        with _engine(trace=trace, trace_sample=1) as engine:
+            engine.run(iter(_events(200)))
+            worker = engine._workers[0]
+            with worker.lock:
+                worker.conn.send(
+                    (
+                        "batch",
+                        {
+                            "r": [("A", 1, {"g": 1, "v": 1})],
+                            "t": [(99, "t-oob"), (-7, "t-neg"),
+                                  ("x", "t-type")],
+                        },
+                    )
+                )
+            engine.run(iter(_events(200, seed=21, start_ts=5_000)))
+            assert engine.results()["q"] is not None
+            assert engine.shard_health()[0]["restarts"] == 0
+
+
+# ----- stale-reply salvage --------------------------------------------------
+
+
+class TestStaleReplySalvage:
+    def test_salvaged_pong_spans_reach_trace_drain(self):
+        """Spans riding a discarded stale pong are ingested, not lost:
+        worker-side span drains are destructive, so the drain loops
+        salvage the obs shipment before dropping the message."""
+        trace = TraceRecorder(capacity=1024)
+        with _engine(trace=trace, trace_sample=1) as engine:
+            engine.run(iter(_events(100)))
+            worker = engine._workers[0]
+            stale_pong = (
+                "pong",
+                {
+                    "events": 0,
+                    "failure": None,
+                    "obs": {
+                        "wall": time.time(),
+                        "spans": [
+                            (
+                                123,
+                                Stage.SHARD_INGEST,
+                                "A",
+                                "shard=0",
+                                "t-stale",
+                                time.time(),
+                            )
+                        ],
+                    },
+                },
+            )
+            engine._salvage_reply(worker, stale_pong)
+            drained = engine.drain_trace()
+            assert any(
+                span["trace_id"] == "t-stale"
+                for span in drained["spans"]
+            )
+
+    def test_salvage_ignores_malformed_messages(self):
+        with _engine() as engine:
+            engine.run(iter(_events(10)))
+            worker = engine._workers[0]
+            engine._salvage_reply(worker, None)
+            engine._salvage_reply(worker, ("ok",))
+            engine._salvage_reply(worker, ("ok", [1, 2]))
+            engine._salvage_reply(worker, ("ok", {"unrelated": 1}))
 
 
 # ----- admin endpoints ------------------------------------------------------
