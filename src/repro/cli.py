@@ -205,6 +205,22 @@ def build_parser() -> argparse.ArgumentParser:
         "BY / equivalence attribute; non-partitionable queries run "
         "in-process (0 = single process)",
     )
+    perf.add_argument(
+        "--transport",
+        choices=("pipe", "tcp"),
+        default="pipe",
+        help="shard transport: forked processes over pipes (default) "
+        "or framed TCP workers spawned locally / connected via "
+        "--shard-worker",
+    )
+    perf.add_argument(
+        "--shard-worker",
+        action="append",
+        metavar="HOST:PORT",
+        help="connect to a pre-started networked worker "
+        "(python -m repro.shard_worker --listen HOST:PORT) instead of "
+        "spawning one; repeat once per shard (implies --transport tcp)",
+    )
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument(
         "--journal",
@@ -273,6 +289,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="keep each shard's delivery journal and checkpoints on "
         "disk under DIR/shard-NN instead of in memory (--shards only)",
+    )
+    resilience.add_argument(
+        "--router-journal",
+        metavar="DIR",
+        help="write-ahead journal every ingested event to DIR/lane-NN "
+        "before routing, so the router itself survives a crash "
+        "(--shards only; with --recover, resume from DIR); shard "
+        "journals default to DIR/shards",
+    )
+    resilience.add_argument(
+        "--router-checkpoint-every",
+        type=int,
+        metavar="N",
+        default=0,
+        help="persist the router's progress document every N ingested "
+        "events, bounding recovery replay (0 disables; requires "
+        "--router-journal)",
+    )
+    resilience.add_argument(
+        "--ingest-lanes",
+        type=int,
+        metavar="N",
+        default=1,
+        help="partition the router WAL into N independent ingest "
+        "lanes, each owning a key range with its own journal "
+        "position (requires --router-journal; default 1)",
     )
     return parser
 
@@ -519,10 +561,16 @@ def _run_sharded(
     from repro.engine.sharded import ShardedStreamEngine
     from repro.engine.sinks import CallbackSink
 
-    if args.journal or args.recover:
+    if args.journal:
         raise SystemExit(
-            "--shards cannot be combined with --journal/--recover; the "
-            "supervised engine is single-process"
+            "--shards cannot be combined with --journal; the supervised "
+            "engine is single-process (use --router-journal for a "
+            "crash-safe router)"
+        )
+    if args.recover and not args.router_journal:
+        raise SystemExit(
+            "--shards --recover needs --router-journal DIR (the router "
+            "WAL to resume from)"
         )
     if args.engine in ("twostep", "both"):
         raise SystemExit(
@@ -531,20 +579,19 @@ def _run_sharded(
         )
     if args.shared:
         raise SystemExit("--shards and --shared are mutually exclusive")
+    if args.ingest_lanes < 1:
+        raise SystemExit("--ingest-lanes must be >= 1")
     supervise = args.heartbeat_interval > 0
-    engine = ShardedStreamEngine(
-        shards=args.shards,
-        batch_size=args.batch_size if args.batch_size > 1 else 256,
-        vectorized=args.engine == "vectorized",
-        registry=registry,
-        supervise=supervise,
-        heartbeat_interval_s=args.heartbeat_interval if supervise else 0.5,
-        restart_limit=max(0, args.shard_restart_limit),
-        journal_dir=args.shard_journal,
-        trace=trace if trace.enabled else None,
-        trace_sample=max(1, args.trace_sample),
-        profile=args.profile or bool(args.profile_out),
-    )
+    transport = args.transport
+    if args.shard_worker:
+        transport = "tcp"
+    shard_journal = args.shard_journal
+    if args.router_journal and not shard_journal:
+        # Router recovery reconciles against durable shard journals;
+        # keep both under one directory when only the WAL is named.
+        from pathlib import Path
+
+        shard_journal = str(Path(args.router_journal) / "shards")
     sinks: tuple = ()
     if args.emit == "every":
         sinks = (
@@ -554,8 +601,62 @@ def _run_sharded(
                 )
             ),
         )
-    for index, query in enumerate(queries):
-        engine.register(query, *sinks, name=query.name or f"q{index}")
+    engine_kwargs = dict(
+        batch_size=args.batch_size if args.batch_size > 1 else 256,
+        vectorized=args.engine == "vectorized",
+        registry=registry,
+        supervise=supervise,
+        heartbeat_interval_s=args.heartbeat_interval if supervise else 0.5,
+        restart_limit=max(0, args.shard_restart_limit),
+        trace=trace if trace.enabled else None,
+        trace_sample=max(1, args.trace_sample),
+        profile=args.profile or bool(args.profile_out),
+        transport=transport,
+        worker_addresses=args.shard_worker,
+        router_checkpoint_every=max(0, args.router_checkpoint_every),
+    )
+    if args.recover:
+        from repro.resilience.router_recovery import recover_router
+
+        named_sinks = {
+            (query.name or f"q{index}"): list(sinks)
+            for index, query in enumerate(queries)
+        }
+        engine = recover_router(
+            args.router_journal,
+            queries=queries,
+            sinks=named_sinks,
+            shards=args.shards,
+            journal_dir=shard_journal,
+            lanes=args.ingest_lanes if args.ingest_lanes > 1 else None,
+            fsync=args.fsync,
+            **engine_kwargs,
+        )
+        _log.info(
+            "router_recovered",
+            message=f"router recovered: {engine.events_replayed} lane "
+            f"events replayed",
+            events_replayed=engine.events_replayed,
+        )
+    else:
+        engine = ShardedStreamEngine(
+            shards=args.shards,
+            journal_dir=shard_journal,
+            **engine_kwargs,
+        )
+        for index, query in enumerate(queries):
+            engine.register(query, *sinks, name=query.name or f"q{index}")
+        if args.router_journal:
+            from repro.resilience.router_recovery import RouterLog
+
+            engine.attach_router_log(
+                RouterLog(
+                    args.router_journal,
+                    lanes=args.ingest_lanes,
+                    fsync=args.fsync,
+                    registry=registry,
+                )
+            )
     admin = _start_admin(args, engine, registry, trace, history)
     try:
         started = time.perf_counter()
@@ -680,6 +781,12 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.shard_journal:
             raise SystemExit("--shard-journal requires --shards N")
+        if args.router_journal:
+            raise SystemExit("--router-journal requires --shards N")
+        if args.transport != "pipe" or args.shard_worker:
+            raise SystemExit(
+                "--transport/--shard-worker require --shards N"
+            )
         if profile_on:
             profiler = SamplingProfiler().start()
         if args.journal or args.recover:

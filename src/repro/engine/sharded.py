@@ -57,6 +57,30 @@ When NOT to shard: workloads dominated by queries without a partition
 key (everything lands on the local lane plus IPC overhead), tiny
 streams (worker startup costs more than it saves), or single-core
 hosts (the workers time-slice one CPU and IPC is pure overhead).
+
+Router durability (PR 7) closes the last single point of failure:
+
+* the wire protocol is extracted behind
+  :class:`~repro.engine.transport.ShardTransport` — ``transport="pipe"``
+  keeps today's fork+two-pipe workers, ``transport="tcp"`` frames the
+  same messages over TCP to ``python -m repro.shard_worker`` processes
+  that may live on other hosts (``worker_addresses=``);
+* with a router log attached (:class:`~repro.resilience.router_recovery
+  .RouterLog`), every ingested event is appended to a partitioned
+  ingest-lane WAL *before* routing, and the router periodically
+  checkpoints its own progress (local-lane state, per-shard delivered
+  watermarks, lane offsets). After a router SIGKILL,
+  :func:`~repro.resilience.router_recovery.recover_router` rebuilds the
+  engine, re-seeds every worker from its own checkpoint+journal, and
+  replays the lane suffix with per-shard count-skip so nothing is
+  delivered twice — merged results stay bit-identical;
+* workers deduplicate redelivered batches themselves: every journaled
+  batch carries its base journal sequence, and a worker that was
+  already seeded past it skips the overlap;
+* a worker whose router vanishes self-terminates: pipe/socket EOF ends
+  the session immediately, and ``orphan_timeout_s`` of total silence
+  (no data, no heartbeats) ends it even when the transport half-stays
+  open.
 """
 
 from __future__ import annotations
@@ -68,9 +92,8 @@ import threading
 import time
 import zlib
 from collections import deque
-from multiprocessing.connection import wait as _mp_wait
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.errors import EngineError, OverloadError, QueryError
 from repro.events.event import Event
@@ -79,6 +102,12 @@ from repro.core.hpc import partition_attributes
 from repro.engine.engine import StreamEngine
 from repro.engine.metrics import EngineMetrics
 from repro.engine.sinks import Output, ResultSink
+from repro.engine.transport import (
+    ShardTransport,
+    WorkerConfig,
+    build_transport,
+    wait_readable,
+)
 from repro.obs.logging import get_logger
 from repro.obs.profile import SamplingProfiler, collapsed_text
 from repro.obs.registry import (
@@ -96,7 +125,11 @@ from repro.obs.tracing import (
     stitch_spans,
 )
 from repro.query.ast import AggKind, Query
-from repro.resilience.checkpointer import engine_state
+from repro.query.parser import parse_query
+from repro.resilience.checkpointer import (
+    engine_state,
+    load_latest_checkpoint,
+)
 from repro.resilience.shard_supervisor import (
     HeartbeatSupervisor,
     ShardHealth,
@@ -135,19 +168,67 @@ def _apply_seed(engine: StreamEngine, state: dict[str, Any]) -> None:
         )
 
 
+class _SpanOutbox:
+    """Worker-side retransmit buffer for trace shipments.
+
+    Span drains used to be fire-and-forget: a shipment riding a reply
+    that died with the pipe was gone (the residual loss PR 6
+    documented). The outbox closes it — every drain of the worker
+    tracer becomes a numbered batch that rides *every* shipment until
+    the router acknowledges it (the ack piggybacks on heartbeat pings
+    as ``("ping", {"ack": <seq>})``), so a transport blip only delays
+    spans, it no longer loses them. The router deduplicates by batch
+    sequence; the deque bound caps worst-case memory when a router
+    never acks (an orphaned worker is exiting anyway)."""
+
+    __slots__ = ("_batches", "_next")
+
+    def __init__(self, capacity: int = 64):
+        self._batches: deque[tuple[int, list[tuple]]] = deque(
+            maxlen=capacity
+        )
+        self._next = 1
+
+    def drain(self, tracer: TraceRecorder) -> None:
+        if not tracer.enabled or not len(tracer):
+            return
+        spans = tracer.spans()
+        tracer.clear()
+        self._batches.append(
+            (
+                self._next,
+                [
+                    (s.ts, s.stage, s.event_type, s.detail,
+                     s.trace_id, s.wall)
+                    for s in spans
+                ],
+            )
+        )
+        self._next += 1
+
+    def pending(self) -> list[tuple[int, list[tuple]]]:
+        return list(self._batches)
+
+    def ack(self, upto: int) -> None:
+        while self._batches and self._batches[0][0] <= upto:
+            self._batches.popleft()
+
+
 def _worker_obs_payload(
     engine: StreamEngine,
     registry: MetricsRegistry,
     tracer: TraceRecorder,
     profiler: SamplingProfiler | None,
+    outbox: _SpanOutbox | None = None,
 ) -> dict[str, Any]:
-    """One observability shipment: metrics snapshot, drained trace
-    spans, cumulative profile counts, and this process's wall clock
-    (the router's skew anchor). Metric snapshots are absolute values —
-    idempotent on the router side — while spans drain exactly once:
-    the router salvages shipments riding stale replies it discards
-    (``_salvage_reply``), so spans are lost only when the pipe itself
-    dies mid-flight — an accepted loss for a sampling tracer."""
+    """One observability shipment: metrics snapshot, trace spans,
+    cumulative profile counts, and this process's wall clock (the
+    router's skew anchor). Metric snapshots are absolute values —
+    idempotent on the router side. With an ``outbox``, spans ship as
+    acknowledged batches ``(seq, [span, ...])`` that are retransmitted
+    until the router acks them; without one (legacy callers/tests),
+    spans drain exactly once as a flat list and rely on
+    ``_salvage_reply`` alone."""
     payload: dict[str, Any] = {"wall": time.time()}
     if registry.enabled:
         try:
@@ -155,7 +236,12 @@ def _worker_obs_payload(
         except Exception:
             pass  # cost rows are best-effort; ship what we have
         payload["metrics"] = registry_state(registry)
-    if tracer.enabled and len(tracer):
+    if outbox is not None:
+        outbox.drain(tracer)
+        batches = outbox.pending()
+        if batches:
+            payload["spans"] = batches
+    elif tracer.enabled and len(tracer):
         spans = tracer.spans()
         tracer.clear()
         payload["spans"] = [
@@ -167,59 +253,11 @@ def _worker_obs_payload(
     return payload
 
 
-def _shard_worker(
-    conn: Any,
-    control: Any,
-    specs: list[tuple[str, Query]],
-    vectorized: bool,
-    index: int = 0,
-    obs: dict[str, Any] | None = None,
-) -> None:
-    """Worker loop: a routed StreamEngine over one hash-partition.
-
-    Two duplex pipes, multiplexed with ``multiprocessing.connection
-    .wait`` so heartbeats are answered even while data queues up.
-
-    Data-pipe protocol (request, reply):
-
-    * ``("batch", [(type, ts, attrs), ...])`` — ingest; no reply (the
-      pipe's buffer provides natural backpressure via ``send``). A
-      traced batch arrives as ``{"r": records, "t": [(offset,
-      trace_id), ...]}`` and the worker stamps a ``shard_ingest`` span
-      per traced record before processing.
-    * ``("collect", watermark_ms)`` — advance clocks to the global
-      watermark, reply ``("ok", {"partials": {name: partial}, "obs":
-      ...})`` with composable partial results (see :func:`_partial_of`)
-      plus a fresh observability shipment.
-    * ``("obs", None)`` — reply ``("ok", obs_payload)``: the scrape-
-      time pull of metrics/spans/profile when heartbeats are off or
-      stale.
-    * ``("seed", engine_checkpoint)`` — restore every executor from a
-      checkpoint document (revive path), reply ok.
-    * ``("checkpoint", None)`` — reply ``("ok", engine_state(...))``.
-    * ``("rows"/"inspect"/"state", ...)`` — ops-plane snapshots.
-    * ``("hang", seconds)`` — fault injection: sleep on the data lane
-      so the pipe backs up (heartbeats keep flowing).
-    * ``("stop", None)`` — reply and exit.
-
-    Control-pipe protocol: ``("ping", None)`` → ``("pong", {"events",
-    "failure", "obs"})`` — every heartbeat piggybacks an observability
-    shipment, so the fleet's metrics reach the router at ping cadence
-    with no extra wakeups; ``("stall", s)`` / ``("stall_hard", s)`` —
-    fault injection: go fully unresponsive (``stall_hard`` also ignores
-    SIGTERM, to exercise the router's kill escalation).
-
-    A batch that raises poisons the engine: the failure string rides
-    every subsequent pong and the next collect replies ``("error",
-    ...)`` — either way the supervisor restarts this process.
-
-    The worker builds its *own* registry/tracer from the ``obs`` config
-    rather than resolving the process default: under the fork start
-    method the child inherits the router's installed default registry,
-    and writing into that copy would silently shadow the router's
-    series instead of shipping.
-    """
-    obs = obs or {}
+def _worker_obs_setup(
+    obs: dict[str, Any],
+) -> tuple[MetricsRegistry, TraceRecorder, SamplingProfiler | None]:
+    """Build one worker's own registry/tracer/profiler from the obs
+    config document (shared by the forked and the networked worker)."""
     registry = MetricsRegistry() if obs.get("metrics") else NULL_REGISTRY
     tracer = (
         TraceRecorder(capacity=int(obs.get("trace_capacity", 512)))
@@ -232,6 +270,22 @@ def _shard_worker(
             interval_s=float(obs.get("profile_interval_s", 0.01))
         )
         profiler.start()
+    return registry, tracer, profiler
+
+
+def _build_worker_engine(
+    specs: list[tuple[str, Any]],
+    vectorized: bool,
+    index: int,
+    registry: MetricsRegistry,
+    tracer: TraceRecorder,
+) -> tuple[StreamEngine, dict[str, Any]]:
+    """One worker's routed engine over the registration set.
+
+    Specs arrive as ``(name, query_text)`` pairs — query text is the
+    transport-neutral form (``str(query)`` round-trips through the
+    parser, the same property engine checkpoints rely on) — but
+    in-process callers may still pass :class:`Query` objects."""
     engine = StreamEngine(
         routed=True,
         vectorized=vectorized,
@@ -239,22 +293,141 @@ def _shard_worker(
         trace=tracer,
         stream_name=f"shard-{index}",
     )
-    executors = {
-        name: engine.register(query, name=name) for name, query in specs
-    }
+    executors = {}
+    for name, query in specs:
+        if isinstance(query, str):
+            query = parse_query(query, name=name)
+        executors[name] = engine.register(query, name=name)
+    return engine, executors
+
+
+def _shard_worker(
+    conn: Any,
+    control: Any,
+    specs: list[tuple[str, Any]],
+    vectorized: bool,
+    index: int = 0,
+    obs: dict[str, Any] | None = None,
+    orphan_timeout_s: float | None = None,
+) -> None:
+    """Forked-worker entry point: build the engine, run the loop.
+
+    The worker builds its *own* registry/tracer from the ``obs`` config
+    rather than resolving the process default: under the fork start
+    method the child inherits the router's installed default registry,
+    and writing into that copy would silently shadow the router's
+    series instead of shipping. The networked worker
+    (:mod:`repro.shard_worker`) reuses the same loop over framed TCP
+    channels.
+    """
+    obs = obs or {}
+    registry, tracer, profiler = _worker_obs_setup(obs)
+    engine, executors = _build_worker_engine(
+        specs, vectorized, index, registry, tracer
+    )
+    try:
+        _worker_loop(
+            conn, control, engine, executors, registry, tracer,
+            profiler, index=index, orphan_timeout_s=orphan_timeout_s,
+        )
+    finally:
+        if profiler is not None:
+            profiler.stop()
+
+
+def _worker_loop(
+    conn: Any,
+    control: Any,
+    engine: StreamEngine,
+    executors: dict[str, Any],
+    registry: MetricsRegistry,
+    tracer: TraceRecorder,
+    profiler: SamplingProfiler | None,
+    index: int = 0,
+    orphan_timeout_s: float | None = None,
+) -> str:
+    """Worker loop: a routed StreamEngine over one hash-partition.
+
+    Two duplex channels (pipe or framed TCP), multiplexed with
+    :func:`~repro.engine.transport.wait_readable` so heartbeats are
+    answered even while data queues up. Returns why it stopped:
+    ``"stop"`` (router shut down), ``"eof"`` (transport closed), or
+    ``"orphan"`` (``orphan_timeout_s`` of total silence — no batches,
+    no heartbeats — so the router is presumed gone and the worker
+    exits instead of lingering).
+
+    Data-channel protocol (request, reply):
+
+    * ``("batch", [(type, ts, attrs), ...])`` — ingest; no reply (the
+      channel's buffer provides natural backpressure via ``send``). A
+      traced or journaled batch arrives as ``{"r": records, "t":
+      [(offset, trace_id), ...], "q": base_seq}``: the worker stamps a
+      ``shard_ingest`` span per traced record, and ``q`` — the shard-
+      journal sequence of the first record — drives worker-side
+      dedup: records below the worker's applied watermark (set by the
+      last seed) are skipped, so a recovering router may redeliver
+      conservatively and never double-counts.
+    * ``("collect", watermark_ms)`` — advance clocks to the global
+      watermark, reply ``("ok", {"partials": {name: partial}, "obs":
+      ...})`` with composable partial results (see :func:`_partial_of`)
+      plus a fresh observability shipment.
+    * ``("obs", None)`` — reply ``("ok", obs_payload)``: the scrape-
+      time pull of metrics/spans/profile when heartbeats are off or
+      stale.
+    * ``("seed", engine_checkpoint)`` — restore every executor from a
+      checkpoint document (revive path), reply ok. The checkpoint's
+      ``journal_seq`` becomes the dedup watermark.
+    * ``("checkpoint", None)`` — reply ``("ok", engine_state(...))``.
+    * ``("rows"/"inspect"/"state", ...)`` — ops-plane snapshots.
+    * ``("hang", seconds)`` — fault injection: sleep on the data lane
+      so the pipe backs up (heartbeats keep flowing).
+    * ``("stop", None)`` — reply and exit.
+
+    Control-channel protocol: ``("ping", {"ack": n})`` → ``("pong",
+    {"events", "failure", "obs"})`` — every heartbeat piggybacks an
+    observability shipment, and the ping's ``ack`` releases span
+    batches the router has safely ingested (see :class:`_SpanOutbox`);
+    ``("stall", s)`` / ``("stall_hard", s)`` — fault injection: go
+    fully unresponsive (``stall_hard`` also ignores SIGTERM, to
+    exercise the router's kill escalation).
+
+    A batch that raises poisons the engine: the failure string rides
+    every subsequent pong and the next collect replies ``("error",
+    ...)`` — either way the supervisor restarts this process.
+    """
+    outbox = _SpanOutbox()
+    spec_names = list(executors)
     failure: str | None = None
+    #: Shard-journal watermark of applied records (dedup cursor).
+    applied_seq = 0
+    deadline = (
+        time.monotonic() + orphan_timeout_s if orphan_timeout_s else None
+    )
     while True:
+        timeout = None
+        if deadline is not None:
+            timeout = max(0.0, deadline - time.monotonic())
         try:
-            ready = _mp_wait([conn, control])
+            ready = wait_readable([conn, control], timeout)
         except OSError:
-            return
+            return "eof"
+        if not ready:
+            if deadline is not None and time.monotonic() >= deadline:
+                return "orphan"
+            continue
+        if deadline is not None:
+            deadline = time.monotonic() + orphan_timeout_s
         if control in ready:
             try:
                 command, payload = control.recv()
             except (EOFError, OSError):
-                return
+                return "eof"
             try:
                 if command == "ping":
+                    if isinstance(payload, dict):
+                        ack = payload.get("ack")
+                        if ack:
+                            outbox.ack(int(ack))
                     control.send(
                         (
                             "pong",
@@ -262,7 +435,8 @@ def _shard_worker(
                                 "events": engine.metrics.events,
                                 "failure": failure,
                                 "obs": _worker_obs_payload(
-                                    engine, registry, tracer, profiler
+                                    engine, registry, tracer, profiler,
+                                    outbox,
                                 ),
                             },
                         )
@@ -273,36 +447,55 @@ def _shard_worker(
                     signal.signal(signal.SIGTERM, signal.SIG_IGN)
                     time.sleep(float(payload))
             except (OSError, BrokenPipeError):
-                return
+                return "eof"
             continue
         try:
             command, payload = conn.recv()
         except (EOFError, OSError):
-            return
+            return "eof"
         if command == "batch":
+            traced: Any = ()
+            base = None
             if isinstance(payload, dict):
                 records = payload["r"]
-                if tracer.enabled:
-                    now = time.time()
-                    for offset, trace_id in payload.get("t", ()):
-                        # A corrupt offset must degrade to a missing
-                        # span, never crash the worker main loop.
-                        try:
-                            if not 0 <= offset < len(records):
-                                continue
-                            rtype, rts, _ = records[offset]
-                        except (TypeError, ValueError):
-                            continue
-                        tracer.record(
-                            Stage.SHARD_INGEST,
-                            rts,
-                            rtype,
-                            f"shard={index}",
-                            trace_id=trace_id,
-                            wall=now,
-                        )
+                traced = payload.get("t", ())
+                base = payload.get("q")
             else:
                 records = payload
+            if base is not None:
+                # Worker-side dedup of redelivered (lane, seq) pairs:
+                # a recovering router replays conservatively; records
+                # already folded in by the seed are dropped here.
+                skip = max(0, min(len(records), applied_seq - base))
+                applied_seq = max(applied_seq, base + len(records))
+                if skip:
+                    records = records[skip:]
+                    traced = [
+                        (offset - skip, trace_id)
+                        for offset, trace_id in traced
+                        if offset >= skip
+                    ]
+                    if not records:
+                        continue
+            if tracer.enabled and traced:
+                now = time.time()
+                for offset, trace_id in traced:
+                    # A corrupt offset must degrade to a missing
+                    # span, never crash the worker main loop.
+                    try:
+                        if not 0 <= offset < len(records):
+                            continue
+                        rtype, rts, _ = records[offset]
+                    except (TypeError, ValueError):
+                        continue
+                    tracer.record(
+                        Stage.SHARD_INGEST,
+                        rts,
+                        rtype,
+                        f"shard={index}",
+                        trace_id=trace_id,
+                        wall=now,
+                    )
             if failure is not None:
                 continue  # poisoned: drain silently until restarted
             try:
@@ -314,7 +507,7 @@ def _shard_worker(
         elif command == "collect":
             if failure is not None:
                 conn.send(("error", failure))
-                return
+                return "stop"
             try:
                 engine.advance_clock(int(payload))
                 partials = {
@@ -327,31 +520,33 @@ def _shard_worker(
                         {
                             "partials": partials,
                             "obs": _worker_obs_payload(
-                                engine, registry, tracer, profiler
+                                engine, registry, tracer, profiler,
+                                outbox,
                             ),
                         },
                     )
                 )
             except Exception as error:
                 conn.send(("error", f"{type(error).__name__}: {error}"))
-                return
+                return "stop"
         elif command == "obs":
             conn.send(
                 ("ok", _worker_obs_payload(engine, registry, tracer,
-                                           profiler))
+                                           profiler, outbox))
             )
         elif command == "seed":
             try:
                 _apply_seed(engine, payload)
                 executors = {
                     name: engine._registrations[name].executor
-                    for name, _ in specs
+                    for name in spec_names
                 }
+                applied_seq = int(payload.get("journal_seq", 0) or 0)
                 failure = None
                 conn.send(("ok", None))
             except Exception as error:
                 conn.send(("error", f"{type(error).__name__}: {error}"))
-                return
+                return "stop"
         elif command == "checkpoint":
             try:
                 conn.send(("ok", engine_state(engine)))
@@ -369,7 +564,7 @@ def _shard_worker(
             time.sleep(float(payload))
         elif command == "stop":
             conn.send(("ok", engine.metrics.events))
-            return
+            return "stop"
 
 
 def _partial_of(executor: Any) -> Any:
@@ -444,6 +639,7 @@ class _Worker:
         "log", "replay_base", "checkpoint", "checkpoint_disabled",
         "batches_since_checkpoint", "fold", "generation",
         "traced", "obs_state", "last_rows", "profile", "buffer_lock",
+        "span_seen", "address",
     )
 
     def __init__(self, index: int):
@@ -480,6 +676,11 @@ class _Worker:
         self.last_rows: list[dict[str, Any]] | None = None
         #: Latest shipped profile counts ({collapsed_stack: samples}).
         self.profile: dict[str, int] | None = None
+        #: Highest span-outbox batch sequence ingested from this
+        #: worker generation (acked back on the next heartbeat ping).
+        self.span_seen = 0
+        #: Remote endpoint address, when the transport has one.
+        self.address: tuple[str, int] | None = None
 
 
 def _pipe_writable(conn: Any, timeout: float) -> bool:
@@ -601,6 +802,11 @@ class ShardedStreamEngine:
         collect_obs: bool | None = None,
         profile: bool = False,
         profile_interval_s: float = 0.01,
+        transport: str | ShardTransport | None = None,
+        worker_addresses: Sequence[str] | None = None,
+        orphan_timeout_s: float | None = None,
+        router_checkpoint_every: int = 0,
+        resume_shards: bool = False,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -627,6 +833,15 @@ class ShardedStreamEngine:
             raise ValueError("trace_sample must be >= 1")
         if profile_interval_s <= 0:
             raise ValueError("profile_interval_s must be positive")
+        if orphan_timeout_s is not None and orphan_timeout_s < 0:
+            raise ValueError("orphan_timeout_s must be >= 0 (0 disables)")
+        if router_checkpoint_every < 0:
+            raise ValueError("router_checkpoint_every must be >= 0")
+        if resume_shards and not supervise:
+            raise ValueError(
+                "resume_shards needs supervise=True (worker seeding "
+                "replays per-shard journals)"
+            )
         self.shards = shards
         self.batch_size = batch_size
         self._vectorized = vectorized
@@ -635,6 +850,13 @@ class ShardedStreamEngine:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._ctx = mp.get_context(start_method)
+        self._transport = build_transport(
+            transport,
+            ctx=self._ctx,
+            worker_addresses=worker_addresses,
+            registry=registry,
+        )
+        self._orphan_timeout_s = orphan_timeout_s
         self._supervise = supervise
         self._heartbeat_interval_s = heartbeat_interval_s
         self._heartbeat_max_missed = heartbeat_max_missed
@@ -680,6 +902,10 @@ class ShardedStreamEngine:
         )
         self._m_checkpoints = obs.counter(
             "shard_checkpoints_total", "per-shard worker checkpoints taken"
+        )
+        self._m_router_checkpoints = obs.counter(
+            "router_checkpoints_total",
+            "router-side progress checkpoints written to the router log",
         )
         #: All registrations, in order: name -> (query, sinks).
         self._specs: dict[str, tuple[Query, list[ResultSink]]] = {}
@@ -740,6 +966,18 @@ class ShardedStreamEngine:
         self._started = False
         self._closed = False
         self._clock_ms: int | None = None
+        # ----- router durability (see attach_router_log) -----
+        self._router_log: Any = None
+        self._router_checkpoint_every = router_checkpoint_every
+        self._events_since_router_checkpoint = 0
+        #: Resume mode: ``_start`` re-seeds every worker from its own
+        #: durable checkpoint + journal instead of starting fresh.
+        self._resume_shards = resume_shards
+        #: Per-shard checkpoint overrides injected by router recovery
+        #: (e.g. the fold-lane state of a shard that was degraded).
+        self._resume_checkpoints: dict[int, dict[str, Any]] = {}
+        #: Events replayed into this engine by the last recovery.
+        self.events_replayed = 0
 
     # ----- registration ------------------------------------------------------
 
@@ -777,25 +1015,48 @@ class ShardedStreamEngine:
 
     # ----- worker lifecycle --------------------------------------------------
 
+    def _resolved_orphan_timeout(self) -> float | None:
+        """The orphan-silence budget shipped to workers.
+
+        Explicit wins (0 disables); under supervision the default is
+        generous — ten full miss budgets, floored at 10s — so a worker
+        never self-terminates while its router is merely busy; without
+        heartbeats there is no traffic floor to judge silence by, so
+        the guard stays off (transport EOF still ends the worker).
+        """
+        if self._orphan_timeout_s is not None:
+            return self._orphan_timeout_s or None
+        if self._supervise:
+            return max(
+                10.0,
+                self._heartbeat_interval_s
+                * self._heartbeat_max_missed
+                * 10.0,
+            )
+        return None
+
     def _spawn_into(self, worker: _Worker) -> None:
-        """(Re)create one worker process with fresh data+control pipes."""
-        data_parent, data_child = self._ctx.Pipe(duplex=True)
-        ctl_parent, ctl_child = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=_shard_worker,
-            args=(data_child, ctl_child, self._worker_specs,
-                  self._vectorized, worker.index, self._worker_obs),
-            daemon=True,
-        )
-        process.start()
-        data_child.close()
-        ctl_child.close()
-        worker.process = process
-        worker.conn = data_parent
-        worker.control = ctl_parent
+        """(Re)connect one worker through the transport (fresh pipes
+        and a forked process, or a framed-TCP session)."""
+        endpoint = self._transport.open(worker.index)
+        worker.process = endpoint.process
+        worker.conn = endpoint.conn
+        worker.control = endpoint.control
+        worker.address = endpoint.address
+        worker.span_seen = 0
 
     def _start(self) -> None:
-        self._worker_specs = list(self._sharded.items())
+        self._worker_specs = [
+            (name, str(query)) for name, query in self._sharded.items()
+        ]
+        self._transport.bind(
+            WorkerConfig(
+                specs=self._worker_specs,
+                vectorized=self._vectorized,
+                obs=self._worker_obs,
+                orphan_timeout_s=self._resolved_orphan_timeout(),
+            )
+        )
         if self._profile and self._profiler is None:
             self._profiler = SamplingProfiler(
                 interval_s=self._profile_interval_s
@@ -812,9 +1073,24 @@ class ShardedStreamEngine:
                 worker.log = open_shard_log(
                     directory, registry=self.obs_registry
                 )
-                worker.replay_base = worker.log.next_seq
+                if self._resume_shards:
+                    # Router recovery: the journal's whole history is
+                    # the re-seed recipe, not a stale prefix to skip.
+                    worker.replay_base = 0
+                    checkpoint = self._resume_checkpoints.get(index)
+                    if checkpoint is None and directory is not None:
+                        checkpoint, _ = load_latest_checkpoint(directory)
+                    worker.checkpoint = checkpoint
+                else:
+                    worker.replay_base = worker.log.next_seq
             self._spawn_into(worker)
+            if self._resume_shards:
+                self._seed_worker(worker)
             self._workers.append(worker)
+        if self._router_log is not None and getattr(
+            self._router_log, "shard_attribute", None
+        ) is None:
+            self._router_log.shard_attribute = self.shard_attribute
         if self._supervise and self._sharded:
             self._monitor = HeartbeatSupervisor(
                 self.shards,
@@ -846,7 +1122,7 @@ class ShardedStreamEngine:
                 timeout=self._shutdown_timeout_s + 3.0
             )
             try:
-                if worker.process is not None and worker.conn is not None:
+                if worker.conn is not None:
                     try:
                         worker.conn.send(("stop", None))
                         if worker.conn.poll(
@@ -864,6 +1140,17 @@ class ShardedStreamEngine:
                 if acquired:
                     worker.lock.release()
         self._workers.clear()
+        try:
+            self._transport.close()
+        except Exception:  # transport teardown must never mask close
+            pass
+        log = self._router_log
+        if log is not None:
+            try:
+                log.close()
+            except Exception:
+                pass
+            self._router_log = None
 
     def __enter__(self) -> "ShardedStreamEngine":
         return self
@@ -893,7 +1180,11 @@ class ShardedStreamEngine:
 
     def _ping_locked(self, worker: _Worker) -> tuple[str, Any]:
         process = worker.process
-        if process is None or not process.is_alive():
+        if worker.conn is None or worker.control is None:
+            return ("dead", None)
+        # A remote (networked) worker has no process handle; its
+        # channel state is the only liveness signal we have.
+        if process is not None and not process.is_alive():
             return ("dead", None)
         control = worker.control
         try:
@@ -905,7 +1196,9 @@ class ShardedStreamEngine:
                 self._salvage_reply(worker, control.recv())
             sent_mono = time.monotonic()
             sent_wall = time.time()
-            control.send(("ping", None))
+            # The ack releases span batches this router has already
+            # ingested from the worker's retransmit outbox.
+            control.send(("ping", {"ack": worker.span_seen}))
             if not control.poll(self._heartbeat_interval_s):
                 return ("miss", None)
             _, payload = control.recv()
@@ -950,8 +1243,26 @@ class ShardedStreamEngine:
             worker.obs_state = (worker.generation, metrics)
         spans = obs.get("spans")
         if spans:
+            # Two shipment shapes: acked outbox batches ``(seq,
+            # [span6, ...])`` — deduplicated against the worker's
+            # ``span_seen`` watermark, acked back on the next ping —
+            # and the legacy flat list of 6-tuples (drain-once
+            # shipments salvaged from stale replies).
+            flat: list[tuple] = []
+            for item in spans:
+                if (
+                    len(item) == 2
+                    and isinstance(item[1], (list, tuple))
+                ):
+                    batch_seq, batch = item
+                    if batch_seq <= worker.span_seen:
+                        continue  # retransmit of an ingested batch
+                    worker.span_seen = batch_seq
+                    flat.extend(batch)
+                else:
+                    flat.append(item)
             skew = self._shard_health[worker.index].clock_skew_s or 0.0
-            for ts, stage, event_type, detail, trace_id, wall in spans:
+            for ts, stage, event_type, detail, trace_id, wall in flat:
                 self._shard_spans.append(
                     {
                         "seq": None,
@@ -1061,6 +1372,14 @@ class ShardedStreamEngine:
     def _respawn_and_reseed(self, worker: _Worker) -> None:
         _destroy_process(worker, self._shutdown_timeout_s)
         self._spawn_into(worker)
+        self._seed_worker(worker)
+
+    def _seed_worker(self, worker: _Worker) -> None:
+        """Re-seed a fresh worker exactly: checkpoint, then replay the
+        journal suffix. Replay chunks carry their base journal
+        sequence so the worker's dedup cursor tracks exactly what it
+        has applied — a later conservative redelivery (router
+        recovery) is then skippable worker-side."""
         start_seq = worker.replay_base
         if worker.checkpoint is not None:
             self._roundtrip(worker, "seed", worker.checkpoint)
@@ -1070,13 +1389,16 @@ class ShardedStreamEngine:
         if worker.log is None:
             return
         chunk: list[tuple[str, int, dict | None]] = []
-        for record in worker.log.replay(start_seq):
+        chunk_base = start_seq
+        for seq, record in worker.log.replay_seqs(start_seq):
+            if not chunk:
+                chunk_base = seq
             chunk.append(record)
             if len(chunk) >= self.batch_size:
-                worker.conn.send(("batch", chunk))
+                worker.conn.send(("batch", {"r": chunk, "q": chunk_base}))
                 chunk = []
         if chunk:
-            worker.conn.send(("batch", chunk))
+            worker.conn.send(("batch", {"r": chunk, "q": chunk_base}))
 
     def _degrade_locked(self, worker: _Worker, reason: str) -> None:
         """Fold this shard's key-range into an in-process lane, seeded
@@ -1180,10 +1502,149 @@ class ShardedStreamEngine:
 
     # ----- ingestion ---------------------------------------------------------
 
+    def attach_router_log(self, log: Any) -> None:
+        """Attach the router's ingest-lane WAL (before ingestion).
+
+        With a log attached every event is appended to its lane journal
+        *before* routing (classic WAL discipline), and — when
+        ``router_checkpoint_every`` is set — the router periodically
+        persists its own progress document, so
+        :func:`~repro.resilience.router_recovery.recover_router` can
+        resume this engine bit-identically after a router SIGKILL.
+        Requires durable shard journals (``journal_dir``): the lane WAL
+        reconciles against them at recovery time.
+        """
+        if log is None:
+            return
+        if self._started or self.metrics.events:
+            raise EngineError(
+                "attach the router log before ingesting events; "
+                "already-routed events would be missing from the WAL"
+            )
+        if self._supervise and self._journal_dir is None:
+            raise EngineError(
+                "router journaling requires durable shard journals "
+                "(set journal_dir); recovery reconciles the lane WAL "
+                "against each shard's on-disk journal"
+            )
+        self._router_log = log
+
+    def router_checkpoint(self) -> dict[str, Any]:
+        """Persist the router's own progress document (see
+        :mod:`repro.resilience.router_recovery` for the recovery side).
+
+        The document is the local lane's engine state (so it loads
+        through the stock checkpoint reader) with ``journal_seq``
+        holding the global ingest sequence and a ``"router"`` section
+        carrying the distributed bookkeeping: per-shard delivered
+        watermarks (shard-journal offsets after a full flush), lane
+        journal offsets, query texts, and the fold-lane state of any
+        degraded shard. Flushing first is what makes the watermarks
+        honest: every event routed before the checkpoint is either in
+        a shard journal or (shed_oldest only) dropped on purpose.
+        """
+        log = self._router_log
+        if log is None:
+            raise EngineError("no router log attached")
+        self.flush()
+        state = engine_state(self._local, journal_seq=log.ingest_seq)
+        delivered: list[int] = []
+        folds: dict[str, Any] = {}
+        for worker in self._workers:
+            seq = worker.log.next_seq if worker.log is not None else 0
+            delivered.append(seq)
+            if worker.fold is not None:
+                fold_state = engine_state(worker.fold)
+                fold_state["journal_seq"] = seq
+                folds[str(worker.index)] = fold_state
+        state["router"] = {
+            "events": self.metrics.events,
+            "clock_ms": self._clock_ms,
+            "route_seq": self._route_seq,
+            "shards": self.shards,
+            "lanes": log.lanes,
+            "batch_size": self.batch_size,
+            "shard_attribute": self.shard_attribute,
+            "queries": [
+                [name, str(query), name in self._sharded]
+                for name, (query, _) in self._specs.items()
+            ],
+            "lane_seqs": log.lane_seqs(),
+            "commit_seq": log.commit_seq,
+            "shard_delivered": delivered,
+            "shed_events": self.shed_events,
+            "degraded": sorted(self.degraded_shards),
+            "folds": folds,
+        }
+        log.checkpoint(state)
+        self._events_since_router_checkpoint = 0
+        self._m_router_checkpoints.inc()
+        return state
+
+    def _recovery_route(
+        self,
+        event: Event,
+        counters: list[int],
+        recovered: list[int],
+    ) -> None:
+        """Route one lane-replayed event with per-shard count-skip.
+
+        Routing is deterministic, so during replay the *k*-th record
+        bound for shard *i* lands on the same journal sequence it had
+        in the crashed run; while that sequence is below the shard's
+        recovered journal tail the record is already inside the worker
+        (seeded from checkpoint + journal) and is skipped — delivered
+        and journaled otherwise. Tracing is not replayed (spans
+        describe the original run, not the recovery).
+        """
+        self.metrics.events += 1
+        ts = event.ts
+        if self._clock_ms is None or ts > self._clock_ms:
+            self._clock_ms = ts
+        self._local.process(event)
+        if not self._sharded:
+            return
+        if event.event_type not in self._sharded_types:
+            return
+        record = (event.event_type, ts, event.attrs or None)
+        key = event.get(self.shard_attribute, _MISSING)
+        if key is _MISSING:
+            targets: Iterable[_Worker] = self._workers
+        else:
+            targets = (self._workers[shard_of(key, self.shards)],)
+        for worker in targets:
+            index = worker.index
+            position = counters[index]
+            counters[index] = position + 1
+            if position < recovered[index]:
+                continue  # already applied via checkpoint + journal
+            self._buffer(worker, record)
+
     def process(self, event: Event) -> None:
         """Route one event: local lane always, worker lane by key."""
         if not self._started:
             self._start()
+        log = self._router_log
+        if log is not None:
+            # The cadence check runs *before* this event is appended:
+            # a checkpoint must only ever cover events whose routing
+            # fully completed (previous process() calls), or its
+            # ingest watermark would claim an event the local lane
+            # never saw.
+            if (
+                self._router_checkpoint_every
+                and self._events_since_router_checkpoint
+                >= self._router_checkpoint_every
+            ):
+                self.router_checkpoint()
+            # WAL discipline, group-committed: the event is staged in
+            # the lane WAL now and physically written (RouterLog
+            # .commit) before any batch send, so the shard journals
+            # are always a subset of the durable lanes and recovery
+            # can reconcile by count alone. flush() is the explicit
+            # durability ack for the tail.
+            log.append(event)
+            self._events_since_router_checkpoint += 1
         self.metrics.events += 1
         ts = event.ts
         if self._clock_ms is None or ts > self._clock_ms:
@@ -1246,10 +1707,17 @@ class ShardedStreamEngine:
         orphaned list, the send so two concurrent flushers (ingest
         thread + scrape thread) cannot deliver batches out of order.
         """
+        log = self._router_log
         with worker.buffer_lock:
             buffer = worker.buffer
             if not buffer:
                 return
+            if log is not None:
+                # Group commit: every record in this buffer was staged
+                # in the WAL before it was buffered (process() order),
+                # so committing here — before the send below — keeps
+                # the shard journals a subset of the durable WAL.
+                log.commit()
             traced = worker.traced
             worker.buffer = []
             worker.traced = []
@@ -1287,9 +1755,23 @@ class ShardedStreamEngine:
                     )
             self._fold_feed(worker, records)
             return
+        # The base journal sequence travels with the batch: the worker
+        # advances its dedup cursor by it, so redelivery after a
+        # router recovery can never double-apply.  A revive inside the
+        # retry loop below does not move ``next_seq`` (replay stops
+        # exactly there), so the base stays valid across attempts.
+        base = (
+            worker.log.next_seq
+            if journal and worker.log is not None
+            else None
+        )
         payload: Any = records
-        if traced:
-            payload = {"r": records, "t": traced}
+        if traced or base is not None:
+            payload = {"r": records}
+            if traced:
+                payload["t"] = traced
+            if base is not None:
+                payload["q"] = base
         attempts = 0
         while True:
             failed = None
@@ -1387,7 +1869,14 @@ class ShardedStreamEngine:
             )
 
     def flush(self) -> None:
-        """Push every buffered event down to its worker."""
+        """Push every buffered event down to its worker.
+
+        With a router log attached this is also the durability ack:
+        everything staged in the WAL is committed even when no worker
+        buffer holds it (events of non-sharded types, for instance).
+        """
+        if self._router_log is not None:
+            self._router_log.commit()
         for worker in self._workers:
             self._flush_worker(worker)
 
@@ -1833,6 +2322,8 @@ class ShardedStreamEngine:
             "local": self._local.inspect(),
             "workers": workers,
             "supervised": self._supervise,
+            "transport": self._transport.describe(),
+            "router_journal": self._router_log is not None,
             "degraded_shards": sorted(self.degraded_shards),
             "shed_events": self.shed_events,
             "shard_health": self.shard_health(),

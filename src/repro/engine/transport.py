@@ -1,0 +1,580 @@
+"""Pluggable shard transport: how the router reaches its workers.
+
+:class:`~repro.engine.sharded.ShardedStreamEngine` talks to every
+worker over two duplex channels — a **data** channel (batches, collect,
+seed, checkpoint, ops snapshots) and a **control** channel (heartbeat
+pings, fault injection). Until this module existed the two channels
+were hard-wired to ``multiprocessing.Pipe``, which caps the engine at
+one box. The transport abstraction keeps the router/worker protocol
+byte-for-byte identical and swaps only the plumbing underneath:
+
+* :class:`PipeTransport` — today's behavior and the default: fork one
+  worker process per shard, connected by two OS pipes. Zero copies of
+  anything over a network, lowest latency, single-host only.
+* :class:`SocketTransport` — length-prefixed framed TCP. Each worker is
+  a ``python -m repro.shard_worker --listen HOST:PORT`` process that
+  may live on another host; with no addresses given the transport
+  spawns localhost listeners itself (same process tree as the pipe
+  transport, useful for parity testing and ``--transport tcp``).
+  Connects and revive-reconnects use **bounded retry with exponential
+  backoff and seeded jitter** (the same discipline as the PR 5 sink
+  retry), and every retry is counted per shard in
+  ``transport_reconnect_retries_total``.
+
+Channel contract (both transports satisfy it):
+
+``send(obj)`` / ``recv()``
+    One picklable message per call; ``recv`` raises ``EOFError`` when
+    the peer is gone, ``OSError`` on a broken channel.
+``poll(timeout)``
+    True when a ``recv`` would not block (including at EOF, so the
+    caller observes the ``EOFError`` instead of hanging).
+``fileno()``
+    A selectable file descriptor — the router's writability guard
+    (``select`` before ``send``) and the worker's two-channel
+    multiplexer both rely on it.
+``close()``
+    Idempotent teardown.
+
+Because a framed TCP channel keeps a user-space read buffer, a
+complete frame may be buffered while the descriptor itself is not
+readable — :func:`wait_readable` is the buffer-aware replacement for
+``multiprocessing.connection.wait`` used by the worker loop.
+
+Security: frames are pickles. The socket transport is built for
+trusted networks (the same trust model as ``multiprocessing``'s own
+``Listener``/``Client``); the hello handshake carries a shared token
+(``REPRO_TRANSPORT_TOKEN``) that listening workers verify, which keeps
+out accidental cross-talk but is not a substitute for network-level
+isolation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import random
+import select
+import socket
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import TransportError
+from repro.obs.logging import get_logger
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
+_log = get_logger("transport")
+
+TRANSPORTS = ("pipe", "tcp")
+
+#: Frame header: one big-endian u32 payload length.
+_HEADER = struct.Struct(">I")
+#: Refuse absurd frames instead of allocating gigabytes on a bad peer.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+_RECV_CHUNK = 65536
+
+
+def transport_token() -> str:
+    """The shared hello token (empty string disables the check)."""
+    return os.environ.get("REPRO_TRANSPORT_TOKEN", "")
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)``; host defaults to localhost."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise TransportError(
+            f"expected HOST:PORT, got {text!r} (e.g. 127.0.0.1:9200)"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
+class FramedChannel:
+    """One duplex message channel over a connected TCP socket.
+
+    Messages are ``<u32 length><pickle>`` frames. The channel keeps its
+    own read buffer, so :meth:`poll` reports a buffered complete frame
+    as ready even when the descriptor is quiet — callers multiplexing
+    channels must use :func:`wait_readable`, not a raw ``select``.
+    """
+
+    __slots__ = ("_sock", "_rbuf", "_eof")
+
+    def __init__(self, sock: socket.socket):
+        sock.setblocking(True)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - not every family has it
+            pass
+        self._sock = sock
+        self._rbuf = bytearray()
+        self._eof = False
+
+    # ----- framing ---------------------------------------------------------
+
+    def _buffered_frame_len(self) -> int | None:
+        """Length of a complete buffered frame, else None."""
+        if len(self._rbuf) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack_from(self._rbuf)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"frame of {length} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit"
+            )
+        if len(self._rbuf) < _HEADER.size + length:
+            return None
+        return length
+
+    @property
+    def buffered(self) -> bool:
+        """True when a complete frame is already in the read buffer."""
+        return self._buffered_frame_len() is not None
+
+    # ----- channel contract ------------------------------------------------
+
+    def send(self, obj: Any) -> None:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._sock.sendall(_HEADER.pack(len(data)) + data)
+
+    def recv(self) -> Any:
+        while True:
+            length = self._buffered_frame_len()
+            if length is not None:
+                break
+            if self._eof:
+                raise EOFError("peer closed the framed channel")
+            chunk = self._sock.recv(_RECV_CHUNK)
+            if not chunk:
+                self._eof = True
+                raise EOFError("peer closed the framed channel")
+            self._rbuf += chunk
+        start = _HEADER.size
+        payload = bytes(self._rbuf[start:start + length])
+        del self._rbuf[:start + length]
+        return pickle.loads(payload)
+
+    def poll(self, timeout: float | None = 0.0) -> bool:
+        deadline = (
+            None if timeout is None else time.monotonic() + max(0.0, timeout)
+        )
+        while True:
+            if self.buffered or self._eof:
+                return True
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining < 0:
+                    return False
+            try:
+                ready = select.select([self._sock], [], [], remaining)[0]
+            except (OSError, ValueError):
+                self._eof = True  # closed under us: recv will raise
+                return True
+            if not ready:
+                return False
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except OSError:
+                self._eof = True
+                return True
+            if not chunk:
+                self._eof = True
+                return True
+            self._rbuf += chunk
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - double close is fine
+            pass
+
+
+def wait_readable(
+    channels: Sequence[Any], timeout: float | None = None
+) -> list[Any]:
+    """Buffer-aware multi-channel wait.
+
+    Returns the channels with a message ready: either a complete frame
+    sitting in a :class:`FramedChannel` buffer, or a readable
+    descriptor (pipe connections have no user-space buffer, so the
+    descriptor is the whole truth for them). Blocks up to ``timeout``
+    (None = forever); an empty list means the timeout elapsed.
+    """
+    ready = [
+        chan for chan in channels if getattr(chan, "buffered", False)
+    ]
+    if ready:
+        return ready
+    try:
+        from multiprocessing.connection import wait as _mp_wait
+
+        return list(_mp_wait(channels, timeout))
+    except OSError:
+        return []
+
+
+# ----- endpoints ------------------------------------------------------------
+
+
+@dataclass
+class WorkerEndpoint:
+    """What a transport hands the router for one live worker."""
+
+    conn: Any
+    control: Any
+    #: The locally spawned process, or None for a remote worker.
+    process: Any = None
+    #: Remote address, when there is one (diagnostics only).
+    address: tuple[str, int] | None = None
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker needs to build its engine, transport-agnostic.
+
+    Queries travel as **text** (``str(query)`` round-trips through the
+    parser — the same property engine checkpoints already rely on), so
+    the exact same configure document works over a pipe to a forked
+    child and over TCP to a worker on another host.
+    """
+
+    specs: list[tuple[str, str]] = field(default_factory=list)
+    vectorized: bool = False
+    obs: dict[str, Any] = field(default_factory=dict)
+    #: Self-terminate after this many seconds without any router
+    #: traffic (heartbeats included); None disables the guard.
+    orphan_timeout_s: float | None = None
+
+
+class ShardTransport:
+    """Factory for worker endpoints; one per sharded engine."""
+
+    def bind(self, config: WorkerConfig) -> None:
+        """Fix the worker configuration before the first ``open``."""
+        self._config = config
+
+    @property
+    def config(self) -> WorkerConfig:
+        config = getattr(self, "_config", None)
+        if config is None:
+            raise TransportError("transport used before bind()")
+        return config
+
+    def open(self, index: int) -> WorkerEndpoint:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport-wide resources (endpoints are closed by
+        the engine's per-worker teardown)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class PipeTransport(ShardTransport):
+    """Fork-per-shard over two OS pipes — the classic local transport."""
+
+    def __init__(self, ctx: Any = None, start_method: str | None = None):
+        if ctx is None:
+            if start_method is None:
+                methods = mp.get_all_start_methods()
+                start_method = (
+                    "fork" if "fork" in methods else methods[0]
+                )
+            ctx = mp.get_context(start_method)
+        self._ctx = ctx
+
+    def open(self, index: int) -> WorkerEndpoint:
+        from repro.engine.sharded import _shard_worker
+
+        config = self.config
+        data_parent, data_child = self._ctx.Pipe(duplex=True)
+        ctl_parent, ctl_child = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(
+                data_child,
+                ctl_child,
+                config.specs,
+                config.vectorized,
+                index,
+                config.obs,
+                config.orphan_timeout_s,
+            ),
+            daemon=True,
+        )
+        process.start()
+        data_child.close()
+        ctl_child.close()
+        return WorkerEndpoint(
+            conn=data_parent, control=ctl_parent, process=process
+        )
+
+    def describe(self) -> str:
+        return "pipe"
+
+
+def connect_with_backoff(
+    address: tuple[str, int],
+    attempts: int = 8,
+    backoff_s: float = 0.05,
+    max_delay_s: float = 2.0,
+    connect_timeout_s: float = 5.0,
+    on_retry: Callable[[], None] | None = None,
+    rng: random.Random | None = None,
+) -> socket.socket:
+    """TCP connect with bounded retry, exponential backoff and jitter.
+
+    The jitter factor is drawn from a ``random.Random`` seeded from
+    ``REPRO_FAULT_SEED`` (like the sink-retry helper), so chaos runs
+    replay their reconnect timing deterministically. Raises
+    :class:`~repro.errors.TransportError` once the budget is spent.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    if rng is None:
+        try:
+            seed = int(os.environ.get("REPRO_FAULT_SEED", "0") or 0)
+        except ValueError:
+            seed = 0
+        rng = random.Random(seed ^ hash(address) & 0xFFFFFFFF)
+    last: Exception | None = None
+    for attempt in range(attempts):
+        try:
+            return socket.create_connection(
+                address, timeout=connect_timeout_s
+            )
+        except OSError as error:
+            last = error
+        if on_retry is not None:
+            on_retry()
+        if attempt + 1 < attempts:
+            delay = min(max_delay_s, backoff_s * (2 ** attempt))
+            # Jitter in [0.5, 1.5): de-synchronizes a fleet of routers
+            # reconnecting to the same revived worker.
+            time.sleep(delay * (0.5 + rng.random()))
+    raise TransportError(
+        f"could not connect to worker at {address[0]}:{address[1]} "
+        f"after {attempts} attempts ({last!r})"
+    )
+
+
+class SocketTransport(ShardTransport):
+    """Length-prefixed framed TCP to workers that may live anywhere.
+
+    Two modes:
+
+    * ``addresses`` given — one ``HOST:PORT`` per shard, each a running
+      ``python -m repro.shard_worker --listen`` process. The transport
+      connects (with backoff) and ships the configure document; a
+      revive re-connects to the same listener, whose serve loop accepts
+      a fresh session and rebuilds its engine from the router's seed.
+      ``open`` returns no process handle — the worker's lifetime is
+      not ours to manage.
+    * no addresses — the transport **spawns** one localhost listener
+      process per shard (the listening socket is bound and put in
+      listen state in the router first, so the connect can never race
+      the child's accept). Same wire protocol, same process-tree
+      semantics as the pipe transport — this is what ``--transport
+      tcp`` without worker addresses does, and what the parity suite
+      pins against the pipe transport.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[str | tuple[str, int]] | None = None,
+        host: str = "127.0.0.1",
+        connect_attempts: int = 8,
+        connect_backoff_s: float = 0.05,
+        handshake_timeout_s: float = 10.0,
+        registry: MetricsRegistry | None = None,
+        ctx: Any = None,
+    ):
+        self._addresses: list[tuple[str, int]] | None = None
+        if addresses is not None:
+            self._addresses = [
+                parse_hostport(a) if isinstance(a, str) else (a[0], int(a[1]))
+                for a in addresses
+            ]
+        self._host = host
+        self._connect_attempts = connect_attempts
+        self._connect_backoff_s = connect_backoff_s
+        self._handshake_timeout_s = handshake_timeout_s
+        registry = resolve_registry(registry)
+        self._registry = registry
+        if ctx is None:
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+        self._ctx = ctx
+        self._m_connects: dict[int, Any] = {}
+        self._m_retries: dict[int, Any] = {}
+
+    def _counters(self, index: int) -> tuple[Any, Any]:
+        if index not in self._m_connects:
+            self._m_connects[index] = self._registry.counter(
+                "transport_connects_total",
+                "worker channel connections established by the transport",
+                shard=str(index),
+            )
+            self._m_retries[index] = self._registry.counter(
+                "transport_reconnect_retries_total",
+                "worker connect attempts that failed and were retried",
+                shard=str(index),
+            )
+        return self._m_connects[index], self._m_retries[index]
+
+    def open(self, index: int) -> WorkerEndpoint:
+        if self._addresses is not None:
+            if index >= len(self._addresses):
+                raise TransportError(
+                    f"shard {index} has no worker address (got "
+                    f"{len(self._addresses)} for more shards)"
+                )
+            return self._connect(index, self._addresses[index], None)
+        return self._spawn(index)
+
+    def _spawn(self, index: int) -> WorkerEndpoint:
+        from repro.shard_worker import serve_socket
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+            )
+            listener.bind((self._host, 0))
+            listener.listen(4)
+            address = listener.getsockname()
+            process = self._ctx.Process(
+                target=serve_socket,
+                args=(listener,),
+                kwargs={
+                    "orphan_timeout_s": self.config.orphan_timeout_s,
+                },
+                daemon=True,
+            )
+            process.start()
+        finally:
+            listener.close()
+        return self._connect(index, address, process)
+
+    def _connect(
+        self,
+        index: int,
+        address: tuple[str, int],
+        process: Any,
+    ) -> WorkerEndpoint:
+        m_connects, m_retries = self._counters(index)
+        config = self.config
+        token = transport_token()
+        channels: list[FramedChannel] = []
+        try:
+            for role in ("data", "control"):
+                sock = connect_with_backoff(
+                    address,
+                    attempts=self._connect_attempts,
+                    backoff_s=self._connect_backoff_s,
+                    on_retry=m_retries.inc,
+                )
+                channel = FramedChannel(sock)
+                channel.send(
+                    ("hello", {"role": role, "shard": index,
+                               "token": token})
+                )
+                channels.append(channel)
+            data, control = channels
+            data.send(
+                (
+                    "configure",
+                    {
+                        "specs": config.specs,
+                        "vectorized": config.vectorized,
+                        "index": index,
+                        "obs": config.obs,
+                        "orphan_timeout_s": config.orphan_timeout_s,
+                    },
+                )
+            )
+            if not data.poll(self._handshake_timeout_s):
+                raise TransportError(
+                    f"worker at {address[0]}:{address[1]} did not "
+                    f"acknowledge configure within "
+                    f"{self._handshake_timeout_s}s"
+                )
+            status, detail = data.recv()
+            if status != "ok":
+                raise TransportError(
+                    f"worker at {address[0]}:{address[1]} rejected "
+                    f"configure: {detail}"
+                )
+        except (TransportError, OSError, EOFError) as error:
+            for channel in channels:
+                channel.close()
+            if process is not None:
+                try:
+                    process.terminate()
+                    process.join(1.0)
+                except (OSError, ValueError):
+                    pass
+            if isinstance(error, TransportError):
+                raise
+            raise TransportError(
+                f"handshake with worker at {address[0]}:{address[1]} "
+                f"failed: {error!r}"
+            ) from error
+        m_connects.inc()
+        _log.info(
+            "worker_connected",
+            message=(
+                f"shard {index} connected over tcp at "
+                f"{address[0]}:{address[1]}"
+            ),
+            shard=index,
+            host=address[0],
+            port=address[1],
+        )
+        return WorkerEndpoint(
+            conn=data, control=control, process=process, address=address
+        )
+
+    def describe(self) -> str:
+        if self._addresses is not None:
+            return "tcp:" + ",".join(
+                f"{host}:{port}" for host, port in self._addresses
+            )
+        return "tcp"
+
+
+def build_transport(
+    transport: str | ShardTransport | None,
+    ctx: Any = None,
+    worker_addresses: Sequence[str] | None = None,
+    registry: MetricsRegistry | None = None,
+) -> ShardTransport:
+    """Resolve the engine's ``transport=`` argument to an instance."""
+    if isinstance(transport, ShardTransport):
+        return transport
+    kind = transport or ("tcp" if worker_addresses else "pipe")
+    if kind == "pipe":
+        if worker_addresses:
+            raise TransportError(
+                "worker addresses require the tcp transport"
+            )
+        return PipeTransport(ctx=ctx)
+    if kind in ("tcp", "socket"):
+        return SocketTransport(
+            addresses=worker_addresses or None,
+            registry=registry,
+            ctx=ctx,
+        )
+    raise TransportError(
+        f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+    )

@@ -76,3 +76,13 @@ class JournalError(ReproError):
 class OverloadError(EngineError):
     """A bounded queue (dead-letter queue, journal backlog) overflowed
     under the ``raise`` overload policy."""
+
+
+class TransportError(EngineError):
+    """A shard transport could not connect, frame, or deliver.
+
+    Raised by the networked shard transport when a worker endpoint
+    cannot be reached within its bounded retry budget, or when a framed
+    message violates the wire protocol. Pipe-transport failures keep
+    raising the OS-level errors they always did; this class only covers
+    the transport layer itself."""

@@ -9,7 +9,9 @@ checkpoint-plus-replay (:mod:`~repro.resilience.recovery`),
 per-registration failure isolation with a dead-letter queue and
 quarantine (:mod:`~repro.resilience.supervisor`), process-level shard
 supervision — heartbeats, per-shard journals, exact worker revive —
-(:mod:`~repro.resilience.shard_supervisor`), and the seeded fault
+(:mod:`~repro.resilience.shard_supervisor`), router durability —
+partitioned ingest-lane WAL and exact router recovery —
+(:mod:`~repro.resilience.router_recovery`), and the seeded fault
 injection the chaos tests drive it all with
 (:mod:`~repro.resilience.faults`).
 """
@@ -43,6 +45,11 @@ from repro.resilience.journal import (
     read_journal,
 )
 from repro.resilience.recovery import recover
+from repro.resilience.router_recovery import (
+    RouterLog,
+    discover_lanes,
+    recover_router,
+)
 from repro.resilience.shard_supervisor import (
     DiskShardLog,
     HeartbeatSupervisor,
@@ -68,11 +75,13 @@ __all__ = [
     "HeartbeatSupervisor",
     "InjectedFault",
     "MemoryShardLog",
+    "RouterLog",
     "ShardHealth",
     "ShardKill",
     "SupervisedStreamEngine",
     "corrupt_checkpoint",
     "corrupt_latest_checkpoint",
+    "discover_lanes",
     "engine_state",
     "fault_seed",
     "hang_shard_pipe",
@@ -85,6 +94,7 @@ __all__ = [
     "prune_segments",
     "read_journal",
     "recover",
+    "recover_router",
     "stall_shard",
     "tear_journal_tail",
     "write_checkpoint",

@@ -77,6 +77,15 @@ class MemoryShardLog:
         start = max(0, start_seq - self._base)
         yield from list(self._records[start:])
 
+    def replay_seqs(
+        self, start_seq: int = 0
+    ) -> Iterator[tuple[int, ShardRecord]]:
+        """Replay with each record's journal sequence (dedup tags)."""
+        start = max(0, start_seq - self._base)
+        base = self._base
+        for offset, record in enumerate(list(self._records[start:])):
+            yield (base + start + offset, record)
+
     def truncate_to(self, seq: int) -> None:
         """Forget records with sequence below ``seq``."""
         drop = min(len(self._records), max(0, seq - self._base))
@@ -125,6 +134,14 @@ class DiskShardLog:
         self._journal.flush()
         for _, event in read_journal(self.directory, start_seq=start_seq):
             yield (event.event_type, event.ts, event.attrs or None)
+
+    def replay_seqs(
+        self, start_seq: int = 0
+    ) -> Iterator[tuple[int, ShardRecord]]:
+        """Replay with each record's journal sequence (dedup tags)."""
+        self._journal.flush()
+        for seq, event in read_journal(self.directory, start_seq=start_seq):
+            yield (seq, (event.event_type, event.ts, event.attrs or None))
 
     def truncate_to(self, seq: int) -> None:
         prune_segments(self.directory, seq)

@@ -1,0 +1,301 @@
+"""Standalone networked shard worker: ``python -m repro.shard_worker``.
+
+One process, one listener, one shard at a time. The router's
+``SocketTransport`` connects two framed-TCP channels (data + control),
+ships a configure document — query *texts*, vectorized flag, obs
+config, orphan budget — and from then on speaks exactly the same wire
+protocol as a forked pipe worker: the session runs
+:func:`repro.engine.sharded._worker_loop` unchanged.
+
+Lifecycle:
+
+* a **session** is one (data, control) channel pair plus a fresh
+  engine built from its configure document. When the session ends with
+  ``"eof"`` (router died or is reconnecting) or ``"stop"`` (router
+  shut down / is about to re-seed), the worker loops back to accept —
+  a revive on the router side is just a reconnect here, and the
+  router re-seeds state through the normal ``seed`` + journal-replay
+  protocol;
+* **orphan protection**: the listener itself times out after the
+  orphan budget with no inbound connection, and inside a session the
+  worker loop exits after the same budget of total silence — either
+  way the process ends instead of lingering as a zombie. A worker
+  spawned by a local ``SocketTransport`` additionally exits as soon
+  as its parent process disappears (re-parenting check), so a
+  SIGKILL'd router leaks nothing even before the timeout;
+* ``--serve-once`` exits after the first session (CI smoke runs).
+
+Security note: the wire format is pickle over a trusted network, the
+same trust model as ``multiprocessing``'s own listeners. The hello
+token (``REPRO_TRANSPORT_TOKEN`` on both sides) rejects accidental
+cross-talk, not adversaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+from typing import Any
+
+from repro.engine.sharded import (
+    _build_worker_engine,
+    _worker_loop,
+    _worker_obs_setup,
+)
+from repro.engine.transport import (
+    FramedChannel,
+    parse_hostport,
+    transport_token,
+)
+from repro.obs.logging import get_logger
+
+_log = get_logger("shard_worker")
+
+#: How long ``accept`` blocks per wait before re-checking the orphan
+#: conditions (parent death, budget exhaustion).
+_ACCEPT_TICK_S = 1.0
+
+
+def _read_hello(channel: FramedChannel, timeout_s: float = 10.0) -> dict:
+    """One hello frame, validated; raises ValueError on a bad peer."""
+    if not channel.poll(timeout_s):
+        raise ValueError("no hello frame before the handshake timeout")
+    message = channel.recv()
+    if (
+        not isinstance(message, tuple)
+        or len(message) != 2
+        or message[0] != "hello"
+        or not isinstance(message[1], dict)
+    ):
+        raise ValueError(f"expected a hello frame, got {message!r}")
+    hello = message[1]
+    expected = transport_token()
+    if expected and hello.get("token") != expected:
+        raise ValueError("hello token mismatch")
+    if hello.get("role") not in ("data", "control"):
+        raise ValueError(f"unknown hello role {hello.get('role')!r}")
+    return hello
+
+
+def _accept_pair(
+    listener: socket.socket,
+    deadline_budget_s: float | None,
+    parent_pid: int | None,
+) -> tuple[FramedChannel, FramedChannel] | None:
+    """Accept connections until one data + one control channel pair up.
+
+    Returns ``None`` when the worker should exit instead: the orphan
+    budget elapsed with no inbound connection, or the spawning parent
+    process is gone (its pid was re-parented away).
+    """
+    import time
+
+    channels: dict[str, FramedChannel] = {}
+    deadline = (
+        time.monotonic() + deadline_budget_s
+        if deadline_budget_s
+        else None
+    )
+    listener.settimeout(_ACCEPT_TICK_S)
+    try:
+        while "data" not in channels or "control" not in channels:
+            if parent_pid is not None and os.getppid() != parent_pid:
+                return None  # spawning router is gone
+            if deadline is not None and time.monotonic() >= deadline:
+                return None  # orphan: nobody connected in the budget
+            try:
+                sock, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return None
+            channel = FramedChannel(sock)
+            try:
+                hello = _read_hello(channel)
+            except (ValueError, EOFError, OSError) as error:
+                _log.warning(
+                    "bad_hello",
+                    message=f"rejected a connection: {error}",
+                )
+                channel.close()
+                continue
+            role = hello["role"]
+            stale = channels.pop(role, None)
+            if stale is not None:
+                stale.close()
+            channels[role] = channel
+            # Both channels must belong to the same router attempt;
+            # a fresh pair supersedes a half-open stale one, so reset
+            # the patience window.
+            deadline = (
+                time.monotonic() + deadline_budget_s
+                if deadline_budget_s
+                else None
+            )
+    finally:
+        listener.settimeout(None)
+    return channels["data"], channels["control"]
+
+
+def _run_session(
+    data: FramedChannel,
+    control: FramedChannel,
+    default_orphan_timeout_s: float | None,
+) -> str:
+    """One configure → worker-loop session; returns the loop's verdict
+    (``"stop"`` / ``"eof"`` / ``"orphan"``) or ``"reject"`` when the
+    configure document never arrived or failed to build an engine."""
+    try:
+        if not data.poll(10.0):
+            return "reject"
+        message = data.recv()
+    except (EOFError, OSError):
+        return "reject"
+    if (
+        not isinstance(message, tuple)
+        or len(message) != 2
+        or message[0] != "configure"
+        or not isinstance(message[1], dict)
+    ):
+        return "reject"
+    config: dict[str, Any] = message[1]
+    index = int(config.get("index", 0))
+    orphan_timeout_s = config.get("orphan_timeout_s")
+    if orphan_timeout_s is None:
+        orphan_timeout_s = default_orphan_timeout_s
+    obs = config.get("obs") or {}
+    registry, tracer, profiler = _worker_obs_setup(obs)
+    try:
+        engine, executors = _build_worker_engine(
+            list(config.get("specs") or []),
+            bool(config.get("vectorized")),
+            index,
+            registry,
+            tracer,
+        )
+    except Exception as error:
+        if profiler is not None:
+            profiler.stop()
+        try:
+            data.send(("error", f"{type(error).__name__}: {error}"))
+        except OSError:
+            pass
+        return "reject"
+    try:
+        data.send(("ok", {"pid": os.getpid()}))
+    except OSError:
+        if profiler is not None:
+            profiler.stop()
+        return "eof"
+    try:
+        return _worker_loop(
+            data, control, engine, executors, registry, tracer,
+            profiler, index=index, orphan_timeout_s=orphan_timeout_s,
+        )
+    finally:
+        if profiler is not None:
+            profiler.stop()
+
+
+def serve_socket(
+    listener: socket.socket,
+    orphan_timeout_s: float | None = None,
+    serve_once: bool = False,
+    spawned: bool = True,
+) -> None:
+    """Serve worker sessions on an already-listening socket.
+
+    This is both the ``SocketTransport`` local-spawn process target
+    (``spawned=True``: the worker also dies when its parent process
+    does) and the body of the CLI entrypoint (``spawned=False``: only
+    the orphan budget and transport EOF end it).
+    """
+    parent_pid = os.getppid() if spawned else None
+    with listener:
+        while True:
+            pair = _accept_pair(listener, orphan_timeout_s, parent_pid)
+            if pair is None:
+                _log.info(
+                    "worker_orphaned",
+                    message=(
+                        "no router within the orphan budget; exiting"
+                    ),
+                )
+                return
+            data, control = pair
+            try:
+                reason = _run_session(data, control, orphan_timeout_s)
+            finally:
+                data.close()
+                control.close()
+            if reason == "orphan":
+                _log.info(
+                    "worker_orphaned",
+                    message=(
+                        "router went silent past the orphan budget; "
+                        "exiting"
+                    ),
+                )
+                return
+            if serve_once and reason != "reject":
+                return
+            if (
+                spawned
+                and parent_pid is not None
+                and os.getppid() != parent_pid
+            ):
+                return  # session ended and the router process is gone
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shard_worker",
+        description=(
+            "Networked shard worker for ShardedStreamEngine's tcp "
+            "transport: listens for a router, then executes one "
+            "hash-partition of the stream."
+        ),
+    )
+    parser.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--orphan-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "exit after this many seconds without any router traffic "
+            "(default: wait forever)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-once",
+        action="store_true",
+        help="exit after the first completed session",
+    )
+    args = parser.parse_args(argv)
+    host, port = parse_hostport(args.listen)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(4)
+    bound = listener.getsockname()
+    # The chosen port on stdout lets scripts use --listen HOST:0.
+    print(f"listening on {bound[0]}:{bound[1]}", flush=True)
+    serve_socket(
+        listener,
+        orphan_timeout_s=args.orphan_timeout,
+        serve_once=args.serve_once,
+        spawned=False,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

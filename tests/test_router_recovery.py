@@ -1,0 +1,482 @@
+"""Differential kill-the-ROUTER suite: exact recovery of the whole
+sharded engine after the coordinating process itself dies.
+
+The contract under test closes the last single point of failure: with
+a router WAL attached (ingest lanes + periodic router checkpoints) and
+durable shard journals, SIGKILLing the *router* mid-stream and calling
+``recover_router`` resumes the run bit-identically — the recovered
+engine finishes the stream and its merged results equal an
+uninterrupted single-process reference. Workers are reconciled from
+their own checkpoints + journals; the lane WAL suffix replays with
+per-shard count-skip; anything conservatively redelivered is dropped
+by the workers' dedup cursors.
+
+The WAL is group-committed: ``append`` stages in memory and the engine
+commits ahead of every batch send, so a router death can lose records
+staged after the last send — records that provably reached no shard or
+sink. The recovered engine's ``metrics.events`` is therefore the
+resume position (the source continues from that offset), and
+``flush()`` is the explicit durability ack that pins it exactly.
+
+Crashes are simulated two ways: in-process (stop the monitor, SIGKILL
+every worker, abandon the engine without close/flush — exactly the
+state a dead router leaves behind) and once for real (a subprocess
+router SIGKILLed from outside). Everything is seeded through
+``REPRO_FAULT_SEED``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from conftest import random_events
+from repro.engine.engine import StreamEngine
+from repro.engine.sharded import ShardedStreamEngine
+from repro.errors import CheckpointError, EngineError, JournalError
+from repro.events.event import Event
+from repro.query import parse_query
+from repro.resilience.faults import FaultPlan, fault_seed
+from repro.resilience.router_recovery import (
+    RouterLog,
+    discover_lanes,
+    recover_router,
+)
+
+SEEDS = [fault_seed(0) * 101 + offset for offset in (0, 1, 2)]
+
+QUERIES = {
+    "count": "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms GROUP BY g",
+    "sum": "PATTERN SEQ(A, B) AGG SUM(B.v) WITHIN 40 ms GROUP BY g",
+    "avg": "PATTERN SEQ(A, B) AGG AVG(B.v) WITHIN 40 ms GROUP BY g",
+    "max": "PATTERN SEQ(A, B) AGG MAX(B.v) WITHIN 40 ms GROUP BY g",
+    "min": "PATTERN SEQ(A, B) AGG MIN(B.v) WITHIN 40 ms GROUP BY g",
+    "neg": "PATTERN SEQ(A, !C, B) AGG COUNT WITHIN 40 ms GROUP BY g",
+}
+
+ENGINE_SETTINGS = dict(
+    batch_size=32,
+    heartbeat_interval_s=0.05,
+    heartbeat_max_missed=2,
+    checkpoint_every_batches=4,
+)
+
+
+def _attrs(rng, _event_type):
+    return {"g": rng.randrange(16), "v": rng.randrange(1000)}
+
+
+def _stream(plan: FaultPlan, count: int):
+    return random_events(plan.rng, "ABC", count, attr_maker=_attrs)
+
+
+def _reference(events) -> dict:
+    engine = StreamEngine()
+    for name, text in QUERIES.items():
+        engine.register(parse_query(text), name=name)
+    for event in events:
+        engine.process(event)
+    engine.advance_clock(events[-1].ts)
+    return engine.results()
+
+
+def _journaled(tmp_path, shards, lanes=2, checkpoint_every=150,
+               **overrides) -> ShardedStreamEngine:
+    settings = dict(
+        ENGINE_SETTINGS,
+        shards=shards,
+        journal_dir=tmp_path / "shards",
+        router_checkpoint_every=checkpoint_every,
+    )
+    settings.update(overrides)
+    engine = ShardedStreamEngine(**settings)
+    for name, text in QUERIES.items():
+        engine.register(parse_query(text), name=name)
+    engine.attach_router_log(RouterLog(tmp_path, lanes=lanes))
+    return engine
+
+
+def _crash_router(engine: ShardedStreamEngine) -> None:
+    """Leave behind exactly what a SIGKILL'd router leaves: dead
+    workers, un-closed journals, no flush, no checkpoint — records
+    staged in the WAL since the last group commit are lost, just as a
+    real SIGKILL would lose them."""
+    monitor = engine._monitor
+    if monitor is not None:
+        # A heartbeat round already in flight must not respawn the
+        # workers we are about to kill (stop() joins with a timeout).
+        monitor._revive = lambda shard, reason: None
+        monitor.stop()
+        engine._monitor = None
+    for worker in engine._workers:
+        process = worker.process
+        if process is not None and process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+    for worker in engine._workers:
+        if worker.process is not None:
+            worker.process.join(timeout=10)
+    engine._closed = True  # the crashed instance is never reused
+
+
+def _recover(tmp_path, **overrides) -> ShardedStreamEngine:
+    settings = dict(ENGINE_SETTINGS)
+    settings.update(overrides)
+    settings.pop("journal_dir", None)
+    return recover_router(tmp_path, **settings)
+
+
+# ----- the differential matrix ----------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards", [2, 3, 4])
+def test_router_sigkill_mid_stream_is_exact(tmp_path, seed, shards):
+    """Kill the router at a seeded offset; recover; finish the stream;
+    merged results stay bit-identical to the reference — across every
+    aggregate shape, negation, and GROUP BY at once."""
+    plan = FaultPlan(seed)
+    events = _stream(plan, 900)
+    expected = _reference(events)
+    crash_at = plan.crash_point(len(events))
+    engine = _journaled(tmp_path, shards)
+    for event in events[:crash_at]:
+        engine.process(event)
+    _crash_router(engine)
+    recovered = _recover(tmp_path)
+    try:
+        # The resume position trails the crash point by at most the
+        # records staged since the last group commit (none of which
+        # were ever delivered); the source resumes from it.
+        resume = recovered.metrics.events
+        assert crash_at - 32 * (shards + 1) <= resume <= crash_at
+        for event in events[resume:]:
+            recovered.process(event)
+        assert recovered.results() == expected
+    finally:
+        recovered.close()
+
+
+@pytest.mark.parametrize("lanes", [1, 3])
+def test_recovery_is_exact_for_any_lane_count(tmp_path, lanes):
+    plan = FaultPlan(SEEDS[0])
+    events = _stream(plan, 700)
+    expected = _reference(events)
+    engine = _journaled(tmp_path, 2, lanes=lanes)
+    for event in events[:450]:
+        engine.process(event)
+    _crash_router(engine)
+    assert discover_lanes(tmp_path) == lanes
+    recovered = _recover(tmp_path)
+    try:
+        for event in events[recovered.metrics.events:]:
+            recovered.process(event)
+        assert recovered.results() == expected
+    finally:
+        recovered.close()
+
+
+def test_recovery_without_any_router_checkpoint(tmp_path):
+    """checkpoint cadence 0: nothing but the WAL survives. Recovery is
+    a from-scratch replay and still exact (queries re-supplied)."""
+    plan = FaultPlan(SEEDS[1])
+    events = _stream(plan, 500)
+    expected = _reference(events)
+    engine = _journaled(tmp_path, 2, checkpoint_every=0)
+    for event in events[:300]:
+        engine.process(event)
+    engine.flush()  # durability ack: all 300 events hit the WAL
+    _crash_router(engine)
+    queries = [parse_query(text, name=name)
+               for name, text in QUERIES.items()]
+    recovered = _recover(tmp_path, shards=2, queries=queries)
+    try:
+        assert recovered.events_replayed == 300
+        for event in events[300:]:
+            recovered.process(event)
+        assert recovered.results() == expected
+    finally:
+        recovered.close()
+
+
+def test_recover_twice_survives_a_second_crash(tmp_path):
+    """The recovered engine is immediately crash-safe again: the WAL
+    reattaches and a second SIGKILL recovers just as exactly."""
+    plan = FaultPlan(SEEDS[2])
+    events = _stream(plan, 900)
+    expected = _reference(events)
+    engine = _journaled(tmp_path, 3)
+    for event in events[:300]:
+        engine.process(event)
+    _crash_router(engine)
+    second = _recover(tmp_path, router_checkpoint_every=150)
+    for event in events[second.metrics.events:600]:
+        second.process(event)
+    _crash_router(second)
+    third = _recover(tmp_path, router_checkpoint_every=150)
+    try:
+        for event in events[third.metrics.events:]:
+            third.process(event)
+        assert third.results() == expected
+    finally:
+        third.close()
+
+
+def test_recovery_under_tcp_transport_is_exact(tmp_path):
+    """Transport parity under failure: the crashed run and the
+    recovered run both ride the socket transport."""
+    plan = FaultPlan(SEEDS[0])
+    events = _stream(plan, 700)
+    expected = _reference(events)
+    engine = _journaled(tmp_path, 2, transport="tcp")
+    for event in events[:400]:
+        engine.process(event)
+    _crash_router(engine)
+    recovered = _recover(tmp_path, transport="tcp")
+    try:
+        for event in events[recovered.metrics.events:]:
+            recovered.process(event)
+        assert recovered.results() == expected
+    finally:
+        recovered.close()
+
+
+def test_true_sigkill_of_router_process_is_exact(tmp_path):
+    """The real thing: a subprocess router SIGKILLed from outside at a
+    seeded crash point, recovered here, finishes the stream exactly."""
+    plan = FaultPlan(SEEDS[1])
+    events = _stream(plan, 800)
+    expected = _reference(events)
+    crash_at = plan.crash_point(len(events))
+    events_file = tmp_path / "events.pkl"
+    with open(events_file, "wb") as handle:
+        pickle.dump(
+            [(e.event_type, e.ts, e.attrs) for e in events[:crash_at]],
+            handle,
+        )
+    script = textwrap.dedent(
+        f"""
+        import pickle, sys
+        from repro.engine.sharded import ShardedStreamEngine
+        from repro.events.event import Event
+        from repro.query import parse_query
+        from repro.resilience.router_recovery import RouterLog
+
+        queries = {QUERIES!r}
+        engine = ShardedStreamEngine(
+            shards=2, batch_size=32, heartbeat_interval_s=0.05,
+            heartbeat_max_missed=2, checkpoint_every_batches=4,
+            journal_dir={str(tmp_path / "shards")!r},
+            router_checkpoint_every=150,
+        )
+        for name, text in queries.items():
+            engine.register(parse_query(text), name=name)
+        engine.attach_router_log(RouterLog({str(tmp_path)!r}, lanes=2))
+        with open({str(events_file)!r}, "rb") as handle:
+            records = pickle.load(handle)
+        for t, ts, attrs in records:
+            engine.process(Event(t, ts, attrs))
+        engine.flush()  # durability ack: the prefix is fully WAL'd
+        print("FED", flush=True)
+        sys.stdin.readline()  # hold until the test SIGKILLs us
+        """
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    router = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        assert router.stdout.readline().strip() == "FED"
+        os.kill(router.pid, signal.SIGKILL)
+        assert router.wait(timeout=30) == -signal.SIGKILL
+    finally:
+        if router.poll() is None:
+            router.kill()
+            router.wait(timeout=10)
+    recovered = _recover(tmp_path)
+    try:
+        # flush() acked the whole prefix, so recovery is position-exact.
+        assert recovered.metrics.events == crash_at
+        for event in events[crash_at:]:
+            recovered.process(event)
+        assert recovered.results() == expected
+    finally:
+        recovered.close()
+
+
+# ----- recovery bookkeeping -------------------------------------------------
+
+
+def test_checkpoint_bounds_replay(tmp_path):
+    """Replay length is bounded by the checkpoint cadence, not the
+    stream length — the point of periodic router checkpoints."""
+    plan = FaultPlan(SEEDS[0])
+    events = _stream(plan, 900)
+    engine = _journaled(tmp_path, 2, checkpoint_every=100)
+    for event in events:
+        engine.process(event)
+    _crash_router(engine)
+    recovered = _recover(tmp_path)
+    try:
+        assert recovered.events_replayed <= 100
+        # At most one checkpoint window is un-checkpointed, and at most
+        # one commit group of it was still staged when the router died.
+        assert len(events) - 100 <= recovered.metrics.events <= len(events)
+    finally:
+        recovered.close()
+
+
+def test_router_checkpoint_metric_and_inspect(tmp_path):
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    plan = FaultPlan(SEEDS[1])
+    events = _stream(plan, 400)
+    settings = dict(
+        ENGINE_SETTINGS,
+        shards=2,
+        journal_dir=tmp_path / "shards",
+        router_checkpoint_every=100,
+        registry=registry,
+    )
+    with ShardedStreamEngine(**settings) as engine:
+        for name, text in QUERIES.items():
+            engine.register(parse_query(text), name=name)
+        engine.attach_router_log(RouterLog(tmp_path, registry=registry))
+        for event in events:
+            engine.process(event)
+        engine.flush()  # commit the staged tail before reading counters
+        assert engine.inspect()["router_journal"] is True
+        assert registry.value("router_checkpoints_total") >= 3
+        assert registry.value("router_wal_appends_total") == len(events)
+
+
+def test_attach_router_log_guards(tmp_path):
+    plan = FaultPlan(SEEDS[2])
+    events = _stream(plan, 50)
+    # Supervised engines need durable shard journals for the WAL.
+    with ShardedStreamEngine(shards=2) as engine:
+        engine.register(parse_query(QUERIES["count"]), name="count")
+        with pytest.raises(EngineError):
+            engine.attach_router_log(RouterLog(tmp_path))
+    # Attaching after ingestion started is refused.
+    with ShardedStreamEngine(
+        shards=2, journal_dir=tmp_path / "shards"
+    ) as engine:
+        engine.register(parse_query(QUERIES["count"]), name="count")
+        for event in events:
+            engine.process(event)
+        with pytest.raises(EngineError):
+            engine.attach_router_log(RouterLog(tmp_path))
+
+
+def test_recover_router_refuses_mismatched_shards(tmp_path):
+    plan = FaultPlan(SEEDS[0])
+    events = _stream(plan, 300)
+    engine = _journaled(tmp_path, 2, checkpoint_every=100)
+    for event in events:
+        engine.process(event)
+    _crash_router(engine)
+    with pytest.raises(CheckpointError):
+        _recover(tmp_path, shards=3)
+
+
+def test_recover_router_requires_wal_or_queries(tmp_path):
+    with pytest.raises(CheckpointError):
+        recover_router(tmp_path / "empty")
+
+
+# ----- the RouterLog itself -------------------------------------------------
+
+
+def test_router_log_resumes_global_sequence(tmp_path):
+    log = RouterLog(tmp_path, lanes=2, shard_attribute="g")
+    for index in range(10):
+        assert log.append(Event("A", index, {"g": index})) == index
+    assert log.ingest_seq == 10
+    log.close()
+    reopened = RouterLog(tmp_path, lanes=2, shard_attribute="g")
+    assert reopened.ingest_seq == 10
+    assert reopened.append(Event("A", 10, {"g": 3})) == 10
+    reopened.close()
+
+
+def test_router_log_replay_merges_lanes_in_ingest_order(tmp_path):
+    log = RouterLog(tmp_path, lanes=3, shard_attribute="g")
+    originals = [
+        Event("A", index, {"g": index % 7, "v": index})
+        for index in range(60)
+    ]
+    for event in originals:
+        log.append(event)
+    replayed = list(log.replay())
+    assert [gseq for gseq, _ in replayed] == list(range(60))
+    assert [event.attrs for _, event in replayed] == [
+        event.attrs for event in originals
+    ]
+    log.close()
+
+
+def test_router_log_staged_records_need_a_commit(tmp_path):
+    """Group commit: ``append`` stages in memory; only ``commit`` (or
+    ``sync``/``close``) makes the records durable."""
+    log = RouterLog(tmp_path)
+    for index in range(5):
+        log.append(Event("A", index, None))
+    # Simulate a crash before any commit (close the journals without
+    # committing): reopen sees nothing, the five staged gseqs recycle.
+    log._journals[0].close()
+    log._commits.close()
+    reopened = RouterLog(tmp_path)
+    assert reopened.ingest_seq == 0
+    reopened.append(Event("A", 9, None))
+    reopened.sync()  # durability ack
+    reopened._journals[0].close()
+    reopened._commits.close()
+    durable = RouterLog(tmp_path)
+    assert durable.ingest_seq == 1
+    assert [gseq for gseq, _ in durable.replay()] == [0]
+    durable.close()
+
+
+def test_router_log_detects_cross_lane_gaps(tmp_path):
+    log = RouterLog(tmp_path, lanes=2, shard_attribute="g")
+    for index in range(40):
+        log.append(Event("A", index, {"g": index}))
+    log.close()
+    # Wipe one whole lane: the merged sequence now has holes.
+    lane_dir = tmp_path / "lane-01"
+    for segment in lane_dir.glob("journal-*.wal"):
+        segment.unlink()
+    broken = RouterLog(tmp_path, lanes=2, shard_attribute="g")
+    with pytest.raises(JournalError):
+        list(broken.replay())
+    broken.close()
+
+
+def test_router_log_checkpoint_prunes_lane_segments(tmp_path):
+    # Tiny segments, committed in small groups, so pruning has
+    # something to drop.
+    log = RouterLog(tmp_path, lanes=1, segment_bytes=2048)
+    for index in range(500):
+        log.append(Event("A", index, {"g": 1, "v": index}))
+        if index % 50 == 49:
+            log.sync()
+    lane_dir = tmp_path / "lane-00"
+    before = len(list(lane_dir.glob("journal-*.wal")))
+    assert before > 1
+    log.checkpoint({"version": 1, "journal_seq": log.ingest_seq,
+                    "registrations": [], "router": {}})
+    after = len(list(lane_dir.glob("journal-*.wal")))
+    assert after < before
+    log.close()

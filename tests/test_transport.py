@@ -1,0 +1,275 @@
+"""Shard transport suite: framing, backoff, and pipe/tcp parity.
+
+The transport contract is that the router/worker protocol is
+byte-for-byte transport-agnostic: a sharded run over framed TCP must
+produce exactly the results of the same run over forked pipes. The
+framing layer is tested at the socket level (round trip, user-space
+buffering, EOF semantics), the connect path for its bounded seeded
+backoff, and the whole stack end-to-end through the engine.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+
+import pytest
+
+from conftest import random_events
+from repro.engine.sharded import ShardedStreamEngine
+from repro.engine.transport import (
+    FramedChannel,
+    PipeTransport,
+    SocketTransport,
+    build_transport,
+    connect_with_backoff,
+    parse_hostport,
+    wait_readable,
+)
+from repro.errors import TransportError
+from repro.obs.registry import MetricsRegistry
+from repro.query import parse_query
+from repro.resilience.faults import FaultPlan, fault_seed
+
+QUERIES = {
+    "count": "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms GROUP BY g",
+    "avg": "PATTERN SEQ(A, B) AGG AVG(B.v) WITHIN 40 ms GROUP BY g",
+    "neg": "PATTERN SEQ(A, !C, B) AGG COUNT WITHIN 40 ms GROUP BY g",
+}
+
+
+def _attrs(rng, _event_type):
+    return {"g": rng.randrange(16), "v": rng.randrange(1000)}
+
+
+def _channel_pair() -> tuple[FramedChannel, FramedChannel]:
+    left, right = socket.socketpair()
+    return FramedChannel(left), FramedChannel(right)
+
+
+# ----- framing --------------------------------------------------------------
+
+
+def test_framed_channel_roundtrips_messages():
+    a, b = _channel_pair()
+    try:
+        payloads = [
+            ("batch", {"r": [("A", 1, {"g": 2})] * 50, "q": 7}),
+            ("ping", {"ack": 3}),
+            ("ok", {"partials": {"count": {1: 2}}, "obs": None}),
+            "just a string",
+            list(range(10_000)),  # multi-chunk frame
+        ]
+        for payload in payloads:
+            a.send(payload)
+        for payload in payloads:
+            assert b.poll(1.0)
+            assert b.recv() == payload
+    finally:
+        a.close()
+        b.close()
+
+
+def test_framed_channel_buffers_extra_frames():
+    """Two frames read in one chunk: the second is served from the
+    user-space buffer even though the descriptor has gone quiet."""
+    a, b = _channel_pair()
+    try:
+        a.send("first")
+        a.send("second")
+        assert b.poll(1.0)
+        assert b.recv() == "first"
+        # Nothing left on the wire, but the frame is buffered.
+        assert b.buffered
+        assert b.poll(0.0)
+        assert b.recv() == "second"
+        assert not b.buffered
+        assert not b.poll(0.0)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_framed_channel_eof_polls_ready_and_recv_raises():
+    a, b = _channel_pair()
+    a.send("last words")
+    a.close()
+    try:
+        assert b.poll(1.0)
+        assert b.recv() == "last words"
+        assert b.poll(1.0), "EOF must read as ready, not hang"
+        with pytest.raises(EOFError):
+            b.recv()
+    finally:
+        b.close()
+
+
+def test_wait_readable_sees_buffered_frames():
+    """A complete frame in the channel buffer is invisible to a raw
+    select on the descriptor; wait_readable must report it anyway."""
+    a, b = _channel_pair()
+    try:
+        a.send(1)
+        a.send(2)
+        assert b.recv() == 1  # pulls both frames into the buffer
+        ready = wait_readable([b], timeout=0.0)
+        assert ready == [b]
+    finally:
+        a.close()
+        b.close()
+
+
+def test_parse_hostport():
+    assert parse_hostport("10.0.0.1:9200") == ("10.0.0.1", 9200)
+    assert parse_hostport(":9200") == ("127.0.0.1", 9200)
+    for bad in ("no-port", "host:", "host:abc", ""):
+        with pytest.raises(TransportError):
+            parse_hostport(bad)
+
+
+# ----- connect backoff ------------------------------------------------------
+
+
+def _dead_address() -> tuple[str, int]:
+    """An address that refuses connections (bound, never listening)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+def test_connect_backoff_is_bounded_and_counts_retries():
+    retries = []
+    with pytest.raises(TransportError):
+        connect_with_backoff(
+            _dead_address(),
+            attempts=3,
+            backoff_s=0.001,
+            on_retry=lambda: retries.append(1),
+            rng=random.Random(fault_seed(0)),
+        )
+    assert len(retries) == 3
+
+
+def test_connect_backoff_jitter_is_seeded():
+    """Identical rng seeds draw identical jitter — chaos runs replay
+    their reconnect timing deterministically."""
+    draws = []
+    for _ in range(2):
+        rng = random.Random(fault_seed(7))
+        draws.append([rng.random() for _ in range(8)])
+    assert draws[0] == draws[1]
+
+
+def test_build_transport_resolves_kinds():
+    assert isinstance(build_transport(None), PipeTransport)
+    assert isinstance(build_transport("pipe"), PipeTransport)
+    assert isinstance(build_transport("tcp"), SocketTransport)
+    passthrough = SocketTransport()
+    assert build_transport(passthrough) is passthrough
+    assert isinstance(
+        build_transport(None, worker_addresses=["127.0.0.1:9200"]),
+        SocketTransport,
+    )
+    with pytest.raises(TransportError):
+        build_transport("pipe", worker_addresses=["127.0.0.1:9200"])
+    with pytest.raises(TransportError):
+        build_transport("carrier-pigeon")
+
+
+# ----- end-to-end parity ----------------------------------------------------
+
+
+def _run(transport: str | None, events, **overrides) -> dict:
+    settings = dict(
+        shards=2,
+        batch_size=32,
+        heartbeat_interval_s=0.1,
+        transport=transport,
+    )
+    settings.update(overrides)
+    with ShardedStreamEngine(**settings) as engine:
+        for name, text in QUERIES.items():
+            engine.register(parse_query(text), name=name)
+        for event in events:
+            engine.process(event)
+        return engine.results()
+
+
+def test_socket_transport_matches_pipe_transport():
+    plan = FaultPlan(fault_seed(0))
+    events = random_events(plan.rng, "ABC", 700, attr_maker=_attrs)
+    over_pipe = _run("pipe", events)
+    over_tcp = _run("tcp", events)
+    assert over_tcp == over_pipe
+
+
+def test_socket_transport_parity_unsupervised():
+    plan = FaultPlan(fault_seed(1))
+    events = random_events(plan.rng, "ABC", 500, attr_maker=_attrs)
+    over_pipe = _run("pipe", events, supervise=False)
+    over_tcp = _run("tcp", events, supervise=False)
+    assert over_tcp == over_pipe
+
+
+def test_socket_transport_counts_connects():
+    registry = MetricsRegistry()
+    plan = FaultPlan(fault_seed(2))
+    events = random_events(plan.rng, "AB", 200, attr_maker=_attrs)
+    _run("tcp", events, registry=registry)
+    for shard in ("0", "1"):
+        assert (
+            registry.value("transport_connects_total", shard=shard) >= 1
+        )
+
+
+def test_engine_inspect_reports_transport():
+    plan = FaultPlan(fault_seed(0))
+    events = random_events(plan.rng, "AB", 100, attr_maker=_attrs)
+    with ShardedStreamEngine(shards=2, transport="tcp") as engine:
+        engine.register(parse_query(QUERIES["count"]), name="count")
+        for event in events:
+            engine.process(event)
+        state = engine.inspect()
+        assert state["transport"] == "tcp"
+        assert state["router_journal"] is False
+
+
+def test_pre_started_worker_addresses(tmp_path):
+    """The --shard-worker mode: connect to externally started
+    listeners instead of spawning them."""
+    import subprocess
+    import sys
+    import os
+    import re
+
+    workers = []
+    addresses = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    try:
+        for _ in range(2):
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.shard_worker",
+                    "--listen", "127.0.0.1:0", "--orphan-timeout", "30",
+                ],
+                stdout=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            workers.append(proc)
+            line = proc.stdout.readline()
+            match = re.search(r"listening on ([\d.]+:\d+)", line)
+            assert match, f"worker never announced its port: {line!r}"
+            addresses.append(match.group(1))
+        plan = FaultPlan(fault_seed(1))
+        events = random_events(plan.rng, "ABC", 400, attr_maker=_attrs)
+        expected = _run("pipe", events)
+        got = _run(None, events, worker_addresses=addresses)
+        assert got == expected
+    finally:
+        for proc in workers:
+            proc.kill()
+            proc.wait(timeout=10)

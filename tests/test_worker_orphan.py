@@ -1,0 +1,216 @@
+"""Orphaned-worker hygiene and lossless trace shipment.
+
+Two robustness properties ride together here:
+
+* a SIGKILL'd router must not leak worker processes — pipe workers
+  exit on transport EOF, spawned socket workers additionally watch
+  their parent pid and the orphan-silence budget, so nothing outlives
+  the router no matter the transport;
+* trace shipments are retransmitted until acked: every worker drain
+  becomes a numbered outbox batch that rides each shipment until the
+  router acks it on a heartbeat ping, and the router deduplicates by
+  batch number — a lost reply delays spans, it never loses or
+  duplicates them (the residual loss the observability docs used to
+  carve out).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+from conftest import random_events
+from repro.engine.sharded import ShardedStreamEngine, _SpanOutbox
+from repro.obs.tracing import TraceRecorder
+from repro.query import parse_query
+from repro.resilience.faults import FaultPlan, fault_seed
+
+QUERY = "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms GROUP BY g"
+
+
+def _attrs(rng, _event_type):
+    return {"g": rng.randrange(16), "v": rng.randrange(1000)}
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid reused by root
+        return True
+    return True
+
+
+def _wait_dead(pids, timeout_s: float) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if not any(_pid_alive(pid) for pid in pids):
+            return True
+        time.sleep(0.1)
+    return not any(_pid_alive(pid) for pid in pids)
+
+
+_ROUTER_SCRIPT = textwrap.dedent(
+    """
+    import os, random, sys
+    from repro.engine.sharded import ShardedStreamEngine
+    from repro.events.event import Event
+    from repro.query import parse_query
+
+    transport = sys.argv[1]
+    engine = ShardedStreamEngine(
+        shards=2, batch_size=32, heartbeat_interval_s=0.1,
+        transport=transport, orphan_timeout_s=5.0,
+    )
+    engine.register(parse_query(
+        "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms GROUP BY g"
+    ), name="q")
+    rng = random.Random(0)
+    for index in range(300):
+        kind = "A" if rng.random() < 0.5 else "B"
+        engine.process(Event(kind, index, {"g": rng.randrange(8)}))
+    engine.flush()
+    pids = [w.process.pid for w in engine._workers if w.process]
+    print("PIDS " + " ".join(map(str, pids)), flush=True)
+    sys.stdin.readline()  # hold until the test SIGKILLs us
+    """
+)
+
+
+def _sigkill_router_and_collect_worker_pids(transport: str) -> list[int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    router = subprocess.Popen(
+        [sys.executable, "-c", _ROUTER_SCRIPT, transport],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        for _ in range(50):
+            line = router.stdout.readline()
+            if line.startswith("PIDS "):
+                break
+        else:  # pragma: no cover - defensive
+            raise AssertionError("router never reported worker pids")
+        pids = [int(p) for p in line.split()[1:]]
+        assert len(pids) == 2
+        assert all(_pid_alive(pid) for pid in pids)
+        os.kill(router.pid, signal.SIGKILL)
+        assert router.wait(timeout=30) == -signal.SIGKILL
+        return pids
+    finally:
+        if router.poll() is None:
+            router.kill()
+            router.wait(timeout=10)
+
+
+def test_pipe_workers_die_with_the_router():
+    pids = _sigkill_router_and_collect_worker_pids("pipe")
+    assert _wait_dead(pids, timeout_s=15.0), (
+        "pipe workers survived a router SIGKILL"
+    )
+
+
+def test_socket_workers_die_with_the_router():
+    """Spawned tcp workers exit via EOF + the parent-pid watch, well
+    inside the orphan budget."""
+    pids = _sigkill_router_and_collect_worker_pids("tcp")
+    assert _wait_dead(pids, timeout_s=20.0), (
+        "socket workers survived a router SIGKILL"
+    )
+
+
+def test_engine_lifecycle_leaks_no_descriptors():
+    """Open/run/close over both transports returns the process to its
+    starting descriptor count (no leaked pipes, sockets, journals)."""
+    def fd_count() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    plan = FaultPlan(fault_seed(0))
+    events = random_events(plan.rng, "AB", 200, attr_maker=_attrs)
+    for transport in ("pipe", "tcp"):
+        with ShardedStreamEngine(
+            shards=2, transport=transport, heartbeat_interval_s=0.1
+        ) as warmup:
+            warmup.register(parse_query(QUERY), name="q")
+            for event in events:
+                warmup.process(event)
+        before = fd_count()
+        with ShardedStreamEngine(
+            shards=2, transport=transport, heartbeat_interval_s=0.1
+        ) as engine:
+            engine.register(parse_query(QUERY), name="q")
+            for event in events:
+                engine.process(event)
+            engine.results()
+        assert fd_count() <= before, f"{transport} leaked descriptors"
+
+
+# ----- span outbox ----------------------------------------------------------
+
+
+def _record_spans(tracer: TraceRecorder, count: int, tag: str) -> None:
+    from repro.obs.tracing import Stage
+
+    for index in range(count):
+        tracer.record(
+            Stage.SHARD_INGEST, index, "A", f"{tag}-{index}",
+            trace_id=f"t{tag}{index}", wall=float(index),
+        )
+
+
+def test_span_outbox_retransmits_until_acked():
+    tracer = TraceRecorder(capacity=64)
+    outbox = _SpanOutbox()
+    _record_spans(tracer, 3, "first")
+    outbox.drain(tracer)
+    first = outbox.pending()
+    assert len(first) == 1 and first[0][0] == 1
+    assert len(first[0][1]) == 3
+    # Un-acked: the same batch rides the next shipment too.
+    _record_spans(tracer, 2, "second")
+    outbox.drain(tracer)
+    pending = outbox.pending()
+    assert [seq for seq, _ in pending] == [1, 2]
+    # Ack batch 1: only batch 2 remains; ack 2: empty.
+    outbox.ack(1)
+    assert [seq for seq, _ in outbox.pending()] == [2]
+    outbox.ack(2)
+    assert outbox.pending() == []
+    # Draining an empty tracer adds nothing.
+    outbox.drain(tracer)
+    assert outbox.pending() == []
+
+
+def test_router_dedups_retransmitted_span_batches():
+    """End-to-end: with tracing on, batches ride many shipments
+    (collects + heartbeats) yet every span reaches the router exactly
+    once."""
+    plan = FaultPlan(fault_seed(1))
+    events = random_events(plan.rng, "AB", 600, attr_maker=_attrs)
+    tracer = TraceRecorder(capacity=4096)
+    with ShardedStreamEngine(
+        shards=2, batch_size=16, heartbeat_interval_s=0.05,
+        trace=tracer, trace_sample=4,
+    ) as engine:
+        engine.register(parse_query(QUERY), name="q")
+        for event in events:
+            engine.process(event)
+        engine.results()
+        time.sleep(0.4)  # several heartbeat rounds: acks + re-ships
+        engine.results()
+        drained = engine.drain_trace()
+    keyed = [
+        (span["shard"], span["trace_id"], span["stage"], span["detail"])
+        for span in drained["spans"]
+        if span["trace_id"] and span["shard"] != "router"
+    ]
+    assert keyed, "tracing produced no spans"
+    assert len(keyed) == len(set(keyed)), "duplicate spans shipped"
