@@ -1,0 +1,106 @@
+"""Ingest cost of the match funnel (`--funnel`).
+
+The acceptance number: funnel instrumentation on (six staged counters,
+event-time span gauges, sampled stage latencies) should cost < 10%
+single-process ingest throughput vs funnel off — the ISSUE 8 gate,
+enforced here with a paired estimator so a noisy CI runner cannot
+flake the build. Funnel off must be free: engines cache one boolean at
+construction and skip every funnel touch when it is False.
+
+Results must be identical either way: the funnel observes the
+pipeline, it never participates in it.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from repro.core.executor import ASeqEngine
+from repro.events.event import Event
+from repro.obs.funnel import FunnelRecorder
+from repro.query import parse_query
+
+QUERY = "PATTERN SEQ(A, B) AGG SUM(B.v) WITHIN 60 ms GROUP BY g"
+N_EVENTS = 24_000
+
+
+def keyed_stream(count: int = N_EVENTS, seed: int = 47) -> list[Event]:
+    rng = random.Random(seed)
+    events, ts = [], 0
+    for _ in range(count):
+        ts += rng.randint(1, 3)
+        events.append(
+            Event(
+                rng.choice("AB"),
+                ts,
+                {"g": rng.randrange(32), "v": rng.randrange(1000)},
+            )
+        )
+    return events
+
+
+EVENTS = keyed_stream()
+
+
+def build(funnel_on: bool) -> ASeqEngine:
+    return ASeqEngine(
+        parse_query(QUERY, name="q"),
+        funnel=FunnelRecorder() if funnel_on else None,
+    )
+
+
+def ingest(engine: ASeqEngine):
+    process = engine.process
+    for event in EVENTS:
+        process(event)
+    return engine.result()
+
+
+def test_ingest_funnel_off(benchmark):
+    benchmark.pedantic(ingest, setup=lambda: ((build(False),), {}), rounds=3)
+
+
+def test_ingest_funnel_on(benchmark):
+    benchmark.pedantic(ingest, setup=lambda: ((build(True),), {}), rounds=3)
+
+
+def test_funnel_overhead_within_bound():
+    """Funnel-on ingest must stay within 10% of funnel-off.
+
+    Paired estimator: each off/on pair runs back to back under the
+    same machine conditions; the median pairwise ratio discards the
+    pairs a load spike disturbed.
+    """
+
+    def one_round(funnel_on: bool) -> tuple[float, object]:
+        engine = build(funnel_on)
+        engine.process(EVENTS[0])  # warm the compiled runtime
+        started = time.perf_counter()
+        result = ingest(engine)
+        elapsed = time.perf_counter() - started
+        return elapsed, result
+
+    ratios = []
+    for _ in range(5):
+        off_s, off_result = one_round(False)
+        on_s, on_result = one_round(True)
+        assert on_result == off_result
+        ratios.append(on_s / off_s)
+
+    overhead = statistics.median(ratios) - 1.0
+    assert overhead < 0.10, (
+        f"funnel overhead {overhead:.1%} (median of "
+        f"{[f'{r - 1.0:+.1%}' for r in ratios]})"
+    )
+
+
+def test_funnel_counts_complete_after_bench():
+    """Sanity: the funnel-on rounds actually recorded the stream."""
+    engine = build(True)
+    ingest(engine)
+    counts = engine.funnel_counts()
+    assert counts["events_routed"] == N_EVENTS
+    assert counts["runs_extended"] > 0
+    assert counts["matches_emitted"] > 0

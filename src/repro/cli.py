@@ -18,6 +18,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Any, Iterable
@@ -33,7 +35,9 @@ from repro.events.event import Event
 from repro.events.reorder import reordered
 from repro.multi.unshared import UnsharedEngine
 from repro.multi.workload import WorkloadEngine
+from repro.obs.explain import explain_engine, render_explain
 from repro.obs.export import write_json_snapshot, write_prometheus
+from repro.obs.funnel import FunnelRecorder, set_default_funnel
 from repro.obs.history import HistoryRecorder, default_history
 from repro.obs.logging import LogConfig, get_logger, install_config
 from repro.obs.profile import SamplingProfiler, collapsed_text
@@ -44,6 +48,7 @@ from repro.obs.registry import (
 )
 from repro.obs.server import AdminServer
 from repro.obs.tracing import NULL_TRACER, TraceRecorder
+from repro.obs.workload_profile import write_workload_profile
 from repro.query.parser import parse_query, parse_workload
 
 _log = get_logger("cli")
@@ -179,6 +184,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the admin endpoint up this long after the run "
         "finishes, so scrapers can collect the final state "
         "(requires --admin-port; default 0)",
+    )
+    obs.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the EXPLAIN plan (execution path, sharing "
+        "strategy, cost estimate) to stderr before ingest starts; "
+        "see also the offline 'python -m repro explain' subcommand",
+    )
+    obs.add_argument(
+        "--funnel",
+        action="store_true",
+        help="record the per-query match funnel (events routed -> "
+        "predicate pass -> runs extended/expired/blocked -> matches "
+        "emitted) plus sampled per-stage latency",
+    )
+    obs.add_argument(
+        "--workload-profile",
+        metavar="FILE",
+        help="write a versioned workload profile (EXPLAIN plan + "
+        "funnel + state watermarks + cost drift) to FILE at the end "
+        "of the run (implies --funnel)",
     )
     obs.add_argument(
         "--log-json",
@@ -374,6 +400,33 @@ def _build_engine(
     return ASeqEngine(query, registry=registry, trace=trace)
 
 
+def _explain_plan(engine: Any) -> dict[str, Any]:
+    hook = getattr(engine, "explain", None)
+    return hook() if callable(hook) else explain_engine(engine)
+
+
+def _print_explain(engine: Any) -> None:
+    """``--explain`` in run mode: plan to stderr, results stay clean."""
+    print(render_explain(_explain_plan(engine)), file=sys.stderr, end="")
+
+
+def _write_profile(args: argparse.Namespace, engine: Any) -> None:
+    if not args.workload_profile:
+        return
+    refresh = getattr(engine, "refresh_cost_metrics", None)
+    if callable(refresh):
+        try:
+            refresh()  # pull-based gauges (drift, watermarks) go stale
+        except Exception:
+            pass
+    write_workload_profile(engine, args.workload_profile)
+    _log.info(
+        "workload_profile_written",
+        message=f"wrote workload profile to {args.workload_profile}",
+        path=args.workload_profile,
+    )
+
+
 def _start_admin(
     args: argparse.Namespace,
     engine: Any,
@@ -493,6 +546,10 @@ def _run_resilient(
             name = query.name or f"q{index}"
             engine.register(query, *sinks.get(name, ()), name=name)
 
+    if args.explain:
+        _print_explain(engine)
+    if history is not None:
+        history.set_refresher(engine.refresh_cost_metrics)
     admin = _start_admin(args, engine, registry, trace, history, profiler)
     try:
         started = time.perf_counter()
@@ -544,6 +601,7 @@ def _run_resilient(
             )
         if args.dump_trace:
             print(trace.format(), file=sys.stderr)
+        _write_profile(args, engine)
         return 0
     finally:
         _stop_admin(admin, args.admin_linger)
@@ -657,6 +715,12 @@ def _run_sharded(
                     registry=registry,
                 )
             )
+    if args.explain:
+        _print_explain(engine)
+    if history is not None:
+        refresh = getattr(engine, "refresh_cost_metrics", None)
+        if callable(refresh):
+            history.set_refresher(refresh)
     admin = _start_admin(args, engine, registry, trace, history)
     try:
         started = time.perf_counter()
@@ -709,6 +773,7 @@ def _run_sharded(
             )
         if args.dump_trace:
             print(trace.format(), file=sys.stderr)
+        _write_profile(args, engine)
         return 0
     finally:
         # Workers stay up through the linger so /queries and
@@ -746,7 +811,100 @@ def _stats_line(
     return "stats " + " ".join(parts)
 
 
+def _explain_main(argv: list[str]) -> int:
+    """``python -m repro explain``: parse, plan, estimate — offline.
+
+    Engines are constructed (compilation is cheap) but no events are
+    ingested and no worker processes are spawned, so this works with
+    no stream at hand: paste a query, read the plan, exit 0.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description="Show the EXPLAIN plan (execution path, sharing "
+        "strategy, cost estimate) for a query or workload without "
+        "running any events.",
+    )
+    parser.add_argument(
+        "query_text",
+        nargs="?",
+        metavar="QUERY",
+        help="query text (or use --query-file / --workload-file)",
+    )
+    parser.add_argument("--query-file", help="file containing one query")
+    parser.add_argument(
+        "--workload-file",
+        help="file of named queries ('name: PATTERN ...;')",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("aseq", "vectorized", "twostep"),
+        default="aseq",
+        help="single-query engine to plan for (default aseq)",
+    )
+    parser.add_argument(
+        "--shared",
+        action="store_true",
+        help="plan a workload with Chop-Connect sharing",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured plan as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    sources = [args.query_text, args.query_file, args.workload_file]
+    if sum(s is not None for s in sources) != 1:
+        parser.error(
+            "exactly one of QUERY / --query-file / --workload-file "
+            "is required"
+        )
+    try:
+        if args.query_text is not None:
+            queries = [parse_query(args.query_text, name="q")]
+        elif args.query_file is not None:
+            with open(args.query_file, "r", encoding="utf-8") as handle:
+                queries = [parse_query(handle.read(), name="q")]
+        else:
+            with open(args.workload_file, "r", encoding="utf-8") as handle:
+                queries = parse_workload(handle.read())
+        if len(queries) > 1 or args.workload_file is not None:
+            engine: Any = (
+                WorkloadEngine(queries)
+                if args.shared
+                else UnsharedEngine(queries)
+            )
+        elif args.engine == "twostep":
+            engine = TwoStepEngine(queries[0])
+        else:
+            engine = ASeqEngine(
+                queries[0], vectorized=args.engine == "vectorized"
+            )
+        plan = _explain_plan(engine)
+    except (ReproError, OSError) as error:
+        _log.error(
+            "explain_failed",
+            message=f"error: {error}",
+            error=type(error).__name__,
+        )
+        return 1
+    try:
+        if args.json:
+            print(json.dumps(plan, indent=2, sort_keys=True))
+        else:
+            print(render_explain(plan), end="")
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream closed early (`| head`, `| grep -q`): not an error.
+        # Point stdout at devnull so interpreter-exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return _explain_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     instrument = (
@@ -755,6 +913,7 @@ def main(argv: list[str] | None = None) -> int:
         or args.admin_port is not None
         or args.history_every > 0
     )
+    funnel_on = args.funnel or bool(args.workload_profile)
     registry = MetricsRegistry() if instrument else NULL_REGISTRY
     trace = (
         TraceRecorder(capacity=args.trace_capacity)
@@ -762,6 +921,13 @@ def main(argv: list[str] | None = None) -> int:
         else NULL_TRACER
     )
     previous_default = set_default_registry(registry if instrument else None)
+    # Every engine build below resolves the default funnel, so one
+    # install covers the inline, resilient, and sharded paths alike
+    # (the FunnelRecorder brings its own registry when the shared one
+    # is disabled, e.g. --workload-profile without --metrics-out).
+    previous_funnel = set_default_funnel(
+        FunnelRecorder(registry) if funnel_on else None
+    )
     previous_log = install_config(LogConfig(json_mode=args.log_json))
     admin = None
     history: HistoryRecorder | None = None
@@ -794,6 +960,12 @@ def main(argv: list[str] | None = None) -> int:
                 args, queries, events, registry, trace, history, profiler
             )
         engine = _build_engine(args, queries, registry, trace)
+        if args.explain:
+            _print_explain(engine)
+        if history is not None:
+            refresh = getattr(engine, "refresh_cost_metrics", None)
+            if callable(refresh):
+                history.set_refresher(refresh)
         admin = _start_admin(args, engine, registry, trace, history, profiler)
 
         cross_check = None
@@ -920,6 +1092,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.dump_trace:
             print(trace.format(), file=sys.stderr)
+        _write_profile(args, engine)
         return 0
     except (ReproError, OSError) as error:
         _log.error(
@@ -947,6 +1120,7 @@ def main(argv: list[str] | None = None) -> int:
         if history is not None:
             history.stop()
         install_config(previous_log)
+        set_default_funnel(previous_funnel)
         set_default_registry(previous_default)
 
 

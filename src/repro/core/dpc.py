@@ -19,13 +19,19 @@ from repro.errors import QueryError
 from repro.events.event import Event
 from repro.core.aggregates import PatternLayout
 from repro.core.prefix_counter import PrefixCounter
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.query.ast import AggKind, Query
 
 
 class DPCEngine:
     """Unwindowed A-Seq evaluation of one query over one partition."""
 
-    def __init__(self, query: Query, layout: PatternLayout | None = None):
+    def __init__(
+        self,
+        query: Query,
+        layout: PatternLayout | None = None,
+        funnel: FunnelRecorder | None = None,
+    ):
         if query.window is not None:
             raise QueryError(
                 "DPC cannot expire state; use SemEngine for WITHIN queries"
@@ -35,6 +41,9 @@ class DPCEngine:
         self._counter = PrefixCounter(self.layout, implicit_start=False)
         self.events_processed = 0
         self.counter_updates = 0
+        funnel = resolve_funnel(funnel)
+        self._funnel_on = funnel.enabled
+        self._fq = funnel.for_query(query.name or "q")
 
     def process(self, event: Event) -> Any | None:
         """Ingest one (pre-filtered) event; returns the aggregate on TRIG."""
@@ -45,6 +54,8 @@ class DPCEngine:
         reset = layout.reset_slot.get(event_type)
         if reset is not None:
             counter.reset(reset)
+            if self._funnel_on:
+                self._fq.blocked.inc()
             return None
         slots = layout.update_slots.get(event_type)
         if not slots:
@@ -54,6 +65,8 @@ class DPCEngine:
         )
         value = layout.value_of(event) if needs_value else None
         self.counter_updates += len(slots)
+        if self._funnel_on:
+            self._fq.extended.inc(len(slots))
         for slot in slots:  # descending: no self-chaining
             if slot == 0:
                 counter.bump_start(

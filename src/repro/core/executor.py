@@ -19,6 +19,7 @@ interchangeable in examples, tests and benchmarks.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any
 
 from repro.events.event import Event
@@ -27,6 +28,7 @@ from repro.core.dpc import DPCEngine
 from repro.core.hpc import HPCEngine, partition_attributes
 from repro.core.sem import SemEngine
 from repro.core.vectorized import VectorizedSemEngine
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import Query
@@ -55,6 +57,7 @@ class ASeqEngine:
         vectorized: bool = False,
         registry: MetricsRegistry | None = None,
         trace: TraceRecorder | None = None,
+        funnel: FunnelRecorder | None = None,
     ):
         validate_query(query)
         self.query = query
@@ -79,6 +82,10 @@ class ASeqEngine:
         tracer = resolve_tracer(trace)
         self._trace = tracer
         self._trace_on = tracer.enabled
+        funnel = resolve_funnel(funnel)
+        self._funnel = funnel
+        self._funnel_on = funnel.enabled
+        self._fq = funnel.for_query(query.name or "q")
         self._runtime = self._compile()
         self.events_seen = 0
         self.peak_objects = 0
@@ -91,6 +98,7 @@ class ASeqEngine:
                 engine_factory=self._partition_factory(),
                 registry=self.obs_registry,
                 trace=self._trace,
+                funnel=self._funnel,
             )
         return self._flat_engine(query)
 
@@ -99,30 +107,36 @@ class ASeqEngine:
         vectorized = self._vectorized
         registry = self.obs_registry
         trace = self._trace
+        funnel = self._funnel
 
         def factory(query: Query) -> Any:
             if query.window is None:
-                return DPCEngine(query, layout)
+                return DPCEngine(query, layout, funnel=funnel)
             if vectorized:
                 return VectorizedSemEngine(
-                    query, layout, registry=registry, trace=trace
+                    query, layout, registry=registry, trace=trace,
+                    funnel=funnel,
                 )
-            return SemEngine(query, layout, registry=registry, trace=trace)
+            return SemEngine(
+                query, layout, registry=registry, trace=trace, funnel=funnel
+            )
 
         return factory
 
     def _flat_engine(self, query: Query) -> Any:
         if query.window is None:
-            return DPCEngine(query, self.layout)
+            return DPCEngine(query, self.layout, funnel=self._funnel)
         if self._vectorized:
             return VectorizedSemEngine(
                 query,
                 self.layout,
                 registry=self.obs_registry,
                 trace=self._trace,
+                funnel=self._funnel,
             )
         return SemEngine(
-            query, self.layout, registry=self.obs_registry, trace=self._trace
+            query, self.layout, registry=self.obs_registry,
+            trace=self._trace, funnel=self._funnel,
         )
 
     # ----- ingestion -------------------------------------------------------
@@ -140,7 +154,25 @@ class ASeqEngine:
             self._trace.record(
                 Stage.INGEST, event.ts, event.event_type
             )
-        if event.event_type not in self._relevant or not self._accepts(event):
+        funnel_on = self._funnel_on
+        sampled = False
+        if event.event_type in self._relevant:
+            if funnel_on:
+                fq = self._fq
+                if fq.bump_routed(event.ts):
+                    sampled = True
+                    started = perf_counter()
+                    accepted = self._accepts(event)
+                    fq.latency["predicate"].observe(
+                        (perf_counter() - started) * 1e6
+                    )
+                else:
+                    accepted = self._accepts(event)
+            else:
+                accepted = self._accepts(event)
+        else:
+            accepted = False
+        if not accepted:
             # The arrival still moves the clock: windows slide on every
             # event (paper Sec. 2.1), not only on relevant ones.
             self._runtime.advance_time(event.ts)
@@ -151,11 +183,25 @@ class ASeqEngine:
                     Stage.FILTER_DROP, event.ts, event.event_type
                 )
             return None
-        output = self._runtime.process(event)
+        if funnel_on:
+            fq = self._fq
+            fq.passed.value += 1.0
+            if sampled:
+                started = perf_counter()
+                output = self._runtime.process(event)
+                fq.latency["extend"].observe(
+                    (perf_counter() - started) * 1e6
+                )
+            else:
+                output = self._runtime.process(event)
+        else:
+            output = self._runtime.process(event)
         current = self._runtime.current_objects()
         if current > self.peak_objects:
             self.peak_objects = current
         if output is not None:
+            if funnel_on:
+                self._fq.emitted.inc()
             if self._obs_on:
                 self._m_emits.inc()
             if self._trace_on:
@@ -183,11 +229,24 @@ class ASeqEngine:
         if not count:
             return []
         self.events_seen += count
-        kept = [
-            event
-            for event in events
-            if event.event_type in relevant and accepts(event)
-        ]
+        if self._funnel_on:
+            fq = self._fq
+            routed = [
+                event for event in events if event.event_type in relevant
+            ]
+            kept = [event for event in routed if accepts(event)]
+            if routed:
+                fq.routed.inc(len(routed))
+                # In-order stream: the slice ends are the span extremes.
+                fq.note_ts(routed[0].ts)
+                fq.note_ts(routed[-1].ts)
+                fq.passed.inc(len(kept))
+        else:
+            kept = [
+                event
+                for event in events
+                if event.event_type in relevant and accepts(event)
+            ]
         if self._obs_on:
             self._m_events.inc(count)
             if len(kept) < count:
@@ -212,6 +271,8 @@ class ASeqEngine:
         if current > self.peak_objects:
             self.peak_objects = current
         if emitted:
+            if self._funnel_on:
+                self._fq.emitted.inc(len(emitted))
             if self._obs_on:
                 self._m_emits.inc(len(emitted))
             if self._trace_on:
@@ -258,6 +319,28 @@ class ASeqEngine:
     def counter_updates(self) -> int:
         """Prefix-counter slot updates performed by the runtime."""
         return getattr(self._runtime, "counter_updates", 0)
+
+    def funnel_counts(self) -> dict[str, int]:
+        """This query's funnel stage totals (all zero when the funnel
+        is off)."""
+        return self._fq.counts()
+
+    @property
+    def funnel_handle(self) -> Any:
+        """Live :class:`~repro.obs.funnel.QueryFunnel` handle (the
+        shared null handle when the funnel is off)."""
+        return self._fq
+
+    @property
+    def funnel(self) -> FunnelRecorder:
+        """The funnel recorder (null recorder when instrumentation is
+        off) — same public name as the multi-query engines."""
+        return self._funnel
+
+    def explain(self) -> dict[str, Any]:
+        """Structured query plan (see :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_engine
+        return explain_engine(self)
 
     def inspect(self) -> Any:
         """JSON-serializable state summary: query, compiled runtime,

@@ -24,6 +24,7 @@ from repro.events.event import Event
 from repro.core.aggregates import PatternLayout
 from repro.core.dpc import DPCEngine
 from repro.core.sem import SemEngine
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import AggKind, Query
@@ -100,6 +101,7 @@ class HPCEngine:
         engine_factory: Callable[[Query], Any] | None = None,
         registry: MetricsRegistry | None = None,
         trace: TraceRecorder | None = None,
+        funnel: FunnelRecorder | None = None,
     ):
         self.query = query
         attributes = partition_attributes(query)
@@ -111,17 +113,21 @@ class HPCEngine:
         self._composite = len(attributes) > 1
         self._per_group = query.group_by is not None
         self.layout = PatternLayout.of(query)
+        # Partition engines share one funnel series per query name (the
+        # registry keys metrics on (name, labels)), so funnel counts sum
+        # naturally across partitions.
+        self._funnel = resolve_funnel(funnel)
         if engine_factory is None:
             layout = self.layout
             if query.window is not None:
                 def engine_factory(q: Query) -> SemEngine:
                     return SemEngine(
                         q, layout, registry=self.obs_registry,
-                        trace=self._trace,
+                        trace=self._trace, funnel=self._funnel,
                     )
             else:
                 def engine_factory(q: Query) -> DPCEngine:
-                    return DPCEngine(q, layout)
+                    return DPCEngine(q, layout, funnel=self._funnel)
         self._engine_factory = engine_factory
         self._partitions: dict[Any, Any] = {}
         #: GROUP BY value (the leading key component) -> its engines.

@@ -21,6 +21,7 @@ from repro.errors import QueryError
 from repro.events.event import Event
 from repro.core.aggregates import PatternLayout
 from repro.core.prefix_counter import PrefixCounter
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import AggKind, Query
@@ -36,6 +37,7 @@ class SemEngine:
         emit_on_trigger: bool = True,
         registry: MetricsRegistry | None = None,
         trace: TraceRecorder | None = None,
+        funnel: FunnelRecorder | None = None,
     ):
         if query.window is None:
             raise QueryError(
@@ -72,6 +74,9 @@ class SemEngine:
         trace = resolve_tracer(trace)
         self._trace = trace
         self._trace_on = trace.enabled
+        funnel = resolve_funnel(funnel)
+        self._funnel_on = funnel.enabled
+        self._fq = funnel.for_query(query.name or "q")
 
     # ----- ingestion ------------------------------------------------------
 
@@ -89,6 +94,8 @@ class SemEngine:
                 counter.reset(reset)
             if self._obs_on:
                 self._m_resets.inc(len(self._counters))
+            if self._funnel_on:
+                self._fq.blocked.inc(len(self._counters))
             if self._trace_on:
                 self._trace.record(
                     Stage.RECOUNT_RESET, event.ts, event_type,
@@ -106,6 +113,8 @@ class SemEngine:
         # then open a counter for the new START so the event cannot
         # extend a prefix through itself.
         self.counter_updates += len(self._counters)
+        if self._funnel_on:
+            self._fq.extended.inc(len(self._counters))
         for counter in self._counters:
             for slot in slots:
                 if slot == 0:
@@ -157,6 +166,8 @@ class SemEngine:
             if self._obs_on:
                 self._m_expired.inc(expired)
                 self._m_active.set(len(counters))
+            if self._funnel_on:
+                self._fq.expired.inc(expired)
             if self._trace_on:
                 self._trace.record(
                     Stage.EXPIRE, now, "",

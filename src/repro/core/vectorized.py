@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import QueryError
 from repro.events.event import Event
 from repro.core.aggregates import PatternLayout
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.obs.tracing import Stage, TraceRecorder, resolve_tracer
 from repro.query.ast import AggKind, Query
@@ -43,6 +44,7 @@ class VectorizedSemEngine:
         layout: PatternLayout | None = None,
         registry: MetricsRegistry | None = None,
         trace: TraceRecorder | None = None,
+        funnel: FunnelRecorder | None = None,
     ):
         if query.window is None:
             raise QueryError(
@@ -100,6 +102,9 @@ class VectorizedSemEngine:
         trace = resolve_tracer(trace)
         self._trace = trace
         self._trace_on = trace.enabled
+        funnel = resolve_funnel(funnel)
+        self._funnel_on = funnel.enabled
+        self._fq = funnel.for_query(query.name or "q")
 
     # ----- ingestion ----------------------------------------------------------
 
@@ -121,6 +126,8 @@ class VectorizedSemEngine:
                 self._extrema[reset, head:tail] = self._extreme_identity
             if self._obs_on:
                 self._m_resets.inc(tail - head)
+            if self._funnel_on:
+                self._fq.blocked.inc(tail - head)
             if self._trace_on:
                 self._trace.record(
                     Stage.RECOUNT_RESET, event.ts, event_type,
@@ -136,6 +143,8 @@ class VectorizedSemEngine:
 
         head, tail = self._head, self._tail
         self.counter_updates += tail - head
+        if self._funnel_on:
+            self._fq.extended.inc(tail - head)
         if self._trace_on and tail > head:
             self._trace.record(
                 Stage.COUNTER_UPDATE, event.ts, event_type,
@@ -297,6 +306,8 @@ class VectorizedSemEngine:
         if self._obs_on:
             self._m_expired.inc(expired)
             self._m_active.set(tail - head)
+        if self._funnel_on:
+            self._fq.expired.inc(expired)
         if self._trace_on:
             self._trace.record(
                 Stage.EXPIRE, now, "",

@@ -30,6 +30,7 @@ from repro.events.event import Event
 from repro.core.executor import ASeqEngine
 from repro.engine.metrics import EngineMetrics
 from repro.engine.sinks import Output, ResultSink
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.obs.inspect import cost_summary
 from repro.obs.registry import (
     Counter,
@@ -118,6 +119,7 @@ class StreamEngine:
         sink_retries: int = 0,
         sink_retry_backoff_s: float = 0.05,
         sink_dlq: Any = None,
+        funnel: FunnelRecorder | None = None,
     ):
         if cost_sample_every < 0:
             raise ValueError("cost_sample_every must be >= 0")
@@ -198,6 +200,9 @@ class StreamEngine:
         tracer = resolve_tracer(trace)
         self._trace = tracer
         self._trace_on = tracer.enabled
+        funnel = resolve_funnel(funnel)
+        self.funnel = funnel
+        self._funnel_on = funnel.enabled
 
     # ----- registration ------------------------------------------------------
 
@@ -213,6 +218,7 @@ class StreamEngine:
             vectorized=self._vectorized,
             registry=self.obs_registry,
             trace=self._trace,
+            funnel=self.funnel,
         )
         self.register_executor(
             name or query.name or f"q{len(self._registrations)}",
@@ -700,6 +706,11 @@ class StreamEngine:
         before rendering ``/metrics``) rather than on ingest.
         """
         registry = self.obs_registry
+        if self._funnel_on:
+            # Drift gauges live wherever the funnel series live (the
+            # shared registry when instrumentation is on, the funnel's
+            # private one otherwise).
+            self._refresh_drift(self.funnel.registry)
         if not registry.enabled:
             return
         for row in self.query_rows():
@@ -726,6 +737,53 @@ class StreamEngine:
                     "live Chop-Connect SnapShot rows of one registration",
                     query=name,
                 ).set(float(row["cc_snapshot_rows"]))
+
+    def _refresh_drift(self, registry: MetricsRegistry) -> None:
+        """Estimated-vs-observed cost drift per registration.
+
+        Compares the cost model's predicted prefix-counter updates per
+        event against what the funnel measured, publishing the ratio as
+        ``repro_query_cost_drift_ratio{query=}`` and warning (rate
+        limited) when the model is off by more than 5x either way.
+        """
+        from repro.obs.explain import drift_from_funnel
+        from repro.obs.logging import get_logger
+
+        for registration in list(self._registrations.values()):
+            executor = registration.executor
+            query = getattr(executor, "query", None)
+            handle = getattr(executor, "funnel_handle", None)
+            if query is None or handle is None:
+                continue
+            drift = drift_from_funnel(query, handle.snapshot())
+            if drift is None:
+                continue
+            ratio = drift["drift_ratio"]
+            registry.gauge(
+                "repro_query_cost_drift_ratio",
+                "observed / cost-model-estimated per-event update cost",
+                query=registration.name,
+            ).set(ratio)
+            if ratio > 5.0 or ratio < 0.2:
+                get_logger("explain").warning(
+                    "cost_drift",
+                    query=registration.name,
+                    drift_ratio=round(ratio, 3),
+                    estimated=round(
+                        drift["estimated_updates_per_event"], 3
+                    ),
+                    observed=round(drift["observed_updates_per_event"], 3),
+                    message=(
+                        f"cost model off by {ratio:.1f}x for "
+                        f"{registration.name!r}"
+                    ),
+                )
+
+    def explain(self) -> dict[str, Any]:
+        """Structured plan for every registration (see
+        :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_engine
+        return explain_engine(self)
 
     def inspect(self) -> dict[str, Any]:
         """JSON-serializable engine-wide state summary."""

@@ -108,6 +108,11 @@ from repro.engine.transport import (
     build_transport,
     wait_readable,
 )
+from repro.obs.funnel import (
+    NULL_FUNNEL,
+    FunnelRecorder,
+    resolve_funnel,
+)
 from repro.obs.logging import get_logger
 from repro.obs.profile import SamplingProfiler, collapsed_text
 from repro.obs.registry import (
@@ -257,8 +262,17 @@ def _worker_obs_setup(
     obs: dict[str, Any],
 ) -> tuple[MetricsRegistry, TraceRecorder, SamplingProfiler | None]:
     """Build one worker's own registry/tracer/profiler from the obs
-    config document (shared by the forked and the networked worker)."""
-    registry = MetricsRegistry() if obs.get("metrics") else NULL_REGISTRY
+    config document (shared by the forked and the networked worker).
+
+    Funnel instrumentation rides the same registry: ``obs["funnel"]``
+    forces a live registry so the per-query stage counters ship with
+    the ordinary metric snapshots and merge router-side.
+    """
+    registry = (
+        MetricsRegistry()
+        if obs.get("metrics") or obs.get("funnel")
+        else NULL_REGISTRY
+    )
     tracer = (
         TraceRecorder(capacity=int(obs.get("trace_capacity", 512)))
         if obs.get("trace")
@@ -279,6 +293,7 @@ def _build_worker_engine(
     index: int,
     registry: MetricsRegistry,
     tracer: TraceRecorder,
+    funnel: FunnelRecorder | None = None,
 ) -> tuple[StreamEngine, dict[str, Any]]:
     """One worker's routed engine over the registration set.
 
@@ -291,6 +306,7 @@ def _build_worker_engine(
         vectorized=vectorized,
         registry=registry,
         trace=tracer,
+        funnel=funnel if funnel is not None else NULL_FUNNEL,
         stream_name=f"shard-{index}",
     )
     executors = {}
@@ -322,8 +338,9 @@ def _shard_worker(
     """
     obs = obs or {}
     registry, tracer, profiler = _worker_obs_setup(obs)
+    funnel = FunnelRecorder(registry) if obs.get("funnel") else NULL_FUNNEL
     engine, executors = _build_worker_engine(
-        specs, vectorized, index, registry, tracer
+        specs, vectorized, index, registry, tracer, funnel=funnel
     )
     try:
         _worker_loop(
@@ -800,6 +817,7 @@ class ShardedStreamEngine:
         trace: TraceRecorder | None = None,
         trace_sample: int = 64,
         collect_obs: bool | None = None,
+        funnel: FunnelRecorder | None = None,
         profile: bool = False,
         profile_interval_s: float = 0.01,
         transport: str | ShardTransport | None = None,
@@ -926,12 +944,22 @@ class ShardedStreamEngine:
         #: Worker spans ingested from obs shipments, skew-corrected,
         #: awaiting a /trace drain.
         self._shard_spans: deque[dict[str, Any]] = deque(maxlen=4096)
+        funnel = resolve_funnel(funnel)
+        self._funnel = funnel
         self._collect_obs = (
-            self.obs_registry.enabled if collect_obs is None
+            (self.obs_registry.enabled or funnel.enabled)
+            if collect_obs is None
             else bool(collect_obs)
         )
+        # Funnel-only runs (metrics registry disabled) still need a
+        # live router-side registry to merge worker snapshots into;
+        # the funnel recorder carries one.
+        merge_registry = self.obs_registry
+        if not merge_registry.enabled and funnel.enabled:
+            merge_registry = funnel.registry
+        self._merge_registry = merge_registry
         self._merger = (
-            SnapshotMerger(self.obs_registry) if self._collect_obs else None
+            SnapshotMerger(merge_registry) if self._collect_obs else None
         )
         self._profile = profile
         self._profile_interval_s = profile_interval_s
@@ -943,6 +971,7 @@ class ShardedStreamEngine:
             "trace_capacity": 512,
             "profile": profile,
             "profile_interval_s": profile_interval_s,
+            "funnel": funnel.enabled,
         }
         #: Non-partitionable queries run here, in-process.
         self._local = StreamEngine(
@@ -950,6 +979,7 @@ class ShardedStreamEngine:
             vectorized=vectorized,
             registry=registry,
             trace=trace,
+            funnel=funnel,
             stream_name=f"{stream_name}-local",
         )
         self._local_names: list[str] = []
@@ -1414,6 +1444,7 @@ class ShardedStreamEngine:
             vectorized=self._vectorized,
             registry=self.obs_registry if self._collect_obs else None,
             trace=self._trace if self._trace_on else None,
+            funnel=self._funnel,
             stream_name=f"{self.stream_name}-fold-{worker.index}",
         )
         for name, query in self._sharded.items():
@@ -2304,6 +2335,20 @@ class ShardedStreamEngine:
             "query": query_id,
             "shards": self._collect("state", query_id),
         }
+
+    @property
+    def funnel(self) -> FunnelRecorder:
+        """The router-side funnel recorder. Its registry is always the
+        merge target the worker funnel snapshots land in, so readers
+        (workload profile, admin) can go straight to
+        ``engine.funnel.registry``."""
+        return self._funnel
+
+    def explain(self) -> dict[str, Any]:
+        """Structured plan: routing lane per query (see
+        :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_engine
+        return explain_engine(self)
 
     def inspect(self) -> dict[str, Any]:
         workers: list[Any] = []

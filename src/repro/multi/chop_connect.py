@@ -29,6 +29,7 @@ from repro.core.sem import SemEngine
 from repro.multi.chop import ChopPlan
 from repro.multi.pretree import shared_window_ms
 from repro.multi.snapshot import Snapshot, SnapshotTable
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.ast import SeqPattern
 from repro.query.builder import QueryBuilder
@@ -37,10 +38,18 @@ from repro.query.builder import QueryBuilder
 class _SegmentPool:
     """One shared SEM engine per distinct (segment pattern, window)."""
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        funnel: FunnelRecorder | None = None,
+    ) -> None:
         self._engines: dict[tuple[tuple[str, ...], int], SemEngine] = {}
         self.segments_shared = 0
         self._registry = resolve_registry(registry)
+        #: Segment engines record their extend/expire funnel stages
+        #: under their ``segment:...`` names — shared work cannot be
+        #: attributed to a single owning query.
+        self._funnel = resolve_funnel(funnel)
 
     def engine_for(
         self, types: tuple[str, ...], window_ms: int
@@ -56,7 +65,8 @@ class _SegmentPool:
                 .build()
             )
             engine = SemEngine(
-                query, emit_on_trigger=False, registry=self._registry
+                query, emit_on_trigger=False, registry=self._registry,
+                funnel=self._funnel,
             )
             self._engines[key] = engine
         else:
@@ -207,6 +217,7 @@ class ChopConnectEngine:
         self,
         plans: Sequence[ChopPlan],
         registry: MetricsRegistry | None = None,
+        funnel: FunnelRecorder | None = None,
     ):
         if not plans:
             raise PlanError("empty workload")
@@ -224,11 +235,32 @@ class ChopConnectEngine:
             "cc_connect_joins_total",
             "snapshot-times-segment connect products computed on TRIG",
         )
-        self._pool = _SegmentPool(registry)
+        funnel = resolve_funnel(funnel)
+        self.funnel = funnel
+        self._funnel_on = funnel.enabled
+        self._pool = _SegmentPool(registry, funnel)
         self._pipelines = {
             plan.query.name: _Pipeline(plan, self._pool, registry)
             for plan in plans
         }
+        #: Per-query funnel handles: CC queries are predicate-free, so
+        #: every routed event also passes; extend/expire stages live in
+        #: the shared ``segment:...`` series instead.
+        self._fq_of = {
+            name: funnel.for_query(name) for name in self._pipelines
+        }
+        self._funnel_routes: dict[str, list] = {}
+        if funnel.enabled:
+            for name, pipeline in self._pipelines.items():
+                handle = self._fq_of[name]
+                for segment in pipeline.plan.segments:
+                    for label in segment:
+                        for event_type in label.split("|"):
+                            routed = self._funnel_routes.setdefault(
+                                event_type, []
+                            )
+                            if handle not in routed:
+                                routed.append(handle)
         #: trigger type -> query names to report on that arrival.
         self._triggers: dict[str, list[str]] = {}
         for name, pipeline in self._pipelines.items():
@@ -264,6 +296,11 @@ class ChopConnectEngine:
         event_type = event.event_type
         if self._obs_on:
             self._m_events.inc()
+        if self._funnel_on:
+            for handle in self._funnel_routes.get(event_type, ()):
+                handle.routed.inc()
+                handle.passed.inc()
+                handle.note_ts(event.ts)
         for pipeline, j in self._snapshot_routes.get(event_type, ()):
             pipeline.take_snapshot_at(j, event, event.ts)
         for engine in self._engine_routes.get(event_type, ()):
@@ -273,6 +310,9 @@ class ChopConnectEngine:
             return None
         if self._obs_on:
             self._m_joins.inc(len(completed))
+        if self._funnel_on:
+            for name in completed:
+                self._fq_of[name].emitted.inc()
         return {
             name: self._pipelines[name].result(event.ts)
             for name in completed
@@ -308,6 +348,12 @@ class ChopConnectEngine:
         return "\n".join(
             str(pipeline.plan) for pipeline in self._pipelines.values()
         )
+
+    def explain(self) -> dict[str, Any]:
+        """Structured plan: segments per query and who shares them (see
+        :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_engine
+        return explain_engine(self)
 
     def snapshot_rows_of(self, query_name: str) -> int:
         """Live SnapShot rows held for one query's pipeline."""

@@ -294,6 +294,10 @@ class ECubeEngine:
         self._substore = _SubMatchStore()
         self._joins: dict[str, _ECubeQuery] = {}
         self._private: dict[str, TwoStepEngine] = {}
+        #: Source queries by name (EXPLAIN reads these back).
+        self._queries: dict[str, Query] = {
+            q.name: q for q in queries
+        }
         for query in queries:
             assert query.name is not None
             position = _find(query.pattern.positive_types, shared_types)
@@ -356,6 +360,20 @@ class ECubeEngine:
         return {name: self._result_of(name) for name in names}
 
     # ----- introspection ---------------------------------------------------------------
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._joins) + list(self._private)
+
+    def shared_member_names(self) -> list[str]:
+        """Queries joined around the shared substring (not private)."""
+        return list(self._joins)
+
+    def explain(self) -> dict[str, Any]:
+        """Structured plan: shared substring and join membership (see
+        :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_engine
+        return explain_engine(self)
 
     def current_objects(self) -> int:
         total = 2 * self._shared_matcher.live_entries + len(self._substore)

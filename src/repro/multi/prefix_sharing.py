@@ -15,13 +15,14 @@ from typing import Any, Iterable, Sequence
 from repro.errors import PlanError
 from repro.events.event import Event
 from repro.multi.pretree import PreTree, PreTreeLayout, shared_window_ms
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.query.ast import Query
 
 
 class _TreeGroup:
     """All queries whose patterns begin with the same element."""
 
-    __slots__ = ("layout", "trees", "global_tree", "window_ms")
+    __slots__ = ("layout", "trees", "global_tree", "window_ms", "fq")
 
     def __init__(self, queries: Sequence[Query], window_ms: int | None):
         self.layout = PreTreeLayout(queries)
@@ -30,11 +31,19 @@ class _TreeGroup:
         self.global_tree = (
             PreTree(self.layout) if window_ms is None else None
         )
+        #: Group-level funnel handle (``pretree:<start>``), set by the
+        #: engine when instrumentation is on. Shared trie work cannot be
+        #: attributed to a single owning query.
+        self.fq = None
 
     def expire(self, now: int) -> None:
         trees = self.trees
+        expired = 0
         while trees and trees[0].exp <= now:
             trees.popleft()
+            expired += 1
+        if expired and self.fq is not None:
+            self.fq.expired.inc(expired)
 
     def live_trees(self) -> Iterable[PreTree]:
         if self.global_tree is not None:
@@ -65,7 +74,11 @@ class PrefixSharedEngine:
     {'q1': 1, 'q2': 1}
     """
 
-    def __init__(self, queries: Sequence[Query]):
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        funnel: FunnelRecorder | None = None,
+    ):
         if not queries:
             raise PlanError("empty workload")
         self._window_ms = shared_window_ms(queries)
@@ -76,6 +89,28 @@ class PrefixSharedEngine:
             _TreeGroup(group, self._window_ms) for group in groups.values()
         ]
         self._queries = {q.name: q for q in queries}
+        funnel = resolve_funnel(funnel)
+        self.funnel = funnel
+        self._funnel_on = funnel.enabled
+        #: Per-query handles record routed/passed/emitted (the engine's
+        #: query class is predicate-free, so routed == passed); shared
+        #: trie extends/expires live under each group's ``pretree:...``
+        #: pseudo-query.
+        self._fq_of = {
+            name: funnel.for_query(name) for name in self._queries
+        }
+        self._funnel_routes: dict[str, list] = {}
+        if funnel.enabled:
+            for group in self._groups:
+                group.fq = funnel.for_query(
+                    f"pretree:{group.layout.start_label}"
+                )
+            for name, query in self._queries.items():
+                handle = self._fq_of[name]
+                for event_type in query.relevant_types:
+                    self._funnel_routes.setdefault(event_type, []).append(
+                        handle
+                    )
         #: trigger type -> query names it completes, per group.
         self._triggers: dict[str, list[tuple[_TreeGroup, str]]] = {}
         for group in self._groups:
@@ -95,6 +130,12 @@ class PrefixSharedEngine:
         self._now = max(self._now, event.ts)
         self.events_processed += 1
         event_type = event.event_type
+        funnel_on = self._funnel_on
+        if funnel_on:
+            for handle in self._funnel_routes.get(event_type, ()):
+                handle.routed.inc()
+                handle.passed.inc()
+                handle.note_ts(event.ts)
         for group in self._groups:
             if group.window_ms is not None:
                 group.expire(event.ts)
@@ -102,11 +143,18 @@ class PrefixSharedEngine:
             resets = event_type in layout.guard_nodes
             plan = layout.update_plan.get(event_type)
             if resets or plan:
-                for tree in group.live_trees():
+                live = group.live_trees()
+                for tree in live:
                     if resets:
                         tree.reset_guards(event_type)
                     if plan:
                         tree.apply(plan)
+                if funnel_on:
+                    touched = len(live)
+                    if resets:
+                        group.fq.blocked.inc(touched)
+                    if plan:
+                        group.fq.extended.inc(touched)
             if (
                 group.window_ms is not None
                 and event_type in layout.start_types
@@ -125,6 +173,9 @@ class PrefixSharedEngine:
         completed = self._triggers.get(event_type)
         if not completed:
             return None
+        if funnel_on:
+            for _group, name in completed:
+                self._fq_of[name].emitted.inc()
         return {
             name: self._query_result(group, name)
             for group, name in completed
@@ -163,6 +214,12 @@ class PrefixSharedEngine:
     def describe(self) -> str:
         """Human-readable sharing structure (examples, diagnostics)."""
         return "\n\n".join(group.layout.render() for group in self._groups)
+
+    def explain(self) -> dict[str, Any]:
+        """Structured plan: trie groups and shared prefixes (see
+        :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_engine
+        return explain_engine(self)
 
     def inspect(self, max_trees: int = 4) -> dict[str, Any]:
         """JSON-serializable state summary (admin endpoints)."""

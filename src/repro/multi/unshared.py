@@ -12,6 +12,7 @@ from typing import Any, Callable, Sequence
 from repro.errors import PlanError
 from repro.events.event import Event
 from repro.core.executor import ASeqEngine
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.ast import Query
 
@@ -24,15 +25,18 @@ class UnsharedEngine:
         queries: Sequence[Query],
         engine_factory: Callable[[Query], Any] = ASeqEngine,
         registry: MetricsRegistry | None = None,
+        funnel: FunnelRecorder | None = None,
     ):
         if not queries:
             raise PlanError("empty workload")
         self.obs_registry = resolve_registry(registry)
+        self.funnel = resolve_funnel(funnel)
         if engine_factory is ASeqEngine:
             obs = self.obs_registry
+            fun = self.funnel
 
             def engine_factory(q: Query) -> ASeqEngine:
-                return ASeqEngine(q, registry=obs)
+                return ASeqEngine(q, registry=obs, funnel=fun)
         names = [q.name for q in queries]
         if None in names or len(set(names)) != len(names):
             raise PlanError("queries in a workload must be uniquely named")
@@ -76,6 +80,11 @@ class UnsharedEngine:
     @property
     def query_names(self) -> list[str]:
         return list(self._engines)
+
+    def explain(self) -> dict[str, Any]:
+        """Structured plan per query (see :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_engine
+        return explain_engine(self)
 
     def inspect(self) -> dict[str, Any]:
         """JSON-serializable state summary (admin endpoints)."""

@@ -27,6 +27,7 @@ from repro.core.executor import ASeqEngine
 from repro.multi.chop import ChopPlan
 from repro.multi.chop_connect import ChopConnectEngine
 from repro.multi.planner import chop_around, find_common_substrings
+from repro.obs.funnel import FunnelRecorder, resolve_funnel
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.ast import AggKind, Query
 
@@ -65,11 +66,14 @@ class WorkloadEngine:
         queries: Sequence[Query],
         vectorized: bool = False,
         registry: MetricsRegistry | None = None,
+        funnel: FunnelRecorder | None = None,
     ):
         if not queries:
             raise PlanError("empty workload")
         registry = resolve_registry(registry)
         self.obs_registry = registry
+        funnel = resolve_funnel(funnel)
+        self.funnel = funnel
         names = [q.name for q in queries]
         if None in names or len(set(names)) != len(names):
             raise PlanError("queries in a workload must be uniquely named")
@@ -105,11 +109,12 @@ class WorkloadEngine:
         ]
 
         self._shared = (
-            ChopConnectEngine(plans, registry=registry) if plans else None
+            ChopConnectEngine(plans, registry=registry, funnel=funnel)
+            if plans else None
         )
         self._unshared: dict[str, ASeqEngine] = {
             q.name: ASeqEngine(  # type: ignore[misc]
-                q, vectorized=vectorized, registry=registry
+                q, vectorized=vectorized, registry=registry, funnel=funnel
             )
             for q in unshared_queries
         }
@@ -194,6 +199,12 @@ class WorkloadEngine:
             ),
             "unshared": unshared,
         }
+
+    def explain(self) -> dict[str, Any]:
+        """Structured plan: shared-vs-unshared routing per query (see
+        :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_engine
+        return explain_engine(self)
 
     def describe(self) -> str:
         """Human-readable routing decision."""

@@ -47,6 +47,29 @@ from repro.obs.export import (
     write_prometheus,
 )
 from repro.obs.history import HistoryRecorder, default_history
+from repro.obs.funnel import (
+    NULL_FUNNEL,
+    FunnelRecorder,
+    NullFunnel,
+    QueryFunnel,
+    funnel_rows,
+    funnel_totals,
+    get_default_funnel,
+    resolve_funnel,
+    set_default_funnel,
+)
+from repro.obs.explain import (
+    drift_from_counts,
+    drift_from_funnel,
+    explain_engine,
+    explain_query,
+    render_explain,
+)
+from repro.obs.workload_profile import (
+    build_workload_profile,
+    load_workload_profile,
+    write_workload_profile,
+)
 from repro.obs.profile import SamplingProfiler, collapsed_text
 from repro.obs.inspect import (
     cost_summary,
@@ -90,6 +113,23 @@ __all__ = [
     "write_prometheus",
     "HistoryRecorder",
     "default_history",
+    "FunnelRecorder",
+    "NullFunnel",
+    "NULL_FUNNEL",
+    "QueryFunnel",
+    "funnel_rows",
+    "funnel_totals",
+    "get_default_funnel",
+    "set_default_funnel",
+    "resolve_funnel",
+    "explain_engine",
+    "explain_query",
+    "render_explain",
+    "drift_from_funnel",
+    "drift_from_counts",
+    "build_workload_profile",
+    "write_workload_profile",
+    "load_workload_profile",
     "SamplingProfiler",
     "collapsed_text",
     "AdminServer",

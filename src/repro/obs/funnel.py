@@ -1,0 +1,409 @@
+"""Match-funnel instrumentation: where events die inside a query.
+
+Every registration owns one funnel — six staged counters that follow an
+event through the match pipeline::
+
+    events_routed -> predicate_pass -> runs_extended -> runs_expired
+                  -> negation_blocked -> matches_emitted
+
+* ``events_routed`` — events of a type the query listens to that reached
+  its executor (after routing, before predicate evaluation);
+* ``predicate_pass`` — events that also passed the local predicate
+  filter and were handed to the compiled runtime;
+* ``runs_extended`` — counter updates the runtime performed (the
+  A-Seq unit of work: one increment of one prefix counter);
+* ``runs_expired`` — live counters dropped by window expiry;
+* ``negation_blocked`` — counter resets forced by negated-type arrivals;
+* ``matches_emitted`` — fresh aggregate outputs released on TRIG.
+
+The stage *semantics* are pinned to the runtime's existing cost
+accounting (``counter_updates``, expiry and reset totals), which PR 4's
+differential suite already holds bit-identical across the per-event,
+routed, vectorized, and sharded paths — so funnel counts are
+path-invariant too, and the differential tests in
+``tests/test_funnel.py`` assert exactly that.
+
+Mechanically this module mirrors ``repro.obs.registry``'s null-object
+pattern: engines accept ``funnel=None``, resolve it through
+:func:`resolve_funnel`, cache ``funnel.enabled`` plus a per-query
+:class:`QueryFunnel` handle at construction, and pay one boolean check
+per event when the funnel is off. The stage counters are ordinary
+labelled registry metrics (``repro_funnel_*_total{query=...}``), so on
+the sharded path they ride the existing worker snapshot shipment and
+merge through :class:`~repro.obs.registry.SnapshotMerger` with no new
+wire format; :func:`funnel_rows` re-aggregates the per-shard series.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    _NULL_COUNTER,
+    _NULL_GAUGE,
+    _NULL_HISTOGRAM,
+    resolve_registry,
+)
+
+#: Funnel stages in pipeline order (renderers and docs iterate this).
+STAGES: tuple[str, ...] = (
+    "events_routed",
+    "predicate_pass",
+    "runs_extended",
+    "runs_expired",
+    "negation_blocked",
+    "matches_emitted",
+)
+
+#: Stages that get sampled wall-clock latency histograms.
+LATENCY_STAGES: tuple[str, ...] = ("predicate", "extend")
+
+_STAGE_HELP = {
+    "events_routed": "Relevant-typed events that reached the executor",
+    "predicate_pass": "Events that passed local predicates",
+    "runs_extended": "Prefix-counter updates performed",
+    "runs_expired": "Live counters dropped by window expiry",
+    "negation_blocked": "Counter resets forced by negated events",
+    "matches_emitted": "Fresh aggregate outputs released on TRIG",
+}
+
+#: Histogram bounds for sampled stage latencies (microseconds).
+_LATENCY_BOUNDS = tuple(float(2 ** i) for i in range(18))
+
+
+class QueryFunnel:
+    """Live metric handles for one query's funnel.
+
+    The attributes are registry metrics shared through the registry's
+    get-or-create semantics: every component instrumenting the same
+    query name (the executor, its nested HPC partition engines, a
+    re-registration after recovery) updates the same objects.
+    """
+
+    __slots__ = (
+        "query", "routed", "passed", "extended", "expired", "blocked",
+        "emitted", "first_ts", "last_ts", "latency",
+        "sample_every", "_tick", "_ts_seen",
+    )
+
+    def __init__(
+        self, query: str, registry: MetricsRegistry, sample_every: int
+    ):
+        self.query = query
+        self.routed = registry.counter(
+            "repro_funnel_events_routed_total",
+            _STAGE_HELP["events_routed"], query=query,
+        )
+        self.passed = registry.counter(
+            "repro_funnel_predicate_pass_total",
+            _STAGE_HELP["predicate_pass"], query=query,
+        )
+        self.extended = registry.counter(
+            "repro_funnel_runs_extended_total",
+            _STAGE_HELP["runs_extended"], query=query,
+        )
+        self.expired = registry.counter(
+            "repro_funnel_runs_expired_total",
+            _STAGE_HELP["runs_expired"], query=query,
+        )
+        self.blocked = registry.counter(
+            "repro_funnel_negation_blocked_total",
+            _STAGE_HELP["negation_blocked"], query=query,
+        )
+        self.emitted = registry.counter(
+            "repro_funnel_matches_emitted_total",
+            _STAGE_HELP["matches_emitted"], query=query,
+        )
+        self.first_ts = registry.gauge(
+            "repro_funnel_first_event_ms",
+            "Event time of the first routed event", query=query,
+        )
+        self.last_ts = registry.gauge(
+            "repro_funnel_last_event_ms",
+            "Event time of the last routed event", query=query,
+        )
+        self.latency = {
+            stage: registry.histogram(
+                "repro_funnel_stage_latency_us",
+                "Sampled wall-clock cost per funnel stage (us)",
+                bounds=_LATENCY_BOUNDS, query=query, stage=stage,
+            )
+            for stage in LATENCY_STAGES
+        }
+        self.sample_every = max(1, int(sample_every))
+        self._tick = 0
+        self._ts_seen = False
+
+    def note_ts(self, ts: float) -> None:
+        """Record event-time span (first ts once, last ts as high-water)."""
+        if not self._ts_seen:
+            self._ts_seen = True
+            self.first_ts.set(ts)
+        self.last_ts.set_max(ts)
+
+    def bump_routed(self, ts: float) -> bool:
+        """Per-event hot path: routed count + span + sampler, one call.
+
+        Folds ``routed.inc(); note_ts(ts); sample_due()`` into a single
+        method call with direct attribute arithmetic — the per-event
+        funnel cost budget (<10%, ``bench_funnel_overhead``) does not
+        survive three extra calls per routed event. Returns True when
+        this event's stage latencies should be sampled.
+        """
+        self.routed.value += 1.0
+        if not self._ts_seen:
+            self._ts_seen = True
+            self.first_ts.set(ts)
+        last = self.last_ts
+        if ts > last.value:
+            last.value = ts
+        self._tick += 1
+        if self._tick >= self.sample_every:
+            self._tick = 0
+            return True
+        return False
+
+    def sample_due(self) -> bool:
+        """Tick the shared sampler; True every ``sample_every`` calls."""
+        self._tick += 1
+        if self._tick >= self.sample_every:
+            self._tick = 0
+            return True
+        return False
+
+    def counts(self) -> dict[str, int]:
+        """Stage totals as a plain dict (test and profile food)."""
+        return {
+            "events_routed": int(self.routed.value),
+            "predicate_pass": int(self.passed.value),
+            "runs_extended": int(self.extended.value),
+            "runs_expired": int(self.expired.value),
+            "negation_blocked": int(self.blocked.value),
+            "matches_emitted": int(self.emitted.value),
+        }
+
+    def snapshot(self) -> dict:
+        """Counts plus the observed event-time span (drift-model food)."""
+        row: dict = self.counts()
+        seen = self._ts_seen and self.routed.value > 0
+        row["first_event_ms"] = self.first_ts.value if seen else None
+        row["last_event_ms"] = self.last_ts.value if seen else None
+        return row
+
+
+class _NullQueryFunnel(QueryFunnel):
+    """Shared no-op handle: all metrics are the null singletons."""
+
+    __slots__ = ()
+
+    def __init__(self):  # noqa: D107 - bypass parent registration
+        self.query = ""
+        self.routed = _NULL_COUNTER
+        self.passed = _NULL_COUNTER
+        self.extended = _NULL_COUNTER
+        self.expired = _NULL_COUNTER
+        self.blocked = _NULL_COUNTER
+        self.emitted = _NULL_COUNTER
+        self.first_ts = _NULL_GAUGE
+        self.last_ts = _NULL_GAUGE
+        self.latency = {stage: _NULL_HISTOGRAM for stage in LATENCY_STAGES}
+        self.sample_every = 1 << 30
+        self._tick = 0
+        self._ts_seen = True
+
+    def note_ts(self, ts: float) -> None:
+        pass
+
+    def bump_routed(self, ts: float) -> bool:
+        return False
+
+    def sample_due(self) -> bool:
+        return False
+
+
+class FunnelRecorder:
+    """Hands out per-query :class:`QueryFunnel` handles.
+
+    Pass the metrics registry the rest of the process exports through so
+    funnel series appear in ``/metrics`` and — on the sharded path —
+    ship inside the existing worker snapshots. When the resolved
+    registry is disabled the recorder falls back to a private one, so an
+    explicitly constructed funnel always records.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        sample_every: int = 64,
+    ):
+        resolved = resolve_registry(registry)
+        self.registry = resolved if resolved.enabled else MetricsRegistry()
+        self.sample_every = max(1, int(sample_every))
+        self._handles: dict[str, QueryFunnel] = {}
+        self._lock = threading.Lock()
+
+    def for_query(self, query: str) -> QueryFunnel:
+        """Get-or-create the handle for ``query`` (constructor-time call)."""
+        with self._lock:
+            handle = self._handles.get(query)
+            if handle is None:
+                handle = QueryFunnel(query, self.registry, self.sample_every)
+                self._handles[query] = handle
+            return handle
+
+    def query_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._handles)
+
+
+class NullFunnel(FunnelRecorder):
+    """Hands out the shared no-op handle; ``enabled`` is False."""
+
+    enabled = False
+
+    def __init__(self):  # noqa: D107 - no registry, no state
+        self._handle = _NullQueryFunnel()
+
+    def for_query(self, query: str) -> QueryFunnel:
+        return self._handle
+
+    def query_names(self) -> list[str]:
+        return []
+
+
+NULL_FUNNEL = NullFunnel()
+
+_default_funnel: FunnelRecorder = NULL_FUNNEL
+
+
+def get_default_funnel() -> FunnelRecorder:
+    """The process-global funnel (the null funnel until installed)."""
+    return _default_funnel
+
+
+def set_default_funnel(funnel: FunnelRecorder | None) -> FunnelRecorder:
+    """Install (or, with ``None``, clear) the process-global funnel.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _default_funnel
+    previous = _default_funnel
+    _default_funnel = funnel if funnel is not None else NULL_FUNNEL
+    return previous
+
+
+def resolve_funnel(funnel: FunnelRecorder | None) -> FunnelRecorder:
+    """What an engine constructor does with its ``funnel=`` argument."""
+    return funnel if funnel is not None else _default_funnel
+
+
+# ----- aggregation across shard labels ---------------------------------------
+
+
+def funnel_rows(registry: MetricsRegistry) -> list[dict]:
+    """Per-query funnel rows aggregated over every other label.
+
+    On a single-process engine each query has one series per stage and
+    the row is a straight read. On the sharded path the router registry
+    holds one series per ``shard=`` label (merged worker snapshots) plus
+    the unlabelled local-lane series; counters sum, the first-event
+    gauge takes the min over shards that actually routed events, the
+    last-event gauge the max.
+    """
+    # (query, residual-labels) -> {stage: value}; residual labels are
+    # everything but ``query`` (the shard label, in practice), so values
+    # from one shard stay correlated while folding.
+    sub_rows: dict[tuple[str, tuple], dict] = {}
+    latencies: dict[str, dict[str, list[Histogram]]] = {}
+    for metric in registry.metrics():
+        if not metric.name.startswith("repro_funnel_"):
+            continue
+        labels = dict(metric.labels)
+        query = labels.pop("query", None)
+        if query is None:
+            continue
+        if isinstance(metric, Histogram):
+            stage = labels.pop("stage", "")
+            latencies.setdefault(query, {}).setdefault(stage, []).append(
+                metric
+            )
+            continue
+        key = (query, tuple(sorted(labels.items())))
+        sub_rows.setdefault(key, {})[metric.name] = metric.value
+
+    per_query: dict[str, list[dict]] = {}
+    for (query, _residual), values in sub_rows.items():
+        per_query.setdefault(query, []).append(values)
+
+    rows = []
+    for query in sorted(per_query):
+        row: dict = {"query": query}
+        parts = per_query[query]
+        stage_names = {
+            "events_routed": "repro_funnel_events_routed_total",
+            "predicate_pass": "repro_funnel_predicate_pass_total",
+            "runs_extended": "repro_funnel_runs_extended_total",
+            "runs_expired": "repro_funnel_runs_expired_total",
+            "negation_blocked": "repro_funnel_negation_blocked_total",
+            "matches_emitted": "repro_funnel_matches_emitted_total",
+        }
+        for stage, metric_name in stage_names.items():
+            row[stage] = int(sum(p.get(metric_name, 0.0) for p in parts))
+        # Event-time span: only shards that routed at least one event
+        # have meaningful first/last gauges.
+        active = [
+            p for p in parts
+            if p.get("repro_funnel_events_routed_total", 0.0) > 0
+        ]
+        firsts = [p.get("repro_funnel_first_event_ms", 0.0) for p in active]
+        lasts = [p.get("repro_funnel_last_event_ms", 0.0) for p in active]
+        row["first_event_ms"] = min(firsts) if firsts else None
+        row["last_event_ms"] = max(lasts) if lasts else None
+        row["stage_latency_us"] = _fold_latency(latencies.get(query, {}))
+        rows.append(row)
+    return rows
+
+
+def _fold_latency(per_stage: dict[str, list[Histogram]]) -> dict:
+    out = {}
+    for stage, hists in sorted(per_stage.items()):
+        count = sum(h.count for h in hists)
+        if not count:
+            continue
+        out[stage] = {
+            "count": count,
+            "mean_us": sum(h.sum for h in hists) / count,
+            # Max of per-shard p95s: an upper bound, exact when there is
+            # a single series (the unsharded case).
+            "p95_us": max(h.p95 for h in hists),
+        }
+    return out
+
+
+def funnel_totals(rows: Iterable[dict]) -> dict[str, int]:
+    """Fold a set of :func:`funnel_rows` into whole-engine stage totals."""
+    totals = {stage: 0 for stage in STAGES}
+    for row in rows:
+        for stage in STAGES:
+            totals[stage] += int(row.get(stage, 0))
+    return totals
+
+
+__all__ = [
+    "STAGES",
+    "LATENCY_STAGES",
+    "QueryFunnel",
+    "FunnelRecorder",
+    "NullFunnel",
+    "NULL_FUNNEL",
+    "get_default_funnel",
+    "set_default_funnel",
+    "resolve_funnel",
+    "funnel_rows",
+    "funnel_totals",
+]

@@ -98,6 +98,7 @@ class HistoryRecorder:
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self.samples_taken = 0
+        self._refresher: Callable[[], None] | None = None
 
     # ----- configuration ----------------------------------------------------
 
@@ -130,6 +131,17 @@ class HistoryRecorder:
                 _SeriesSpec(alias, metric, mode, labels or None, quantile)
             )
         return self
+
+    def set_refresher(self, refresher: Callable[[], None] | None) -> None:
+        """Hook run before each sample (chainable from the engine side).
+
+        Pull-based gauges (``query_live_objects``,
+        ``query_cc_snapshot_rows``, drift) are only recomputed on
+        scrape; the sampling thread needs them recomputed on *its*
+        cadence too, so the CLI installs
+        ``engine.refresh_cost_metrics`` here.
+        """
+        self._refresher = refresher
 
     # ----- lifecycle --------------------------------------------------------
 
@@ -165,6 +177,12 @@ class HistoryRecorder:
 
     def sample(self, now: float | None = None) -> None:
         """Take one sample of every tracked series."""
+        refresher = self._refresher
+        if refresher is not None:
+            try:
+                refresher()
+            except Exception:
+                pass  # sampling proceeds on whatever values exist
         when = self._clock() if now is None else now
         with self._lock:
             for spec in self._specs:
@@ -217,6 +235,54 @@ class HistoryRecorder:
 
     # ----- reads ------------------------------------------------------------
 
+    def growth_alarms(
+        self,
+        aliases: tuple[str, ...] = (
+            "query_live_objects",
+            "query_cc_snapshot_rows",
+        ),
+        ratio: float = 2.0,
+        min_delta: float = 64.0,
+        min_points: int = 8,
+    ) -> list[dict[str, Any]]:
+        """Slope-based state-growth alarms over the sampled rings.
+
+        A ring alarms when its recent level (mean of the last quarter)
+        exceeds its early level (mean of the first quarter) by both
+        ``ratio``× and ``min_delta`` absolute — sustained growth, not a
+        burst: a healthy windowed query's live state plateaus once the
+        first window fills, so a ring that keeps climbing across the
+        whole history is leaking (an unexpired window, an unbounded
+        GROUP BY key space, a stuck Chop-Connect snapshot table).
+        """
+        alarms = []
+        with self._lock:
+            for (alias, labels), ring in self._rings.items():
+                if alias not in aliases or len(ring.values) < min_points:
+                    continue
+                values = list(ring.values)
+                times = list(ring.times)
+                quarter = max(1, len(values) // 4)
+                early = sum(values[:quarter]) / quarter
+                late = sum(values[-quarter:]) / quarter
+                delta = late - early
+                if delta < min_delta or late < ratio * max(early, 1.0):
+                    continue
+                elapsed = times[-1] - times[0]
+                alarms.append(
+                    {
+                        "series": alias,
+                        "labels": dict(labels),
+                        "early": early,
+                        "late": late,
+                        "slope_per_s": (
+                            delta / elapsed if elapsed > 0 else None
+                        ),
+                        "points": len(values),
+                    }
+                )
+        return alarms
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready dump of every ring (the ``/dashboard.json`` body)."""
         with self._lock:
@@ -247,7 +313,8 @@ def default_history(
 ) -> HistoryRecorder:
     """The stock dashboard series set (what ``--history-every`` wires):
     ingest rate, event-time lag, DLQ depth, per-shard heartbeat age,
-    and per-query p99 latency."""
+    per-query p99 latency, the per-query state watermarks the growth
+    alarm watches, and the funnel's routed/emitted rates."""
     history = HistoryRecorder(
         registry, interval_s=interval_s, capacity=capacity, clock=clock
     )
@@ -258,4 +325,16 @@ def default_history(
     history.track("dlq_depth", mode="gauge")
     history.track("repro_shard_heartbeat_age_seconds", mode="gauge")
     history.track("query_latency_us", mode="quantile", quantile=0.99)
+    # State watermarks feeding growth_alarms(); sampled as levels.
+    history.track("query_live_objects", mode="gauge")
+    history.track("query_cc_snapshot_rows", mode="gauge")
+    # Funnel throughput per query (flat when the funnel is off).
+    history.track(
+        "repro_funnel_events_routed_total", mode="rate",
+        alias="funnel_routed_rate",
+    )
+    history.track(
+        "repro_funnel_matches_emitted_total", mode="rate",
+        alias="funnel_match_rate",
+    )
     return history

@@ -12,8 +12,13 @@ wires it behind ``--admin-port``) and serves:
                           degraded; body carries the quarantined names,
                           DLQ depth, journal backlog and shard health
 ``GET /queries``          one cost-accounting row per registered query
-``GET /queries/<id>/state``  EXPLAIN-style dump of that query's live
+``GET /queries/<id>/state``  dump of that query's live
                           prefix-counter state (``inspect()``)
+``GET /explain``          the engine's structured EXPLAIN plan (JSON,
+                          plus the CLI's text rendering under ``text``)
+``GET /queries/<id>/explain``  one query's slice of the plan
+``GET /workload_profile`` the versioned workload profile document
+                          (explain + funnel + state + drift)
 ``GET /trace``            drain the trace ring buffer as JSON spans
                           (a sharded engine serves stitched
                           router→shard→merge chains via its own hook)
@@ -116,6 +121,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, admin._read(admin.render_metrics_json))
         elif path == "/healthz":
             health = admin._read(lambda: health_snapshot(admin.engine))
+            # Advisory: sustained state growth is worth paging on but
+            # not worth failing the liveness probe over.
+            health["growth_alarms"] = admin._read(admin.growth_alarms)
             self._send_json(200 if health["healthy"] else 503, health)
         elif path == "/queries":
             rows = admin._read(lambda: query_rows(admin.engine))
@@ -129,6 +137,23 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json(200, state)
+        elif path == "/explain":
+            self._send_json(200, admin._read(admin.render_explain))
+        elif path.startswith("/queries/") and path.endswith("/explain"):
+            query_id = path[len("/queries/"):-len("/explain")]
+            plan = admin._read(
+                lambda: admin.render_explain_query(query_id)
+            )
+            if plan is None:
+                self._send_json(
+                    404, {"error": "unknown query", "query": query_id}
+                )
+            else:
+                self._send_json(200, plan)
+        elif path == "/workload_profile":
+            self._send_json(
+                200, admin._read(admin.render_workload_profile)
+            )
         elif path == "/trace":
             self._send_json(200, admin._read(admin.drain_trace))
         elif path == "/dashboard.json":
@@ -158,7 +183,8 @@ class _Handler(BaseHTTPRequestHandler):
 
 ENDPOINTS = (
     "/metrics", "/metrics.json", "/healthz", "/queries",
-    "/queries/<id>/state", "/trace", "/dashboard.json", "/dashboard",
+    "/queries/<id>/state", "/queries/<id>/explain", "/explain",
+    "/workload_profile", "/trace", "/dashboard.json", "/dashboard",
     "/profile",
 )
 
@@ -311,6 +337,40 @@ class AdminServer:
                 for span in spans
             ],
         }
+
+    def growth_alarms(self) -> list[dict[str, Any]]:
+        """State-growth alarms from the history rings ([] without one)."""
+        history = self.history
+        if history is None:
+            return []
+        alarms = getattr(history, "growth_alarms", None)
+        return alarms() if callable(alarms) else []
+
+    def render_explain(self) -> dict[str, Any]:
+        """The engine's EXPLAIN plan, with the text rendering inlined."""
+        from repro.obs.explain import explain_engine, render_explain
+
+        hook = getattr(self.engine, "explain", None)
+        plan = hook() if callable(hook) else explain_engine(self.engine)
+        plan["text"] = render_explain(plan)
+        return plan
+
+    def render_explain_query(self, query_id: str) -> dict[str, Any] | None:
+        plan = self.render_explain()
+        query = plan["queries"].get(query_id)
+        if query is None:
+            return None
+        return {
+            "explain_version": plan["explain_version"],
+            "kind": plan["kind"],
+            "query": query,
+        }
+
+    def render_workload_profile(self) -> dict[str, Any]:
+        from repro.obs.workload_profile import build_workload_profile
+
+        self._refresh()
+        return build_workload_profile(self.engine)
 
     def render_dashboard_json(self) -> dict[str, Any]:
         history = self.history

@@ -1,0 +1,239 @@
+"""Workload profile export: one JSON document describing a run.
+
+A workload profile folds the EXPLAIN plan, the match funnel, the
+state-growth watermarks and the cost-model drift into a single
+versioned artifact (``workload_profile.json``) an operator can archive
+per deployment, diff across releases, or feed back into capacity
+planning. Producers: ``repro ... --workload-profile PATH`` and the
+admin server's ``/workload_profile`` endpoint.
+
+The schema is intentionally flat and explicit:
+
+* ``workload_profile_version`` — bumped on incompatible change;
+* ``engine_kind`` / ``explain`` — the full structured plan;
+* ``queries`` — per real query: funnel stage counts, observed event-time
+  span, sampled stage latencies, live-state snapshot, and
+  estimated-vs-observed drift;
+* ``shared_series`` — funnel rows of the sharing engines' pseudo-queries
+  (``segment:...``, ``pretree:...``) whose work is unattributable;
+* ``overlap`` — pairwise prefix/type overlap between queries (the raw
+  material of sharing decisions);
+* ``totals`` — whole-engine funnel totals.
+
+:func:`load_workload_profile` is the schema-checked loader the tests
+round-trip through; it raises ``ValueError`` on malformed documents.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.explain import (
+    EXPLAIN_VERSION,
+    drift_from_counts,
+    explain_engine,
+)
+from repro.obs.funnel import STAGES, funnel_rows, funnel_totals
+from repro.obs.registry import MetricsRegistry
+
+PROFILE_VERSION = 1
+
+_REQUIRED_TOP = (
+    "workload_profile_version",
+    "explain_version",
+    "engine_kind",
+    "generated_at_unix",
+    "explain",
+    "queries",
+    "shared_series",
+    "overlap",
+    "totals",
+)
+
+
+def _n_types(plan: dict[str, Any]) -> int:
+    labels = plan.get("pattern", {}).get("positive_types", [])
+    return len({t for label in labels for t in label.split("|")})
+
+
+def _overlap(plans: dict[str, Any]) -> list[dict[str, Any]]:
+    """Pairwise prefix/type overlap, from the explain plans alone (so
+    it works for every engine family, including sharded)."""
+    names = sorted(
+        name
+        for name, plan in plans.items()
+        if plan.get("pattern") is not None
+    )
+    pairs = []
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            left = plans[a]["pattern"]["positive_types"]
+            right = plans[b]["pattern"]["positive_types"]
+            prefix = 0
+            for x, y in zip(left, right):
+                if x != y:
+                    break
+                prefix += 1
+            left_set = {t for label in left for t in label.split("|")}
+            right_set = {t for label in right for t in label.split("|")}
+            union = left_set | right_set
+            shared = left_set & right_set
+            pairs.append(
+                {
+                    "a": a,
+                    "b": b,
+                    "common_prefix": prefix,
+                    "shared_types": sorted(shared),
+                    "jaccard": (len(shared) / len(union)) if union else 0.0,
+                }
+            )
+    return pairs
+
+
+def build_workload_profile(
+    engine: Any, registry: MetricsRegistry | None = None
+) -> dict[str, Any]:
+    """Fold one engine's plan + funnel + state into a profile dict.
+
+    ``registry`` is where the funnel series live; defaults to the
+    engine's funnel registry (which is the shared obs registry when
+    instrumentation is on). Works degraded — with the funnel off the
+    per-query rows simply carry zero counts and no drift.
+    """
+    hook = getattr(engine, "explain", None)
+    explain = hook() if callable(hook) else explain_engine(engine)
+    if registry is None:
+        funnel = getattr(engine, "funnel", None)
+        if funnel is not None and funnel.enabled:
+            registry = funnel.registry
+        else:
+            registry = getattr(engine, "obs_registry", None)
+    rows = (
+        {row["query"]: row for row in funnel_rows(registry)}
+        if registry is not None
+        else {}
+    )
+    try:
+        state_rows = {
+            row["query"]: row for row in engine.query_rows()
+        }
+    except Exception:
+        state_rows = {}
+
+    plan_queries = explain["queries"]
+    queries: dict[str, Any] = {}
+    for name, plan in plan_queries.items():
+        row = rows.pop(name, None)
+        entry: dict[str, Any] = {
+            "funnel": (
+                {stage: row[stage] for stage in STAGES}
+                if row is not None
+                else {stage: 0 for stage in STAGES}
+            ),
+        }
+        if row is not None:
+            entry["first_event_ms"] = row.get("first_event_ms")
+            entry["last_event_ms"] = row.get("last_event_ms")
+            entry["stage_latency_us"] = row.get("stage_latency_us") or {}
+            window_ms = (plan.get("features") or {}).get("window_ms")
+            entry["drift"] = drift_from_counts(window_ms, _n_types(plan), row)
+        else:
+            entry["first_event_ms"] = None
+            entry["last_event_ms"] = None
+            entry["stage_latency_us"] = {}
+            entry["drift"] = None
+        state = state_rows.get(name)
+        if state is not None:
+            entry["state"] = {
+                key: state.get(key)
+                for key in (
+                    "live_objects",
+                    "peak_objects",
+                    "counter_updates",
+                    "hpc_partitions",
+                    "cc_snapshot_rows",
+                    "latency_us_p50",
+                    "latency_us_p99",
+                )
+                if state.get(key) is not None
+            }
+        else:
+            entry["state"] = {}
+        estimated = plan.get("estimated")
+        if estimated is not None:
+            entry["estimated_updates_per_event"] = estimated[
+                "updates_per_event"
+            ]
+        queries[name] = entry
+
+    # Whatever is left is a sharing engine's pseudo-series
+    # (segment:..., pretree:...) or a registration unknown to the plan.
+    shared_series = {
+        name: {stage: row[stage] for stage in STAGES}
+        for name, row in sorted(rows.items())
+    }
+    return {
+        "workload_profile_version": PROFILE_VERSION,
+        "explain_version": EXPLAIN_VERSION,
+        "engine_kind": explain["kind"],
+        "generated_at_unix": time.time(),
+        "explain": explain,
+        "queries": queries,
+        "shared_series": shared_series,
+        "overlap": _overlap(plan_queries),
+        "totals": funnel_totals(
+            list(queries[name]["funnel"] for name in queries)
+        ),
+    }
+
+
+def write_workload_profile(
+    engine: Any,
+    path: str | Path,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """Build and write ``workload_profile.json``; returns the profile."""
+    profile = build_workload_profile(engine, registry=registry)
+    Path(path).write_text(json.dumps(profile, indent=2, sort_keys=True))
+    return profile
+
+
+def load_workload_profile(path: str | Path) -> dict[str, Any]:
+    """Schema-checked loader; raises ``ValueError`` on bad documents."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"not a JSON document: {error}") from error
+    if not isinstance(document, dict):
+        raise ValueError("workload profile must be a JSON object")
+    missing = [key for key in _REQUIRED_TOP if key not in document]
+    if missing:
+        raise ValueError(f"workload profile missing keys: {missing}")
+    version = document["workload_profile_version"]
+    if version != PROFILE_VERSION:
+        raise ValueError(
+            f"unsupported workload profile version {version!r} "
+            f"(this build reads {PROFILE_VERSION})"
+        )
+    if not isinstance(document["queries"], dict):
+        raise ValueError("'queries' must be an object")
+    for name, entry in document["queries"].items():
+        funnel = entry.get("funnel")
+        if not isinstance(funnel, dict) or any(
+            stage not in funnel for stage in STAGES
+        ):
+            raise ValueError(
+                f"query {name!r} is missing funnel stage counts"
+            )
+    return document
+
+
+__all__ = [
+    "PROFILE_VERSION",
+    "build_workload_profile",
+    "write_workload_profile",
+    "load_workload_profile",
+]

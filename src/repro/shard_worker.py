@@ -44,6 +44,7 @@ from repro.engine.sharded import (
     _worker_loop,
     _worker_obs_setup,
 )
+from repro.obs.funnel import NULL_FUNNEL, FunnelRecorder
 from repro.engine.transport import (
     FramedChannel,
     parse_hostport,
@@ -167,6 +168,7 @@ def _run_session(
         orphan_timeout_s = default_orphan_timeout_s
     obs = config.get("obs") or {}
     registry, tracer, profiler = _worker_obs_setup(obs)
+    funnel = FunnelRecorder(registry) if obs.get("funnel") else NULL_FUNNEL
     try:
         engine, executors = _build_worker_engine(
             list(config.get("specs") or []),
@@ -174,6 +176,7 @@ def _run_session(
             index,
             registry,
             tracer,
+            funnel=funnel,
         )
     except Exception as error:
         if profiler is not None:

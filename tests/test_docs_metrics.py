@@ -1,0 +1,55 @@
+"""Docs lint: every `repro_` metric in src/ is documented.
+
+CI runs this as the docs-lint gate: a new `repro_*` series merged
+without a row in docs/OBSERVABILITY.md's metric catalogue fails here,
+naming the missing metric.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+TOKEN = re.compile(r"repro_[a-z0-9_]+")
+
+
+def source_metric_names():
+    names = set()
+    for path in SRC.rglob("*.py"):
+        for token in TOKEN.findall(path.read_text(encoding="utf-8")):
+            # Tokens ending in "_" are prefixes (startswith checks,
+            # f-string stems), not metric names.
+            if not token.endswith("_"):
+                names.add(token)
+    return names
+
+
+def documented_metric_names():
+    names = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        if line.startswith("| `"):
+            names.update(TOKEN.findall(line))
+    return names
+
+
+def test_observability_doc_exists():
+    assert DOC.exists()
+
+
+def test_every_source_metric_is_documented():
+    missing = sorted(source_metric_names() - documented_metric_names())
+    assert not missing, (
+        "metrics used in src/ but missing from the catalogue table in "
+        f"docs/OBSERVABILITY.md: {missing}"
+    )
+
+
+def test_source_actually_defines_metrics():
+    # Guards the lint itself: if the regex or layout drifts and the
+    # scan comes back empty, the lint would pass vacuously.
+    names = source_metric_names()
+    assert "repro_funnel_events_routed_total" in names
+    assert "repro_query_cost_drift_ratio" in names
+    assert len(names) >= 10

@@ -1,0 +1,305 @@
+"""EXPLAIN plans: golden text across every sharing strategy + CLI.
+
+The golden files under ``tests/golden/`` pin the rendered EXPLAIN text
+for each engine family; regenerate with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_explain.py
+
+and review the diff like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.executor import ASeqEngine
+from repro.engine.engine import StreamEngine
+from repro.multi.ecube import ECubeEngine
+from repro.multi.prefix_sharing import PrefixSharedEngine
+from repro.multi.unshared import UnsharedEngine
+from repro.multi.workload import WorkloadEngine
+from repro.obs.explain import (
+    EXPLAIN_VERSION,
+    drift_from_counts,
+    estimate_cost,
+    explain_query,
+    render_explain,
+)
+from repro.query import seq
+from repro.query.parser import parse_query, parse_workload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+WORKLOAD_TEXT = """
+funnel_a: PATTERN SEQ(HOME, CART, BUY) AGG COUNT WITHIN 2 s;
+funnel_b: PATTERN SEQ(HOME, CART, PAY) AGG COUNT WITHIN 2 s;
+funnel_c: PATTERN SEQ(SEARCH, CLICK) AGG COUNT WITHIN 1 s;
+"""
+
+
+def build_single_sem():
+    return ASeqEngine(
+        parse_query(
+            "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 1 s", name="q"
+        )
+    )
+
+
+def build_single_negation():
+    return ASeqEngine(
+        parse_query("PATTERN SEQ(A, !N, B) AGG COUNT WITHIN 500 ms", name="q")
+    )
+
+
+def build_single_hpc_vectorized():
+    query = (
+        seq("A", "B").count().within(ms=200).group_by("k").named("g").build()
+    )
+    return ASeqEngine(query, vectorized=True)
+
+
+def build_workload_shared():
+    return WorkloadEngine(parse_workload(WORKLOAD_TEXT))
+
+
+def build_workload_unshared():
+    return UnsharedEngine(parse_workload(WORKLOAD_TEXT))
+
+
+def build_pretree():
+    return PrefixSharedEngine(
+        [
+            seq("A", "B", "C").count().within(ms=100).named("q1").build(),
+            seq("A", "B", "D").count().within(ms=100).named("q2").build(),
+            seq("X", "Y").count().within(ms=100).named("q3").build(),
+        ]
+    )
+
+
+def build_ecube():
+    return ECubeEngine(
+        [
+            seq("A", "B", "C").count().within(ms=100).named("e1").build(),
+            seq("B", "C", "D").count().within(ms=100).named("e2").build(),
+        ]
+    )
+
+
+def build_stream():
+    engine = StreamEngine(stream_name="test")
+    engine.register(
+        seq("A", "B").count().within(ms=100).named("ab").build()
+    )
+    engine.register(
+        seq("A", "!C", "B").count().within(ms=100).named("no_c").build()
+    )
+    return engine
+
+
+SCENARIOS = {
+    "single_sem": build_single_sem,
+    "single_negation": build_single_negation,
+    "single_hpc_vectorized": build_single_hpc_vectorized,
+    "workload_shared": build_workload_shared,
+    "workload_unshared": build_workload_unshared,
+    "pretree": build_pretree,
+    "ecube": build_ecube,
+    "stream": build_stream,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestGoldenExplain:
+    def test_rendered_plan_matches_golden(self, name):
+        engine = SCENARIOS[name]()
+        text = render_explain(engine.explain())
+        path = GOLDEN_DIR / f"explain_{name}.txt"
+        if os.environ.get("REPRO_UPDATE_GOLDENS"):
+            path.write_text(text)
+        assert path.exists(), (
+            f"golden file {path} missing — regenerate with "
+            "REPRO_UPDATE_GOLDENS=1"
+        )
+        assert text == path.read_text()
+
+    def test_plan_is_json_serializable_and_versioned(self, name):
+        plan = SCENARIOS[name]().explain()
+        assert plan["explain_version"] == EXPLAIN_VERSION
+        assert plan["queries"]
+        json.dumps(plan)  # no sets, no objects
+
+
+class TestPlanStructure:
+    def test_single_query_plan_fields(self):
+        plan = build_single_sem().explain()
+        query = plan["queries"]["q"]
+        assert query["lane"] == "per_event"
+        assert query["runtime"]["kind"] == "sem"
+        assert query["features"]["window_ms"] == 1000
+        assert query["sharing"]["strategy"] == "unshared"
+        assert query["estimated"]["updates_per_event"] > 1.0
+
+    def test_group_by_compiles_to_hpc(self):
+        plan = build_single_hpc_vectorized().explain()
+        runtime = plan["queries"]["g"]["runtime"]
+        assert runtime["kind"] == "hpc"
+        assert runtime["partition_attribute"] == "k"
+        assert runtime["vectorized"]
+
+    def test_chop_connect_sharing_names_partners(self):
+        plan = build_workload_shared().explain()
+        sharing = plan["queries"]["funnel_a"]["sharing"]
+        assert sharing["strategy"] == "chop-connect"
+        assert sharing["shared_with"] == ["funnel_b"]
+        shared_segments = [
+            segment
+            for segment in sharing["segments"]
+            if segment["shared_with"]
+        ]
+        assert shared_segments, "prefix segment should be shared"
+
+    def test_pretree_sharing_reports_prefix_lengths(self):
+        plan = build_pretree().explain()
+        sharing = plan["queries"]["q1"]["sharing"]
+        assert sharing["strategy"] == "pretree"
+        assert sharing["shared_prefix_length"] == {"q2": 2}
+        lonely = plan["queries"]["q3"]["sharing"]
+        assert not lonely.get("shared_prefix_length")
+
+    def test_ecube_reports_shared_substring(self):
+        plan = build_ecube().explain()
+        assert plan["shared_types"] == ["B", "C"]
+        for name in ("e1", "e2"):
+            assert plan["queries"][name]["sharing"]["strategy"] == "ecube"
+
+    def test_unwindowed_estimate_is_one_update_per_event(self):
+        query = parse_query("PATTERN SEQ(A, B) AGG COUNT", name="q")
+        assert estimate_cost(query)["updates_per_event"] == 1.0
+
+    def test_explain_query_features(self):
+        query = parse_query(
+            "PATTERN SEQ(A, !N, B) AGG COUNT WITHIN 500 ms", name="q"
+        )
+        plan = explain_query(query)
+        assert plan["features"]["negation"]
+        assert plan["pattern"]["negated_types"] == ["N"]
+        assert plan["features"]["window_ms"] == 500
+
+
+class TestShardedExplain:
+    def test_lanes_and_shard_metadata(self):
+        from repro.engine.sharded import ShardedStreamEngine
+
+        engine = ShardedStreamEngine(shards=2, supervise=False)
+        try:
+            engine.register(
+                seq("A", "B")
+                .count()
+                .within(ms=100)
+                .group_by("k")
+                .named("grouped")
+                .build()
+            )
+            engine.register(
+                seq("A", "B").count().within(ms=100).named("flat").build()
+            )
+            plan = engine.explain()
+            assert plan["kind"] == "sharded"
+            assert plan["shards"] == 2
+            assert plan["shard_attribute"] == "k"
+            assert plan["queries"]["grouped"]["lane"] == "sharded"
+            assert plan["queries"]["flat"]["lane"] == "local"
+            json.dumps(plan)
+        finally:
+            engine.close()
+
+
+class TestDriftFromCounts:
+    def row(self, **overrides):
+        row = {
+            "predicate_pass": 1000,
+            "runs_extended": 16000,
+            "first_event_ms": 0.0,
+            "last_event_ms": 10_000.0,
+        }
+        row.update(overrides)
+        return row
+
+    def test_windowed_drift(self):
+        # 1000 events over 10s, 2 types, 1s window: 500 instances per
+        # window per type -> estimated 500 updates/event; observed 16.
+        drift = drift_from_counts(1000, 2, self.row())
+        assert drift is not None
+        assert drift["observed_updates_per_event"] == 16.0
+        assert drift["estimated_updates_per_event"] == pytest.approx(50.0)
+        assert drift["drift_ratio"] == pytest.approx(16.0 / 50.0)
+
+    def test_unwindowed_estimate_is_one(self):
+        drift = drift_from_counts(None, 2, self.row())
+        assert drift["estimated_updates_per_event"] == 1.0
+        assert drift["drift_ratio"] == 16.0
+
+    def test_no_signal_returns_none(self):
+        assert drift_from_counts(1000, 2, self.row(predicate_pass=0)) is None
+        assert (
+            drift_from_counts(1000, 2, self.row(first_event_ms=None)) is None
+        )
+
+
+class TestExplainCli:
+    QUERY = "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 1 s"
+
+    def test_offline_text(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN (executor)")
+        assert "estimated:" in out
+
+    def test_offline_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", self.QUERY, "--json"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["kind"] == "executor"
+        assert "q" in plan["queries"]
+
+    def test_offline_workload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "wl.cep"
+        path.write_text(WORKLOAD_TEXT)
+        assert main(
+            ["explain", "--workload-file", str(path), "--shared"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN (workload)")
+        assert "sharing: chop-connect with funnel_b" in out
+
+    def test_parse_error_exits_nonzero(self):
+        from repro.cli import main
+
+        assert main(["explain", "PATTERN GARBAGE("]) == 1
+
+    def test_run_mode_explain_flag(self, capsys, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "t.txt"
+        trace.write_text("A,1\nB,2\nA,3\nB,4\n")
+        rc = main(
+            [
+                "--query",
+                "PATTERN SEQ(A, B) AGG COUNT WITHIN 1 s",
+                "--trace",
+                str(trace),
+                "--explain",
+                "--emit",
+                "none",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "EXPLAIN (executor)" in err

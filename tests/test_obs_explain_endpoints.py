@@ -1,0 +1,154 @@
+"""Admin endpoints for the explainability plane + growth alarms."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine.engine import StreamEngine
+from repro.obs.funnel import STAGES, FunnelRecorder
+from repro.obs.history import HistoryRecorder, default_history
+from repro.obs.registry import MetricsRegistry
+from repro.obs.server import AdminServer
+from repro.events import Event
+from repro.query import seq
+
+
+def http_get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+def ab_stream(n):
+    return [Event("AB"[i % 2], i + 1) for i in range(n)]
+
+
+@pytest.fixture
+def served():
+    """Instrumented engine (funnel on) behind a live admin server."""
+    registry = MetricsRegistry()
+    funnel = FunnelRecorder(registry)
+    engine = StreamEngine(
+        registry=registry, funnel=funnel, stream_name="test"
+    )
+    engine.register(seq("A", "B").count().within(ms=10).named("ab").build())
+    engine.run(ab_stream(100))
+    with AdminServer(engine, registry=registry) as admin:
+        yield admin
+
+
+class TestExplainEndpoint:
+    def test_explain_returns_plan_with_text(self, served):
+        status, body = http_get(served.url("/explain"))
+        assert status == 200
+        plan = json.loads(body)
+        assert plan["kind"] == "stream"
+        assert "ab" in plan["queries"]
+        assert plan["text"].startswith("EXPLAIN (stream)")
+
+    def test_per_query_explain(self, served):
+        status, body = http_get(served.url("/queries/ab/explain"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["query"]["name"] == "ab"
+        assert payload["query"]["features"]["window_ms"] == 10
+
+    def test_unknown_query_404(self, served):
+        status, body = http_get(served.url("/queries/nope/explain"))
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_root_lists_new_endpoints(self, served):
+        _, body = http_get(served.url("/"))
+        endpoints = json.loads(body)["endpoints"]
+        for endpoint in ("/explain", "/workload_profile"):
+            assert endpoint in endpoints
+
+
+class TestWorkloadProfileEndpoint:
+    def test_profile_schema_and_live_funnel(self, served):
+        status, body = http_get(served.url("/workload_profile"))
+        assert status == 200
+        profile = json.loads(body)
+        assert profile["engine_kind"] == "stream"
+        entry = profile["queries"]["ab"]
+        assert set(entry["funnel"]) == set(STAGES)
+        assert entry["funnel"]["events_routed"] == 100
+
+    def test_drift_gauge_exported(self, served):
+        http_get(served.url("/metrics"))  # scrape refreshes drift
+        _, body = http_get(served.url("/metrics"))
+        assert "repro_query_cost_drift_ratio" in body
+
+
+class TestHealthzGrowthAlarms:
+    def test_healthz_carries_growth_alarms_field(self, served):
+        status, body = http_get(served.url("/healthz"))
+        assert status == 200
+        health = json.loads(body)
+        assert health["growth_alarms"] == []
+
+
+class TestGrowthAlarms:
+    def fed_history(self, values, alias="query_live_objects"):
+        registry = MetricsRegistry()
+        gauge = registry.gauge(alias, "h", query="q")
+        clock = iter(range(len(values))).__next__
+        history = HistoryRecorder(
+            registry, interval_s=1.0, clock=lambda: float(clock())
+        )
+        history.track(alias, mode="gauge")
+        for value in values:
+            gauge.set(value)
+            history.sample()
+        return history
+
+    def test_sustained_growth_alarms(self):
+        history = self.fed_history([100 * i for i in range(16)])
+        (alarm,) = history.growth_alarms()
+        assert alarm["series"] == "query_live_objects"
+        assert alarm["labels"] == {"query": "q"}
+        assert alarm["late"] > alarm["early"]
+        assert alarm["slope_per_s"] > 0
+
+    def test_plateau_does_not_alarm(self):
+        history = self.fed_history([50.0] * 16)
+        assert history.growth_alarms() == []
+
+    def test_small_absolute_growth_ignored(self):
+        # 10x relative growth but tiny absolute delta: not a leak.
+        history = self.fed_history([1 + i * 0.5 for i in range(16)])
+        assert history.growth_alarms() == []
+
+    def test_too_few_points_ignored(self):
+        history = self.fed_history([100 * i for i in range(4)])
+        assert history.growth_alarms() == []
+
+    def test_untracked_alias_ignored(self):
+        history = self.fed_history(
+            [100 * i for i in range(16)], alias="some_other_gauge"
+        )
+        assert history.growth_alarms() == []
+
+    def test_refresher_runs_before_sample(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("query_live_objects", "h", query="q")
+        history = HistoryRecorder(registry, clock=lambda: 1.0)
+        history.track("query_live_objects", mode="gauge")
+        history.set_refresher(lambda: gauge.set(42.0))
+        history.sample(now=1.0)
+        ring = history._rings[("query_live_objects", gauge.labels)]
+        assert list(ring.values) == [42.0]
+
+    def test_default_history_tracks_funnel_and_watermarks(self):
+        registry = MetricsRegistry()
+        history = default_history(registry)
+        tracked = {spec.alias for spec in history._specs}
+        assert "query_live_objects" in tracked
+        assert "query_cc_snapshot_rows" in tracked
+        assert "funnel_routed_rate" in tracked
+        assert "funnel_match_rate" in tracked

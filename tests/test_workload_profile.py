@@ -1,0 +1,158 @@
+"""Workload profile export: build/write/load round-trip + schema checks."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.executor import ASeqEngine
+from repro.events import Event
+from repro.multi.workload import WorkloadEngine
+from repro.obs.funnel import STAGES, FunnelRecorder
+from repro.obs.workload_profile import (
+    PROFILE_VERSION,
+    build_workload_profile,
+    load_workload_profile,
+    write_workload_profile,
+)
+from repro.query import seq
+from repro.query.parser import parse_workload
+
+WORKLOAD_TEXT = """
+funnel_a: PATTERN SEQ(HOME, CART, BUY) AGG COUNT WITHIN 2 s;
+funnel_b: PATTERN SEQ(HOME, CART, PAY) AGG COUNT WITHIN 2 s;
+funnel_c: PATTERN SEQ(SEARCH, CLICK) AGG COUNT WITHIN 1 s;
+"""
+
+TYPES = ("HOME", "CART", "BUY", "PAY", "SEARCH", "CLICK")
+
+
+def click_events(count=800, seed=11):
+    rng = random.Random(seed)
+    ts = 0
+    events = []
+    for _ in range(count):
+        ts += rng.randint(1, 40)
+        events.append(Event(rng.choice(TYPES), ts))
+    return events
+
+
+@pytest.fixture
+def shared_profile(tmp_path):
+    engine = WorkloadEngine(
+        parse_workload(WORKLOAD_TEXT), funnel=FunnelRecorder()
+    )
+    for event in click_events():
+        engine.process(event)
+    path = tmp_path / "workload_profile.json"
+    write_workload_profile(engine, path)
+    return load_workload_profile(path)
+
+
+class TestBuild:
+    def test_round_trip_preserves_schema(self, shared_profile):
+        profile = shared_profile
+        assert profile["workload_profile_version"] == PROFILE_VERSION
+        assert profile["engine_kind"] == "workload"
+        assert set(profile["queries"]) == {
+            "funnel_a", "funnel_b", "funnel_c",
+        }
+
+    def test_per_query_funnel_counts_are_live(self, shared_profile):
+        for entry in shared_profile["queries"].values():
+            assert set(entry["funnel"]) == set(STAGES)
+            assert entry["funnel"]["events_routed"] > 0
+            assert entry["first_event_ms"] is not None
+            assert entry["last_event_ms"] > entry["first_event_ms"]
+
+    def test_drift_present_for_active_queries(self, shared_profile):
+        drift = shared_profile["queries"]["funnel_c"]["drift"]
+        assert drift is not None
+        assert drift["observed_updates_per_event"] > 0
+        assert drift["drift_ratio"] > 0
+
+    def test_shared_series_carries_segment_pseudo_queries(
+        self, shared_profile
+    ):
+        # funnel_a/funnel_b share the (HOME, CART) prefix segment; its
+        # extend/expire work is unattributable to either query and
+        # lands under the segment pseudo-name instead.
+        assert any(
+            name.startswith("segment:")
+            for name in shared_profile["shared_series"]
+        )
+
+    def test_overlap_pairs(self, shared_profile):
+        pairs = {
+            (pair["a"], pair["b"]): pair
+            for pair in shared_profile["overlap"]
+        }
+        ab = pairs[("funnel_a", "funnel_b")]
+        assert ab["common_prefix"] == 2
+        assert ab["shared_types"] == ["CART", "HOME"]
+        assert 0 < ab["jaccard"] < 1
+        assert pairs[("funnel_a", "funnel_c")]["common_prefix"] == 0
+
+    def test_totals_fold_query_rows(self, shared_profile):
+        expected = sum(
+            entry["funnel"]["matches_emitted"]
+            for entry in shared_profile["queries"].values()
+        )
+        assert shared_profile["totals"]["matches_emitted"] == expected
+
+    def test_single_query_engine_profile(self, tmp_path):
+        query = seq("A", "B").count().within(ms=100).named("q").build()
+        engine = ASeqEngine(query, funnel=FunnelRecorder())
+        for index, name in enumerate("ABABAB"):
+            engine.process(Event(name, ts=index + 1))
+        profile = build_workload_profile(engine)
+        assert profile["engine_kind"] == "executor"
+        assert profile["queries"]["q"]["funnel"]["matches_emitted"] > 0
+
+    def test_funnel_off_degrades_to_zero_counts(self):
+        query = seq("A", "B").count().within(ms=100).named("q").build()
+        engine = ASeqEngine(query)
+        for index, name in enumerate("ABAB"):
+            engine.process(Event(name, ts=index + 1))
+        profile = build_workload_profile(engine)
+        entry = profile["queries"]["q"]
+        assert entry["funnel"] == {stage: 0 for stage in STAGES}
+        assert entry["drift"] is None
+
+
+class TestLoader:
+    def write(self, tmp_path, document):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def valid(self, shared_profile):
+        return json.loads(json.dumps(shared_profile))
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not a JSON document"):
+            load_workload_profile(path)
+
+    def test_rejects_non_object(self, tmp_path):
+        with pytest.raises(ValueError, match="JSON object"):
+            load_workload_profile(self.write(tmp_path, [1, 2]))
+
+    def test_rejects_missing_keys(self, tmp_path, shared_profile):
+        document = self.valid(shared_profile)
+        del document["overlap"]
+        with pytest.raises(ValueError, match="missing keys.*overlap"):
+            load_workload_profile(self.write(tmp_path, document))
+
+    def test_rejects_wrong_version(self, tmp_path, shared_profile):
+        document = self.valid(shared_profile)
+        document["workload_profile_version"] = PROFILE_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported"):
+            load_workload_profile(self.write(tmp_path, document))
+
+    def test_rejects_missing_stage_counts(self, tmp_path, shared_profile):
+        document = self.valid(shared_profile)
+        del document["queries"]["funnel_a"]["funnel"]["runs_extended"]
+        with pytest.raises(ValueError, match="funnel stage counts"):
+            load_workload_profile(self.write(tmp_path, document))
