@@ -9,8 +9,15 @@ agree with the reference engine before its numbers count):
   micro-batching. With disjoint patterns each arrival concerns exactly
   one query, so routing's best case (skip 19 of 20 executors) and the
   paper's shared-workload setting coincide.
+* **columnar** — the same multi-query workload plus a fig12-style
+  single-query workload ingested as struct-of-arrays
+  :class:`EventBatch` chunks through the zero-object columnar lane
+  (batches are prebuilt outside the timed region, like the event lists
+  the other sections reuse).
 * **sharding** — a fig12-style GROUP BY workload hash-partitioned
-  across worker processes via :class:`ShardedStreamEngine`.
+  across worker processes via :class:`ShardedStreamEngine`. On a
+  single-CPU host this section records a skip instead of a number —
+  workers would just time-slice one core.
 
 Run directly to (re)generate ``BENCH_throughput.json``::
 
@@ -44,6 +51,10 @@ QUERY_COUNT = 20
 TYPES_PER_QUERY = 3
 WINDOW_MS = 60
 
+FIG12_ALPHABET = 20
+FIG12_LEN = 3
+FIG12_WINDOW_MS = 500
+
 
 def routing_queries():
     """20 disjoint 3-type queries: Qi = SEQ(T3i, T3i+1, T3i+2)."""
@@ -59,9 +70,26 @@ def routing_queries():
     return queries
 
 
-def routing_stream(events):
+def routing_generator():
     types = alphabet(QUERY_COUNT * TYPES_PER_QUERY)
-    return SyntheticTypeGenerator(types, mean_gap_ms=1, seed=15).take(events)
+    return SyntheticTypeGenerator(types, mean_gap_ms=1, seed=15)
+
+
+def routing_stream(events):
+    return routing_generator().take(events)
+
+
+def fig12_generator():
+    return SyntheticTypeGenerator(
+        alphabet(FIG12_ALPHABET), mean_gap_ms=1, seed=11
+    )
+
+
+def fig12_query():
+    steps = ", ".join(f"T{k}" for k in range(FIG12_LEN))
+    return parse_query(
+        f"PATTERN SEQ({steps}) AGG COUNT WITHIN {FIG12_WINDOW_MS} ms"
+    )
 
 
 def grouped_stream(events, groups=16, seed=12):
@@ -98,21 +126,26 @@ def shard_queries():
     ]
 
 
-def _drive(make_engine, events, repeat):
-    """Best-of-``repeat`` events/s plus the final results for pinning."""
+def _drive(make_engine, stream, repeat, count=None):
+    """Best-of-``repeat`` events/s plus the final results for pinning.
+
+    ``count`` overrides the event count when ``stream`` is a list of
+    :class:`EventBatch` chunks rather than of single events.
+    """
+    count = len(stream) if count is None else count
     best = 0.0
     results = None
     for _ in range(repeat):
         engine = make_engine()
         started = time.perf_counter()
-        engine.run(events)
+        engine.run(stream)
         elapsed = time.perf_counter() - started
         results = engine.results()
-        best = max(best, len(events) / elapsed)
+        best = max(best, count / elapsed)
     return best, results
 
 
-def bench_routing_batching(events, batch_size, repeat):
+def bench_routing_batching(events, batch_size, columnar_batch, repeat):
     stream = routing_stream(events)
     queries = routing_queries()
 
@@ -132,16 +165,75 @@ def bench_routing_batching(events, batch_size, repeat):
     )
     if routed_results != reference or batched_results != reference:
         raise SystemExit("fast-path results diverged from the reference")
+
+    batches = list(
+        routing_generator().batches(events, batch_size=columnar_batch)
+    )
+
+    def columnar():
+        engine = StreamEngine(routed=True, vectorized=True)
+        for index, query in enumerate(queries):
+            engine.register(query, name=f"q{index}")
+        return engine
+
+    columnar_eps, columnar_results = _drive(
+        columnar, batches, repeat, count=events
+    )
+    if columnar_results != reference:
+        raise SystemExit("columnar results diverged from the reference")
     return {
         "events": events,
         "queries": QUERY_COUNT,
         "alphabet": QUERY_COUNT * TYPES_PER_QUERY,
         "batch_size": batch_size,
+        "columnar_batch_size": columnar_batch,
+        "cpus": _cpu_count(),
         "per_event_eps": round(per_event_eps),
         "routed_eps": round(routed_eps),
         "batched_eps": round(batched_eps),
+        "columnar_eps": round(columnar_eps),
         "speedup_routed": round(routed_eps / per_event_eps, 2),
         "speedup_batched": round(batched_eps / per_event_eps, 2),
+        "speedup_columnar": round(columnar_eps / per_event_eps, 2),
+    }
+
+
+def bench_fig12_columnar(events, columnar_batch, repeat):
+    """Single fig12-style query: reference per-event vs columnar lane."""
+    stream = fig12_generator().take(events)
+
+    def per_event():
+        engine = StreamEngine(routed=True)
+        engine.register(fig12_query(), name="q")
+        return engine
+
+    per_event_eps, reference = _drive(per_event, stream, repeat)
+
+    batches = list(
+        fig12_generator().batches(events, batch_size=columnar_batch)
+    )
+
+    def columnar():
+        engine = StreamEngine(routed=True, vectorized=True)
+        engine.register(fig12_query(), name="q")
+        return engine
+
+    columnar_eps, columnar_results = _drive(
+        columnar, batches, repeat, count=events
+    )
+    if columnar_results != reference:
+        raise SystemExit(
+            "fig12 columnar results diverged from the reference"
+        )
+    return {
+        "events": events,
+        "pattern_len": FIG12_LEN,
+        "window_ms": FIG12_WINDOW_MS,
+        "batch_size": columnar_batch,
+        "cpus": _cpu_count(),
+        "per_event_eps": round(per_event_eps),
+        "columnar_eps": round(columnar_eps),
+        "speedup_columnar": round(columnar_eps / per_event_eps, 2),
     }
 
 
@@ -177,6 +269,7 @@ def bench_sharding(events, shards, batch_size, repeat):
         "queries": len(queries),
         "shards": shards,
         "batch_size": batch_size,
+        "cpus": _cpu_count(),
         "single_eps": round(single_eps),
         "sharded_eps": round(sharded_eps),
         "speedup_sharded": round(sharded_eps / single_eps, 2),
@@ -201,37 +294,69 @@ def run(args):
             "repeat": args.repeat,
         },
         "routing_batching": bench_routing_batching(
-            args.events, args.batch_size, args.repeat
+            args.events, args.batch_size, args.columnar_batch_size,
+            args.repeat,
+        ),
+        "fig12_columnar": bench_fig12_columnar(
+            args.fig12_events, args.columnar_batch_size, args.repeat
         ),
     }
     if not args.skip_shard:
-        report["sharding"] = bench_sharding(
-            args.shard_events, args.shards, args.batch_size, args.repeat
-        )
+        if _cpu_count() < 2:
+            # Workers would time-slice one core: the "speedup" would
+            # measure IPC overhead, not scaling. Record the skip so
+            # the gate in check() knows it was deliberate.
+            report["sharding"] = {
+                "skipped": "single-CPU host; sharded speedup not "
+                "meaningful",
+                "cpus": _cpu_count(),
+            }
+        else:
+            report["sharding"] = bench_sharding(
+                args.shard_events, args.shards, args.batch_size,
+                args.repeat,
+            )
     return report
 
 
 def check(report, baseline_path, tolerance):
-    """Fail when the batched-path speedup ratio regressed vs baseline.
+    """Fail when a fast-path speedup ratio regressed vs the baseline.
 
-    Ratios (batched / per-event on the same machine and run) transfer
-    across hardware; absolute events/s do not. Shard scaling is NOT
-    checked — it depends on the runner's core count.
+    Ratios (fast path / per-event on the same machine and run) transfer
+    across hardware; absolute events/s do not. The sharded ratio is
+    gated only when both the baseline and this run actually measured it
+    on a multi-core host — a single-CPU runner records a skip, never a
+    failure.
     """
     with open(baseline_path, encoding="utf-8") as handle:
         baseline = json.load(handle)
     failures = []
-    for key in ("speedup_routed", "speedup_batched"):
-        expected = baseline["routing_batching"][key]
-        actual = report["routing_batching"][key]
+
+    def gate(section, key):
+        expected = baseline.get(section, {}).get(key)
+        actual = report.get(section, {}).get(key)
+        if expected is None or actual is None:
+            reason = (
+                report.get(section, {}).get("skipped")
+                or baseline.get(section, {}).get("skipped")
+                or "not measured"
+            )
+            print(f"skip {section}.{key}: {reason}")
+            return
         floor = expected * (1.0 - tolerance)
         line = (
-            f"{key}: baseline {expected:.2f}x, "
+            f"{section}.{key}: baseline {expected:.2f}x, "
             f"now {actual:.2f}x (floor {floor:.2f}x)"
         )
         print(("FAIL " if actual < floor else "ok   ") + line)
         if actual < floor:
             failures.append(line)
+
+    gate("routing_batching", "speedup_routed")
+    gate("routing_batching", "speedup_batched")
+    gate("routing_batching", "speedup_columnar")
+    gate("fig12_columnar", "speedup_columnar")
+    gate("sharding", "speedup_sharded")
     if failures:
         raise SystemExit(
             "perf-smoke regression: " + "; ".join(failures)
@@ -241,9 +366,11 @@ def check(report, baseline_path, tolerance):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", type=int, default=200_000)
+    parser.add_argument("--fig12-events", type=int, default=400_000)
     parser.add_argument("--shard-events", type=int, default=100_000)
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--columnar-batch-size", type=int, default=4096)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--skip-shard", action="store_true")
     parser.add_argument("--out", help="write the JSON report here")

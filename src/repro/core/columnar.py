@@ -1,0 +1,244 @@
+"""Columnar execution plans: schema-bound routing and predicate masks.
+
+A :class:`ColumnarPlan` binds one :class:`~repro.core.executor.ASeqEngine`
+registration to one :class:`~repro.events.batch.BatchSchema`: a boolean
+type-code LUT replaces the per-event ``event_type in relevant`` check,
+and the query's local predicates compile into vectorized boolean column
+masks that replicate :mod:`repro.query.predicates` semantics (events of
+other types pass vacuously; a missing attribute means the per-event path
+would raise :class:`~repro.errors.PredicateError`).
+
+Capability gating is conservative: a plan exists only when the compiled
+runtime is the flat :class:`~repro.core.vectorized.VectorizedSemEngine`
+(windowed, no negation, no Kleene, no HPC partitioning), tracing is off,
+and every predicate is mask-compilable. Everything else — and any batch
+whose columns cannot satisfy the plan (missing attribute, exotic value
+column) — goes through the batch→Event materializer instead, so results
+and raised errors stay bit-identical to the reference engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.events.batch import BatchSchema, EventBatch
+from repro.query.predicates import (
+    AttributeComparison,
+    LocalPredicate,
+    comparison_fn,
+)
+
+#: Mask transformer: mutate ``mask`` in place for one predicate; a
+#: False return means "this batch needs the per-event fallback".
+_MaskFn = Callable[[EventBatch, np.ndarray, np.ndarray], bool]
+
+
+def columnar_capable(executor: Any) -> bool:
+    """Schema-independent capability check for one executor."""
+    from repro.core.vectorized import VectorizedSemEngine
+
+    runtime = getattr(executor, "runtime", None)
+    if not isinstance(runtime, VectorizedSemEngine):
+        return False
+    layout = executor.layout
+    if layout.reset_slot or layout.kleene_slots:
+        return False
+    if getattr(executor, "_trace_on", False):
+        # Tracing is a per-event debug surface; the kernel would have
+        # to re-trace arrivals one by one, which defeats the lane.
+        return False
+    # Routing buckets (layout slots) and the predicate filter's notion
+    # of relevance must agree, or bucket-level accounting would drift
+    # from the per-event path.
+    if frozenset(layout.update_slots) != frozenset(
+        executor.query.relevant_types
+    ):
+        return False
+    return all(
+        isinstance(p, (LocalPredicate, AttributeComparison))
+        for p in executor.query.predicates
+    )
+
+
+def _compile_local(
+    predicate: LocalPredicate, schema: BatchSchema
+) -> _MaskFn | None:
+    code = schema.code_of.get(predicate.event_type)
+    if code is None:
+        return None  # no rows of this type can exist: vacuous pass
+    op = comparison_fn(predicate.op)
+    name = predicate.attribute
+    constant = predicate.value
+
+    def apply(
+        batch: EventBatch, codes: np.ndarray, mask: np.ndarray
+    ) -> bool:
+        selected = codes == code
+        if not selected.any():
+            return True
+        column = batch.cols.get(name)
+        if column is None:
+            return False  # attribute missing: per-event path raises
+        missing = batch.present.get(name)
+        if missing is not None and bool((selected & ~missing).any()):
+            return False
+        accepted = op(column, constant)
+        np.logical_and(mask, ~selected | accepted, out=mask)
+        return True
+
+    return apply
+
+
+def _compile_comparison(
+    predicate: AttributeComparison, schema: BatchSchema
+) -> _MaskFn | None:
+    code = schema.code_of.get(predicate.event_type)
+    if code is None:
+        return None
+    op = comparison_fn(predicate.op)
+    left = predicate.left_attribute
+    right = predicate.right_attribute
+
+    def apply(
+        batch: EventBatch, codes: np.ndarray, mask: np.ndarray
+    ) -> bool:
+        selected = codes == code
+        if not selected.any():
+            return True
+        left_col = batch.cols.get(left)
+        right_col = batch.cols.get(right)
+        if left_col is None or right_col is None:
+            return False
+        for name in (left, right):
+            missing = batch.present.get(name)
+            if missing is not None and bool(
+                (selected & ~missing).any()
+            ):
+                return False
+        accepted = op(left_col, right_col)
+        np.logical_and(mask, ~selected | accepted, out=mask)
+        return True
+
+    return apply
+
+
+class ColumnarPlan:
+    """One registration's bound plan for one batch schema."""
+
+    __slots__ = (
+        "schema",
+        "routed_lut",
+        "slots_of_code",
+        "is_start",
+        "is_trigger",
+        "needs_value",
+        "value_attribute",
+        "value_needed_lut",
+        "_mask_fns",
+    )
+
+    def __init__(self, executor: Any, schema: BatchSchema) -> None:
+        layout = executor.layout
+        n_types = len(schema.types)
+        self.schema = schema
+        self.routed_lut = np.zeros(n_types, dtype=bool)
+        slots_of: list[tuple[int, ...]] = [()] * n_types
+        self.is_start = [False] * n_types
+        self.is_trigger = [False] * n_types
+        for name, slots in layout.update_slots.items():
+            code = schema.code_of.get(name)
+            if code is None:
+                continue
+            self.routed_lut[code] = True
+            slots_of[code] = slots
+            self.is_start[code] = name in layout.start_types
+            self.is_trigger[code] = name in layout.trigger_types
+        self.slots_of_code = slots_of
+        self.value_attribute = (
+            layout.value_attribute if layout.value_slot >= 0 else None
+        )
+        if self.value_attribute is not None:
+            lut = np.zeros(n_types, dtype=bool)
+            for code in range(n_types):
+                if layout.value_slot in slots_of[code]:
+                    lut[code] = True
+            self.value_needed_lut = lut
+            self.needs_value = bool(lut.any())
+        else:
+            self.value_needed_lut = None
+            self.needs_value = False
+        mask_fns: list[_MaskFn] = []
+        for predicate in executor.query.predicates:
+            if isinstance(predicate, LocalPredicate):
+                fn = _compile_local(predicate, schema)
+            else:
+                fn = _compile_comparison(predicate, schema)
+            if fn is not None:
+                mask_fns.append(fn)
+        self._mask_fns = mask_fns
+
+    def evaluate(
+        self, batch: EventBatch
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Routing + predicate masks for one batch.
+
+        Returns ``(routed_idx, kept_idx)`` — rows of relevant types,
+        then the subset passing every local predicate — or None when
+        this batch needs the materialized fallback (a predicate or the
+        aggregate's value column cannot be evaluated columnar-exactly,
+        including the cases where the per-event path raises
+        :class:`~repro.errors.PredicateError`).
+        """
+        codes = batch.codes
+        routed_mask = self.routed_lut[codes]
+        routed_idx = np.flatnonzero(routed_mask)
+        if not routed_idx.size:
+            return routed_idx, routed_idx
+        if self._mask_fns:
+            mask = routed_mask.copy()
+            try:
+                for fn in self._mask_fns:
+                    if not fn(batch, codes, mask):
+                        return None
+            except Exception:
+                # Heterogeneous columns can make a vectorized compare
+                # raise where the short-circuiting per-event evaluator
+                # would not; the fallback path settles it exactly.
+                return None
+            kept_idx = np.flatnonzero(mask)
+        else:
+            kept_idx = routed_idx
+        if self.needs_value and kept_idx.size:
+            needed = self.value_needed_lut[codes[kept_idx]]
+            if needed.any():
+                column = batch.cols.get(self.value_attribute)
+                if column is None:
+                    return None  # per-event path raises PredicateError
+                missing = batch.present.get(self.value_attribute)
+                if missing is not None and bool(
+                    (~missing[kept_idx] & needed).any()
+                ):
+                    return None
+        return routed_idx, kept_idx
+
+    def values_for(
+        self, batch: EventBatch, kept_idx: np.ndarray
+    ) -> list[Any] | None:
+        """The aggregate value column for the kept rows (None for COUNT
+        or when no kept row needs a value)."""
+        if not self.needs_value:
+            return None
+        column = batch.cols.get(self.value_attribute)
+        if column is None:
+            return None
+        return column[kept_idx].tolist()
+
+
+def plan_for(executor: Any, schema: BatchSchema) -> ColumnarPlan | None:
+    """Build the plan binding ``executor`` to ``schema`` (None when the
+    registration is not columnar-capable)."""
+    if not columnar_capable(executor):
+        return None
+    return ColumnarPlan(executor, schema)

@@ -283,6 +283,83 @@ class ASeqEngine:
                 )
         return emitted
 
+    # ----- columnar lane ---------------------------------------------------
+
+    def columnar_plan(self, schema: Any) -> Any | None:
+        """Bind this executor to a batch schema (None = not capable).
+
+        The engine caches the returned plan per schema identity; a None
+        return routes every batch of that schema through the
+        batch→Event materializer instead.
+        """
+        from repro.core.columnar import plan_for
+
+        return plan_for(self, schema)
+
+    def process_columnar(
+        self, batch: Any, plan: Any, routed: bool = True
+    ) -> tuple[list[tuple[int, Any]], int] | None:
+        """Ingest one :class:`~repro.events.batch.EventBatch` through
+        the zero-object kernel; returns ``(emitted, offered)`` where
+        ``emitted`` is ``(ts, fresh)`` pairs in stream order and
+        ``offered`` is how many events this registration was offered
+        (its routed bucket under ``routed=True``, the whole batch
+        otherwise — mirroring :meth:`process_batch` accounting on the
+        corresponding engine path). A None return means this particular
+        batch cannot be evaluated columnar-exactly and must go through
+        the materialized fallback; the executor state is untouched.
+        """
+        selection = plan.evaluate(batch)
+        if selection is None:
+            return None
+        routed_idx, kept_idx = selection
+        routed_count = int(routed_idx.size)
+        if routed:
+            if not routed_count:
+                # Parity with routed process_batch: a registration with
+                # an empty bucket is skipped entirely.
+                return [], 0
+            offered = routed_count
+            horizon = int(batch.ts[routed_idx[-1]])
+        else:
+            offered = len(batch)
+            horizon = int(batch.ts[-1])
+        kept_count = int(kept_idx.size)
+        self.events_seen += offered
+        if self._funnel_on and routed_count:
+            fq = self._fq
+            fq.routed.inc(routed_count)
+            # In-order batch: the slice ends are the span extremes.
+            fq.note_ts(int(batch.ts[routed_idx[0]]))
+            fq.note_ts(int(batch.ts[routed_idx[-1]]))
+            fq.passed.inc(kept_count)
+        if self._obs_on:
+            self._m_events.inc(offered)
+            if kept_count < offered:
+                self._m_filtered.inc(offered - kept_count)
+        runtime = self._runtime
+        if kept_count:
+            emitted = runtime.process_columns(
+                batch.codes[kept_idx].tolist(),
+                batch.ts[kept_idx].tolist(),
+                plan,
+                plan.values_for(batch, kept_idx),
+            )
+        else:
+            emitted = []
+        # The last offered arrival still moves the clock even when
+        # filtered: windows slide on every event (paper Sec. 2.1).
+        runtime.advance_time(horizon)
+        current = runtime.current_objects()
+        if current > self.peak_objects:
+            self.peak_objects = current
+        if emitted:
+            if self._funnel_on:
+                self._fq.emitted.inc(len(emitted))
+            if self._obs_on:
+                self._m_emits.inc(len(emitted))
+        return emitted, offered
+
     def result(self) -> Any:
         """Current aggregate (scalar, or per-key dict for GROUP BY)."""
         return self._runtime.result()

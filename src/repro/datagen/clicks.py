@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, Sequence
 
+from repro.events.batch import EventBatch, batches_from_events
 from repro.events.event import Event
 from repro.events.stream import EventStream
 from repro.datagen.distributions import IntervalSampler
@@ -94,3 +95,10 @@ class ClickStreamGenerator:
 
     def take(self, count: int) -> list[Event]:
         return list(self.events(count))
+
+    def batches(
+        self, count: int, batch_size: int = 4096
+    ) -> Iterator[EventBatch]:
+        """The same stream as :meth:`events`, chunked into columnar
+        :class:`~repro.events.batch.EventBatch` instances."""
+        return batches_from_events(self.events(count), batch_size=batch_size)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from typing import Iterator
 
+from repro.events.batch import EventBatch, batches_from_events
 from repro.events.event import Event
 from repro.events.stream import EventStream
 from repro.datagen.distributions import IntervalSampler
@@ -95,3 +96,10 @@ class LoginStreamGenerator:
 
     def take(self, count: int) -> list[Event]:
         return list(self.events(count))
+
+    def batches(
+        self, count: int, batch_size: int = 4096
+    ) -> Iterator[EventBatch]:
+        """The same stream as :meth:`events`, chunked into columnar
+        :class:`~repro.events.batch.EventBatch` instances."""
+        return batches_from_events(self.events(count), batch_size=batch_size)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, Sequence
 
+from repro.events.batch import EventBatch, batches_from_events
 from repro.events.event import Event
 from repro.events.stream import EventStream
 from repro.datagen.distributions import IntervalSampler, RandomWalk, ZipfSampler
@@ -97,3 +98,10 @@ class StockTradeGenerator:
     def take(self, count: int) -> list[Event]:
         """Materialize ``count`` events (benchmarks reuse one list)."""
         return list(self.events(count))
+
+    def batches(
+        self, count: int, batch_size: int = 4096
+    ) -> Iterator[EventBatch]:
+        """The same stream as :meth:`events`, chunked into columnar
+        :class:`~repro.events.batch.EventBatch` instances."""
+        return batches_from_events(self.events(count), batch_size=batch_size)

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, TextIO
 
 from repro.errors import StreamError
+from repro.events.batch import BatchSchema, EventBatch, batches_from_events
 from repro.events.event import Event
 from repro.events.stream import EventStream
 
@@ -83,6 +84,24 @@ def read_trace(
 ) -> EventStream:
     """Open a trace as an :class:`EventStream`."""
     return EventStream(iter_trace(source), enforce_order=enforce_order)
+
+
+def read_trace_batches(
+    source: str | Path | TextIO,
+    batch_size: int = 1024,
+    schema: BatchSchema | None = None,
+) -> Iterator[EventBatch]:
+    """Read a trace as columnar :class:`EventBatch` chunks.
+
+    Feeds :meth:`StreamEngine.process_event_batch` (or ``run``) without
+    per-event object dispatch; the engine's columnar lane enforces the
+    same timestamp-order contract ``read_trace`` does. The schema grows
+    across batches as new tickers appear, so type codes stay stable for
+    the engine's per-schema plan caches.
+    """
+    return batches_from_events(
+        iter_trace(source), batch_size=batch_size, schema=schema
+    )
 
 
 def write_trace(

@@ -20,12 +20,14 @@ Two execution paths coexist, selected at construction time:
 
 from __future__ import annotations
 
+import os
 import random
 import time
-from itertools import islice
+from itertools import chain, islice
 from typing import Any, Iterable, Sequence
 
 from repro.errors import EngineError
+from repro.events.batch import EventBatch
 from repro.events.event import Event
 from repro.core.executor import ASeqEngine
 from repro.engine.metrics import EngineMetrics
@@ -68,7 +70,7 @@ def relevant_types_of(executor: Any) -> frozenset[str] | None:
 class _Registration:
     __slots__ = (
         "name", "executor", "sinks", "types",
-        "m_events", "m_outputs", "m_latency",
+        "m_events", "m_outputs", "m_latency", "columnar",
     )
 
     def __init__(
@@ -89,6 +91,10 @@ class _Registration:
         self.m_events = m_events
         self.m_outputs = m_outputs
         self.m_latency = m_latency
+        #: Single-entry columnar-plan cache: (schema, plan-or-None).
+        #: Schemas are shared across a generator's batches, so one
+        #: entry covers the steady state; None means "materialize".
+        self.columnar: tuple[Any, Any] | None = None
 
 
 class StreamEngine:
@@ -203,6 +209,16 @@ class StreamEngine:
         funnel = resolve_funnel(funnel)
         self.funnel = funnel
         self._funnel_on = funnel.enabled
+        #: Last timestamp delivered through the columnar lane — the
+        #: cross-batch analog of EventStream's in-order enforcement.
+        self._batch_last_ts: int | None = None
+        #: REPRO_FORCE_COLUMNAR=1 reroutes process_batch through the
+        #: columnar lane (events → EventBatch → lane), pinning the
+        #: batch→Event fallback materializer under every existing
+        #: differential suite.
+        self._force_columnar = (
+            os.environ.get("REPRO_FORCE_COLUMNAR") == "1"
+        )
 
     # ----- registration ------------------------------------------------------
 
@@ -379,6 +395,10 @@ class StreamEngine:
             events = list(events)
         if not events:
             return 0
+        if self._force_columnar:
+            return self.process_event_batch(
+                EventBatch.from_events(events), enforce_order=False
+            )
         count = len(events)
         self.metrics.events += count
         last_ts = events[-1].ts
@@ -413,6 +433,115 @@ class StreamEngine:
             self._m_latency.observe((finished - started) * 1e6 / count)
             self._note_event_time(last_ts, finished)
         return count
+
+    def process_event_batch(
+        self, batch: EventBatch, enforce_order: bool = True
+    ) -> int:
+        """Push one columnar batch through the registrations; returns
+        its size.
+
+        The zero-object lane: registrations whose executor binds a
+        :class:`~repro.core.columnar.ColumnarPlan` to this batch's
+        schema consume the column arrays directly (type-code LUT
+        routing, boolean predicate masks, the scalar counting kernel);
+        everything else — negation, Kleene, HPC/GROUP BY, shared plans,
+        ad-hoc executors, or a batch a plan cannot evaluate exactly —
+        receives the memoized ``batch.to_events()`` materialization
+        through the same ``_drive_batch`` path ``process_batch`` uses,
+        so results stay bit-identical to the reference engine either
+        way.
+
+        ``enforce_order=True`` rejects in-batch and cross-batch
+        timestamp regressions with the same
+        :class:`~repro.errors.OutOfOrderError` the per-event
+        :class:`~repro.events.stream.EventStream` raises (the batch
+        emitters are the stream's columnar analog); the
+        ``REPRO_FORCE_COLUMNAR`` hook disables it to match
+        ``process_batch``'s trust-the-caller contract.
+        """
+        count = len(batch)
+        if not count:
+            return 0
+        if enforce_order:
+            batch.ensure_in_order(self._batch_last_ts)
+        last_ts = batch.last_ts()
+        if self._batch_last_ts is None or last_ts > self._batch_last_ts:
+            self._batch_last_ts = last_ts
+        self.metrics.events += count
+        if self._clock_ms is None or last_ts > self._clock_ms:
+            self._clock_ms = last_ts
+        obs_on = self._obs_on
+        if obs_on:
+            started = time.perf_counter()
+            self._m_events.inc(count)
+        routed = self._routed
+        materialized: list[Event] | None = None
+        for registration in self._all:
+            plan = self._bind_columnar(registration, batch.schema)
+            outcome = None
+            if plan is not None:
+                outcome = registration.executor.process_columnar(
+                    batch, plan, routed=routed
+                )
+            if outcome is None:
+                # Fallback: identical to the object path, bucketed the
+                # way routed process_batch buckets (materialized once,
+                # shared across every fallback registration).
+                if materialized is None:
+                    materialized = batch.to_events()
+                if not routed or registration.types is None:
+                    bucket = materialized
+                else:
+                    types = registration.types
+                    bucket = [
+                        event
+                        for event in materialized
+                        if event.event_type in types
+                    ]
+                if bucket:
+                    self._drive_batch(registration, bucket, obs_on)
+                continue
+            emitted, offered = outcome
+            if routed and not offered:
+                continue  # empty bucket: skipped, like process_batch
+            if obs_on:
+                registration.m_events.inc(offered)
+            emit_count = len(emitted)
+            if not emit_count:
+                continue
+            self.metrics.outputs += emit_count
+            if obs_on:
+                self._m_outputs.inc(emit_count)
+                registration.m_outputs.inc(emit_count)
+            if registration.sinks:
+                name = registration.name
+                for ts, fresh in emitted:
+                    self._deliver(
+                        name,
+                        registration.sinks,
+                        Output(name, ts, fresh),
+                    )
+        if obs_on:
+            finished = time.perf_counter()
+            self._m_latency.observe((finished - started) * 1e6 / count)
+            self._note_event_time(last_ts, finished)
+        return count
+
+    def _bind_columnar(
+        self, registration: _Registration, schema: Any
+    ) -> Any | None:
+        """The registration's plan for ``schema`` (cached by schema
+        identity; None = use the materialized fallback)."""
+        cached = registration.columnar
+        if cached is not None and cached[0] is schema:
+            return cached[1]
+        plan = None
+        if not self._trace_on:
+            probe = getattr(registration.executor, "columnar_plan", None)
+            if probe is not None:
+                plan = probe(schema)
+        registration.columnar = (schema, plan)
+        return plan
 
     def _drive_batch(
         self,
@@ -599,15 +728,25 @@ class StreamEngine:
         size = self._batch_size if batch_size is None else batch_size
         started = time.perf_counter()
         processed = 0
-        if size and size > 1:
-            iterator = iter(stream)
+        iterator = iter(stream)
+        first = next(iterator, None)
+        if first is None:
+            pass
+        elif isinstance(first, EventBatch):
+            # A stream of columnar batches (datagen batch emitters,
+            # the shard wire): each batch is one ingest unit; the
+            # batch_size chunking knob does not re-slice them.
+            for batch in chain([first], iterator):
+                processed += self.process_event_batch(batch)
+        elif size and size > 1:
+            iterator = chain([first], iterator)
             while True:
                 chunk = list(islice(iterator, size))
                 if not chunk:
                     break
                 processed += self.process_batch(chunk)
         else:
-            for event in stream:
+            for event in chain([first], iterator):
                 self.process(event)
                 processed += 1
         self.metrics.elapsed_s += time.perf_counter() - started

@@ -95,7 +95,10 @@ from collections import deque
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import EngineError, OverloadError, QueryError
+from repro.events.batch import EventBatch
 from repro.events.event import Event
 from repro.core.checkpoint import restore as _executor_restore
 from repro.core.hpc import partition_attributes
@@ -471,6 +474,32 @@ def _worker_loop(
         except (EOFError, OSError):
             return "eof"
         if command == "batch":
+            if isinstance(payload, dict) and "c" in payload:
+                # Columnar flat buffer: decode straight into an
+                # EventBatch and feed the worker engine's columnar
+                # lane. The dedup cursor advances by the record count
+                # exactly as it would for the plain-record shape.
+                base = payload.get("q")
+                total = int(payload.get("n", 0))
+                skip = 0
+                if base is not None:
+                    skip = max(0, min(total, applied_seq - base))
+                    applied_seq = max(applied_seq, base + total)
+                if failure is not None:
+                    continue  # poisoned: drain silently until restarted
+                try:
+                    cbatch = EventBatch.from_wire(payload["c"])
+                    if skip:
+                        cbatch = cbatch.islice(skip, len(cbatch))
+                    if len(cbatch):
+                        # The router already enforced stream order;
+                        # shard-local subsequences inherit it.
+                        engine.process_event_batch(
+                            cbatch, enforce_order=False
+                        )
+                except Exception as error:
+                    failure = f"{type(error).__name__}: {error}"
+                continue
             traced: Any = ()
             base = None
             if isinstance(payload, dict):
@@ -1008,6 +1037,12 @@ class ShardedStreamEngine:
         self._resume_checkpoints: dict[int, dict[str, Any]] = {}
         #: Events replayed into this engine by the last recovery.
         self.events_replayed = 0
+        # ----- columnar lane caches (see process_event_batch) -----
+        #: Single-entry (schema, sharded-type LUT) routing cache; batch
+        #: runs share one growing schema, so identity works as the key.
+        self._columnar_route: tuple[Any, Any] | None = None
+        #: Bounded key→shard memo (crc32 per unique key, not per row).
+        self._shard_of_key: dict[Any, int] = {}
 
     # ----- registration ------------------------------------------------------
 
@@ -1716,6 +1751,98 @@ class ShardedStreamEngine:
                 )
         self._buffer(worker, record, trace_id)
 
+    def process_event_batch(self, batch: EventBatch) -> int:
+        """Route one columnar batch: local lane columnar, workers by key.
+
+        The zero-object counterpart of :meth:`process`: the local lane
+        consumes the batch through its own columnar lane (which also
+        enforces the stream-order contract), and each worker receives
+        its hash-partition of the relevant rows as one flat-buffer
+        sub-batch over the data pipe. Lanes that need per-event
+        bookkeeping — the router WAL and trace sampling — fall back to
+        per-event routing over the materialized batch, so durability
+        and tracing semantics never fork from :meth:`process`.
+        """
+        count = len(batch)
+        if count == 0:
+            return 0
+        if not self._started:
+            self._start()
+        if self._router_log is not None or self._trace_on:
+            for event in batch.to_events():
+                self.process(event)
+            return count
+        # Order check + local-lane consumption (raises before any row
+        # of an out-of-order batch reaches metrics or the workers).
+        self._local.process_event_batch(batch)
+        self.metrics.events += count
+        last = batch.last_ts()
+        if self._clock_ms is None or last > self._clock_ms:
+            self._clock_ms = last
+        if not self._sharded:
+            return count
+        schema = batch.schema
+        route = self._columnar_route
+        if route is None or route[0] is not schema:
+            lut = np.fromiter(
+                (name in self._sharded_types for name in schema.types),
+                dtype=bool,
+                count=len(schema.types),
+            )
+            route = (schema, lut)
+            self._columnar_route = route
+        rows = np.flatnonzero(route[1][batch.codes])
+        if not rows.size:
+            return count
+        buckets: list[list[int]] = [[] for _ in self._workers]
+        attribute = self.shard_attribute
+        column = None if attribute is None else batch.cols.get(attribute)
+        if column is None:
+            # No key column at all: every relevant row is keyless and
+            # broadcasts, exactly like the per-event path.
+            row_list = rows.tolist()
+            for bucket in buckets:
+                bucket.extend(row_list)
+        else:
+            keys = column[rows].tolist()
+            mask = batch.present.get(attribute)
+            keyed = (
+                [True] * len(keys) if mask is None else mask[rows].tolist()
+            )
+            memo = self._shard_of_key
+            shards = self.shards
+            for row, key, has_key in zip(rows.tolist(), keys, keyed):
+                if not has_key:
+                    for bucket in buckets:
+                        bucket.append(row)
+                    continue
+                try:
+                    index = memo[key]
+                except KeyError:
+                    index = shard_of(key, shards)
+                    if len(memo) < 65536:
+                        memo[key] = index
+                except TypeError:  # unhashable key: hash it every time
+                    index = shard_of(key, shards)
+                buckets[index].append(row)
+        for worker, bucket in zip(self._workers, buckets):
+            if not bucket:
+                continue
+            if len(bucket) == count:
+                sub = batch
+            else:
+                sub = batch.take(np.asarray(bucket, dtype=np.int64))
+            # Per-event records buffered before this batch must reach
+            # the worker first, or the shard would see time run
+            # backwards; the flush also keeps journal order == arrival
+            # order for replay.
+            self._flush_worker(worker)
+            with worker.lock:
+                self._send_records(
+                    worker, sub.to_records(), wire=sub.to_wire()
+                )
+        return count
+
     def _buffer(
         self,
         worker: _Worker,
@@ -1761,6 +1888,7 @@ class ShardedStreamEngine:
         records: list[tuple[str, int, dict | None]],
         journal: bool = True,
         traced: list[tuple[int, str]] | None = None,
+        wire: bytes | None = None,
     ) -> None:
         """Deliver one batch with the backpressure guard (lock held).
 
@@ -1770,6 +1898,11 @@ class ShardedStreamEngine:
         the worker had consumed.  ``traced`` rides along as batch
         offsets so the worker can stamp ``shard_ingest`` spans; the
         journal stores plain records only (replay is untraced).
+
+        ``wire`` switches the pipe payload to the columnar flat buffer
+        (``records`` must be its record form): the worker decodes it
+        straight into an :class:`EventBatch` while the journal and the
+        fold lane keep consuming plain records.
         """
         if worker.fold is not None:
             if traced:
@@ -1797,7 +1930,11 @@ class ShardedStreamEngine:
             else None
         )
         payload: Any = records
-        if traced or base is not None:
+        if wire is not None:
+            payload = {"c": wire, "n": len(records)}
+            if base is not None:
+                payload["q"] = base
+        elif traced or base is not None:
             payload = {"r": records}
             if traced:
                 payload["t"] = traced
@@ -1912,12 +2049,19 @@ class ShardedStreamEngine:
             self._flush_worker(worker)
 
     def run(self, stream: Iterable[Event]) -> int:
-        """Drain a stream; deliver merged finals to sharded-query sinks."""
+        """Drain a stream; deliver merged finals to sharded-query sinks.
+
+        The stream may yield :class:`EventBatch` instances (columnar
+        lane) or plain events; the two shapes can be mixed.
+        """
         started = time.perf_counter()
         processed = 0
-        for event in stream:
-            self.process(event)
-            processed += 1
+        for item in stream:
+            if isinstance(item, EventBatch):
+                processed += self.process_event_batch(item)
+            else:
+                self.process(item)
+                processed += 1
         merged = self._merged_results()
         ts = int(self._clock_ms or 0)
         for name, value in merged.items():

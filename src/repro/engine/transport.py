@@ -21,6 +21,14 @@ byte-for-byte identical and swaps only the plumbing underneath:
   retry), and every retry is counted per shard in
   ``transport_reconnect_retries_total``.
 
+Data-channel batch messages come in two shapes, transparent to the
+transport: the per-event form ``{"r": records, ...}`` (pickled event
+tuples) and the columnar form ``{"c": wire, "n": count, "q": seq}``
+where ``wire`` is an :meth:`EventBatch.to_wire` flat buffer (u32
+header length + JSON header + raw array segments) and ``"q"``/``"n"``
+carry the same per-worker sequence numbering the recovery count-skip
+dedup uses for pickled records.
+
 Channel contract (both transports satisfy it):
 
 ``send(obj)`` / ``recv()``

@@ -5,18 +5,22 @@ instances delivered in timestamp order through
 :class:`~repro.events.stream.EventStream`.
 """
 
+from repro.events.batch import BatchSchema, EventBatch, batches_from_events
 from repro.events.event import Event
 from repro.events.reorder import ReorderBuffer, reordered
 from repro.events.schema import AttributeSpec, EventSchema, StreamSchema
 from repro.events.stream import EventStream, merge_streams
 
 __all__ = [
+    "BatchSchema",
     "Event",
+    "EventBatch",
     "EventSchema",
     "AttributeSpec",
     "ReorderBuffer",
     "StreamSchema",
     "EventStream",
+    "batches_from_events",
     "merge_streams",
     "reordered",
 ]

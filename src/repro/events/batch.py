@@ -1,0 +1,471 @@
+"""Struct-of-arrays event batches — the zero-object columnar format.
+
+An :class:`EventBatch` carries a micro-batch of events as parallel
+numpy arrays (one ``int32`` type-code array, one ``int64`` timestamp
+array, one column per attribute) plus a :class:`BatchSchema` mapping
+type codes back to type names. Batches flow from the data generators
+through :meth:`StreamEngine.process_event_batch` and across the shard
+wire without ever constructing :class:`~repro.events.event.Event`
+objects, which is what lifts the measured throughput ceiling from
+"Python object dispatch" to "counter arithmetic" (see
+docs/PERFORMANCE.md, "Columnar path").
+
+Exactness contract: :meth:`EventBatch.from_events` followed by
+:meth:`EventBatch.to_events` reproduces events that compare equal to
+the originals (type, timestamp, attributes), and every engine path
+consuming batches is differentially pinned against the per-event
+reference engine. Columns preserve Python value types: all-``int``
+columns stay ``int64``, all-``float`` columns ``float64``, all-``str``
+columns fixed-width unicode; anything mixed (bools included, so they
+stay ``bool``) falls back to an ``object`` column.
+
+Wire format (:meth:`to_wire` / :meth:`from_wire`)::
+
+    u32 header_len | header JSON (utf-8) | segment bytes...
+
+The header describes the schema (type names, column names) and one
+``[kind, name, dtype, nbytes]`` entry per segment, in order: the code
+array, the timestamp array, then per column the optional presence
+mask followed by the data. Numeric and unicode columns travel as raw
+``tobytes`` buffers decoded with ``np.frombuffer``; ``object`` columns
+are pickled (the documented fallback for heterogeneous attributes).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from itertools import islice
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import OutOfOrderError, StreamError
+from repro.events.event import Event
+
+_ABSENT = object()
+
+_HEADER = struct.Struct("<I")
+
+#: Wire format version (bump on incompatible layout changes).
+WIRE_VERSION = 1
+
+
+class BatchSchema:
+    """Type-code and column dictionary shared by a run of batches.
+
+    Immutable: :meth:`extended` returns a new schema whose type codes
+    are a superset *prefix-compatible* with this one (existing codes
+    never change meaning), so per-schema caches keyed on object
+    identity are invalidated exactly when the dictionary grows.
+    """
+
+    __slots__ = ("types", "columns", "code_of")
+
+    def __init__(
+        self, types: Sequence[str], columns: Sequence[str] = ()
+    ) -> None:
+        self.types: tuple[str, ...] = tuple(types)
+        self.columns: tuple[str, ...] = tuple(columns)
+        self.code_of: dict[str, int] = {
+            name: code for code, name in enumerate(self.types)
+        }
+        if len(self.code_of) != len(self.types):
+            raise StreamError("batch schema has duplicate type names")
+
+    def extended(
+        self, types: Iterable[str], columns: Iterable[str] = ()
+    ) -> "BatchSchema":
+        """This schema, grown to cover ``types``/``columns`` (self when
+        it already does)."""
+        code_of = self.code_of
+        new_types = [t for t in types if t not in code_of]
+        seen = set(self.columns)
+        new_columns = [c for c in columns if c not in seen and not seen.add(c)]
+        if not new_types and not new_columns:
+            return self
+        return BatchSchema(
+            self.types + tuple(dict.fromkeys(new_types)),
+            self.columns + tuple(new_columns),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSchema(types={len(self.types)}, "
+            f"columns={list(self.columns)!r})"
+        )
+
+
+def _column_array(
+    values: list[Any], n: int
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Build one attribute column (+ presence mask) preserving values.
+
+    ``values`` uses the ``_ABSENT`` sentinel for rows lacking the
+    attribute. Column dtype is chosen so ``tolist()`` round-trips the
+    original Python values exactly; mixed or exotic columns fall back
+    to ``object`` dtype rather than coercing.
+    """
+    present = None
+    if any(v is _ABSENT for v in values):
+        present = np.fromiter(
+            (v is not _ABSENT for v in values), dtype=bool, count=n
+        )
+    kinds = {type(v) for v in values if v is not _ABSENT}
+    if kinds == {int}:
+        try:
+            return (
+                np.fromiter(
+                    (0 if v is _ABSENT else v for v in values),
+                    dtype=np.int64,
+                    count=n,
+                ),
+                present,
+            )
+        except OverflowError:
+            pass  # ints beyond int64: keep them exact as objects
+    elif kinds == {float}:
+        return (
+            np.fromiter(
+                (0.0 if v is _ABSENT else v for v in values),
+                dtype=np.float64,
+                count=n,
+            ),
+            present,
+        )
+    elif kinds == {str}:
+        return (
+            np.asarray(
+                ["" if v is _ABSENT else v for v in values], dtype=np.str_
+            ),
+            present,
+        )
+    column = np.empty(n, dtype=object)
+    for i, v in enumerate(values):
+        column[i] = None if v is _ABSENT else v
+    return column, present
+
+
+class EventBatch:
+    """One micro-batch of events in struct-of-arrays form.
+
+    Arrays are parallel: row ``i`` is the event
+    ``(schema.types[codes[i]], ts[i], {attributes present at i})``.
+    Timestamps are expected non-decreasing (the same in-order contract
+    :class:`~repro.events.stream.EventStream` enforces);
+    :meth:`first_regression` locates violations so engine lanes can
+    reject them identically to the per-event path.
+    """
+
+    __slots__ = ("schema", "codes", "ts", "cols", "present", "_events")
+
+    def __init__(
+        self,
+        schema: BatchSchema,
+        codes: np.ndarray,
+        ts: np.ndarray,
+        cols: dict[str, np.ndarray] | None = None,
+        present: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.codes = np.asarray(codes, dtype=np.int32)
+        self.ts = np.asarray(ts, dtype=np.int64)
+        if len(self.codes) != len(self.ts):
+            raise StreamError("code and timestamp arrays disagree on length")
+        self.cols = cols or {}
+        self.present = present or {}
+        self._events: list[Event] | None = None
+
+    # ----- construction -----------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Sequence[Event],
+        schema: BatchSchema | None = None,
+    ) -> "EventBatch":
+        """Columnarize a list of events (batch→object inverse of
+        :meth:`to_events`).
+
+        A supplied ``schema`` is extended as needed (never mutated);
+        reusing the returned batch's schema across consecutive calls
+        keeps type codes stable and per-schema engine caches warm.
+        """
+        n = len(events)
+        column_names: dict[str, None] = {}
+        for event in events:
+            for name in event.attrs:
+                column_names.setdefault(name)
+        types = dict.fromkeys(event.event_type for event in events)
+        if schema is None:
+            schema = BatchSchema(types, column_names)
+        else:
+            schema = schema.extended(types, column_names)
+        code_of = schema.code_of
+        codes = np.fromiter(
+            (code_of[event.event_type] for event in events),
+            dtype=np.int32,
+            count=n,
+        )
+        ts = np.fromiter(
+            (event.ts for event in events), dtype=np.int64, count=n
+        )
+        cols: dict[str, np.ndarray] = {}
+        present: dict[str, np.ndarray] = {}
+        for name in column_names:
+            values = [event.attrs.get(name, _ABSENT) for event in events]
+            column, mask = _column_array(values, n)
+            cols[name] = column
+            if mask is not None:
+                present[name] = mask
+        return cls(schema, codes, ts, cols, present)
+
+    @classmethod
+    def empty(cls, schema: BatchSchema | None = None) -> "EventBatch":
+        schema = schema or BatchSchema(())
+        return cls(
+            schema,
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int64),
+        )
+
+    # ----- basics -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def first_ts(self) -> int:
+        return int(self.ts[0])
+
+    def last_ts(self) -> int:
+        return int(self.ts[-1])
+
+    def first_regression(
+        self, previous_ts: int | None = None
+    ) -> tuple[int, int] | None:
+        """The first in-batch (or cross-batch) timestamp regression as
+        ``(previous, offending)``, or None for an in-order batch."""
+        ts = self.ts
+        n = len(ts)
+        if n == 0:
+            return None
+        if previous_ts is not None and int(ts[0]) < previous_ts:
+            return (int(previous_ts), int(ts[0]))
+        if n > 1:
+            bad = np.nonzero(ts[1:] < ts[:-1])[0]
+            if bad.size:
+                i = int(bad[0])
+                return (int(ts[i]), int(ts[i + 1]))
+        return None
+
+    def ensure_in_order(self, previous_ts: int | None = None) -> None:
+        """Raise :class:`OutOfOrderError` exactly where the per-event
+        :class:`~repro.events.stream.EventStream` would."""
+        regression = self.first_regression(previous_ts)
+        if regression is not None:
+            raise OutOfOrderError(*regression)
+
+    # ----- derivation -------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "EventBatch":
+        """Row subset by (ascending) index array; shares the schema."""
+        indices = np.asarray(indices, dtype=np.int64)
+        cols = {name: col[indices] for name, col in self.cols.items()}
+        present = {
+            name: mask[indices] for name, mask in self.present.items()
+        }
+        return EventBatch(
+            self.schema, self.codes[indices], self.ts[indices], cols, present
+        )
+
+    def islice(self, start: int, stop: int) -> "EventBatch":
+        cols = {name: col[start:stop] for name, col in self.cols.items()}
+        present = {
+            name: mask[start:stop] for name, mask in self.present.items()
+        }
+        return EventBatch(
+            self.schema,
+            self.codes[start:stop],
+            self.ts[start:stop],
+            cols,
+            present,
+        )
+
+    # ----- materialization --------------------------------------------------
+
+    def to_events(self) -> list[Event]:
+        """Materialize :class:`Event` objects (memoized).
+
+        The safety valve for every non-vectorizable consumer: the list
+        is built once and shared, so several fallback registrations in
+        one engine pay the object cost a single time per batch.
+        """
+        if self._events is None:
+            types = self.schema.types
+            codes = self.codes.tolist()
+            ts = self.ts.tolist()
+            cols = {
+                name: col.tolist() for name, col in self.cols.items()
+            }
+            present = {
+                name: mask.tolist() for name, mask in self.present.items()
+            }
+            events = []
+            for i in range(len(codes)):
+                attrs: dict[str, Any] | None = None
+                for name, values in cols.items():
+                    mask = present.get(name)
+                    if mask is None or mask[i]:
+                        if attrs is None:
+                            attrs = {}
+                        attrs[name] = values[i]
+                events.append(Event(types[codes[i]], ts[i], attrs))
+            self._events = events
+        return self._events
+
+    def to_records(self) -> list[tuple[str, int, dict | None]]:
+        """Shard-journal records ``(type, ts, attrs|None)`` — the same
+        tuples the per-event sharded router journals, so replay and
+        recovery code never sees a new record shape."""
+        if self._events is not None:
+            return [
+                (event.event_type, event.ts, event.attrs or None)
+                for event in self._events
+            ]
+        types = self.schema.types
+        codes = self.codes.tolist()
+        ts = self.ts.tolist()
+        cols = {name: col.tolist() for name, col in self.cols.items()}
+        present = {
+            name: mask.tolist() for name, mask in self.present.items()
+        }
+        records: list[tuple[str, int, dict | None]] = []
+        for i in range(len(codes)):
+            attrs: dict[str, Any] | None = None
+            for name, values in cols.items():
+                mask = present.get(name)
+                if mask is None or mask[i]:
+                    if attrs is None:
+                        attrs = {}
+                    attrs[name] = values[i]
+            records.append((types[codes[i]], ts[i], attrs))
+        return records
+
+    # ----- flat-buffer wire -------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        """Serialize as a flat buffer: JSON header + raw column bytes."""
+        segments: list[list[Any]] = []
+        parts: list[bytes] = []
+
+        def add(kind: str, name: str, array: np.ndarray) -> None:
+            if array.dtype == object:
+                data = pickle.dumps(
+                    array.tolist(), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                segments.append([kind, name, None, len(data)])
+            else:
+                data = array.tobytes()
+                segments.append([kind, name, array.dtype.str, len(data)])
+            parts.append(data)
+
+        add("codes", "", self.codes)
+        add("ts", "", self.ts)
+        for name, col in self.cols.items():
+            mask = self.present.get(name)
+            if mask is not None:
+                add("mask", name, mask)
+            add("col", name, col)
+        header = json.dumps(
+            {
+                "v": WIRE_VERSION,
+                "n": len(self),
+                "types": list(self.schema.types),
+                "segs": segments,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return b"".join([_HEADER.pack(len(header)), header, *parts])
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "EventBatch":
+        """Decode :meth:`to_wire` output (arrays may be read-only views
+        over the buffer; consumers never mutate batch columns)."""
+        if len(data) < _HEADER.size:
+            raise StreamError("truncated columnar batch frame")
+        (header_len,) = _HEADER.unpack_from(data)
+        offset = _HEADER.size
+        try:
+            header = json.loads(data[offset:offset + header_len])
+        except ValueError as error:
+            raise StreamError(
+                f"corrupt columnar batch header: {error}"
+            ) from None
+        if header.get("v") != WIRE_VERSION:
+            raise StreamError(
+                f"unsupported columnar wire version {header.get('v')!r}"
+            )
+        offset += header_len
+        n = int(header["n"])
+        codes: np.ndarray | None = None
+        ts: np.ndarray | None = None
+        cols: dict[str, np.ndarray] = {}
+        present: dict[str, np.ndarray] = {}
+        for kind, name, dtype, nbytes in header["segs"]:
+            raw = data[offset:offset + nbytes]
+            if len(raw) != nbytes:
+                raise StreamError("truncated columnar batch segment")
+            offset += nbytes
+            if dtype is None:
+                array = np.empty(n, dtype=object)
+                values = pickle.loads(raw)
+                for i, value in enumerate(values):
+                    array[i] = value
+            else:
+                array = np.frombuffer(raw, dtype=np.dtype(dtype))
+            if kind == "codes":
+                codes = array
+            elif kind == "ts":
+                ts = array
+            elif kind == "mask":
+                present[name] = array
+            elif kind == "col":
+                cols[name] = array
+            else:
+                raise StreamError(
+                    f"unknown columnar segment kind {kind!r}"
+                )
+        if codes is None or ts is None:
+            raise StreamError("columnar batch frame lacks code/ts arrays")
+        schema = BatchSchema(header["types"], tuple(cols))
+        return cls(schema, codes, ts, cols, present)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventBatch(n={len(self)}, types={len(self.schema.types)}, "
+            f"columns={list(self.cols)!r})"
+        )
+
+
+def batches_from_events(
+    events: Iterable[Event],
+    batch_size: int = 1024,
+    schema: BatchSchema | None = None,
+) -> Iterator[EventBatch]:
+    """Chunk any event iterable into :class:`EventBatch` instances.
+
+    The schema grows across batches as new types/attributes appear and
+    is shared between consecutive batches otherwise, keeping engine-side
+    per-schema routing caches hot.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    iterator = iter(events)
+    while True:
+        chunk = list(islice(iterator, batch_size))
+        if not chunk:
+            return
+        batch = EventBatch.from_events(chunk, schema=schema)
+        schema = batch.schema
+        yield batch

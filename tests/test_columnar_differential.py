@@ -1,0 +1,321 @@
+"""Differential pinning: the columnar lane vs the reference engine.
+
+Every consumer of :class:`EventBatch` must be bit-identical to the
+per-event reference :class:`StreamEngine` (itself pinned to the
+brute-force oracle in ``test_differential.py``):
+
+* the zero-object kernel (``process_event_batch`` over COUNT / SUM /
+  AVG / MAX / MIN with mask-compiled predicates), across seeds and
+  batch sizes including 1 and larger-than-stream;
+* the batch→Event fallback materializer (negation, GROUP BY / HPC,
+  equivalence chains, tracing) — also pinned wholesale by the CI leg
+  that sets ``REPRO_FORCE_COLUMNAR=1`` over the engine suites;
+* the sharded flat-buffer wire, over both pipe and TCP transports;
+* edge semantics: window expiry straddling a batch edge, out-of-order
+  timestamps rejected exactly like the per-event path (intra- and
+  cross-batch), ``PredicateError`` surfacing, empty and size-1 batches.
+
+Attribute values are small integers so float addition order cannot mask
+a divergence — "equal" means bit-identical.
+"""
+
+import random
+
+import pytest
+
+from conftest import random_events
+from repro.engine.engine import StreamEngine
+from repro.engine.sharded import ShardedStreamEngine
+from repro.errors import OutOfOrderError, PredicateError
+from repro.events.batch import EventBatch, batches_from_events
+from repro.events.event import Event
+from repro.query import parse_query
+from repro.resilience.faults import fault_seed
+
+SEEDS = [fault_seed(0) * 101 + offset for offset in (0, 1, 2)]
+BATCH_SIZES = [1, 7, 256, 4096]
+
+KERNEL_QUERIES = [
+    "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms",
+    "PATTERN SEQ(A, B, C) AGG COUNT WITHIN 90 ms",
+    "PATTERN SEQ(A, C) AGG SUM(C.v) WITHIN 60 ms",
+    "PATTERN SEQ(A, B, C) AGG AVG(C.v) WITHIN 80 ms",
+    "PATTERN SEQ(B, C) AGG MAX(C.v) WITHIN 50 ms",
+    "PATTERN SEQ(A, C) AGG MIN(C.v) WITHIN 50 ms",
+]
+
+PREDICATE_QUERIES = [
+    "PATTERN SEQ(A, B) AGG COUNT WITHIN 60 ms WHERE B.v > 4",
+    "PATTERN SEQ(A, B) AGG SUM(B.v) WITHIN 60 ms WHERE A.v <= 3",
+    "PATTERN SEQ(A, B) AGG COUNT WITHIN 60 ms WHERE A.v != A.w",
+    "PATTERN SEQ(A, B, C) AGG AVG(C.v) WITHIN 90 ms "
+    "WHERE A.v < 5 AND C.v >= 2",
+]
+
+FALLBACK_QUERIES = [
+    "PATTERN SEQ(A, !N, B) AGG COUNT WITHIN 70 ms",
+    "PATTERN SEQ(A, B) AGG COUNT WITHIN 50 ms GROUP BY g",
+    "PATTERN SEQ(A, B) AGG AVG(B.v) WITHIN 60 ms WHERE A.g = B.g",
+    "PATTERN SEQ(A, B) AGG COUNT",  # unwindowed: DPC runtime
+]
+
+
+def flat_stream(seed, count=1500):
+    rng = random.Random(seed)
+    return random_events(
+        rng,
+        ["A", "B", "C", "N", "Z"],
+        count,
+        attr_maker=lambda r, t: {
+            "v": r.randint(1, 9), "w": r.randint(1, 9),
+            "g": r.randint(0, 5),
+        },
+    )
+
+
+def reference_results(queries, events):
+    engine = StreamEngine()
+    for index, text in enumerate(queries):
+        engine.register(parse_query(text), name=f"q{index}")
+    for event in events:
+        engine.process(event)
+    return engine.results()
+
+
+def columnar_results(queries, events, batch_size):
+    engine = StreamEngine(routed=True, vectorized=True)
+    for index, text in enumerate(queries):
+        engine.register(parse_query(text), name=f"q{index}")
+    engine.run(batches_from_events(events, batch_size=batch_size))
+    return engine.results()
+
+
+def kernel_engaged(engine, name):
+    registration = engine._registrations[name]
+    return (
+        registration.columnar is not None
+        and registration.columnar[1] is not None
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_kernel_queries_match_reference(seed, batch_size):
+    events = flat_stream(seed)
+    expected = reference_results(KERNEL_QUERIES, events)
+    assert columnar_results(KERNEL_QUERIES, events, batch_size) == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("batch_size", [7, 256])
+def test_predicate_masks_match_reference(seed, batch_size):
+    events = flat_stream(seed)
+    expected = reference_results(PREDICATE_QUERIES, events)
+    assert (
+        columnar_results(PREDICATE_QUERIES, events, batch_size) == expected
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fallback_queries_match_reference(seed):
+    events = flat_stream(seed)
+    expected = reference_results(FALLBACK_QUERIES, events)
+    assert columnar_results(FALLBACK_QUERIES, events, 113) == expected
+
+
+def test_kernel_actually_engages_and_fallback_actually_falls_back():
+    # Guard against the differential silently passing because every
+    # registration fell back: pin which lane each query takes.
+    events = flat_stream(SEEDS[0], count=300)
+    engine = StreamEngine(routed=True, vectorized=True)
+    engine.register(parse_query(KERNEL_QUERIES[0]), name="kernel")
+    engine.register(parse_query(FALLBACK_QUERIES[0]), name="fallback")
+    engine.run(batches_from_events(events, batch_size=64))
+    assert kernel_engaged(engine, "kernel")
+    assert not kernel_engaged(engine, "fallback")
+
+
+class TestBatchBoundaryEdges:
+    def test_window_expiry_straddles_batch_edge(self):
+        # A run opened in batch k must expire in batch k+1 exactly at
+        # window end: events 1..4 in one batch, the trigger after the
+        # boundary at ts 45 (A@1 expired, A@10 alive) and ts 52
+        # (A@10 expired too).
+        events = [
+            Event("A", 1), Event("A", 10), Event("B", 12),
+            Event("B", 45), Event("B", 52),
+        ]
+        query = "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms"
+        expected = reference_results([query], events)
+        for split in range(1, len(events)):
+            engine = StreamEngine(routed=True, vectorized=True)
+            engine.register(parse_query(query), name="q0")
+            engine.process_event_batch(EventBatch.from_events(events[:split]))
+            engine.process_event_batch(EventBatch.from_events(events[split:]))
+            assert engine.results() == expected, f"split={split}"
+
+    def test_empty_batch_is_a_noop(self):
+        engine = StreamEngine(routed=True, vectorized=True)
+        engine.register(
+            parse_query("PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms"),
+            name="q0",
+        )
+        assert engine.process_event_batch(EventBatch.empty()) == 0
+        assert engine.results() == {"q0": 0}
+
+    def test_size_one_batches_match_reference(self):
+        events = flat_stream(SEEDS[0], count=200)
+        expected = reference_results(KERNEL_QUERIES, events)
+        assert columnar_results(KERNEL_QUERIES, events, 1) == expected
+
+    def test_intra_batch_regression_rejected_like_per_event(self):
+        events = [Event("A", 5), Event("B", 3)]
+        engine = StreamEngine(routed=True, vectorized=True)
+        engine.register(
+            parse_query("PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms"),
+            name="q0",
+        )
+        with pytest.raises(OutOfOrderError):
+            engine.process_event_batch(EventBatch.from_events(events))
+
+    def test_cross_batch_regression_rejected_like_per_event(self):
+        engine = StreamEngine(routed=True, vectorized=True)
+        engine.register(
+            parse_query("PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms"),
+            name="q0",
+        )
+        engine.process_event_batch(
+            EventBatch.from_events([Event("A", 5)])
+        )
+        with pytest.raises(OutOfOrderError):
+            engine.process_event_batch(
+                EventBatch.from_events([Event("B", 3)])
+            )
+        # Ties across the boundary are legal, like EventStream.
+        engine.process_event_batch(
+            EventBatch.from_events([Event("B", 5)])
+        )
+
+    def test_missing_predicate_attribute_raises_like_per_event(self):
+        # The mask compiler routes the offending batch through the
+        # materializer, which must surface the same PredicateError the
+        # per-event evaluator raises.
+        events = [Event("A", 1, {"v": 1}), Event("B", 2)]  # B lacks v
+        query = "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms WHERE B.v > 0"
+        reference = StreamEngine()
+        reference.register(parse_query(query), name="q0")
+        with pytest.raises(PredicateError):
+            for event in events:
+                reference.process(event)
+        engine = StreamEngine(routed=True, vectorized=True)
+        engine.register(parse_query(query), name="q0")
+        with pytest.raises(PredicateError):
+            engine.process_event_batch(EventBatch.from_events(events))
+
+    def test_missing_aggregate_value_raises_like_per_event(self):
+        events = [Event("A", 1), Event("C", 2)]  # C lacks v
+        query = "PATTERN SEQ(A, C) AGG SUM(C.v) WITHIN 40 ms"
+        reference = StreamEngine()
+        reference.register(parse_query(query), name="q0")
+        with pytest.raises(PredicateError):
+            for event in events:
+                reference.process(event)
+        engine = StreamEngine(routed=True, vectorized=True)
+        engine.register(parse_query(query), name="q0")
+        with pytest.raises(PredicateError):
+            engine.process_event_batch(EventBatch.from_events(events))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_accounting_matches_batched_path(seed):
+    # events_processed / counter_updates feed the obs cost model; the
+    # kernel must account identically to the per-event runtime.
+    events = flat_stream(seed, count=800)
+    query = "PATTERN SEQ(A, B, C) AGG COUNT WITHIN 90 ms"
+
+    reference = StreamEngine(routed=True, vectorized=True)
+    reference.register(parse_query(query), name="q0")
+    reference.process_batch(events)
+
+    engine = StreamEngine(routed=True, vectorized=True)
+    engine.register(parse_query(query), name="q0")
+    engine.run(batches_from_events(events, batch_size=97))
+
+    ref_exec = reference._registrations["q0"].executor
+    col_exec = engine._registrations["q0"].executor
+    assert col_exec.events_seen == ref_exec.events_seen
+    assert col_exec.events_processed == ref_exec.events_processed
+    assert col_exec.counter_updates == ref_exec.counter_updates
+
+
+def grouped_stream(seed, count=1200, groups=7):
+    rng = random.Random(seed)
+    events = random_events(
+        rng,
+        ["A", "B", "C", "Z"],
+        count,
+        attr_maker=lambda r, t: {
+            "g": r.randint(0, groups - 1), "v": r.randint(1, 9)
+        },
+    )
+    # Keyless rows exercise the broadcast lane on every seed.
+    for index in range(50, len(events), 97):
+        events[index] = Event("N", events[index].ts)
+    return events
+
+
+SHARDED_QUERIES = [
+    "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms GROUP BY g",
+    "PATTERN SEQ(A, B) AGG AVG(B.v) WITHIN 60 ms GROUP BY g",
+    "PATTERN SEQ(A, !N, B) AGG COUNT WITHIN 70 ms GROUP BY g",
+    "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms",  # local lane
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("transport", ["pipe", "tcp"])
+def test_sharded_columnar_matches_reference(seed, transport):
+    events = grouped_stream(seed)
+    expected = reference_results(SHARDED_QUERIES, events)
+    with ShardedStreamEngine(
+        shards=2, vectorized=True, transport=transport
+    ) as engine:
+        for index, text in enumerate(SHARDED_QUERIES):
+            engine.register(parse_query(text), name=f"q{index}")
+        engine.run(batches_from_events(events, batch_size=149))
+        assert engine.results() == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_columnar_matches_per_event_sharded(seed):
+    # Same engine, same shard count: only the wire format differs.
+    events = grouped_stream(seed, count=900)
+    queries = SHARDED_QUERIES[:2]
+    with ShardedStreamEngine(shards=2, vectorized=True) as engine:
+        for index, text in enumerate(queries):
+            engine.register(parse_query(text), name=f"q{index}")
+        for event in events:
+            engine.process(event)
+        engine.flush()
+        expected = engine.results()
+    with ShardedStreamEngine(shards=2, vectorized=True) as engine:
+        for index, text in enumerate(queries):
+            engine.register(parse_query(text), name=f"q{index}")
+        for batch in batches_from_events(events, batch_size=256):
+            engine.process_event_batch(batch)
+        engine.flush()
+        assert engine.results() == expected
+
+
+def test_sharded_mixed_batches_and_events():
+    # run() accepts a stream interleaving both shapes.
+    events = grouped_stream(SEEDS[0], count=600)
+    expected = reference_results(SHARDED_QUERIES[:2], events)
+    half = len(events) // 2
+    mixed = list(batches_from_events(events[:half], batch_size=128))
+    mixed += events[half:]
+    with ShardedStreamEngine(shards=2, vectorized=True) as engine:
+        for index, text in enumerate(SHARDED_QUERIES[:2]):
+            engine.register(parse_query(text), name=f"q{index}")
+        engine.run(mixed)
+        assert engine.results() == expected

@@ -269,6 +269,64 @@ class TestNegationFunnel:
         assert run_vectorized(self.query(), events) == reference
 
 
+class TestColumnarFunnelParity:
+    """Columnar-lane stage counts and event-time gauges must match the
+    per-event path — both when the zero-object kernel engages and when
+    a registration falls back through the batch materializer."""
+
+    def run_stream_engine(self, query, events, columnar, batch=97):
+        from repro.engine.engine import StreamEngine
+        from repro.events.batch import batches_from_events
+
+        funnel = FunnelRecorder()
+        engine = StreamEngine(routed=True, vectorized=True, funnel=funnel)
+        engine.register(query, name="q")
+        if columnar:
+            engine.run(batches_from_events(events, batch_size=batch))
+        else:
+            for event in events:
+                engine.process(event)
+        engine.results()
+        (row,) = funnel_rows(funnel.registry)
+        return row
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_kernel_lane_counts_and_watermarks(self, seed):
+        query = seq("A", "B").count().within(ms=200).named("q").build()
+        events = make_events(seed)
+        reference = self.run_stream_engine(query, events, columnar=False)
+        columnar = self.run_stream_engine(query, events, columnar=True)
+        assert {s: columnar[s] for s in STAGES} == {
+            s: reference[s] for s in STAGES
+        }
+        assert columnar["first_event_ms"] == reference["first_event_ms"]
+        assert columnar["last_event_ms"] == reference["last_event_ms"]
+        assert reference["events_routed"] > 0
+        assert reference["runs_extended"] > 0
+        assert reference["matches_emitted"] > 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fallback_lane_matches_per_event(self, seed):
+        # GROUP BY compiles to HPC, which the kernel cannot consume:
+        # the batch→Event materializer must keep the funnel identical.
+        query = (
+            seq("A", "B")
+            .count()
+            .within(ms=200)
+            .group_by("k")
+            .named("q")
+            .build()
+        )
+        events = make_events(seed)
+        reference = self.run_stream_engine(query, events, columnar=False)
+        columnar = self.run_stream_engine(query, events, columnar=True)
+        assert {s: columnar[s] for s in STAGES} == {
+            s: reference[s] for s in STAGES
+        }
+        assert columnar["first_event_ms"] == reference["first_event_ms"]
+        assert columnar["last_event_ms"] == reference["last_event_ms"]
+
+
 class TestLatencySampling:
     def test_sampled_latency_appears_in_rows(self):
         funnel = FunnelRecorder(sample_every=1)
