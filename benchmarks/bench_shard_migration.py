@@ -1,0 +1,196 @@
+"""Membership cost on the steady path and the migration pause.
+
+Two questions with acceptance numbers attached:
+
+* **Static-fleet overhead** — attaching a :class:`WorkerRegistry`
+  with a static two-member fleet (no churn) must not tax steady-state
+  ingest: membership work on the hot path is one non-blocking poll per
+  batch, so the gate is a small absolute per-event tax (the relative
+  10%-class target emerges once worker matching dominates).  Results
+  must agree exactly with the membership-free engine.
+* **Migration pause** — moving a partition mid-stream stalls only
+  that partition's ingest for the handoff (quiesce at a batch
+  boundary, checkpoint, ship checkpoint + journal suffix, replay,
+  flip the routing table).  Target: < 250 ms per shard on the fig. 12
+  workload shape; skipped on single-CPU hosts where the source and
+  destination workers time-slice one core and the "pause" measures
+  scheduling, not handoff.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.datagen.synthetic import alphabet
+from repro.engine.sharded import ShardedStreamEngine
+from repro.events.event import Event
+from repro.obs.registry import MetricsRegistry
+from repro.query import parse_query
+from repro.resilience.membership import WorkerRegistry
+
+TYPES = alphabet(20)
+QUERY = (
+    f"PATTERN SEQ({TYPES[0]}, {TYPES[1]}, {TYPES[2]}) "
+    "AGG COUNT WITHIN 200 ms GROUP BY g"
+)
+N_EVENTS = 4_000
+PAUSE_BUDGET_S = 0.25
+
+_OPEN: list[ShardedStreamEngine] = []
+
+
+def keyed_stream(count: int = N_EVENTS, seed: int = 13) -> list[Event]:
+    """Fig. 12's stream shape (20 uniform types, ~1 ms gaps) plus a
+    group key so the sharded engine can partition it."""
+    rng = random.Random(seed)
+    events, ts = [], 0
+    for _ in range(count):
+        ts += rng.randint(1, 2)
+        events.append(
+            Event(rng.choice(TYPES), ts, {"g": rng.randrange(32)})
+        )
+    return events
+
+
+EVENTS = keyed_stream()
+
+
+def build(membership: bool, **overrides) -> ShardedStreamEngine:
+    """Default sharded path vs the same run with a static two-member
+    registry attached (versioned routing table, per-batch poll)."""
+    settings = dict(shards=2, batch_size=256)
+    if membership:
+        settings["membership"] = WorkerRegistry(
+            members=["m-a", "m-b"], registry=MetricsRegistry()
+        )
+    settings.update(overrides)
+    engine = ShardedStreamEngine(**settings)
+    engine.register(parse_query(QUERY), name="q")
+    _OPEN.append(engine)
+    return engine
+
+
+def ingest(engine: ShardedStreamEngine):
+    process = engine.process
+    for event in EVENTS:
+        process(event)
+    return engine.result("q")
+
+
+def _reap() -> None:
+    """Close engines between tests: idle worker processes' heartbeat
+    churn is enough to skew the later timings."""
+    while _OPEN:
+        _OPEN.pop().close()
+
+
+def _multi_core() -> bool:
+    try:
+        return len(os.sched_getaffinity(0)) >= 2
+    except AttributeError:  # pragma: no cover - non-linux
+        return (os.cpu_count() or 1) >= 2
+
+
+def test_sharded_ingest_no_membership(benchmark):
+    benchmark.pedantic(
+        ingest, setup=lambda: ((build(False),), {}), rounds=3
+    )
+    _reap()
+
+
+def test_sharded_ingest_static_fleet(benchmark):
+    """Same workload with the registry attached and zero churn."""
+    benchmark.pedantic(
+        ingest, setup=lambda: ((build(True),), {}), rounds=3
+    )
+    _reap()
+
+
+def test_partition_migration_pause(benchmark):
+    """One explicit mid-stream handoff per round: ingest the stream,
+    then move partition 0 to the other member and time the pause the
+    engine reports (quiesce + checkpoint + ship + replay + flip)."""
+
+    def setup():
+        engine = build(True)
+        expected = ingest(engine)
+        owners = engine.membership_view()["routing"]["owners"]
+        target = "m-b" if owners[0] == "m-a" else "m-a"
+        return (engine, target, expected), {}
+
+    def migrate(engine, target, expected):
+        pause_s = engine.migrate_partition(0, target)
+        assert engine.result("q") == expected
+        _reap()
+        return pause_s
+
+    pause_s = benchmark.pedantic(migrate, setup=setup, rounds=3)
+    benchmark.extra_info["reported_pause_ms"] = round(pause_s * 1e3, 3)
+    _reap()
+
+
+def test_static_membership_overhead_within_bound():
+    """The registry must be free when the fleet is static.
+
+    Absolute gate, same reasoning as the router-journal bound: the
+    per-batch membership poll is a lock-try plus an empty-deque check
+    (well under a microsecond of router CPU per event at batch 256),
+    while the bare fig. 12 router pass is itself only a few µs/event
+    of pure Python — a relative bound against that denominator would
+    measure interpreter noise.  Results must also agree exactly,
+    registry attached or not.
+    """
+
+    def timed(membership: bool) -> tuple[float, object]:
+        best, result = float("inf"), None
+        for _ in range(3):
+            engine = build(membership)
+            engine.process(EVENTS[0])  # spawn workers outside the clock
+            started = time.perf_counter()
+            result = ingest(engine)
+            best = min(best, time.perf_counter() - started)
+            _reap()
+        return best, result
+
+    bare_s, bare_result = timed(False)
+    fleet_s, fleet_result = timed(True)
+    assert fleet_result == bare_result
+    per_event_us = (fleet_s - bare_s) / N_EVENTS * 1e6
+    assert per_event_us < 6.0, (
+        f"static membership steady-state cost {per_event_us:.2f} "
+        f"us/event (bare {bare_s:.3f}s vs fleet {fleet_s:.3f}s)"
+    )
+
+
+def test_migration_pause_within_bound():
+    """ISSUE acceptance: migrating a partition pauses that partition's
+    ingest < 250 ms on the fig. 12 shape.  Best of three fresh
+    handoffs, each verified exact; skipped where source and
+    destination workers would time-slice a single core."""
+    import pytest
+
+    if not _multi_core():
+        pytest.skip(
+            "single-CPU host: the handoff time-slices one core and "
+            "the pause measures scheduling, not migration"
+        )
+    best = float("inf")
+    for _ in range(3):
+        engine = build(True)
+        expected = ingest(engine)
+        owners = engine.membership_view()["routing"]["owners"]
+        target = "m-b" if owners[0] == "m-a" else "m-a"
+        best = min(best, engine.migrate_partition(0, target))
+        assert engine.result("q") == expected
+        _reap()
+    assert best < PAUSE_BUDGET_S, (
+        f"partition handoff paused ingest {best * 1e3:.1f} ms "
+        f"(budget {PAUSE_BUDGET_S * 1e3:.0f} ms)"
+    )
+
+
+def test_zzz_close_benchmark_engines():
+    """Not a benchmark: reap workers the rounds above spawned."""
+    _reap()

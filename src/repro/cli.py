@@ -256,6 +256,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(python -m repro.shard_worker --listen HOST:PORT) instead of "
         "spawning one; repeat once per shard (implies --transport tcp)",
     )
+    perf.add_argument(
+        "--workers-file",
+        metavar="FILE",
+        help="elastic worker membership: one HOST:PORT (or bare local "
+        "member name) per line, hot-reloaded on change — added lines "
+        "join the fleet, removed lines leave gracefully; partitions "
+        "migrate live with exact state handoff (--shards only; "
+        "HOST:PORT entries imply --transport tcp)",
+    )
+    perf.add_argument(
+        "--membership-listen",
+        metavar="HOST:PORT",
+        help="open a worker self-registration listener so "
+        "'python -m repro.shard_worker --listen ... --advertise "
+        "HOST:PORT' can join the fleet without editing the workers "
+        "file (--shards only; port 0 picks a free port)",
+    )
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument(
         "--journal",
@@ -661,6 +678,39 @@ def _run_sharded(
     transport = args.transport
     if args.shard_worker:
         transport = "tcp"
+    membership = None
+    if args.workers_file or args.membership_listen:
+        from repro.resilience.membership import (
+            WorkerRegistry,
+            registry_from_cli,
+        )
+
+        if not supervise:
+            raise SystemExit(
+                "--workers-file/--membership-listen need shard "
+                "supervision (--heartbeat-interval > 0)"
+            )
+        if args.workers_file:
+            membership = registry_from_cli(
+                args.workers_file, metrics=registry
+            )
+        else:
+            membership = WorkerRegistry(registry=registry)
+        if any(m.address for m in membership.live_members()):
+            transport = "tcp"  # networked members need framed TCP
+        if args.membership_listen:
+            host, _, port = args.membership_listen.rpartition(":")
+            bound = membership.listen(host or "127.0.0.1", int(port or 0))
+            transport = "tcp"  # advertised members arrive as HOST:PORT
+            _log.info(
+                "membership_listening",
+                message=(
+                    f"worker self-registration listener on "
+                    f"{bound[0]}:{bound[1]}"
+                ),
+                host=bound[0],
+                port=bound[1],
+            )
     shard_journal = args.shard_journal
     if args.router_journal and not shard_journal:
         # Router recovery reconciles against durable shard journals;
@@ -690,6 +740,7 @@ def _run_sharded(
         transport=transport,
         worker_addresses=args.shard_worker,
         router_checkpoint_every=max(0, args.router_checkpoint_every),
+        membership=membership,
     )
     if args.recover:
         from repro.resilience.router_recovery import recover_router
@@ -798,6 +849,8 @@ def _run_sharded(
         # /queries/<id>/state can still reach them.
         _stop_admin(admin, args.admin_linger)
         engine.close()
+        if membership is not None:
+            membership.close()
 
 
 def _run_columnar(
@@ -1057,6 +1110,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.transport != "pipe" or args.shard_worker:
             raise SystemExit(
                 "--transport/--shard-worker require --shards N"
+            )
+        if args.workers_file or args.membership_listen:
+            raise SystemExit(
+                "--workers-file/--membership-listen require --shards N"
             )
         if profile_on:
             profiler = SamplingProfiler().start()

@@ -81,6 +81,31 @@ Router durability (PR 7) closes the last single point of failure:
   the session immediately, and ``orphan_timeout_s`` of total silence
   (no data, no heartbeats) ends it even when the transport half-stays
   open.
+
+Elastic membership (PR 10) makes worker *placement* dynamic without
+touching the math that makes merges exact:
+
+* the **partition count stays fixed** for the life of the engine —
+  ``shard_of`` keeps assigning every key to the same partition — but
+  each partition's *owner* is looked up in a versioned routing table
+  (``partition index → member id``) fed by a
+  :class:`~repro.resilience.membership.WorkerRegistry` (static
+  ``--workers-file`` with hot-reload, or worker self-registration);
+* joins, graceful leaves, and deaths reported by the registry are
+  consumed by :meth:`ShardedStreamEngine.poll_membership` (wired into
+  the heartbeat loop) and turn into **live partition migrations**:
+  quiesce the partition at a batch boundary, checkpoint the source
+  worker, flip the routing entry, spawn on the new owner, re-seed from
+  checkpoint + journal suffix (the stock revive recipe, so worker-side
+  count-skip dedup keeps exactly-once intact). Merged results stay
+  bit-identical across any membership change mid-stream;
+* a member that cannot even be dialed is reported dead back to the
+  registry, and every partition it owned is re-placed the same exact
+  way — SIGKILLing a whole worker host behaves like ``restart_limit``
+  worth of ordinary revives, not data loss;
+* the routing table (version + owners) rides the router checkpoint, so
+  :func:`~repro.resilience.router_recovery.recover_router` restores
+  placement along with progress.
 """
 
 from __future__ import annotations
@@ -97,7 +122,12 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import EngineError, OverloadError, QueryError
+from repro.errors import (
+    EngineError,
+    OverloadError,
+    QueryError,
+    TransportError,
+)
 from repro.events.batch import EventBatch
 from repro.events.event import Event
 from repro.core.checkpoint import restore as _executor_restore
@@ -106,6 +136,7 @@ from repro.engine.engine import StreamEngine
 from repro.engine.metrics import EngineMetrics
 from repro.engine.sinks import Output, ResultSink
 from repro.engine.transport import (
+    CHANNEL_ERRORS,
     ShardTransport,
     WorkerConfig,
     build_transport,
@@ -137,6 +168,13 @@ from repro.query.parser import parse_query
 from repro.resilience.checkpointer import (
     engine_state,
     load_latest_checkpoint,
+)
+from repro.resilience.membership import (
+    DEAD,
+    JOIN,
+    LEAVE,
+    MemberInfo,
+    WorkerRegistry,
 )
 from repro.resilience.shard_supervisor import (
     HeartbeatSupervisor,
@@ -440,7 +478,7 @@ def _worker_loop(
         if control in ready:
             try:
                 command, payload = control.recv()
-            except (EOFError, OSError):
+            except CHANNEL_ERRORS:
                 return "eof"
             try:
                 if command == "ping":
@@ -466,12 +504,12 @@ def _worker_loop(
                 elif command == "stall_hard":
                     signal.signal(signal.SIGTERM, signal.SIG_IGN)
                     time.sleep(float(payload))
-            except (OSError, BrokenPipeError):
+            except CHANNEL_ERRORS:
                 return "eof"
             continue
         try:
             command, payload = conn.recv()
-        except (EOFError, OSError):
+        except CHANNEL_ERRORS:
             return "eof"
         if command == "batch":
             if isinstance(payload, dict) and "c" in payload:
@@ -854,6 +892,8 @@ class ShardedStreamEngine:
         orphan_timeout_s: float | None = None,
         router_checkpoint_every: int = 0,
         resume_shards: bool = False,
+        membership: WorkerRegistry | None = None,
+        membership_wait_s: float = 15.0,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -888,6 +928,11 @@ class ShardedStreamEngine:
             raise ValueError(
                 "resume_shards needs supervise=True (worker seeding "
                 "replays per-shard journals)"
+            )
+        if membership is not None and not supervise:
+            raise ValueError(
+                "membership needs supervise=True (partition migration "
+                "re-seeds workers from checkpoints and journals)"
             )
         self.shards = shards
         self.batch_size = batch_size
@@ -953,6 +998,45 @@ class ShardedStreamEngine:
         self._m_router_checkpoints = obs.counter(
             "router_checkpoints_total",
             "router-side progress checkpoints written to the router log",
+        )
+        # ----- elastic membership (partition ownership) -----
+        self._membership = membership
+        if membership_wait_s < 0:
+            raise ValueError("membership_wait_s must be >= 0")
+        #: How long first start waits for an empty-but-growable fleet
+        #: (a join listener or workers file) to gain its first member
+        #: before giving up — covers the cold-start race where the
+        #: router ingests before any ``--advertise`` worker dialed in.
+        self._membership_wait_s = membership_wait_s
+        #: partition index → member id (``slot-N`` placeholders when no
+        #: registry is attached; ownership is then transport-implicit).
+        self._routing: list[str] = []
+        #: Bumped on every ownership flip; exported, checkpointed, and
+        #: asserted on by the differential suites.
+        self.routing_version = 0
+        #: Routing document injected by router recovery (version+owners).
+        self._resume_routing: dict[str, Any] | None = None
+        #: Completed partition migrations (joins, leaves, dead reroutes).
+        self.migrations = 0
+        #: Serializes poll_membership across the heartbeat tick thread
+        #: and direct callers; migrations themselves take the per-worker
+        #: locks, this only keeps event-drain ordering sane.
+        self._membership_poll_lock = threading.Lock()
+        self._m_migrations = obs.counter(
+            "repro_migration_total",
+            "partition migrations completed (join, leave, dead reroute)",
+        )
+        self._m_migration_replayed = obs.counter(
+            "repro_migration_events_replayed_total",
+            "journal-suffix events replayed into migrated partitions",
+        )
+        self._h_migration_pause = obs.histogram(
+            "repro_migration_pause_us",
+            "ingest pause of one partition during a live migration (µs)",
+        )
+        self._g_routing_version = obs.gauge(
+            "repro_membership_routing_version",
+            "monotonic version of the partition-to-worker routing table",
         )
         #: All registrations, in order: name -> (query, sinks).
         self._specs: dict[str, tuple[Query, list[ResultSink]]] = {}
@@ -1102,13 +1186,78 @@ class ShardedStreamEngine:
 
     def _spawn_into(self, worker: _Worker) -> None:
         """(Re)connect one worker through the transport (fresh pipes
-        and a forked process, or a framed-TCP session)."""
-        endpoint = self._transport.open(worker.index)
+        and a forked process, or a framed-TCP session). With a worker
+        registry attached, the routing table decides *which* member
+        serves this partition and the transport dials that member."""
+        if self._membership is not None:
+            endpoint = self._transport.open_member(
+                worker.index, self._member_of(worker.index)
+            )
+        else:
+            endpoint = self._transport.open(worker.index)
         worker.process = endpoint.process
         worker.conn = endpoint.conn
         worker.control = endpoint.control
         worker.address = endpoint.address
         worker.span_seen = 0
+
+    def _member_of(self, index: int) -> MemberInfo:
+        """The live member the routing table points this partition at."""
+        member_id = self._routing[index]
+        member = self._membership.get(member_id)
+        if member is None or not member.live:
+            raise TransportError(
+                f"partition {index} is routed to {member_id!r}, which "
+                f"is not a live member"
+            )
+        return member
+
+    def _initial_routing(self) -> None:
+        """Build the partition→member routing table at first start.
+
+        Round-robin over live members in registry order, unless router
+        recovery injected a routing document — then prior owners are
+        honored wherever they are still live (their journals and the
+        recovered watermarks describe that placement)."""
+        if self._membership is None:
+            self._routing = [f"slot-{i}" for i in range(self.shards)]
+            return
+        members = self._membership.live_members()
+        if (
+            not members
+            and self._membership_wait_s > 0
+            and self._membership.can_grow
+        ):
+            _log.info(
+                "membership_wait",
+                message=(
+                    f"worker fleet is empty; waiting up to "
+                    f"{self._membership_wait_s:g}s for the first member"
+                ),
+                wait_s=self._membership_wait_s,
+            )
+            self._membership.wait_for_members(self._membership_wait_s)
+            members = self._membership.live_members()
+        if not members:
+            raise EngineError(
+                f"the worker registry has no live members to place "
+                f"{self.shards} partitions on"
+            )
+        resume = self._resume_routing or {}
+        owners = resume.get("owners") or []
+        live_ids = {member.member_id for member in members}
+        self._routing = []
+        for index in range(self.shards):
+            owner = owners[index] if index < len(owners) else None
+            if owner not in live_ids:
+                owner = members[index % len(members)].member_id
+            self._routing.append(owner)
+        self.routing_version = int(resume.get("version", 0) or 0)
+        self._g_routing_version.set(float(self.routing_version))
+
+    def _bump_routing(self) -> None:
+        self.routing_version += 1
+        self._g_routing_version.set(float(self.routing_version))
 
     def _start(self) -> None:
         self._worker_specs = [
@@ -1127,6 +1276,7 @@ class ShardedStreamEngine:
                 interval_s=self._profile_interval_s
             )
             self._profiler.start()
+        self._initial_routing()
         for index in range(self.shards):
             worker = _Worker(index)
             if self._supervise:
@@ -1165,6 +1315,11 @@ class ShardedStreamEngine:
                 max_missed=self._heartbeat_max_missed,
                 registry=self.obs_registry,
                 health=self._shard_health,
+                tick=(
+                    self._membership_tick
+                    if self._membership is not None
+                    else None
+                ),
             )
             self._monitor.start()
         self._started = True
@@ -1194,7 +1349,7 @@ class ShardedStreamEngine:
                             min(1.0, self._shutdown_timeout_s)
                         ):
                             worker.conn.recv()
-                    except (OSError, EOFError, BrokenPipeError):
+                    except CHANNEL_ERRORS:
                         pass
                 _destroy_process(worker, self._shutdown_timeout_s)
                 if worker.log is not None:
@@ -1267,7 +1422,7 @@ class ShardedStreamEngine:
             if not control.poll(self._heartbeat_interval_s):
                 return ("miss", None)
             _, payload = control.recv()
-        except (OSError, EOFError, BrokenPipeError):
+        except CHANNEL_ERRORS:
             return ("dead", None)
         if isinstance(payload, dict):
             # RTT and clock skew from this very roundtrip: the worker's
@@ -1436,15 +1591,71 @@ class ShardedStreamEngine:
 
     def _respawn_and_reseed(self, worker: _Worker) -> None:
         _destroy_process(worker, self._shutdown_timeout_s)
+        if self._membership is not None:
+            # The partition's owner may itself be the casualty: try it
+            # first, then fail over to any other live member.
+            self._place_and_seed(worker)
+            return
         self._spawn_into(worker)
         self._seed_worker(worker)
 
-    def _seed_worker(self, worker: _Worker) -> None:
+    def _place_and_seed(
+        self, worker: _Worker, prefer: str | None = None
+    ) -> None:
+        """Spawn + seed one partition on a live member (lock held).
+
+        Tries ``prefer``, then the current owner, then every other live
+        member in registry order. A member whose endpoint cannot even
+        be dialed is reported **dead** to the registry (its remaining
+        partitions are evacuated by the next membership poll); seeding
+        failures on a reachable member propagate — the revive loop's
+        restart budget owns those. Every ownership flip bumps the
+        routing version."""
+        candidates: list[str] = []
+        for member_id in (prefer, self._routing[worker.index]):
+            if member_id and member_id not in candidates:
+                candidates.append(member_id)
+        loads: dict[str, int] = {
+            member.member_id: 0
+            for member in self._membership.live_members()
+        }
+        for owner in self._routing:
+            if owner in loads:
+                loads[owner] += 1
+        for member_id in sorted(
+            loads, key=lambda mid: (loads[mid], mid)
+        ):
+            if member_id not in candidates:
+                candidates.append(member_id)
+        last_error: Exception | None = None
+        for member_id in candidates:
+            member = self._membership.get(member_id)
+            if member is None or not member.live:
+                continue
+            if self._routing[worker.index] != member_id:
+                self._routing[worker.index] = member_id
+                self._bump_routing()
+            try:
+                self._spawn_into(worker)
+            except TransportError as error:
+                last_error = error
+                self._membership.mark_dead(member_id)
+                continue
+            replayed = self._seed_worker(worker)
+            if replayed:
+                self._m_migration_replayed.inc(replayed)
+            return
+        raise last_error or TransportError(
+            f"no live member could host partition {worker.index}"
+        )
+
+    def _seed_worker(self, worker: _Worker) -> int:
         """Re-seed a fresh worker exactly: checkpoint, then replay the
         journal suffix. Replay chunks carry their base journal
         sequence so the worker's dedup cursor tracks exactly what it
         has applied — a later conservative redelivery (router
-        recovery) is then skippable worker-side."""
+        recovery) is then skippable worker-side. Returns the number of
+        journal records replayed."""
         start_seq = worker.replay_base
         if worker.checkpoint is not None:
             self._roundtrip(worker, "seed", worker.checkpoint)
@@ -1452,7 +1663,8 @@ class ShardedStreamEngine:
                 start_seq, int(worker.checkpoint.get("journal_seq", 0))
             )
         if worker.log is None:
-            return
+            return 0
+        replayed = 0
         chunk: list[tuple[str, int, dict | None]] = []
         chunk_base = start_seq
         for seq, record in worker.log.replay_seqs(start_seq):
@@ -1461,9 +1673,12 @@ class ShardedStreamEngine:
             chunk.append(record)
             if len(chunk) >= self.batch_size:
                 worker.conn.send(("batch", {"r": chunk, "q": chunk_base}))
+                replayed += len(chunk)
                 chunk = []
         if chunk:
             worker.conn.send(("batch", {"r": chunk, "q": chunk_base}))
+            replayed += len(chunk)
+        return replayed
 
     def _degrade_locked(self, worker: _Worker, reason: str) -> None:
         """Fold this shard's key-range into an in-process lane, seeded
@@ -1553,7 +1768,7 @@ class ShardedStreamEngine:
                     f"no reply to {command!r} within {deadline}s"
                 )
             status, value = worker.conn.recv()
-        except (OSError, EOFError, BrokenPipeError) as error:
+        except CHANNEL_ERRORS as error:
             raise _ShardUnresponsive(repr(error)) from error
         if status != "ok":
             raise EngineError(
@@ -1565,6 +1780,256 @@ class ShardedStreamEngine:
         """Per-shard supervision snapshots (restarts, heartbeat age,
         degraded flag) for ``inspect()`` and the admin plane."""
         return [health.snapshot() for health in self._shard_health]
+
+    # ----- elastic membership ------------------------------------------------
+
+    def _membership_tick(self) -> None:
+        """Heartbeat-loop hook: drain membership events, best-effort."""
+        try:
+            self.poll_membership()
+        except Exception as error:  # never kill the heartbeat thread
+            _log.warning(
+                "membership_poll_error",
+                message=f"membership poll raised {error!r}",
+                error=type(error).__name__,
+            )
+
+    def poll_membership(self) -> list[tuple[str, str]]:
+        """Consume queued membership events and rebalance partitions.
+
+        Joins pull partitions off the most-loaded members onto the
+        newcomer; graceful leaves migrate every owned partition away
+        with a checkpoint handoff; deaths re-place the partitions from
+        their checkpoints + journal suffixes (worker-side count-skip
+        dedup keeps delivery exactly-once either way). Called by the
+        heartbeat loop every round; safe to call directly. Returns the
+        events that were handled.
+        """
+        if self._membership is None or not self._started or self._closed:
+            return []
+        if not self._membership_poll_lock.acquire(blocking=False):
+            return []  # another thread is already draining
+        try:
+            events = self._membership.poll()
+            for kind, member_id in events:
+                try:
+                    if kind == JOIN:
+                        self._rebalance_for_join(member_id)
+                    elif kind in (LEAVE, DEAD):
+                        self._evacuate_member(member_id, kind)
+                except (EngineError, OSError) as error:
+                    _log.warning(
+                        "membership_event_failed",
+                        message=(
+                            f"handling {kind} of {member_id} failed: "
+                            f"{error!r}"
+                        ),
+                        member=member_id,
+                        kind=kind,
+                    )
+            return events
+        finally:
+            self._membership_poll_lock.release()
+
+    def migrate_partition(self, index: int, member_id: str) -> float:
+        """Move one partition to another live member, exactly.
+
+        The handoff: quiesce the partition at a batch boundary (flush
+        its buffer to the current owner), checkpoint the source worker
+        through ``engine_state`` and prune its journal, stop the source
+        gracefully, flip the routing entry (bumping the version), spawn
+        on the new owner and re-seed from checkpoint + journal suffix.
+        If the source cannot checkpoint, the stored checkpoint plus the
+        *full* journal suffix re-seeds instead — the stock revive
+        recipe, so merged results stay bit-identical either way.
+        Returns the partition's ingest pause in seconds.
+        """
+        if self._membership is None:
+            raise EngineError(
+                "migrate_partition needs a worker registry "
+                "(membership=...)"
+            )
+        if not 0 <= index < self.shards:
+            raise EngineError(f"no such partition {index}")
+        if not self._started:
+            raise EngineError(
+                "start the engine before migrating partitions"
+            )
+        member = self._membership.get(member_id)
+        if member is None or not member.live:
+            raise EngineError(f"{member_id!r} is not a live member")
+        if self._routing[index] == member_id:
+            return 0.0
+        worker = self._workers[index]
+        with worker.buffer_lock:
+            with worker.lock:
+                return self._migrate_locked(worker, member_id)
+
+    def _migrate_locked(self, worker: _Worker, member_id: str) -> float:
+        if worker.fold is not None:
+            raise EngineError(
+                f"partition {worker.index} is degraded (in-process); "
+                f"there is no worker state to migrate"
+            )
+        started = time.perf_counter()
+        # Quiesce at a batch boundary: everything buffered goes to the
+        # current owner (and its journal) first, so the checkpoint
+        # below covers a consistent prefix of the partition's stream.
+        buffer = worker.buffer
+        traced = worker.traced
+        worker.buffer = []
+        worker.traced = []
+        if buffer:
+            if self._router_log is not None:
+                self._router_log.commit()
+            self._send_records(worker, buffer, traced=traced or None)
+        if worker.fold is not None:
+            # The flush exhausted the restart budget and degraded the
+            # partition; its key-range now runs in-process — done.
+            return time.perf_counter() - started
+        try:
+            if not worker.checkpoint_disabled:
+                state = self._roundtrip(worker, "checkpoint", None)
+                state["journal_seq"] = (
+                    worker.log.next_seq if worker.log is not None else 0
+                )
+                worker.checkpoint = state
+                if worker.log is not None:
+                    worker.log.save_checkpoint(state)
+                    worker.log.truncate_to(state["journal_seq"])
+                worker.batches_since_checkpoint = 0
+                self._m_checkpoints.inc()
+            try:
+                worker.conn.send(("stop", None))
+                if worker.conn.poll(min(1.0, self._shutdown_timeout_s)):
+                    worker.conn.recv()
+            except CHANNEL_ERRORS:
+                pass
+        except (_ShardUnresponsive, EngineError):
+            # Source is sick: re-seed from the stored checkpoint plus
+            # the full journal suffix instead — still exact.
+            pass
+        _destroy_process(worker, self._shutdown_timeout_s)
+        worker.generation += 1
+        self._place_and_seed(worker, prefer=member_id)
+        pause = time.perf_counter() - started
+        self.migrations += 1
+        self._m_migrations.inc()
+        self._h_migration_pause.observe(pause * 1_000_000.0)
+        _log.info(
+            "partition_migrated",
+            message=(
+                f"partition {worker.index} migrated to "
+                f"{self._routing[worker.index]} in {pause * 1000:.1f}ms "
+                f"(routing v{self.routing_version})"
+            ),
+            shard=worker.index,
+            member=self._routing[worker.index],
+            routing_version=self.routing_version,
+            pause_ms=round(pause * 1000, 3),
+        )
+        return pause
+
+    def _reroute_partition(self, index: int, dest: str) -> None:
+        """Re-place one partition whose owner is already gone (no
+        graceful handoff possible): destroy the dead endpoint, flip
+        routing, spawn + re-seed from checkpoint + journal suffix."""
+        worker = self._workers[index]
+        with worker.buffer_lock:
+            with worker.lock:
+                if worker.fold is not None or self._closed:
+                    return
+                started = time.perf_counter()
+                worker.generation += 1
+                _destroy_process(worker, self._shutdown_timeout_s)
+                self._place_and_seed(worker, prefer=dest)
+                pause = time.perf_counter() - started
+        self.migrations += 1
+        self._m_migrations.inc()
+        self._h_migration_pause.observe(pause * 1_000_000.0)
+
+    def _least_loaded(self, exclude: str | None = None) -> str | None:
+        """The live member owning the fewest partitions (ties: id)."""
+        loads: dict[str, int] = {}
+        for member in self._membership.live_members():
+            if member.member_id != exclude:
+                loads[member.member_id] = 0
+        if not loads:
+            return None
+        for owner in self._routing:
+            if owner in loads:
+                loads[owner] += 1
+        return min(loads, key=lambda mid: (loads[mid], mid))
+
+    def _rebalance_for_join(self, member_id: str) -> None:
+        """Pull partitions onto a joined member until loads even out.
+
+        Moves one partition at a time from the most-loaded donor, and
+        only while a move strictly reduces imbalance (donor at least
+        two ahead) — minimal churn, never a pointless swap."""
+        member = self._membership.get(member_id)
+        if member is None or not member.live:
+            return
+        while True:
+            loads: dict[str, int] = {member_id: 0}
+            movable: dict[str, list[int]] = {}
+            for index, owner in enumerate(self._routing):
+                loads[owner] = loads.get(owner, 0) + 1
+                if owner != member_id and self._workers[index].fold is None:
+                    movable.setdefault(owner, []).append(index)
+            joiner_load = loads[member_id]
+            donor = None
+            for owner in sorted(movable):
+                if loads[owner] >= joiner_load + 2 and (
+                    donor is None or loads[owner] > loads[donor]
+                ):
+                    donor = owner
+            if donor is None:
+                return
+            self.migrate_partition(movable[donor][-1], member_id)
+
+    def _evacuate_member(self, member_id: str, kind: str) -> None:
+        """Move every partition off a departed or dead member."""
+        for index in range(self.shards):
+            if self._routing[index] != member_id:
+                continue
+            if self._workers[index].fold is not None:
+                continue
+            dest = self._least_loaded(exclude=member_id)
+            if dest is None:
+                _log.warning(
+                    "membership_no_destination",
+                    message=(
+                        f"no live member left to take partition {index} "
+                        f"from {member_id}; the revive path will degrade "
+                        f"it if its worker is unreachable"
+                    ),
+                    shard=index,
+                    member=member_id,
+                )
+                return
+            if kind == LEAVE:
+                # Graceful: the departing worker still answers, so the
+                # checkpoint handoff applies; fall back to a reroute.
+                try:
+                    self.migrate_partition(index, dest)
+                    continue
+                except EngineError:
+                    pass
+            self._reroute_partition(index, dest)
+
+    def membership_view(self) -> dict[str, Any] | None:
+        """Fleet + routing snapshot for ``/healthz`` and ``inspect()``
+        (``None`` when no worker registry is attached)."""
+        if self._membership is None:
+            return None
+        view = self._membership.snapshot()
+        view["routing"] = {
+            "version": self.routing_version,
+            "owners": list(self._routing),
+        }
+        view["migrations"] = self.migrations
+        return view
 
     # ----- ingestion ---------------------------------------------------------
 
@@ -1641,6 +2106,10 @@ class ShardedStreamEngine:
             "shed_events": self.shed_events,
             "degraded": sorted(self.degraded_shards),
             "folds": folds,
+            "routing": {
+                "version": self.routing_version,
+                "owners": list(self._routing),
+            },
         }
         log.checkpoint(state)
         self._events_since_router_checkpoint = 0
@@ -1969,7 +2438,7 @@ class ShardedStreamEngine:
                 # "block" policy: a restart both unwedges the pipe and
                 # preserves exactness (checkpoint + replay + redeliver).
                 failed = "pipe stalled beyond the send timeout"
-            except (OSError, EOFError, BrokenPipeError) as error:
+            except CHANNEL_ERRORS as error:
                 failed = f"send failed: {error!r}"
             attempts += 1
             if attempts > self._restart_limit + 1:
@@ -2335,7 +2804,7 @@ class ShardedStreamEngine:
                 if not worker.conn.poll(min(2.0, self._recv_timeout_s)):
                     return
                 status, payload = worker.conn.recv()
-            except (OSError, EOFError, BrokenPipeError):
+            except CHANNEL_ERRORS:
                 return
             if status == "ok":
                 self._ingest_obs(worker, payload)
@@ -2516,6 +2985,9 @@ class ShardedStreamEngine:
             "degraded_shards": sorted(self.degraded_shards),
             "shed_events": self.shed_events,
             "shard_health": self.shard_health(),
+            "membership": self.membership_view(),
+            "routing_version": self.routing_version,
+            "migrations": self.migrations,
         }
 
 

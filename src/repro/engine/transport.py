@@ -11,8 +11,8 @@ byte-for-byte identical and swaps only the plumbing underneath:
 * :class:`PipeTransport` — today's behavior and the default: fork one
   worker process per shard, connected by two OS pipes. Zero copies of
   anything over a network, lowest latency, single-host only.
-* :class:`SocketTransport` — length-prefixed framed TCP. Each worker is
-  a ``python -m repro.shard_worker --listen HOST:PORT`` process that
+* :class:`SocketTransport` — framed TCP. Each worker is a
+  ``python -m repro.shard_worker --listen HOST:PORT`` process that
   may live on another host; with no addresses given the transport
   spawns localhost listeners itself (same process tree as the pipe
   transport, useful for parity testing and ``--transport tcp``).
@@ -20,6 +20,30 @@ byte-for-byte identical and swaps only the plumbing underneath:
   backoff and seeded jitter** (the same discipline as the PR 5 sink
   retry), and every retry is counted per shard in
   ``transport_reconnect_retries_total``.
+
+TCP frames are hardened for real networks. Each frame is
+``MAGIC(4) | length(4) | seq(8) | crc32(4) | payload``:
+
+* **CRC32** over the payload turns wire corruption into a typed
+  :class:`~repro.errors.FrameError` instead of an undefined pickle
+  decode failure; the router answers with its bounded revive/reconnect
+  path (checkpoint + journal-suffix re-seed), so a corrupt frame can
+  delay a batch but never lose or duplicate one.
+* **Sequence numbers** (per channel, per direction) suppress duplicate
+  delivery when a half-sent frame is re-sent after a stall — a stale
+  ``seq`` is skipped and counted — and detect frame loss (a gap raises
+  :class:`~repro.errors.FrameError`). Batch-level exactly-once remains
+  the job of the ``"q"`` count-skip dedup; frame seqs guard the layer
+  below it.
+* **Read/write deadlines** are progress-based: any byte moved resets
+  them, so a slow link is distinguished from a dead peer (no FIN, no
+  RST), which raises :class:`~repro.errors.TransportTimeout` in
+  bounded time.
+* A send interrupted mid-frame keeps the unsent remainder; the next
+  ``send`` transparently finishes the old frame first, so the peer's
+  framer never desynchronizes on a transient stall. When the channel
+  dies instead, the receiver's magic scan re-synchronizes past any
+  torn bytes on a reconnected socket.
 
 Data-channel batch messages come in two shapes, transparent to the
 transport: the per-event form ``{"r": records, ...}`` (pickled event
@@ -67,10 +91,11 @@ import select
 import socket
 import struct
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.errors import TransportError
+from repro.errors import FrameError, TransportError, TransportTimeout
 from repro.obs.logging import get_logger
 from repro.obs.registry import MetricsRegistry, resolve_registry
 
@@ -78,11 +103,18 @@ _log = get_logger("transport")
 
 TRANSPORTS = ("pipe", "tcp")
 
-#: Frame header: one big-endian u32 payload length.
-_HEADER = struct.Struct(">I")
+#: Frame header: magic, big-endian u32 payload length, u64 channel
+#: sequence number, u32 CRC32 of the payload.
+FRAME_MAGIC = b"RPF2"
+_HEADER = struct.Struct(">4sIQI")
 #: Refuse absurd frames instead of allocating gigabytes on a bad peer.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 _RECV_CHUNK = 65536
+
+#: Everything a caller must treat as "this channel is gone": OS-level
+#: failures, EOF, and the typed frame-integrity errors. Catch this
+#: tuple wherever a dead channel should trigger revive/reconnect.
+CHANNEL_ERRORS = (OSError, EOFError, TransportError)
 
 
 def transport_token() -> str:
@@ -100,18 +132,68 @@ def parse_hostport(text: str) -> tuple[str, int]:
     return (host or "127.0.0.1", int(port))
 
 
+class FrameStats:
+    """Frame-integrity counters for one endpoint (both channels share).
+
+    Plain ints for cheap in-process inspection; when ``sink`` maps a
+    field name to a registry counter the bump is mirrored there, which
+    is how ``SocketTransport`` exports the per-shard
+    ``repro_transport_frame_*`` series.
+    """
+
+    FIELDS = ("corrupt", "resyncs", "dup_skipped", "deadline_misses")
+
+    __slots__ = ("corrupt", "resyncs", "dup_skipped",
+                 "deadline_misses", "_sink")
+
+    def __init__(self, sink: dict[str, Any] | None = None):
+        self.corrupt = 0
+        self.resyncs = 0
+        self.dup_skipped = 0
+        self.deadline_misses = 0
+        self._sink = sink or {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + amount)
+        counter = self._sink.get(name)
+        if counter is not None:
+            counter.inc(amount)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
 class FramedChannel:
     """One duplex message channel over a connected TCP socket.
 
-    Messages are ``<u32 length><pickle>`` frames. The channel keeps its
-    own read buffer, so :meth:`poll` reports a buffered complete frame
-    as ready even when the descriptor is quiet — callers multiplexing
-    channels must use :func:`wait_readable`, not a raw ``select``.
+    Messages are ``MAGIC | u32 length | u64 seq | u32 crc32`` frames
+    (header layout in :data:`_HEADER`) followed by the pickled payload.
+    The channel keeps its own read buffer, so :meth:`poll` reports a
+    buffered complete frame as ready even when the descriptor is quiet
+    — callers multiplexing channels must use :func:`wait_readable`,
+    not a raw ``select``.
+
+    Integrity properties (see the module docstring): CRC32 rejects
+    corrupt payloads with :class:`~repro.errors.FrameError`; sequence
+    numbers skip duplicate frames and turn frame loss into a typed
+    error; deadlines are progress-based so slow links survive while
+    silently dead peers raise :class:`~repro.errors.TransportTimeout`;
+    a send interrupted mid-frame parks the remainder and finishes it
+    on the next send instead of desynchronizing the peer's framer.
     """
 
-    __slots__ = ("_sock", "_rbuf", "_eof")
+    __slots__ = (
+        "_sock", "_rbuf", "_eof", "_send_seq", "_recv_seq",
+        "_wpending", "read_deadline_s", "write_deadline_s", "stats",
+    )
 
-    def __init__(self, sock: socket.socket):
+    def __init__(
+        self,
+        sock: socket.socket,
+        read_deadline_s: float | None = None,
+        write_deadline_s: float | None = None,
+        stats: FrameStats | None = None,
+    ):
         sock.setblocking(True)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -120,14 +202,46 @@ class FramedChannel:
         self._sock = sock
         self._rbuf = bytearray()
         self._eof = False
+        self._send_seq = 0
+        self._recv_seq = 0
+        self._wpending = b""
+        self.read_deadline_s = read_deadline_s
+        self.write_deadline_s = write_deadline_s
+        self.stats = stats if stats is not None else FrameStats()
 
     # ----- framing ---------------------------------------------------------
 
-    def _buffered_frame_len(self) -> int | None:
-        """Length of a complete buffered frame, else None."""
+    def _align_buffer(self) -> None:
+        """Discard garbage so the buffer starts at a magic (or is short).
+
+        Garbage appears when a peer died mid-frame and the tail of the
+        torn frame shares the socket with fresh traffic; scanning to
+        the next magic re-synchronizes the framer. Discards are counted
+        as ``resyncs``.
+        """
+        if not self._rbuf or self._rbuf.startswith(FRAME_MAGIC):
+            return
+        at = self._rbuf.find(FRAME_MAGIC)
+        if at == -1:
+            # Keep a magic-length tail: the magic may be split across
+            # recv chunks.
+            keep = len(FRAME_MAGIC) - 1
+            drop = max(0, len(self._rbuf) - keep)
+            if drop:
+                del self._rbuf[:drop]
+                self.stats.bump("resyncs")
+            return
+        del self._rbuf[:at]
+        self.stats.bump("resyncs")
+
+    def _buffered_header(self) -> tuple[int, int, int] | None:
+        """``(length, seq, crc)`` of a complete buffered frame, else None."""
+        self._align_buffer()
         if len(self._rbuf) < _HEADER.size:
             return None
-        (length,) = _HEADER.unpack_from(self._rbuf)
+        magic, length, seq, crc = _HEADER.unpack_from(self._rbuf)
+        if magic != FRAME_MAGIC:  # pragma: no cover - align guarantees it
+            raise FrameError("framer lost magic alignment")
         if length > MAX_FRAME_BYTES:
             raise TransportError(
                 f"frame of {length} bytes exceeds the "
@@ -135,35 +249,117 @@ class FramedChannel:
             )
         if len(self._rbuf) < _HEADER.size + length:
             return None
-        return length
+        return length, seq, crc
 
     @property
     def buffered(self) -> bool:
         """True when a complete frame is already in the read buffer."""
-        return self._buffered_frame_len() is not None
+        return self._buffered_header() is not None
 
     # ----- channel contract ------------------------------------------------
 
+    def _write(self, data: bytes) -> None:
+        """Send ``data``, parking the unsent remainder on a stall.
+
+        Uses ``socket.send`` in a loop (not ``sendall``) so the exact
+        progress is known when a write deadline or transient error
+        interrupts the frame; the remainder is parked in
+        ``_wpending`` and transparently finished by the next call, so
+        the peer's framer never sees a torn frame from a stall.
+        """
+        view = memoryview(self._wpending + data)
+        self._wpending = b""
+        sent = 0
+        if self.write_deadline_s is not None:
+            self._sock.settimeout(self.write_deadline_s)
+        try:
+            while sent < len(view):
+                try:
+                    sent += self._sock.send(view[sent:])
+                except (TimeoutError, socket.timeout, BlockingIOError):
+                    self._wpending = bytes(view[sent:])
+                    self.stats.bump("deadline_misses")
+                    raise TransportTimeout(
+                        f"write deadline ({self.write_deadline_s}s) "
+                        f"missed with {len(view) - sent} bytes unsent"
+                    ) from None
+        finally:
+            try:
+                self._sock.settimeout(None)
+            except OSError:  # pragma: no cover - socket died mid-send
+                pass
+
     def send(self, obj: Any) -> None:
         data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        self._sock.sendall(_HEADER.pack(len(data)) + data)
+        self._send_seq += 1
+        header = _HEADER.pack(
+            FRAME_MAGIC, len(data), self._send_seq,
+            zlib.crc32(data) & 0xFFFFFFFF,
+        )
+        self._write(header + data)
 
-    def recv(self) -> Any:
+    def _fill(self, deadline: float | None) -> None:
+        """Read at least one chunk into the buffer (progress-based)."""
         while True:
-            length = self._buffered_frame_len()
-            if length is not None:
-                break
             if self._eof:
                 raise EOFError("peer closed the framed channel")
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.stats.bump("deadline_misses")
+                    raise TransportTimeout(
+                        f"read deadline ({self.read_deadline_s}s) "
+                        "missed: no bytes from peer"
+                    )
+            try:
+                ready = select.select([self._sock], [], [], remaining)[0]
+            except (OSError, ValueError):
+                self._eof = True
+                raise EOFError("peer closed the framed channel") from None
+            if not ready:
+                continue
             chunk = self._sock.recv(_RECV_CHUNK)
             if not chunk:
                 self._eof = True
                 raise EOFError("peer closed the framed channel")
             self._rbuf += chunk
-        start = _HEADER.size
-        payload = bytes(self._rbuf[start:start + length])
-        del self._rbuf[:start + length]
-        return pickle.loads(payload)
+            return
+
+    def recv(self) -> Any:
+        while True:
+            header = self._buffered_header()
+            if header is None:
+                deadline = (
+                    None if self.read_deadline_s is None
+                    else time.monotonic() + self.read_deadline_s
+                )
+                # _fill returns after any progress; the deadline is
+                # re-armed per chunk, so a slow trickle keeps going.
+                self._fill(deadline)
+                continue
+            length, seq, crc = header
+            start = _HEADER.size
+            payload = bytes(self._rbuf[start:start + length])
+            del self._rbuf[:start + length]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                self.stats.bump("corrupt")
+                raise FrameError(
+                    f"frame {seq} failed its CRC32 check "
+                    f"({length} bytes); channel is not trustworthy"
+                )
+            if seq <= self._recv_seq:
+                # Duplicate delivery (re-sent frame after a stall):
+                # drop it and keep waiting for the next fresh frame.
+                self.stats.bump("dup_skipped")
+                continue
+            if seq > self._recv_seq + 1:
+                raise FrameError(
+                    f"frame sequence gap: expected {self._recv_seq + 1}, "
+                    f"got {seq} ({seq - self._recv_seq - 1} frames lost)"
+                )
+            self._recv_seq = seq
+            return pickle.loads(payload)
 
     def poll(self, timeout: float | None = 0.0) -> bool:
         deadline = (
@@ -241,6 +437,8 @@ class WorkerEndpoint:
     process: Any = None
     #: Remote address, when there is one (diagnostics only).
     address: tuple[str, int] | None = None
+    #: Frame-integrity counters shared by both channels (tcp only).
+    frame_stats: Any = None
 
 
 @dataclass
@@ -277,6 +475,17 @@ class ShardTransport:
 
     def open(self, index: int) -> WorkerEndpoint:
         raise NotImplementedError
+
+    def open_member(self, index: int, member: Any) -> WorkerEndpoint:
+        """Open shard ``index`` on a specific registry member.
+
+        ``member`` carries ``member_id`` and ``address`` (None for a
+        local-fork member). The default ignores placement — the pipe
+        transport always forks locally, so membership is bookkeeping —
+        while the socket transport connects to the member's address or
+        to a shared locally spawned listener.
+        """
+        return self.open(index)
 
     def close(self) -> None:
         """Release transport-wide resources (endpoints are closed by
@@ -404,6 +613,8 @@ class SocketTransport(ShardTransport):
         handshake_timeout_s: float = 10.0,
         registry: MetricsRegistry | None = None,
         ctx: Any = None,
+        read_deadline_s: float | None = None,
+        write_deadline_s: float | None = None,
     ):
         self._addresses: list[tuple[str, int]] | None = None
         if addresses is not None:
@@ -415,6 +626,8 @@ class SocketTransport(ShardTransport):
         self._connect_attempts = connect_attempts
         self._connect_backoff_s = connect_backoff_s
         self._handshake_timeout_s = handshake_timeout_s
+        self._read_deadline_s = read_deadline_s
+        self._write_deadline_s = write_deadline_s
         registry = resolve_registry(registry)
         self._registry = registry
         if ctx is None:
@@ -425,6 +638,10 @@ class SocketTransport(ShardTransport):
         self._ctx = ctx
         self._m_connects: dict[int, Any] = {}
         self._m_retries: dict[int, Any] = {}
+        self._m_frames: dict[int, dict[str, Any]] = {}
+        #: member_id -> (address, process) for listeners this transport
+        #: spawned on behalf of local registry members.
+        self._member_listeners: dict[str, tuple[tuple[str, int], Any]] = {}
 
     def _counters(self, index: int) -> tuple[Any, Any]:
         if index not in self._m_connects:
@@ -440,6 +657,33 @@ class SocketTransport(ShardTransport):
             )
         return self._m_connects[index], self._m_retries[index]
 
+    def _frame_sink(self, index: int) -> dict[str, Any]:
+        if index not in self._m_frames:
+            shard = str(index)
+            self._m_frames[index] = {
+                "corrupt": self._registry.counter(
+                    "repro_transport_frame_corrupt_total",
+                    "frames rejected by the per-frame CRC32 check",
+                    shard=shard,
+                ),
+                "resyncs": self._registry.counter(
+                    "repro_transport_frame_resyncs_total",
+                    "framer re-alignments that discarded torn bytes",
+                    shard=shard,
+                ),
+                "dup_skipped": self._registry.counter(
+                    "repro_transport_frame_dup_skipped_total",
+                    "duplicate frames dropped by sequence-number dedup",
+                    shard=shard,
+                ),
+                "deadline_misses": self._registry.counter(
+                    "repro_transport_frame_deadline_misses_total",
+                    "read/write deadlines missed with zero progress",
+                    shard=shard,
+                ),
+            }
+        return self._m_frames[index]
+
     def open(self, index: int) -> WorkerEndpoint:
         if self._addresses is not None:
             if index >= len(self._addresses):
@@ -450,7 +694,48 @@ class SocketTransport(ShardTransport):
             return self._connect(index, self._addresses[index], None)
         return self._spawn(index)
 
-    def _spawn(self, index: int) -> WorkerEndpoint:
+    def open_member(self, index: int, member: Any) -> WorkerEndpoint:
+        address = getattr(member, "address", None)
+        if address is not None:
+            return self._connect(index, tuple(address), None)
+        member_id = getattr(member, "member_id", f"local-{index}")
+        address = self._member_address(member_id)
+        return self._connect(index, address, None)
+
+    def _member_address(self, member_id: str) -> tuple[str, int]:
+        """Address of the (spawned-on-demand) listener for a local member.
+
+        One listener process per local member, shared by every shard
+        the member owns — the endpoint therefore carries no process
+        handle (killing it on a single-shard revive would take the
+        member's other shards with it); :meth:`close` reaps them.
+        """
+        entry = self._member_listeners.get(member_id)
+        if entry is not None:
+            return entry[0]
+        address, process = self._spawn_listener()
+        self._member_listeners[member_id] = (address, process)
+        return address
+
+    def member_process(self, member_id: str) -> Any:
+        """The spawned listener process for a local member (tests)."""
+        entry = self._member_listeners.get(member_id)
+        return entry[1] if entry else None
+
+    def drop_member(self, member_id: str) -> None:
+        """Forget (and reap) a spawned local member listener."""
+        entry = self._member_listeners.pop(member_id, None)
+        if entry is None:
+            return
+        _, process = entry
+        if process is not None:
+            try:
+                process.terminate()
+                process.join(1.0)
+            except (OSError, ValueError, AssertionError):
+                pass
+
+    def _spawn_listener(self) -> tuple[tuple[str, int], Any]:
         from repro.shard_worker import serve_socket
 
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -472,6 +757,10 @@ class SocketTransport(ShardTransport):
             process.start()
         finally:
             listener.close()
+        return address, process
+
+    def _spawn(self, index: int) -> WorkerEndpoint:
+        address, process = self._spawn_listener()
         return self._connect(index, address, process)
 
     def _connect(
@@ -483,6 +772,8 @@ class SocketTransport(ShardTransport):
         m_connects, m_retries = self._counters(index)
         config = self.config
         token = transport_token()
+        session = f"s{index}-{os.getpid()}-{time.monotonic_ns()}"
+        stats = FrameStats(self._frame_sink(index))
         channels: list[FramedChannel] = []
         try:
             for role in ("data", "control"):
@@ -492,10 +783,15 @@ class SocketTransport(ShardTransport):
                     backoff_s=self._connect_backoff_s,
                     on_retry=m_retries.inc,
                 )
-                channel = FramedChannel(sock)
+                channel = FramedChannel(
+                    sock,
+                    read_deadline_s=self._read_deadline_s,
+                    write_deadline_s=self._write_deadline_s,
+                    stats=stats,
+                )
                 channel.send(
                     ("hello", {"role": role, "shard": index,
-                               "token": token})
+                               "token": token, "session": session})
                 )
                 channels.append(channel)
             data, control = channels
@@ -550,8 +846,13 @@ class SocketTransport(ShardTransport):
             port=address[1],
         )
         return WorkerEndpoint(
-            conn=data, control=control, process=process, address=address
+            conn=data, control=control, process=process, address=address,
+            frame_stats=stats,
         )
+
+    def close(self) -> None:
+        for member_id in list(self._member_listeners):
+            self.drop_member(member_id)
 
     def describe(self) -> str:
         if self._addresses is not None:

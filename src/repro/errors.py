@@ -86,3 +86,23 @@ class TransportError(EngineError):
     message violates the wire protocol. Pipe-transport failures keep
     raising the OS-level errors they always did; this class only covers
     the transport layer itself."""
+
+
+class FrameError(TransportError):
+    """A framed channel observed a corrupt or impossible frame.
+
+    Raised when a frame's CRC32 does not match its payload, or when the
+    per-channel sequence numbers show a gap (frames were lost on the
+    wire). The channel is unusable afterwards: the router treats the
+    worker as failed and takes the bounded revive/reconnect path, whose
+    checkpoint + journal-suffix re-seed (with count-skip dedup) restores
+    exactly-once delivery."""
+
+
+class TransportTimeout(TransportError):
+    """A framed channel missed its read or write deadline.
+
+    Deadlines are progress-based — any byte moved resets them — so a
+    slow link keeps working while a silently dead peer (no FIN, no RST)
+    is detected in bounded time instead of hanging a send or recv
+    forever."""

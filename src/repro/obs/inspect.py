@@ -194,4 +194,9 @@ def health_snapshot(engine: Any) -> dict[str, Any]:
     if callable(shard_probe):
         snapshot["degraded_shards"] = degraded_shards
         snapshot["shards"] = shard_probe()
+    membership_probe = getattr(engine, "membership_view", None)
+    if callable(membership_probe):
+        membership = membership_probe()
+        if membership is not None:
+            snapshot["membership"] = membership
     return snapshot

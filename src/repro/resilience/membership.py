@@ -1,0 +1,444 @@
+"""Elastic worker membership for the sharded runtime.
+
+The sharded engine's **partition count is fixed for the life of a
+query** — ``shard_of`` hashes a key to one of ``shards`` partitions,
+and that mapping is what makes merged aggregates bit-identical across
+any placement. What *is* elastic is **ownership**: which worker
+process serves which partition. :class:`WorkerRegistry` is the
+router-side source of truth for the worker fleet:
+
+* **static config** — a ``--workers-file`` with one ``HOST:PORT`` per
+  line (``#`` comments, blank lines ignored). The file is hot-reloaded
+  on mtime change: added lines become joins, removed lines become
+  graceful leaves. Lines without a colon name *virtual local members*
+  (the pipe transport's fork slots), which lets the whole membership
+  machinery — and its differential tests — run transport-agnostic.
+* **self-registration** — :meth:`listen` opens a framed-TCP join
+  listener; ``python -m repro.shard_worker --listen … --advertise``
+  sends ``("join", {"address": …})`` and the worker becomes a live
+  member without touching the file (``("leave", …)`` de-registers).
+* **liveness** — the engine's heartbeat/revive machinery reports
+  permanently unreachable members through :meth:`mark_dead`; dead
+  members drop out of placement until they re-register.
+
+Membership *changes* are queued as events and consumed by the engine's
+``poll_membership()`` (wired into the heartbeat loop), which reacts by
+migrating partitions with an exact state handoff — see
+``ShardedStreamEngine.migrate_partition``. The registry itself moves
+no state; it only answers "who is in the fleet, and who just came or
+went".
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import TransportError
+from repro.obs.logging import get_logger
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
+_log = get_logger("membership")
+
+_ACCEPT_TICK_S = 0.25
+
+#: Membership event kinds handed to ``poll()`` consumers.
+JOIN, LEAVE, DEAD = "join", "leave", "dead"
+
+
+@dataclass
+class MemberInfo:
+    """One worker in the fleet, live or not."""
+
+    member_id: str
+    #: ``(host, port)`` for a networked worker; None for a virtual
+    #: local member (a pipe-transport fork slot or a transport-spawned
+    #: localhost listener).
+    address: tuple[str, int] | None = None
+    #: "file", "advertised", or "static" (constructor-provided).
+    source: str = "static"
+    status: str = "live"  # "live" | "left" | "dead"
+    pid: int | None = None
+    generation: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def live(self) -> bool:
+        return self.status == "live"
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "member_id": self.member_id,
+            "address": (
+                f"{self.address[0]}:{self.address[1]}"
+                if self.address else None
+            ),
+            "source": self.source,
+            "status": self.status,
+            "pid": self.pid,
+            "generation": self.generation,
+        }
+
+
+def _parse_member(text: str) -> tuple[str, tuple[str, int] | None]:
+    """A workers-file line → ``(member_id, address)``."""
+    text = text.strip()
+    if ":" not in text:
+        return text, None
+    host, _, port = text.rpartition(":")
+    if not port.isdigit():
+        raise TransportError(
+            f"bad workers-file entry {text!r}: expected HOST:PORT "
+            f"or a bare local member name"
+        )
+    host = host or "127.0.0.1"
+    return f"{host}:{port}", (host, int(port))
+
+
+class WorkerRegistry:
+    """Tracks the elastic worker fleet and queues membership changes.
+
+    Thread-safe: the join listener, the heartbeat tick, and test code
+    may all touch it concurrently.
+    """
+
+    def __init__(
+        self,
+        workers_file: str | Path | None = None,
+        members: Iterable[str] | None = None,
+        registry: MetricsRegistry | None = None,
+        token: str | None = None,
+    ):
+        self._lock = threading.RLock()
+        self._members: dict[str, MemberInfo] = {}
+        self._events: deque[tuple[str, str]] = deque()
+        self._workers_file = Path(workers_file) if workers_file else None
+        self._file_mtime: float | None = None
+        self._file_members: set[str] = set()
+        self._listener: socket.socket | None = None
+        self._listen_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        if token is None:
+            from repro.engine.transport import transport_token
+
+            token = transport_token()
+        self._token = token
+        metrics = resolve_registry(registry)
+        self._g_workers = metrics.gauge(
+            "repro_membership_workers",
+            "live workers known to the registry",
+        )
+        self._m_joins = metrics.counter(
+            "repro_membership_joins_total",
+            "workers that joined the fleet (file, advertise, or static)",
+        )
+        self._m_leaves = metrics.counter(
+            "repro_membership_leaves_total",
+            "workers that left the fleet gracefully",
+        )
+        self._m_deaths = metrics.counter(
+            "repro_membership_deaths_total",
+            "workers declared permanently dead by the router",
+        )
+        if members is not None:
+            for entry in members:
+                self._admit(str(entry), source="static", quiet=True)
+        if self._workers_file is not None:
+            self._load_file(initial=True)
+        self._export()
+
+    # ----- internal state transitions ---------------------------------------
+
+    def _export(self) -> None:
+        self._g_workers.set(
+            sum(1 for m in self._members.values() if m.live)
+        )
+
+    def _admit(
+        self, entry: str, source: str, quiet: bool = False,
+        pid: int | None = None,
+    ) -> MemberInfo:
+        member_id, address = _parse_member(entry)
+        member = self._members.get(member_id)
+        if member is not None and member.live:
+            return member
+        if member is None:
+            member = MemberInfo(
+                member_id=member_id, address=address, source=source,
+                pid=pid,
+            )
+            self._members[member_id] = member
+        else:
+            member.status = "live"
+            member.source = source
+            member.generation += 1
+            member.pid = pid if pid is not None else member.pid
+        self._m_joins.inc()
+        if not quiet:
+            self._events.append((JOIN, member_id))
+        _log.info(
+            "member_joined",
+            message=f"worker {member_id} joined via {source}",
+            member=member_id,
+            source=source,
+        )
+        self._export()
+        return member
+
+    def _retire(self, member_id: str, kind: str) -> None:
+        member = self._members.get(member_id)
+        if member is None or not member.live:
+            return
+        member.status = "dead" if kind == DEAD else "left"
+        if kind == DEAD:
+            self._m_deaths.inc()
+        else:
+            self._m_leaves.inc()
+        self._events.append((kind, member_id))
+        _log.warning(
+            "member_retired",
+            message=f"worker {member_id} {member.status}",
+            member=member_id,
+            status=member.status,
+        )
+        self._export()
+
+    # ----- public API -------------------------------------------------------
+
+    def register(
+        self, entry: str, source: str = "advertised",
+        pid: int | None = None,
+    ) -> MemberInfo:
+        """Admit (or revive) a member; queues a join event."""
+        with self._lock:
+            return self._admit(entry, source=source, pid=pid)
+
+    def leave(self, member_id: str) -> None:
+        """Graceful departure; queues a leave event."""
+        with self._lock:
+            self._retire(member_id, LEAVE)
+
+    def mark_dead(self, member_id: str) -> None:
+        """Permanent death (reconnect budget exhausted); queues it."""
+        with self._lock:
+            self._retire(member_id, DEAD)
+
+    def get(self, member_id: str) -> MemberInfo | None:
+        with self._lock:
+            return self._members.get(member_id)
+
+    def live_members(self) -> list[MemberInfo]:
+        """Live members in stable (insertion) order."""
+        with self._lock:
+            return [m for m in self._members.values() if m.live]
+
+    def poll(self) -> list[tuple[str, str]]:
+        """Drain queued membership events (after a file refresh)."""
+        with self._lock:
+            self._refresh_file_locked()
+            events = list(self._events)
+            self._events.clear()
+            return events
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe fleet view for ``/healthz`` and ``inspect()``."""
+        with self._lock:
+            members = [m.snapshot() for m in self._members.values()]
+        return {
+            "live": sum(1 for m in members if m["status"] == "live"),
+            "members": members,
+            "workers_file": (
+                str(self._workers_file) if self._workers_file else None
+            ),
+            "listen": (
+                f"{self.listen_address[0]}:{self.listen_address[1]}"
+                if self.listen_address else None
+            ),
+        }
+
+    # ----- workers-file hot reload ------------------------------------------
+
+    def _read_file(self) -> list[str]:
+        assert self._workers_file is not None
+        try:
+            text = self._workers_file.read_text()
+        except OSError:
+            return []
+        entries: list[str] = []
+        for line in text.splitlines():
+            line = line.split("#", 1)[0].strip()
+            if line:
+                entries.append(line)
+        return entries
+
+    def _load_file(self, initial: bool = False) -> None:
+        assert self._workers_file is not None
+        try:
+            mtime = self._workers_file.stat().st_mtime
+        except OSError:
+            mtime = None
+        self._file_mtime = mtime
+        current: set[str] = set()
+        for entry in self._read_file():
+            member_id, _ = _parse_member(entry)
+            current.add(member_id)
+            self._admit(entry, source="file", quiet=initial)
+        for gone in self._file_members - current:
+            member = self._members.get(gone)
+            if member is not None and member.source == "file":
+                self._retire(gone, LEAVE)
+        self._file_members = current
+
+    def _refresh_file_locked(self) -> None:
+        if self._workers_file is None:
+            return
+        try:
+            mtime = self._workers_file.stat().st_mtime
+        except OSError:
+            mtime = None
+        if mtime != self._file_mtime:
+            self._load_file()
+
+    def refresh(self) -> None:
+        """Force a workers-file re-read (tests; poll() does it too)."""
+        with self._lock:
+            if self._workers_file is not None:
+                self._load_file()
+
+    @property
+    def can_grow(self) -> bool:
+        """True when members can arrive without code changes: a
+        workers file or a join listener is attached — the router may
+        wait out an empty fleet instead of failing its first start."""
+        return self._workers_file is not None or self._listener is not None
+
+    def wait_for_members(self, timeout_s: float) -> bool:
+        """Block until the fleet has a live member (or timeout).
+
+        Covers the cold-start race: a router launched alongside
+        ``--advertise`` workers (or before its workers file is
+        written) must not fail its first ingest just because no
+        member dialed in yet."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            with self._lock:
+                self._refresh_file_locked()
+                if any(m.live for m in self._members.values()):
+                    return True
+            if time.monotonic() >= deadline or self._stopping.is_set():
+                return False
+            time.sleep(0.05)
+
+    # ----- self-registration listener ---------------------------------------
+
+    @property
+    def listen_address(self) -> tuple[str, int] | None:
+        if self._listener is None:
+            return None
+        try:
+            return self._listener.getsockname()
+        except OSError:  # pragma: no cover - closed under us
+            return None
+
+    def listen(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Open the join listener for ``--advertise`` self-registration."""
+        if self._listener is not None:
+            raise TransportError("registry is already listening")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(16)
+        listener.settimeout(_ACCEPT_TICK_S)
+        self._listener = listener
+        self._listen_thread = threading.Thread(
+            target=self._serve_joins, daemon=True, name="membership-join"
+        )
+        self._listen_thread.start()
+        return listener.getsockname()
+
+    def _serve_joins(self) -> None:
+        from repro.engine.transport import CHANNEL_ERRORS, FramedChannel
+
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            channel = FramedChannel(sock)
+            try:
+                if not channel.poll(10.0):
+                    continue
+                message = channel.recv()
+                if (
+                    not isinstance(message, tuple)
+                    or len(message) != 2
+                    or not isinstance(message[1], dict)
+                ):
+                    channel.send(("error", "malformed membership frame"))
+                    continue
+                action, payload = message
+                if self._token and payload.get("token") != self._token:
+                    channel.send(("error", "token mismatch"))
+                    continue
+                address = str(payload.get("address") or "")
+                if action == "join" and address:
+                    member = self.register(
+                        address, source="advertised",
+                        pid=payload.get("pid"),
+                    )
+                    channel.send(("ok", member.member_id))
+                elif action == "leave" and address:
+                    member_id, _ = _parse_member(address)
+                    self.leave(member_id)
+                    channel.send(("ok", member_id))
+                else:
+                    channel.send(("error", f"unknown action {action!r}"))
+            except (*CHANNEL_ERRORS, ValueError):
+                pass
+            finally:
+                channel.close()
+
+    def close(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._listen_thread is not None:
+            self._listen_thread.join(2.0)
+            self._listen_thread = None
+        self._listener = None
+
+
+def registry_from_cli(
+    workers_file: str | None,
+    metrics: MetricsRegistry | None = None,
+) -> WorkerRegistry | None:
+    """Build a registry for ``--workers-file`` (None when unset)."""
+    if not workers_file:
+        return None
+    path = Path(workers_file)
+    if not path.exists():
+        raise TransportError(f"workers file {workers_file!r} does not exist")
+    return WorkerRegistry(workers_file=path, registry=metrics)
+
+
+__all__ = [
+    "JOIN",
+    "LEAVE",
+    "DEAD",
+    "MemberInfo",
+    "WorkerRegistry",
+    "registry_from_cli",
+]

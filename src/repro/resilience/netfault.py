@@ -1,0 +1,310 @@
+"""Seeded in-process chaos TCP proxy for the networked shard plane.
+
+:class:`NetFaultProxy` sits between the router's ``SocketTransport``
+and a listening shard worker and misbehaves like a real network, on
+demand or probabilistically from one integer seed:
+
+* **partition** — hold the link open but move no bytes (the shape of a
+  dead switch or a silently vanished host: no FIN, no RST). Heals on
+  request; buffered bytes then flow, like a TCP retransmit burst.
+* **delay** — sleep a seeded number of milliseconds before forwarding
+  a chunk (slow link; must NOT be confused with a dead peer).
+* **truncate** — forward a prefix of a chunk, then cut both directions
+  (a connection dying mid-frame; the peer sees a torn frame).
+* **corrupt** — flip one byte of a forwarded chunk (the CRC32 check's
+  reason to exist).
+* **reorder** — swap a chunk with its successor (byte-stream torture;
+  the framer sees it as corruption and must fail typed, not undefined).
+
+Every probabilistic choice is drawn from ``random.Random`` seeded by
+``(seed, connection ordinal, direction)``, so a failing chaos run
+replays with the same ``REPRO_FAULT_SEED`` the rest of the resilience
+suite uses. Chunk boundaries depend on kernel timing, so byte-exact
+replay is not promised — seeded rates and fault kinds are.
+
+The proxy is deliberately in-process (threads, no subprocess): tests
+compose it with :class:`~repro.resilience.faults.FaultPlan` kills and
+the differential harness without any extra orchestration.
+"""
+
+from __future__ import annotations
+
+import random
+import select
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.faults import fault_seed
+
+_CHUNK = 65536
+_TICK_S = 0.05
+
+
+@dataclass
+class NetFaultPlan:
+    """Per-chunk fault probabilities for one proxy (all seeded).
+
+    Rates are independent per forwarded chunk and per direction. The
+    default plan injects nothing — faults then come only from the
+    explicit :meth:`NetFaultProxy.partition` /
+    :meth:`NetFaultProxy.cut` style triggers.
+    """
+
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_ms: tuple[int, int] = (1, 20)
+    truncate_rate: float = 0.0
+    reorder_rate: float = 0.0
+
+    def any_rate(self) -> bool:
+        return any(
+            rate > 0.0
+            for rate in (
+                self.corrupt_rate, self.delay_rate,
+                self.truncate_rate, self.reorder_rate,
+            )
+        )
+
+
+@dataclass
+class _Link:
+    """One proxied connection: the two sockets and its pump threads."""
+
+    client: socket.socket
+    upstream: socket.socket
+    threads: list[threading.Thread] = field(default_factory=list)
+    dead: threading.Event = field(default_factory=threading.Event)
+
+    def cut(self) -> None:
+        self.dead.set()
+        for sock in (self.client, self.upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class NetFaultProxy:
+    """A chaos TCP proxy in front of one worker (or registry) address.
+
+    Usage::
+
+        with NetFaultProxy(("127.0.0.1", worker_port), seed=2,
+                           plan=NetFaultPlan(corrupt_rate=0.01)) as proxy:
+            engine = ShardedStreamEngine(
+                ..., transport="tcp",
+                worker_addresses=[proxy.address_text], ...)
+
+    ``counts`` tallies every fault actually injected, keyed by kind.
+    """
+
+    def __init__(
+        self,
+        target: tuple[str, int],
+        plan: NetFaultPlan | None = None,
+        seed: int | None = None,
+        host: str = "127.0.0.1",
+    ):
+        self.target = (target[0], int(target[1]))
+        self.plan = plan or NetFaultPlan()
+        self.seed = seed if seed is not None else fault_seed()
+        self._host = host
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._links: list[_Link] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._partitioned = threading.Event()
+        self._conn_ordinal = 0
+        self.counts: dict[str, int] = {
+            "partition": 0, "delay": 0, "truncate": 0,
+            "corrupt": 0, "reorder": 0,
+        }
+        self.address: tuple[str, int] | None = None
+
+    # ----- lifecycle --------------------------------------------------------
+
+    def start(self) -> "NetFaultProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, 0))
+        listener.listen(32)
+        listener.settimeout(_TICK_S)
+        self._listener = listener
+        self.address = listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="netfault-accept"
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            links = list(self._links)
+        for link in links:
+            link.cut()
+        if self._accept_thread is not None:
+            self._accept_thread.join(2.0)
+
+    def __enter__(self) -> "NetFaultProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def address_text(self) -> str:
+        if self.address is None:
+            raise RuntimeError("proxy not started")
+        return f"{self.address[0]}:{self.address[1]}"
+
+    # ----- explicit fault triggers ------------------------------------------
+
+    def partition(self) -> None:
+        """Stop moving bytes while keeping every connection open."""
+        self._bump("partition")
+        self._partitioned.set()
+
+    def heal(self) -> None:
+        """End a partition; held bytes flow again."""
+        self._partitioned.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned.is_set()
+
+    def cut_all(self) -> None:
+        """Hard-close every proxied connection (both directions)."""
+        with self._lock:
+            links = list(self._links)
+        for link in links:
+            link.cut()
+
+    def live_links(self) -> int:
+        with self._lock:
+            self._links = [
+                link for link in self._links if not link.dead.is_set()
+            ]
+            return len(self._links)
+
+    # ----- plumbing ---------------------------------------------------------
+
+    def _bump(self, kind: str) -> None:
+        with self._lock:
+            self.counts[kind] += 1
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self.target, timeout=5.0)
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, upstream):
+                try:
+                    sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                except OSError:  # pragma: no cover
+                    pass
+            with self._lock:
+                ordinal = self._conn_ordinal
+                self._conn_ordinal += 1
+            link = _Link(client=client, upstream=upstream)
+            for direction, (src, dst) in enumerate(
+                ((client, upstream), (upstream, client))
+            ):
+                rng = random.Random(
+                    (self.seed * 1000003 + ordinal) * 2 + direction
+                )
+                thread = threading.Thread(
+                    target=self._pump,
+                    args=(link, src, dst, rng),
+                    daemon=True,
+                    name=f"netfault-pump-{ordinal}-{direction}",
+                )
+                link.threads.append(thread)
+                thread.start()
+            with self._lock:
+                self._links.append(link)
+
+    def _pump(
+        self,
+        link: _Link,
+        src: socket.socket,
+        dst: socket.socket,
+        rng: random.Random,
+    ) -> None:
+        held: bytes | None = None  # chunk parked by a reorder draw
+        while not link.dead.is_set() and not self._stopping.is_set():
+            try:
+                ready = select.select([src], [], [], _TICK_S)[0]
+            except (OSError, ValueError):
+                break
+            if not ready:
+                continue
+            try:
+                chunk = src.recv(_CHUNK)
+            except OSError:
+                break
+            if not chunk:
+                break
+            # Partition: hold the bytes (and any reorder leftovers)
+            # until healed — the peer sees pure silence, no FIN.
+            while self._partitioned.is_set():
+                if link.dead.is_set() or self._stopping.is_set():
+                    return
+                time.sleep(_TICK_S)
+            plan = self.plan
+            if plan.delay_rate and rng.random() < plan.delay_rate:
+                self._bump("delay")
+                low, high = plan.delay_ms
+                time.sleep(rng.randint(low, high) / 1000.0)
+            if plan.corrupt_rate and rng.random() < plan.corrupt_rate:
+                self._bump("corrupt")
+                mutable = bytearray(chunk)
+                at = rng.randrange(len(mutable))
+                mutable[at] ^= 1 + rng.randrange(255)
+                chunk = bytes(mutable)
+            if plan.truncate_rate and rng.random() < plan.truncate_rate:
+                self._bump("truncate")
+                keep = rng.randrange(len(chunk))
+                try:
+                    if keep:
+                        dst.sendall(chunk[:keep])
+                except OSError:
+                    pass
+                link.cut()
+                return
+            if (
+                plan.reorder_rate
+                and held is None
+                and len(chunk) > 1
+                and rng.random() < plan.reorder_rate
+            ):
+                self._bump("reorder")
+                held = chunk
+                continue
+            try:
+                dst.sendall(chunk)
+                if held is not None:
+                    dst.sendall(held)
+                    held = None
+            except OSError:
+                break
+        link.cut()

@@ -536,6 +536,13 @@ def recover_router(
             int(index): fold_state
             for index, fold_state in (router.get("folds") or {}).items()
         }
+        # Routing-table versioning (elastic membership): restore prior
+        # partition ownership wherever those members are still live —
+        # their journals describe that placement — and keep counting
+        # routing versions from where the crashed run left off.
+        routing = router.get("routing")
+        if isinstance(routing, dict):
+            engine._resume_routing = routing
     engine._start()
 
     # Restore the router's own bookkeeping and the local lane.

@@ -229,6 +229,11 @@ class HeartbeatSupervisor:
     is ``dead``, ``failed``, or has missed ``max_missed`` consecutive
     heartbeats; the engine restarts and re-seeds the worker (or folds it
     into the local lane once its restart budget is spent).
+
+    ``tick()``, when given, runs once per monitoring round before the
+    pings — the engine wires its membership poll through it so worker
+    joins/leaves ride the same thread and cadence as liveness. A tick
+    that raises is logged and never kills the thread.
     """
 
     def __init__(
@@ -240,6 +245,7 @@ class HeartbeatSupervisor:
         max_missed: int = 3,
         registry: MetricsRegistry | None = None,
         health: list[ShardHealth] | None = None,
+        tick: Callable[[], None] | None = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -251,6 +257,7 @@ class HeartbeatSupervisor:
         self.max_missed = max_missed
         self._ping = ping
         self._revive = revive
+        self._tick = tick
         # The engine usually owns the health records (it updates restart
         # and failure counts from its own revive path) and shares them.
         self.health = (
@@ -298,6 +305,15 @@ class HeartbeatSupervisor:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval_s):
+            if self._tick is not None:
+                try:
+                    self._tick()
+                except Exception as error:  # defensive: thread survives
+                    _log.warning(
+                        "tick_error",
+                        message=f"supervisor tick raised {error!r}",
+                        error=type(error).__name__,
+                    )
             for health in self.health:
                 if self._stop.is_set():
                     return

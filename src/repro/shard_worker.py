@@ -1,28 +1,39 @@
 """Standalone networked shard worker: ``python -m repro.shard_worker``.
 
-One process, one listener, one shard at a time. The router's
-``SocketTransport`` connects two framed-TCP channels (data + control),
-ships a configure document — query *texts*, vectorized flag, obs
-config, orphan budget — and from then on speaks exactly the same wire
-protocol as a forked pipe worker: the session runs
-:func:`repro.engine.sharded._worker_loop` unchanged.
+One process, one listener, any number of concurrent **sessions**. The
+router's ``SocketTransport`` connects two framed-TCP channels (data +
+control) per shard, ships a configure document — query *texts*,
+vectorized flag, obs config, orphan budget — and from then on speaks
+exactly the same wire protocol as a forked pipe worker: each session
+runs :func:`repro.engine.sharded._worker_loop` unchanged in its own
+thread. Channel pairs are matched by the ``session`` id the router
+puts in its hello frames, so one worker process can own several shard
+partitions at once — the unit of placement for the elastic membership
+layer (:mod:`repro.resilience.membership`).
 
 Lifecycle:
 
 * a **session** is one (data, control) channel pair plus a fresh
   engine built from its configure document. When the session ends with
   ``"eof"`` (router died or is reconnecting) or ``"stop"`` (router
-  shut down / is about to re-seed), the worker loops back to accept —
-  a revive on the router side is just a reconnect here, and the
-  router re-seeds state through the normal ``seed`` + journal-replay
-  protocol;
-* **orphan protection**: the listener itself times out after the
-  orphan budget with no inbound connection, and inside a session the
-  worker loop exits after the same budget of total silence — either
-  way the process ends instead of lingering as a zombie. A worker
-  spawned by a local ``SocketTransport`` additionally exits as soon
-  as its parent process disappears (re-parenting check), so a
-  SIGKILL'd router leaks nothing even before the timeout;
+  shut down, re-seeded elsewhere, or migrated the partition away), the
+  session thread exits and the listener keeps accepting — a revive or
+  migration on the router side is just a fresh session here, seeded
+  through the normal ``seed`` + journal-replay protocol;
+* **orphan protection**: inside a session the worker loop exits after
+  the orphan budget of total silence — this is the idle-connection
+  deadline that catches a router that vanished *without* FIN (host
+  died, network partitioned), where a parent-pid watch means nothing
+  for a remote worker. Between sessions the listener itself times out
+  after the same budget with no live session and no inbound
+  connection. Either way the process ends instead of leaking forever.
+  A worker spawned by a local ``SocketTransport`` additionally exits
+  as soon as its parent process disappears (re-parenting check) once
+  its sessions have drained;
+* ``--advertise HOST:PORT`` self-registers with a router's
+  :class:`~repro.resilience.membership.WorkerRegistry` join listener
+  at startup (and best-effort de-registers on orphan exit), so a fleet
+  can grow without editing the workers file;
 * ``--serve-once`` exits after the first session (CI smoke runs).
 
 Security note: the wire format is pickle over a trusted network, the
@@ -37,6 +48,8 @@ import argparse
 import os
 import socket
 import sys
+import threading
+import time
 from typing import Any
 
 from repro.engine.sharded import (
@@ -46,7 +59,9 @@ from repro.engine.sharded import (
 )
 from repro.obs.funnel import NULL_FUNNEL, FunnelRecorder
 from repro.engine.transport import (
+    CHANNEL_ERRORS,
     FramedChannel,
+    connect_with_backoff,
     parse_hostport,
     transport_token,
 )
@@ -55,8 +70,12 @@ from repro.obs.logging import get_logger
 _log = get_logger("shard_worker")
 
 #: How long ``accept`` blocks per wait before re-checking the orphan
-#: conditions (parent death, budget exhaustion).
-_ACCEPT_TICK_S = 1.0
+#: conditions (parent death, budget exhaustion, finished sessions).
+_ACCEPT_TICK_S = 0.25
+
+#: Half-open channel pairs (hello arrived, partner did not) are
+#: dropped after this long so they cannot pin the process open.
+_PENDING_TTL_S = 30.0
 
 
 def _read_hello(channel: FramedChannel, timeout_s: float = 10.0) -> dict:
@@ -80,66 +99,6 @@ def _read_hello(channel: FramedChannel, timeout_s: float = 10.0) -> dict:
     return hello
 
 
-def _accept_pair(
-    listener: socket.socket,
-    deadline_budget_s: float | None,
-    parent_pid: int | None,
-) -> tuple[FramedChannel, FramedChannel] | None:
-    """Accept connections until one data + one control channel pair up.
-
-    Returns ``None`` when the worker should exit instead: the orphan
-    budget elapsed with no inbound connection, or the spawning parent
-    process is gone (its pid was re-parented away).
-    """
-    import time
-
-    channels: dict[str, FramedChannel] = {}
-    deadline = (
-        time.monotonic() + deadline_budget_s
-        if deadline_budget_s
-        else None
-    )
-    listener.settimeout(_ACCEPT_TICK_S)
-    try:
-        while "data" not in channels or "control" not in channels:
-            if parent_pid is not None and os.getppid() != parent_pid:
-                return None  # spawning router is gone
-            if deadline is not None and time.monotonic() >= deadline:
-                return None  # orphan: nobody connected in the budget
-            try:
-                sock, _ = listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                return None
-            channel = FramedChannel(sock)
-            try:
-                hello = _read_hello(channel)
-            except (ValueError, EOFError, OSError) as error:
-                _log.warning(
-                    "bad_hello",
-                    message=f"rejected a connection: {error}",
-                )
-                channel.close()
-                continue
-            role = hello["role"]
-            stale = channels.pop(role, None)
-            if stale is not None:
-                stale.close()
-            channels[role] = channel
-            # Both channels must belong to the same router attempt;
-            # a fresh pair supersedes a half-open stale one, so reset
-            # the patience window.
-            deadline = (
-                time.monotonic() + deadline_budget_s
-                if deadline_budget_s
-                else None
-            )
-    finally:
-        listener.settimeout(None)
-    return channels["data"], channels["control"]
-
-
 def _run_session(
     data: FramedChannel,
     control: FramedChannel,
@@ -152,7 +111,7 @@ def _run_session(
         if not data.poll(10.0):
             return "reject"
         message = data.recv()
-    except (EOFError, OSError):
+    except CHANNEL_ERRORS:
         return "reject"
     if (
         not isinstance(message, tuple)
@@ -163,6 +122,10 @@ def _run_session(
         return "reject"
     config: dict[str, Any] = message[1]
     index = int(config.get("index", 0))
+    # The router's resolved orphan budget wins when it sent one; the
+    # worker-local --orphan-timeout is the floor either way, so a
+    # router that vanishes without FIN (no budget negotiated) still
+    # cannot strand this process forever.
     orphan_timeout_s = config.get("orphan_timeout_s")
     if orphan_timeout_s is None:
         orphan_timeout_s = default_orphan_timeout_s
@@ -183,12 +146,12 @@ def _run_session(
             profiler.stop()
         try:
             data.send(("error", f"{type(error).__name__}: {error}"))
-        except OSError:
+        except CHANNEL_ERRORS:
             pass
         return "reject"
     try:
         data.send(("ok", {"pid": os.getpid()}))
-    except OSError:
+    except CHANNEL_ERRORS:
         if profiler is not None:
             profiler.stop()
         return "eof"
@@ -202,54 +165,183 @@ def _run_session(
             profiler.stop()
 
 
+class _Session(threading.Thread):
+    """One worker session on its own thread; owns both channels."""
+
+    def __init__(
+        self,
+        data: FramedChannel,
+        control: FramedChannel,
+        orphan_timeout_s: float | None,
+    ):
+        super().__init__(daemon=True, name="shard-session")
+        self._data = data
+        self._control = control
+        self._orphan = orphan_timeout_s
+        self.reason: str | None = None
+
+    def run(self) -> None:
+        try:
+            self.reason = _run_session(self._data, self._control,
+                                        self._orphan)
+        finally:
+            self._data.close()
+            self._control.close()
+
+
+def _advertise(
+    registry_address: tuple[str, int],
+    listen_address: tuple[str, int],
+    action: str = "join",
+) -> bool:
+    """Tell a router's WorkerRegistry listener about this worker.
+
+    Returns True when the registry acknowledged. ``leave`` failures
+    are non-fatal (the router's liveness tracking converges anyway).
+    """
+    try:
+        sock = connect_with_backoff(registry_address, attempts=6)
+    except CHANNEL_ERRORS:
+        return False
+    channel = FramedChannel(sock)
+    try:
+        channel.send((
+            action,
+            {
+                "address": f"{listen_address[0]}:{listen_address[1]}",
+                "token": transport_token(),
+                "pid": os.getpid(),
+            },
+        ))
+        if not channel.poll(10.0):
+            return False
+        status, _detail = channel.recv()
+        return status == "ok"
+    except CHANNEL_ERRORS:
+        return False
+    finally:
+        channel.close()
+
+
 def serve_socket(
     listener: socket.socket,
     orphan_timeout_s: float | None = None,
     serve_once: bool = False,
     spawned: bool = True,
+    on_orphan: Any = None,
 ) -> None:
     """Serve worker sessions on an already-listening socket.
 
     This is both the ``SocketTransport`` local-spawn process target
     (``spawned=True``: the worker also dies when its parent process
     does) and the body of the CLI entrypoint (``spawned=False``: only
-    the orphan budget and transport EOF end it).
+    the orphan budget and transport EOF end it). Sessions run
+    concurrently, one thread per (data, control) pair, matched by the
+    hello ``session`` id; hellos without one fall back to pairing by
+    arrival order, which preserves the one-session-at-a-time protocol
+    older routers speak.
     """
     parent_pid = os.getppid() if spawned else None
-    with listener:
-        while True:
-            pair = _accept_pair(listener, orphan_timeout_s, parent_pid)
-            if pair is None:
-                _log.info(
-                    "worker_orphaned",
-                    message=(
-                        "no router within the orphan budget; exiting"
-                    ),
-                )
-                return
-            data, control = pair
+    pending: dict[str, dict[str, Any]] = {}
+    sessions: list[_Session] = []
+    completed = 0
+    idle_deadline = (
+        time.monotonic() + orphan_timeout_s if orphan_timeout_s else None
+    )
+
+    def _orphan_exit(why: str) -> None:
+        _log.info("worker_orphaned", message=why)
+        if on_orphan is not None:
             try:
-                reason = _run_session(data, control, orphan_timeout_s)
-            finally:
-                data.close()
-                control.close()
-            if reason == "orphan":
-                _log.info(
-                    "worker_orphaned",
-                    message=(
-                        "router went silent past the orphan budget; "
-                        "exiting"
-                    ),
+                on_orphan()
+            except Exception:  # pragma: no cover - best-effort hook
+                pass
+
+    with listener:
+        listener.settimeout(_ACCEPT_TICK_S)
+        while True:
+            # Reap finished session threads.
+            finished_orphan = False
+            still: list[_Session] = []
+            for session in sessions:
+                if session.is_alive():
+                    still.append(session)
+                    continue
+                if session.reason != "reject":
+                    completed += 1
+                if session.reason == "orphan":
+                    finished_orphan = True
+            sessions = still
+            if finished_orphan and not sessions:
+                _orphan_exit(
+                    "router went silent past the orphan budget; exiting"
                 )
                 return
-            if serve_once and reason != "reject":
+            if completed and serve_once and not sessions:
                 return
-            if (
-                spawned
-                and parent_pid is not None
-                and os.getppid() != parent_pid
-            ):
-                return  # session ended and the router process is gone
+            if sessions:
+                idle_deadline = (
+                    time.monotonic() + orphan_timeout_s
+                    if orphan_timeout_s else None
+                )
+            else:
+                if (
+                    spawned
+                    and parent_pid is not None
+                    and os.getppid() != parent_pid
+                ):
+                    return  # sessions drained and the router is gone
+                if (
+                    idle_deadline is not None
+                    and time.monotonic() >= idle_deadline
+                ):
+                    _orphan_exit(
+                        "no router within the orphan budget; exiting"
+                    )
+                    return
+            # Drop half-open pairs that never completed.
+            now = time.monotonic()
+            for key in list(pending):
+                if now - pending[key]["at"] > _PENDING_TTL_S:
+                    for chan in pending[key]["roles"].values():
+                        chan.close()
+                    del pending[key]
+            try:
+                sock, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            channel = FramedChannel(sock)
+            try:
+                hello = _read_hello(channel)
+            except (ValueError, *CHANNEL_ERRORS) as error:
+                _log.warning(
+                    "bad_hello",
+                    message=f"rejected a connection: {error}",
+                )
+                channel.close()
+                continue
+            key = str(hello.get("session") or "legacy")
+            entry = pending.setdefault(key, {"roles": {}, "at": now})
+            entry["at"] = now
+            role = hello["role"]
+            stale = entry["roles"].pop(role, None)
+            if stale is not None:
+                stale.close()
+            entry["roles"][role] = channel
+            idle_deadline = (
+                time.monotonic() + orphan_timeout_s
+                if orphan_timeout_s else None
+            )
+            if "data" in entry["roles"] and "control" in entry["roles"]:
+                del pending[key]
+                session = _Session(
+                    entry["roles"]["data"], entry["roles"]["control"],
+                    orphan_timeout_s,
+                )
+                session.start()
+                sessions.append(session)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -257,8 +349,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.shard_worker",
         description=(
             "Networked shard worker for ShardedStreamEngine's tcp "
-            "transport: listens for a router, then executes one "
-            "hash-partition of the stream."
+            "transport: listens for a router, then executes one or "
+            "more hash-partitions of the stream."
         ),
     )
     parser.add_argument(
@@ -273,8 +365,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="SECONDS",
         help=(
-            "exit after this many seconds without any router traffic "
+            "idle-connection deadline: exit after this many seconds "
+            "without any router traffic, in or between sessions — the "
+            "guard that catches a router that vanished without FIN "
             "(default: wait forever)"
+        ),
+    )
+    parser.add_argument(
+        "--advertise",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "self-register with the router's worker-registry listener "
+            "at this address (elastic membership join)"
         ),
     )
     parser.add_argument(
@@ -287,15 +390,41 @@ def main(argv: list[str] | None = None) -> int:
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, port))
-    listener.listen(4)
+    listener.listen(16)
     bound = listener.getsockname()
     # The chosen port on stdout lets scripts use --listen HOST:0.
     print(f"listening on {bound[0]}:{bound[1]}", flush=True)
+    advertise_to: tuple[str, int] | None = None
+    if args.advertise:
+        advertise_to = parse_hostport(args.advertise)
+        if _advertise(advertise_to, bound, "join"):
+            _log.info(
+                "advertised",
+                message=(
+                    f"registered {bound[0]}:{bound[1]} with the worker "
+                    f"registry at {advertise_to[0]}:{advertise_to[1]}"
+                ),
+            )
+        else:
+            print(
+                f"warning: could not register with the worker registry "
+                f"at {args.advertise}",
+                file=sys.stderr,
+                flush=True,
+            )
+    on_orphan = None
+    if advertise_to is not None:
+        registry_address = advertise_to
+
+        def on_orphan() -> None:
+            _advertise(registry_address, bound, "leave")
+
     serve_socket(
         listener,
         orphan_timeout_s=args.orphan_timeout,
         serve_once=args.serve_once,
         spawned=False,
+        on_orphan=on_orphan,
     )
     return 0
 

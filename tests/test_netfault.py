@@ -1,0 +1,398 @@
+"""Chaos TCP proxy suite: seeded network faults, bit-identical results.
+
+:class:`NetFaultProxy` sits between the router's framed-TCP transport
+and a listening worker and misbehaves like a real network — partition
+(silence without FIN), delay, corruption, truncation, reorder. The
+unit half of this file pins each fault shape at the channel level:
+corruption and reorder must surface as *typed* frame errors (never an
+undefined pickle failure), a partition must read as pure silence that
+heals without data loss, and a delay must be survivable (a slow link
+is not a dead peer).
+
+The differential half is the network-fault acceptance gate: a sharded
+run whose every byte crosses the chaos proxy — corrupt frames forcing
+revive/reconnect cycles mid-stream — must produce merged aggregates
+bit-identical to an uninterrupted single-process reference, i.e. no
+event is lost or duplicated no matter what the wire does. Fault
+injection is seeded through the suite-wide ``REPRO_FAULT_SEED``
+convention, so a failing chaos run replays.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from conftest import random_events
+from repro.engine.engine import StreamEngine
+from repro.engine.sharded import ShardedStreamEngine
+from repro.engine.transport import CHANNEL_ERRORS, FramedChannel
+from repro.query import parse_query
+from repro.resilience.faults import FaultPlan, fault_seed
+from repro.resilience.netfault import NetFaultPlan, NetFaultProxy
+
+SEEDS = [fault_seed(0) * 307 + offset for offset in (0, 1, 2)]
+
+QUERIES = {
+    "count": "PATTERN SEQ(A, B) AGG COUNT WITHIN 40 ms GROUP BY g",
+    "sum": "PATTERN SEQ(A, B) AGG SUM(B.v) WITHIN 40 ms GROUP BY g",
+    "avg": "PATTERN SEQ(A, B) AGG AVG(B.v) WITHIN 40 ms GROUP BY g",
+    "neg": "PATTERN SEQ(A, !C, B) AGG COUNT WITHIN 40 ms GROUP BY g",
+}
+
+
+def _attrs(rng, _event_type):
+    return {"g": rng.randrange(16), "v": rng.randrange(1000)}
+
+
+def _reference(events) -> dict:
+    engine = StreamEngine()
+    for name, text in QUERIES.items():
+        engine.register(parse_query(text), name=name)
+    for event in events:
+        engine.process(event)
+    engine.advance_clock(events[-1].ts)
+    return engine.results()
+
+
+# ----- channel-level fault shapes --------------------------------------------
+
+
+class _EchoServer:
+    """A raw byte echo behind the proxy: whatever frames arrive come
+    straight back, so one FramedChannel can converse with itself."""
+
+    def __init__(self):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._threads: list[threading.Thread] = []
+        accept = threading.Thread(target=self._accept, daemon=True)
+        accept.start()
+        self._threads.append(accept)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            pump = threading.Thread(
+                target=self._echo, args=(sock,), daemon=True
+            )
+            pump.start()
+            self._threads.append(pump)
+
+    @staticmethod
+    def _echo(sock: socket.socket) -> None:
+        with sock:
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                try:
+                    sock.sendall(chunk)
+                except OSError:
+                    return
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture()
+def echo():
+    server = _EchoServer()
+    yield server
+    server.close()
+
+
+def _proxied_channel(
+    proxy: NetFaultProxy, **channel_kwargs
+) -> FramedChannel:
+    sock = socket.create_connection(proxy.address, timeout=5.0)
+    return FramedChannel(sock, **channel_kwargs)
+
+
+def test_clean_proxy_forwards_frames_untouched(echo):
+    with NetFaultProxy(echo.address, seed=SEEDS[0]) as proxy:
+        channel = _proxied_channel(proxy)
+        try:
+            payloads = ["ping", {"batch": list(range(2000))}, ("t", 1)]
+            for payload in payloads:
+                channel.send(payload)
+                assert channel.poll(5.0)
+                assert channel.recv() == payload
+        finally:
+            channel.close()
+        assert all(count == 0 for count in proxy.counts.values())
+
+
+def test_partition_is_silence_without_fin_and_heals(echo):
+    with NetFaultProxy(echo.address, seed=SEEDS[0]) as proxy:
+        channel = _proxied_channel(proxy)
+        try:
+            channel.send("before")
+            assert channel.recv() == "before"
+            proxy.partition()
+            channel.send("held")
+            # Pure silence: no frame, but also no EOF/RST — exactly a
+            # vanished host, which only a deadline can distinguish.
+            assert not channel.poll(0.6)
+            assert proxy.live_links() == 1
+            proxy.heal()
+            assert channel.poll(5.0), "held bytes never flowed on heal"
+            assert channel.recv() == "held"
+            assert proxy.counts["partition"] == 1
+        finally:
+            channel.close()
+
+
+def test_corruption_surfaces_as_typed_channel_error(echo):
+    plan = NetFaultPlan(corrupt_rate=1.0)
+    with NetFaultProxy(echo.address, plan=plan, seed=SEEDS[1]) as proxy:
+        channel = _proxied_channel(proxy, read_deadline_s=2.0)
+        try:
+            with pytest.raises(CHANNEL_ERRORS):
+                # Every chunk is corrupted somewhere; the CRC32 (or the
+                # magic scan starving under the read deadline) must
+                # fail typed, never as an undefined pickle decode.
+                channel.send({"payload": list(range(500))})
+                channel.recv()
+        finally:
+            channel.close()
+        assert proxy.counts["corrupt"] >= 1
+
+
+def test_truncation_tears_the_connection(echo):
+    plan = NetFaultPlan(truncate_rate=1.0)
+    with NetFaultProxy(echo.address, plan=plan, seed=SEEDS[2]) as proxy:
+        channel = _proxied_channel(proxy, read_deadline_s=5.0)
+        try:
+            with pytest.raises(CHANNEL_ERRORS):
+                channel.send({"payload": list(range(5000))})
+                channel.recv()
+        finally:
+            channel.close()
+        assert proxy.counts["truncate"] >= 1
+
+
+def test_reorder_fails_typed_not_undefined(echo):
+    plan = NetFaultPlan(reorder_rate=1.0)
+    with NetFaultProxy(echo.address, plan=plan, seed=SEEDS[0]) as proxy:
+        channel = _proxied_channel(proxy, read_deadline_s=1.5)
+        try:
+            with pytest.raises(CHANNEL_ERRORS):
+                for index in range(4):
+                    channel.send(("frame", index))
+                    time.sleep(0.05)  # separate chunks on the wire
+                for _ in range(4):
+                    channel.recv()
+        finally:
+            channel.close()
+        assert proxy.counts["reorder"] >= 1
+
+
+def test_delay_is_a_slow_link_not_a_dead_peer(echo):
+    plan = NetFaultPlan(delay_rate=1.0, delay_ms=(30, 60))
+    with NetFaultProxy(echo.address, plan=plan, seed=SEEDS[1]) as proxy:
+        channel = _proxied_channel(proxy, read_deadline_s=5.0)
+        try:
+            started = time.monotonic()
+            channel.send("slow")
+            assert channel.recv() == "slow"
+            assert time.monotonic() - started >= 0.03
+            assert proxy.counts["delay"] >= 1
+        finally:
+            channel.close()
+
+
+def test_cut_all_reads_as_eof(echo):
+    with NetFaultProxy(echo.address, seed=SEEDS[2]) as proxy:
+        channel = _proxied_channel(proxy)
+        try:
+            channel.send("up")
+            assert channel.recv() == "up"
+            proxy.cut_all()
+            with pytest.raises(CHANNEL_ERRORS):
+                while True:  # drain any straggler, then hit the EOF
+                    assert channel.poll(5.0)
+                    channel.recv()
+        finally:
+            channel.close()
+
+
+def test_fault_plan_any_rate():
+    assert not NetFaultPlan().any_rate()
+    assert NetFaultPlan(corrupt_rate=0.01).any_rate()
+    assert NetFaultPlan(reorder_rate=0.5).any_rate()
+
+
+# ----- the network-fault differential suite -----------------------------------
+
+
+def _spawn_worker() -> tuple[subprocess.Popen, tuple[str, int]]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.shard_worker",
+            "--listen", "127.0.0.1:0", "--orphan-timeout", "120",
+        ],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", line)
+    assert match, f"worker never announced its port: {line!r}"
+    return process, (match.group(1), int(match.group(2)))
+
+
+def _chaos_run(seed: int, plan: NetFaultPlan, events,
+               **engine_overrides) -> tuple[dict, list[NetFaultProxy]]:
+    """One sharded run whose every worker byte crosses a chaos proxy."""
+    workers, proxies = [], []
+    try:
+        for _ in range(2):
+            process, address = _spawn_worker()
+            workers.append(process)
+            proxies.append(
+                NetFaultProxy(address, plan=plan, seed=seed).start()
+            )
+        settings = dict(
+            shards=2,
+            batch_size=16,
+            heartbeat_interval_s=0.1,
+            heartbeat_max_missed=3,
+            checkpoint_every_batches=4,
+            worker_addresses=[p.address_text for p in proxies],
+        )
+        settings.update(engine_overrides)
+        with ShardedStreamEngine(**settings) as engine:
+            for name, text in QUERIES.items():
+                engine.register(parse_query(text), name=name)
+            for event in events:
+                engine.process(event)
+            results = engine.results()
+        return results, proxies
+    finally:
+        for proxy in proxies:
+            proxy.stop()
+        for process in workers:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_corrupt_and_slow_network_is_exact(seed):
+    """Corruption forces revive/reconnect cycles and delays stretch
+    every exchange, yet the merged aggregates stay bit-identical: no
+    event lost, none double-counted."""
+    plan = FaultPlan(seed)
+    events = random_events(plan.rng, "ABC", 900, attr_maker=_attrs)
+    expected = _reference(events)
+    chaos = NetFaultPlan(
+        corrupt_rate=0.02, delay_rate=0.2, delay_ms=(1, 5)
+    )
+    results, proxies = _chaos_run(seed, chaos, events)
+    assert results == expected
+    injected = sum(
+        proxy.counts["corrupt"] + proxy.counts["delay"]
+        for proxy in proxies
+    )
+    assert injected >= 1, "the chaos plan injected nothing"
+
+
+def test_partition_heal_mid_stream_is_exact():
+    """A sub-deadline partition is a slow link: the run rides it out
+    without a revive and stays exact (the deadline/backoff machinery
+    must not confuse held bytes with a dead peer)."""
+    plan = FaultPlan(SEEDS[0])
+    events = random_events(plan.rng, "ABC", 900, attr_maker=_attrs)
+    expected = _reference(events)
+    workers, proxies = [], []
+    try:
+        for _ in range(2):
+            process, address = _spawn_worker()
+            workers.append(process)
+            proxies.append(NetFaultProxy(address, seed=SEEDS[0]).start())
+        with ShardedStreamEngine(
+            shards=2,
+            batch_size=16,
+            heartbeat_interval_s=0.2,
+            heartbeat_max_missed=20,  # partitions outlast a ping or two
+            worker_addresses=[p.address_text for p in proxies],
+        ) as engine:
+            for name, text in QUERIES.items():
+                engine.register(parse_query(text), name=name)
+            for index, event in enumerate(events):
+                engine.process(event)
+                if index == 300:
+                    proxies[0].partition()
+                elif index == 450:
+                    proxies[0].heal()
+            assert engine.results() == expected
+            assert proxies[0].counts["partition"] == 1
+    finally:
+        for proxy in proxies:
+            proxy.stop()
+        for process in workers:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+def test_hard_cut_reconnects_and_stays_exact():
+    """Deterministic fault: every proxied connection is hard-closed
+    mid-stream; the revive path reconnects through the proxy and
+    re-seeds, results exact."""
+    plan = FaultPlan(SEEDS[1])
+    events = random_events(plan.rng, "ABC", 900, attr_maker=_attrs)
+    expected = _reference(events)
+    workers, proxies = [], []
+    try:
+        for _ in range(2):
+            process, address = _spawn_worker()
+            workers.append(process)
+            proxies.append(NetFaultProxy(address, seed=SEEDS[1]).start())
+        with ShardedStreamEngine(
+            shards=2,
+            batch_size=16,
+            heartbeat_interval_s=0.1,
+            heartbeat_max_missed=3,
+            checkpoint_every_batches=4,
+            worker_addresses=[p.address_text for p in proxies],
+        ) as engine:
+            for name, text in QUERIES.items():
+                engine.register(parse_query(text), name=name)
+            for index, event in enumerate(events):
+                engine.process(event)
+                if index == 450:
+                    for proxy in proxies:
+                        proxy.cut_all()
+            assert engine.results() == expected
+    finally:
+        for proxy in proxies:
+            proxy.stop()
+        for process in workers:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

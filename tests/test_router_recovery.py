@@ -162,6 +162,41 @@ def test_router_sigkill_mid_stream_is_exact(tmp_path, seed, shards):
         recovered.close()
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("transport", ["pipe", "tcp"])
+def test_router_sigkill_mid_columnar_stream_is_exact(
+    tmp_path, seed, transport
+):
+    """The columnar ingest lane under a router SIGKILL: feed the stream
+    as struct-of-arrays batches (which the WAL-attached engine durably
+    journals per event), crash at a seeded offset, recover, finish the
+    stream columnar — merged results stay bit-identical over both
+    transports."""
+    from repro.events.batch import EventBatch
+
+    def feed_batches(engine, records):
+        for start in range(0, len(records), 64):
+            engine.process_event_batch(
+                EventBatch.from_events(records[start:start + 64])
+            )
+
+    plan = FaultPlan(seed)
+    events = _stream(plan, 900)
+    expected = _reference(events)
+    crash_at = plan.crash_point(len(events))
+    engine = _journaled(tmp_path, 2, transport=transport)
+    feed_batches(engine, events[:crash_at])
+    _crash_router(engine)
+    recovered = _recover(tmp_path, transport=transport)
+    try:
+        resume = recovered.metrics.events
+        assert crash_at - 32 * 3 <= resume <= crash_at
+        feed_batches(recovered, events[resume:])
+        assert recovered.results() == expected
+    finally:
+        recovered.close()
+
+
 @pytest.mark.parametrize("lanes", [1, 3])
 def test_recovery_is_exact_for_any_lane_count(tmp_path, lanes):
     plan = FaultPlan(SEEDS[0])

@@ -10,14 +10,21 @@ backoff, and the whole stack end-to-end through the engine.
 
 from __future__ import annotations
 
+import pickle
 import random
 import socket
+import struct
+import threading
+import time
+import zlib
 
 import pytest
 
 from conftest import random_events
 from repro.engine.sharded import ShardedStreamEngine
 from repro.engine.transport import (
+    FRAME_MAGIC,
+    FrameStats,
     FramedChannel,
     PipeTransport,
     SocketTransport,
@@ -26,7 +33,7 @@ from repro.engine.transport import (
     parse_hostport,
     wait_readable,
 )
-from repro.errors import TransportError
+from repro.errors import FrameError, TransportError, TransportTimeout
 from repro.obs.registry import MetricsRegistry
 from repro.query import parse_query
 from repro.resilience.faults import FaultPlan, fault_seed
@@ -117,6 +124,168 @@ def test_wait_readable_sees_buffered_frames():
     finally:
         a.close()
         b.close()
+
+
+# ----- frame integrity: CRC, sequence numbers, deadlines --------------------
+
+#: The wire format, restated independently of the implementation so a
+#: silent layout change fails here: magic, u32 payload length, u64
+#: channel sequence number, u32 CRC32 of the payload.
+_WIRE_HEADER = struct.Struct(">4sIQI")
+
+
+def _raw_frame(obj, seq: int, crc_delta: int = 0) -> bytes:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = (zlib.crc32(payload) + crc_delta) & 0xFFFFFFFF
+    return _WIRE_HEADER.pack(FRAME_MAGIC, len(payload), seq, crc) + payload
+
+
+def _receiver() -> tuple[socket.socket, FramedChannel]:
+    left, right = socket.socketpair()
+    return left, FramedChannel(right)
+
+
+def test_crc_corruption_raises_frame_error():
+    wire, channel = _receiver()
+    try:
+        wire.sendall(_raw_frame("tainted", seq=1, crc_delta=7))
+        with pytest.raises(FrameError):
+            channel.recv()
+        assert channel.stats.corrupt == 1
+    finally:
+        wire.close()
+        channel.close()
+
+
+def test_duplicate_frames_are_skipped_not_redelivered():
+    """A frame re-sent after a stall arrives twice; sequence numbers
+    suppress the duplicate so the layer above never sees it."""
+    wire, channel = _receiver()
+    try:
+        wire.sendall(_raw_frame("first", seq=1))
+        wire.sendall(_raw_frame("first", seq=1))  # duplicate delivery
+        wire.sendall(_raw_frame("second", seq=2))
+        assert channel.recv() == "first"
+        assert channel.recv() == "second"
+        assert channel.stats.dup_skipped == 1
+    finally:
+        wire.close()
+        channel.close()
+
+
+def test_sequence_gap_raises_frame_error():
+    wire, channel = _receiver()
+    try:
+        wire.sendall(_raw_frame("one", seq=1))
+        wire.sendall(_raw_frame("three", seq=3))  # frame 2 lost
+        assert channel.recv() == "one"
+        with pytest.raises(FrameError):
+            channel.recv()
+    finally:
+        wire.close()
+        channel.close()
+
+
+def test_magic_scan_resynchronizes_past_torn_bytes():
+    """Garbage before a valid frame (the tail of a frame torn by a
+    dying connection) is scanned past and counted, and the frame after
+    it is delivered intact."""
+    wire, channel = _receiver()
+    try:
+        wire.sendall(b"\x00\xffTORN-FRAME-TAIL" + _raw_frame("ok", seq=1))
+        assert channel.recv() == "ok"
+        assert channel.stats.resyncs >= 1
+    finally:
+        wire.close()
+        channel.close()
+
+
+def test_read_deadline_distinguishes_dead_peer_from_slow_link():
+    """Zero bytes for the whole budget raises TransportTimeout; a
+    trickle (any progress) re-arms the deadline and succeeds."""
+    wire, channel = _receiver()
+    channel.read_deadline_s = 0.2
+    try:
+        with pytest.raises(TransportTimeout):
+            channel.recv()
+        assert channel.stats.deadline_misses == 1
+        frame = _raw_frame("slowly", seq=1)
+        half = len(frame) // 2
+
+        def drip():
+            wire.sendall(frame[:half])
+            time.sleep(0.15)  # inside the per-chunk budget
+            wire.sendall(frame[half:])
+
+        feeder = threading.Thread(target=drip, daemon=True)
+        feeder.start()
+        assert channel.recv() == "slowly"
+        feeder.join(5.0)
+    finally:
+        wire.close()
+        channel.close()
+
+
+def test_half_sent_frame_heals_on_the_next_send():
+    """Regression for reconnect-after-half-sent-frame: a write deadline
+    interrupting a frame parks the unsent remainder, and the next send
+    finishes the old frame first — the peer decodes both messages, in
+    order, with no torn bytes between them."""
+    sender_sock, receiver_sock = socket.socketpair()
+    sender_sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+    receiver_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+    sender = FramedChannel(sender_sock, write_deadline_s=0.2)
+    receiver = FramedChannel(receiver_sock)
+    try:
+        big = {"bulk": bytes(4 * 1024 * 1024)}
+        with pytest.raises(TransportTimeout):
+            sender.send(big)  # stalls: nobody is draining
+        assert sender.stats.deadline_misses >= 1
+        got: list = []
+        drainer = threading.Thread(
+            target=lambda: got.extend(
+                (receiver.recv(), receiver.recv())
+            ),
+            daemon=True,
+        )
+        drainer.start()
+        sender.write_deadline_s = None  # the link recovered
+        sender.send("tail")
+        drainer.join(10.0)
+        assert not drainer.is_alive(), "receiver never got both frames"
+        assert got[0] == big
+        assert got[1] == "tail"
+    finally:
+        sender.close()
+        receiver.close()
+
+
+def test_frame_stats_mirror_into_registry_counters():
+    """The FrameStats sink contract SocketTransport relies on for the
+    per-shard ``repro_transport_frame_*`` series."""
+    registry = MetricsRegistry()
+    sink = {
+        "corrupt": registry.counter(
+            "repro_transport_frame_corrupt_total", "t", shard="9"
+        ),
+        "dup_skipped": registry.counter(
+            "repro_transport_frame_dup_skipped_total", "t", shard="9"
+        ),
+    }
+    stats = FrameStats(sink)
+    stats.bump("corrupt")
+    stats.bump("dup_skipped", 3)
+    stats.bump("resyncs")  # no sink entry: in-process only
+    assert stats.snapshot() == {
+        "corrupt": 1, "resyncs": 1, "dup_skipped": 3,
+        "deadline_misses": 0,
+    }
+    assert registry.value(
+        "repro_transport_frame_corrupt_total", shard="9"
+    ) == 1
+    assert registry.value(
+        "repro_transport_frame_dup_skipped_total", shard="9"
+    ) == 3
 
 
 def test_parse_hostport():

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import signal
+import socket
 import subprocess
 import sys
 import textwrap
@@ -151,6 +152,87 @@ def test_engine_lifecycle_leaks_no_descriptors():
                 engine.process(event)
             engine.results()
         assert fd_count() <= before, f"{transport} leaked descriptors"
+
+
+# ----- idle-connection deadline (router vanished without FIN) ---------------
+
+
+def _spawn_listener_worker(*extra: str):
+    import re
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.shard_worker",
+            "--listen", "127.0.0.1:0", *extra,
+        ],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", line)
+    assert match, f"worker never announced its port: {line!r}"
+    return process, (match.group(1), int(match.group(2)))
+
+
+def test_worker_exits_when_no_router_ever_connects():
+    """Between sessions the orphan budget is the listener's idle
+    deadline: a worker nobody dials ends itself instead of leaking."""
+    worker, _ = _spawn_listener_worker("--orphan-timeout", "1")
+    try:
+        assert worker.wait(timeout=30) == 0
+    finally:
+        if worker.poll() is None:
+            worker.kill()
+            worker.wait(timeout=10)
+
+
+def test_worker_self_terminates_behind_a_silent_partition():
+    """The FIN-less death: the router's host drops off the network
+    mid-session (a chaos-proxy partition — sockets stay open, zero
+    bytes move), and the worker must self-terminate once the orphan
+    budget of total silence elapses, not wait for an EOF that will
+    never come."""
+    from repro.engine.transport import FramedChannel, transport_token
+    from repro.resilience.netfault import NetFaultProxy
+
+    worker, address = _spawn_listener_worker("--orphan-timeout", "2")
+    proxy = NetFaultProxy(address).start()
+    channels = []
+    try:
+        token = transport_token()
+        for role in ("data", "control"):
+            sock = socket.create_connection(proxy.address, timeout=5.0)
+            channel = FramedChannel(sock)
+            channel.send((
+                "hello",
+                {"role": role, "shard": 0, "token": token,
+                 "session": "orphan-test"},
+            ))
+            channels.append(channel)
+        data = channels[0]
+        data.send((
+            "configure",
+            {"specs": [("q", QUERY)], "vectorized": False, "index": 0,
+             "obs": {}, "orphan_timeout_s": 2.0},
+        ))
+        assert data.poll(10.0)
+        status, _detail = data.recv()
+        assert status == "ok"
+        # The router "vanishes": no FIN, no RST, pure silence.
+        proxy.partition()
+        assert worker.wait(timeout=30) == 0, (
+            "worker outlived the orphan budget behind a partition"
+        )
+    finally:
+        for channel in channels:
+            channel.close()
+        proxy.stop()
+        if worker.poll() is None:
+            worker.kill()
+            worker.wait(timeout=10)
 
 
 # ----- span outbox ----------------------------------------------------------
